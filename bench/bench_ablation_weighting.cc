@@ -1,0 +1,70 @@
+// Ablation: multi-input loss weighting schemes at a fixed training
+// budget — none (Eq. 1), our adaptive weighting (alpha = 3, §3.3),
+// Dynamic Weight Average [27], and the learned uncertainty weighting
+// of Kendall et al. [25] (the method DWA was shown to outperform).
+// Reported: total reconstruction error and the per-kind breakdown
+// (1D/2D/3D datasets), since §5.1 argues 3D datasets benefit most.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+namespace equitensor {
+namespace bench {
+namespace {
+
+int Main() {
+  const data::UrbanDataBundle& bundle = GetBundle();
+  Stopwatch total;
+
+  // Shared L(opt) for the kOurs run.
+  std::vector<double> optimal_losses;
+  {
+    core::EquiTensorConfig config = BaseTrainerConfig(51);
+    core::EquiTensorTrainer probe(config, &bundle.datasets, nullptr);
+    optimal_losses = probe.EstimateOptimalLosses();
+  }
+
+  TextTable table({"Weighting", "total recon err", "1D err", "2D err",
+                   "3D err"});
+  const struct {
+    const char* label;
+    core::WeightingMode mode;
+  } schemes[] = {
+      {"none (core model)", core::WeightingMode::kNone},
+      {"ours (alpha=3)", core::WeightingMode::kOurs},
+      {"DWA [27] (alpha=3)", core::WeightingMode::kDwa},
+      {"uncertainty [25]", core::WeightingMode::kUncertainty},
+  };
+  for (const auto& scheme : schemes) {
+    core::EquiTensorConfig config = BaseTrainerConfig(51);
+    config.weighting = scheme.mode;
+    config.alpha = 3.0;
+    config.precomputed_optimal_losses = optimal_losses;
+    core::EquiTensorTrainer trainer(config, &bundle.datasets, nullptr);
+    trainer.Train();
+    const auto& last = trainer.log().back();
+    double kind_err[3] = {0.0, 0.0, 0.0};
+    for (size_t i = 0; i < bundle.datasets.size(); ++i) {
+      kind_err[static_cast<int>(bundle.datasets[i].kind)] +=
+          last.dataset_losses[i];
+    }
+    std::cerr << "[ablation_weighting] " << scheme.label << " total="
+              << last.total_loss << "\n";
+    table.AddRow({scheme.label, TextTable::Num(last.total_loss, 4),
+                  TextTable::Num(kind_err[0], 4),
+                  TextTable::Num(kind_err[1], 4),
+                  TextTable::Num(kind_err[2], 4)});
+  }
+  EmitTable("ablation_weighting", table);
+  std::cout << "[ablation_weighting] total " << total.ElapsedSeconds()
+            << " s\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace equitensor
+
+int main() { return equitensor::bench::Main(); }

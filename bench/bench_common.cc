@@ -1,0 +1,191 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace equitensor {
+namespace bench {
+
+BenchScale GetBenchScale() {
+  BenchScale result;
+  if (const char* s = std::getenv("ET_BENCH_SCALE")) {
+    result.scale = std::atof(s);
+    if (result.scale <= 0.0) result.scale = 1.0;
+  }
+  if (const char* s = std::getenv("ET_BENCH_SEEDS")) {
+    result.seeds = std::atoll(s);
+    if (result.seeds < 1) result.seeds = 1;
+  }
+  return result;
+}
+
+int64_t ScaledEpochs(int64_t base) {
+  const double scale = GetBenchScale().scale;
+  const int64_t epochs =
+      static_cast<int64_t>(static_cast<double>(base) * scale + 0.5);
+  return epochs < 2 ? 2 : epochs;
+}
+
+const data::UrbanDataBundle& GetBundle() {
+  static const data::UrbanDataBundle& bundle = *[] {
+    data::CityConfig city;
+    city.width = 12;
+    city.height = 10;
+    city.cell_km = 1.0;
+    city.hours = 24 * 60;
+    city.seed = 2026;
+    Stopwatch sw;
+    auto* b = new data::UrbanDataBundle(data::BuildSeattleAnalog(city));
+    std::cerr << "[bench] built synthetic city ("
+              << city.width << "x" << city.height << " cells, "
+              << city.hours << " h, 23 datasets) in " << sw.ElapsedSeconds()
+              << " s\n";
+    return b;
+  }();
+  return bundle;
+}
+
+core::EquiTensorConfig BaseTrainerConfig(uint64_t seed) {
+  const data::UrbanDataBundle& bundle = GetBundle();
+  core::EquiTensorConfig config;
+  config.cdae.grid_w = bundle.config.width;
+  config.cdae.grid_h = bundle.config.height;
+  config.cdae.window = 24;
+  config.cdae.latent_channels = 5;
+  // Bench-scale filter widths (paper: 16/32/1 encoders, 16/32/K shared;
+  // scaled down for the single-core substrate, see DESIGN.md §2).
+  config.cdae.encoder_filters = {8, 16, 1};
+  config.cdae.shared_filters = {8, 16};
+  config.cdae.decoder_filters = {8, 16};
+  config.epochs = ScaledEpochs(5);
+  config.steps_per_epoch = 12;
+  config.batch_size = 4;
+  config.opt_loss_epochs = 1;
+  config.opt_loss_steps_per_epoch = 8;
+  config.optimizer.learning_rate = 2e-3;
+  config.optimizer.decay_rate = 0.9;
+  config.optimizer.decay_steps = 50;
+  config.seed = seed;
+  return config;
+}
+
+core::GridTaskConfig BenchGridConfig(data::Task task, uint64_t seed) {
+  core::GridTaskConfig config;
+  config.history = 24;
+  config.horizon = task == data::Task::kBikeshare ? 1 : 3;
+  config.train_fraction = 0.75;
+  config.epochs = ScaledEpochs(16);
+  config.steps_per_epoch = 25;
+  config.batch_size = 4;
+  config.eval_stride = 4;
+  config.predictor.history = 24;
+  config.predictor.history_filters = {6, 12};
+  config.predictor.exo_filters = {8};
+  config.predictor.head_filters = {12, 1};
+  config.optimizer.learning_rate = 2e-3;
+  config.optimizer.decay_rate = 0.9;
+  config.optimizer.decay_steps = 40;
+  config.seed = seed;
+  return config;
+}
+
+core::SeriesTaskConfig BenchSeriesConfig(uint64_t seed) {
+  core::SeriesTaskConfig config;
+  config.history = 48;
+  config.horizon = 6;
+  config.hidden = 24;
+  config.train_fraction = 0.75;
+  config.epochs = ScaledEpochs(3);
+  config.steps_per_epoch = 25;
+  config.batch_size = 8;
+  config.eval_stride = 4;
+  config.optimizer.learning_rate = 5e-3;
+  config.optimizer.decay_rate = 0.9;
+  config.optimizer.decay_steps = 60;
+  config.seed = seed;
+  return config;
+}
+
+core::ProbeConfig BenchProbeConfig(uint64_t seed) {
+  core::ProbeConfig config;
+  config.window = 24;
+  // The evaluation probe F must stay strong regardless of how much the
+  // representation trainings are scaled down — a weak probe reads as
+  // "fair" for every representation and erases Table 4's contrast.
+  config.epochs = 4;
+  config.steps_per_epoch = 12;
+  config.batch_size = 4;
+  config.eval_batches = 6;
+  config.optimizer.learning_rate = 2e-3;
+  config.seed = seed;
+  return config;
+}
+
+Tensor BuildPcaRepresentation(const data::UrbanDataBundle& bundle,
+                              int64_t latent_channels) {
+  return models::PcaRepresentation(bundle.datasets, bundle.config.width,
+                                   bundle.config.height, bundle.config.hours,
+                                   latent_channels);
+}
+
+Tensor BuildEarlyFusionRepresentation(const data::UrbanDataBundle& bundle,
+                                      uint64_t seed) {
+  const core::EquiTensorConfig config = BaseTrainerConfig(seed);
+  return core::TrainEarlyFusion(config, &bundle.datasets).representation;
+}
+
+const std::vector<double>& GetSharedOptimalLosses() {
+  static const std::vector<double>& losses = *[] {
+    core::EquiTensorConfig config = BaseTrainerConfig(7);
+    config.weighting = core::WeightingMode::kOurs;
+    core::EquiTensorTrainer probe(config, &GetBundle().datasets, nullptr);
+    Stopwatch sw;
+    auto* result = new std::vector<double>(probe.EstimateOptimalLosses());
+    std::cerr << "[bench] shared L(opt) estimation in " << sw.ElapsedSeconds()
+              << " s\n";
+    return result;
+  }();
+  return losses;
+}
+
+Tensor BuildCoreRepresentation(
+    const data::UrbanDataBundle& bundle, core::WeightingMode weighting,
+    core::FairnessMode fairness, double lambda, bool disentangle,
+    const Tensor* sensitive, uint64_t seed,
+    std::unique_ptr<core::EquiTensorTrainer>* trainer_out,
+    const std::vector<double>* optimal_losses) {
+  core::EquiTensorConfig config = BaseTrainerConfig(seed);
+  config.weighting = weighting;
+  config.fairness = fairness;
+  config.lambda = lambda;
+  config.cdae.disentangle = disentangle;
+  if (weighting == core::WeightingMode::kOurs) {
+    config.precomputed_optimal_losses =
+        optimal_losses ? *optimal_losses : GetSharedOptimalLosses();
+  }
+  auto trainer = std::make_unique<core::EquiTensorTrainer>(
+      config, &bundle.datasets, sensitive);
+  Stopwatch sw;
+  trainer->Train();
+  Tensor z = trainer->Materialize();
+  std::cerr << "[bench] trained " << core::WeightingModeName(weighting)
+            << "/" << core::FairnessModeName(fairness) << " lambda=" << lambda
+            << " in " << sw.ElapsedSeconds() << " s\n";
+  if (trainer_out != nullptr) *trainer_out = std::move(trainer);
+  return z;
+}
+
+void EmitTable(const std::string& name, const TextTable& table) {
+  std::cout << "\n=== " << name << " ===\n" << table;
+  const std::string csv_path = name + ".csv";
+  if (table.WriteCsv(csv_path)) {
+    std::cout << "(rows also written to " << csv_path << ")\n";
+  }
+  std::cout.flush();
+}
+
+}  // namespace bench
+}  // namespace equitensor

@@ -1,0 +1,70 @@
+#ifndef EQUITENSOR_BENCH_BENCH_COMMON_H_
+#define EQUITENSOR_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "core/baselines.h"
+#include "core/downstream.h"
+#include "core/equitensor.h"
+#include "core/probe.h"
+#include "data/generators.h"
+#include "models/pca.h"
+#include "util/table.h"
+
+namespace equitensor {
+namespace bench {
+
+/// Knobs read from the environment:
+///   ET_BENCH_SCALE — multiplies training epochs (default 1.0; use 0.3
+///                    for a quick smoke run, 2-3 to approach paper
+///                    training budgets).
+///   ET_BENCH_SEEDS — repeated runs for mean/std tables (default 3;
+///                    the paper uses 5).
+struct BenchScale {
+  double scale = 1.0;
+  int64_t seeds = 3;
+};
+BenchScale GetBenchScale();
+
+/// The shared synthetic-Seattle instance all benches use
+/// (12 x 10 cells, 60 days). Built once per process.
+const data::UrbanDataBundle& GetBundle();
+
+/// Epoch count scaled by ET_BENCH_SCALE (at least 2).
+int64_t ScaledEpochs(int64_t base);
+
+/// Baseline trainer configuration at bench scale (reduced filter
+/// widths; see DESIGN.md §2 on the single-core substitution).
+core::EquiTensorConfig BaseTrainerConfig(uint64_t seed = 7);
+
+/// Downstream-task configurations at bench scale.
+core::GridTaskConfig BenchGridConfig(data::Task task, uint64_t seed);
+core::SeriesTaskConfig BenchSeriesConfig(uint64_t seed);
+core::ProbeConfig BenchProbeConfig(uint64_t seed = 99);
+
+/// Representation builders (train + materialize [K, W, H, T']).
+Tensor BuildPcaRepresentation(const data::UrbanDataBundle& bundle,
+                              int64_t latent_channels = 5);
+Tensor BuildEarlyFusionRepresentation(const data::UrbanDataBundle& bundle,
+                                      uint64_t seed = 7);
+
+/// Core-model family. `weighting`/`fairness`/`lambda`/`disentangle`
+/// select the Table 4/5 variants; pass sensitive = nullptr for
+/// fairness-oblivious models.
+Tensor BuildCoreRepresentation(
+    const data::UrbanDataBundle& bundle, core::WeightingMode weighting,
+    core::FairnessMode fairness, double lambda, bool disentangle,
+    const Tensor* sensitive, uint64_t seed = 7,
+    std::unique_ptr<core::EquiTensorTrainer>* trainer_out = nullptr,
+    const std::vector<double>* optimal_losses = nullptr);
+
+/// One shared L(opt) estimation pass (WeightingMode::kOurs variants).
+const std::vector<double>& GetSharedOptimalLosses();
+
+/// Prints the table and writes `<name>.csv` next to the binary.
+void EmitTable(const std::string& name, const TextTable& table);
+
+}  // namespace bench
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_BENCH_BENCH_COMMON_H_

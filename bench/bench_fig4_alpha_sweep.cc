@@ -1,0 +1,67 @@
+// Reproduces Figure 4: total reconstruction error of the core
+// integrative model as a function of the weighting temperature alpha,
+// comparing our adaptive weighting (progress relative to per-dataset
+// optimal losses) against Dynamic Weight Average [27] and the
+// unweighted core model. The expected shape: ours below DWA across the
+// alpha range, both approaching the unweighted core as alpha grows.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+namespace equitensor {
+namespace bench {
+namespace {
+
+int Main() {
+  const data::UrbanDataBundle& bundle = GetBundle();
+  Stopwatch total;
+
+  // Shared L(opt) estimation (one pass for the whole sweep).
+  std::vector<double> optimal_losses;
+  {
+    core::EquiTensorConfig config = BaseTrainerConfig(11);
+    config.weighting = core::WeightingMode::kOurs;
+    core::EquiTensorTrainer probe(config, &bundle.datasets, nullptr);
+    Stopwatch sw;
+    optimal_losses = probe.EstimateOptimalLosses();
+    std::cerr << "[fig4] estimated L(opt) for 23 datasets in "
+              << sw.ElapsedSeconds() << " s\n";
+  }
+
+  auto train_error = [&](core::WeightingMode mode, double alpha) {
+    core::EquiTensorConfig config = BaseTrainerConfig(11);
+    config.weighting = mode;
+    config.alpha = alpha;
+    config.precomputed_optimal_losses = optimal_losses;
+    core::EquiTensorTrainer trainer(config, &bundle.datasets, nullptr);
+    trainer.Train();
+    return trainer.EvaluateReconstructionError(/*batches=*/4);
+  };
+
+  // Baseline: unweighted core model (dashed grey line in the paper).
+  const double core_error = train_error(core::WeightingMode::kNone, 1.0);
+  std::cerr << "[fig4] core (no AW) error " << core_error << "\n";
+
+  const double alphas[] = {0.5, 1.0, 2.0, 3.0, 5.0, 8.0};
+  TextTable table({"alpha", "ours (total recon err)", "DWA [27]",
+                   "core model (no AW)"});
+  for (const double alpha : alphas) {
+    const double ours = train_error(core::WeightingMode::kOurs, alpha);
+    const double dwa = train_error(core::WeightingMode::kDwa, alpha);
+    std::cerr << "[fig4] alpha=" << alpha << " ours=" << ours
+              << " dwa=" << dwa << "\n";
+    table.AddRow({TextTable::Num(alpha, 1), TextTable::Num(ours, 4),
+                  TextTable::Num(dwa, 4), TextTable::Num(core_error, 4)});
+  }
+  EmitTable("fig4_alpha_sweep", table);
+  std::cout << "[fig4] total " << total.ElapsedSeconds() << " s\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace equitensor
+
+int main() { return equitensor::bench::Main(); }

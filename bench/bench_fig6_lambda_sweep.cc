@@ -1,0 +1,70 @@
+// Reproduces Figure 6: the evaluation adversary's MAE when recovering
+// the sensitive attribute from EquiTensors trained with increasing
+// fairness weight lambda, for race (A) and income (B). The Gaussian-
+// noise line is the paper's ceiling: a representation carrying no
+// information about S. Expected shape: MAE rises with lambda and
+// approaches the noise ceiling around lambda ~= 2, then levels off.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+namespace equitensor {
+namespace bench {
+namespace {
+
+int Main() {
+  const data::UrbanDataBundle& bundle = GetBundle();
+  Stopwatch total;
+
+  const struct {
+    const char* name;
+    const Tensor* map;
+  } attributes[] = {{"race", &bundle.race_map},
+                    {"income", &bundle.income_map}};
+
+  const core::ProbeConfig probe_cfg = BenchProbeConfig(661);
+  const core::EquiTensorConfig base = BaseTrainerConfig(19);
+
+  // Gaussian-noise ceiling per attribute.
+  const Tensor noise = core::GaussianNoiseRepresentation(
+      base.cdae.latent_channels, base.cdae.grid_w, base.cdae.grid_h,
+      (bundle.config.hours / base.cdae.window) * base.cdae.window, 4242);
+  double noise_mae[2];
+  for (int a = 0; a < 2; ++a) {
+    noise_mae[a] =
+        core::ProbeSensitiveLeakage(noise, *attributes[a].map, probe_cfg);
+    std::cerr << "[fig6] noise ceiling " << attributes[a].name << " "
+              << noise_mae[a] << "\n";
+  }
+
+  const double lambdas[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+  TextTable table({"lambda", "race adversary MAE", "race noise ceiling",
+                   "income adversary MAE", "income noise ceiling"});
+  for (const double lambda : lambdas) {
+    double mae[2];
+    for (int a = 0; a < 2; ++a) {
+      // lambda = 0 still trains the adversary but applies no pressure
+      // on the encoder — the fairness-off reference point.
+      const Tensor rep = BuildCoreRepresentation(
+          bundle, core::WeightingMode::kNone, core::FairnessMode::kAdversarial,
+          lambda, /*disentangle=*/true, attributes[a].map, 19);
+      mae[a] = core::ProbeSensitiveLeakage(rep, *attributes[a].map, probe_cfg);
+      std::cerr << "[fig6] lambda=" << lambda << " " << attributes[a].name
+                << " mae=" << mae[a] << "\n";
+    }
+    table.AddRow({TextTable::Num(lambda, 1), TextTable::Num(mae[0], 3),
+                  TextTable::Num(noise_mae[0], 3), TextTable::Num(mae[1], 3),
+                  TextTable::Num(noise_mae[1], 3)});
+  }
+  EmitTable("fig6_lambda_sweep", table);
+  std::cout << "[fig6] total " << total.ElapsedSeconds() << " s\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace equitensor
+
+int main() { return equitensor::bench::Main(); }

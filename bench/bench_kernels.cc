@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the numerical kernels that
+// dominate EquiTensor training: the three convolutions (forward and
+// backward-through-loss), matmul, the LSTM step, the rasterizers, and
+// the pre-processing primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/conv_ops.h"
+#include "autograd/ops.h"
+#include "data/preprocess.h"
+#include "geo/rasterize.h"
+#include "nn/lstm.h"
+#include "tensor/tensor_ops.h"
+
+namespace equitensor {
+namespace {
+
+void BM_Conv1dForward(benchmark::State& state) {
+  Rng rng(1);
+  Variable x(Tensor::RandomUniform({4, 16, 24}, rng), false);
+  Variable w(Tensor::RandomUniform({32, 16, 3}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Conv1d(x, w).value().data());
+  }
+}
+BENCHMARK(BM_Conv1dForward);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  Variable x(Tensor::RandomUniform({4, 16, 12, 10}, rng), false);
+  Variable w(Tensor::RandomUniform({32, 16, 3, 3}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Conv2d(x, w).value().data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv3dForward(benchmark::State& state) {
+  Rng rng(3);
+  Variable x(Tensor::RandomUniform({2, 8, 12, 10, 24}, rng), false);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Conv3d(x, w).value().data());
+  }
+}
+BENCHMARK(BM_Conv3dForward);
+
+void BM_Conv3dTrainStep(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::RandomUniform({2, 8, 12, 10, 24}, rng);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), true);
+  Tensor target({2, 16, 12, 10, 24}, 0.1f);
+  for (auto _ : state) {
+    w.ZeroGrad();
+    Variable loss = ag::MaeAgainst(ag::Conv3d(Variable(x), w), target);
+    Backward(loss);
+    benchmark::DoNotOptimize(w.grad().data());
+  }
+}
+BENCHMARK(BM_Conv3dTrainStep);
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  Tensor a = Tensor::RandomUniform({n, n}, rng);
+  Tensor b = Tensor::RandomUniform({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
+
+void BM_LstmStep(benchmark::State& state) {
+  Rng rng(6);
+  nn::LstmCell cell(8, 32, rng);
+  Variable x(Tensor::RandomUniform({8, 8}, rng), false);
+  auto init = cell.InitialState(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Step(x, init).h.value().data());
+  }
+}
+BENCHMARK(BM_LstmStep);
+
+void BM_RasterizePoints(benchmark::State& state) {
+  Rng rng(7);
+  geo::GridSpec grid{12, 10, 0.0, 0.0, 1.0};
+  std::vector<geo::Point> points;
+  for (int i = 0; i < 10000; ++i) {
+    points.push_back({rng.Uniform(0.0, 12.0), rng.Uniform(0.0, 10.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::RasterizePoints(points, grid).data());
+  }
+}
+BENCHMARK(BM_RasterizePoints);
+
+void BM_RasterizeRegions(benchmark::State& state) {
+  Rng rng(8);
+  geo::GridSpec grid{12, 10, 0.0, 0.0, 1.0};
+  std::vector<geo::ValuedRegion> regions;
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.Uniform(0.0, 10.0), y = rng.Uniform(0.0, 8.0);
+    regions.push_back({{{x, y},
+                        {x + 2.0, y + 0.3},
+                        {x + 1.8, y + 2.1},
+                        {x - 0.2, y + 1.7}},
+                       rng.Uniform(0.0, 1.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::RasterizeRegions(regions, grid).data());
+  }
+}
+BENCHMARK(BM_RasterizeRegions);
+
+void BM_ImputeLocalAverage(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Tensor t = Tensor::RandomUniform({1, 12, 10, 240}, rng);
+    data::InjectMissing(&t, 0.05, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(data::ImputeLocalAverage(&t));
+  }
+}
+BENCHMARK(BM_ImputeLocalAverage);
+
+void BM_Corrupt(benchmark::State& state) {
+  Rng rng(10);
+  Tensor t = Tensor::RandomUniform({4, 1, 12, 10, 24}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::Corrupt(t, 0.15, rng).data());
+  }
+}
+BENCHMARK(BM_Corrupt);
+
+}  // namespace
+}  // namespace equitensor
+
+BENCHMARK_MAIN();

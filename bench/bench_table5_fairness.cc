@@ -1,0 +1,145 @@
+// Reproduces Table 5: accuracy (MAE) and fairness (RD + PRD for crime
+// with race as the sensitive attribute; RD + NRD for bikeshare with
+// income) of downstream predictions under twelve feature regimes, as
+// mean (std) over repeated runs (ET_BENCH_SEEDS, paper: 5).
+// Expected shape: fairness-oblivious exogenous features improve MAE
+// but widen the disparities; EquiTensor features (Core+Fair[+AW])
+// shrink |RD| and |PRD|/|NRD| while keeping MAE close to the oracle.
+
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+namespace equitensor {
+namespace bench {
+namespace {
+
+struct RowSpec {
+  std::string label;
+  // Representation selector: "none", "oracle", "pca", "ef", "core",
+  // "core_aw", or "fair"/"fair_aw" with a lambda.
+  std::string kind;
+  double lambda = 0.0;
+};
+
+int Main() {
+  const data::UrbanDataBundle& bundle = GetBundle();
+  const BenchScale scale = GetBenchScale();
+  Stopwatch total;
+
+  const std::vector<RowSpec> row_specs = {
+      {"No exo. data [58]", "none"},
+      {"Oracle [58]", "oracle"},
+      {"PCA [54]", "pca"},
+      {"Early fusion", "ef"},
+      {"Core", "core"},
+      {"Core+AW", "core_aw"},
+      {"Core+Fair (0.6)", "fair", 0.6},
+      {"Core+Fair (1.0)", "fair", 1.0},
+      {"Core+Fair (2.0)", "fair", 2.0},
+      {"Core+Fair+AW (0.6)", "fair_aw", 0.6},
+      {"Core+Fair+AW (1.0)", "fair_aw", 1.0},
+      {"Core+Fair+AW (2.0)", "fair_aw", 2.0},
+  };
+
+  const Tensor pca = BuildPcaRepresentation(bundle);
+  const Tensor ef = BuildEarlyFusionRepresentation(bundle, 23);
+  const Tensor core_rep = BuildCoreRepresentation(
+      bundle, core::WeightingMode::kNone, core::FairnessMode::kNone, 0.0,
+      false, nullptr, 23);
+  const Tensor core_aw = BuildCoreRepresentation(
+      bundle, core::WeightingMode::kOurs, core::FairnessMode::kNone, 0.0,
+      false, nullptr, 23);
+
+  const struct {
+    data::Task task;
+    const Tensor* target;
+    float task_scale;
+    const Tensor* sensitive;
+    const char* disparity;  // second fairness column
+  } tasks[] = {
+      {data::Task::kCrime, &bundle.crime, bundle.crime_scale,
+       &bundle.race_map, "PRD"},
+      {data::Task::kBikeshare, &bundle.bikeshare, bundle.bikeshare_scale,
+       &bundle.income_map, "NRD"},
+  };
+
+  TextTable table({"Task", "Model", "lambda", "Accuracy MAE", "RD",
+                   "PRD/NRD"});
+
+  for (const auto& task : tasks) {
+    const std::string task_name = data::TaskName(task.task);
+    std::cerr << "[table5] task " << task_name << "\n";
+    const core::OracleExoProvider oracle(&bundle, task.task);
+
+    // Fair representations are attribute-specific: train them here.
+    std::map<std::string, Tensor> fair_reps;
+    for (const RowSpec& spec : row_specs) {
+      if (spec.kind != "fair" && spec.kind != "fair_aw") continue;
+      const auto weighting = spec.kind == "fair_aw"
+                                 ? core::WeightingMode::kOurs
+                                 : core::WeightingMode::kNone;
+      fair_reps.emplace(
+          spec.label,
+          BuildCoreRepresentation(bundle, weighting,
+                                  core::FairnessMode::kAdversarial,
+                                  spec.lambda, /*disentangle=*/true,
+                                  task.sensitive, 23));
+    }
+
+    for (const RowSpec& spec : row_specs) {
+      RunningStats mae, rd, second;
+      for (int64_t seed = 0; seed < scale.seeds; ++seed) {
+        core::GridTaskConfig config =
+            BenchGridConfig(task.task, 5000 + static_cast<uint64_t>(seed));
+        const core::ExoProvider* exo = nullptr;
+        std::unique_ptr<core::RepresentationExoProvider> rep_provider;
+        if (spec.kind == "oracle") {
+          exo = &oracle;
+        } else if (spec.kind == "pca") {
+          rep_provider =
+              std::make_unique<core::RepresentationExoProvider>(&pca);
+        } else if (spec.kind == "ef") {
+          rep_provider =
+              std::make_unique<core::RepresentationExoProvider>(&ef);
+        } else if (spec.kind == "core") {
+          rep_provider =
+              std::make_unique<core::RepresentationExoProvider>(&core_rep);
+        } else if (spec.kind == "core_aw") {
+          rep_provider =
+              std::make_unique<core::RepresentationExoProvider>(&core_aw);
+        } else if (spec.kind == "fair" || spec.kind == "fair_aw") {
+          rep_provider = std::make_unique<core::RepresentationExoProvider>(
+              &fair_reps.at(spec.label));
+        }
+        if (rep_provider) exo = rep_provider.get();
+        const core::GridTaskResult result = core::RunGridTask(
+            *task.target, task.task_scale, *task.sensitive, exo, config);
+        mae.Add(result.mae);
+        rd.Add(result.fairness.rd);
+        second.Add(task.task == data::Task::kCrime ? result.fairness.prd
+                                                   : result.fairness.nrd);
+      }
+      std::cerr << "[table5] " << task_name << " " << spec.label << " mae="
+                << mae.Mean() << " rd=" << rd.Mean() << "\n";
+      table.AddRow({task_name, spec.label,
+                    spec.lambda > 0.0 ? TextTable::Num(spec.lambda, 1) : "/",
+                    TextTable::MeanStd(mae.Mean(), mae.StdDev()),
+                    TextTable::MeanStd(rd.Mean(), rd.StdDev(), 1),
+                    TextTable::MeanStd(second.Mean(), second.StdDev(), 1)});
+    }
+  }
+  EmitTable("table5_fairness", table);
+  std::cout << "[table5] total " << total.ElapsedSeconds() << " s\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace equitensor
+
+int main() { return equitensor::bench::Main(); }

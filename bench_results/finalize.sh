@@ -1,0 +1,17 @@
+#!/bin/bash
+# Assembles /root/repo/bench_output.txt from all completed bench logs.
+cd /root/repo/bench_results
+{
+  for b in bench_kernels bench_table3_utility bench_table4_adversary bench_table5_fairness \
+           bench_fig4_alpha_sweep bench_fig5_weight_curves bench_fig6_lambda_sweep \
+           bench_ablation_corruption bench_ablation_transfer bench_ablation_weighting; do
+    if [ -f "$b.log" ]; then
+      echo "############################################################"
+      echo "### $b"
+      echo "############################################################"
+      cat "$b.log"
+      echo
+    fi
+  done
+} > /root/repo/bench_output.txt
+echo "wrote /root/repo/bench_output.txt ($(wc -l < /root/repo/bench_output.txt) lines)"

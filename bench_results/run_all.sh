@@ -1,0 +1,10 @@
+#!/bin/bash
+cd /root/repo/bench_results
+export ET_BENCH_SCALE=1 ET_BENCH_SEEDS=3
+for b in bench_fig5_weight_curves bench_fig4_alpha_sweep bench_table3_utility bench_fig6_lambda_sweep bench_table4_adversary bench_table5_fairness; do
+  echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
+  /root/repo/build/bench/$b > $b.log 2>&1
+  echo "=== DONE $b exit=$? ($(date +%H:%M:%S)) ==="
+done
+/root/repo/build/bench/bench_kernels --benchmark_min_time=0.2s > bench_kernels.log 2>&1
+echo ALL_BENCHES_DONE

@@ -1,0 +1,15 @@
+#!/bin/bash
+cd /root/repo/bench_results
+run() {
+  echo "=== RUNNING $1 scale=$2 seeds=$3 ($(date +%H:%M:%S)) ==="
+  ET_BENCH_SCALE=$2 ET_BENCH_SEEDS=$3 /root/repo/build/bench/$1 > $1.log 2>&1
+  echo "=== DONE $1 exit=$? ($(date +%H:%M:%S)) ==="
+}
+run bench_table4_adversary 0.5 3
+run bench_table5_fairness 0.5 2
+run bench_ablation_weighting 0.4 3
+run bench_ablation_transfer 0.4 3
+run bench_ablation_corruption 0.4 3
+/root/repo/build/bench/bench_kernels --benchmark_min_time=0.1s > bench_kernels.log 2>&1
+echo "=== DONE bench_kernels ==="
+echo ALL_FINAL_DONE

@@ -1,0 +1,88 @@
+// The paper's §1 motivating example: dockless bikeshare demand
+// prediction. Compares three feature regimes on next-hour demand —
+// history only, hand-picked oracle features (weather + slope +
+// bikelanes), and an income-fair EquiTensor — and reports both
+// accuracy (MAE) and equity (RD / NRD with income as the sensitive
+// attribute). Underestimating demand in underserved neighborhoods
+// (negative NRD) is the harm this intervention targets.
+
+#include <iostream>
+
+#include "core/downstream.h"
+#include "core/equitensor.h"
+#include "data/generators.h"
+#include "util/table.h"
+
+using namespace equitensor;
+
+int main() {
+  data::CityConfig city;
+  city.width = 10;
+  city.height = 8;
+  city.hours = 24 * 30;
+  city.seed = 5;
+  std::cout << "Building the city (30 days, 23 datasets)...\n";
+  const data::UrbanDataBundle bundle = data::BuildSeattleAnalog(city);
+
+  // Train an income-fair EquiTensor over all 23 inputs.
+  core::EquiTensorConfig config;
+  config.cdae.grid_w = city.width;
+  config.cdae.grid_h = city.height;
+  config.cdae.window = 24;
+  config.cdae.latent_channels = 4;
+  config.cdae.encoder_filters = {6, 12, 1};
+  config.cdae.shared_filters = {8};
+  config.cdae.decoder_filters = {8};
+  config.cdae.disentangle = true;
+  config.fairness = core::FairnessMode::kAdversarial;
+  config.lambda = 2.0;
+  config.epochs = 4;
+  config.steps_per_epoch = 10;
+  config.batch_size = 4;
+  std::cout << "Training an income-fair EquiTensor (lambda = "
+            << config.lambda << ")...\n";
+  core::EquiTensorTrainer trainer(config, &bundle.datasets,
+                                  &bundle.income_map);
+  trainer.Train();
+  const Tensor equitensor = trainer.Materialize();
+
+  // Downstream: next-hour bikeshare demand.
+  core::GridTaskConfig task;
+  task.history = 24;
+  task.horizon = 1;
+  task.epochs = 10;
+  task.steps_per_epoch = 20;
+  task.batch_size = 4;
+  task.eval_stride = 4;
+  task.predictor.history = 24;
+  task.predictor.history_filters = {6, 12};
+  task.predictor.exo_filters = {6};
+  task.predictor.head_filters = {12, 1};
+
+  const core::OracleExoProvider oracle(&bundle, data::Task::kBikeshare);
+  const core::RepresentationExoProvider fair(&equitensor);
+
+  TextTable table({"Features", "MAE (scaled)", "RD", "NRD"});
+  auto run = [&](const std::string& label, const core::ExoProvider* exo) {
+    const core::GridTaskResult result =
+        core::RunGridTask(bundle.bikeshare, bundle.bikeshare_scale,
+                          bundle.income_map, exo, task);
+    table.AddRow({label, TextTable::Num(result.mae, 3),
+                  TextTable::Num(result.fairness.rd, 1),
+                  TextTable::Num(result.fairness.nrd, 1)});
+    std::cout << "  " << label << ": MAE " << result.mae << ", RD "
+              << result.fairness.rd << ", NRD " << result.fairness.nrd
+              << " (" << result.eval_samples << " eval windows)\n";
+  };
+  std::cout << "Training downstream predictors...\n";
+  run("History only", nullptr);
+  run("Oracle (weather+slope+lanes)", &oracle);
+  run("EquiTensor (income-fair)", &fair);
+
+  std::cout << "\n" << table;
+  std::cout << "Reading the table: RD/NRD of 0 is perfectly equitable; a\n"
+               "negative NRD means demand in low-income cells is\n"
+               "under-predicted more than in high-income cells, starving\n"
+               "those neighborhoods of rebalanced bikes.\n";
+  return 0;
+}

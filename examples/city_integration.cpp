@@ -1,0 +1,85 @@
+// Data-integration walkthrough (§3.1): builds the full 23-dataset
+// inventory of Table 2 from the synthetic city, prints the alignment
+// result for each (kind, shape, scale, imputation), demonstrates the
+// three rasterizers, and shows the 24-hour window sampler output that
+// feeds the CDAE.
+
+#include <iomanip>
+#include <iostream>
+
+#include "data/generators.h"
+#include "data/preprocess.h"
+#include "data/windows.h"
+#include "geo/rasterize.h"
+
+using namespace equitensor;
+
+int main() {
+  data::CityConfig city;
+  city.width = 12;
+  city.height = 10;
+  city.hours = 24 * 20;
+  city.seed = 3;
+
+  std::cout << "=== 1. Rasterization primitives ===\n";
+  const geo::GridSpec grid{city.width, city.height, 0.0, 0.0, city.cell_km};
+  {
+    // Points: count events per cell.
+    const std::vector<geo::Point> pois = {{0.5, 0.5}, {0.7, 0.2}, {11.5, 9.5}};
+    const Tensor counts = geo::RasterizePoints(pois, grid);
+    std::cout << "points   -> cell(0,0)=" << counts.at({0, 0})
+              << " cell(11,9)=" << counts.at({11, 9}) << "\n";
+    // Lines: count segments per traversed cell.
+    const std::vector<geo::Polyline> street = {{{0.2, 5.5}, {11.8, 5.5}}};
+    const Tensor segs = geo::RasterizeLines(street, grid);
+    std::cout << "lines    -> row 5 coverage = " << segs.Sum()
+              << " cells touched\n";
+    // Regions: proportional-area allocation.
+    const geo::ValuedRegion block = {
+        {{1.5, 1.5}, {3.5, 1.5}, {3.5, 2.5}, {1.5, 2.5}}, 100.0};
+    const Tensor alloc = geo::RasterizeRegions({block}, grid);
+    std::cout << "regions  -> value mass preserved: " << alloc.Sum()
+              << " of 100\n";
+  }
+
+  std::cout << "\n=== 2. The 23-dataset inventory (Table 2) ===\n";
+  const data::UrbanDataBundle bundle = data::BuildSeattleAnalog(city);
+  std::cout << std::left << std::setw(22) << "dataset" << std::setw(17)
+            << "kind" << std::setw(18) << "aligned shape" << "max-abs scale\n";
+  for (const auto& ds : bundle.datasets) {
+    std::cout << std::left << std::setw(22) << ds.name << std::setw(17)
+              << data::DatasetKindName(ds.kind) << std::setw(18)
+              << ds.tensor.ShapeString() << ds.scale << "\n";
+  }
+
+  std::cout << "\n=== 3. Sensitive attributes (block groups -> grid) ===\n";
+  std::cout << "race map: mean white fraction "
+            << bundle.race_map.Mean() << " (min " << bundle.race_map.Min()
+            << ", max " << bundle.race_map.Max() << ")\n";
+  std::cout << "income map: mean high-income fraction "
+            << bundle.income_map.Mean() << "\n";
+
+  std::cout << "\n=== 4. Training windows (overlapping 24 h samples) ===\n";
+  data::WindowSampler sampler(&bundle.datasets, 24);
+  std::cout << "horizon " << sampler.hours() << " h -> "
+            << sampler.NumWindows() << " overlapping samples, "
+            << sampler.NonOverlappingStarts().size()
+            << " non-overlapping (for materialization)\n";
+  const auto batch = sampler.MakeBatch({0, 1});
+  std::cout << "a 2-sample batch carries " << batch.size()
+            << " tensors, e.g. " << bundle.datasets[0].name << " -> "
+            << batch[0].ShapeString() << ", "
+            << bundle.datasets.back().name << " -> "
+            << batch.back().ShapeString() << "\n";
+
+  std::cout << "\n=== 5. Denoising corruption (15% of cells -> -1) ===\n";
+  Rng rng(1);
+  const Tensor corrupted = data::Corrupt(batch[0], 0.15, rng);
+  int64_t corrupted_count = 0;
+  for (int64_t i = 0; i < corrupted.size(); ++i) {
+    if (corrupted[i] == -1.0f) ++corrupted_count;
+  }
+  std::cout << corrupted_count << " of " << corrupted.size()
+            << " cells corrupted\n";
+  return 0;
+}

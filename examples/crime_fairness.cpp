@@ -1,0 +1,127 @@
+// Crime-prediction fairness walkthrough: shows that (a) a probe can
+// recover the racial composition of a neighborhood from an ordinary
+// integrated representation, (b) adversarial training with the
+// disentangling decoder removes most of that signal, and (c) the
+// fairness metrics of downstream crime predictions improve when the
+// fair representation is used.
+
+#include <iostream>
+
+#include "core/downstream.h"
+#include "core/equitensor.h"
+#include "core/probe.h"
+#include "data/generators.h"
+#include "tensor/tensor_ops.h"
+#include "util/ascii_map.h"
+
+using namespace equitensor;
+
+int main() {
+  data::CityConfig city;
+  city.width = 10;
+  city.height = 8;
+  city.hours = 24 * 30;
+  city.seed = 9;
+  std::cout << "Building the city (reported crime reflects biased policing\n"
+               "by construction: intensity rises with non-white share)...\n";
+  const data::UrbanDataBundle bundle = data::BuildSeattleAnalog(city);
+
+  core::EquiTensorConfig base;
+  base.cdae.grid_w = city.width;
+  base.cdae.grid_h = city.height;
+  base.cdae.window = 24;
+  base.cdae.latent_channels = 4;
+  base.cdae.encoder_filters = {6, 12, 1};
+  base.cdae.shared_filters = {8};
+  base.cdae.decoder_filters = {8};
+  base.epochs = 4;
+  base.steps_per_epoch = 10;
+  base.batch_size = 4;
+
+  // 1. Fairness-oblivious core model.
+  std::cout << "\n[1/3] Training the fairness-oblivious core model...\n";
+  core::EquiTensorTrainer core_trainer(base, &bundle.datasets, nullptr);
+  core_trainer.Train();
+  const Tensor z_core = core_trainer.Materialize();
+
+  // 2. Race-fair EquiTensor (adversary + disentangling decoder).
+  std::cout << "[2/3] Training the race-fair EquiTensor (lambda = 2)...\n";
+  core::EquiTensorConfig fair = base;
+  fair.fairness = core::FairnessMode::kAdversarial;
+  fair.cdae.disentangle = true;
+  fair.lambda = 2.0;
+  core::EquiTensorTrainer fair_trainer(fair, &bundle.datasets,
+                                       &bundle.race_map);
+  fair_trainer.Train();
+  const Tensor z_fair = fair_trainer.Materialize();
+
+  // 3. Probe both with a freshly trained adversary (§3.5) and compare
+  //    against the Gaussian-noise ceiling.
+  std::cout << "[3/3] Probing both representations for racial signal...\n";
+  core::ProbeConfig probe;
+  probe.window = 24;
+  probe.epochs = 3;
+  probe.steps_per_epoch = 10;
+  probe.batch_size = 4;
+  const double core_leak =
+      core::ProbeSensitiveLeakage(z_core, bundle.race_map, probe);
+  const double fair_leak =
+      core::ProbeSensitiveLeakage(z_fair, bundle.race_map, probe);
+  const Tensor noise = core::GaussianNoiseRepresentation(
+      4, city.width, city.height, z_core.dim(3), 777);
+  const double ceiling =
+      core::ProbeSensitiveLeakage(noise, bundle.race_map, probe);
+
+  std::cout << "\nProbe MAE recovering the race map (higher = fairer):\n"
+            << "  core representation : " << core_leak << "\n"
+            << "  fair EquiTensor     : " << fair_leak << "\n"
+            << "  Gaussian noise      : " << ceiling << " (ceiling)\n";
+
+  // Visual check (§3.2: Z's spatial layout permits direct inspection):
+  // the time-averaged latent channel next to the race map. A channel
+  // of the *core* model often mirrors the demographic gradient; the
+  // fair model's channels should not.
+  const Tensor core_ch = MeanAxis(
+      Slice(z_core, {0, 0, 0, 0}, {1, city.width, city.height, z_core.dim(3)})
+          .Reshape({city.width, city.height, z_core.dim(3)}),
+      2);
+  const Tensor fair_ch = MeanAxis(
+      Slice(z_fair, {0, 0, 0, 0}, {1, city.width, city.height, z_fair.dim(3)})
+          .Reshape({city.width, city.height, z_fair.dim(3)}),
+      2);
+  std::cout << "\n"
+            << RenderAsciiMaps({bundle.race_map, core_ch, fair_ch},
+                               {"race map (white %)", "core Z ch.0",
+                                "fair Z ch.0"});
+
+  // Downstream crime prediction with each representation.
+  core::GridTaskConfig task;
+  task.history = 24;
+  task.horizon = 3;
+  task.epochs = 10;
+  task.steps_per_epoch = 20;
+  task.batch_size = 4;
+  task.eval_stride = 4;
+  task.predictor.history = 24;
+  task.predictor.history_filters = {6, 12};
+  task.predictor.exo_filters = {6};
+  task.predictor.head_filters = {12, 1};
+
+  const core::RepresentationExoProvider core_exo(&z_core);
+  const core::RepresentationExoProvider fair_exo(&z_fair);
+  std::cout << "\nDownstream 3-hour crime prediction (race fairness):\n";
+  auto run = [&](const std::string& label, const core::ExoProvider* exo) {
+    const core::GridTaskResult result = core::RunGridTask(
+        bundle.crime, bundle.crime_scale, bundle.race_map, exo, task);
+    std::cout << "  " << label << ": MAE " << result.mae << ", RD "
+              << result.fairness.rd << ", PRD " << result.fairness.prd
+              << "\n";
+  };
+  run("history only      ", nullptr);
+  run("core features     ", &core_exo);
+  run("fair EquiTensor   ", &fair_exo);
+  std::cout << "\nPRD < 0 means crime is over-predicted in non-white\n"
+               "neighborhoods relative to white ones — the feedback loop\n"
+               "the EquiTensor intervention is designed to dampen.\n";
+  return 0;
+}

@@ -1,0 +1,333 @@
+#include "autograd/conv_ops.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace ag {
+namespace {
+
+// All three convolutions share the same skeleton: for each
+// (n, co, ci, kernel offset) pair we stream over the overlapping
+// region with contiguous inner loops over the last axis, which keeps
+// the hot loops vectorizable on the single-core targets we run on.
+
+struct Conv1dDims {
+  int64_t batch, cin, t, cout, k, pad;
+};
+
+Conv1dDims Check1d(const Tensor& x, const Tensor& w) {
+  ET_CHECK_EQ(x.rank(), 3) << "Conv1d input must be [N, C, T]";
+  ET_CHECK_EQ(w.rank(), 3) << "Conv1d weight must be [Cout, Cin, K]";
+  ET_CHECK_EQ(x.dim(1), w.dim(1)) << "Cin mismatch";
+  ET_CHECK_EQ(w.dim(2) % 2, 1) << "same padding requires odd kernel";
+  return {x.dim(0), x.dim(1), x.dim(2), w.dim(0), w.dim(2), w.dim(2) / 2};
+}
+
+void Conv1dForward(const Tensor& x, const Tensor& w, Tensor* out) {
+  const Conv1dDims d = Check1d(x, w);
+  for (int64_t n = 0; n < d.batch; ++n) {
+    for (int64_t co = 0; co < d.cout; ++co) {
+      float* dst = out->data() + (n * d.cout + co) * d.t;
+      for (int64_t ci = 0; ci < d.cin; ++ci) {
+        const float* src = x.data() + (n * d.cin + ci) * d.t;
+        const float* wrow = w.data() + (co * d.cin + ci) * d.k;
+        for (int64_t kk = 0; kk < d.k; ++kk) {
+          const float wv = wrow[kk];
+          const int64_t dt = kk - d.pad;
+          const int64_t t0 = std::max<int64_t>(0, -dt);
+          const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
+          for (int64_t t = t0; t < t1; ++t) dst[t] += wv * src[t + dt];
+        }
+      }
+    }
+  }
+}
+
+void Conv1dBackward(const Tensor& x, const Tensor& w, const Tensor& gout,
+                    Tensor* gx, Tensor* gw) {
+  const Conv1dDims d = Check1d(x, w);
+  for (int64_t n = 0; n < d.batch; ++n) {
+    for (int64_t co = 0; co < d.cout; ++co) {
+      const float* g = gout.data() + (n * d.cout + co) * d.t;
+      for (int64_t ci = 0; ci < d.cin; ++ci) {
+        const float* src = x.data() + (n * d.cin + ci) * d.t;
+        float* gsrc = gx ? gx->data() + (n * d.cin + ci) * d.t : nullptr;
+        const float* wrow = w.data() + (co * d.cin + ci) * d.k;
+        float* gwrow = gw ? gw->data() + (co * d.cin + ci) * d.k : nullptr;
+        for (int64_t kk = 0; kk < d.k; ++kk) {
+          const int64_t dt = kk - d.pad;
+          const int64_t t0 = std::max<int64_t>(0, -dt);
+          const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
+          if (gsrc) {
+            const float wv = wrow[kk];
+            for (int64_t t = t0; t < t1; ++t) gsrc[t + dt] += wv * g[t];
+          }
+          if (gwrow) {
+            double acc = 0.0;
+            for (int64_t t = t0; t < t1; ++t) acc += g[t] * src[t + dt];
+            gwrow[kk] += static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  }
+}
+
+struct Conv2dDims {
+  int64_t batch, cin, w, h, cout, k, pad;
+};
+
+Conv2dDims Check2d(const Tensor& x, const Tensor& wt) {
+  ET_CHECK_EQ(x.rank(), 4) << "Conv2d input must be [N, C, W, H]";
+  ET_CHECK_EQ(wt.rank(), 4) << "Conv2d weight must be [Cout, Cin, K, K]";
+  ET_CHECK_EQ(x.dim(1), wt.dim(1)) << "Cin mismatch";
+  ET_CHECK_EQ(wt.dim(2), wt.dim(3)) << "square kernels only";
+  ET_CHECK_EQ(wt.dim(2) % 2, 1) << "same padding requires odd kernel";
+  return {x.dim(0), x.dim(1), x.dim(2), x.dim(3),
+          wt.dim(0), wt.dim(2), wt.dim(2) / 2};
+}
+
+void Conv2dForward(const Tensor& x, const Tensor& wt, Tensor* out) {
+  const Conv2dDims d = Check2d(x, wt);
+  const int64_t plane = d.w * d.h;
+  for (int64_t n = 0; n < d.batch; ++n) {
+    for (int64_t co = 0; co < d.cout; ++co) {
+      float* dst = out->data() + (n * d.cout + co) * plane;
+      for (int64_t ci = 0; ci < d.cin; ++ci) {
+        const float* src = x.data() + (n * d.cin + ci) * plane;
+        const float* wmat = wt.data() + (co * d.cin + ci) * d.k * d.k;
+        for (int64_t kx = 0; kx < d.k; ++kx) {
+          const int64_t dxo = kx - d.pad;
+          const int64_t x0 = std::max<int64_t>(0, -dxo);
+          const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+          for (int64_t ky = 0; ky < d.k; ++ky) {
+            const float wv = wmat[kx * d.k + ky];
+            const int64_t dyo = ky - d.pad;
+            const int64_t y0 = std::max<int64_t>(0, -dyo);
+            const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+            for (int64_t xx = x0; xx < x1; ++xx) {
+              const float* srow = src + (xx + dxo) * d.h + dyo;
+              float* drow = dst + xx * d.h;
+              for (int64_t yy = y0; yy < y1; ++yy) {
+                drow[yy] += wv * srow[yy];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2dBackward(const Tensor& x, const Tensor& wt, const Tensor& gout,
+                    Tensor* gx, Tensor* gw) {
+  const Conv2dDims d = Check2d(x, wt);
+  const int64_t plane = d.w * d.h;
+  for (int64_t n = 0; n < d.batch; ++n) {
+    for (int64_t co = 0; co < d.cout; ++co) {
+      const float* g = gout.data() + (n * d.cout + co) * plane;
+      for (int64_t ci = 0; ci < d.cin; ++ci) {
+        const float* src = x.data() + (n * d.cin + ci) * plane;
+        float* gsrc = gx ? gx->data() + (n * d.cin + ci) * plane : nullptr;
+        const float* wmat = wt.data() + (co * d.cin + ci) * d.k * d.k;
+        float* gwmat = gw ? gw->data() + (co * d.cin + ci) * d.k * d.k : nullptr;
+        for (int64_t kx = 0; kx < d.k; ++kx) {
+          const int64_t dxo = kx - d.pad;
+          const int64_t x0 = std::max<int64_t>(0, -dxo);
+          const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+          for (int64_t ky = 0; ky < d.k; ++ky) {
+            const int64_t dyo = ky - d.pad;
+            const int64_t y0 = std::max<int64_t>(0, -dyo);
+            const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+            const float wv = wmat[kx * d.k + ky];
+            double acc = 0.0;
+            for (int64_t xx = x0; xx < x1; ++xx) {
+              const float* grow = g + xx * d.h;
+              const int64_t soff = (xx + dxo) * d.h + dyo;
+              if (gsrc) {
+                float* gsrow = gsrc + soff;
+                for (int64_t yy = y0; yy < y1; ++yy) {
+                  gsrow[yy] += wv * grow[yy];
+                }
+              }
+              if (gwmat) {
+                const float* srow = src + soff;
+                for (int64_t yy = y0; yy < y1; ++yy) {
+                  acc += grow[yy] * srow[yy];
+                }
+              }
+            }
+            if (gwmat) gwmat[kx * d.k + ky] += static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  }
+}
+
+struct Conv3dDims {
+  int64_t batch, cin, w, h, t, cout, k, pad;
+};
+
+Conv3dDims Check3d(const Tensor& x, const Tensor& wt) {
+  ET_CHECK_EQ(x.rank(), 5) << "Conv3d input must be [N, C, W, H, T]";
+  ET_CHECK_EQ(wt.rank(), 5) << "Conv3d weight must be [Cout, Cin, K, K, K]";
+  ET_CHECK_EQ(x.dim(1), wt.dim(1)) << "Cin mismatch";
+  ET_CHECK(wt.dim(2) == wt.dim(3) && wt.dim(3) == wt.dim(4))
+      << "cubic kernels only";
+  ET_CHECK_EQ(wt.dim(2) % 2, 1) << "same padding requires odd kernel";
+  return {x.dim(0), x.dim(1), x.dim(2), x.dim(3), x.dim(4),
+          wt.dim(0), wt.dim(2), wt.dim(2) / 2};
+}
+
+void Conv3dForward(const Tensor& x, const Tensor& wt, Tensor* out) {
+  const Conv3dDims d = Check3d(x, wt);
+  const int64_t vol = d.w * d.h * d.t;
+  const int64_t k3 = d.k * d.k * d.k;
+  for (int64_t n = 0; n < d.batch; ++n) {
+    for (int64_t co = 0; co < d.cout; ++co) {
+      float* dst = out->data() + (n * d.cout + co) * vol;
+      for (int64_t ci = 0; ci < d.cin; ++ci) {
+        const float* src = x.data() + (n * d.cin + ci) * vol;
+        const float* wcube = wt.data() + (co * d.cin + ci) * k3;
+        for (int64_t kx = 0; kx < d.k; ++kx) {
+          const int64_t dxo = kx - d.pad;
+          const int64_t x0 = std::max<int64_t>(0, -dxo);
+          const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+          for (int64_t ky = 0; ky < d.k; ++ky) {
+            const int64_t dyo = ky - d.pad;
+            const int64_t y0 = std::max<int64_t>(0, -dyo);
+            const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+            for (int64_t kt = 0; kt < d.k; ++kt) {
+              const float wv = wcube[(kx * d.k + ky) * d.k + kt];
+              const int64_t dto = kt - d.pad;
+              const int64_t t0 = std::max<int64_t>(0, -dto);
+              const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
+              for (int64_t xx = x0; xx < x1; ++xx) {
+                for (int64_t yy = y0; yy < y1; ++yy) {
+                  const float* srow =
+                      src + ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
+                  float* drow = dst + (xx * d.h + yy) * d.t;
+                  for (int64_t tt = t0; tt < t1; ++tt) {
+                    drow[tt] += wv * srow[tt];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv3dBackward(const Tensor& x, const Tensor& wt, const Tensor& gout,
+                    Tensor* gx, Tensor* gw) {
+  const Conv3dDims d = Check3d(x, wt);
+  const int64_t vol = d.w * d.h * d.t;
+  const int64_t k3 = d.k * d.k * d.k;
+  for (int64_t n = 0; n < d.batch; ++n) {
+    for (int64_t co = 0; co < d.cout; ++co) {
+      const float* g = gout.data() + (n * d.cout + co) * vol;
+      for (int64_t ci = 0; ci < d.cin; ++ci) {
+        const float* src = x.data() + (n * d.cin + ci) * vol;
+        float* gsrc = gx ? gx->data() + (n * d.cin + ci) * vol : nullptr;
+        const float* wcube = wt.data() + (co * d.cin + ci) * k3;
+        float* gwcube = gw ? gw->data() + (co * d.cin + ci) * k3 : nullptr;
+        for (int64_t kx = 0; kx < d.k; ++kx) {
+          const int64_t dxo = kx - d.pad;
+          const int64_t x0 = std::max<int64_t>(0, -dxo);
+          const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+          for (int64_t ky = 0; ky < d.k; ++ky) {
+            const int64_t dyo = ky - d.pad;
+            const int64_t y0 = std::max<int64_t>(0, -dyo);
+            const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+            for (int64_t kt = 0; kt < d.k; ++kt) {
+              const int64_t dto = kt - d.pad;
+              const int64_t t0 = std::max<int64_t>(0, -dto);
+              const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
+              const float wv = wcube[(kx * d.k + ky) * d.k + kt];
+              double acc = 0.0;
+              for (int64_t xx = x0; xx < x1; ++xx) {
+                for (int64_t yy = y0; yy < y1; ++yy) {
+                  const int64_t soff =
+                      ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
+                  const float* grow = g + (xx * d.h + yy) * d.t;
+                  if (gsrc) {
+                    float* gsrow = gsrc + soff;
+                    for (int64_t tt = t0; tt < t1; ++tt) {
+                      gsrow[tt] += wv * grow[tt];
+                    }
+                  }
+                  if (gwcube) {
+                    const float* srow = src + soff;
+                    for (int64_t tt = t0; tt < t1; ++tt) {
+                      acc += grow[tt] * srow[tt];
+                    }
+                  }
+                }
+              }
+              if (gwcube) {
+                gwcube[(kx * d.k + ky) * d.k + kt] += static_cast<float>(acc);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Builds the Variable wrapper shared by the three convolutions.
+template <typename ForwardFn, typename BackwardFn>
+Variable MakeConv(const char* name, const Variable& x, const Variable& w,
+                  std::vector<int64_t> out_shape, ForwardFn forward,
+                  BackwardFn backward) {
+  Tensor out(std::move(out_shape));
+  forward(x.value(), w.value(), &out);
+  auto x_node = x.node();
+  auto w_node = w.node();
+  return Variable::MakeOp(
+      name, std::move(out), {x, w},
+      [x_node, w_node, backward](const AutogradNode& n) {
+        Tensor gx_storage, gw_storage;
+        Tensor* gx = nullptr;
+        Tensor* gw = nullptr;
+        if (x_node->requires_grad) {
+          gx_storage = Tensor(x_node->value.shape());
+          gx = &gx_storage;
+        }
+        if (w_node->requires_grad) {
+          gw_storage = Tensor(w_node->value.shape());
+          gw = &gw_storage;
+        }
+        backward(x_node->value, w_node->value, n.grad, gx, gw);
+        if (gx) x_node->AccumulateGrad(gx_storage);
+        if (gw) w_node->AccumulateGrad(gw_storage);
+      });
+}
+
+}  // namespace
+
+Variable Conv1d(const Variable& x, const Variable& w) {
+  const Conv1dDims d = Check1d(x.value(), w.value());
+  return MakeConv("conv1d", x, w, {d.batch, d.cout, d.t}, Conv1dForward,
+                  Conv1dBackward);
+}
+
+Variable Conv2d(const Variable& x, const Variable& w) {
+  const Conv2dDims d = Check2d(x.value(), w.value());
+  return MakeConv("conv2d", x, w, {d.batch, d.cout, d.w, d.h}, Conv2dForward,
+                  Conv2dBackward);
+}
+
+Variable Conv3d(const Variable& x, const Variable& w) {
+  const Conv3dDims d = Check3d(x.value(), w.value());
+  return MakeConv("conv3d", x, w, {d.batch, d.cout, d.w, d.h, d.t},
+                  Conv3dForward, Conv3dBackward);
+}
+
+}  // namespace ag
+}  // namespace equitensor

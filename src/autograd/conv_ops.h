@@ -1,0 +1,31 @@
+#ifndef EQUITENSOR_AUTOGRAD_CONV_OPS_H_
+#define EQUITENSOR_AUTOGRAD_CONV_OPS_H_
+
+#include "autograd/variable.h"
+
+namespace equitensor {
+namespace ag {
+
+/// Convolutions with stride 1 and "same" zero padding (odd kernels),
+/// matching the paper's layers (kernel size 3, stride 1, §3.2).
+///
+/// Layout conventions:
+///   1D (time-only)      x: [N, C, T]        w: [Cout, Cin, K]
+///   2D (space-only)     x: [N, C, W, H]     w: [Cout, Cin, K, K]
+///   3D (space + time)   x: [N, C, W, H, T]  w: [Cout, Cin, K, K, K]
+///
+/// Bias is applied separately via ag::AddBias so layers can opt out.
+
+/// Temporal convolution over [N, Cin, T] -> [N, Cout, T].
+Variable Conv1d(const Variable& x, const Variable& w);
+
+/// Spatial convolution over [N, Cin, W, H] -> [N, Cout, W, H].
+Variable Conv2d(const Variable& x, const Variable& w);
+
+/// Spatio-temporal convolution over [N, Cin, W, H, T] -> [N, Cout, W, H, T].
+Variable Conv3d(const Variable& x, const Variable& w);
+
+}  // namespace ag
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_AUTOGRAD_CONV_OPS_H_

@@ -1,0 +1,75 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace equitensor {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Tensor> inputs, const std::vector<bool>& requires_grad,
+    double epsilon, double abs_tol, double rel_tol) {
+  ET_CHECK_EQ(inputs.size(), requires_grad.size());
+
+  // Analytic pass.
+  std::vector<Variable> vars;
+  vars.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    vars.emplace_back(inputs[i], requires_grad[i]);
+  }
+  Variable loss = fn(vars);
+  ET_CHECK_EQ(loss.size(), 1) << "grad check requires a scalar loss";
+  Backward(loss);
+
+  GradCheckResult result;
+  result.ok = true;
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (!requires_grad[i]) continue;
+    ET_CHECK(vars[i].grad_ready())
+        << "no gradient reached input " << i << " — op graph disconnected?";
+    const Tensor& analytic = vars[i].grad();
+    for (int64_t j = 0; j < inputs[i].size(); ++j) {
+      const float saved = inputs[i][j];
+      // f(x + eps).
+      inputs[i][j] = saved + static_cast<float>(epsilon);
+      std::vector<Variable> plus_vars;
+      for (size_t k = 0; k < inputs.size(); ++k) {
+        plus_vars.emplace_back(inputs[k], false);
+      }
+      const double f_plus = static_cast<double>(fn(plus_vars).scalar());
+      // f(x - eps).
+      inputs[i][j] = saved - static_cast<float>(epsilon);
+      std::vector<Variable> minus_vars;
+      for (size_t k = 0; k < inputs.size(); ++k) {
+        minus_vars.emplace_back(inputs[k], false);
+      }
+      const double f_minus = static_cast<double>(fn(minus_vars).scalar());
+      inputs[i][j] = saved;
+
+      const double numeric = (f_plus - f_minus) / (2.0 * epsilon);
+      const double got = static_cast<double>(analytic[j]);
+      const double abs_err = std::fabs(got - numeric);
+      const double rel_err =
+          abs_err / std::max(1e-12, std::fabs(numeric));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      if (std::fabs(numeric) > 1e-6) {
+        result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      }
+      if (abs_err > abs_tol + rel_tol * std::fabs(numeric)) {
+        result.ok = false;
+        if (result.detail.empty()) {
+          std::ostringstream os;
+          os << "input " << i << " element " << j << ": analytic=" << got
+             << " numeric=" << numeric << " abs_err=" << abs_err;
+          result.detail = os.str();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace equitensor

@@ -1,0 +1,32 @@
+#ifndef EQUITENSOR_AUTOGRAD_GRAD_CHECK_H_
+#define EQUITENSOR_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace equitensor {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool ok = false;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::string detail;  // Human-readable description of the worst entry.
+};
+
+/// Verifies the analytic gradient of `fn` with central finite
+/// differences. `fn` must build a fresh graph from the given leaf
+/// inputs and return a rank-0 loss. Every input with requires_grad is
+/// perturbed element by element. Tolerance is on
+/// |analytic - numeric| <= abs_tol + rel_tol * |numeric|.
+GradCheckResult CheckGradients(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Tensor> inputs, const std::vector<bool>& requires_grad,
+    double epsilon = 1e-3, double abs_tol = 2e-2, double rel_tol = 5e-2);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,418 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace ag {
+namespace {
+
+// Shared plumbing for elementwise binary ops with same-shape inputs.
+Variable Binary(const char* name, const Variable& a, const Variable& b,
+                float (*fwd)(float, float),
+                void (*bwd)(float a, float b, float g, float* da, float* db)) {
+  ET_CHECK(a.value().SameShape(b.value()))
+      << name << ": " << a.value().ShapeString() << " vs "
+      << b.value().ShapeString();
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] = fwd(a.value()[i], b.value()[i]);
+  }
+  auto a_node = a.node();
+  auto b_node = b.node();
+  return Variable::MakeOp(
+      name, std::move(out), {a, b}, [a_node, b_node, bwd](const AutogradNode& n) {
+        Tensor da(a_node->value.shape());
+        Tensor db(b_node->value.shape());
+        for (int64_t i = 0; i < n.grad.size(); ++i) {
+          float ga = 0.0f, gb = 0.0f;
+          bwd(a_node->value[i], b_node->value[i], n.grad[i], &ga, &gb);
+          da[i] = ga;
+          db[i] = gb;
+        }
+        if (a_node->requires_grad) a_node->AccumulateGrad(da);
+        if (b_node->requires_grad) b_node->AccumulateGrad(db);
+      });
+}
+
+// Unary op where the local derivative depends only on the output value.
+Variable UnaryFromOutput(const char* name, const Variable& a,
+                         float (*fwd)(float), float (*dout)(float out)) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < out.size(); ++i) out[i] = fwd(a.value()[i]);
+  auto a_node = a.node();
+  return Variable::MakeOp(
+      name, std::move(out), {a}, [a_node, dout](const AutogradNode& n) {
+        if (!a_node->requires_grad) return;
+        Tensor da(a_node->value.shape());
+        for (int64_t i = 0; i < n.grad.size(); ++i) {
+          da[i] = n.grad[i] * dout(n.value[i]);
+        }
+        a_node->AccumulateGrad(da);
+      });
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  return Binary(
+      "add", a, b, [](float x, float y) { return x + y; },
+      [](float, float, float g, float* da, float* db) {
+        *da = g;
+        *db = g;
+      });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return Binary(
+      "sub", a, b, [](float x, float y) { return x - y; },
+      [](float, float, float g, float* da, float* db) {
+        *da = g;
+        *db = -g;
+      });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  return Binary(
+      "mul", a, b, [](float x, float y) { return x * y; },
+      [](float x, float y, float g, float* da, float* db) {
+        *da = g * y;
+        *db = g * x;
+      });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  Tensor out = equitensor::AddScalar(a.value(), s);
+  auto a_node = a.node();
+  return Variable::MakeOp("add_scalar", std::move(out), {a},
+                          [a_node](const AutogradNode& n) {
+                            if (a_node->requires_grad) {
+                              a_node->AccumulateGrad(n.grad);
+                            }
+                          });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  Tensor out = equitensor::MulScalar(a.value(), s);
+  auto a_node = a.node();
+  return Variable::MakeOp("mul_scalar", std::move(out), {a},
+                          [a_node, s](const AutogradNode& n) {
+                            if (!a_node->requires_grad) return;
+                            a_node->AccumulateGrad(
+                                equitensor::MulScalar(n.grad, s));
+                          });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable Relu(const Variable& a) {
+  return UnaryFromOutput(
+      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float out) { return out > 0.0f ? 1.0f : 0.0f; });
+}
+
+Variable Sigmoid(const Variable& a) {
+  return UnaryFromOutput(
+      "sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float out) { return out * (1.0f - out); });
+}
+
+Variable Tanh(const Variable& a) {
+  return UnaryFromOutput(
+      "tanh", a, [](float x) { return std::tanh(x); },
+      [](float out) { return 1.0f - out * out; });
+}
+
+Variable Exp(const Variable& a) {
+  return UnaryFromOutput(
+      "exp", a, [](float x) { return std::exp(x); },
+      [](float out) { return out; });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor out = equitensor::MatMul(a.value(), b.value());
+  auto a_node = a.node();
+  auto b_node = b.node();
+  return Variable::MakeOp(
+      "matmul", std::move(out), {a, b}, [a_node, b_node](const AutogradNode& n) {
+        // dA = G * B^T ; dB = A^T * G.
+        if (a_node->requires_grad) {
+          a_node->AccumulateGrad(
+              equitensor::MatMul(n.grad, Transpose2d(b_node->value)));
+        }
+        if (b_node->requires_grad) {
+          b_node->AccumulateGrad(
+              equitensor::MatMul(Transpose2d(a_node->value), n.grad));
+        }
+      });
+}
+
+Variable AddBias(const Variable& x, const Variable& bias, int channel_axis) {
+  const Tensor& xv = x.value();
+  const int rank = xv.rank();
+  if (channel_axis < 0) channel_axis += rank;
+  ET_CHECK(channel_axis >= 0 && channel_axis < rank);
+  ET_CHECK_EQ(bias.rank(), 1);
+  const int64_t channels = xv.dim(channel_axis);
+  ET_CHECK_EQ(bias.value().dim(0), channels);
+
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < channel_axis; ++d) outer *= xv.dim(d);
+  for (int d = channel_axis + 1; d < rank; ++d) inner *= xv.dim(d);
+
+  Tensor out(xv.shape());
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t c = 0; c < channels; ++c) {
+      const float bv = bias.value()[c];
+      const float* src = xv.data() + (o * channels + c) * inner;
+      float* dst = out.data() + (o * channels + c) * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] = src[i] + bv;
+    }
+  }
+  auto x_node = x.node();
+  auto b_node = bias.node();
+  return Variable::MakeOp(
+      "add_bias", std::move(out), {x, bias},
+      [x_node, b_node, outer, channels, inner](const AutogradNode& n) {
+        if (x_node->requires_grad) x_node->AccumulateGrad(n.grad);
+        if (b_node->requires_grad) {
+          Tensor db({channels});
+          for (int64_t o = 0; o < outer; ++o) {
+            for (int64_t c = 0; c < channels; ++c) {
+              const float* g = n.grad.data() + (o * channels + c) * inner;
+              double sum = 0.0;
+              for (int64_t i = 0; i < inner; ++i) sum += g[i];
+              db[c] += static_cast<float>(sum);
+            }
+          }
+          b_node->AccumulateGrad(db);
+        }
+      });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int axis) {
+  ET_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  Tensor out = equitensor::Concat(values, axis);
+
+  const int rank = parts[0].rank();
+  if (axis < 0) axis += rank;
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= out.dim(d);
+  for (int d = axis + 1; d < rank; ++d) inner *= out.dim(d);
+  const int64_t concat_dim = out.dim(axis);
+
+  std::vector<std::shared_ptr<AutogradNode>> nodes;
+  std::vector<int64_t> axis_dims;
+  nodes.reserve(parts.size());
+  for (const Variable& p : parts) {
+    nodes.push_back(p.node());
+    axis_dims.push_back(p.value().dim(axis));
+  }
+  return Variable::MakeOp(
+      "concat", std::move(out), parts,
+      [nodes, axis_dims, outer, inner, concat_dim](const AutogradNode& n) {
+        int64_t axis_offset = 0;
+        for (size_t p = 0; p < nodes.size(); ++p) {
+          const int64_t p_axis = axis_dims[p];
+          if (nodes[p]->requires_grad) {
+            Tensor dp(nodes[p]->value.shape());
+            for (int64_t o = 0; o < outer; ++o) {
+              const float* src =
+                  n.grad.data() + (o * concat_dim + axis_offset) * inner;
+              float* dst = dp.data() + o * p_axis * inner;
+              std::copy(src, src + p_axis * inner, dst);
+            }
+            nodes[p]->AccumulateGrad(dp);
+          }
+          axis_offset += p_axis;
+        }
+      });
+}
+
+Variable Slice(const Variable& x, const std::vector<int64_t>& offsets,
+               const std::vector<int64_t>& sizes) {
+  Tensor out = equitensor::Slice(x.value(), offsets, sizes);
+  auto x_node = x.node();
+  return Variable::MakeOp(
+      "slice", std::move(out), {x},
+      [x_node, offsets, sizes](const AutogradNode& n) {
+        if (!x_node->requires_grad) return;
+        Tensor dx(x_node->value.shape());
+        const int rank = dx.rank();
+        std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+        for (int64_t i = 0; i < n.grad.size(); ++i) {
+          int64_t rem = i;
+          for (int d = rank - 1; d >= 0; --d) {
+            index[static_cast<size_t>(d)] =
+                offsets[static_cast<size_t>(d)] +
+                rem % sizes[static_cast<size_t>(d)];
+            rem /= sizes[static_cast<size_t>(d)];
+          }
+          dx[dx.Offset(index)] += n.grad[i];
+        }
+        x_node->AccumulateGrad(dx);
+      });
+}
+
+Variable TileAt(const Variable& x, int axis, int64_t repeat) {
+  Tensor out = equitensor::TileAt(x.value(), axis, repeat);
+  const int rank = x.rank();
+  if (axis < 0) axis += rank + 1;
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= x.value().dim(d);
+  for (int d = axis; d < rank; ++d) inner *= x.value().dim(d);
+
+  auto x_node = x.node();
+  return Variable::MakeOp(
+      "tile_at", std::move(out), {x},
+      [x_node, outer, inner, repeat](const AutogradNode& n) {
+        if (!x_node->requires_grad) return;
+        Tensor dx(x_node->value.shape());
+        for (int64_t o = 0; o < outer; ++o) {
+          float* dst = dx.data() + o * inner;
+          for (int64_t r = 0; r < repeat; ++r) {
+            const float* src = n.grad.data() + (o * repeat + r) * inner;
+            for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+          }
+        }
+        x_node->AccumulateGrad(dx);
+      });
+}
+
+Variable Reshape(const Variable& x, std::vector<int64_t> new_shape) {
+  Tensor out = x.value().Reshape(std::move(new_shape));
+  auto x_node = x.node();
+  return Variable::MakeOp("reshape", std::move(out), {x},
+                          [x_node](const AutogradNode& n) {
+                            if (!x_node->requires_grad) return;
+                            x_node->AccumulateGrad(
+                                n.grad.Reshape(x_node->value.shape()));
+                          });
+}
+
+Variable MeanAxis(const Variable& x, int axis) {
+  const int rank = x.rank();
+  if (axis < 0) axis += rank;
+  ET_CHECK(axis >= 0 && axis < rank);
+  ET_CHECK_GT(rank, 1) << "MeanAxis on rank-1: use MeanAll";
+  Tensor out = equitensor::MeanAxis(x.value(), axis);
+  int64_t outer = 1, inner = 1;
+  const int64_t axis_dim = x.value().dim(axis);
+  for (int d = 0; d < axis; ++d) outer *= x.value().dim(d);
+  for (int d = axis + 1; d < rank; ++d) inner *= x.value().dim(d);
+
+  auto x_node = x.node();
+  return Variable::MakeOp(
+      "mean_axis", std::move(out), {x},
+      [x_node, outer, inner, axis_dim](const AutogradNode& n) {
+        if (!x_node->requires_grad) return;
+        Tensor dx(x_node->value.shape());
+        const float scale = 1.0f / static_cast<float>(axis_dim);
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* g = n.grad.data() + o * inner;
+          for (int64_t a = 0; a < axis_dim; ++a) {
+            float* dst = dx.data() + (o * axis_dim + a) * inner;
+            for (int64_t i = 0; i < inner; ++i) dst[i] = g[i] * scale;
+          }
+        }
+        x_node->AccumulateGrad(dx);
+      });
+}
+
+Variable MeanAll(const Variable& x) {
+  Tensor out = Tensor::Scalar(static_cast<float>(x.value().Mean()));
+  auto x_node = x.node();
+  const int64_t n_elems = x.size();
+  return Variable::MakeOp("mean_all", std::move(out), {x},
+                          [x_node, n_elems](const AutogradNode& n) {
+                            if (!x_node->requires_grad) return;
+                            Tensor dx(x_node->value.shape());
+                            const float g =
+                                n.grad[0] / static_cast<float>(n_elems);
+                            dx.Fill(g);
+                            x_node->AccumulateGrad(dx);
+                          });
+}
+
+Variable SumAll(const Variable& x) {
+  Tensor out = Tensor::Scalar(static_cast<float>(x.value().Sum()));
+  auto x_node = x.node();
+  return Variable::MakeOp("sum_all", std::move(out), {x},
+                          [x_node](const AutogradNode& n) {
+                            if (!x_node->requires_grad) return;
+                            Tensor dx(x_node->value.shape());
+                            dx.Fill(n.grad[0]);
+                            x_node->AccumulateGrad(dx);
+                          });
+}
+
+Variable MaeAgainst(const Variable& x, const Tensor& target) {
+  ET_CHECK(x.value().SameShape(target));
+  double sum = 0.0;
+  for (int64_t i = 0; i < target.size(); ++i) {
+    sum += std::fabs(x.value()[i] - target[i]);
+  }
+  Tensor out =
+      Tensor::Scalar(static_cast<float>(sum / static_cast<double>(target.size())));
+  auto x_node = x.node();
+  // Capture target by value: the caller may mutate/destroy it.
+  return Variable::MakeOp(
+      "mae_against", std::move(out), {x}, [x_node, target](const AutogradNode& n) {
+        if (!x_node->requires_grad) return;
+        Tensor dx(x_node->value.shape());
+        const float g = n.grad[0] / static_cast<float>(target.size());
+        for (int64_t i = 0; i < dx.size(); ++i) {
+          const float d = x_node->value[i] - target[i];
+          dx[i] = d > 0.0f ? g : (d < 0.0f ? -g : 0.0f);
+        }
+        x_node->AccumulateGrad(dx);
+      });
+}
+
+Variable Mae(const Variable& x, const Variable& y) {
+  ET_CHECK(x.value().SameShape(y.value()));
+  double sum = 0.0;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    sum += std::fabs(x.value()[i] - y.value()[i]);
+  }
+  Tensor out =
+      Tensor::Scalar(static_cast<float>(sum / static_cast<double>(x.size())));
+  auto x_node = x.node();
+  auto y_node = y.node();
+  return Variable::MakeOp(
+      "mae", std::move(out), {x, y}, [x_node, y_node](const AutogradNode& n) {
+        const float g = n.grad[0] / static_cast<float>(x_node->value.size());
+        Tensor dx(x_node->value.shape());
+        for (int64_t i = 0; i < dx.size(); ++i) {
+          const float d = x_node->value[i] - y_node->value[i];
+          dx[i] = d > 0.0f ? g : (d < 0.0f ? -g : 0.0f);
+        }
+        if (x_node->requires_grad) x_node->AccumulateGrad(dx);
+        if (y_node->requires_grad) {
+          x_node->requires_grad ? (void)0 : (void)0;
+          Tensor dy = equitensor::MulScalar(dx, -1.0f);
+          y_node->AccumulateGrad(dy);
+        }
+      });
+}
+
+Variable GradReverse(const Variable& x, float lambda) {
+  Tensor out = x.value();
+  auto x_node = x.node();
+  return Variable::MakeOp("grad_reverse", std::move(out), {x},
+                          [x_node, lambda](const AutogradNode& n) {
+                            if (!x_node->requires_grad) return;
+                            x_node->AccumulateGrad(
+                                equitensor::MulScalar(n.grad, -lambda));
+                          });
+}
+
+Variable Detach(const Variable& x) { return Variable(x.value(), false); }
+
+}  // namespace ag
+}  // namespace equitensor

@@ -1,0 +1,81 @@
+#ifndef EQUITENSOR_AUTOGRAD_OPS_H_
+#define EQUITENSOR_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace equitensor {
+namespace ag {
+
+/// Differentiable op set. All ops are eager: they compute the forward
+/// value immediately and record a backward closure on the tape.
+
+/// Elementwise a + b (same shape).
+Variable Add(const Variable& a, const Variable& b);
+/// Elementwise a - b.
+Variable Sub(const Variable& a, const Variable& b);
+/// Elementwise a * b.
+Variable Mul(const Variable& a, const Variable& b);
+/// a + s for a scalar constant s.
+Variable AddScalar(const Variable& a, float s);
+/// a * s for a scalar constant s.
+Variable MulScalar(const Variable& a, float s);
+/// Elementwise negation.
+Variable Neg(const Variable& a);
+
+/// Activations.
+Variable Relu(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+
+/// Elementwise exponential.
+Variable Exp(const Variable& a);
+
+/// Matrix product [m,k] x [k,n] -> [m,n].
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Adds a length-C bias vector along `channel_axis` of x.
+Variable AddBias(const Variable& x, const Variable& bias, int channel_axis);
+
+/// Concatenation along `axis`.
+Variable Concat(const std::vector<Variable>& parts, int axis);
+
+/// Sub-tensor extraction; backward scatters into the source region.
+Variable Slice(const Variable& x, const std::vector<int64_t>& offsets,
+               const std::vector<int64_t>& sizes);
+
+/// Inserts a new axis of length `repeat` at `axis` by duplication;
+/// backward sums over the repeats.
+Variable TileAt(const Variable& x, int axis, int64_t repeat);
+
+/// Same data, new shape of equal volume; gradients reshape back.
+Variable Reshape(const Variable& x, std::vector<int64_t> new_shape);
+
+/// Mean over one axis (axis removed); backward spreads evenly.
+Variable MeanAxis(const Variable& x, int axis);
+
+/// Rank-0 mean over all elements.
+Variable MeanAll(const Variable& x);
+/// Rank-0 sum over all elements.
+Variable SumAll(const Variable& x);
+
+/// Mean absolute error against a constant target: mean |x - target|.
+/// d/dx = sign(x - target)/n (0 where equal).
+Variable MaeAgainst(const Variable& x, const Tensor& target);
+
+/// Mean absolute error between two Variables (grads flow to both).
+Variable Mae(const Variable& x, const Variable& y);
+
+/// Gradient reversal (Ganin & Lempitsky): identity forward,
+/// multiplies the gradient by -lambda on the way back. Used by the
+/// Fair-CDAE baseline's prediction head.
+Variable GradReverse(const Variable& x, float lambda);
+
+/// Detaches x from the tape: same value, no gradient flow.
+Variable Detach(const Variable& x);
+
+}  // namespace ag
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_AUTOGRAD_OPS_H_

@@ -1,0 +1,134 @@
+#include "autograd/variable.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace equitensor {
+
+void AutogradNode::AccumulateGrad(const Tensor& delta) {
+  ET_CHECK(delta.SameShape(value))
+      << "gradient shape " << delta.ShapeString() << " != value shape "
+      << value.ShapeString() << " in op " << op_name;
+  if (!grad_ready) {
+    grad = delta;
+    grad_ready = true;
+    return;
+  }
+  for (int64_t i = 0; i < grad.size(); ++i) grad[i] += delta[i];
+}
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<AutogradNode>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->is_leaf = true;
+}
+
+const Tensor& Variable::value() const {
+  ET_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  ET_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  ET_CHECK(defined());
+  ET_CHECK(node_->grad_ready) << "gradient not computed for " << node_->op_name;
+  return node_->grad;
+}
+
+bool Variable::grad_ready() const { return defined() && node_->grad_ready; }
+
+void Variable::ZeroGrad() {
+  ET_CHECK(defined());
+  node_->grad_ready = false;
+  node_->grad = Tensor();
+}
+
+bool Variable::requires_grad() const {
+  ET_CHECK(defined());
+  return node_->requires_grad;
+}
+
+const std::string& Variable::op_name() const {
+  ET_CHECK(defined());
+  return node_->op_name;
+}
+
+float Variable::scalar() const {
+  ET_CHECK_EQ(value().size(), 1) << "scalar() on non-scalar variable";
+  return value()[0];
+}
+
+Variable Variable::MakeOp(
+    std::string op_name, Tensor value, std::vector<Variable> inputs,
+    std::function<void(const AutogradNode&)> backward_fn) {
+  bool requires_grad = false;
+  for (const Variable& in : inputs) {
+    ET_CHECK(in.defined()) << "undefined input to op " << op_name;
+    requires_grad = requires_grad || in.requires_grad();
+  }
+  Variable out;
+  out.node_ = std::make_shared<AutogradNode>();
+  out.node_->value = std::move(value);
+  out.node_->op_name = std::move(op_name);
+  out.node_->is_leaf = false;
+  out.node_->requires_grad = requires_grad;
+  if (requires_grad) {
+    out.node_->parents.reserve(inputs.size());
+    for (const Variable& in : inputs) out.node_->parents.push_back(in.node());
+    out.node_->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+void Backward(const Variable& root) {
+  ET_CHECK(root.defined());
+  ET_CHECK(root.requires_grad())
+      << "Backward() on a graph with no trainable inputs";
+
+  // Iterative post-order topological sort over parent edges.
+  std::vector<AutogradNode*> order;
+  std::unordered_set<AutogradNode*> visited;
+  struct Frame {
+    AutogradNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.node().get(), 0});
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      AutogradNode* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed the root with d(root)/d(root) = 1.
+  Tensor seed(root.value().shape());
+  seed.Fill(1.0f);
+  root.node()->AccumulateGrad(seed);
+
+  // Reverse topological order: every node's grad is complete before its
+  // backward_fn pushes into parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    AutogradNode* node = *it;
+    if (!node->grad_ready || !node->backward_fn) continue;
+    node->backward_fn(*node);
+  }
+}
+
+}  // namespace equitensor

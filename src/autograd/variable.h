@@ -1,0 +1,96 @@
+#ifndef EQUITENSOR_AUTOGRAD_VARIABLE_H_
+#define EQUITENSOR_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace equitensor {
+
+/// One node of the dynamic computation graph. Owns the forward value
+/// and (once backward runs) the accumulated gradient. Nodes are shared
+/// between Variable handles; the graph is defined by `parents` edges
+/// plus a `backward_fn` closure created by the op that produced the
+/// node.
+struct AutogradNode {
+  Tensor value;
+  Tensor grad;             // Valid only when grad_ready is true.
+  bool grad_ready = false; // Whether `grad` has been allocated/accumulated.
+  bool requires_grad = false;
+  bool is_leaf = true;
+  std::string op_name = "leaf";
+  std::vector<std::shared_ptr<AutogradNode>> parents;
+  /// Propagates this node's `grad` into the parents' grads.
+  std::function<void(const AutogradNode&)> backward_fn;
+
+  /// Adds `delta` into `grad`, allocating it on first use.
+  void AccumulateGrad(const Tensor& delta);
+};
+
+/// Handle to a computation-graph node. Cheap to copy (shared_ptr).
+/// Leaf Variables with requires_grad=true are trainable parameters;
+/// ops combine Variables into new interior nodes that remember how to
+/// backpropagate.
+class Variable {
+ public:
+  /// Null handle; most APIs reject it (defined()).
+  Variable() = default;
+
+  /// Leaf node wrapping `value`.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// Whether this handle points at a node.
+  bool defined() const { return node_ != nullptr; }
+
+  /// Forward value (must be defined).
+  const Tensor& value() const;
+  /// Mutable forward value — used by optimizers to update parameters
+  /// in place between graph constructions.
+  Tensor& mutable_value();
+
+  /// Accumulated gradient; only valid after Backward() has reached this
+  /// node. Check grad_ready() first.
+  const Tensor& grad() const;
+  bool grad_ready() const;
+
+  /// Clears the accumulated gradient (before a new backward pass).
+  void ZeroGrad();
+
+  bool requires_grad() const;
+  const std::string& op_name() const;
+
+  /// Shape helpers forwarded to the value tensor.
+  const std::vector<int64_t>& shape() const { return value().shape(); }
+  int rank() const { return value().rank(); }
+  int64_t size() const { return value().size(); }
+
+  /// Scalar read for rank-0 results (losses).
+  float scalar() const;
+
+  std::shared_ptr<AutogradNode>& node() { return node_; }
+  const std::shared_ptr<AutogradNode>& node() const { return node_; }
+
+  /// Constructs an interior node produced by an op. `backward_fn`
+  /// receives the finished node (with `grad` populated) and must
+  /// AccumulateGrad into each parent that requires grad.
+  static Variable MakeOp(std::string op_name, Tensor value,
+                         std::vector<Variable> inputs,
+                         std::function<void(const AutogradNode&)> backward_fn);
+
+ private:
+  std::shared_ptr<AutogradNode> node_;
+};
+
+/// Runs reverse-mode differentiation from `root` (typically a rank-0
+/// loss), seeding d(root)/d(root) = 1 and accumulating gradients into
+/// every reachable node with requires_grad. Interior activations also
+/// receive grads (needed by op closures); leaves keep them for the
+/// optimizer.
+void Backward(const Variable& root);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_AUTOGRAD_VARIABLE_H_

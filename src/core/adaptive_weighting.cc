@@ -1,0 +1,94 @@
+#include "core/adaptive_weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace core {
+
+const char* WeightingModeName(WeightingMode mode) {
+  switch (mode) {
+    case WeightingMode::kNone:
+      return "none";
+    case WeightingMode::kOurs:
+      return "ours";
+    case WeightingMode::kDwa:
+      return "dwa";
+    case WeightingMode::kUncertainty:
+      return "uncertainty";
+  }
+  return "?";
+}
+
+AdaptiveWeighter::AdaptiveWeighter(WeightingMode mode, int64_t dataset_count,
+                                   double alpha)
+    : mode_(mode),
+      dataset_count_(dataset_count),
+      alpha_(alpha),
+      weights_(static_cast<size_t>(dataset_count), 1.0) {
+  ET_CHECK_GT(dataset_count, 0);
+  ET_CHECK_GT(alpha, 0.0);
+}
+
+void AdaptiveWeighter::SetOptimalLosses(std::vector<double> optimal_losses) {
+  ET_CHECK_EQ(static_cast<int64_t>(optimal_losses.size()), dataset_count_);
+  for (double& loss : optimal_losses) loss = std::max(loss, 1e-8);
+  optimal_losses_ = std::move(optimal_losses);
+}
+
+void AdaptiveWeighter::SoftmaxWeights(const std::vector<double>& scores) {
+  // w_i = n * exp(r_i/alpha) / sum_j exp(r_j/alpha)  (Eq. 2).
+  double max_score = scores[0];
+  for (double s : scores) max_score = std::max(max_score, s);
+  double denom = 0.0;
+  std::vector<double> exps(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    exps[i] = std::exp((scores[i] - max_score) / alpha_);
+    denom += exps[i];
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    weights_[i] = static_cast<double>(dataset_count_) * exps[i] / denom;
+  }
+}
+
+void AdaptiveWeighter::Update(const std::vector<double>& epoch_losses) {
+  ET_CHECK_EQ(static_cast<int64_t>(epoch_losses.size()), dataset_count_);
+  switch (mode_) {
+    case WeightingMode::kNone:
+    case WeightingMode::kUncertainty:
+      return;  // Equal / externally managed weights.
+    case WeightingMode::kOurs: {
+      ET_CHECK(!optimal_losses_.empty())
+          << "kOurs requires SetOptimalLosses() before Update()";
+      // LP_i = L(t)_i / L(opt)_i, r_i = LP_i / mean(LP)  (Eq. 3).
+      std::vector<double> lp(epoch_losses.size());
+      double mean_lp = 0.0;
+      for (size_t i = 0; i < epoch_losses.size(); ++i) {
+        lp[i] = std::max(epoch_losses[i], 0.0) / optimal_losses_[i];
+        mean_lp += lp[i];
+      }
+      mean_lp /= static_cast<double>(lp.size());
+      if (mean_lp <= 0.0) return;
+      for (double& r : lp) r /= mean_lp;
+      SoftmaxWeights(lp);
+      return;
+    }
+    case WeightingMode::kDwa: {
+      history_.push_back(epoch_losses);
+      if (history_.size() < 3) return;  // Liu et al.: w = 1 for t <= 2.
+      const auto& prev = history_[history_.size() - 2];
+      const auto& prev2 = history_[history_.size() - 3];
+      std::vector<double> r(epoch_losses.size());
+      for (size_t i = 0; i < r.size(); ++i) {
+        r[i] = prev[i] / std::max(prev2[i], 1e-8);
+      }
+      SoftmaxWeights(r);
+      return;
+    }
+  }
+}
+
+}  // namespace core
+}  // namespace equitensor

@@ -1,0 +1,57 @@
+#ifndef EQUITENSOR_CORE_ADAPTIVE_WEIGHTING_H_
+#define EQUITENSOR_CORE_ADAPTIVE_WEIGHTING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace equitensor {
+namespace core {
+
+/// Which per-dataset loss-weighting scheme the trainer applies (§3.3).
+enum class WeightingMode {
+  kNone,         // Equal weights (the plain core model, Eq. 1).
+  kOurs,         // Progress relative to per-dataset optimal loss (Eq. 2-3).
+  kDwa,          // Dynamic Weight Average of Liu et al. [27] (comparator).
+  kUncertainty,  // Learned homoscedastic-uncertainty weights of Kendall
+                 // et al. [25]: L = Σ exp(-s_i)·L_i + s_i with trainable
+                 // s_i. Handled inside the trainer (the weights are
+                 // parameters, not a rule); AdaptiveWeighter only
+                 // mirrors them for logging.
+};
+
+const char* WeightingModeName(WeightingMode mode);
+
+/// Maintains the per-dataset loss weights w_i(t). Weights start at 1,
+/// always sum to n (softmax times n), and are updated once per epoch
+/// from that epoch's early-step mean losses (§3.3: the mean loss of
+/// the first 50 steps of each epoch).
+class AdaptiveWeighter {
+ public:
+  AdaptiveWeighter(WeightingMode mode, int64_t dataset_count, double alpha);
+
+  /// Required before the first Update() in kOurs mode: L(opt)_i, the
+  /// reconstruction error of a CDAE trained on dataset i alone.
+  void SetOptimalLosses(std::vector<double> optimal_losses);
+
+  /// Feeds one epoch's mean per-dataset losses and recomputes weights.
+  void Update(const std::vector<double>& epoch_losses);
+
+  const std::vector<double>& weights() const { return weights_; }
+  WeightingMode mode() const { return mode_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  void SoftmaxWeights(const std::vector<double>& scores);
+
+  WeightingMode mode_;
+  int64_t dataset_count_;
+  double alpha_;
+  std::vector<double> weights_;
+  std::vector<double> optimal_losses_;        // kOurs
+  std::vector<std::vector<double>> history_;  // kDwa: past epoch losses
+};
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_ADAPTIVE_WEIGHTING_H_

@@ -1,0 +1,83 @@
+#include "core/baselines.h"
+
+#include "autograd/ops.h"
+#include "data/preprocess.h"
+#include "models/early_fusion.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace core {
+
+EarlyFusionResult TrainEarlyFusion(
+    const EquiTensorConfig& config,
+    const std::vector<data::AlignedDataset>* datasets) {
+  ET_CHECK(datasets != nullptr && !datasets->empty());
+  data::WindowSampler sampler(datasets, config.cdae.window);
+  Rng rng(config.seed);
+  Rng init_rng = rng.Split();
+  models::EarlyFusionCdae model(config.cdae,
+                                EquiTensorTrainer::MakeSpecs(*datasets),
+                                init_rng);
+  nn::Adam optimizer(model.Parameters(), config.optimizer);
+
+  EarlyFusionResult result;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (int64_t step = 0; step < config.steps_per_epoch; ++step) {
+      const auto starts = sampler.SampleStarts(config.batch_size, rng);
+      const auto clean = sampler.MakeBatch(starts);
+      std::vector<Variable> corrupted;
+      std::vector<Variable> clean_vars;
+      corrupted.reserve(clean.size());
+      for (const Tensor& tensor : clean) {
+        corrupted.emplace_back(
+            data::Corrupt(tensor, config.cdae.corruption, rng), false);
+        clean_vars.emplace_back(tensor, false);
+      }
+      // Target: the *clean* fused stack; input: the corrupted stack.
+      const Tensor target = model.FuseInputs(clean_vars).value();
+      Variable fused = model.FuseInputs(corrupted);
+      Variable z = model.Encode(fused);
+      Variable recon = model.Decode(z);
+      Variable loss = ag::MaeAgainst(recon, target);
+      epoch_loss += loss.scalar();
+      Backward(loss);
+      optimizer.Step();
+    }
+    result.epoch_losses.push_back(epoch_loss /
+                                  static_cast<double>(config.steps_per_epoch));
+  }
+
+  // Materialize with non-overlapping, uncorrupted windows.
+  const auto starts = sampler.NonOverlappingStarts();
+  const int64_t window = config.cdae.window;
+  const int64_t k = config.cdae.latent_channels;
+  const int64_t w = config.cdae.grid_w;
+  const int64_t h = config.cdae.grid_h;
+  const int64_t t_total = static_cast<int64_t>(starts.size()) * window;
+  result.representation = Tensor({k, w, h, t_total});
+  const size_t batch = static_cast<size_t>(std::max<int64_t>(1, config.batch_size));
+  for (size_t begin = 0; begin < starts.size(); begin += batch) {
+    const size_t end = std::min(starts.size(), begin + batch);
+    const std::vector<int64_t> chunk(starts.begin() + begin,
+                                     starts.begin() + end);
+    const auto tensors = sampler.MakeBatch(chunk);
+    std::vector<Variable> inputs;
+    for (const Tensor& tensor : tensors) inputs.emplace_back(tensor, false);
+    const Variable z = model.Encode(model.FuseInputs(inputs));
+    const Tensor& zv = z.value();
+    for (size_t b = begin; b < end; ++b) {
+      const int64_t start = starts[b];
+      const int64_t local = static_cast<int64_t>(b - begin);
+      for (int64_t row = 0; row < k * w * h; ++row) {
+        const float* src = zv.data() + (local * k * w * h + row) * window;
+        float* dst = result.representation.data() + row * t_total + start;
+        std::copy(src, src + window, dst);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace equitensor

@@ -1,0 +1,31 @@
+#ifndef EQUITENSOR_CORE_BASELINES_H_
+#define EQUITENSOR_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "core/equitensor.h"
+
+namespace equitensor {
+namespace core {
+
+/// Result of training the early-fusion CDAE baseline (§4.2).
+struct EarlyFusionResult {
+  /// Materialized latent representation [K, W, H, T'].
+  Tensor representation;
+  /// Mean reconstruction MAE per epoch (on the fused stack).
+  std::vector<double> epoch_losses;
+};
+
+/// Trains the early-fusion CDAE on the given datasets and materializes
+/// its representation with non-overlapping windows, mirroring
+/// EquiTensorTrainer::Materialize(). Uses the cdae/optimizer/epoch
+/// fields of `config`; weighting and fairness fields are ignored
+/// (early fusion reconstructs one fused tensor, so neither applies).
+EarlyFusionResult TrainEarlyFusion(
+    const EquiTensorConfig& config,
+    const std::vector<data::AlignedDataset>* datasets);
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_BASELINES_H_

@@ -1,0 +1,419 @@
+#include "core/downstream.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+// Stacks target history windows ending at (exclusive) hours `t0s` into
+// [N, 1, W, H, history].
+Tensor StackHistory(const Tensor& target, const std::vector<int64_t>& t0s,
+                    int64_t history) {
+  const int64_t w = target.dim(0), h = target.dim(1), t = target.dim(2);
+  const int64_t n = static_cast<int64_t>(t0s.size());
+  Tensor out({n, 1, w, h, history});
+  for (int64_t b = 0; b < n; ++b) {
+    const int64_t t0 = t0s[static_cast<size_t>(b)];
+    ET_CHECK(t0 - history >= 0 && t0 <= t);
+    for (int64_t row = 0; row < w * h; ++row) {
+      const float* src = target.data() + row * t + (t0 - history);
+      float* dst = out.data() + (b * w * h + row) * history;
+      std::copy(src, src + history, dst);
+    }
+  }
+  return out;
+}
+
+// Mean of target[..., t0+1 .. t0+horizon] as [N, 1, W, H].
+Tensor StackLabels(const Tensor& target, const std::vector<int64_t>& t0s,
+                   int64_t horizon) {
+  const int64_t w = target.dim(0), h = target.dim(1), t = target.dim(2);
+  const int64_t n = static_cast<int64_t>(t0s.size());
+  Tensor out({n, 1, w, h});
+  for (int64_t b = 0; b < n; ++b) {
+    const int64_t t0 = t0s[static_cast<size_t>(b)];
+    ET_CHECK(t0 + horizon <= t);
+    for (int64_t row = 0; row < w * h; ++row) {
+      double sum = 0.0;
+      for (int64_t d = 1; d <= horizon; ++d) {
+        sum += target[row * t + t0 + d];
+      }
+      out[b * w * h + row] = static_cast<float>(sum / horizon);
+    }
+  }
+  return out;
+}
+
+// Stacks exo snapshots at target hours t0+1 into [N, E, W, H].
+Tensor StackExo(const ExoProvider& exo, const std::vector<int64_t>& t0s,
+                int64_t w, int64_t h) {
+  const int64_t n = static_cast<int64_t>(t0s.size());
+  const int64_t e = exo.channels();
+  Tensor out({n, e, w, h});
+  Tensor snapshot({e, w, h});
+  for (int64_t b = 0; b < n; ++b) {
+    exo.Snapshot(t0s[static_cast<size_t>(b)] + 1, &snapshot);
+    std::copy(snapshot.data(), snapshot.data() + snapshot.size(),
+              out.data() + b * snapshot.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+ChannelNorm ComputeChannelNorm(const float* values, int64_t count) {
+  double sum = 0.0, sq = 0.0;
+  for (int64_t i = 0; i < count; ++i) {
+    sum += values[i];
+    sq += static_cast<double>(values[i]) * values[i];
+  }
+  const double mean = sum / static_cast<double>(count);
+  const double var = std::max(1e-12, sq / static_cast<double>(count) - mean * mean);
+  ChannelNorm norm;
+  norm.mean = static_cast<float>(mean);
+  norm.inv_std = static_cast<float>(1.0 / std::max(1e-6, std::sqrt(var)));
+  return norm;
+}
+
+OracleExoProvider::OracleExoProvider(const data::UrbanDataBundle* bundle,
+                                     data::Task task)
+    : bundle_(bundle), indices_(bundle->OracleIndices(task)) {
+  for (int idx : indices_) {
+    const data::AlignedDataset& ds = bundle_->datasets[static_cast<size_t>(idx)];
+    const int64_t per_channel = ds.tensor.size() / ds.channels();
+    for (int64_t ch = 0; ch < ds.channels(); ++ch) {
+      norms_.push_back(
+          ComputeChannelNorm(ds.tensor.data() + ch * per_channel, per_channel));
+    }
+  }
+}
+
+int64_t OracleExoProvider::channels() const {
+  int64_t total = 0;
+  for (int idx : indices_) {
+    total += bundle_->datasets[static_cast<size_t>(idx)].channels();
+  }
+  return total;
+}
+
+int64_t OracleExoProvider::horizon() const { return bundle_->config.hours; }
+
+void OracleExoProvider::Snapshot(int64_t t, Tensor* out) const {
+  const int64_t w = bundle_->config.width, h = bundle_->config.height;
+  ET_CHECK(t >= 0 && t < horizon());
+  int64_t channel = 0;
+  for (int idx : indices_) {
+    const data::AlignedDataset& ds = bundle_->datasets[static_cast<size_t>(idx)];
+    const int64_t c = ds.channels();
+    for (int64_t ch = 0; ch < c; ++ch, ++channel) {
+      float* dst = out->data() + channel * w * h;
+      switch (ds.kind) {
+        case data::DatasetKind::kTemporal: {
+          const float value = ds.tensor[ch * bundle_->config.hours + t];
+          std::fill(dst, dst + w * h, value);
+          break;
+        }
+        case data::DatasetKind::kSpatial: {
+          const float* src = ds.tensor.data() + ch * w * h;
+          std::copy(src, src + w * h, dst);
+          break;
+        }
+        case data::DatasetKind::kSpatioTemporal: {
+          const int64_t hours = bundle_->config.hours;
+          for (int64_t row = 0; row < w * h; ++row) {
+            dst[row] = ds.tensor[(ch * w * h + row) * hours + t];
+          }
+          break;
+        }
+      }
+      const ChannelNorm& norm = norms_[static_cast<size_t>(channel)];
+      for (int64_t row = 0; row < w * h; ++row) {
+        dst[row] = (dst[row] - norm.mean) * norm.inv_std;
+      }
+    }
+  }
+}
+
+RepresentationExoProvider::RepresentationExoProvider(
+    const Tensor* representation)
+    : representation_(representation) {
+  ET_CHECK_EQ(representation_->rank(), 4);
+  const int64_t per_channel = representation_->size() / representation_->dim(0);
+  for (int64_t c = 0; c < representation_->dim(0); ++c) {
+    norms_.push_back(ComputeChannelNorm(
+        representation_->data() + c * per_channel, per_channel));
+  }
+}
+
+int64_t RepresentationExoProvider::channels() const {
+  return representation_->dim(0);
+}
+
+int64_t RepresentationExoProvider::horizon() const {
+  return representation_->dim(3);
+}
+
+void RepresentationExoProvider::Snapshot(int64_t t, Tensor* out) const {
+  const int64_t k = representation_->dim(0);
+  const int64_t w = representation_->dim(1);
+  const int64_t h = representation_->dim(2);
+  const int64_t horizon = representation_->dim(3);
+  ET_CHECK(t >= 0 && t < horizon);
+  for (int64_t c = 0; c < k; ++c) {
+    const ChannelNorm& norm = norms_[static_cast<size_t>(c)];
+    for (int64_t row = 0; row < w * h; ++row) {
+      (*out)[c * w * h + row] =
+          ((*representation_)[(c * w * h + row) * horizon + t] - norm.mean) *
+          norm.inv_std;
+    }
+  }
+}
+
+GridTaskResult RunGridTask(const Tensor& target, float scale,
+                           const Tensor& sensitive_map,
+                           const ExoProvider* exo,
+                           const GridTaskConfig& config) {
+  ET_CHECK_EQ(target.rank(), 3);
+  const int64_t w = target.dim(0), h = target.dim(1), t = target.dim(2);
+
+  // Usable last-observed hours: history available before, horizon
+  // after, and exo features must cover the target hour.
+  int64_t t_limit = t - config.horizon;
+  if (exo != nullptr) t_limit = std::min(t_limit, exo->horizon() - 1);
+  const int64_t t_min = config.history;
+  ET_CHECK_GT(t_limit, t_min) << "horizon too short for the task setup";
+  const int64_t train_end =
+      t_min + static_cast<int64_t>(config.train_fraction *
+                                   static_cast<double>(t_limit - t_min));
+
+  Rng rng(config.seed);
+  models::GridPredictor model(config.predictor,
+                              exo ? exo->channels() : 0, rng);
+  nn::Adam optimizer(model.Parameters(), config.optimizer);
+
+  // Training loop.
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (int64_t step = 0; step < config.steps_per_epoch; ++step) {
+      std::vector<int64_t> t0s;
+      for (int64_t b = 0; b < config.batch_size; ++b) {
+        t0s.push_back(t_min + static_cast<int64_t>(rng.UniformInt(
+                                  static_cast<uint64_t>(train_end - t_min))));
+      }
+      Variable history(StackHistory(target, t0s, config.history), false);
+      Variable exo_batch;
+      if (exo != nullptr) {
+        exo_batch = Variable(StackExo(*exo, t0s, w, h), false);
+      }
+      const Tensor labels = StackLabels(target, t0s, config.horizon);
+      Variable pred = model.Forward(history, exo_batch);
+      Variable loss = ag::MaeAgainst(pred, labels);
+      Backward(loss);
+      optimizer.Step();
+    }
+  }
+
+  // Held-out evaluation over the tail, stride-sampled.
+  GridTaskResult result;
+  ResidualAccumulator residuals(ThresholdGroups(sensitive_map));
+  double total_mae = 0.0;
+  for (int64_t t0 = train_end; t0 < t_limit; t0 += config.eval_stride) {
+    const std::vector<int64_t> t0s = {t0};
+    Variable history(StackHistory(target, t0s, config.history), false);
+    Variable exo_batch;
+    if (exo != nullptr) {
+      exo_batch = Variable(StackExo(*exo, t0s, w, h), false);
+    }
+    const Tensor labels = StackLabels(target, t0s, config.horizon);
+    Variable pred = model.Forward(history, exo_batch);
+    total_mae += MeanAbsoluteError(pred.value(), labels);
+
+    // Fairness in raw counts: per-cell prediction/truth of the
+    // aggregated window (mean * horizon * scale).
+    Tensor pred_raw({w, h}), truth_raw({w, h});
+    const float to_raw = scale * static_cast<float>(config.horizon);
+    for (int64_t i = 0; i < w * h; ++i) {
+      pred_raw[i] = pred.value()[i] * to_raw;
+      truth_raw[i] = labels[i] * to_raw;
+    }
+    residuals.Add(pred_raw, truth_raw);
+    ++result.eval_samples;
+  }
+  ET_CHECK_GT(result.eval_samples, 0);
+  result.mae = total_mae / static_cast<double>(result.eval_samples);
+  result.fairness = residuals.Metrics();
+  return result;
+}
+
+OracleSeriesProvider::OracleSeriesProvider(const data::UrbanDataBundle* bundle,
+                                           data::Task task)
+    : bundle_(bundle), indices_(bundle->OracleIndices(task)) {
+  for (int idx : indices_) {
+    const data::AlignedDataset& ds = bundle_->datasets[static_cast<size_t>(idx)];
+    ET_CHECK(ds.kind == data::DatasetKind::kTemporal)
+        << "series oracle features must be 1D";
+    const int64_t per_channel = ds.tensor.size() / ds.channels();
+    for (int64_t ch = 0; ch < ds.channels(); ++ch) {
+      norms_.push_back(ComputeChannelNorm(
+          ds.tensor.data() + ch * per_channel, per_channel));
+    }
+  }
+}
+
+int64_t OracleSeriesProvider::channels() const {
+  int64_t total = 0;
+  for (int idx : indices_) {
+    total += bundle_->datasets[static_cast<size_t>(idx)].channels();
+  }
+  return total;
+}
+
+int64_t OracleSeriesProvider::horizon() const { return bundle_->config.hours; }
+
+void OracleSeriesProvider::At(int64_t t, float* out) const {
+  ET_CHECK(t >= 0 && t < horizon());
+  int64_t channel = 0;
+  for (int idx : indices_) {
+    const data::AlignedDataset& ds = bundle_->datasets[static_cast<size_t>(idx)];
+    for (int64_t ch = 0; ch < ds.channels(); ++ch, ++channel) {
+      const ChannelNorm& norm = norms_[static_cast<size_t>(channel)];
+      out[channel] =
+          (ds.tensor[ch * bundle_->config.hours + t] - norm.mean) *
+          norm.inv_std;
+    }
+  }
+}
+
+CellSeriesProvider::CellSeriesProvider(const Tensor* representation,
+                                       int64_t cx, int64_t cy)
+    : representation_(representation), cx_(cx), cy_(cy) {
+  ET_CHECK_EQ(representation_->rank(), 4);
+  ET_CHECK(cx >= 0 && cx < representation_->dim(1));
+  ET_CHECK(cy >= 0 && cy < representation_->dim(2));
+  const int64_t w = representation_->dim(1);
+  const int64_t h = representation_->dim(2);
+  const int64_t horizon_t = representation_->dim(3);
+  for (int64_t c = 0; c < representation_->dim(0); ++c) {
+    norms_.push_back(ComputeChannelNorm(
+        representation_->data() + ((c * w + cx_) * h + cy_) * horizon_t,
+        horizon_t));
+  }
+}
+
+int64_t CellSeriesProvider::channels() const {
+  return representation_->dim(0);
+}
+
+int64_t CellSeriesProvider::horizon() const { return representation_->dim(3); }
+
+void CellSeriesProvider::At(int64_t t, float* out) const {
+  ET_CHECK(t >= 0 && t < horizon());
+  const int64_t w = representation_->dim(1);
+  const int64_t h = representation_->dim(2);
+  const int64_t horizon_t = representation_->dim(3);
+  for (int64_t c = 0; c < representation_->dim(0); ++c) {
+    out[c] =
+        ((*representation_)[((c * w + cx_) * h + cy_) * horizon_t + t] -
+         norms_[static_cast<size_t>(c)].mean) *
+        norms_[static_cast<size_t>(c)].inv_std;
+  }
+}
+
+SeriesTaskResult RunSeriesTask(const Tensor& series,
+                               const SeriesExoProvider* exo,
+                               const SeriesTaskConfig& config) {
+  ET_CHECK_EQ(series.rank(), 1);
+  const int64_t t = series.dim(0);
+  const int64_t exo_channels = exo ? exo->channels() : 0;
+  const int64_t features = 1 + exo_channels;
+
+  // Scale the target internally; report raw-unit MAE.
+  Tensor scaled = series;
+  float scale = 1.0f;
+  {
+    const float max_abs = scaled.AbsMax();
+    if (max_abs > 0.0f) {
+      scale = max_abs;
+      for (int64_t i = 0; i < scaled.size(); ++i) scaled[i] /= max_abs;
+    }
+  }
+
+  int64_t t_limit = t - config.horizon;
+  if (exo != nullptr) t_limit = std::min(t_limit, exo->horizon());
+  const int64_t t_min = config.history;
+  ET_CHECK_GT(t_limit, t_min);
+  const int64_t train_end =
+      t_min + static_cast<int64_t>(config.train_fraction *
+                                   static_cast<double>(t_limit - t_min));
+
+  Rng rng(config.seed);
+  models::Seq2SeqForecaster model(features, config.hidden, config.horizon, rng);
+  nn::Adam optimizer(model.Parameters(), config.optimizer);
+
+  auto make_history = [&](const std::vector<int64_t>& t0s) {
+    const int64_t n = static_cast<int64_t>(t0s.size());
+    Tensor out({n, config.history, features});
+    std::vector<float> exo_row(static_cast<size_t>(exo_channels));
+    for (int64_t b = 0; b < n; ++b) {
+      const int64_t t0 = t0s[static_cast<size_t>(b)];
+      for (int64_t step = 0; step < config.history; ++step) {
+        const int64_t hour = t0 - config.history + step;
+        float* dst = out.data() + (b * config.history + step) * features;
+        dst[0] = scaled[hour];
+        if (exo != nullptr) {
+          exo->At(hour, exo_row.data());
+          for (int64_t e = 0; e < exo_channels; ++e) dst[1 + e] = exo_row[e];
+        }
+      }
+    }
+    return out;
+  };
+  auto make_labels = [&](const std::vector<int64_t>& t0s) {
+    const int64_t n = static_cast<int64_t>(t0s.size());
+    Tensor out({n, config.horizon});
+    for (int64_t b = 0; b < n; ++b) {
+      const int64_t t0 = t0s[static_cast<size_t>(b)];
+      for (int64_t d = 0; d < config.horizon; ++d) {
+        out[b * config.horizon + d] = scaled[t0 + d];
+      }
+    }
+    return out;
+  };
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (int64_t step = 0; step < config.steps_per_epoch; ++step) {
+      std::vector<int64_t> t0s;
+      for (int64_t b = 0; b < config.batch_size; ++b) {
+        t0s.push_back(t_min + static_cast<int64_t>(rng.UniformInt(
+                                  static_cast<uint64_t>(train_end - t_min))));
+      }
+      Variable history(make_history(t0s), false);
+      const Tensor labels = make_labels(t0s);
+      Variable pred = model.Forward(history);
+      Variable loss = ag::MaeAgainst(pred, labels);
+      Backward(loss);
+      optimizer.Step();
+    }
+  }
+
+  SeriesTaskResult result;
+  double total = 0.0;
+  for (int64_t t0 = train_end; t0 < t_limit; t0 += config.eval_stride) {
+    const std::vector<int64_t> t0s = {t0};
+    Variable history(make_history(t0s), false);
+    const Tensor labels = make_labels(t0s);
+    Variable pred = model.Forward(history);
+    total += MeanAbsoluteError(pred.value(), labels) * scale;
+    ++result.eval_samples;
+  }
+  ET_CHECK_GT(result.eval_samples, 0);
+  result.mae = total / static_cast<double>(result.eval_samples);
+  return result;
+}
+
+}  // namespace core
+}  // namespace equitensor

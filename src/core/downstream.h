@@ -1,0 +1,176 @@
+#ifndef EQUITENSOR_CORE_DOWNSTREAM_H_
+#define EQUITENSOR_CORE_DOWNSTREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/fairness_metrics.h"
+#include "data/generators.h"
+#include "models/predictor.h"
+#include "nn/optimizer.h"
+
+namespace equitensor {
+namespace core {
+
+/// Supplies the per-cell exogenous feature channels a downstream
+/// predictor sees for a given target hour. Implementations exist for
+/// the oracle feature sets (Table 1) and for learned representations
+/// (PCA / early fusion / EquiTensors).
+class ExoProvider {
+ public:
+  virtual ~ExoProvider() = default;
+
+  /// Number of feature channels.
+  virtual int64_t channels() const = 0;
+
+  /// Last target hour (exclusive) for which features exist.
+  virtual int64_t horizon() const = 0;
+
+  /// Writes the [E, W, H] snapshot for target hour `t` into `out`
+  /// (already sized). 1D features are tiled over space.
+  virtual void Snapshot(int64_t t, Tensor* out) const = 0;
+};
+
+/// Per-channel standardization parameters applied by the providers:
+/// downstream models see z-scored features. Without this, max-abs
+/// scaled channels with a large constant offset (e.g. pressure ≈ 0.99
+/// everywhere) drown out small-magnitude informative channels.
+struct ChannelNorm {
+  float mean = 0.0f;
+  float inv_std = 1.0f;
+};
+
+/// Oracle features: the hand-selected datasets of Table 1, sampled at
+/// the target hour (1D tiled over space, 2D as-is, 3D at the hour),
+/// z-scored per channel.
+class OracleExoProvider : public ExoProvider {
+ public:
+  OracleExoProvider(const data::UrbanDataBundle* bundle, data::Task task);
+  int64_t channels() const override;
+  int64_t horizon() const override;
+  void Snapshot(int64_t t, Tensor* out) const override;
+
+ private:
+  const data::UrbanDataBundle* bundle_;
+  std::vector<int> indices_;
+  std::vector<ChannelNorm> norms_;
+};
+
+/// Learned-representation features: channels of a [K, W, H, T'] tensor
+/// at the target hour, z-scored per channel.
+class RepresentationExoProvider : public ExoProvider {
+ public:
+  /// `representation` must outlive the provider.
+  explicit RepresentationExoProvider(const Tensor* representation);
+  int64_t channels() const override;
+  int64_t horizon() const override;
+  void Snapshot(int64_t t, Tensor* out) const override;
+
+ private:
+  const Tensor* representation_;
+  std::vector<ChannelNorm> norms_;
+};
+
+/// Mean / inverse-std of a contiguous value range (1e-6 floor on std).
+ChannelNorm ComputeChannelNorm(const float* values, int64_t count);
+
+/// Configuration of a spatio-temporal downstream task run.
+struct GridTaskConfig {
+  int64_t history = 24;   // hours of target history fed to the model
+  int64_t horizon = 1;    // hours aggregated into the prediction target
+  double train_fraction = 0.75;
+  int64_t epochs = 4;
+  int64_t steps_per_epoch = 20;
+  int64_t batch_size = 8;
+  int64_t eval_stride = 3;  // evaluate every k-th test hour
+  models::GridPredictorConfig predictor;
+  nn::AdamOptions optimizer;
+  uint64_t seed = 123;
+};
+
+/// Result of one downstream run: accuracy in scaled units and the
+/// §3.5 fairness metrics in raw counts.
+struct GridTaskResult {
+  double mae = 0.0;
+  ResidualMetrics fairness;
+  int64_t eval_samples = 0;
+};
+
+/// Trains a GridPredictor on `target` ([W, H, T], max-abs scaled, with
+/// `scale` mapping back to raw counts) using the features of `exo`
+/// (nullptr = the "No exogenous data" baseline), then evaluates MAE
+/// and RD/PRD/NRD on the held-out tail of the horizon.
+GridTaskResult RunGridTask(const Tensor& target, float scale,
+                           const Tensor& sensitive_map,
+                           const ExoProvider* exo,
+                           const GridTaskConfig& config);
+
+/// Per-hour feature series for the 1D bike-count task.
+class SeriesExoProvider {
+ public:
+  virtual ~SeriesExoProvider() = default;
+  virtual int64_t channels() const = 0;
+  virtual int64_t horizon() const = 0;
+  /// Feature values at hour `t` appended to `out` (size channels()).
+  virtual void At(int64_t t, float* out) const = 0;
+};
+
+/// Oracle 1D features (weather series) for bike count.
+class OracleSeriesProvider : public SeriesExoProvider {
+ public:
+  OracleSeriesProvider(const data::UrbanDataBundle* bundle, data::Task task);
+  int64_t channels() const override;
+  int64_t horizon() const override;
+  void At(int64_t t, float* out) const override;
+
+ private:
+  const data::UrbanDataBundle* bundle_;
+  std::vector<int> indices_;
+  std::vector<ChannelNorm> norms_;
+};
+
+/// The representation's time series at one grid cell (§4.4: "query the
+/// EquiTensor to extract the time series of the corresponding cell"),
+/// z-scored per channel over that cell's series.
+class CellSeriesProvider : public SeriesExoProvider {
+ public:
+  CellSeriesProvider(const Tensor* representation, int64_t cx, int64_t cy);
+  int64_t channels() const override;
+  int64_t horizon() const override;
+  void At(int64_t t, float* out) const override;
+
+ private:
+  const Tensor* representation_;
+  int64_t cx_, cy_;
+  std::vector<ChannelNorm> norms_;
+};
+
+/// Configuration of the seq-to-seq bike-count run.
+struct SeriesTaskConfig {
+  int64_t history = 48;
+  int64_t horizon = 6;
+  int64_t hidden = 24;
+  double train_fraction = 0.75;
+  int64_t epochs = 4;
+  int64_t steps_per_epoch = 30;
+  int64_t batch_size = 8;
+  int64_t eval_stride = 4;
+  nn::AdamOptions optimizer;
+  uint64_t seed = 321;
+};
+
+struct SeriesTaskResult {
+  double mae = 0.0;  // raw counts
+  int64_t eval_samples = 0;
+};
+
+/// Trains the LSTM forecaster on the raw count series (scaled
+/// internally) with optional exogenous series; returns raw-unit MAE.
+SeriesTaskResult RunSeriesTask(const Tensor& series,
+                               const SeriesExoProvider* exo,
+                               const SeriesTaskConfig& config);
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_DOWNSTREAM_H_

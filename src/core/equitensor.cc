@@ -1,0 +1,388 @@
+#include "core/equitensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "data/preprocess.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace equitensor {
+namespace core {
+
+const char* FairnessModeName(FairnessMode mode) {
+  switch (mode) {
+    case FairnessMode::kNone:
+      return "none";
+    case FairnessMode::kAdversarial:
+      return "adversarial";
+    case FairnessMode::kGradReversal:
+      return "grad_reversal";
+  }
+  return "?";
+}
+
+std::vector<models::DatasetSpec> EquiTensorTrainer::MakeSpecs(
+    const std::vector<data::AlignedDataset>& datasets) {
+  std::vector<models::DatasetSpec> specs;
+  specs.reserve(datasets.size());
+  for (const data::AlignedDataset& ds : datasets) {
+    specs.push_back({ds.name, ds.kind, ds.channels()});
+  }
+  return specs;
+}
+
+EquiTensorTrainer::EquiTensorTrainer(
+    EquiTensorConfig config, const std::vector<data::AlignedDataset>* datasets,
+    const Tensor* sensitive_map)
+    : config_(std::move(config)),
+      datasets_(datasets),
+      sensitive_map_(sensitive_map),
+      sampler_(datasets, config_.cdae.window),
+      rng_(config_.seed),
+      weighter_(config_.weighting,
+                static_cast<int64_t>(datasets->size()), config_.alpha) {
+  ET_CHECK(datasets_ != nullptr && !datasets_->empty());
+  const bool needs_s = config_.fairness != FairnessMode::kNone ||
+                       config_.cdae.disentangle;
+  if (needs_s) {
+    ET_CHECK(sensitive_map_ != nullptr)
+        << "fairness/disentangling requires a sensitive attribute map";
+    ET_CHECK_EQ(sensitive_map_->rank(), 2);
+    ET_CHECK_EQ(sensitive_map_->dim(0), config_.cdae.grid_w);
+    ET_CHECK_EQ(sensitive_map_->dim(1), config_.cdae.grid_h);
+  }
+
+  Rng init_rng = rng_.Split();
+  model_ = std::make_unique<models::CoreCdae>(config_.cdae,
+                                              MakeSpecs(*datasets_), init_rng);
+  std::vector<Variable> cdae_params = model_->Parameters();
+  if (config_.weighting == WeightingMode::kUncertainty) {
+    // Kendall et al. [25]: one trainable log-variance per dataset,
+    // optimized jointly with the CDAE.
+    uncertainty_log_vars_ = Variable(
+        Tensor({static_cast<int64_t>(datasets_->size())}), true);
+    cdae_params.push_back(uncertainty_log_vars_);
+  }
+  if (config_.fairness != FairnessMode::kNone) {
+    adversary_ = std::make_unique<models::AdversaryNet>(
+        config_.cdae.latent_channels, init_rng, config_.cdae.kernel);
+    if (config_.fairness == FairnessMode::kAdversarial) {
+      // Alternating training: the adversary has its own optimizer.
+      adversary_optimizer_ = std::make_unique<nn::Adam>(
+          adversary_->Parameters(), config_.optimizer);
+    } else {
+      // Gradient reversal: the head trains jointly with the CDAE under
+      // a single optimizer [17, 50].
+      for (const Variable& p : adversary_->Parameters()) {
+        cdae_params.push_back(p);
+      }
+    }
+  }
+  cdae_optimizer_ =
+      std::make_unique<nn::Adam>(cdae_params, config_.optimizer);
+}
+
+std::vector<double> EquiTensorTrainer::EstimateOptimalLosses() {
+  // L(opt)_i: reconstruction error of a CDAE trained on dataset i
+  // alone (§3.3). Uses reduced filter budgets implied by the same
+  // CdaeConfig but a single-spec model.
+  std::vector<double> optimal;
+  optimal.reserve(datasets_->size());
+  for (size_t i = 0; i < datasets_->size(); ++i) {
+    const data::AlignedDataset& ds = (*datasets_)[i];
+    models::CdaeConfig solo_cfg = config_.cdae;
+    solo_cfg.disentangle = false;
+    Rng solo_rng(config_.seed * 1000003ULL + i);
+    models::CoreCdae solo(solo_cfg, {{ds.name, ds.kind, ds.channels()}},
+                          solo_rng);
+    nn::Adam opt(solo.Parameters(), config_.optimizer);
+
+    std::vector<data::AlignedDataset> one = {ds};
+    data::WindowSampler solo_sampler(&one, config_.cdae.window,
+                                     sampler_.hours());
+    double last_epoch_loss = 0.0;
+    for (int64_t epoch = 0; epoch < config_.opt_loss_epochs; ++epoch) {
+      double epoch_loss = 0.0;
+      for (int64_t step = 0; step < config_.opt_loss_steps_per_epoch; ++step) {
+        const auto starts =
+            solo_sampler.SampleStarts(config_.batch_size, solo_rng);
+        Tensor clean = solo_sampler.MakeBatchFor(0, starts);
+        Tensor corrupted =
+            data::Corrupt(clean, solo_cfg.corruption, solo_rng);
+        Variable input(std::move(corrupted), /*requires_grad=*/false);
+        Variable z = solo.Encode({input});
+        const auto recons = solo.Decode(z, Variable());
+        Variable loss = ag::MaeAgainst(recons[0], clean);
+        epoch_loss += loss.scalar();
+        Backward(loss);
+        opt.Step();
+      }
+      last_epoch_loss =
+          epoch_loss / static_cast<double>(config_.opt_loss_steps_per_epoch);
+    }
+    optimal.push_back(std::max(last_epoch_loss, 1e-8));
+    ET_LOG(Debug) << "L(opt)[" << ds.name << "] = " << last_epoch_loss;
+  }
+  return optimal;
+}
+
+std::vector<double> EquiTensorTrainer::TrainStep(
+    const std::vector<int64_t>& starts, double* adversary_loss) {
+  const int64_t n = static_cast<int64_t>(starts.size());
+  const auto clean = sampler_.MakeBatch(starts);
+
+  // Corrupt every input tensor (15 % of cells -> -1, §3.2).
+  std::vector<Variable> inputs;
+  inputs.reserve(clean.size());
+  for (const Tensor& tensor : clean) {
+    inputs.emplace_back(data::Corrupt(tensor, config_.cdae.corruption, rng_),
+                        /*requires_grad=*/false);
+  }
+
+  Variable z = model_->Encode(inputs);
+
+  Tensor s_tiled;
+  const bool needs_s = config_.fairness != FairnessMode::kNone ||
+                       config_.cdae.disentangle;
+  if (needs_s) {
+    s_tiled = models::TileSensitiveMap(*sensitive_map_, n,
+                                       config_.cdae.window);
+  }
+
+  Variable s_for_decoder;  // undefined unless disentangling
+  if (config_.cdae.disentangle) {
+    s_for_decoder = Variable(s_tiled, /*requires_grad=*/false);
+  }
+  const auto recons = model_->Decode(z, s_for_decoder);
+  const auto losses = model_->ReconstructionLosses(recons, clean);
+
+  Variable total;
+  if (config_.weighting == WeightingMode::kUncertainty) {
+    // Kendall et al. [25]: sum_i exp(-s_i) * L_i + s_i with trainable
+    // s_i (regularizer keeps the weights from collapsing to 0).
+    Variable weights_var = ag::Exp(ag::Neg(uncertainty_log_vars_));
+    Variable accum;
+    for (size_t i = 0; i < losses.size(); ++i) {
+      const int64_t idx = static_cast<int64_t>(i);
+      Variable term = ag::Add(
+          ag::Mul(ag::Slice(weights_var, {idx}, {1}),
+                  ag::Reshape(losses[i], {1})),
+          ag::Slice(uncertainty_log_vars_, {idx}, {1}));
+      accum = i == 0 ? term : ag::Add(accum, term);
+    }
+    total = ag::Reshape(accum, {});
+  } else {
+    // Rule-based weighted reconstruction loss: sum_i w_i * L_i.
+    const auto& weights = weighter_.weights();
+    total = ag::MulScalar(losses[0], static_cast<float>(weights[0]));
+    for (size_t i = 1; i < losses.size(); ++i) {
+      total = ag::Add(
+          total, ag::MulScalar(losses[i], static_cast<float>(weights[i])));
+    }
+  }
+
+  *adversary_loss = 0.0;
+  switch (config_.fairness) {
+    case FairnessMode::kNone:
+      break;
+    case FairnessMode::kAdversarial: {
+      // L_AE = L_rec + lambda * (1 - L_A)  (Eq. 5). The constant
+      // lambda*1 does not affect gradients; we keep -lambda*L_A.
+      Variable l_a = adversary_->Loss(z, s_tiled);
+      *adversary_loss = l_a.scalar();
+      total = ag::Add(total,
+                      ag::MulScalar(l_a, -static_cast<float>(config_.lambda)));
+      break;
+    }
+    case FairnessMode::kGradReversal: {
+      // Fair CDAE: head minimizes its MAE while the reversed gradient
+      // pushes the encoder to maximize it, scaled by lambda.
+      Variable reversed =
+          ag::GradReverse(z, static_cast<float>(config_.lambda));
+      Variable l_h = adversary_->Loss(reversed, s_tiled);
+      *adversary_loss = l_h.scalar();
+      total = ag::Add(total, l_h);
+      break;
+    }
+  }
+
+  Backward(total);
+  if (config_.fairness == FairnessMode::kAdversarial) {
+    // Discard the gradients that leaked into the (frozen) adversary.
+    adversary_optimizer_->ZeroGrad();
+  }
+  cdae_optimizer_->Step();
+
+  if (config_.fairness == FairnessMode::kAdversarial) {
+    // Alternating phase 2 (§3.4): update the adversary against the
+    // *updated* encoder — recompute Z with a fresh forward pass so the
+    // adversary tracks the current representation. This is what makes
+    // alternating training stronger than the joint gradient-reversal
+    // head: a GRL head only ever sees the pre-update representation it
+    // is co-adapted to, while this adversary chases the encoder.
+    Variable z_current = ag::Detach(model_->Encode(inputs));
+    Variable l_a = adversary_->Loss(z_current, s_tiled);
+    Backward(l_a);
+    adversary_optimizer_->Step();
+  }
+
+  std::vector<double> step_losses;
+  step_losses.reserve(losses.size());
+  for (const Variable& l : losses) {
+    step_losses.push_back(static_cast<double>(l.scalar()));
+  }
+  return step_losses;
+}
+
+std::vector<double> EquiTensorTrainer::CurrentWeights() const {
+  if (config_.weighting != WeightingMode::kUncertainty) {
+    return weighter_.weights();
+  }
+  std::vector<double> weights;
+  const Tensor& s = uncertainty_log_vars_.value();
+  weights.reserve(static_cast<size_t>(s.size()));
+  for (int64_t i = 0; i < s.size(); ++i) {
+    weights.push_back(std::exp(-static_cast<double>(s[i])));
+  }
+  return weights;
+}
+
+void EquiTensorTrainer::Train() {
+  ET_CHECK(!trained_) << "Train() already ran on this instance";
+  trained_ = true;
+
+  if (config_.weighting == WeightingMode::kOurs) {
+    optimal_losses_ = config_.precomputed_optimal_losses.empty()
+                          ? EstimateOptimalLosses()
+                          : config_.precomputed_optimal_losses;
+    weighter_.SetOptimalLosses(optimal_losses_);
+  }
+
+  const int64_t n_datasets = sampler_.dataset_count();
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    EpochLog entry;
+    entry.epoch = epoch;
+    entry.weights = CurrentWeights();
+    std::vector<double> probe_sums(static_cast<size_t>(n_datasets), 0.0);
+    const int64_t probe_steps =
+        std::min(config_.weighting_probe_steps, config_.steps_per_epoch);
+    double adv_sum = 0.0;
+    for (int64_t step = 0; step < config_.steps_per_epoch; ++step) {
+      const auto starts = sampler_.SampleStarts(config_.batch_size, rng_);
+      double adv_loss = 0.0;
+      const auto losses = TrainStep(starts, &adv_loss);
+      adv_sum += adv_loss;
+      if (step < probe_steps) {
+        for (int64_t i = 0; i < n_datasets; ++i) {
+          probe_sums[static_cast<size_t>(i)] +=
+              losses[static_cast<size_t>(i)];
+        }
+      }
+    }
+    for (int64_t i = 0; i < n_datasets; ++i) {
+      entry.dataset_losses.push_back(probe_sums[static_cast<size_t>(i)] /
+                                     static_cast<double>(probe_steps));
+      entry.total_loss += entry.dataset_losses.back();
+    }
+    entry.adversary_loss =
+        adv_sum / static_cast<double>(config_.steps_per_epoch);
+    log_.push_back(entry);
+
+    // Weights update once per epoch from the early-step means (§3.3).
+    weighter_.Update(entry.dataset_losses);
+    ET_LOG(Debug) << "epoch " << epoch << " total recon loss "
+                  << entry.total_loss << " adv " << entry.adversary_loss;
+  }
+}
+
+double EquiTensorTrainer::EvaluateReconstructionError(int64_t batches) {
+  double total = 0.0;
+  Rng eval_rng(config_.seed ^ 0xE7A1u);
+  for (int64_t b = 0; b < batches; ++b) {
+    const auto starts = sampler_.SampleStarts(config_.batch_size, eval_rng);
+    const auto clean = sampler_.MakeBatch(starts);
+    std::vector<Variable> inputs;
+    for (const Tensor& tensor : clean) {
+      inputs.emplace_back(
+          data::Corrupt(tensor, config_.cdae.corruption, eval_rng),
+          /*requires_grad=*/false);
+    }
+    // Frozen evaluation pass: detach parameters from grad tracking by
+    // simply not calling Backward.
+    Variable z = model_->Encode(inputs);
+    Variable s_for_decoder;
+    if (config_.cdae.disentangle) {
+      s_for_decoder = Variable(
+          models::TileSensitiveMap(*sensitive_map_,
+                                   static_cast<int64_t>(starts.size()),
+                                   config_.cdae.window),
+          false);
+    }
+    const auto recons = model_->Decode(z, s_for_decoder);
+    const auto losses = model_->ReconstructionLosses(recons, clean);
+    for (const Variable& l : losses) total += l.scalar();
+  }
+  return total / static_cast<double>(batches);
+}
+
+Tensor EquiTensorTrainer::Materialize() { return MaterializeOn(datasets_); }
+
+Tensor EquiTensorTrainer::MaterializeOn(
+    const std::vector<data::AlignedDataset>* datasets) {
+  ET_CHECK(datasets != nullptr);
+  ET_CHECK_EQ(datasets->size(), datasets_->size())
+      << "transfer target must provide the same dataset inventory";
+  for (size_t i = 0; i < datasets->size(); ++i) {
+    ET_CHECK((*datasets)[i].kind == (*datasets_)[i].kind)
+        << "dataset " << i << " kind mismatch";
+    ET_CHECK_EQ((*datasets)[i].channels(), (*datasets_)[i].channels());
+  }
+  data::WindowSampler sampler(datasets, config_.cdae.window);
+  const auto starts = sampler.NonOverlappingStarts();
+  ET_CHECK(!starts.empty());
+  const int64_t window = config_.cdae.window;
+  const int64_t k = config_.cdae.latent_channels;
+  const int64_t w = config_.cdae.grid_w;
+  const int64_t h = config_.cdae.grid_h;
+  const int64_t t_total = static_cast<int64_t>(starts.size()) * window;
+
+  Tensor z_full({k, w, h, t_total});
+  // Encode in small batches to bound memory.
+  const int64_t batch = std::max<int64_t>(1, config_.batch_size);
+  for (size_t begin = 0; begin < starts.size();
+       begin += static_cast<size_t>(batch)) {
+    const size_t end = std::min(starts.size(), begin + static_cast<size_t>(batch));
+    const std::vector<int64_t> chunk(starts.begin() + begin,
+                                     starts.begin() + end);
+    const auto batch_tensors = sampler.MakeBatch(chunk);
+    std::vector<Variable> inputs;
+    inputs.reserve(batch_tensors.size());
+    for (const Tensor& tensor : batch_tensors) {
+      inputs.emplace_back(tensor, /*requires_grad=*/false);
+    }
+    const Variable z = model_->Encode(inputs);  // [n, K, W, H, window]
+    const Tensor& zv = z.value();
+    for (size_t b = begin; b < end; ++b) {
+      const int64_t start = starts[b];
+      const int64_t local = static_cast<int64_t>(b - begin);
+      for (int64_t c = 0; c < k; ++c) {
+        for (int64_t x = 0; x < w; ++x) {
+          for (int64_t y = 0; y < h; ++y) {
+            const float* src =
+                zv.data() + (((local * k + c) * w + x) * h + y) * window;
+            float* dst =
+                z_full.data() + ((c * w + x) * h + y) * t_total + start;
+            std::copy(src, src + window, dst);
+          }
+        }
+      }
+    }
+  }
+  return z_full;
+}
+
+}  // namespace core
+}  // namespace equitensor

@@ -1,0 +1,139 @@
+#ifndef EQUITENSOR_CORE_EQUITENSOR_H_
+#define EQUITENSOR_CORE_EQUITENSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_weighting.h"
+#include "data/windows.h"
+#include "models/adversary.h"
+#include "models/cdae.h"
+#include "nn/optimizer.h"
+
+namespace equitensor {
+namespace core {
+
+/// How (and whether) sensitive information is removed during training.
+enum class FairnessMode {
+  kNone,          // Plain core integrative model (§3.2).
+  kAdversarial,   // Alternating adversary, Eq. 4/5 (§3.4). Combine with
+                  // CdaeConfig::disentangle for the full EquiTensor.
+  kGradReversal,  // Fair-CDAE baseline [17, 50]: joint prediction head
+                  // behind a gradient-reversal layer (§4.3).
+};
+
+const char* FairnessModeName(FairnessMode mode);
+
+/// End-to-end training configuration for an EquiTensor (or one of its
+/// ablations/baselines — the core model is FairnessMode::kNone with
+/// WeightingMode::kNone).
+struct EquiTensorConfig {
+  models::CdaeConfig cdae;
+
+  WeightingMode weighting = WeightingMode::kNone;
+  double alpha = 3.0;  // Eq. 2 temperature.
+  /// Epochs/steps for the single-dataset CDAEs that estimate L(opt)_i
+  /// in WeightingMode::kOurs.
+  int64_t opt_loss_epochs = 2;
+  int64_t opt_loss_steps_per_epoch = 10;
+  /// When non-empty (size = dataset count), skips L(opt) estimation and
+  /// uses these values directly — lets an alpha sweep share one
+  /// estimation pass.
+  std::vector<double> precomputed_optimal_losses;
+
+  FairnessMode fairness = FairnessMode::kNone;
+  double lambda = 1.0;  // Eq. 5 tradeoff.
+
+  int64_t epochs = 6;
+  int64_t steps_per_epoch = 20;
+  int64_t batch_size = 4;
+  /// Steps per epoch whose mean loss feeds adaptive weighting (the
+  /// paper uses the first 50 steps; clipped to steps_per_epoch).
+  int64_t weighting_probe_steps = 50;
+  nn::AdamOptions optimizer;
+  uint64_t seed = 7;
+};
+
+/// Per-epoch training telemetry (drives Figures 4 and 5).
+struct EpochLog {
+  int64_t epoch = 0;
+  std::vector<double> dataset_losses;  // mean early-step MAE per dataset
+  std::vector<double> weights;         // w_i(t) used during this epoch
+  double total_loss = 0.0;             // unweighted sum of dataset losses
+  double adversary_loss = 0.0;         // L_A (0 when fairness is off)
+};
+
+/// Trains the EquiTensor model on a set of aligned datasets and
+/// materializes the integrated representation Z.
+class EquiTensorTrainer {
+ public:
+  /// `datasets` must outlive the trainer. `sensitive_map` ([W, H]) is
+  /// required when fairness or disentangling is enabled.
+  EquiTensorTrainer(EquiTensorConfig config,
+                    const std::vector<data::AlignedDataset>* datasets,
+                    const Tensor* sensitive_map);
+
+  /// Runs the full training loop (including L(opt) estimation when
+  /// adaptive weighting is on). Idempotent per instance: call once.
+  void Train();
+
+  /// Evaluates the mean total reconstruction error (sum of per-dataset
+  /// MAE) on `batches` freshly sampled corrupted batches.
+  double EvaluateReconstructionError(int64_t batches = 4);
+
+  /// Encodes the full horizon with non-overlapping windows and
+  /// concatenates along time: returns Z as [K, W, H, T'] where
+  /// T' = floor(T / window) * window (§4.4). Inputs are not corrupted.
+  Tensor Materialize();
+
+  /// Materializes the trained encoder on a *different* dataset vector
+  /// (same inventory: kinds/channels must match, grid dims must equal
+  /// the training grid). This is the transfer setting the paper lists
+  /// as future work — reusing integrated features for another city.
+  Tensor MaterializeOn(const std::vector<data::AlignedDataset>* datasets);
+
+  const std::vector<EpochLog>& log() const { return log_; }
+  const models::CoreCdae& model() const { return *model_; }
+  const std::vector<double>& optimal_losses() const { return optimal_losses_; }
+
+  /// The per-dataset weights currently in effect: the AdaptiveWeighter
+  /// state for rule-based modes, exp(-s_i) for kUncertainty.
+  std::vector<double> CurrentWeights() const;
+
+  /// Builds DatasetSpecs from aligned datasets (shared with baselines).
+  static std::vector<models::DatasetSpec> MakeSpecs(
+      const std::vector<data::AlignedDataset>& datasets);
+
+  /// Estimates L(opt)_i by training a single-dataset CDAE per dataset
+  /// (§3.3). Called automatically by Train() in WeightingMode::kOurs;
+  /// public so sweeps can estimate once and share the result via
+  /// EquiTensorConfig::precomputed_optimal_losses.
+  std::vector<double> EstimateOptimalLosses();
+
+ private:
+  /// One optimization step on one minibatch; returns per-dataset losses
+  /// and (via out-param) the adversary loss.
+  std::vector<double> TrainStep(const std::vector<int64_t>& starts,
+                                double* adversary_loss);
+
+  EquiTensorConfig config_;
+  const std::vector<data::AlignedDataset>* datasets_;
+  const Tensor* sensitive_map_;
+  data::WindowSampler sampler_;
+  Rng rng_;
+
+  std::unique_ptr<models::CoreCdae> model_;
+  std::unique_ptr<models::AdversaryNet> adversary_;
+  std::unique_ptr<nn::Adam> cdae_optimizer_;
+  std::unique_ptr<nn::Adam> adversary_optimizer_;
+  AdaptiveWeighter weighter_;
+  Variable uncertainty_log_vars_;  // kUncertainty: trainable s_i [n].
+  std::vector<double> optimal_losses_;
+  std::vector<EpochLog> log_;
+  bool trained_ = false;
+};
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_EQUITENSOR_H_

@@ -1,0 +1,65 @@
+#include "core/fairness_metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace core {
+
+GroupLabels ThresholdGroups(const Tensor& sensitive_map, double threshold) {
+  ET_CHECK_EQ(sensitive_map.rank(), 2);
+  if (std::isnan(threshold)) threshold = sensitive_map.Mean();
+  GroupLabels labels;
+  labels.advantaged.resize(static_cast<size_t>(sensitive_map.size()));
+  for (int64_t i = 0; i < sensitive_map.size(); ++i) {
+    const bool adv = sensitive_map[i] >= threshold;
+    labels.advantaged[static_cast<size_t>(i)] = adv;
+    if (adv) {
+      ++labels.advantaged_count;
+    } else {
+      ++labels.disadvantaged_count;
+    }
+  }
+  return labels;
+}
+
+ResidualAccumulator::ResidualAccumulator(GroupLabels groups)
+    : groups_(std::move(groups)) {
+  ET_CHECK_GT(groups_.advantaged_count, 0) << "empty advantaged group";
+  ET_CHECK_GT(groups_.disadvantaged_count, 0) << "empty disadvantaged group";
+}
+
+void ResidualAccumulator::Add(const Tensor& prediction, const Tensor& truth) {
+  ET_CHECK(prediction.SameShape(truth));
+  ET_CHECK_EQ(prediction.size(),
+              static_cast<int64_t>(groups_.advantaged.size()));
+  for (int64_t i = 0; i < prediction.size(); ++i) {
+    const double residual = static_cast<double>(prediction[i]) - truth[i];
+    const double pos = residual > 0.0 ? residual : 0.0;
+    const double neg = residual < 0.0 ? -residual : 0.0;
+    if (groups_.advantaged[static_cast<size_t>(i)]) {
+      pos_adv_ += pos;
+      neg_adv_ += neg;
+      res_adv_ += residual;
+    } else {
+      pos_dis_ += pos;
+      neg_dis_ += neg;
+      res_dis_ += residual;
+    }
+  }
+  ++timesteps_;
+}
+
+ResidualMetrics ResidualAccumulator::Metrics() const {
+  const double n_adv = static_cast<double>(groups_.advantaged_count);
+  const double n_dis = static_cast<double>(groups_.disadvantaged_count);
+  ResidualMetrics metrics;
+  metrics.prd = pos_adv_ / n_adv - pos_dis_ / n_dis;
+  metrics.nrd = neg_adv_ / n_adv - neg_dis_ / n_dis;
+  metrics.rd = res_adv_ / n_adv - res_dis_ / n_dis;
+  return metrics;
+}
+
+}  // namespace core
+}  // namespace equitensor

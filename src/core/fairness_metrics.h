@@ -1,0 +1,64 @@
+#ifndef EQUITENSOR_CORE_FAIRNESS_METRICS_H_
+#define EQUITENSOR_CORE_FAIRNESS_METRICS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace core {
+
+/// Partition of the grid cells into advantaged (G+) and disadvantaged
+/// (G-) groups with respect to a sensitive attribute (§3.5/§4.4: cells
+/// at or above the city-mean value of S are G+).
+struct GroupLabels {
+  std::vector<bool> advantaged;  // size W*H, row-major [cx][cy]
+  int64_t advantaged_count = 0;
+  int64_t disadvantaged_count = 0;
+};
+
+/// Thresholds the sensitive map at `threshold`; with NaN threshold
+/// (default) the map's mean is used, matching §4.4.
+GroupLabels ThresholdGroups(const Tensor& sensitive_map,
+                            double threshold = std::nan(""));
+
+/// The paper's three residual-disparity metrics (Eq. 6 and §3.5):
+///   RD  — difference of summed residuals (ŷ - y) per G+ cell vs per
+///         G- cell over the evaluation period,
+///   PRD — same with positive residuals max(0, ŷ-y) (overestimation),
+///   NRD — same with negative residuals max(0, y-ŷ) (underestimation).
+/// Zero is perfectly fair; sign shows which group is favored.
+struct ResidualMetrics {
+  double rd = 0.0;
+  double prd = 0.0;
+  double nrd = 0.0;
+};
+
+/// Accumulates RD/PRD/NRD over a sequence of prediction/truth grids
+/// ([W, H] each, one per evaluation timestep).
+class ResidualAccumulator {
+ public:
+  explicit ResidualAccumulator(GroupLabels groups);
+
+  /// Adds one timestep of predictions vs ground truth.
+  void Add(const Tensor& prediction, const Tensor& truth);
+
+  /// Current metrics (normalized by group sizes per Eq. 6).
+  ResidualMetrics Metrics() const;
+
+  int64_t timesteps() const { return timesteps_; }
+
+ private:
+  GroupLabels groups_;
+  double pos_adv_ = 0.0, pos_dis_ = 0.0;
+  double neg_adv_ = 0.0, neg_dis_ = 0.0;
+  double res_adv_ = 0.0, res_dis_ = 0.0;
+  int64_t timesteps_ = 0;
+};
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_FAIRNESS_METRICS_H_

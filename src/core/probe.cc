@@ -1,0 +1,99 @@
+#include "core/probe.h"
+
+#include <vector>
+
+#include "models/adversary.h"
+#include "models/cdae.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+// Stacks representation windows [start, start+window) into
+// [N, K, W, H, window].
+Tensor StackWindows(const Tensor& rep, const std::vector<int64_t>& starts,
+                    int64_t window) {
+  const int64_t k = rep.dim(0), w = rep.dim(1), h = rep.dim(2), t = rep.dim(3);
+  const int64_t n = static_cast<int64_t>(starts.size());
+  Tensor out({n, k, w, h, window});
+  for (int64_t b = 0; b < n; ++b) {
+    const int64_t start = starts[static_cast<size_t>(b)];
+    ET_CHECK(start >= 0 && start + window <= t);
+    for (int64_t row = 0; row < k * w * h; ++row) {
+      const float* src = rep.data() + row * t + start;
+      float* dst = out.data() + (b * k * w * h + row) * window;
+      std::copy(src, src + window, dst);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double ProbeSensitiveLeakage(const Tensor& representation,
+                             const Tensor& sensitive_map,
+                             const ProbeConfig& config) {
+  ET_CHECK_EQ(representation.rank(), 4);
+  ET_CHECK_EQ(sensitive_map.rank(), 2);
+  ET_CHECK_EQ(representation.dim(1), sensitive_map.dim(0));
+  ET_CHECK_EQ(representation.dim(2), sensitive_map.dim(1));
+  const int64_t t = representation.dim(3);
+  ET_CHECK_GE(t, 2 * config.window)
+      << "horizon too short for disjoint train/eval windows";
+
+  Rng rng(config.seed);
+  models::AdversaryNet probe(representation.dim(0), rng, config.kernel);
+  nn::Adam optimizer(probe.Parameters(), config.optimizer);
+
+  // First half of the horizon trains, second half evaluates.
+  const int64_t train_max = t / 2 - config.window;
+  const int64_t eval_min = t / 2;
+  const int64_t eval_max = t - config.window;
+  ET_CHECK_GE(train_max, 0);
+  ET_CHECK_GE(eval_max, eval_min);
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (int64_t step = 0; step < config.steps_per_epoch; ++step) {
+      std::vector<int64_t> starts;
+      for (int64_t b = 0; b < config.batch_size; ++b) {
+        starts.push_back(static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(train_max + 1))));
+      }
+      Tensor batch = StackWindows(representation, starts, config.window);
+      Tensor s_tiled = models::TileSensitiveMap(
+          sensitive_map, config.batch_size, config.window);
+      Variable z(std::move(batch), /*requires_grad=*/false);
+      Variable loss = probe.Loss(z, s_tiled);
+      Backward(loss);
+      optimizer.Step();
+    }
+  }
+
+  // Held-out evaluation.
+  double total = 0.0;
+  int64_t count = 0;
+  for (int64_t b = 0; b < config.eval_batches; ++b) {
+    std::vector<int64_t> starts;
+    for (int64_t i = 0; i < config.batch_size; ++i) {
+      starts.push_back(eval_min + static_cast<int64_t>(rng.UniformInt(
+                                      static_cast<uint64_t>(eval_max - eval_min + 1))));
+    }
+    Tensor batch = StackWindows(representation, starts, config.window);
+    Tensor s_tiled = models::TileSensitiveMap(sensitive_map,
+                                              config.batch_size, config.window);
+    Variable z(std::move(batch), /*requires_grad=*/false);
+    total += probe.Loss(z, s_tiled).scalar();
+    ++count;
+  }
+  return total / static_cast<double>(count);
+}
+
+Tensor GaussianNoiseRepresentation(int64_t k, int64_t w, int64_t h, int64_t t,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandomNormal({k, w, h, t}, rng, 0.0f, 1.0f);
+}
+
+}  // namespace core
+}  // namespace equitensor

@@ -1,0 +1,43 @@
+#ifndef EQUITENSOR_CORE_PROBE_H_
+#define EQUITENSOR_CORE_PROBE_H_
+
+#include <cstdint>
+
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace core {
+
+/// Configuration of the separately trained evaluation adversary F
+/// (§3.5): a fresh AdversaryNet is trained from scratch to recover the
+/// sensitive map from a finished representation; its held-out MAE
+/// measures how much sensitive information leaks (higher = fairer).
+struct ProbeConfig {
+  int64_t window = 24;
+  int64_t epochs = 4;
+  int64_t steps_per_epoch = 15;
+  int64_t batch_size = 4;
+  int64_t eval_batches = 6;
+  int64_t kernel = 3;
+  nn::AdamOptions optimizer;
+  uint64_t seed = 99;
+};
+
+/// Trains F on `representation` ([K, W, H, T]) against the sensitive
+/// map ([W, H]) and returns the held-out prediction MAE (Table 4 /
+/// Figure 6). Training and evaluation windows are drawn from disjoint
+/// halves of the horizon.
+double ProbeSensitiveLeakage(const Tensor& representation,
+                             const Tensor& sensitive_map,
+                             const ProbeConfig& config);
+
+/// Gaussian-noise representation of the given shape — the paper's
+/// "best achievable" fairness reference in Figure 6.
+Tensor GaussianNoiseRepresentation(int64_t k, int64_t w, int64_t h, int64_t t,
+                                   uint64_t seed);
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_PROBE_H_

@@ -1,0 +1,245 @@
+#include "data/city.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace data {
+namespace {
+
+double Clamp01(double v) { return std::max(0.0, std::min(1.0, v)); }
+
+}  // namespace
+
+SyntheticCity::SyntheticCity(const CityConfig& config) : config_(config) {
+  ET_CHECK_GE(config.width, 4);
+  ET_CHECK_GE(config.height, 4);
+  ET_CHECK_GE(config.hours, 48);
+  grid_ = {config.width, config.height, 0.0, 0.0, config.cell_km};
+  BuildSpatialFields();
+  BuildBlockGroups();
+  BuildStreets();
+  BuildWeather();
+}
+
+Rng SyntheticCity::MakeRng(uint64_t stream) const {
+  // Mix the stream id into the seed so each consumer gets an
+  // independent but reproducible generator.
+  return Rng(config_.seed * 0x9E3779B97F4A7C15ULL + stream * 0xD2B74407B1CE6E93ULL + 1);
+}
+
+void SyntheticCity::BuildSpatialFields() {
+  const int64_t w = config_.width;
+  const int64_t h = config_.height;
+  Rng rng = MakeRng(1);
+
+  race_white_ = Tensor({w, h});
+  income_high_ = Tensor({w, h});
+  density_ = Tensor({w, h});
+  slope_ = Tensor({w, h});
+  downtown_ = Tensor({w, h});
+
+  // Downtown sits off-center; a secondary hub sits in the north-east.
+  const double cx = 0.45 * w, cy = 0.40 * h;
+  const double hx = 0.80 * w, hy = 0.80 * h;
+  // A historically disadvantaged corridor runs along the south edge:
+  // lower white fraction, lower income, higher density.
+  for (int64_t x = 0; x < w; ++x) {
+    for (int64_t y = 0; y < h; ++y) {
+      const int64_t i = x * h + y;
+      const double dx = (x + 0.5 - cx) / w, dy = (y + 0.5 - cy) / h;
+      const double d_downtown = std::sqrt(dx * dx + dy * dy);
+      const double dhx = (x + 0.5 - hx) / w, dhy = (y + 0.5 - hy) / h;
+      const double d_hub = std::sqrt(dhx * dhx + dhy * dhy);
+
+      downtown_[i] = static_cast<float>(std::exp(-6.0 * d_downtown));
+      const double hub = 0.5 * std::exp(-8.0 * d_hub);
+      density_[i] = static_cast<float>(
+          Clamp01(0.15 + 0.75 * downtown_[i] + hub + 0.08 * rng.Normal()));
+
+      // South corridor: y small -> disadvantaged.
+      const double south = 1.0 - static_cast<double>(y) / (h - 1);
+      race_white_[i] = static_cast<float>(
+          Clamp01(0.85 - 0.55 * south + 0.06 * rng.Normal()));
+      income_high_[i] = static_cast<float>(
+          Clamp01(0.70 - 0.45 * south + 0.25 * downtown_[i] * (1.0 - south) +
+                  0.06 * rng.Normal()));
+
+      // Hills rise toward the west edge and the north-east hub.
+      const double west = 1.0 - static_cast<double>(x) / (w - 1);
+      slope_[i] = static_cast<float>(
+          Clamp01(0.55 * west * west + 0.35 * std::exp(-10.0 * d_hub) +
+                  0.05 * rng.Normal()));
+    }
+  }
+}
+
+void SyntheticCity::BuildBlockGroups() {
+  // Census-style block groups: 2x2-cell rectangles with jittered
+  // corners, each carrying the average of the latent field inside it.
+  // The alignment pipeline will rasterize these with proportional-area
+  // allocation — the same treatment the paper gives SimplyAnalytics
+  // block-group data.
+  Rng rng = MakeRng(2);
+  const int64_t w = config_.width, h = config_.height;
+  const double cs = config_.cell_km;
+  const int64_t bw = 2, bh = 2;
+  for (int64_t bx = 0; bx < w; bx += bw) {
+    for (int64_t by = 0; by < h; by += bh) {
+      const int64_t x1 = std::min(bx + bw, w);
+      const int64_t y1 = std::min(by + bh, h);
+      // Average latent values over the block's cells.
+      double race = 0.0, income = 0.0, downtown = 0.0;
+      int64_t count = 0;
+      for (int64_t x = bx; x < x1; ++x) {
+        for (int64_t y = by; y < y1; ++y) {
+          race += race_white_[x * h + y];
+          income += income_high_[x * h + y];
+          downtown += downtown_[x * h + y];
+          ++count;
+        }
+      }
+      race /= count;
+      income /= count;
+      downtown /= count;
+
+      const double jitter = 0.15 * cs;
+      auto jx = [&] { return rng.Uniform(-jitter, jitter); };
+      geo::Polygon poly = {
+          {bx * cs + jx(), by * cs + jx()},
+          {x1 * cs + jx(), by * cs + jx()},
+          {x1 * cs + jx(), y1 * cs + jx()},
+          {bx * cs + jx(), y1 * cs + jx()},
+      };
+      race_blocks_.push_back({poly, race});
+      income_blocks_.push_back({poly, income});
+      // House prices mirror historical discrimination: high where
+      // income and white fraction are high (paper §1, citing [3]).
+      const double bias = config_.bias_strength;
+      const double price =
+          Clamp01(0.2 + 0.4 * income + 0.25 * bias * race + 0.2 * downtown +
+                  0.05 * rng.Normal());
+      house_price_blocks_.push_back({poly, price});
+    }
+  }
+}
+
+void SyntheticCity::BuildStreets() {
+  Rng rng = MakeRng(3);
+  const int64_t w = config_.width, h = config_.height;
+  const double cs = config_.cell_km;
+  const double city_w = w * cs, city_h = h * cs;
+
+  // Arterial grid: avenues every ~2 cells plus diagonals to downtown.
+  for (double x = 0.5 * cs; x < city_w; x += 2.0 * cs) {
+    streets_.push_back({{x, 0.0}, {x + rng.Uniform(-0.3, 0.3), city_h}});
+  }
+  for (double y = 0.5 * cs; y < city_h; y += 2.0 * cs) {
+    streets_.push_back({{0.0, y}, {city_w, y + rng.Uniform(-0.3, 0.3)}});
+  }
+  const geo::Point center{0.45 * city_w, 0.40 * city_h};
+  for (int i = 0; i < 6; ++i) {
+    const geo::Point edge{rng.Uniform(0.0, city_w), rng.Uniform(0.0, city_h)};
+    streets_.push_back({edge, center});
+  }
+
+  // Transit follows the densest streets (every other arterial).
+  for (size_t i = 0; i < streets_.size(); i += 2) {
+    transit_routes_.push_back(streets_[i]);
+  }
+
+  // Bikelane investment concentrates in high-income areas (paper §1:
+  // transportation data reflects biased policy toward wealthy
+  // neighborhoods [40]). Lanes run along northern avenues.
+  const double bias = config_.bias_strength;
+  for (double x = 1.0 * cs; x < city_w; x += 2.0 * cs) {
+    const double y_start = city_h * Clamp01(0.45 * bias + rng.Uniform(-0.1, 0.1));
+    bikelanes_.push_back({{x, y_start}, {x, city_h}});
+  }
+  bikelanes_.push_back(
+      {{0.0, 0.75 * city_h}, {city_w, 0.75 * city_h}});
+
+  // Cache densities for the event simulators.
+  street_density_ = geo::RasterizeLines(streets_, grid_);
+  const float street_max = std::max(1.0f, street_density_.AbsMax());
+  for (int64_t i = 0; i < street_density_.size(); ++i) {
+    street_density_[i] /= street_max;
+  }
+  bikelane_density_ = geo::RasterizeLines(bikelanes_, grid_);
+  const float lane_max = std::max(1.0f, bikelane_density_.AbsMax());
+  for (int64_t i = 0; i < bikelane_density_.size(); ++i) {
+    bikelane_density_[i] /= lane_max;
+  }
+}
+
+void SyntheticCity::BuildWeather() {
+  Rng rng = MakeRng(4);
+  const int64_t t_max = config_.hours;
+  temperature_ = Tensor({t_max});
+  precipitation_ = Tensor({t_max});
+  pressure_ = Tensor({t_max});
+  air_quality_ = Tensor({t_max});
+
+  double pressure_walk = 0.0;
+  double rain_state = 0.0;  // Markov wet/dry intensity.
+  for (int64_t t = 0; t < t_max; ++t) {
+    const double day = static_cast<double>(t) / 24.0;
+    const double hour = static_cast<double>(t % 24);
+    // Seasonal + diurnal temperature (degrees C mapped later to [0,1]
+    // by the pipeline's max-abs scaling; keep raw units here).
+    const double seasonal = 12.0 + 8.0 * std::sin(2.0 * M_PI * day / 365.0);
+    const double diurnal = 4.0 * std::sin(2.0 * M_PI * (hour - 9.0) / 24.0);
+    temperature_[t] =
+        static_cast<float>(seasonal + diurnal + rng.Normal(0.0, 0.8));
+
+    // Rain: two-state Markov process with exponential intensity.
+    if (rain_state <= 0.0) {
+      if (rng.Bernoulli(0.04)) rain_state = rng.Uniform(0.5, 3.0);
+    } else {
+      rain_state = rng.Bernoulli(0.25) ? 0.0 : rain_state * rng.Uniform(0.6, 1.1);
+    }
+    precipitation_[t] = static_cast<float>(std::max(0.0, rain_state));
+
+    // Pressure: mean-reverting random walk around 1013 hPa.
+    pressure_walk = 0.98 * pressure_walk + rng.Normal(0.0, 0.6);
+    pressure_[t] = static_cast<float>(1013.0 + pressure_walk -
+                                      0.8 * precipitation_[t]);
+
+    // Air quality index: worse in summer and during calm (high
+    // pressure) periods, better when raining.
+    air_quality_[t] = static_cast<float>(std::max(
+        1.0, 28.0 + 10.0 * std::sin(2.0 * M_PI * day / 365.0) +
+                 0.5 * pressure_walk - 3.0 * precipitation_[t] +
+                 rng.Normal(0.0, 2.0)));
+  }
+}
+
+double SyntheticCity::CommuteFactor(int64_t hour) {
+  const double h = static_cast<double>(hour % 24);
+  const double am = std::exp(-0.5 * (h - 8.0) * (h - 8.0) / (1.5 * 1.5));
+  const double pm = std::exp(-0.5 * (h - 17.0) * (h - 17.0) / (2.0 * 2.0));
+  return Clamp01(0.1 + 0.9 * std::max(am, pm));
+}
+
+double SyntheticCity::NightFactor(int64_t hour) {
+  const double h = static_cast<double>(hour % 24);
+  // Peak around 22h-2h, wrapping midnight.
+  const double d = std::min(std::fabs(h - 23.0), std::fabs(h + 1.0));
+  return Clamp01(0.15 + 0.85 * std::exp(-0.5 * d * d / (2.5 * 2.5)));
+}
+
+double SyntheticCity::DaytimeFactor(int64_t hour) {
+  const double h = static_cast<double>(hour % 24);
+  return Clamp01(0.2 + 0.8 * std::exp(-0.5 * (h - 13.0) * (h - 13.0) /
+                                      (4.0 * 4.0)));
+}
+
+bool SyntheticCity::IsWeekend(int64_t hour) {
+  const int64_t day_of_week = (hour / 24) % 7;  // 0 = Monday.
+  return day_of_week >= 5;
+}
+
+}  // namespace data
+}  // namespace equitensor

@@ -1,0 +1,128 @@
+#ifndef EQUITENSOR_DATA_CITY_H_
+#define EQUITENSOR_DATA_CITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/rasterize.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace equitensor {
+namespace data {
+
+/// Configuration of the synthetic city that stands in for the paper's
+/// Seattle study area (see DESIGN.md §2 for the substitution rationale).
+struct CityConfig {
+  int64_t width = 12;      // grid cells along x
+  int64_t height = 10;     // grid cells along y
+  double cell_km = 1.0;    // cell edge length
+  int64_t hours = 24 * 60; // simulated horizon (default 60 days)
+  uint64_t seed = 42;
+  /// Strength of the discriminatory couplings injected into the data
+  /// (policing bias vs. race, bikeshare investment vs. income, ...).
+  double bias_strength = 1.0;
+};
+
+/// Latent ground-truth model of the synthetic city. All spatial fields
+/// are [W, H] tensors; temporal drivers are [T] tensors. The sensitive
+/// attributes (race, income) are organized as block-group polygons so
+/// the alignment pipeline exercises proportional-area rasterization
+/// exactly as the paper's census data does.
+class SyntheticCity {
+ public:
+  explicit SyntheticCity(const CityConfig& config);
+
+  const CityConfig& config() const { return config_; }
+  const geo::GridSpec& grid() const { return grid_; }
+
+  // --- Spatial latent fields ([W, H], values in [0, 1]) ---
+
+  /// Fraction of white residents per cell (sensitive attribute #1).
+  const Tensor& race_white_fraction() const { return race_white_; }
+  /// Fraction of high-income households per cell (sensitive #2).
+  const Tensor& income_high_fraction() const { return income_high_; }
+  /// Population / business density.
+  const Tensor& density() const { return density_; }
+  /// Terrain steepness.
+  const Tensor& slope() const { return slope_; }
+  /// Proximity to the downtown core (1 at center, decaying outward).
+  const Tensor& downtown() const { return downtown_; }
+  /// Street-network density (derived from the street polylines).
+  const Tensor& street_density() const { return street_density_; }
+  /// Bikelane presence (derived from the bikelane polylines).
+  const Tensor& bikelane_density() const { return bikelane_density_; }
+
+  // --- Block groups (census-style polygons carrying the sensitive
+  //     attributes; used by the alignment pipeline) ---
+  const std::vector<geo::ValuedRegion>& race_block_groups() const {
+    return race_blocks_;
+  }
+  const std::vector<geo::ValuedRegion>& income_block_groups() const {
+    return income_blocks_;
+  }
+  const std::vector<geo::ValuedRegion>& house_price_regions() const {
+    return house_price_blocks_;
+  }
+
+  // --- Street-network geometry ---
+  const std::vector<geo::Polyline>& streets() const { return streets_; }
+  const std::vector<geo::Polyline>& transit_routes() const {
+    return transit_routes_;
+  }
+  const std::vector<geo::Polyline>& bikelanes() const { return bikelanes_; }
+
+  // --- Temporal drivers ([T]) ---
+  const Tensor& temperature() const { return temperature_; }
+  const Tensor& precipitation() const { return precipitation_; }
+  const Tensor& pressure() const { return pressure_; }
+  const Tensor& air_quality() const { return air_quality_; }
+
+  /// Commute-shaped diurnal factor in [0, 1]: peaks at 8h and 17h.
+  static double CommuteFactor(int64_t hour);
+  /// Nightlife-shaped diurnal factor in [0, 1]: peaks late evening.
+  static double NightFactor(int64_t hour);
+  /// Daytime activity factor in [0, 1]: broad midday peak.
+  static double DaytimeFactor(int64_t hour);
+  /// Weekend indicator given the simulation hour (week starts Monday).
+  static bool IsWeekend(int64_t hour);
+
+  /// Deterministic per-purpose RNG forked from the city seed.
+  Rng MakeRng(uint64_t stream) const;
+
+ private:
+  void BuildSpatialFields();
+  void BuildBlockGroups();
+  void BuildStreets();
+  void BuildWeather();
+
+  CityConfig config_;
+  geo::GridSpec grid_;
+
+  Tensor race_white_;
+  Tensor income_high_;
+  Tensor density_;
+  Tensor slope_;
+  Tensor downtown_;
+  Tensor street_density_;
+  Tensor bikelane_density_;
+
+  std::vector<geo::ValuedRegion> race_blocks_;
+  std::vector<geo::ValuedRegion> income_blocks_;
+  std::vector<geo::ValuedRegion> house_price_blocks_;
+
+  std::vector<geo::Polyline> streets_;
+  std::vector<geo::Polyline> transit_routes_;
+  std::vector<geo::Polyline> bikelanes_;
+
+  Tensor temperature_;
+  Tensor precipitation_;
+  Tensor pressure_;
+  Tensor air_quality_;
+};
+
+}  // namespace data
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_DATA_CITY_H_

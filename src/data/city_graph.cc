@@ -1,0 +1,59 @@
+#include "data/city_graph.h"
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace data {
+
+Tensor BuildCellAdjacency(const SyntheticCity& city, double base_weight,
+                          double street_scale) {
+  const int64_t w = city.config().width;
+  const int64_t h = city.config().height;
+  const int64_t n = w * h;
+  const Tensor& streets = city.street_density();
+  Tensor adjacency({n, n});
+  auto node = [h](int64_t cx, int64_t cy) { return cx * h + cy; };
+  for (int64_t cx = 0; cx < w; ++cx) {
+    for (int64_t cy = 0; cy < h; ++cy) {
+      const int64_t i = node(cx, cy);
+      const int64_t neighbors[4][2] = {
+          {cx + 1, cy}, {cx - 1, cy}, {cx, cy + 1}, {cx, cy - 1}};
+      for (const auto& nb : neighbors) {
+        if (nb[0] < 0 || nb[0] >= w || nb[1] < 0 || nb[1] >= h) continue;
+        const int64_t j = node(nb[0], nb[1]);
+        const double street = 0.5 * (streets[i] + streets[j]);
+        adjacency[i * n + j] =
+            static_cast<float>(base_weight + street_scale * street);
+      }
+    }
+  }
+  return adjacency;
+}
+
+Tensor FieldToNodeFeatures(const Tensor& field) {
+  if (field.rank() == 2) {
+    // [W, H] -> [W*H, 1]; row-major cell order matches BuildCellAdjacency.
+    return field.Reshape({field.size(), 1});
+  }
+  ET_CHECK_EQ(field.rank(), 3) << "expected [C, W, H] or [W, H]";
+  const int64_t c = field.dim(0), w = field.dim(1), h = field.dim(2);
+  Tensor features({w * h, c});
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t cell = 0; cell < w * h; ++cell) {
+      features[cell * c + ch] = field[ch * w * h + cell];
+    }
+  }
+  return features;
+}
+
+Tensor NodeValuesToField(const Tensor& node_values, int64_t w, int64_t h) {
+  ET_CHECK(node_values.rank() == 1 ||
+           (node_values.rank() == 2 && node_values.dim(1) == 1));
+  ET_CHECK_EQ(node_values.size(), w * h);
+  Tensor field({w, h});
+  for (int64_t i = 0; i < w * h; ++i) field[i] = node_values[i];
+  return field;
+}
+
+}  // namespace data
+}  // namespace equitensor

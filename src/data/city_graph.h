@@ -1,0 +1,33 @@
+#ifndef EQUITENSOR_DATA_CITY_GRAPH_H_
+#define EQUITENSOR_DATA_CITY_GRAPH_H_
+
+#include "data/city.h"
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace data {
+
+/// Builds the city's cell graph for graph-convolutional models (the
+/// paper's §6 future-work direction): nodes are grid cells in
+/// row-major [cx][cy] order; 4-neighbor edges are weighted by the
+/// street connectivity between the two cells, so propagation follows
+/// the road network rather than the raw raster.
+///
+/// Edge weight = base_weight + street_scale * mean(street density of
+/// the two endpoints). Returns a dense symmetric adjacency
+/// [W*H, W*H] with zero diagonal.
+Tensor BuildCellAdjacency(const SyntheticCity& city, double base_weight = 0.2,
+                          double street_scale = 1.0);
+
+/// Flattens a [C, W, H] (or [W, H] -> C=1) spatial tensor into GCN
+/// node features [W*H, C].
+Tensor FieldToNodeFeatures(const Tensor& field);
+
+/// Inverse of FieldToNodeFeatures for single-channel outputs:
+/// [W*H, 1] or [W*H] -> [W, H].
+Tensor NodeValuesToField(const Tensor& node_values, int64_t w, int64_t h);
+
+}  // namespace data
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_DATA_CITY_GRAPH_H_

@@ -1,0 +1,151 @@
+#include "data/csv_loader.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace equitensor {
+namespace data {
+namespace {
+
+bool ParseDouble(const std::string& field, double* value) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  *value = std::strtod(field.c_str(), &end);
+  return end == field.c_str() + field.size();
+}
+
+}  // namespace
+
+bool ParseCsvLine(const std::string& line, char delimiter,
+                  std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;  // Doubled quote.
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (in_quotes) return false;  // Unterminated quote.
+  fields->push_back(std::move(current));
+  return true;
+}
+
+bool ParseCsv(std::istream& input, const CsvOptions& options,
+              std::vector<std::vector<std::string>>* rows) {
+  rows->clear();
+  std::string line;
+  bool first = true;
+  while (std::getline(input, line)) {
+    if (first && options.has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    if (!ParseCsvLine(line, options.delimiter, &fields)) return false;
+    rows->push_back(std::move(fields));
+  }
+  return true;
+}
+
+bool LoadEventsCsv(const std::string& path, int x_column, int y_column,
+                   int hour_column, std::vector<Event>* events,
+                   int64_t* skipped, const CsvOptions& options) {
+  ET_CHECK(events != nullptr);
+  std::ifstream file(path);
+  if (!file) {
+    ET_LOG(Warning) << "cannot open " << path;
+    return false;
+  }
+  std::vector<std::vector<std::string>> rows;
+  if (!ParseCsv(file, options, &rows)) return false;
+
+  const int max_column = std::max({x_column, y_column, hour_column});
+  int64_t skipped_count = 0;
+  events->clear();
+  events->reserve(rows.size());
+  for (const auto& row : rows) {
+    double x = 0.0, y = 0.0, hour = 0.0;
+    if (static_cast<int>(row.size()) <= max_column ||
+        !ParseDouble(row[static_cast<size_t>(x_column)], &x) ||
+        !ParseDouble(row[static_cast<size_t>(y_column)], &y) ||
+        !ParseDouble(row[static_cast<size_t>(hour_column)], &hour)) {
+      ++skipped_count;
+      continue;
+    }
+    events->push_back({{x, y}, static_cast<int64_t>(hour)});
+  }
+  if (skipped != nullptr) *skipped = skipped_count;
+  return true;
+}
+
+bool LoadSeriesCsv(const std::string& path, int hour_column, int value_column,
+                   int64_t hours, Tensor* series, const CsvOptions& options) {
+  ET_CHECK(series != nullptr);
+  ET_CHECK_GT(hours, 0);
+  std::ifstream file(path);
+  if (!file) {
+    ET_LOG(Warning) << "cannot open " << path;
+    return false;
+  }
+  std::vector<std::vector<std::string>> rows;
+  if (!ParseCsv(file, options, &rows)) return false;
+
+  *series = Tensor({hours}, std::nanf(""));
+  const int max_column = std::max(hour_column, value_column);
+  for (const auto& row : rows) {
+    double hour = 0.0, value = 0.0;
+    if (static_cast<int>(row.size()) <= max_column ||
+        !ParseDouble(row[static_cast<size_t>(hour_column)], &hour) ||
+        !ParseDouble(row[static_cast<size_t>(value_column)], &value)) {
+      continue;
+    }
+    const int64_t h = static_cast<int64_t>(hour);
+    if (h < 0 || h >= hours) continue;
+    if (std::isnan((*series)[h])) {
+      (*series)[h] = static_cast<float>(value);
+    } else {
+      (*series)[h] += static_cast<float>(value);  // Duplicate hours sum.
+    }
+  }
+  return true;
+}
+
+bool WriteFieldCsv(const std::string& path, const Tensor& field) {
+  ET_CHECK_EQ(field.rank(), 2);
+  std::ofstream file(path);
+  if (!file) return false;
+  file << "x,y,value\n";
+  for (int64_t x = 0; x < field.dim(0); ++x) {
+    for (int64_t y = 0; y < field.dim(1); ++y) {
+      file << x << "," << y << "," << field[x * field.dim(1) + y] << "\n";
+    }
+  }
+  return static_cast<bool>(file);
+}
+
+}  // namespace data
+}  // namespace equitensor

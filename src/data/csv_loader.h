@@ -1,0 +1,54 @@
+#ifndef EQUITENSOR_DATA_CSV_LOADER_H_
+#define EQUITENSOR_DATA_CSV_LOADER_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "data/events.h"
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace data {
+
+/// CSV ingestion for real open-data feeds (City of Seattle portal
+/// exports and the like), so the alignment pipeline can run on actual
+/// data instead of the simulator. RFC-4180-style: quoted fields,
+/// doubled quotes, configurable delimiter.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+/// Parses an entire stream into rows of fields. Returns false on a
+/// malformed quoted field (unterminated quote).
+bool ParseCsv(std::istream& input, const CsvOptions& options,
+              std::vector<std::vector<std::string>>* rows);
+
+/// Parses one CSV line (no trailing newline) into fields.
+bool ParseCsvLine(const std::string& line, char delimiter,
+                  std::vector<std::string>* fields);
+
+/// Loads geocoded events from a CSV file with numeric columns for x
+/// (km), y (km) and hour index. Rows with non-numeric values in those
+/// columns are skipped and counted in `skipped` (may be null).
+bool LoadEventsCsv(const std::string& path, int x_column, int y_column,
+                   int hour_column, std::vector<Event>* events,
+                   int64_t* skipped = nullptr,
+                   const CsvOptions& options = {});
+
+/// Loads an hourly scalar series of length `hours` from (hour, value)
+/// columns; missing hours become NaN (for the imputation stage),
+/// duplicate hours are summed.
+bool LoadSeriesCsv(const std::string& path, int hour_column, int value_column,
+                   int64_t hours, Tensor* series,
+                   const CsvOptions& options = {});
+
+/// Writes a [W, H] field as CSV (`x,y,value` rows) — the export format
+/// used to hand EquiTensor slices to GIS tools.
+bool WriteFieldCsv(const std::string& path, const Tensor& field);
+
+}  // namespace data
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_DATA_CSV_LOADER_H_

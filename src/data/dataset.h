@@ -1,0 +1,40 @@
+#ifndef EQUITENSOR_DATA_DATASET_H_
+#define EQUITENSOR_DATA_DATASET_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace data {
+
+/// Dimensionality classes of urban datasets (§3.1 of the paper).
+enum class DatasetKind {
+  kTemporal,        // 1D: varies in time only (weather, air quality)
+  kSpatial,         // 2D: varies in space only (road network, POIs)
+  kSpatioTemporal,  // 3D: varies in both (collisions, 911 calls)
+};
+
+/// Human-readable kind name.
+const char* DatasetKindName(DatasetKind kind);
+
+/// A dataset after alignment to the common grid, imputation, and
+/// max-abs scaling. Channel-first layouts (the NN convention):
+///   kTemporal:        [C, T]
+///   kSpatial:         [C, W, H]
+///   kSpatioTemporal:  [C, W, H, T]
+struct AlignedDataset {
+  std::string name;
+  DatasetKind kind = DatasetKind::kTemporal;
+  Tensor tensor;
+  /// Factor the raw values were divided by during max-abs scaling
+  /// (multiply back to recover original units).
+  float scale = 1.0f;
+
+  int64_t channels() const { return tensor.dim(0); }
+};
+
+}  // namespace data
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_DATA_DATASET_H_

@@ -1,0 +1,95 @@
+#include "data/events.h"
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace data {
+
+std::vector<Event> SimulateEvents(const geo::GridSpec& grid, int64_t hours,
+                                  const IntensityFn& intensity, Rng& rng) {
+  std::vector<Event> events;
+  for (int64_t t = 0; t < hours; ++t) {
+    for (int64_t cx = 0; cx < grid.width; ++cx) {
+      for (int64_t cy = 0; cy < grid.height; ++cy) {
+        const double lambda = intensity(cx, cy, t);
+        if (lambda <= 0.0) continue;
+        const int count = rng.Poisson(lambda);
+        const geo::Rect bounds = grid.CellBounds(cx, cy);
+        for (int e = 0; e < count; ++e) {
+          events.push_back({{rng.Uniform(bounds.min_x, bounds.max_x),
+                             rng.Uniform(bounds.min_y, bounds.max_y)},
+                            t});
+        }
+      }
+    }
+  }
+  return events;
+}
+
+Tensor EventsToGrid(const std::vector<Event>& events, const geo::GridSpec& grid,
+                    int64_t hours) {
+  ET_CHECK_GT(hours, 0);
+  Tensor out({grid.width, grid.height, hours});
+  for (const Event& event : events) {
+    if (event.hour < 0 || event.hour >= hours) continue;
+    const auto cell = grid.CellOf(event.location);
+    if (!cell) continue;
+    out[(cell->first * grid.height + cell->second) * hours + event.hour] +=
+        1.0f;
+  }
+  return out;
+}
+
+Tensor EventsToSeries(const std::vector<Event>& events, int64_t hours) {
+  ET_CHECK_GT(hours, 0);
+  Tensor out({hours});
+  for (const Event& event : events) {
+    if (event.hour < 0 || event.hour >= hours) continue;
+    out[event.hour] += 1.0f;
+  }
+  return out;
+}
+
+Tensor EventsToDensity(const std::vector<Event>& events,
+                       const geo::GridSpec& grid) {
+  Tensor out({grid.width, grid.height});
+  for (const Event& event : events) {
+    const auto cell = grid.CellOf(event.location);
+    if (!cell) continue;
+    out[cell->first * grid.height + cell->second] += 1.0f;
+  }
+  return out;
+}
+
+std::vector<geo::Point> SampleWeightedPoints(const Tensor& weight,
+                                             const geo::GridSpec& grid,
+                                             int64_t count, Rng& rng) {
+  ET_CHECK_EQ(weight.rank(), 2);
+  ET_CHECK_EQ(weight.dim(0), grid.width);
+  ET_CHECK_EQ(weight.dim(1), grid.height);
+  // Build the cumulative distribution over cells.
+  std::vector<double> cdf(static_cast<size_t>(weight.size()));
+  double total = 0.0;
+  for (int64_t i = 0; i < weight.size(); ++i) {
+    ET_CHECK_GE(weight[i], 0.0f) << "weights must be non-negative";
+    total += weight[i];
+    cdf[static_cast<size_t>(i)] = total;
+  }
+  std::vector<geo::Point> points;
+  if (total <= 0.0) return points;
+  points.reserve(static_cast<size_t>(count));
+  for (int64_t n = 0; n < count; ++n) {
+    const double u = rng.Uniform() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const int64_t idx = static_cast<int64_t>(it - cdf.begin());
+    const int64_t cx = idx / grid.height;
+    const int64_t cy = idx % grid.height;
+    const geo::Rect bounds = grid.CellBounds(cx, cy);
+    points.push_back({rng.Uniform(bounds.min_x, bounds.max_x),
+                      rng.Uniform(bounds.min_y, bounds.max_y)});
+  }
+  return points;
+}
+
+}  // namespace data
+}  // namespace equitensor

@@ -1,0 +1,52 @@
+#ifndef EQUITENSOR_DATA_EVENTS_H_
+#define EQUITENSOR_DATA_EVENTS_H_
+
+#include <functional>
+#include <vector>
+
+#include "geo/grid.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace equitensor {
+namespace data {
+
+/// A geocoded, timestamped incident (crime report, 911 dispatch,
+/// collision, permit, bikeshare trip start, ...).
+struct Event {
+  geo::Point location;
+  int64_t hour = 0;
+};
+
+/// Per-cell per-hour Poisson intensity, indexed by (cx, cy, hour).
+using IntensityFn = std::function<double(int64_t cx, int64_t cy, int64_t t)>;
+
+/// Samples a spatio-temporal Poisson process: for every cell and hour,
+/// draws Poisson(intensity) events placed uniformly inside the cell.
+std::vector<Event> SimulateEvents(const geo::GridSpec& grid, int64_t hours,
+                                  const IntensityFn& intensity, Rng& rng);
+
+/// Aggregates events into hourly per-cell counts [W, H, T] (§3.1's 3D
+/// alignment: rasterize in space, 1-hour bins in time). Events outside
+/// the grid or horizon are dropped.
+Tensor EventsToGrid(const std::vector<Event>& events, const geo::GridSpec& grid,
+                    int64_t hours);
+
+/// Aggregates events into an hourly count time series [T].
+Tensor EventsToSeries(const std::vector<Event>& events, int64_t hours);
+
+/// Spatial density of events irrespective of time: [W, H] counts.
+Tensor EventsToDensity(const std::vector<Event>& events,
+                       const geo::GridSpec& grid);
+
+/// Draws `count` points with probability proportional to `weight`
+/// ([W, H], non-negative), uniform within each chosen cell. Used for
+/// POI placement.
+std::vector<geo::Point> SampleWeightedPoints(const Tensor& weight,
+                                             const geo::GridSpec& grid,
+                                             int64_t count, Rng& rng);
+
+}  // namespace data
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_DATA_EVENTS_H_

@@ -1,0 +1,437 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/events.h"
+#include "data/preprocess.h"
+#include "geo/rasterize.h"
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace data {
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+// Weather response factors shared by the outdoor-activity processes.
+// Rain sharply suppresses outdoor demand, which is what makes a
+// target-hour precipitation feature (oracle / EquiTensor) genuinely
+// more informative than extrapolating the demand history.
+double RainPenalty(float precipitation) {
+  return 1.0 / (1.0 + 1.10 * static_cast<double>(precipitation));
+}
+
+double TempComfort(float temperature) {
+  return Clamp(0.30 + (static_cast<double>(temperature) - 4.0) / 18.0, 0.30,
+               1.25);
+}
+
+AlignedDataset Make1d(std::string name, const Tensor& series) {
+  ET_CHECK_EQ(series.rank(), 1);
+  AlignedDataset ds;
+  ds.name = std::move(name);
+  ds.kind = DatasetKind::kTemporal;
+  ds.tensor = series.Reshape({1, series.dim(0)});
+  return ds;
+}
+
+AlignedDataset Make2d(std::string name, const Tensor& field) {
+  ET_CHECK_EQ(field.rank(), 2);
+  AlignedDataset ds;
+  ds.name = std::move(name);
+  ds.kind = DatasetKind::kSpatial;
+  ds.tensor = field.Reshape({1, field.dim(0), field.dim(1)});
+  return ds;
+}
+
+AlignedDataset Make3d(std::string name, const Tensor& grid3d) {
+  ET_CHECK_EQ(grid3d.rank(), 3);
+  AlignedDataset ds;
+  ds.name = std::move(name);
+  ds.kind = DatasetKind::kSpatioTemporal;
+  ds.tensor = grid3d.Reshape({1, grid3d.dim(0), grid3d.dim(1), grid3d.dim(2)});
+  return ds;
+}
+
+// Samples points along each polyline at roughly `spacing` intervals
+// (transit stops along routes, signals along streets).
+std::vector<geo::Point> PointsAlong(const std::vector<geo::Polyline>& lines,
+                                    double spacing, Rng& rng) {
+  std::vector<geo::Point> points;
+  for (const geo::Polyline& line : lines) {
+    for (size_t i = 1; i < line.size(); ++i) {
+      const geo::Point& a = line[i - 1];
+      const geo::Point& b = line[i];
+      const double dx = b.x - a.x, dy = b.y - a.y;
+      const double len = std::sqrt(dx * dx + dy * dy);
+      const int n = std::max(1, static_cast<int>(len / spacing));
+      for (int k = 0; k <= n; ++k) {
+        const double t =
+            Clamp(static_cast<double>(k) / n + rng.Uniform(-0.2, 0.2) / n, 0.0,
+                  1.0);
+        points.push_back({a.x + t * dx, a.y + t * dy});
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+const char* TaskName(Task task) {
+  switch (task) {
+    case Task::kBikeshare:
+      return "bikeshare";
+    case Task::kCrime:
+      return "crime";
+    case Task::kFire:
+      return "fire";
+    case Task::kBikeCount:
+      return "bike_count";
+  }
+  return "?";
+}
+
+int UrbanDataBundle::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    if (datasets[i].name == name) return static_cast<int>(i);
+  }
+  ET_CHECK(false) << "no dataset named " << name;
+  return -1;
+}
+
+std::vector<int> UrbanDataBundle::OracleIndices(Task task) const {
+  // Table 1: "known predictive oracle features".
+  std::vector<std::string> names;
+  switch (task) {
+    case Task::kBikeshare:
+      names = {"precipitation", "pressure", "temperature", "steep_slopes",
+               "bikelanes"};
+      break;
+    case Task::kCrime:
+      names = {"precipitation", "pressure",     "temperature",
+               "house_price",   "poi_business", "poi_food",
+               "seattle_streets", "seattle_911_calls"};
+      break;
+    case Task::kFire:
+      names = {"precipitation",   "pressure",     "temperature",
+               "house_price",     "poi_business", "poi_food",
+               "seattle_streets", "total_flow_count", "steep_slopes"};
+      break;
+    case Task::kBikeCount:
+      names = {"precipitation", "pressure", "temperature"};
+      break;
+  }
+  std::vector<int> indices;
+  indices.reserve(names.size());
+  for (const std::string& n : names) indices.push_back(IndexOf(n));
+  return indices;
+}
+
+const Tensor& UrbanDataBundle::Target3d(Task task) const {
+  switch (task) {
+    case Task::kBikeshare:
+      return bikeshare;
+    case Task::kCrime:
+      return crime;
+    case Task::kFire:
+      return fire;
+    default:
+      ET_CHECK(false) << "Target3d on 1D task";
+  }
+  return bikeshare;
+}
+
+UrbanDataBundle BuildSeattleAnalog(const CityConfig& config) {
+  UrbanDataBundle bundle;
+  bundle.config = config;
+  bundle.city = std::make_shared<SyntheticCity>(config);
+  const SyntheticCity& city = *bundle.city;
+  const geo::GridSpec& grid = city.grid();
+  const int64_t w = config.width, h = config.height, t_max = config.hours;
+  const double bias = config.bias_strength;
+
+  // --- Sensitive attributes from block groups (area-weighted). ---
+  bundle.race_map = geo::RasterizeRegionsAverage(city.race_block_groups(), grid);
+  bundle.income_map =
+      geo::RasterizeRegionsAverage(city.income_block_groups(), grid);
+
+  // Convenience handles to latent fields.
+  const Tensor& density = city.density();
+  const Tensor& slope = city.slope();
+  const Tensor& downtown = city.downtown();
+  const Tensor& streets_d = city.street_density();
+  const Tensor& lanes_d = city.bikelane_density();
+  const Tensor& race = bundle.race_map;
+  const Tensor& income = bundle.income_map;
+  auto cell = [h](const Tensor& f, int64_t cx, int64_t cy) {
+    return static_cast<double>(f[cx * h + cy]);
+  };
+
+  std::vector<AlignedDataset>& out = bundle.datasets;
+  out.reserve(23);
+
+  // === 1D datasets (Table 2: Temperature..Air quality, NCEI / PSCAA) ===
+  out.push_back(Make1d("temperature", city.temperature()));
+  out.push_back(Make1d("precipitation", city.precipitation()));
+  out.push_back(Make1d("pressure", city.pressure()));
+  {
+    AlignedDataset aq = Make1d("air_quality", city.air_quality());
+    Rng rng = city.MakeRng(10);
+    InjectMissing(&aq.tensor, 0.03, rng);  // Sensor outages.
+    out.push_back(std::move(aq));
+  }
+
+  // === 2D datasets ===
+  // House price (Zillow ZHVI analog): block-group regions,
+  // proportional-area allocation of an intensive index -> average.
+  out.push_back(Make2d("house_price", geo::RasterizeRegionsAverage(
+                                          city.house_price_regions(), grid)));
+
+  // Eight POI categories (King County GIS analog): weighted point sets.
+  {
+    Rng rng = city.MakeRng(11);
+    struct PoiSpec {
+      const char* name;
+      Tensor weight;
+      int64_t count;
+    };
+    auto blend = [&](double a, const Tensor& fa, double b, const Tensor& fb) {
+      Tensor t({w, h});
+      for (int64_t i = 0; i < t.size(); ++i) {
+        t[i] = static_cast<float>(
+            std::max(0.0, a * fa[i] + b * fb[i] + 0.02));
+      }
+      return t;
+    };
+    const int64_t cells = w * h;
+    std::vector<PoiSpec> specs;
+    specs.push_back({"poi_business", blend(0.7, density, 0.6, downtown), 8 * cells});
+    specs.push_back({"poi_food", blend(1.0, density, 0.2, downtown), 6 * cells});
+    specs.push_back({"poi_government", blend(0.1, density, 1.0, downtown), cells});
+    specs.push_back({"poi_hospitals", blend(0.5, density, 0.3, downtown), cells / 2});
+    specs.push_back({"poi_public_services", blend(0.6, density, 0.2, income), 2 * cells});
+    // Recreation areas skew away from the dense core.
+    {
+      Tensor rec({w, h});
+      for (int64_t i = 0; i < rec.size(); ++i) {
+        rec[i] = static_cast<float>(
+            std::max(0.02, 0.8 - 0.6 * density[i] + 0.3 * slope[i]));
+      }
+      specs.push_back({"poi_recreation", std::move(rec), 2 * cells});
+    }
+    specs.push_back({"poi_schools", blend(0.8, density, -0.2, downtown), 2 * cells});
+    specs.push_back({"poi_transportation", blend(0.5, streets_d, 0.5, downtown), 2 * cells});
+    for (auto& spec : specs) {
+      const auto points =
+          SampleWeightedPoints(spec.weight, grid, spec.count, rng);
+      out.push_back(Make2d(spec.name, geo::RasterizePoints(points, grid)));
+    }
+  }
+
+  // Transit network (King County GIS analog).
+  {
+    Rng rng = city.MakeRng(12);
+    out.push_back(
+        Make2d("transit_routes", geo::RasterizeLines(city.transit_routes(), grid)));
+    const auto signals = PointsAlong(city.streets(), 1.3, rng);
+    out.push_back(Make2d("transit_signals", geo::RasterizePoints(signals, grid)));
+    const auto stops = PointsAlong(city.transit_routes(), 0.6, rng);
+    out.push_back(Make2d("transit_stops", geo::RasterizePoints(stops, grid)));
+  }
+
+  // Street network, flow counts, slopes, bikelanes (Seattle open data /
+  // UW GIS analogs).
+  out.push_back(Make2d("seattle_streets", geo::RasterizeLines(city.streets(), grid)));
+  {
+    // Average daily traffic flow: street density scaled by centrality.
+    Tensor flow({w, h});
+    Rng rng = city.MakeRng(13);
+    for (int64_t cx = 0; cx < w; ++cx) {
+      for (int64_t cy = 0; cy < h; ++cy) {
+        const int64_t i = cx * h + cy;
+        flow[i] = static_cast<float>(std::max(
+            0.0, 1200.0 * cell(streets_d, cx, cy) *
+                         (0.4 + 0.6 * cell(downtown, cx, cy)) +
+                     60.0 * rng.Normal()));
+      }
+    }
+    AlignedDataset flow_ds = Make2d("total_flow_count", flow);
+    InjectMissing(&flow_ds.tensor, 0.08, rng);  // Counter outages.
+    out.push_back(std::move(flow_ds));
+  }
+  {
+    // Steep-slope polygons: block rectangles carrying the slope field.
+    std::vector<geo::ValuedRegion> slope_blocks;
+    for (const geo::ValuedRegion& block : city.race_block_groups()) {
+      geo::ValuedRegion sb = block;
+      // Evaluate slope at the block centroid.
+      double sx = 0.0, sy = 0.0;
+      for (const geo::Point& p : sb.polygon) {
+        sx += p.x;
+        sy += p.y;
+      }
+      sx /= sb.polygon.size();
+      sy /= sb.polygon.size();
+      const auto c = grid.CellOf({sx, sy});
+      sb.value = c ? cell(slope, c->first, c->second) : 0.0;
+      slope_blocks.push_back(std::move(sb));
+    }
+    out.push_back(Make2d("steep_slopes",
+                         geo::RasterizeRegionsAverage(slope_blocks, grid)));
+  }
+  out.push_back(Make2d("bikelanes", geo::RasterizeLines(city.bikelanes(), grid)));
+
+  // === 3D datasets (event processes) ===
+  const Tensor& precip = city.precipitation();
+  {
+    Rng rng = city.MakeRng(14);
+    // Building permits: investment follows income, weekday daytime.
+    const auto intensity = [&](int64_t cx, int64_t cy, int64_t t) {
+      const bool weekend = SyntheticCity::IsWeekend(t);
+      return 0.02 + 0.30 * cell(density, cx, cy) * cell(income, cx, cy) *
+                        SyntheticCity::DaytimeFactor(t) * (weekend ? 0.25 : 1.0);
+    };
+    const auto events = SimulateEvents(grid, t_max, intensity, rng);
+    out.push_back(Make3d("building_permits", EventsToGrid(events, grid, t_max)));
+  }
+  {
+    Rng rng = city.MakeRng(15);
+    // Traffic collisions: streets x commute x rain.
+    const auto intensity = [&](int64_t cx, int64_t cy, int64_t t) {
+      return 0.03 + 0.55 * cell(streets_d, cx, cy) *
+                        SyntheticCity::CommuteFactor(t) *
+                        (1.0 + 0.35 * precip[t]);
+    };
+    const auto events = SimulateEvents(grid, t_max, intensity, rng);
+    out.push_back(Make3d("traffic_collisions", EventsToGrid(events, grid, t_max)));
+  }
+
+  // === Downstream targets + the 911-call input that correlates with
+  //     them (the reason call data is an oracle feature for crime). ===
+
+  // Latent incident-hotspot process: sporadic multi-hour bursts per
+  // cell with AR(1) decay. The 911-call feed observes it in near-real
+  // time; the crime/fire processes respond to the *same realization*,
+  // so call data carries predictive signal the target's own history
+  // cannot provide.
+  bundle.hotspot = Tensor({w, h, t_max});
+  {
+    Rng hrng = city.MakeRng(21);
+    for (int64_t cx = 0; cx < w; ++cx) {
+      for (int64_t cy = 0; cy < h; ++cy) {
+        double level = 0.0;
+        for (int64_t t = 0; t < t_max; ++t) {
+          if (hrng.Bernoulli(0.012)) level += hrng.Uniform(2.0, 6.0);
+          bundle.hotspot[(cx * h + cy) * t_max + t] =
+              static_cast<float>(level);
+          level *= 0.85;
+        }
+      }
+    }
+  }
+  const auto hs = [&](int64_t cx, int64_t cy, int64_t t) {
+    return static_cast<double>(bundle.hotspot[(cx * h + cy) * t_max + t]);
+  };
+
+  // Reported crime: ground-truth incidence modulated by *policing
+  // practice* that over-reports in non-white neighborhoods (§1/[43]).
+  const Tensor& temp_series = city.temperature();
+  const auto crime_intensity = [&](int64_t cx, int64_t cy, int64_t t) {
+    const double policing = 0.35 + 0.90 * bias * (1.0 - cell(race, cx, cy));
+    // Street crime drops in the rain — next-hour precipitation (an
+    // oracle feature) therefore predicts beyond the crime history.
+    const double weather = 0.55 + 0.45 * RainPenalty(precip[t]);
+    return 0.15 + policing * weather *
+                      (4.0 * cell(density, cx, cy) *
+                           SyntheticCity::NightFactor(t) *
+                           (SyntheticCity::IsWeekend(t) ? 1.20 : 1.0) +
+                       2.2 * hs(cx, cy, t));
+  };
+  // Fire/EMS 911: density + older/poorer housing stock + hotspots.
+  const auto fire_intensity = [&](int64_t cx, int64_t cy, int64_t t) {
+    // Heat waves raise the fire/EMS load (temperature is an oracle
+    // feature for this task).
+    const double heat = 0.75 + 0.35 * TempComfort(temp_series[t]);
+    return 0.12 + 2.6 * heat * cell(density, cx, cy) *
+                      (0.50 + 0.70 * bias * (1.0 - cell(income, cx, cy))) *
+                      (0.4 + 0.6 * SyntheticCity::DaytimeFactor(t)) +
+           1.2 * hs(cx, cy, t);
+  };
+  {
+    Rng rng = city.MakeRng(16);
+    // Seattle call data: a mixture of the crime and fire processes
+    // observed through its own noise — an input dataset that embodies
+    // the same biases as the targets.
+    const auto intensity = [&](int64_t cx, int64_t cy, int64_t t) {
+      return 0.05 + 0.55 * crime_intensity(cx, cy, t) +
+             0.45 * fire_intensity(cx, cy, t);
+    };
+    const auto events = SimulateEvents(grid, t_max, intensity, rng);
+    out.push_back(Make3d("seattle_911_calls", EventsToGrid(events, grid, t_max)));
+  }
+  ET_CHECK_EQ(out.size(), 23u) << "Table 2 inventory must have 23 datasets";
+
+  // Finalize all 23 inputs: impute + max-abs scale.
+  for (AlignedDataset& ds : out) FinalizeDataset(&ds);
+
+  // --- Targets ---
+  {
+    Rng rng = city.MakeRng(17);
+    const auto events = SimulateEvents(grid, t_max, crime_intensity, rng);
+    bundle.crime = EventsToGrid(events, grid, t_max);
+    bundle.crime_scale = QuantileClipScale(&bundle.crime);
+  }
+  {
+    Rng rng = city.MakeRng(18);
+    const auto events = SimulateEvents(grid, t_max, fire_intensity, rng);
+    bundle.fire = EventsToGrid(events, grid, t_max);
+    bundle.fire_scale = QuantileClipScale(&bundle.fire);
+  }
+  {
+    Rng rng = city.MakeRng(19);
+    // Dockless bikeshare demand: commute-driven, weather-sensitive,
+    // skewed toward high-income areas with bikelane investment (§1).
+    const Tensor& temp = city.temperature();
+    const auto intensity = [&](int64_t cx, int64_t cy, int64_t t) {
+      const bool weekend = SyntheticCity::IsWeekend(t);
+      const double daily = weekend
+                               ? 0.7 * SyntheticCity::DaytimeFactor(t)
+                               : SyntheticCity::CommuteFactor(t);
+      return 0.12 + 6.0 * cell(density, cx, cy) * daily * RainPenalty(precip[t]) *
+                        TempComfort(temp[t]) *
+                        (0.25 + 0.75 * bias * cell(income, cx, cy)) *
+                        (1.0 + 0.50 * cell(lanes_d, cx, cy)) *
+                        (1.0 - 0.35 * cell(slope, cx, cy));
+    };
+    const auto events = SimulateEvents(grid, t_max, intensity, rng);
+    bundle.bikeshare = EventsToGrid(events, grid, t_max);
+    bundle.bikeshare_scale = QuantileClipScale(&bundle.bikeshare);
+  }
+  {
+    Rng rng = city.MakeRng(20);
+    // Fremont-bridge analog: a single bridge cell near downtown.
+    bundle.bridge_cx = std::max<int64_t>(0, static_cast<int64_t>(0.45 * w) - 1);
+    bundle.bridge_cy = static_cast<int64_t>(0.40 * config.height) + 1;
+    ET_CHECK_LT(bundle.bridge_cy, config.height);
+    const Tensor& temp = city.temperature();
+    bundle.bike_count = Tensor({t_max});
+    for (int64_t t = 0; t < t_max; ++t) {
+      const bool weekend = SyntheticCity::IsWeekend(t);
+      const double daily = weekend
+                               ? 0.55 * SyntheticCity::DaytimeFactor(t)
+                               : SyntheticCity::CommuteFactor(t);
+      const double lambda =
+          2.0 + 85.0 * daily * RainPenalty(precip[t]) * TempComfort(temp[t]);
+      bundle.bike_count[t] = static_cast<float>(rng.Poisson(lambda));
+    }
+  }
+  return bundle;
+}
+
+}  // namespace data
+}  // namespace equitensor

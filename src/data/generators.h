@@ -1,0 +1,73 @@
+#ifndef EQUITENSOR_DATA_GENERATORS_H_
+#define EQUITENSOR_DATA_GENERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/city.h"
+#include "data/dataset.h"
+
+namespace equitensor {
+namespace data {
+
+/// Downstream prediction tasks evaluated in the paper (Table 1).
+enum class Task { kBikeshare, kCrime, kFire, kBikeCount };
+
+const char* TaskName(Task task);
+
+/// Everything the experiments need: the 23 aligned input datasets of
+/// Table 2, the sensitive-attribute maps, and the four downstream task
+/// targets of Table 1 — all generated from one SyntheticCity.
+struct UrbanDataBundle {
+  CityConfig config;
+  std::shared_ptr<SyntheticCity> city;
+
+  /// The 23 exogenous input datasets (aligned, imputed, scaled).
+  std::vector<AlignedDataset> datasets;
+
+  /// Latent incident-hotspot intensity [W, H, T]: a bursty process
+  /// that both the 911-call input and the crime/fire targets observe.
+  /// It is what makes real-time exogenous feeds (call data) predictive
+  /// beyond the target's own history. Exposed for tests.
+  Tensor hotspot;
+
+  /// Sensitive attribute maps [W, H] in [0, 1]: fraction of white
+  /// residents / fraction of high-income households per cell
+  /// (rasterized from block groups by area-weighted averaging).
+  Tensor race_map;
+  Tensor income_map;
+
+  /// Task targets. 3D targets are [W, H, T] max-abs scaled to [0, 1]
+  /// with the divisor kept alongside; bike_count is a raw hourly count
+  /// series [T] at the bridge cell.
+  Tensor bikeshare;
+  float bikeshare_scale = 1.0f;
+  Tensor crime;
+  float crime_scale = 1.0f;
+  Tensor fire;
+  float fire_scale = 1.0f;
+  Tensor bike_count;
+  int64_t bridge_cx = 0;
+  int64_t bridge_cy = 0;
+
+  /// Index of a dataset by name; aborts if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Indices of the hand-selected "oracle" features for a task
+  /// (Table 1's "known predictive features" column).
+  std::vector<int> OracleIndices(Task task) const;
+
+  /// The scaled target tensor for a 3D task.
+  const Tensor& Target3d(Task task) const;
+};
+
+/// Builds the full synthetic-Seattle bundle. Deterministic in
+/// config.seed. See DESIGN.md §2 for how each generated dataset maps
+/// to the paper's Table 2 source.
+UrbanDataBundle BuildSeattleAnalog(const CityConfig& config);
+
+}  // namespace data
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_DATA_GENERATORS_H_

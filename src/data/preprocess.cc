@@ -1,0 +1,155 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace data {
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kTemporal:
+      return "temporal";
+    case DatasetKind::kSpatial:
+      return "spatial";
+    case DatasetKind::kSpatioTemporal:
+      return "spatio-temporal";
+  }
+  return "?";
+}
+
+void InjectMissing(Tensor* tensor, double fraction, Rng& rng) {
+  ET_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const float nan = std::nanf("");
+  for (int64_t i = 0; i < tensor->size(); ++i) {
+    if (rng.Bernoulli(fraction)) (*tensor)[i] = nan;
+  }
+}
+
+int64_t CountMissing(const Tensor& tensor) {
+  int64_t count = 0;
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    if (std::isnan(tensor[i])) ++count;
+  }
+  return count;
+}
+
+int64_t ImputeLocalAverage(Tensor* tensor) {
+  const int rank = tensor->rank();
+  ET_CHECK_GE(rank, 2) << "expected channel-first layout [C, ...]";
+  const int64_t channels = tensor->dim(0);
+  const int64_t per_channel = tensor->size() / channels;
+
+  // Strides of the non-channel axes within one channel block.
+  std::vector<int64_t> dims, strides;
+  for (int d = 1; d < rank; ++d) dims.push_back(tensor->dim(d));
+  strides.assign(dims.size(), 1);
+  for (int d = static_cast<int>(dims.size()) - 2; d >= 0; --d) {
+    strides[static_cast<size_t>(d)] =
+        strides[static_cast<size_t>(d) + 1] * dims[static_cast<size_t>(d) + 1];
+  }
+
+  int64_t total_imputed = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    float* block = tensor->data() + c * per_channel;
+    // Channel mean over valid entries (fallback fill value).
+    double valid_sum = 0.0;
+    int64_t valid_count = 0;
+    for (int64_t i = 0; i < per_channel; ++i) {
+      if (!std::isnan(block[i])) {
+        valid_sum += block[i];
+        ++valid_count;
+      }
+    }
+    const float channel_mean =
+        valid_count > 0
+            ? static_cast<float>(valid_sum / static_cast<double>(valid_count))
+            : 0.0f;
+
+    // Sweep until no progress: each missing cell takes the mean of its
+    // valid ±1 neighbors along every non-channel axis.
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      std::vector<std::pair<int64_t, float>> fills;
+      for (int64_t i = 0; i < per_channel; ++i) {
+        if (!std::isnan(block[i])) continue;
+        double sum = 0.0;
+        int64_t count = 0;
+        int64_t rem = i;
+        for (size_t d = 0; d < dims.size(); ++d) {
+          const int64_t coord = rem / strides[d];
+          rem %= strides[d];
+          if (coord > 0 && !std::isnan(block[i - strides[d]])) {
+            sum += block[i - strides[d]];
+            ++count;
+          }
+          if (coord + 1 < dims[d] && !std::isnan(block[i + strides[d]])) {
+            sum += block[i + strides[d]];
+            ++count;
+          }
+        }
+        if (count > 0) {
+          fills.emplace_back(i, static_cast<float>(sum / count));
+        }
+      }
+      for (const auto& [index, value] : fills) {
+        block[index] = value;
+        ++total_imputed;
+        progressed = true;
+      }
+    }
+    // Anything left (fully disconnected gaps) gets the channel mean.
+    for (int64_t i = 0; i < per_channel; ++i) {
+      if (std::isnan(block[i])) {
+        block[i] = channel_mean;
+        ++total_imputed;
+      }
+    }
+  }
+  return total_imputed;
+}
+
+float MaxAbsScale(Tensor* tensor) {
+  const float max_abs = tensor->AbsMax();
+  if (max_abs <= 0.0f) return 1.0f;
+  for (int64_t i = 0; i < tensor->size(); ++i) (*tensor)[i] /= max_abs;
+  return max_abs;
+}
+
+float QuantileClipScale(Tensor* tensor, double quantile) {
+  ET_CHECK(quantile > 0.0 && quantile <= 1.0);
+  std::vector<float> sorted(tensor->data(), tensor->data() + tensor->size());
+  std::sort(sorted.begin(), sorted.end());
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(quantile * static_cast<double>(sorted.size())));
+  const float q = sorted[index];
+  if (q <= 0.0f) return 1.0f;
+  for (int64_t i = 0; i < tensor->size(); ++i) {
+    const float scaled = (*tensor)[i] / q;
+    (*tensor)[i] = scaled > 1.0f ? 1.0f : scaled;
+  }
+  return q;
+}
+
+Tensor Corrupt(const Tensor& tensor, double fraction, Rng& rng,
+               float corrupt_value) {
+  ET_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  Tensor out = tensor;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (rng.Bernoulli(fraction)) out[i] = corrupt_value;
+  }
+  return out;
+}
+
+void FinalizeDataset(AlignedDataset* dataset) {
+  ImputeLocalAverage(&dataset->tensor);
+  dataset->scale = MaxAbsScale(&dataset->tensor);
+}
+
+}  // namespace data
+}  // namespace equitensor

@@ -1,0 +1,52 @@
+#ifndef EQUITENSOR_DATA_PREPROCESS_H_
+#define EQUITENSOR_DATA_PREPROCESS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace equitensor {
+namespace data {
+
+/// Marks a random fraction of elements as missing (NaN). Used by the
+/// simulator to mimic the gaps in real open-data feeds.
+void InjectMissing(Tensor* tensor, double fraction, Rng& rng);
+
+/// Number of NaN elements in a tensor.
+int64_t CountMissing(const Tensor& tensor);
+
+/// Replaces missing (NaN) values with the local average of their
+/// axis-neighbors (§3.1: "impute missing values with local average").
+/// The first axis is treated as the channel axis and is not a
+/// neighbor direction. Repeated sweeps fill connected gaps; any cell
+/// still missing afterwards receives the channel's global mean (or 0
+/// for an all-missing channel). Returns the number of imputed values.
+int64_t ImputeLocalAverage(Tensor* tensor);
+
+/// Max-absolute scaling to [-1, 1] (and [0, 1] for the non-negative
+/// urban counts, §3.1). Divides in place by max|x| and returns that
+/// factor; all-zero tensors are left unchanged with factor 1.
+float MaxAbsScale(Tensor* tensor);
+
+/// Scales by the q-th quantile (0 < q <= 1) of the values and clips to
+/// [0, 1]. Used for the sparse Poisson *targets*, where max-abs
+/// scaling would be dominated by a single outlier count and squash the
+/// distribution toward 0; the paper's target MAE magnitudes (~0.1-0.4)
+/// imply this denser normalization. Returns the divisor.
+float QuantileClipScale(Tensor* tensor, double quantile = 0.995);
+
+/// Denoising-autoencoder corruption (§3.2): returns a copy with
+/// `fraction` of the values set to `corrupt_value` (-1 in the paper)
+/// at uniformly random positions.
+Tensor Corrupt(const Tensor& tensor, double fraction, Rng& rng,
+               float corrupt_value = -1.0f);
+
+/// Full per-dataset pipeline: impute then scale, recording the factor.
+void FinalizeDataset(AlignedDataset* dataset);
+
+}  // namespace data
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_DATA_PREPROCESS_H_

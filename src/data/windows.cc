@@ -1,0 +1,117 @@
+#include "data/windows.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace data {
+
+WindowSampler::WindowSampler(const std::vector<AlignedDataset>* datasets,
+                             int64_t window, int64_t hours_hint)
+    : datasets_(datasets), window_(window), hours_(-1) {
+  ET_CHECK(datasets != nullptr);
+  ET_CHECK(!datasets->empty());
+  ET_CHECK_GT(window, 0);
+  for (const AlignedDataset& ds : *datasets) {
+    const int64_t t = ds.kind == DatasetKind::kTemporal ? ds.tensor.dim(1)
+                      : ds.kind == DatasetKind::kSpatioTemporal
+                          ? ds.tensor.dim(3)
+                          : -1;
+    if (t >= 0) {
+      if (hours_ < 0) {
+        hours_ = t;
+      } else {
+        ET_CHECK_EQ(hours_, t) << "datasets disagree on horizon";
+      }
+    }
+  }
+  if (hours_ < 0) hours_ = hours_hint;
+  ET_CHECK_GT(hours_, 0)
+      << "need a time-varying dataset or an explicit hours_hint";
+  ET_CHECK_GE(hours_, window_);
+}
+
+Tensor WindowSampler::MakeBatchFor(int dataset_index,
+                                   const std::vector<int64_t>& starts) const {
+  ET_CHECK(dataset_index >= 0 &&
+           dataset_index < static_cast<int>(datasets_->size()));
+  ET_CHECK(!starts.empty());
+  const AlignedDataset& ds = (*datasets_)[static_cast<size_t>(dataset_index)];
+  const int64_t n = static_cast<int64_t>(starts.size());
+  const Tensor& t = ds.tensor;
+
+  switch (ds.kind) {
+    case DatasetKind::kTemporal: {
+      const int64_t c = t.dim(0);
+      Tensor out({n, c, window_});
+      for (int64_t b = 0; b < n; ++b) {
+        const int64_t start = starts[static_cast<size_t>(b)];
+        ET_CHECK(start >= 0 && start + window_ <= hours_);
+        for (int64_t ch = 0; ch < c; ++ch) {
+          const float* src = t.data() + ch * hours_ + start;
+          float* dst = out.data() + (b * c + ch) * window_;
+          std::copy(src, src + window_, dst);
+        }
+      }
+      return out;
+    }
+    case DatasetKind::kSpatial: {
+      // Time-invariant: replicate across the batch.
+      std::vector<int64_t> shape = {n};
+      for (int d = 0; d < t.rank(); ++d) shape.push_back(t.dim(d));
+      Tensor out(shape);
+      for (int64_t b = 0; b < n; ++b) {
+        std::copy(t.data(), t.data() + t.size(), out.data() + b * t.size());
+      }
+      return out;
+    }
+    case DatasetKind::kSpatioTemporal: {
+      const int64_t c = t.dim(0), w = t.dim(1), h = t.dim(2);
+      Tensor out({n, c, w, h, window_});
+      for (int64_t b = 0; b < n; ++b) {
+        const int64_t start = starts[static_cast<size_t>(b)];
+        ET_CHECK(start >= 0 && start + window_ <= hours_);
+        for (int64_t row = 0; row < c * w * h; ++row) {
+          const float* src = t.data() + row * hours_ + start;
+          float* dst = out.data() + (b * c * w * h + row) * window_;
+          std::copy(src, src + window_, dst);
+        }
+      }
+      return out;
+    }
+  }
+  ET_CHECK(false);
+  return Tensor();
+}
+
+std::vector<Tensor> WindowSampler::MakeBatch(
+    const std::vector<int64_t>& starts) const {
+  std::vector<Tensor> batch;
+  batch.reserve(datasets_->size());
+  for (int i = 0; i < static_cast<int>(datasets_->size()); ++i) {
+    batch.push_back(MakeBatchFor(i, starts));
+  }
+  return batch;
+}
+
+std::vector<int64_t> WindowSampler::SampleStarts(int64_t batch_size,
+                                                 Rng& rng) const {
+  std::vector<int64_t> starts;
+  starts.reserve(static_cast<size_t>(batch_size));
+  for (int64_t i = 0; i < batch_size; ++i) {
+    starts.push_back(static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(NumWindows()))));
+  }
+  return starts;
+}
+
+std::vector<int64_t> WindowSampler::NonOverlappingStarts() const {
+  std::vector<int64_t> starts;
+  for (int64_t start = 0; start + window_ <= hours_; start += window_) {
+    starts.push_back(start);
+  }
+  return starts;
+}
+
+}  // namespace data
+}  // namespace equitensor

@@ -1,0 +1,60 @@
+#ifndef EQUITENSOR_DATA_WINDOWS_H_
+#define EQUITENSOR_DATA_WINDOWS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace equitensor {
+namespace data {
+
+/// Produces the paper's overlapping 24-hour training samples (§3.1):
+/// each sample is a window [start, start+window) holding a slice of
+/// every 1D/3D dataset plus every (time-invariant) 2D dataset. Batches
+/// are stacked into NN layouts with a leading batch dimension:
+///   kTemporal:       [N, C, window]
+///   kSpatial:        [N, C, W, H]
+///   kSpatioTemporal: [N, C, W, H, window]
+class WindowSampler {
+ public:
+  /// The datasets must outlive the sampler and share one time horizon.
+  /// `hours_hint` supplies the horizon when *no* dataset is
+  /// time-varying (e.g. a single-2D-dataset CDAE used for L(opt)
+  /// estimation); it is ignored otherwise.
+  WindowSampler(const std::vector<AlignedDataset>* datasets,
+                int64_t window = 24, int64_t hours_hint = -1);
+
+  int64_t window() const { return window_; }
+  int64_t hours() const { return hours_; }
+  /// Number of overlapping windows: T - window + 1.
+  int64_t NumWindows() const { return hours_ - window_ + 1; }
+  int64_t dataset_count() const {
+    return static_cast<int64_t>(datasets_->size());
+  }
+
+  /// Stacks the given window starts into one batch tensor per dataset.
+  std::vector<Tensor> MakeBatch(const std::vector<int64_t>& starts) const;
+
+  /// Batch tensor for a single dataset only.
+  Tensor MakeBatchFor(int dataset_index,
+                      const std::vector<int64_t>& starts) const;
+
+  /// Uniform random window starts.
+  std::vector<int64_t> SampleStarts(int64_t batch_size, Rng& rng) const;
+
+  /// Consecutive non-overlapping starts 0, window, 2*window, ...
+  /// (used to materialize the EquiTensor over the full horizon, §4.4).
+  std::vector<int64_t> NonOverlappingStarts() const;
+
+ private:
+  const std::vector<AlignedDataset>* datasets_;
+  int64_t window_;
+  int64_t hours_;
+};
+
+}  // namespace data
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_DATA_WINDOWS_H_

@@ -1,0 +1,97 @@
+#include "geo/geometry.h"
+
+#include <cmath>
+
+namespace equitensor {
+namespace geo {
+namespace {
+
+// Clips `input` against one half-plane keep(p) >= 0 with line
+// intersection provided by `cross(a, b)` returning the parametric
+// intersection point of segment a-b with the boundary.
+template <typename KeepFn, typename CrossFn>
+Polygon ClipHalfPlane(const Polygon& input, KeepFn keep, CrossFn cross) {
+  Polygon output;
+  const size_t n = input.size();
+  if (n == 0) return output;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& current = input[i];
+    const Point& previous = input[(i + n - 1) % n];
+    const bool current_in = keep(current);
+    const bool previous_in = keep(previous);
+    if (current_in) {
+      if (!previous_in) output.push_back(cross(previous, current));
+      output.push_back(current);
+    } else if (previous_in) {
+      output.push_back(cross(previous, current));
+    }
+  }
+  return output;
+}
+
+Point LerpX(const Point& a, const Point& b, double x) {
+  const double t = (x - a.x) / (b.x - a.x);
+  return {x, a.y + t * (b.y - a.y)};
+}
+
+Point LerpY(const Point& a, const Point& b, double y) {
+  const double t = (y - a.y) / (b.y - a.y);
+  return {a.x + t * (b.x - a.x), y};
+}
+
+}  // namespace
+
+double SignedArea(const Polygon& poly) {
+  const size_t n = poly.size();
+  if (n < 3) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = poly[i];
+    const Point& b = poly[(i + 1) % n];
+    sum += a.x * b.y - b.x * a.y;
+  }
+  return 0.5 * sum;
+}
+
+double Area(const Polygon& poly) { return std::fabs(SignedArea(poly)); }
+
+Polygon ClipToRect(const Polygon& poly, const Rect& rect) {
+  Polygon clipped = poly;
+  clipped = ClipHalfPlane(
+      clipped, [&](const Point& p) { return p.x >= rect.min_x; },
+      [&](const Point& a, const Point& b) { return LerpX(a, b, rect.min_x); });
+  clipped = ClipHalfPlane(
+      clipped, [&](const Point& p) { return p.x <= rect.max_x; },
+      [&](const Point& a, const Point& b) { return LerpX(a, b, rect.max_x); });
+  clipped = ClipHalfPlane(
+      clipped, [&](const Point& p) { return p.y >= rect.min_y; },
+      [&](const Point& a, const Point& b) { return LerpY(a, b, rect.min_y); });
+  clipped = ClipHalfPlane(
+      clipped, [&](const Point& p) { return p.y <= rect.max_y; },
+      [&](const Point& a, const Point& b) { return LerpY(a, b, rect.max_y); });
+  return clipped;
+}
+
+double IntersectionArea(const Polygon& poly, const Rect& rect) {
+  return Area(ClipToRect(poly, rect));
+}
+
+Polygon RectPolygon(const Rect& rect) {
+  return {{rect.min_x, rect.min_y},
+          {rect.max_x, rect.min_y},
+          {rect.max_x, rect.max_y},
+          {rect.min_x, rect.max_y}};
+}
+
+double Length(const Polyline& line) {
+  double total = 0.0;
+  for (size_t i = 1; i < line.size(); ++i) {
+    const double dx = line[i].x - line[i - 1].x;
+    const double dy = line[i].y - line[i - 1].y;
+    total += std::sqrt(dx * dx + dy * dy);
+  }
+  return total;
+}
+
+}  // namespace geo
+}  // namespace equitensor

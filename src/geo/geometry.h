@@ -1,0 +1,59 @@
+#ifndef EQUITENSOR_GEO_GEOMETRY_H_
+#define EQUITENSOR_GEO_GEOMETRY_H_
+
+#include <vector>
+
+namespace equitensor {
+namespace geo {
+
+/// 2-D point in city coordinates (kilometers).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Open polygonal chain (e.g. a street or transit route).
+using Polyline = std::vector<Point>;
+
+/// Simple polygon given by its vertices in order (implicitly closed).
+using Polygon = std::vector<Point>;
+
+/// Axis-aligned rectangle.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y;
+  }
+};
+
+/// Signed area of a polygon (shoelace); positive for counter-clockwise
+/// vertex order.
+double SignedArea(const Polygon& poly);
+
+/// Absolute polygon area.
+double Area(const Polygon& poly);
+
+/// Clips a polygon to an axis-aligned rectangle (Sutherland–Hodgman).
+/// Returns the clipped polygon; empty when there is no overlap.
+Polygon ClipToRect(const Polygon& poly, const Rect& rect);
+
+/// Area of polygon ∩ rectangle.
+double IntersectionArea(const Polygon& poly, const Rect& rect);
+
+/// Axis-aligned rectangle as a polygon (CCW).
+Polygon RectPolygon(const Rect& rect);
+
+/// Total length of a polyline.
+double Length(const Polyline& line);
+
+}  // namespace geo
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_GEO_GEOMETRY_H_

@@ -1,0 +1,19 @@
+#include "geo/grid.h"
+
+#include <cmath>
+
+namespace equitensor {
+namespace geo {
+
+std::optional<std::pair<int64_t, int64_t>> GridSpec::CellOf(
+    const Point& p) const {
+  const double fx = (p.x - origin_x) / cell_size;
+  const double fy = (p.y - origin_y) / cell_size;
+  const int64_t cx = static_cast<int64_t>(std::floor(fx));
+  const int64_t cy = static_cast<int64_t>(std::floor(fy));
+  if (cx < 0 || cx >= width || cy < 0 || cy >= height) return std::nullopt;
+  return std::make_pair(cx, cy);
+}
+
+}  // namespace geo
+}  // namespace equitensor

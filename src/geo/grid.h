@@ -1,0 +1,50 @@
+#ifndef EQUITENSOR_GEO_GRID_H_
+#define EQUITENSOR_GEO_GRID_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "geo/geometry.h"
+
+namespace equitensor {
+namespace geo {
+
+/// Rectilinear analysis grid of W×H non-overlapping square cells
+/// covering the study area (§3.1). Cell (0, 0) sits at the origin
+/// (lower-left); x indexes width, y indexes height.
+struct GridSpec {
+  int64_t width = 0;        // number of cells along x
+  int64_t height = 0;       // number of cells along y
+  double origin_x = 0.0;    // lower-left corner, km
+  double origin_y = 0.0;
+  double cell_size = 1.0;   // km per cell edge
+
+  /// Total cell count.
+  int64_t CellCount() const { return width * height; }
+
+  /// Bounding rectangle of the whole grid.
+  Rect Bounds() const {
+    return {origin_x, origin_y, origin_x + width * cell_size,
+            origin_y + height * cell_size};
+  }
+
+  /// Bounding rectangle of one cell.
+  Rect CellBounds(int64_t cx, int64_t cy) const {
+    return {origin_x + cx * cell_size, origin_y + cy * cell_size,
+            origin_x + (cx + 1) * cell_size, origin_y + (cy + 1) * cell_size};
+  }
+
+  /// Center point of a cell.
+  Point CellCenter(int64_t cx, int64_t cy) const {
+    return {origin_x + (cx + 0.5) * cell_size,
+            origin_y + (cy + 0.5) * cell_size};
+  }
+
+  /// Cell containing a point, or nullopt if outside the grid.
+  std::optional<std::pair<int64_t, int64_t>> CellOf(const Point& p) const;
+};
+
+}  // namespace geo
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_GEO_GRID_H_

@@ -1,0 +1,216 @@
+#include "geo/rasterize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace geo {
+namespace {
+
+// Liang–Barsky segment/rectangle clip. Returns false when the segment
+// misses the rectangle entirely.
+bool ClipSegment(const Rect& rect, Point* a, Point* b) {
+  const double dx = b->x - a->x;
+  const double dy = b->y - a->y;
+  double t0 = 0.0, t1 = 1.0;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {a->x - rect.min_x, rect.max_x - a->x, a->y - rect.min_y,
+                       rect.max_y - a->y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0.0) return false;  // Parallel and outside.
+      continue;
+    }
+    const double r = q[i] / p[i];
+    if (p[i] < 0.0) {
+      if (r > t1) return false;
+      t0 = std::max(t0, r);
+    } else {
+      if (r < t0) return false;
+      t1 = std::min(t1, r);
+    }
+  }
+  const Point na = {a->x + t0 * dx, a->y + t0 * dy};
+  const Point nb = {a->x + t1 * dx, a->y + t1 * dy};
+  *a = na;
+  *b = nb;
+  return true;
+}
+
+int64_t Clamp(int64_t v, int64_t lo, int64_t hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+}  // namespace
+
+std::vector<std::pair<int64_t, int64_t>> CellsOnSegment(const Point& a_in,
+                                                        const Point& b_in,
+                                                        const GridSpec& grid) {
+  std::vector<std::pair<int64_t, int64_t>> cells;
+  Point a = a_in, b = b_in;
+  if (!ClipSegment(grid.Bounds(), &a, &b)) return cells;
+
+  // Amanatides–Woo voxel traversal in grid coordinates.
+  const double inv = 1.0 / grid.cell_size;
+  double ax = (a.x - grid.origin_x) * inv;
+  double ay = (a.y - grid.origin_y) * inv;
+  double bx = (b.x - grid.origin_x) * inv;
+  double by = (b.y - grid.origin_y) * inv;
+
+  int64_t cx = Clamp(static_cast<int64_t>(std::floor(ax)), 0, grid.width - 1);
+  int64_t cy = Clamp(static_cast<int64_t>(std::floor(ay)), 0, grid.height - 1);
+  const int64_t end_cx =
+      Clamp(static_cast<int64_t>(std::floor(bx)), 0, grid.width - 1);
+  const int64_t end_cy =
+      Clamp(static_cast<int64_t>(std::floor(by)), 0, grid.height - 1);
+
+  const double dx = bx - ax;
+  const double dy = by - ay;
+  const int64_t step_x = dx > 0.0 ? 1 : (dx < 0.0 ? -1 : 0);
+  const int64_t step_y = dy > 0.0 ? 1 : (dy < 0.0 ? -1 : 0);
+
+  // Parametric distance to the next vertical/horizontal cell boundary.
+  const double inf = 1e300;
+  double t_max_x = inf, t_delta_x = inf;
+  if (step_x != 0) {
+    const double next_x = step_x > 0 ? (cx + 1.0) : static_cast<double>(cx);
+    t_max_x = (next_x - ax) / dx;
+    t_delta_x = std::fabs(1.0 / dx);
+  }
+  double t_max_y = inf, t_delta_y = inf;
+  if (step_y != 0) {
+    const double next_y = step_y > 0 ? (cy + 1.0) : static_cast<double>(cy);
+    t_max_y = (next_y - ay) / dy;
+    t_delta_y = std::fabs(1.0 / dy);
+  }
+
+  const int64_t max_cells = (grid.width + grid.height) * 2 + 4;
+  for (int64_t guard = 0; guard < max_cells; ++guard) {
+    cells.emplace_back(cx, cy);
+    if (cx == end_cx && cy == end_cy) break;
+    if (t_max_x < t_max_y) {
+      if (t_max_x > 1.0) break;
+      cx += step_x;
+      t_max_x += t_delta_x;
+    } else {
+      if (t_max_y > 1.0) break;
+      cy += step_y;
+      t_max_y += t_delta_y;
+    }
+    if (cx < 0 || cx >= grid.width || cy < 0 || cy >= grid.height) break;
+  }
+  return cells;
+}
+
+Tensor RasterizePoints(const std::vector<Point>& points,
+                       const GridSpec& grid) {
+  ET_CHECK_GT(grid.width, 0);
+  ET_CHECK_GT(grid.height, 0);
+  Tensor out({grid.width, grid.height});
+  for (const Point& p : points) {
+    const auto cell = grid.CellOf(p);
+    if (!cell) continue;
+    out[cell->first * grid.height + cell->second] += 1.0f;
+  }
+  return out;
+}
+
+Tensor RasterizeLines(const std::vector<Polyline>& lines,
+                      const GridSpec& grid) {
+  Tensor out({grid.width, grid.height});
+  for (const Polyline& line : lines) {
+    for (size_t i = 1; i < line.size(); ++i) {
+      for (const auto& [cx, cy] : CellsOnSegment(line[i - 1], line[i], grid)) {
+        out[cx * grid.height + cy] += 1.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor RasterizeRegions(const std::vector<ValuedRegion>& regions,
+                        const GridSpec& grid) {
+  Tensor out({grid.width, grid.height});
+  for (const ValuedRegion& region : regions) {
+    const double total_area = Area(region.polygon);
+    if (total_area <= 0.0) continue;
+    // Restrict the scan to cells overlapping the polygon's bbox.
+    double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
+    for (const Point& p : region.polygon) {
+      min_x = std::min(min_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+    const double inv = 1.0 / grid.cell_size;
+    const int64_t cx0 = Clamp(
+        static_cast<int64_t>(std::floor((min_x - grid.origin_x) * inv)), 0,
+        grid.width - 1);
+    const int64_t cx1 = Clamp(
+        static_cast<int64_t>(std::floor((max_x - grid.origin_x) * inv)), 0,
+        grid.width - 1);
+    const int64_t cy0 = Clamp(
+        static_cast<int64_t>(std::floor((min_y - grid.origin_y) * inv)), 0,
+        grid.height - 1);
+    const int64_t cy1 = Clamp(
+        static_cast<int64_t>(std::floor((max_y - grid.origin_y) * inv)), 0,
+        grid.height - 1);
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (int64_t cy = cy0; cy <= cy1; ++cy) {
+        const double overlap =
+            IntersectionArea(region.polygon, grid.CellBounds(cx, cy));
+        if (overlap <= 0.0) continue;
+        out[cx * grid.height + cy] +=
+            static_cast<float>(region.value * overlap / total_area);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor RasterizeRegionsAverage(const std::vector<ValuedRegion>& regions,
+                               const GridSpec& grid) {
+  Tensor weighted({grid.width, grid.height});
+  Tensor coverage({grid.width, grid.height});
+  for (const ValuedRegion& region : regions) {
+    double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
+    for (const Point& p : region.polygon) {
+      min_x = std::min(min_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+    const double inv = 1.0 / grid.cell_size;
+    const int64_t cx0 = Clamp(
+        static_cast<int64_t>(std::floor((min_x - grid.origin_x) * inv)), 0,
+        grid.width - 1);
+    const int64_t cx1 = Clamp(
+        static_cast<int64_t>(std::floor((max_x - grid.origin_x) * inv)), 0,
+        grid.width - 1);
+    const int64_t cy0 = Clamp(
+        static_cast<int64_t>(std::floor((min_y - grid.origin_y) * inv)), 0,
+        grid.height - 1);
+    const int64_t cy1 = Clamp(
+        static_cast<int64_t>(std::floor((max_y - grid.origin_y) * inv)), 0,
+        grid.height - 1);
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (int64_t cy = cy0; cy <= cy1; ++cy) {
+        const double overlap =
+            IntersectionArea(region.polygon, grid.CellBounds(cx, cy));
+        if (overlap <= 0.0) continue;
+        weighted[cx * grid.height + cy] +=
+            static_cast<float>(region.value * overlap);
+        coverage[cx * grid.height + cy] += static_cast<float>(overlap);
+      }
+    }
+  }
+  for (int64_t i = 0; i < weighted.size(); ++i) {
+    if (coverage[i] > 0.0f) weighted[i] /= coverage[i];
+  }
+  return weighted;
+}
+
+}  // namespace geo
+}  // namespace equitensor

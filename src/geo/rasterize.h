@@ -1,0 +1,52 @@
+#ifndef EQUITENSOR_GEO_RASTERIZE_H_
+#define EQUITENSOR_GEO_RASTERIZE_H_
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace geo {
+
+/// A polygon carrying a regional value (e.g. a census block group with
+/// a house-price index).
+struct ValuedRegion {
+  Polygon polygon;
+  double value = 0.0;
+};
+
+/// §3.1 rasterizers. All outputs are [W, H] tensors indexed [cx, cy].
+
+/// Counts events per cell; points outside the grid are dropped.
+Tensor RasterizePoints(const std::vector<Point>& points, const GridSpec& grid);
+
+/// Counts, per cell, the number of polyline segments that pass through
+/// the cell (each segment counted once per cell it touches).
+Tensor RasterizeLines(const std::vector<Polyline>& lines, const GridSpec& grid);
+
+/// Proportional allocation by area: each region spreads its value over
+/// the cells it overlaps, weighted by the fraction of the *region's*
+/// area inside each cell. Cell values from different regions add.
+Tensor RasterizeRegions(const std::vector<ValuedRegion>& regions,
+                        const GridSpec& grid);
+
+/// Area-weighted average of region values per cell: each cell's value
+/// is Σ value·area(cell∩region) / Σ area(cell∩region) over the regions
+/// overlapping it (0 where nothing overlaps). This is the right
+/// treatment for intensive quantities such as census fractions (percent
+/// white, percent high-income), as opposed to the extensive counts
+/// handled by RasterizeRegions.
+Tensor RasterizeRegionsAverage(const std::vector<ValuedRegion>& regions,
+                               const GridSpec& grid);
+
+/// Cells traversed by one segment (Amanatides–Woo grid traversal,
+/// clamped to the grid). Exposed for testing.
+std::vector<std::pair<int64_t, int64_t>> CellsOnSegment(const Point& a,
+                                                        const Point& b,
+                                                        const GridSpec& grid);
+
+}  // namespace geo
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_GEO_RASTERIZE_H_

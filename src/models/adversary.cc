@@ -1,0 +1,27 @@
+#include "models/adversary.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace models {
+
+AdversaryNet::AdversaryNet(int64_t latent_channels, Rng& rng, int64_t kernel,
+                           std::vector<int64_t> filters) {
+  ET_CHECK(!filters.empty());
+  ET_CHECK_EQ(filters.back(), 1) << "adversary predicts a single channel";
+  stack_ = std::make_unique<nn::ConvStack>(3, latent_channels,
+                                           std::move(filters), kernel, rng,
+                                           nn::Activation::kLinear);
+}
+
+Variable AdversaryNet::Forward(const Variable& z) const {
+  return stack_->Forward(z);
+}
+
+Variable AdversaryNet::Loss(const Variable& z, const Tensor& s_tiled) const {
+  return ag::MaeAgainst(Forward(z), s_tiled);
+}
+
+}  // namespace models
+}  // namespace equitensor

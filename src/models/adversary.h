@@ -1,0 +1,39 @@
+#ifndef EQUITENSOR_MODELS_ADVERSARY_H_
+#define EQUITENSOR_MODELS_ADVERSARY_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace equitensor {
+namespace models {
+
+/// The adversarial model A of §3.4 (also reused as the separately
+/// trained evaluation probe F of §3.5 and as the Fair-CDAE prediction
+/// head): three 3D-conv layers with 16, 32 and 1 filters that predict
+/// the tiled sensitive map from a latent representation
+/// [N, K, W, H, window].
+class AdversaryNet : public nn::Module {
+ public:
+  AdversaryNet(int64_t latent_channels, Rng& rng, int64_t kernel = 3,
+               std::vector<int64_t> filters = {16, 32, 1});
+
+  /// Predicts S: [N, K, W, H, T] -> [N, 1, W, H, T].
+  Variable Forward(const Variable& z) const;
+
+  /// L_A (Eq. 4): MAE between the prediction from z and the tiled
+  /// sensitive target.
+  Variable Loss(const Variable& z, const Tensor& s_tiled) const;
+
+  std::vector<Variable> Parameters() const override {
+    return stack_->Parameters();
+  }
+
+ private:
+  std::unique_ptr<nn::ConvStack> stack_;
+};
+
+}  // namespace models
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_MODELS_ADVERSARY_H_

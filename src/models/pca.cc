@@ -1,0 +1,215 @@
+#include "models/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace models {
+
+void SymmetricEigen(const Tensor& matrix, Tensor* eigenvalues,
+                    Tensor* eigenvectors) {
+  ET_CHECK_EQ(matrix.rank(), 2);
+  const int64_t f = matrix.dim(0);
+  ET_CHECK_EQ(matrix.dim(1), f);
+
+  // Work in double for numerical stability.
+  std::vector<double> a(static_cast<size_t>(f * f));
+  for (int64_t i = 0; i < f * f; ++i) a[static_cast<size_t>(i)] = matrix[i];
+  std::vector<double> v(static_cast<size_t>(f * f), 0.0);
+  for (int64_t i = 0; i < f; ++i) v[static_cast<size_t>(i * f + i)] = 1.0;
+
+  // Cyclic Jacobi sweeps.
+  const int max_sweeps = 100;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < f; ++p) {
+      for (int64_t q = p + 1; q < f; ++q) {
+        off += a[static_cast<size_t>(p * f + q)] * a[static_cast<size_t>(p * f + q)];
+      }
+    }
+    if (off < 1e-20) break;
+    for (int64_t p = 0; p < f; ++p) {
+      for (int64_t q = p + 1; q < f; ++q) {
+        const double apq = a[static_cast<size_t>(p * f + q)];
+        if (std::fabs(apq) < 1e-15) continue;
+        const double app = a[static_cast<size_t>(p * f + p)];
+        const double aqq = a[static_cast<size_t>(q * f + q)];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p and q of A.
+        for (int64_t i = 0; i < f; ++i) {
+          const double aip = a[static_cast<size_t>(i * f + p)];
+          const double aiq = a[static_cast<size_t>(i * f + q)];
+          a[static_cast<size_t>(i * f + p)] = c * aip - s * aiq;
+          a[static_cast<size_t>(i * f + q)] = s * aip + c * aiq;
+        }
+        for (int64_t i = 0; i < f; ++i) {
+          const double api = a[static_cast<size_t>(p * f + i)];
+          const double aqi = a[static_cast<size_t>(q * f + i)];
+          a[static_cast<size_t>(p * f + i)] = c * api - s * aqi;
+          a[static_cast<size_t>(q * f + i)] = s * api + c * aqi;
+        }
+        // Accumulate eigenvectors.
+        for (int64_t i = 0; i < f; ++i) {
+          const double vip = v[static_cast<size_t>(i * f + p)];
+          const double viq = v[static_cast<size_t>(i * f + q)];
+          v[static_cast<size_t>(i * f + p)] = c * vip - s * viq;
+          v[static_cast<size_t>(i * f + q)] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<int64_t> order(static_cast<size_t>(f));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return a[static_cast<size_t>(x * f + x)] > a[static_cast<size_t>(y * f + y)];
+  });
+
+  *eigenvalues = Tensor({f});
+  *eigenvectors = Tensor({f, f});
+  for (int64_t k = 0; k < f; ++k) {
+    const int64_t src = order[static_cast<size_t>(k)];
+    (*eigenvalues)[k] = static_cast<float>(a[static_cast<size_t>(src * f + src)]);
+    for (int64_t i = 0; i < f; ++i) {
+      (*eigenvectors)[i * f + k] =
+          static_cast<float>(v[static_cast<size_t>(i * f + src)]);
+    }
+  }
+}
+
+PcaResult FitPca(const Tensor& observations, int64_t k) {
+  ET_CHECK_EQ(observations.rank(), 2);
+  const int64_t m = observations.dim(0);
+  const int64_t f = observations.dim(1);
+  ET_CHECK_GT(m, 1);
+  ET_CHECK(k >= 1 && k <= f);
+
+  PcaResult result;
+  result.mean = Tensor({f});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < f; ++j) result.mean[j] += observations[i * f + j];
+  }
+  for (int64_t j = 0; j < f; ++j) result.mean[j] /= static_cast<float>(m);
+
+  // Covariance matrix in double precision.
+  std::vector<double> cov(static_cast<size_t>(f * f), 0.0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < f; ++p) {
+      const double dp = observations[i * f + p] - result.mean[p];
+      for (int64_t q = p; q < f; ++q) {
+        const double dq = observations[i * f + q] - result.mean[q];
+        cov[static_cast<size_t>(p * f + q)] += dp * dq;
+      }
+    }
+  }
+  Tensor cov_t({f, f});
+  for (int64_t p = 0; p < f; ++p) {
+    for (int64_t q = p; q < f; ++q) {
+      const float value =
+          static_cast<float>(cov[static_cast<size_t>(p * f + q)] / (m - 1));
+      cov_t[p * f + q] = value;
+      cov_t[q * f + p] = value;
+    }
+  }
+
+  Tensor all_values, all_vectors;
+  SymmetricEigen(cov_t, &all_values, &all_vectors);
+
+  result.eigenvalues = Tensor({k});
+  result.components = Tensor({f, k});
+  for (int64_t c = 0; c < k; ++c) {
+    result.eigenvalues[c] = all_values[c];
+    for (int64_t i = 0; i < f; ++i) {
+      result.components[i * k + c] = all_vectors[i * f + c];
+    }
+  }
+  return result;
+}
+
+Tensor PcaProject(const PcaResult& pca, const Tensor& observations) {
+  ET_CHECK_EQ(observations.rank(), 2);
+  const int64_t m = observations.dim(0);
+  const int64_t f = observations.dim(1);
+  ET_CHECK_EQ(f, pca.mean.dim(0));
+  const int64_t k = pca.components.dim(1);
+  Tensor out({m, k});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t c = 0; c < k; ++c) {
+      double dot = 0.0;
+      for (int64_t j = 0; j < f; ++j) {
+        dot += (observations[i * f + j] - pca.mean[j]) *
+               pca.components[j * k + c];
+      }
+      out[i * k + c] = static_cast<float>(dot);
+    }
+  }
+  return out;
+}
+
+Tensor DatasetObservationMatrix(
+    const std::vector<data::AlignedDataset>& datasets, int64_t w, int64_t h,
+    int64_t hours) {
+  int64_t f = 0;
+  for (const auto& ds : datasets) f += ds.channels();
+  const int64_t m = w * h * hours;
+  Tensor out({m, f});
+  int64_t feature = 0;
+  for (const auto& ds : datasets) {
+    const Tensor& t = ds.tensor;
+    const int64_t c = ds.channels();
+    for (int64_t ch = 0; ch < c; ++ch, ++feature) {
+      for (int64_t x = 0; x < w; ++x) {
+        for (int64_t y = 0; y < h; ++y) {
+          for (int64_t tt = 0; tt < hours; ++tt) {
+            const int64_t row = (x * h + y) * hours + tt;
+            float value = 0.0f;
+            switch (ds.kind) {
+              case data::DatasetKind::kTemporal:
+                value = t[ch * hours + tt];
+                break;
+              case data::DatasetKind::kSpatial:
+                value = t[(ch * w + x) * h + y];
+                break;
+              case data::DatasetKind::kSpatioTemporal:
+                value = t[((ch * w + x) * h + y) * hours + tt];
+                break;
+            }
+            out[row * f + feature] = value;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor PcaRepresentation(const std::vector<data::AlignedDataset>& datasets,
+                         int64_t w, int64_t h, int64_t hours, int64_t k) {
+  const Tensor obs = DatasetObservationMatrix(datasets, w, h, hours);
+  const PcaResult pca = FitPca(obs, k);
+  const Tensor projected = PcaProject(pca, obs);  // [W*H*T, K]
+  // Re-layout to [K, W, H, T].
+  Tensor z({k, w, h, hours});
+  for (int64_t x = 0; x < w; ++x) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t tt = 0; tt < hours; ++tt) {
+        const int64_t row = (x * h + y) * hours + tt;
+        for (int64_t c = 0; c < k; ++c) {
+          z[((c * w + x) * h + y) * hours + tt] = projected[row * k + c];
+        }
+      }
+    }
+  }
+  return z;
+}
+
+}  // namespace models
+}  // namespace equitensor

@@ -1,0 +1,49 @@
+#ifndef EQUITENSOR_MODELS_PCA_H_
+#define EQUITENSOR_MODELS_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace models {
+
+/// Principal component analysis, the paper's classical baseline
+/// (§4.2): every (cell, hour) pair contributes one observation whose
+/// features are the values of all datasets at that cell/hour (1D
+/// datasets contribute their hour value, 2D their cell value, 3D
+/// both-indexed values). The K leading components form a latent
+/// representation with the same [K, W, H, T] shape as an EquiTensor.
+
+/// Fitted PCA model.
+struct PcaResult {
+  Tensor mean;         // [F]
+  Tensor components;   // [F, K], columns are eigenvectors
+  Tensor eigenvalues;  // [K], descending
+};
+
+/// Jacobi eigendecomposition of a symmetric matrix [F, F]. Outputs all
+/// eigenvalues (descending) and the matching eigenvectors as columns.
+void SymmetricEigen(const Tensor& matrix, Tensor* eigenvalues,
+                    Tensor* eigenvectors);
+
+/// Fits PCA on observations [M, F], keeping the top `k` components.
+PcaResult FitPca(const Tensor& observations, int64_t k);
+
+/// Projects observations [M, F] to [M, K].
+Tensor PcaProject(const PcaResult& pca, const Tensor& observations);
+
+/// Builds the [W*H*T, F] observation matrix described above.
+Tensor DatasetObservationMatrix(const std::vector<data::AlignedDataset>& datasets,
+                                int64_t w, int64_t h, int64_t hours);
+
+/// Full pipeline: datasets -> fitted PCA -> latent [K, W, H, T].
+Tensor PcaRepresentation(const std::vector<data::AlignedDataset>& datasets,
+                         int64_t w, int64_t h, int64_t hours, int64_t k);
+
+}  // namespace models
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_MODELS_PCA_H_

@@ -1,0 +1,108 @@
+#include "models/predictor.h"
+
+#include "autograd/ops.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace models {
+
+GridPredictor::GridPredictor(GridPredictorConfig config, int64_t exo_channels,
+                             Rng& rng)
+    : config_(std::move(config)), exo_channels_(exo_channels) {
+  ET_CHECK_GE(exo_channels_, 0);
+  ET_CHECK_EQ(config_.head_filters.back(), 1)
+      << "predictor emits a single demand channel";
+  history_stack_ = std::make_unique<nn::ConvStack>(
+      3, 1, config_.history_filters, config_.kernel, rng,
+      nn::Activation::kRelu);
+  int64_t head_in = config_.history_filters.back();
+  if (exo_channels_ > 0) {
+    exo_stack_ = std::make_unique<nn::ConvStack>(
+        2, exo_channels_, config_.exo_filters, config_.kernel, rng,
+        nn::Activation::kRelu);
+    // The head sees both the processed exo features and the raw exo
+    // channels (skip connection) — with few training steps the raw
+    // path lets a single informative channel reach the output without
+    // first surviving a randomly initialized ReLU stack.
+    head_in += config_.exo_filters.back() + exo_channels_;
+  }
+  head_ = std::make_unique<nn::ConvStack>(2, head_in, config_.head_filters,
+                                          config_.kernel, rng,
+                                          nn::Activation::kLinear);
+}
+
+Variable GridPredictor::Forward(const Variable& history,
+                                const Variable& exo) const {
+  ET_CHECK_EQ(history.rank(), 5);
+  // 3D convolutions over the history, then collapse time.
+  Variable h = history_stack_->Forward(history);
+  h = ag::MeanAxis(h, /*axis=*/4);  // [N, C, W, H]
+
+  Variable fused = h;
+  if (exo_channels_ > 0) {
+    ET_CHECK(exo.defined()) << "predictor built with exogenous channels";
+    ET_CHECK_EQ(exo.value().dim(1), exo_channels_);
+    Variable e = exo_stack_->Forward(exo);
+    fused = ag::Concat({h, e, exo}, /*axis=*/1);
+  } else {
+    ET_CHECK(!exo.defined()) << "no-exo predictor got exogenous features";
+  }
+  return head_->Forward(fused);
+}
+
+std::vector<Variable> GridPredictor::Parameters() const {
+  std::vector<Variable> params = history_stack_->Parameters();
+  if (exo_stack_) {
+    for (const Variable& p : exo_stack_->Parameters()) params.push_back(p);
+  }
+  for (const Variable& p : head_->Parameters()) params.push_back(p);
+  return params;
+}
+
+Seq2SeqForecaster::Seq2SeqForecaster(int64_t input_features, int64_t hidden,
+                                     int64_t horizon, Rng& rng)
+    : input_features_(input_features), horizon_(horizon) {
+  ET_CHECK_GE(input_features, 1);
+  ET_CHECK_GE(horizon, 1);
+  encoder_ = std::make_unique<nn::LstmCell>(input_features, hidden, rng);
+  decoder_ = std::make_unique<nn::LstmCell>(1, hidden, rng);
+  head_ = std::make_unique<nn::Linear>(hidden, 1, rng);
+}
+
+Variable Seq2SeqForecaster::Forward(const Variable& history) const {
+  ET_CHECK_EQ(history.rank(), 3);
+  const int64_t n = history.value().dim(0);
+  const int64_t steps = history.value().dim(1);
+  ET_CHECK_EQ(history.value().dim(2), input_features_);
+
+  // Encode the history.
+  nn::LstmState state = encoder_->InitialState(n);
+  for (int64_t t = 0; t < steps; ++t) {
+    Variable x = ag::Reshape(
+        ag::Slice(history, {0, t, 0}, {n, 1, input_features_}),
+        {n, input_features_});
+    state = encoder_->Step(x, state);
+  }
+
+  // Decode autoregressively; the first decoder input is the last
+  // observed target value.
+  Variable prev = ag::Reshape(
+      ag::Slice(history, {0, steps - 1, 0}, {n, 1, 1}), {n, 1});
+  nn::LstmState dec_state = state;
+  std::vector<Variable> outputs;
+  outputs.reserve(static_cast<size_t>(horizon_));
+  for (int64_t t = 0; t < horizon_; ++t) {
+    dec_state = decoder_->Step(prev, dec_state);
+    Variable y = head_->Forward(dec_state.h);  // [N, 1]
+    outputs.push_back(y);
+    prev = y;
+  }
+  return ag::Concat(outputs, /*axis=*/1);  // [N, horizon]
+}
+
+std::vector<Variable> Seq2SeqForecaster::Parameters() const {
+  return nn::JoinParameters({encoder_.get(), decoder_.get(), head_.get()});
+}
+
+}  // namespace models
+}  // namespace equitensor

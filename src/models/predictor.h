@@ -1,0 +1,75 @@
+#ifndef EQUITENSOR_MODELS_PREDICTOR_H_
+#define EQUITENSOR_MODELS_PREDICTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/lstm.h"
+
+namespace equitensor {
+namespace models {
+
+/// Hyper-parameters of the 3D-CNN downstream predictor used for the
+/// spatio-temporal tasks (the [58]-style network of §4.2: historical
+/// demand through 3D convolutions, exogenous features through 2D
+/// convolutions, fused per cell).
+struct GridPredictorConfig {
+  int64_t history = 24;  // length of the demand history window
+  std::vector<int64_t> history_filters = {8, 16};
+  std::vector<int64_t> exo_filters = {8};
+  std::vector<int64_t> head_filters = {16, 1};
+  int64_t kernel = 3;
+};
+
+/// Predicts the next-step demand grid [N, 1, W, H] from the historical
+/// target grid [N, 1, W, H, history] and optional per-cell exogenous
+/// feature channels [N, E, W, H]. With E = 0 this is the paper's
+/// "No exogenous data" baseline; with hand-picked channels it is the
+/// oracle; with EquiTensor/PCA/early-fusion channels it evaluates the
+/// learned representations.
+class GridPredictor : public nn::Module {
+ public:
+  GridPredictor(GridPredictorConfig config, int64_t exo_channels, Rng& rng);
+
+  /// `exo` must be defined iff exo_channels > 0.
+  Variable Forward(const Variable& history, const Variable& exo) const;
+
+  int64_t exo_channels() const { return exo_channels_; }
+  std::vector<Variable> Parameters() const override;
+
+ private:
+  GridPredictorConfig config_;
+  int64_t exo_channels_;
+  std::unique_ptr<nn::ConvStack> history_stack_;  // 3D
+  std::unique_ptr<nn::ConvStack> exo_stack_;      // 2D (optional)
+  std::unique_ptr<nn::ConvStack> head_;           // 2D
+};
+
+/// Seq-to-seq LSTM forecaster for the 1D bike-count task ([48]-style,
+/// §4.2): an encoder LSTM consumes the history sequence, a decoder
+/// LSTM unrolls `horizon` steps feeding back its own predictions.
+class Seq2SeqForecaster : public nn::Module {
+ public:
+  /// `input_features` = 1 (the target) + number of exogenous series.
+  Seq2SeqForecaster(int64_t input_features, int64_t hidden, int64_t horizon,
+                    Rng& rng);
+
+  /// history: [N, Th, F]; returns predictions [N, horizon].
+  Variable Forward(const Variable& history) const;
+
+  int64_t horizon() const { return horizon_; }
+  std::vector<Variable> Parameters() const override;
+
+ private:
+  int64_t input_features_;
+  int64_t horizon_;
+  std::unique_ptr<nn::LstmCell> encoder_;
+  std::unique_ptr<nn::LstmCell> decoder_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace models
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_MODELS_PREDICTOR_H_

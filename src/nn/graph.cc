@@ -1,0 +1,83 @@
+#include "nn/graph.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace nn {
+
+Tensor NormalizeAdjacency(const Tensor& adjacency) {
+  ET_CHECK_EQ(adjacency.rank(), 2);
+  const int64_t n = adjacency.dim(0);
+  ET_CHECK_EQ(adjacency.dim(1), n);
+  // A + I, degree, then D^(-1/2) (A+I) D^(-1/2).
+  Tensor with_loops = adjacency;
+  for (int64_t i = 0; i < n; ++i) {
+    ET_CHECK_GE(with_loops[i * n + i], 0.0f) << "adjacency must be >= 0";
+    with_loops[i * n + i] += 1.0f;
+  }
+  std::vector<double> inv_sqrt_degree(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      ET_CHECK_GE(with_loops[i * n + j], 0.0f);
+      degree += with_loops[i * n + j];
+    }
+    inv_sqrt_degree[static_cast<size_t>(i)] = 1.0 / std::sqrt(degree);
+  }
+  Tensor normalized({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      normalized[i * n + j] = static_cast<float>(
+          inv_sqrt_degree[static_cast<size_t>(i)] * with_loops[i * n + j] *
+          inv_sqrt_degree[static_cast<size_t>(j)]);
+    }
+  }
+  return normalized;
+}
+
+GraphConv::GraphConv(Tensor normalized_adjacency, int64_t in_features,
+                     int64_t out_features, Rng& rng, Activation act)
+    : adjacency_(std::move(normalized_adjacency)),
+      weight_(GlorotUniform({in_features, out_features}, in_features,
+                            out_features, rng),
+              /*requires_grad=*/true),
+      bias_(Tensor({out_features}), /*requires_grad=*/true),
+      act_(act) {
+  ET_CHECK_EQ(adjacency_.rank(), 2);
+  ET_CHECK_EQ(adjacency_.dim(0), adjacency_.dim(1));
+}
+
+Variable GraphConv::Forward(const Variable& x) const {
+  ET_CHECK_EQ(x.rank(), 2);
+  ET_CHECK_EQ(x.value().dim(0), adjacency_.dim(0))
+      << "node count mismatch";
+  Variable propagated =
+      ag::MatMul(Variable(adjacency_, false), x);       // Â X
+  Variable transformed = ag::MatMul(propagated, weight_);  // Â X W
+  transformed = ag::AddBias(transformed, bias_, 1);
+  return Activate(transformed, act_);
+}
+
+GcnEncoder::GcnEncoder(const Tensor& adjacency, int64_t in_features,
+                       int64_t hidden, int64_t out_features, Rng& rng) {
+  const Tensor normalized = NormalizeAdjacency(adjacency);
+  layer1_ = std::make_unique<GraphConv>(normalized, in_features, hidden, rng,
+                                        Activation::kRelu);
+  layer2_ = std::make_unique<GraphConv>(normalized, hidden, out_features, rng,
+                                        Activation::kLinear);
+}
+
+Variable GcnEncoder::Forward(const Variable& x) const {
+  return layer2_->Forward(layer1_->Forward(x));
+}
+
+std::vector<Variable> GcnEncoder::Parameters() const {
+  return JoinParameters({layer1_.get(), layer2_.get()});
+}
+
+}  // namespace nn
+}  // namespace equitensor

@@ -1,0 +1,66 @@
+#ifndef EQUITENSOR_NN_GRAPH_H_
+#define EQUITENSOR_NN_GRAPH_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace nn {
+
+/// Graph-convolution support — the paper's §6 future-work direction
+/// ("handling sparse datasets using graph convolutional networks").
+/// Cells become graph nodes; spatial convolutions are replaced by
+/// propagation over a weighted adjacency, which respects the street
+/// network instead of the raster neighborhood.
+
+/// Symmetrically normalized propagation matrix of Kipf & Welling:
+/// Â = D^(-1/2) (A + I) D^(-1/2), with A a dense non-negative
+/// adjacency [N, N] (self-loops added here).
+Tensor NormalizeAdjacency(const Tensor& adjacency);
+
+/// One graph-convolution layer: X' = act(Â X W + b) with node features
+/// X [N_nodes, F_in] (or batched [B, N_nodes, F_in] applied per item).
+class GraphConv : public Module {
+ public:
+  /// `normalized_adjacency` is Â from NormalizeAdjacency; copied in.
+  GraphConv(Tensor normalized_adjacency, int64_t in_features,
+            int64_t out_features, Rng& rng,
+            Activation act = Activation::kRelu);
+
+  /// x: [N_nodes, F_in] -> [N_nodes, F_out].
+  Variable Forward(const Variable& x) const;
+
+  std::vector<Variable> Parameters() const override {
+    return {weight_, bias_};
+  }
+  int64_t node_count() const { return adjacency_.dim(0); }
+
+ private:
+  Tensor adjacency_;  // Â, constant
+  Variable weight_;   // [F_in, F_out]
+  Variable bias_;     // [F_out]
+  Activation act_;
+};
+
+/// Two-layer GCN encoder (the standard Kipf & Welling stack) mapping
+/// node features to node embeddings over a fixed graph.
+class GcnEncoder : public Module {
+ public:
+  GcnEncoder(const Tensor& adjacency, int64_t in_features, int64_t hidden,
+             int64_t out_features, Rng& rng);
+
+  Variable Forward(const Variable& x) const;
+  std::vector<Variable> Parameters() const override;
+
+ private:
+  std::unique_ptr<GraphConv> layer1_;
+  std::unique_ptr<GraphConv> layer2_;
+};
+
+}  // namespace nn
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_NN_GRAPH_H_

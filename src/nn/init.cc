@@ -1,0 +1,24 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace nn {
+
+Tensor GlorotUniform(std::vector<int64_t> shape, int64_t fan_in,
+                     int64_t fan_out, Rng& rng) {
+  ET_CHECK_GT(fan_in + fan_out, 0);
+  const float limit =
+      static_cast<float>(std::sqrt(6.0 / static_cast<double>(fan_in + fan_out)));
+  return Tensor::RandomUniform(std::move(shape), rng, -limit, limit);
+}
+
+Tensor ScaledNormal(std::vector<int64_t> shape, double stddev, Rng& rng) {
+  return Tensor::RandomNormal(std::move(shape), rng, 0.0f,
+                              static_cast<float>(stddev));
+}
+
+}  // namespace nn
+}  // namespace equitensor

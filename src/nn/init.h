@@ -1,0 +1,24 @@
+#ifndef EQUITENSOR_NN_INIT_H_
+#define EQUITENSOR_NN_INIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace equitensor {
+namespace nn {
+
+/// Glorot/Xavier uniform initialization: U(-limit, limit) with
+/// limit = sqrt(6 / (fan_in + fan_out)).
+Tensor GlorotUniform(std::vector<int64_t> shape, int64_t fan_in,
+                     int64_t fan_out, Rng& rng);
+
+/// Orthogonal-ish recurrent init: scaled normal (used for LSTM weights).
+Tensor ScaledNormal(std::vector<int64_t> shape, double stddev, Rng& rng);
+
+}  // namespace nn
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_NN_INIT_H_

@@ -1,0 +1,110 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace nn {
+
+Variable Activate(const Variable& x, Activation act) {
+  switch (act) {
+    case Activation::kLinear:
+      return x;
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+    case Activation::kTanh:
+      return ag::Tanh(x);
+  }
+  ET_CHECK(false) << "unknown activation";
+  return x;
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               Activation act)
+    : weight_(GlorotUniform({in_features, out_features}, in_features,
+                            out_features, rng),
+              /*requires_grad=*/true),
+      bias_(Tensor({out_features}), /*requires_grad=*/true),
+      act_(act) {}
+
+Variable Linear::Forward(const Variable& x) const {
+  Variable y = ag::MatMul(x, weight_);
+  y = ag::AddBias(y, bias_, /*channel_axis=*/1);
+  return Activate(y, act_);
+}
+
+Conv::Conv(int spatial_rank, int64_t in_channels, int64_t out_channels,
+           int64_t kernel, Rng& rng, Activation act)
+    : spatial_rank_(spatial_rank),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      act_(act) {
+  ET_CHECK(spatial_rank >= 1 && spatial_rank <= 3);
+  ET_CHECK_EQ(kernel % 2, 1) << "same padding requires odd kernels";
+  std::vector<int64_t> w_shape = {out_channels, in_channels};
+  int64_t kernel_volume = 1;
+  for (int d = 0; d < spatial_rank; ++d) {
+    w_shape.push_back(kernel);
+    kernel_volume *= kernel;
+  }
+  weight_ = Variable(GlorotUniform(std::move(w_shape),
+                                   in_channels * kernel_volume,
+                                   out_channels * kernel_volume, rng),
+                     /*requires_grad=*/true);
+  bias_ = Variable(Tensor({out_channels}), /*requires_grad=*/true);
+}
+
+Variable Conv::Forward(const Variable& x) const {
+  Variable y;
+  switch (spatial_rank_) {
+    case 1:
+      y = ag::Conv1d(x, weight_);
+      break;
+    case 2:
+      y = ag::Conv2d(x, weight_);
+      break;
+    case 3:
+      y = ag::Conv3d(x, weight_);
+      break;
+    default:
+      ET_CHECK(false);
+  }
+  y = ag::AddBias(y, bias_, /*channel_axis=*/1);
+  return Activate(y, act_);
+}
+
+ConvStack::ConvStack(int spatial_rank, int64_t in_channels,
+                     std::vector<int64_t> filters, int64_t kernel, Rng& rng,
+                     Activation final_act) {
+  ET_CHECK(!filters.empty());
+  int64_t channels = in_channels;
+  for (size_t i = 0; i < filters.size(); ++i) {
+    const Activation act =
+        (i + 1 == filters.size()) ? final_act : Activation::kRelu;
+    layers_.push_back(
+        std::make_unique<Conv>(spatial_rank, channels, filters[i], kernel,
+                               rng, act));
+    channels = filters[i];
+  }
+}
+
+Variable ConvStack::Forward(const Variable& x) const {
+  Variable y = x;
+  for (const auto& layer : layers_) y = layer->Forward(y);
+  return y;
+}
+
+std::vector<Variable> ConvStack::Parameters() const {
+  std::vector<Variable> params;
+  for (const auto& layer : layers_) {
+    for (const Variable& p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace nn
+}  // namespace equitensor

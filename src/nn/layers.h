@@ -1,0 +1,83 @@
+#ifndef EQUITENSOR_NN_LAYERS_H_
+#define EQUITENSOR_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/conv_ops.h"
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace equitensor {
+namespace nn {
+
+/// Pointwise nonlinearity applied after a layer's affine transform.
+enum class Activation { kLinear, kRelu, kSigmoid, kTanh };
+
+/// Applies `act` to `x` (kLinear is the identity).
+Variable Activate(const Variable& x, Activation act);
+
+/// Fully connected layer: y = act(x W + b), x: [N, in], W: [in, out].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         Activation act = Activation::kLinear);
+
+  Variable Forward(const Variable& x) const;
+  std::vector<Variable> Parameters() const override { return {weight_, bias_}; }
+
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  Variable weight_;
+  Variable bias_;
+  Activation act_;
+};
+
+/// Convolutional layer with stride 1 and same padding; `spatial_rank`
+/// selects Conv1d/2d/3d. Input layouts per autograd/conv_ops.h.
+class Conv : public Module {
+ public:
+  Conv(int spatial_rank, int64_t in_channels, int64_t out_channels,
+       int64_t kernel, Rng& rng, Activation act = Activation::kRelu);
+
+  Variable Forward(const Variable& x) const;
+  std::vector<Variable> Parameters() const override { return {weight_, bias_}; }
+
+  int spatial_rank() const { return spatial_rank_; }
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int spatial_rank_;
+  int64_t in_channels_;
+  int64_t out_channels_;
+  Variable weight_;
+  Variable bias_;
+  Activation act_;
+};
+
+/// A stack of Conv layers with ReLU between and a configurable final
+/// activation — the paper's ubiquitous "three convolutional layers with
+/// 16, 32, 1 filters" building block (§3.2, §3.4).
+class ConvStack : public Module {
+ public:
+  ConvStack(int spatial_rank, int64_t in_channels,
+            std::vector<int64_t> filters, int64_t kernel, Rng& rng,
+            Activation final_act = Activation::kLinear);
+
+  Variable Forward(const Variable& x) const;
+  std::vector<Variable> Parameters() const override;
+
+  int64_t out_channels() const { return layers_.back()->out_channels(); }
+
+ private:
+  std::vector<std::unique_ptr<Conv>> layers_;
+};
+
+}  // namespace nn
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_NN_LAYERS_H_

@@ -1,0 +1,47 @@
+#include "nn/lstm.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace equitensor {
+namespace nn {
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  const int64_t rows = input_size + hidden_size;
+  const int64_t cols = 4 * hidden_size;
+  weight_ = Variable(GlorotUniform({rows, cols}, rows, cols, rng),
+                     /*requires_grad=*/true);
+  Tensor bias({cols});
+  // Forget-gate bias = 1 stabilizes early training.
+  for (int64_t i = hidden_size; i < 2 * hidden_size; ++i) bias[i] = 1.0f;
+  bias_ = Variable(std::move(bias), /*requires_grad=*/true);
+}
+
+LstmState LstmCell::InitialState(int64_t n) const {
+  return {Variable(Tensor({n, hidden_size_})),
+          Variable(Tensor({n, hidden_size_}))};
+}
+
+LstmState LstmCell::Step(const Variable& x, const LstmState& state) const {
+  ET_CHECK_EQ(x.rank(), 2);
+  ET_CHECK_EQ(x.value().dim(1), input_size_);
+  const int64_t n = x.value().dim(0);
+
+  Variable xh = ag::Concat({x, state.h}, /*axis=*/1);
+  Variable gates = ag::AddBias(ag::MatMul(xh, weight_), bias_, 1);
+
+  const int64_t hs = hidden_size_;
+  Variable i = ag::Sigmoid(ag::Slice(gates, {0, 0 * hs}, {n, hs}));
+  Variable f = ag::Sigmoid(ag::Slice(gates, {0, 1 * hs}, {n, hs}));
+  Variable g = ag::Tanh(ag::Slice(gates, {0, 2 * hs}, {n, hs}));
+  Variable o = ag::Sigmoid(ag::Slice(gates, {0, 3 * hs}, {n, hs}));
+
+  Variable c_next = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+  Variable h_next = ag::Mul(o, ag::Tanh(c_next));
+  return {h_next, c_next};
+}
+
+}  // namespace nn
+}  // namespace equitensor

@@ -1,0 +1,48 @@
+#ifndef EQUITENSOR_NN_LSTM_H_
+#define EQUITENSOR_NN_LSTM_H_
+
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace equitensor {
+namespace nn {
+
+/// Hidden and cell state of an LSTM, each [N, hidden].
+struct LstmState {
+  Variable h;
+  Variable c;
+};
+
+/// Single LSTM cell with fused gate weights, used by the seq-to-seq
+/// bike-count baseline ([48] in the paper). Gate order: input, forget,
+/// cell, output. The forget-gate bias is initialized to 1.
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  /// Zero-filled initial state for a batch of `n`.
+  LstmState InitialState(int64_t n) const;
+
+  /// One timestep: consumes x [N, input] and the previous state,
+  /// returns the next state.
+  LstmState Step(const Variable& x, const LstmState& state) const;
+
+  std::vector<Variable> Parameters() const override { return {weight_, bias_}; }
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Variable weight_;  // [input+hidden, 4*hidden]
+  Variable bias_;    // [4*hidden]
+};
+
+}  // namespace nn
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_NN_LSTM_H_

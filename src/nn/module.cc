@@ -1,0 +1,16 @@
+#include "nn/module.h"
+
+namespace equitensor {
+namespace nn {
+
+std::vector<Variable> JoinParameters(
+    std::initializer_list<const Module*> modules) {
+  std::vector<Variable> all;
+  for (const Module* m : modules) {
+    for (const Variable& p : m->Parameters()) all.push_back(p);
+  }
+  return all;
+}
+
+}  // namespace nn
+}  // namespace equitensor

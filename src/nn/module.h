@@ -1,0 +1,43 @@
+#ifndef EQUITENSOR_NN_MODULE_H_
+#define EQUITENSOR_NN_MODULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace equitensor {
+namespace nn {
+
+/// Base class for trainable components. Parameters are Variable handles
+/// (shared with the graph), so optimizers mutate them in place between
+/// forward passes.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameter handles of this module (recursively).
+  virtual std::vector<Variable> Parameters() const = 0;
+
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() const {
+    int64_t count = 0;
+    for (const Variable& p : Parameters()) count += p.size();
+    return count;
+  }
+
+  /// Clears the gradients of all parameters.
+  void ZeroGrad() {
+    for (Variable p : Parameters()) p.ZeroGrad();
+  }
+};
+
+/// Concatenates the parameter lists of several modules.
+std::vector<Variable> JoinParameters(
+    std::initializer_list<const Module*> modules);
+
+}  // namespace nn
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_NN_MODULE_H_

@@ -1,0 +1,95 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace nn {
+
+Adam::Adam(std::vector<Variable> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    ET_CHECK(p.defined() && p.requires_grad())
+        << "Adam requires trainable parameters";
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+double Adam::CurrentLearningRate() const {
+  return options_.learning_rate *
+         std::pow(options_.decay_rate,
+                  static_cast<double>(step_) /
+                      static_cast<double>(options_.decay_steps));
+}
+
+void Adam::Step() {
+  const double lr = CurrentLearningRate();
+  ++step_;
+  const double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_));
+
+  // Optional global-norm clipping across all ready gradients.
+  double scale = 1.0;
+  if (options_.clip_norm > 0.0) {
+    double sq = 0.0;
+    for (Variable& p : params_) {
+      if (!p.grad_ready()) continue;
+      const Tensor& g = p.grad();
+      for (int64_t i = 0; i < g.size(); ++i) {
+        sq += static_cast<double>(g[i]) * g[i];
+      }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
+  }
+
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Variable& p = params_[k];
+    if (!p.grad_ready()) continue;
+    const Tensor& g = p.grad();
+    Tensor& value = p.mutable_value();
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const double gi = static_cast<double>(g[i]) * scale;
+      m[i] = static_cast<float>(options_.beta1 * m[i] + (1.0 - options_.beta1) * gi);
+      v[i] = static_cast<float>(options_.beta2 * v[i] +
+                                (1.0 - options_.beta2) * gi * gi);
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      value[i] -= static_cast<float>(lr * m_hat /
+                                     (std::sqrt(v_hat) + options_.epsilon));
+    }
+    p.ZeroGrad();
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, double learning_rate)
+    : params_(std::move(params)), learning_rate_(learning_rate) {}
+
+void Sgd::Step() {
+  for (Variable& p : params_) {
+    if (!p.grad_ready()) continue;
+    const Tensor& g = p.grad();
+    Tensor& value = p.mutable_value();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      value[i] -= static_cast<float>(learning_rate_) * g[i];
+    }
+    p.ZeroGrad();
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+}  // namespace nn
+}  // namespace equitensor

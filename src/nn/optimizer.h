@@ -1,0 +1,69 @@
+#ifndef EQUITENSOR_NN_OPTIMIZER_H_
+#define EQUITENSOR_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace nn {
+
+/// Configuration for Adam with exponential learning-rate decay, the
+/// optimizer the paper uses (§4.4: "Adam optimizers using an
+/// exponential learning rate decay strategy").
+struct AdamOptions {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// lr(step) = learning_rate * decay_rate^(step / decay_steps).
+  double decay_rate = 0.96;
+  int64_t decay_steps = 1000;
+  /// Optional global-norm gradient clipping; <= 0 disables.
+  double clip_norm = 0.0;
+};
+
+/// Adam optimizer over a fixed set of parameter handles.
+class Adam {
+ public:
+  Adam(std::vector<Variable> params, AdamOptions options = {});
+
+  /// Applies one update from the parameters' accumulated gradients and
+  /// clears them. Parameters whose gradient never materialized (e.g. a
+  /// frozen branch) are skipped.
+  void Step();
+
+  /// Clears all parameter gradients without updating.
+  void ZeroGrad();
+
+  /// Current decayed learning rate.
+  double CurrentLearningRate() const;
+
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<Variable> params_;
+  AdamOptions options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t step_ = 0;
+};
+
+/// Plain SGD, used by tests as a reference optimizer.
+class Sgd {
+ public:
+  Sgd(std::vector<Variable> params, double learning_rate);
+
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Variable> params_;
+  double learning_rate_;
+};
+
+}  // namespace nn
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_NN_OPTIMIZER_H_

@@ -1,0 +1,146 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace equitensor {
+namespace nn {
+namespace {
+
+constexpr char kMagic[4] = {'E', 'T', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& os, uint32_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteU64(std::ostream& os, uint64_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool ReadU32(std::istream& is, uint32_t* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(is);
+}
+
+bool ReadU64(std::istream& is, uint64_t* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+bool SaveTensors(const std::string& path,
+                 const std::vector<std::pair<std::string, Tensor>>& tensors) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file.write(kMagic, sizeof(kMagic));
+  WriteU32(file, kVersion);
+  WriteU64(file, tensors.size());
+  for (const auto& [name, tensor] : tensors) {
+    WriteU64(file, name.size());
+    file.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteU32(file, static_cast<uint32_t>(tensor.rank()));
+    for (int d = 0; d < tensor.rank(); ++d) {
+      WriteU64(file, static_cast<uint64_t>(tensor.dim(d)));
+    }
+    file.write(reinterpret_cast<const char*>(tensor.data()),
+               static_cast<std::streamsize>(tensor.size() * sizeof(float)));
+  }
+  return static_cast<bool>(file);
+}
+
+bool LoadTensors(const std::string& path,
+                 std::vector<std::pair<std::string, Tensor>>* tensors) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  char magic[4];
+  file.read(magic, sizeof(magic));
+  if (!file || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    ET_LOG(Warning) << "bad checkpoint magic in " << path;
+    return false;
+  }
+  uint32_t version = 0;
+  if (!ReadU32(file, &version) || version != kVersion) {
+    ET_LOG(Warning) << "unsupported checkpoint version in " << path;
+    return false;
+  }
+  uint64_t count = 0;
+  if (!ReadU64(file, &count)) return false;
+  tensors->clear();
+  tensors->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadU64(file, &name_len) || name_len > (1u << 20)) return false;
+    std::string name(name_len, '\0');
+    file.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint32_t rank = 0;
+    if (!ReadU32(file, &rank) || rank > 16) return false;
+    std::vector<int64_t> shape;
+    int64_t volume = 1;
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint64_t dim = 0;
+      if (!ReadU64(file, &dim) || dim == 0 || dim > (1ull << 40)) return false;
+      shape.push_back(static_cast<int64_t>(dim));
+      volume *= static_cast<int64_t>(dim);
+    }
+    std::vector<float> data(static_cast<size_t>(volume));
+    file.read(reinterpret_cast<char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!file) return false;
+    tensors->emplace_back(std::move(name),
+                          Tensor::FromData(std::move(shape), std::move(data)));
+  }
+  return true;
+}
+
+bool SaveModule(const std::string& path, const Module& module) {
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  const auto params = module.Parameters();
+  tensors.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    tensors.emplace_back("param_" + std::to_string(i), params[i].value());
+  }
+  return SaveTensors(path, tensors);
+}
+
+bool LoadModule(const std::string& path, Module* module) {
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  if (!LoadTensors(path, &tensors)) return false;
+  auto params = module->Parameters();
+  if (tensors.size() != params.size()) {
+    ET_LOG(Warning) << "checkpoint has " << tensors.size()
+                    << " tensors but module expects " << params.size();
+    return false;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!tensors[i].second.SameShape(params[i].value())) {
+      ET_LOG(Warning) << "parameter " << i << " shape mismatch: checkpoint "
+                      << tensors[i].second.ShapeString() << " vs module "
+                      << params[i].value().ShapeString();
+      return false;
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = std::move(tensors[i].second);
+  }
+  return true;
+}
+
+bool SaveTensor(const std::string& path, const Tensor& tensor) {
+  return SaveTensors(path, {{"tensor", tensor}});
+}
+
+bool LoadTensor(const std::string& path, Tensor* tensor) {
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  if (!LoadTensors(path, &tensors) || tensors.size() != 1) return false;
+  *tensor = std::move(tensors[0].second);
+  return true;
+}
+
+}  // namespace nn
+}  // namespace equitensor

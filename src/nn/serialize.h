@@ -1,0 +1,45 @@
+#ifndef EQUITENSOR_NN_SERIALIZE_H_
+#define EQUITENSOR_NN_SERIALIZE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace nn {
+
+/// Simple binary checkpoint format ("ETCK" magic, version 1,
+/// little-endian) holding an ordered list of named tensors. Used to
+/// persist trained EquiTensor models and materialized representations
+/// so downstream applications can reuse them without retraining —
+/// the paper's core reuse story (Figure 1B).
+
+/// Writes named tensors to `path`. Returns false on I/O failure.
+bool SaveTensors(const std::string& path,
+                 const std::vector<std::pair<std::string, Tensor>>& tensors);
+
+/// Reads a checkpoint written by SaveTensors. Returns false on I/O
+/// failure or format mismatch (wrong magic/version, truncation).
+bool LoadTensors(const std::string& path,
+                 std::vector<std::pair<std::string, Tensor>>* tensors);
+
+/// Saves a module's parameters in Parameters() order.
+bool SaveModule(const std::string& path, const Module& module);
+
+/// Restores a module's parameters in place. The checkpoint must hold
+/// exactly the module's parameter count with matching shapes (order
+/// defines identity); returns false otherwise.
+bool LoadModule(const std::string& path, Module* module);
+
+/// Convenience wrappers for a single tensor (e.g. a materialized
+/// EquiTensor).
+bool SaveTensor(const std::string& path, const Tensor& tensor);
+bool LoadTensor(const std::string& path, Tensor* tensor);
+
+}  // namespace nn
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_NN_SERIALIZE_H_

@@ -1,0 +1,139 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace equitensor {
+
+int64_t Tensor::Volume(const std::vector<int64_t>& shape) {
+  int64_t volume = 1;
+  for (int64_t d : shape) {
+    ET_CHECK_GT(d, 0) << "tensor dims must be positive";
+    volume *= d;
+  }
+  return volume;
+}
+
+Tensor::Tensor() : shape_(), data_(1, 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(Volume(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(Volume(shape_)), value) {}
+
+Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data) {
+  ET_CHECK_EQ(Volume(shape), static_cast<int64_t>(data.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<int64_t> shape, Rng& rng, float lo,
+                             float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::vector<int64_t> shape, Rng& rng, float mean,
+                            float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Normal(mean, stddev));
+  return t;
+}
+
+int64_t Tensor::dim(int axis) const {
+  const int r = rank();
+  if (axis < 0) axis += r;
+  ET_CHECK(axis >= 0 && axis < r) << "axis out of range for rank " << r;
+  return shape_[static_cast<size_t>(axis)];
+}
+
+int64_t Tensor::Offset(const std::vector<int64_t>& index) const {
+  ET_CHECK_EQ(static_cast<int>(index.size()), rank());
+  int64_t offset = 0;
+  for (size_t i = 0; i < index.size(); ++i) {
+    ET_CHECK(index[i] >= 0 && index[i] < shape_[i])
+        << "index " << index[i] << " out of bounds for dim " << shape_[i];
+    offset = offset * shape_[i] + index[i];
+  }
+  return offset;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> index) {
+  return data_[static_cast<size_t>(
+      Offset(std::vector<int64_t>(index.begin(), index.end())))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  return data_[static_cast<size_t>(
+      Offset(std::vector<int64_t>(index.begin(), index.end())))];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  ET_CHECK_EQ(Volume(new_shape), size()) << "reshape must preserve volume";
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+double Tensor::Sum() const {
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return sum;
+}
+
+double Tensor::Mean() const { return Sum() / static_cast<double>(size()); }
+
+float Tensor::Min() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::AbsMax() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float tol) {
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace equitensor

@@ -1,0 +1,102 @@
+#ifndef EQUITENSOR_TENSOR_TENSOR_H_
+#define EQUITENSOR_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace equitensor {
+
+/// Dense, row-major, float32 N-dimensional tensor. This is the storage
+/// type used by the autograd engine, the NN layers, and the data
+/// pipeline. Copyable (deep copy) and movable. Rank-0 tensors represent
+/// scalars and hold exactly one element.
+class Tensor {
+ public:
+  /// Empty rank-0 scalar initialized to 0.
+  Tensor();
+
+  /// Zero-filled tensor of the given shape. All dims must be positive.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Tensor of the given shape with every element set to `value`.
+  Tensor(std::vector<int64_t> shape, float value);
+
+  /// Wraps existing data; `data.size()` must equal the shape's volume.
+  static Tensor FromData(std::vector<int64_t> shape, std::vector<float> data);
+
+  /// Rank-0 scalar tensor.
+  static Tensor Scalar(float value);
+
+  /// I.i.d. uniform samples in [lo, hi).
+  static Tensor RandomUniform(std::vector<int64_t> shape, Rng& rng,
+                              float lo = 0.0f, float hi = 1.0f);
+
+  /// I.i.d. normal samples.
+  static Tensor RandomNormal(std::vector<int64_t> shape, Rng& rng,
+                             float mean = 0.0f, float stddev = 1.0f);
+
+  /// Shape accessors.
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  /// Size of dimension `axis`; negative axes count from the back.
+  int64_t dim(int axis) const;
+  /// Total number of elements.
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  /// Raw storage access (row-major).
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Linear element access without bounds translation.
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Multi-index element access with full bounds checking.
+  float& at(std::initializer_list<int64_t> index);
+  float at(std::initializer_list<int64_t> index) const;
+
+  /// Row-major linear offset of a multi-index (bounds-checked).
+  int64_t Offset(const std::vector<int64_t>& index) const;
+
+  /// True when shapes are identical (same rank and dims).
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Returns a copy with a new shape of equal volume.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// Sum of all elements (double accumulator).
+  double Sum() const;
+  /// Mean of all elements; 0 for empty tensors cannot occur (size >= 1).
+  double Mean() const;
+  /// Smallest / largest element.
+  float Min() const;
+  float Max() const;
+  /// Maximum |x| over all elements.
+  float AbsMax() const;
+
+  /// "[2, 3, 4]"-style shape string for diagnostics.
+  std::string ShapeString() const;
+
+  /// Volume (product of dims) of a shape vector.
+  static int64_t Volume(const std::vector<int64_t>& shape);
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// True when every pair of elements differs by at most `tol`.
+bool AllClose(const Tensor& a, const Tensor& b, float tol = 1e-5f);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_TENSOR_TENSOR_H_

@@ -1,0 +1,225 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace {
+
+Tensor Zip(const Tensor& a, const Tensor& b, float (*fn)(float, float)) {
+  ET_CHECK(a.SameShape(b)) << "shape mismatch " << a.ShapeString() << " vs "
+                           << b.ShapeString();
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = fn(a[i], b[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return Zip(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Zip(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Zip(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  ET_CHECK(a.SameShape(b));
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ET_CHECK(b[i] != 0.0f) << "division by zero at linear index " << i;
+    out[i] = a[i] / b[i];
+  }
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] + s;
+  return out;
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = fn(a[i]);
+  return out;
+}
+
+double MeanAbsoluteError(const Tensor& a, const Tensor& b) {
+  ET_CHECK(a.SameShape(b));
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+double MeanSquaredError(const Tensor& a, const Tensor& b) {
+  ET_CHECK(a.SameShape(b));
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ET_CHECK_EQ(a.rank(), 2);
+  ET_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  ET_CHECK_EQ(k, b.dim(0));
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2d(const Tensor& a) {
+  ET_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  ET_CHECK(!parts.empty());
+  const int rank = parts[0].rank();
+  if (axis < 0) axis += rank;
+  ET_CHECK(axis >= 0 && axis < rank);
+  std::vector<int64_t> shape = parts[0].shape();
+  int64_t concat_dim = 0;
+  for (const Tensor& p : parts) {
+    ET_CHECK_EQ(p.rank(), rank);
+    for (int d = 0; d < rank; ++d) {
+      if (d != axis) {
+        ET_CHECK_EQ(p.dim(d), shape[static_cast<size_t>(d)]);
+      }
+    }
+    concat_dim += p.dim(axis);
+  }
+  shape[static_cast<size_t>(axis)] = concat_dim;
+  Tensor out(shape);
+
+  // Treat each tensor as [outer, axis_dim, inner] blocks.
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= shape[static_cast<size_t>(d)];
+  for (int d = axis + 1; d < rank; ++d) inner *= shape[static_cast<size_t>(d)];
+
+  int64_t axis_offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t p_axis = p.dim(axis);
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = p.data() + o * p_axis * inner;
+      float* dst = out.data() + (o * concat_dim + axis_offset) * inner;
+      std::copy(src, src + p_axis * inner, dst);
+    }
+    axis_offset += p_axis;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& t, const std::vector<int64_t>& offsets,
+             const std::vector<int64_t>& sizes) {
+  ET_CHECK_EQ(static_cast<int>(offsets.size()), t.rank());
+  ET_CHECK_EQ(static_cast<int>(sizes.size()), t.rank());
+  for (int d = 0; d < t.rank(); ++d) {
+    ET_CHECK_GE(offsets[static_cast<size_t>(d)], 0);
+    ET_CHECK_GT(sizes[static_cast<size_t>(d)], 0);
+    ET_CHECK_LE(offsets[static_cast<size_t>(d)] + sizes[static_cast<size_t>(d)],
+                t.dim(d));
+  }
+  Tensor out(sizes);
+  std::vector<int64_t> index(static_cast<size_t>(t.rank()), 0);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    // Decode output index, translate by offsets, read from source.
+    int64_t rem = i;
+    for (int d = t.rank() - 1; d >= 0; --d) {
+      index[static_cast<size_t>(d)] =
+          offsets[static_cast<size_t>(d)] + rem % sizes[static_cast<size_t>(d)];
+      rem /= sizes[static_cast<size_t>(d)];
+    }
+    out[i] = t[t.Offset(index)];
+  }
+  return out;
+}
+
+Tensor MeanAxis(const Tensor& t, int axis) {
+  const int rank = t.rank();
+  if (axis < 0) axis += rank;
+  ET_CHECK(axis >= 0 && axis < rank);
+  std::vector<int64_t> out_shape;
+  for (int d = 0; d < rank; ++d) {
+    if (d != axis) out_shape.push_back(t.dim(d));
+  }
+  if (out_shape.empty()) return Tensor::Scalar(static_cast<float>(t.Mean()));
+
+  int64_t outer = 1, inner = 1;
+  const int64_t axis_dim = t.dim(axis);
+  for (int d = 0; d < axis; ++d) outer *= t.dim(d);
+  for (int d = axis + 1; d < rank; ++d) inner *= t.dim(d);
+
+  Tensor out(out_shape);
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      double sum = 0.0;
+      for (int64_t a = 0; a < axis_dim; ++a) {
+        sum += t[(o * axis_dim + a) * inner + in];
+      }
+      out[o * inner + in] = static_cast<float>(sum / axis_dim);
+    }
+  }
+  return out;
+}
+
+Tensor TileTrailing(const Tensor& t, int64_t repeat) {
+  return TileAt(t, t.rank(), repeat);
+}
+
+Tensor TileAt(const Tensor& t, int axis, int64_t repeat) {
+  const int rank = t.rank();
+  if (axis < 0) axis += rank + 1;
+  ET_CHECK(axis >= 0 && axis <= rank);
+  ET_CHECK_GT(repeat, 0);
+  std::vector<int64_t> out_shape = t.shape();
+  out_shape.insert(out_shape.begin() + axis, repeat);
+
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= t.dim(d);
+  for (int d = axis; d < rank; ++d) inner *= t.dim(d);
+
+  Tensor out(out_shape);
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = t.data() + o * inner;
+    for (int64_t r = 0; r < repeat; ++r) {
+      float* dst = out.data() + (o * repeat + r) * inner;
+      std::copy(src, src + inner, dst);
+    }
+  }
+  return out;
+}
+
+}  // namespace equitensor

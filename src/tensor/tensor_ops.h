@@ -1,0 +1,60 @@
+#ifndef EQUITENSOR_TENSOR_TENSOR_OPS_H_
+#define EQUITENSOR_TENSOR_TENSOR_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace equitensor {
+
+/// Eager, allocation-returning tensor math. These are used by the data
+/// pipeline, PCA, metrics, and tests; the autograd engine has its own
+/// differentiable op set layered on the same storage type.
+
+/// Elementwise a + b (shapes must match).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise a * b (Hadamard).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Elementwise a / b; checks |b| > 0.
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// Elementwise tensor-scalar variants.
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+/// Elementwise unary map.
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+
+/// Mean absolute difference between two same-shape tensors.
+double MeanAbsoluteError(const Tensor& a, const Tensor& b);
+/// Mean squared difference between two same-shape tensors.
+double MeanSquaredError(const Tensor& a, const Tensor& b);
+
+/// Dense matrix product of [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// Transpose of a rank-2 tensor.
+Tensor Transpose2d(const Tensor& a);
+
+/// Concatenates tensors along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+/// Extracts the sub-tensor starting at `offsets` with extents `sizes`.
+Tensor Slice(const Tensor& t, const std::vector<int64_t>& offsets,
+             const std::vector<int64_t>& sizes);
+
+/// Mean over one axis, removing it from the shape.
+Tensor MeanAxis(const Tensor& t, int axis);
+
+/// Repeats the tensor `repeat` times along a new trailing axis.
+/// [d0, ..., dk] -> [d0, ..., dk, repeat].
+Tensor TileTrailing(const Tensor& t, int64_t repeat);
+
+/// Repeats the tensor `repeat` times along a new axis at `axis`.
+Tensor TileAt(const Tensor& t, int axis, int64_t repeat);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_TENSOR_TENSOR_OPS_H_

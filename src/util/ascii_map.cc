@@ -1,0 +1,98 @@
+#include "util/ascii_map.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace {
+
+constexpr char kRamp[] = " .:-=+*#%@";
+constexpr int kRampSize = 10;
+
+char RampChar(float value, float min_v, float max_v) {
+  if (max_v <= min_v) return kRamp[0];
+  const float t = (value - min_v) / (max_v - min_v);
+  int idx = static_cast<int>(t * kRampSize);
+  idx = std::max(0, std::min(kRampSize - 1, idx));
+  return kRamp[idx];
+}
+
+}  // namespace
+
+std::string RenderAsciiMap(const Tensor& field, int cell_width) {
+  ET_CHECK_EQ(field.rank(), 2);
+  ET_CHECK_GE(cell_width, 1);
+  const int64_t w = field.dim(0), h = field.dim(1);
+  const float min_v = field.Min();
+  const float max_v = field.Max();
+  std::ostringstream os;
+  for (int64_t y = h - 1; y >= 0; --y) {  // North up.
+    for (int64_t x = 0; x < w; ++x) {
+      const char c = RampChar(field[x * h + y], min_v, max_v);
+      for (int r = 0; r < cell_width; ++r) os << c;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderSparkline(const Tensor& series) {
+  ET_CHECK_EQ(series.rank(), 1);
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  const float min_v = series.Min();
+  const float max_v = series.Max();
+  std::string out;
+  for (int64_t i = 0; i < series.dim(0); ++i) {
+    int level = 0;
+    if (max_v > min_v) {
+      level = static_cast<int>((series[i] - min_v) / (max_v - min_v) * 8.0f);
+      level = std::max(0, std::min(7, level));
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+std::string RenderAsciiMaps(const std::vector<Tensor>& fields,
+                            const std::vector<std::string>& titles,
+                            int cell_width) {
+  ET_CHECK_EQ(fields.size(), titles.size());
+  ET_CHECK(!fields.empty());
+  const int64_t h = fields[0].dim(1);
+  // Render each map, split into lines.
+  std::vector<std::vector<std::string>> columns;
+  std::vector<size_t> widths;
+  for (size_t c = 0; c < fields.size(); ++c) {
+    const Tensor& field = fields[c];
+    ET_CHECK_EQ(field.dim(1), h) << "maps must share height";
+    const std::string rendered = RenderAsciiMap(field, cell_width);
+    std::vector<std::string> lines;
+    std::istringstream is(rendered);
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+    size_t width = titles[c].size();  // Titles are never truncated.
+    for (const auto& l : lines) width = std::max(width, l.size());
+    columns.push_back(std::move(lines));
+    widths.push_back(width);
+  }
+  std::ostringstream os;
+  for (size_t c = 0; c < titles.size(); ++c) {
+    os << titles[c] << std::string(widths[c] - titles[c].size(), ' ');
+    if (c + 1 < titles.size()) os << "   ";
+  }
+  os << "\n";
+  for (int64_t row = 0; row < h; ++row) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const std::string& line = columns[c][static_cast<size_t>(row)];
+      os << line << std::string(widths[c] - line.size(), ' ');
+      if (c + 1 < columns.size()) os << "   ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace equitensor

@@ -1,0 +1,32 @@
+#ifndef EQUITENSOR_UTIL_ASCII_MAP_H_
+#define EQUITENSOR_UTIL_ASCII_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace equitensor {
+
+/// Terminal visualization helpers. The paper notes that keeping Z's
+/// spatial/temporal dimensions "allows direct visualization of the
+/// learned features" (§3.2) — these render [W, H] fields and time
+/// series without leaving the terminal.
+
+/// Renders a [W, H] field as an ASCII heat map, north (large y) up.
+/// Values are min-max normalized into the density ramp " .:-=+*#%@".
+/// Each cell prints `cell_width` copies of its character.
+std::string RenderAsciiMap(const Tensor& field, int cell_width = 2);
+
+/// Renders a 1-D series as a single-line sparkline over 8 levels.
+std::string RenderSparkline(const Tensor& series);
+
+/// Side-by-side rendering of several same-shape fields with titles
+/// (e.g. race map vs. a latent channel).
+std::string RenderAsciiMaps(const std::vector<Tensor>& fields,
+                            const std::vector<std::string>& titles,
+                            int cell_width = 2);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_ASCII_MAP_H_

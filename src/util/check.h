@@ -1,0 +1,66 @@
+#ifndef EQUITENSOR_UTIL_CHECK_H_
+#define EQUITENSOR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace equitensor {
+
+/// Internal helper that prints a fatal-check failure and aborts.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "ET_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+namespace internal_check {
+
+/// Stream sink that collects an optional message for a failing check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace equitensor
+
+/// Fatal assertion for programmer errors (shape mismatches, contract
+/// violations). Always enabled, including in release builds; failures
+/// indicate bugs, not recoverable conditions. Supports streaming extra
+/// context: `ET_CHECK(a == b) << "while merging " << name;`
+#define ET_CHECK(condition)                                              \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::equitensor::internal_check::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                      #condition)
+
+/// Convenience binary comparisons that print both operands on failure.
+#define ET_CHECK_EQ(a, b) ET_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ET_CHECK_NE(a, b) ET_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ET_CHECK_LT(a, b) ET_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ET_CHECK_LE(a, b) ET_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ET_CHECK_GT(a, b) ET_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define ET_CHECK_GE(a, b) ET_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b)
+
+#endif  // EQUITENSOR_UTIL_CHECK_H_

@@ -1,0 +1,173 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace {
+
+const char* TypeName(int type) {
+  switch (type) {
+    case 0:
+      return "string";
+    case 1:
+      return "int";
+    case 2:
+      return "double";
+    case 3:
+      return "bool";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void FlagParser::DefineString(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  ET_CHECK(!flags_.count(name)) << "duplicate flag " << name;
+  flags_[name] = {Type::kString, default_value, default_value, help};
+  order_.push_back(name);
+}
+
+void FlagParser::DefineInt(const std::string& name, int64_t default_value,
+                           const std::string& help) {
+  ET_CHECK(!flags_.count(name)) << "duplicate flag " << name;
+  const std::string s = std::to_string(default_value);
+  flags_[name] = {Type::kInt, s, s, help};
+  order_.push_back(name);
+}
+
+void FlagParser::DefineDouble(const std::string& name, double default_value,
+                              const std::string& help) {
+  ET_CHECK(!flags_.count(name)) << "duplicate flag " << name;
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = {Type::kDouble, os.str(), os.str(), help};
+  order_.push_back(name);
+}
+
+void FlagParser::DefineBool(const std::string& name, bool default_value,
+                            const std::string& help) {
+  ET_CHECK(!flags_.count(name)) << "duplicate flag " << name;
+  const std::string s = default_value ? "true" : "false";
+  flags_[name] = {Type::kBool, s, s, help};
+  order_.push_back(name);
+}
+
+bool FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    error_ = "unknown flag --" + name;
+    return false;
+  }
+  // Validate parse per type.
+  const char* start = value.c_str();
+  char* end = nullptr;
+  switch (it->second.type) {
+    case Type::kString:
+      break;
+    case Type::kInt:
+      std::strtoll(start, &end, 10);
+      if (end != start + value.size() || value.empty()) {
+        error_ = "flag --" + name + " expects an int, got '" + value + "'";
+        return false;
+      }
+      break;
+    case Type::kDouble:
+      std::strtod(start, &end);
+      if (end != start + value.size() || value.empty()) {
+        error_ = "flag --" + name + " expects a double, got '" + value + "'";
+        return false;
+      }
+      break;
+    case Type::kBool:
+      if (value != "true" && value != "false" && value != "1" &&
+          value != "0") {
+        error_ = "flag --" + name + " expects a bool, got '" + value + "'";
+        return false;
+      }
+      break;
+  }
+  it->second.value = value;
+  return true;
+}
+
+bool FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      if (!SetValue(arg.substr(0, eq), arg.substr(eq + 1))) return false;
+      continue;
+    }
+    // `--name value` or bare boolean `--name`.
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + arg;
+      return false;
+    }
+    if (it->second.type == Type::kBool) {
+      it->second.value = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error_ = "flag --" + arg + " is missing a value";
+      return false;
+    }
+    if (!SetValue(arg, argv[++i])) return false;
+  }
+  return true;
+}
+
+const FlagParser::Flag& FlagParser::Lookup(const std::string& name,
+                                           Type type) const {
+  auto it = flags_.find(name);
+  ET_CHECK(it != flags_.end()) << "undefined flag " << name;
+  ET_CHECK(it->second.type == type)
+      << "flag " << name << " is not a " << TypeName(static_cast<int>(type));
+  return it->second;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return Lookup(name, Type::kString).value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return std::strtoll(Lookup(name, Type::kInt).value.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(Lookup(name, Type::kDouble).value.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& v = Lookup(name, Type::kBool).value;
+  return v == "true" || v == "1";
+}
+
+std::string FlagParser::HelpText(
+    const std::string& program_description) const {
+  std::ostringstream os;
+  os << program_description << "\n\nFlags:\n";
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    os << "  --" << name << " (" << TypeName(static_cast<int>(flag.type))
+       << ", default " << flag.default_value << ")\n      " << flag.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace equitensor

@@ -1,0 +1,65 @@
+#ifndef EQUITENSOR_UTIL_FLAGS_H_
+#define EQUITENSOR_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace equitensor {
+
+/// Minimal command-line flag parser for the tools/ binaries.
+/// Accepts `--name=value`, `--name value`, and bare `--name` (boolean
+/// true). Positional arguments are collected separately. Unknown flags
+/// are an error so typos fail loudly.
+class FlagParser {
+ public:
+  /// Registers a flag with a default value and help text. Call all
+  /// Define* before Parse().
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineInt(const std::string& name, int64_t default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or
+  /// unparsable values. `--help` sets help_requested().
+  bool Parse(int argc, const char* const* argv);
+
+  /// Typed accessors (abort on unknown name — programmer error).
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+  bool help_requested() const { return help_requested_; }
+
+  /// Formatted flag reference for --help output.
+  std::string HelpText(const std::string& program_description) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // Canonical string form.
+    std::string default_value;
+    std::string help;
+  };
+  bool SetValue(const std::string& name, const std::string& value);
+  const Flag& Lookup(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_FLAGS_H_

@@ -1,0 +1,45 @@
+#ifndef EQUITENSOR_UTIL_LOGGING_H_
+#define EQUITENSOR_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace equitensor {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that will be emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum level (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Collects one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace equitensor
+
+#define ET_LOG(severity)                                      \
+  ::equitensor::internal_logging::LogMessage(                 \
+      ::equitensor::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // EQUITENSOR_UTIL_LOGGING_H_

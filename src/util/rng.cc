@@ -1,0 +1,111 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  ET_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  ET_CHECK_GT(n, 0u);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+int Rng::Poisson(double lambda) {
+  ET_CHECK_GE(lambda, 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    double product = Uniform();
+    int count = 0;
+    while (product > limit) {
+      product *= Uniform();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large rates.
+  const double sample = Normal(lambda, std::sqrt(lambda));
+  return sample < 0.0 ? 0 : static_cast<int>(sample + 0.5);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+Rng Rng::Split() { return Rng(NextU64()); }
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = static_cast<size_t>(UniformInt(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace equitensor

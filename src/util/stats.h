@@ -1,0 +1,55 @@
+#ifndef EQUITENSOR_UTIL_STATS_H_
+#define EQUITENSOR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace equitensor {
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Used for
+/// repeated-run experiment statistics (Table 5 mean/std columns).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Number of observations added so far.
+  size_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double Mean() const;
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double Variance() const;
+
+  /// Square root of Variance().
+  double StdDev() const;
+
+  /// Smallest observation; +inf when empty.
+  double Min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double Max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Mean of a vector; 0 when empty.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased standard deviation; 0 with fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+/// Pearson correlation coefficient of two equally sized vectors.
+/// Returns 0 when either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_STATS_H_

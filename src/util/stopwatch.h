@@ -1,0 +1,28 @@
+#ifndef EQUITENSOR_UTIL_STOPWATCH_H_
+#define EQUITENSOR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace equitensor {
+
+/// Simple wall-clock stopwatch for progress reporting in benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_STOPWATCH_H_

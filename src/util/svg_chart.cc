@@ -1,0 +1,183 @@
+#include "util/svg_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace {
+
+constexpr const char* kPalette[] = {"#1f77b4", "#ff7f0e", "#2ca02c",
+                                    "#d62728", "#9467bd", "#8c564b",
+                                    "#e377c2", "#7f7f7f"};
+constexpr int kPaletteSize = 8;
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatTick(double value) {
+  std::ostringstream os;
+  os.precision(4);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+SvgChart::SvgChart(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void SvgChart::AddSeries(const std::string& name, std::vector<double> x,
+                         std::vector<double> y) {
+  ET_CHECK_EQ(x.size(), y.size());
+  ET_CHECK(!x.empty());
+  series_.push_back({name, std::move(x), std::move(y), false});
+}
+
+void SvgChart::AddHorizontalLine(const std::string& name, double y) {
+  series_.push_back({name, {}, {y}, true});
+}
+
+std::string SvgChart::Render(int width, int height) const {
+  ET_CHECK(!series_.empty()) << "chart needs at least one series";
+  const double margin_left = 64, margin_right = 16;
+  const double margin_top = 36, margin_bottom = 48;
+  const double plot_w = width - margin_left - margin_right;
+  const double plot_h = height - margin_top - margin_bottom;
+
+  // Data ranges over all non-horizontal series (+ horizontal levels).
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (const Series& s : series_) {
+    if (s.horizontal) {
+      min_y = std::min(min_y, s.y[0]);
+      max_y = std::max(max_y, s.y[0]);
+      continue;
+    }
+    for (double v : s.x) {
+      min_x = std::min(min_x, v);
+      max_x = std::max(max_x, v);
+    }
+    for (double v : s.y) {
+      min_y = std::min(min_y, v);
+      max_y = std::max(max_y, v);
+    }
+  }
+  if (min_x > max_x) {
+    min_x = 0.0;
+    max_x = 1.0;
+  }
+  if (max_x - min_x < 1e-12) max_x = min_x + 1.0;
+  if (max_y - min_y < 1e-12) max_y = min_y + 1.0;
+  // 5% padding on y.
+  const double pad = 0.05 * (max_y - min_y);
+  min_y -= pad;
+  max_y += pad;
+
+  auto sx = [&](double v) {
+    return margin_left + (v - min_x) / (max_x - min_x) * plot_w;
+  };
+  auto sy = [&](double v) {
+    return margin_top + (1.0 - (v - min_y) / (max_y - min_y)) * plot_h;
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  os << "<text x=\"" << width / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+     << "font-size=\"14\">" << EscapeXml(title_) << "</text>\n";
+
+  // Axes.
+  os << "<line x1=\"" << margin_left << "\" y1=\"" << margin_top + plot_h
+     << "\" x2=\"" << margin_left + plot_w << "\" y2=\"" << margin_top + plot_h
+     << "\" stroke=\"black\"/>\n";
+  os << "<line x1=\"" << margin_left << "\" y1=\"" << margin_top << "\" x2=\""
+     << margin_left << "\" y2=\"" << margin_top + plot_h
+     << "\" stroke=\"black\"/>\n";
+  // Ticks (5 per axis) + labels.
+  for (int i = 0; i <= 4; ++i) {
+    const double fx = min_x + (max_x - min_x) * i / 4.0;
+    const double fy = min_y + (max_y - min_y) * i / 4.0;
+    os << "<text x=\"" << sx(fx) << "\" y=\"" << margin_top + plot_h + 16
+       << "\" text-anchor=\"middle\" font-size=\"10\">" << FormatTick(fx)
+       << "</text>\n";
+    os << "<text x=\"" << margin_left - 6 << "\" y=\"" << sy(fy) + 3
+       << "\" text-anchor=\"end\" font-size=\"10\">" << FormatTick(fy)
+       << "</text>\n";
+    os << "<line x1=\"" << margin_left << "\" y1=\"" << sy(fy) << "\" x2=\""
+       << margin_left + plot_w << "\" y2=\"" << sy(fy)
+       << "\" stroke=\"#eeeeee\"/>\n";
+  }
+  os << "<text x=\"" << margin_left + plot_w / 2 << "\" y=\"" << height - 8
+     << "\" text-anchor=\"middle\" font-size=\"12\">" << EscapeXml(x_label_)
+     << "</text>\n";
+  os << "<text x=\"14\" y=\"" << margin_top + plot_h / 2
+     << "\" text-anchor=\"middle\" font-size=\"12\" transform=\"rotate(-90 14 "
+     << margin_top + plot_h / 2 << ")\">" << EscapeXml(y_label_)
+     << "</text>\n";
+
+  // Series.
+  int color = 0;
+  double legend_y = margin_top + 6;
+  for (const Series& s : series_) {
+    const char* stroke = kPalette[color % kPaletteSize];
+    ++color;
+    if (s.horizontal) {
+      os << "<line x1=\"" << margin_left << "\" y1=\"" << sy(s.y[0])
+         << "\" x2=\"" << margin_left + plot_w << "\" y2=\"" << sy(s.y[0])
+         << "\" stroke=\"" << stroke << "\" stroke-dasharray=\"6 3\"/>\n";
+    } else {
+      os << "<polyline fill=\"none\" stroke=\"" << stroke
+         << "\" stroke-width=\"1.5\" points=\"";
+      for (size_t i = 0; i < s.x.size(); ++i) {
+        os << sx(s.x[i]) << "," << sy(s.y[i]) << " ";
+      }
+      os << "\"/>\n";
+      for (size_t i = 0; i < s.x.size(); ++i) {
+        os << "<circle cx=\"" << sx(s.x[i]) << "\" cy=\"" << sy(s.y[i])
+           << "\" r=\"2.5\" fill=\"" << stroke << "\"/>\n";
+      }
+    }
+    // Legend entry.
+    os << "<rect x=\"" << margin_left + plot_w - 150 << "\" y=\""
+       << legend_y - 8 << "\" width=\"10\" height=\"10\" fill=\"" << stroke
+       << "\"/>\n";
+    os << "<text x=\"" << margin_left + plot_w - 136 << "\" y=\"" << legend_y
+       << "\" font-size=\"11\">" << EscapeXml(s.name) << "</text>\n";
+    legend_y += 16;
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool SvgChart::WriteFile(const std::string& path, int width,
+                         int height) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << Render(width, height);
+  return static_cast<bool>(file);
+}
+
+}  // namespace equitensor

@@ -1,0 +1,45 @@
+#ifndef EQUITENSOR_UTIL_SVG_CHART_H_
+#define EQUITENSOR_UTIL_SVG_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace equitensor {
+
+/// Dependency-free SVG line-chart writer used to turn bench CSVs into
+/// the paper's figures (Figure 4/5/6 style). One chart holds several
+/// named series over a shared x axis.
+class SvgChart {
+ public:
+  SvgChart(std::string title, std::string x_label, std::string y_label);
+
+  /// Adds one series; x and y must be equal length.
+  void AddSeries(const std::string& name, std::vector<double> x,
+                 std::vector<double> y);
+
+  /// Adds a horizontal reference line (e.g. a noise ceiling).
+  void AddHorizontalLine(const std::string& name, double y);
+
+  /// Renders the complete SVG document.
+  std::string Render(int width = 640, int height = 400) const;
+
+  /// Renders to a file. Returns false on I/O failure.
+  bool WriteFile(const std::string& path, int width = 640,
+                 int height = 400) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+    bool horizontal = false;  // y[0] used as reference level
+  };
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_SVG_CHART_H_

@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace equitensor {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ET_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  ET_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Num(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TextTable::MeanStd(double mean, double std, int decimals) {
+  return Num(mean, decimals) + " (" + Num(std, decimals) + ")";
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + line(headers_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string escaped = "\"";
+    for (char ch : cell) {
+      if (ch == '"') escaped += '"';
+      escaped += ch;
+    }
+    return escaped + "\"";
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << escape(cells[c]);
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+bool TextTable::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << ToCsv();
+  return static_cast<bool>(file);
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.ToString();
+}
+
+}  // namespace equitensor

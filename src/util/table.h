@@ -1,0 +1,45 @@
+#ifndef EQUITENSOR_UTIL_TABLE_H_
+#define EQUITENSOR_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace equitensor {
+
+/// Aligned text table builder used by the experiment benches to print
+/// paper-style result tables, and to dump the same rows as CSV.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with the given number of decimals.
+  static std::string Num(double value, int decimals = 3);
+
+  /// Formats "mean (std)" as used in Table 5 of the paper.
+  static std::string MeanStd(double mean, double std, int decimals = 3);
+
+  /// Renders an aligned, boxed text table.
+  std::string ToString() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to a file path. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streams TextTable::ToString().
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_TABLE_H_

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/adaptive_weighting.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+double SumWeights(const AdaptiveWeighter& weighter) {
+  return std::accumulate(weighter.weights().begin(),
+                         weighter.weights().end(), 0.0);
+}
+
+TEST(AdaptiveWeighterTest, InitialWeightsAreOne) {
+  AdaptiveWeighter weighter(WeightingMode::kOurs, 4, 3.0);
+  for (double w : weighter.weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(AdaptiveWeighterTest, NoneModeNeverChanges) {
+  AdaptiveWeighter weighter(WeightingMode::kNone, 3, 3.0);
+  weighter.Update({0.5, 0.1, 0.9});
+  weighter.Update({0.4, 0.05, 1.5});
+  for (double w : weighter.weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(AdaptiveWeighterTest, OursWeightsSumToN) {
+  AdaptiveWeighter weighter(WeightingMode::kOurs, 4, 3.0);
+  weighter.SetOptimalLosses({0.1, 0.1, 0.1, 0.1});
+  weighter.Update({0.2, 0.4, 0.1, 0.3});
+  EXPECT_NEAR(SumWeights(weighter), 4.0, 1e-9);
+}
+
+TEST(AdaptiveWeighterTest, OursFavorsFarFromOptimalDataset) {
+  // Dataset 0 is at its optimum; dataset 1 is 5x above: dataset 1 must
+  // receive the larger weight (Eq. 3).
+  AdaptiveWeighter weighter(WeightingMode::kOurs, 2, 1.0);
+  weighter.SetOptimalLosses({0.1, 0.1});
+  weighter.Update({0.1, 0.5});
+  EXPECT_GT(weighter.weights()[1], weighter.weights()[0]);
+  EXPECT_GT(weighter.weights()[1], 1.0);
+  EXPECT_LT(weighter.weights()[0], 1.0);
+}
+
+TEST(AdaptiveWeighterTest, OursAccountsForLossScales) {
+  // Dataset 1's loss is larger in absolute terms but equals its
+  // optimum; dataset 0 is relatively worse. Progress is relative
+  // (L/L_opt), so dataset 0 should get the larger weight.
+  AdaptiveWeighter weighter(WeightingMode::kOurs, 2, 1.0);
+  weighter.SetOptimalLosses({0.01, 0.5});
+  weighter.Update({0.05, 0.5});  // LP = {5.0, 1.0}
+  EXPECT_GT(weighter.weights()[0], weighter.weights()[1]);
+}
+
+TEST(AdaptiveWeighterTest, LargerAlphaFlattensWeights) {
+  AdaptiveWeighter sharp(WeightingMode::kOurs, 2, 0.5);
+  AdaptiveWeighter flat(WeightingMode::kOurs, 2, 20.0);
+  sharp.SetOptimalLosses({0.1, 0.1});
+  flat.SetOptimalLosses({0.1, 0.1});
+  sharp.Update({0.1, 0.5});
+  flat.Update({0.1, 0.5});
+  const double sharp_gap = sharp.weights()[1] - sharp.weights()[0];
+  const double flat_gap = flat.weights()[1] - flat.weights()[0];
+  EXPECT_GT(sharp_gap, flat_gap);
+  EXPECT_GT(flat_gap, 0.0);
+  // Very large alpha approaches equal weights.
+  EXPECT_NEAR(flat.weights()[0], 1.0, 0.1);
+}
+
+TEST(AdaptiveWeighterTest, EqualProgressMeansEqualWeights) {
+  AdaptiveWeighter weighter(WeightingMode::kOurs, 3, 2.0);
+  weighter.SetOptimalLosses({0.1, 0.2, 0.3});
+  weighter.Update({0.2, 0.4, 0.6});  // all LP = 2
+  for (double w : weighter.weights()) EXPECT_NEAR(w, 1.0, 1e-9);
+}
+
+TEST(AdaptiveWeighterTest, DwaWaitsTwoEpochs) {
+  AdaptiveWeighter weighter(WeightingMode::kDwa, 2, 2.0);
+  weighter.Update({0.5, 0.5});
+  for (double w : weighter.weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+  weighter.Update({0.4, 0.5});
+  for (double w : weighter.weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+  weighter.Update({0.3, 0.5});
+  // Now ratios from epochs t-1/t-2: dataset 0 improving (0.4/0.5 < 1),
+  // dataset 1 flat (1.0) -> dataset 1 weighted higher.
+  EXPECT_GT(weighter.weights()[1], weighter.weights()[0]);
+  EXPECT_NEAR(SumWeights(weighter), 2.0, 1e-9);
+}
+
+TEST(AdaptiveWeighterTest, DwaIgnoresOptimalLosses) {
+  // DWA must work without SetOptimalLosses.
+  AdaptiveWeighter weighter(WeightingMode::kDwa, 2, 2.0);
+  weighter.Update({1.0, 1.0});
+  weighter.Update({0.9, 1.0});
+  weighter.Update({0.8, 1.0});
+  EXPECT_NE(weighter.weights()[0], weighter.weights()[1]);
+}
+
+TEST(AdaptiveWeighterDeathTest, OursWithoutOptimalAborts) {
+  AdaptiveWeighter weighter(WeightingMode::kOurs, 2, 1.0);
+  EXPECT_DEATH(weighter.Update({0.1, 0.2}), "SetOptimalLosses");
+}
+
+TEST(AdaptiveWeighterDeathTest, WrongSizeAborts) {
+  AdaptiveWeighter weighter(WeightingMode::kNone, 3, 1.0);
+  EXPECT_DEATH(weighter.Update({0.1, 0.2}), "");
+}
+
+TEST(WeightingModeTest, Names) {
+  EXPECT_STREQ(WeightingModeName(WeightingMode::kNone), "none");
+  EXPECT_STREQ(WeightingModeName(WeightingMode::kOurs), "ours");
+  EXPECT_STREQ(WeightingModeName(WeightingMode::kDwa), "dwa");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace equitensor

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "util/ascii_map.h"
+
+namespace equitensor {
+namespace {
+
+TEST(AsciiMapTest, DimensionsMatchField) {
+  Tensor field({4, 3});
+  const std::string rendered = RenderAsciiMap(field, 2);
+  // 3 rows (height), each 4 cells * 2 chars + newline.
+  int lines = 0;
+  size_t pos = 0;
+  while ((pos = rendered.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(rendered.find('\n'), 8u);
+}
+
+TEST(AsciiMapTest, ExtremesUseRampEnds) {
+  Tensor field = Tensor::FromData({2, 1}, {0.0f, 1.0f});
+  const std::string rendered = RenderAsciiMap(field, 1);
+  EXPECT_EQ(rendered[0], ' ');  // min
+  EXPECT_EQ(rendered[1], '@');  // max
+}
+
+TEST(AsciiMapTest, ConstantFieldIsUniform) {
+  Tensor field({3, 2}, 5.0f);
+  const std::string rendered = RenderAsciiMap(field, 1);
+  for (char c : rendered) {
+    if (c != '\n') EXPECT_EQ(c, ' ');
+  }
+}
+
+TEST(AsciiMapTest, NorthIsUp) {
+  // Cell (0, h-1) (north-west) must appear on the *first* line.
+  Tensor field({1, 2});
+  field.at({0, 1}) = 1.0f;  // north cell hot
+  const std::string rendered = RenderAsciiMap(field, 1);
+  EXPECT_EQ(rendered[0], '@');
+  EXPECT_EQ(rendered[2], ' ');
+}
+
+TEST(SparklineTest, LengthMatchesSeries) {
+  Tensor series = Tensor::FromData({4}, {0, 1, 2, 3});
+  const std::string line = RenderSparkline(series);
+  // Each glyph is a 3-byte UTF-8 block character.
+  EXPECT_EQ(line.size(), 12u);
+}
+
+TEST(SparklineTest, MonotoneSeriesStartsLowEndsHigh) {
+  Tensor series = Tensor::FromData({3}, {0, 5, 10});
+  const std::string line = RenderSparkline(series);
+  EXPECT_EQ(line.substr(0, 3), "▁");   // lowest block
+  EXPECT_EQ(line.substr(6, 3), "█");   // full block
+}
+
+TEST(AsciiMapsTest, SideBySideHasTitles) {
+  Tensor a({2, 2}, 0.0f);
+  Tensor b({2, 2}, 1.0f);
+  const std::string rendered = RenderAsciiMaps({a, b}, {"left", "right"}, 2);
+  EXPECT_NE(rendered.find("left"), std::string::npos);
+  EXPECT_NE(rendered.find("right"), std::string::npos);
+}
+
+TEST(AsciiMapsDeathTest, MismatchedHeightsAbort) {
+  Tensor a({2, 2});
+  Tensor b({2, 3});
+  EXPECT_DEATH(RenderAsciiMaps({a, b}, {"a", "b"}), "share height");
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+
+namespace equitensor {
+namespace {
+
+// Finite-difference validation of every non-convolution op. Each case
+// builds a scalar loss from randomized inputs and compares analytic
+// gradients to central differences.
+
+using LossFn = std::function<Variable(std::vector<Variable>&)>;
+
+struct GradCase {
+  const char* name;
+  std::vector<std::vector<int64_t>> input_shapes;
+  LossFn fn;
+  float input_scale = 1.0f;
+};
+
+void PrintTo(const GradCase& c, std::ostream* os) { *os << c.name; }
+
+class OpGradTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(OpGradTest, MatchesFiniteDifferences) {
+  const GradCase& c = GetParam();
+  Rng rng(1234);
+  std::vector<Tensor> inputs;
+  std::vector<bool> requires_grad;
+  for (const auto& shape : c.input_shapes) {
+    inputs.push_back(
+        Tensor::RandomUniform(shape, rng, -c.input_scale, c.input_scale));
+    requires_grad.push_back(true);
+  }
+  const GradCheckResult result = CheckGradients(c.fn, inputs, requires_grad);
+  EXPECT_TRUE(result.ok) << c.name << ": " << result.detail;
+}
+
+// Smooth-ish losses: sum of sigmoid keeps |f'| bounded and avoids the
+// MAE kink landing on a sample point.
+Variable SmoothLoss(const Variable& v) {
+  return ag::SumAll(ag::Sigmoid(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpGradTest,
+    ::testing::Values(
+        GradCase{"add", {{2, 3}, {2, 3}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::Add(v[0], v[1]));
+                 }},
+        GradCase{"sub", {{2, 3}, {2, 3}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::Sub(v[0], v[1]));
+                 }},
+        GradCase{"mul", {{2, 3}, {2, 3}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::Mul(v[0], v[1]));
+                 }},
+        GradCase{"add_scalar", {{4}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::AddScalar(v[0], 0.37f));
+                 }},
+        GradCase{"mul_scalar", {{4}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::MulScalar(v[0], -1.7f));
+                 }},
+        GradCase{"neg", {{4}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::Neg(v[0]));
+                 }},
+        GradCase{"sigmoid", {{3, 2}},
+                 [](std::vector<Variable>& v) {
+                   return ag::SumAll(ag::Sigmoid(v[0]));
+                 }},
+        GradCase{"exp", {{3, 2}},
+                 [](std::vector<Variable>& v) {
+                   return ag::SumAll(ag::Exp(v[0]));
+                 }},
+        GradCase{"tanh", {{3, 2}},
+                 [](std::vector<Variable>& v) {
+                   return ag::SumAll(ag::Tanh(v[0]));
+                 }},
+        GradCase{"matmul", {{3, 4}, {4, 2}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::MatMul(v[0], v[1]));
+                 }},
+        GradCase{"add_bias", {{2, 3, 4}, {3}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::AddBias(v[0], v[1], 1));
+                 }},
+        GradCase{"concat_axis1", {{2, 2}, {2, 3}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::Concat({v[0], v[1]}, 1));
+                 }},
+        GradCase{"slice", {{3, 4}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::Slice(v[0], {1, 1}, {2, 2}));
+                 }},
+        GradCase{"tile_at", {{2, 3}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::TileAt(v[0], 1, 4));
+                 }},
+        GradCase{"mean_axis", {{2, 3, 2}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::MeanAxis(v[0], 1));
+                 }},
+        GradCase{"mean_all", {{3, 3}},
+                 [](std::vector<Variable>& v) {
+                   return ag::MeanAll(ag::Sigmoid(v[0]));
+                 }},
+        GradCase{"reshape", {{2, 6}},
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::Reshape(v[0], {3, 4}));
+                 }},
+        GradCase{"relu_shifted", {{3, 3}},
+                 // Shift inputs away from the kink at 0.
+                 [](std::vector<Variable>& v) {
+                   return SmoothLoss(ag::Relu(ag::AddScalar(v[0], 2.0f)));
+                 }},
+        GradCase{"grad_reverse_via_smooth", {{4}},
+                 [](std::vector<Variable>& v) {
+                   // A single reversal would make analytic = -numeric,
+                   // which finite differences cannot verify; two
+                   // reversals multiply the gradient by
+                   // (-1)·(-1) = +1 and must match exactly.
+                   return SmoothLoss(
+                       ag::GradReverse(ag::GradReverse(v[0], 1.0f), 1.0f));
+                 }},
+        GradCase{"mae_between_vars", {{6}, {6}},
+                 [](std::vector<Variable>& v) {
+                   // Offset to keep |x - y| away from zero kinks.
+                   return ag::Mae(ag::AddScalar(v[0], 3.0f), v[1]);
+                 }},
+        GradCase{"composite_deep", {{2, 4}, {4, 3}, {3}},
+                 [](std::vector<Variable>& v) {
+                   Variable h = ag::Tanh(ag::MatMul(v[0], v[1]));
+                   h = ag::AddBias(h, v[2], 1);
+                   return ag::MeanAll(ag::Sigmoid(h));
+                 }}),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(GradCheckTest, MaeAgainstConstantTarget) {
+  Rng rng(5);
+  Tensor x = Tensor::RandomUniform({5}, rng, 2.0f, 3.0f);
+  Tensor target({5}, 0.0f);  // Far from x: no kink crossings.
+  const auto fn = [&target](std::vector<Variable>& v) {
+    return ag::MaeAgainst(v[0], target);
+  };
+  const auto result = CheckGradients(fn, {x}, {true});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GradCheckTest, DetectsWrongGradient) {
+  // A deliberately wrong "op": forward x^2 but gradient of x.
+  const auto bad = [](std::vector<Variable>& v) {
+    Variable sq = ag::Mul(ag::Detach(v[0]), v[0]);  // grad wrt v[0] = x, not 2x
+    return ag::SumAll(sq);
+  };
+  Rng rng(6);
+  Tensor x = Tensor::RandomUniform({3}, rng, 1.0f, 2.0f);
+  const auto result = CheckGradients(bad, {x}, {true});
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace equitensor

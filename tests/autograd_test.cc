@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace equitensor {
+namespace {
+
+TEST(VariableTest, LeafBasics) {
+  Variable v(Tensor::FromData({2}, {1, 2}), /*requires_grad=*/true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.grad_ready());
+  EXPECT_EQ(v.op_name(), "leaf");
+}
+
+TEST(VariableTest, UndefinedHandle) {
+  Variable v;
+  EXPECT_FALSE(v.defined());
+}
+
+TEST(VariableTest, ScalarAccessor) {
+  Variable v(Tensor::Scalar(3.5f));
+  EXPECT_FLOAT_EQ(v.scalar(), 3.5f);
+}
+
+TEST(BackwardTest, AddGradientIsOne) {
+  Variable a(Tensor::FromData({3}, {1, 2, 3}), true);
+  Variable b(Tensor::FromData({3}, {4, 5, 6}), true);
+  Variable loss = ag::SumAll(ag::Add(a, b));
+  Backward(loss);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(a.grad()[i], 1.0f);
+    EXPECT_FLOAT_EQ(b.grad()[i], 1.0f);
+  }
+}
+
+TEST(BackwardTest, MulGradientIsOtherOperand) {
+  Variable a(Tensor::FromData({2}, {2, 3}), true);
+  Variable b(Tensor::FromData({2}, {5, 7}), true);
+  Backward(ag::SumAll(ag::Mul(a, b)));
+  EXPECT_FLOAT_EQ(a.grad()[0], 5.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 7.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 3.0f);
+}
+
+TEST(BackwardTest, GradAccumulatesAcrossUses) {
+  // loss = sum(a + a) -> da = 2.
+  Variable a(Tensor::FromData({2}, {1, 1}), true);
+  Backward(ag::SumAll(ag::Add(a, a)));
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0f);
+}
+
+TEST(BackwardTest, DiamondGraph) {
+  // loss = sum(a*a + a) -> da = 2a + 1.
+  Variable a(Tensor::FromData({2}, {3, -2}), true);
+  Backward(ag::SumAll(ag::Add(ag::Mul(a, a), a)));
+  EXPECT_FLOAT_EQ(a.grad()[0], 7.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], -3.0f);
+}
+
+TEST(BackwardTest, NoGradForConstLeaf) {
+  Variable a(Tensor::FromData({2}, {1, 2}), true);
+  Variable c(Tensor::FromData({2}, {1, 1}), false);
+  Backward(ag::SumAll(ag::Mul(a, c)));
+  EXPECT_TRUE(a.grad_ready());
+  EXPECT_FALSE(c.grad_ready());
+}
+
+TEST(BackwardTest, ZeroGradResets) {
+  Variable a(Tensor::FromData({1}, {2}), true);
+  Backward(ag::SumAll(a));
+  EXPECT_TRUE(a.grad_ready());
+  a.ZeroGrad();
+  EXPECT_FALSE(a.grad_ready());
+  // Gradients accumulate fresh after reset.
+  Backward(ag::SumAll(ag::MulScalar(a, 3.0f)));
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0f);
+}
+
+TEST(BackwardTest, MeanAllSpreadsEvenly) {
+  Variable a(Tensor::FromData({4}, {1, 2, 3, 4}), true);
+  Backward(ag::MeanAll(a));
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a.grad()[i], 0.25f);
+}
+
+TEST(BackwardTest, ReluMasksGradient) {
+  Variable a(Tensor::FromData({3}, {-1, 0, 2}), true);
+  Backward(ag::SumAll(ag::Relu(a)));
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 0.0f);
+  EXPECT_FLOAT_EQ(a.grad()[2], 1.0f);
+}
+
+TEST(BackwardTest, GradReverseFlipsSign) {
+  Variable a(Tensor::FromData({2}, {1, 2}), true);
+  Backward(ag::SumAll(ag::GradReverse(a, 2.0f)));
+  EXPECT_FLOAT_EQ(a.grad()[0], -2.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], -2.0f);
+}
+
+TEST(BackwardTest, GradReverseForwardIsIdentity) {
+  Variable a(Tensor::FromData({2}, {1, 2}), true);
+  Variable r = ag::GradReverse(a, 3.0f);
+  EXPECT_TRUE(AllClose(r.value(), a.value()));
+}
+
+TEST(BackwardTest, DetachBlocksGradient) {
+  Variable a(Tensor::FromData({2}, {1, 2}), true);
+  Variable d = ag::Detach(a);
+  EXPECT_FALSE(d.requires_grad());
+  // Using the detached value alongside the original: only the direct
+  // path contributes.
+  Backward(ag::SumAll(ag::Mul(a, d)));
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);  // d treated as constant.
+  EXPECT_FLOAT_EQ(a.grad()[1], 2.0f);
+}
+
+TEST(BackwardTest, MaeAgainstValueAndGrad) {
+  Variable x(Tensor::FromData({4}, {1, 2, 3, 4}), true);
+  Tensor target = Tensor::FromData({4}, {2, 2, 2, 2});
+  Variable loss = ag::MaeAgainst(x, target);
+  EXPECT_FLOAT_EQ(loss.scalar(), 1.0f);  // (1+0+1+2)/4
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x.grad()[0], -0.25f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 0.25f);
+  EXPECT_FLOAT_EQ(x.grad()[3], 0.25f);
+}
+
+TEST(BackwardTest, ConcatRoutesGradients) {
+  Variable a(Tensor::FromData({1, 2}, {1, 2}), true);
+  Variable b(Tensor::FromData({1, 3}, {3, 4, 5}), true);
+  Variable c = ag::Concat({a, b}, 1);
+  EXPECT_EQ(c.value().dim(1), 5);
+  // Weighted sum picks distinct coefficients per position.
+  Variable w(Tensor::FromData({1, 5}, {1, 2, 3, 4, 5}), false);
+  Backward(ag::SumAll(ag::Mul(c, w)));
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 2.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(b.grad()[2], 5.0f);
+}
+
+TEST(BackwardTest, SliceScattersGradient) {
+  Variable a(Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6}), true);
+  Variable s = ag::Slice(a, {0, 1}, {2, 2});
+  Backward(ag::SumAll(s));
+  EXPECT_FLOAT_EQ(a.grad().at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(a.grad().at({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(a.grad().at({1, 2}), 1.0f);
+}
+
+TEST(BackwardTest, TileSumsGradient) {
+  Variable a(Tensor::FromData({2}, {1, 2}), true);
+  Variable t = ag::TileAt(a, 0, 3);  // [3, 2]
+  Backward(ag::SumAll(t));
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 3.0f);
+}
+
+TEST(BackwardTest, ReshapeKeepsGradientLayout) {
+  Variable a(Tensor::FromData({2, 2}, {1, 2, 3, 4}), true);
+  Variable r = ag::Reshape(a, {4});
+  Variable w(Tensor::FromData({4}, {1, 10, 100, 1000}), false);
+  Backward(ag::SumAll(ag::Mul(r, w)));
+  EXPECT_FLOAT_EQ(a.grad().at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(a.grad().at({1, 1}), 1000.0f);
+}
+
+TEST(BackwardDeathTest, NoTrainableInputsAborts) {
+  Variable a(Tensor::FromData({2}, {1, 2}), false);
+  Variable loss = ag::SumAll(a);
+  EXPECT_DEATH(Backward(loss), "no trainable inputs");
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "data/generators.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+data::CityConfig TinyCity() {
+  data::CityConfig config;
+  config.width = 5;
+  config.height = 4;
+  config.hours = 24 * 3;
+  config.seed = 44;
+  return config;
+}
+
+EquiTensorConfig TinyConfig() {
+  EquiTensorConfig config;
+  config.cdae.grid_w = 5;
+  config.cdae.grid_h = 4;
+  config.cdae.window = 12;
+  config.cdae.latent_channels = 2;
+  config.cdae.shared_filters = {4};
+  config.cdae.decoder_filters = {4};
+  config.epochs = 3;
+  config.steps_per_epoch = 4;
+  config.batch_size = 2;
+  return config;
+}
+
+std::vector<data::AlignedDataset> Slim(const data::UrbanDataBundle& bundle) {
+  std::vector<data::AlignedDataset> slim;
+  for (const char* name : {"temperature", "house_price", "seattle_911_calls"}) {
+    slim.push_back(bundle.datasets[static_cast<size_t>(bundle.IndexOf(name))]);
+  }
+  return slim;
+}
+
+TEST(EarlyFusionBaselineTest, RepresentationShape) {
+  const auto bundle = data::BuildSeattleAnalog(TinyCity());
+  const auto slim = Slim(bundle);
+  const EarlyFusionResult result = TrainEarlyFusion(TinyConfig(), &slim);
+  // T' = floor(72/12)*12 = 72.
+  EXPECT_EQ(result.representation.shape(),
+            (std::vector<int64_t>{2, 5, 4, 72}));
+  EXPECT_EQ(result.epoch_losses.size(), 3u);
+}
+
+TEST(EarlyFusionBaselineTest, LossDecreases) {
+  const auto bundle = data::BuildSeattleAnalog(TinyCity());
+  const auto slim = Slim(bundle);
+  EquiTensorConfig config = TinyConfig();
+  config.epochs = 5;
+  config.steps_per_epoch = 6;
+  const EarlyFusionResult result = TrainEarlyFusion(config, &slim);
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front());
+}
+
+TEST(EarlyFusionBaselineTest, DeterministicForSeed) {
+  const auto bundle = data::BuildSeattleAnalog(TinyCity());
+  const auto slim = Slim(bundle);
+  const EarlyFusionResult a = TrainEarlyFusion(TinyConfig(), &slim);
+  const EarlyFusionResult b = TrainEarlyFusion(TinyConfig(), &slim);
+  EXPECT_TRUE(AllClose(a.representation, b.representation));
+}
+
+TEST(EarlyFusionBaselineTest, RepresentationVariesOverTime) {
+  const auto bundle = data::BuildSeattleAnalog(TinyCity());
+  const auto slim = Slim(bundle);
+  const EarlyFusionResult result = TrainEarlyFusion(TinyConfig(), &slim);
+  // The latent must not be constant: check temporal variance of one
+  // channel at one cell.
+  const Tensor& z = result.representation;
+  double min_v = 1e30, max_v = -1e30;
+  for (int64_t t = 0; t < z.dim(3); ++t) {
+    const double v = z.at({0, 2, 2, t});
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_GT(max_v - min_v, 1e-6);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace equitensor

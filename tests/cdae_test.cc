@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "models/adversary.h"
+#include "models/cdae.h"
+#include "models/early_fusion.h"
+#include "nn/optimizer.h"
+
+namespace equitensor {
+namespace models {
+namespace {
+
+CdaeConfig TinyConfig() {
+  CdaeConfig config;
+  config.grid_w = 4;
+  config.grid_h = 3;
+  config.window = 6;
+  config.latent_channels = 2;
+  config.encoder_filters = {4, 1};
+  config.shared_filters = {4};
+  config.decoder_filters = {4};
+  return config;
+}
+
+std::vector<DatasetSpec> TinySpecs() {
+  return {{"weather", data::DatasetKind::kTemporal, 1},
+          {"streets", data::DatasetKind::kSpatial, 1},
+          {"events", data::DatasetKind::kSpatioTemporal, 1}};
+}
+
+std::vector<Variable> TinyInputs(int64_t n, Rng& rng) {
+  return {Variable(Tensor::RandomUniform({n, 1, 6}, rng), false),
+          Variable(Tensor::RandomUniform({n, 1, 4, 3}, rng), false),
+          Variable(Tensor::RandomUniform({n, 1, 4, 3, 6}, rng), false)};
+}
+
+TEST(CoreCdaeTest, LatentShape) {
+  Rng rng(1);
+  CoreCdae model(TinyConfig(), TinySpecs(), rng);
+  auto inputs = TinyInputs(2, rng);
+  Variable z = model.Encode(inputs);
+  EXPECT_EQ(z.value().shape(), (std::vector<int64_t>{2, 2, 4, 3, 6}));
+}
+
+TEST(CoreCdaeTest, ReconstructionShapesMatchInputs) {
+  Rng rng(2);
+  CoreCdae model(TinyConfig(), TinySpecs(), rng);
+  auto inputs = TinyInputs(2, rng);
+  Variable z = model.Encode(inputs);
+  const auto recons = model.Decode(z, Variable());
+  ASSERT_EQ(recons.size(), 3u);
+  for (size_t i = 0; i < recons.size(); ++i) {
+    EXPECT_TRUE(recons[i].value().SameShape(inputs[i].value()))
+        << "dataset " << i;
+  }
+}
+
+TEST(CoreCdaeTest, MultiChannelDataset) {
+  Rng rng(3);
+  CdaeConfig config = TinyConfig();
+  std::vector<DatasetSpec> specs = {
+      {"multi", data::DatasetKind::kSpatioTemporal, 3}};
+  CoreCdae model(config, specs, rng);
+  Variable input(Tensor::RandomUniform({1, 3, 4, 3, 6}, rng), false);
+  Variable z = model.Encode({input});
+  const auto recons = model.Decode(z, Variable());
+  EXPECT_EQ(recons[0].value().shape(), (std::vector<int64_t>{1, 3, 4, 3, 6}));
+}
+
+TEST(CoreCdaeTest, ReconstructionLossesArePerDatasetMae) {
+  Rng rng(4);
+  CoreCdae model(TinyConfig(), TinySpecs(), rng);
+  auto inputs = TinyInputs(1, rng);
+  Variable z = model.Encode(inputs);
+  const auto recons = model.Decode(z, Variable());
+  std::vector<Tensor> clean;
+  for (const auto& in : inputs) clean.push_back(in.value());
+  const auto losses = model.ReconstructionLosses(recons, clean);
+  ASSERT_EQ(losses.size(), 3u);
+  for (const auto& loss : losses) {
+    EXPECT_EQ(loss.value().size(), 1);
+    EXPECT_GE(loss.scalar(), 0.0f);
+  }
+}
+
+TEST(CoreCdaeTest, GradientsReachAllParameters) {
+  Rng rng(5);
+  CoreCdae model(TinyConfig(), TinySpecs(), rng);
+  auto inputs = TinyInputs(1, rng);
+  Variable z = model.Encode(inputs);
+  const auto recons = model.Decode(z, Variable());
+  std::vector<Tensor> clean;
+  for (const auto& in : inputs) clean.push_back(in.value());
+  const auto losses = model.ReconstructionLosses(recons, clean);
+  Variable total = losses[0];
+  for (size_t i = 1; i < losses.size(); ++i) total = ag::Add(total, losses[i]);
+  Backward(total);
+  for (const Variable& p : model.Parameters()) {
+    EXPECT_TRUE(p.grad_ready()) << "parameter without gradient";
+  }
+}
+
+TEST(CoreCdaeTest, TrainingReducesLoss) {
+  Rng rng(6);
+  CoreCdae model(TinyConfig(), TinySpecs(), rng);
+  nn::AdamOptions options;
+  options.learning_rate = 3e-3;
+  options.decay_rate = 1.0;
+  nn::Adam adam(model.Parameters(), options);
+  // Fixed batch: model should memorize it.
+  Rng data_rng(7);
+  auto inputs = TinyInputs(2, data_rng);
+  std::vector<Tensor> clean;
+  for (const auto& in : inputs) clean.push_back(in.value());
+
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    Variable z = model.Encode(inputs);
+    const auto recons = model.Decode(z, Variable());
+    const auto losses = model.ReconstructionLosses(recons, clean);
+    Variable total = losses[0];
+    for (size_t i = 1; i < losses.size(); ++i) {
+      total = ag::Add(total, losses[i]);
+    }
+    if (step == 0) first = total.scalar();
+    last = total.scalar();
+    Backward(total);
+    adam.Step();
+  }
+  EXPECT_LT(last, first * 0.8) << "loss did not decrease";
+}
+
+TEST(CoreCdaeTest, DisentangleRequiresSensitive) {
+  Rng rng(8);
+  CdaeConfig config = TinyConfig();
+  config.disentangle = true;
+  CoreCdae model(config, TinySpecs(), rng);
+  auto inputs = TinyInputs(1, rng);
+  Variable z = model.Encode(inputs);
+  EXPECT_DEATH(model.Decode(z, Variable()), "sensitive");
+}
+
+TEST(CoreCdaeTest, DisentangleDecodeWorksWithS) {
+  Rng rng(9);
+  CdaeConfig config = TinyConfig();
+  config.disentangle = true;
+  CoreCdae model(config, TinySpecs(), rng);
+  auto inputs = TinyInputs(2, rng);
+  Variable z = model.Encode(inputs);
+  Tensor s_map = Tensor::RandomUniform({4, 3}, rng);
+  Variable s(TileSensitiveMap(s_map, 2, 6), false);
+  const auto recons = model.Decode(z, s);
+  EXPECT_EQ(recons.size(), 3u);
+  EXPECT_TRUE(recons[2].value().SameShape(inputs[2].value()));
+}
+
+TEST(CoreCdaeDeathTest, NonDisentangleRejectsS) {
+  Rng rng(10);
+  CoreCdae model(TinyConfig(), TinySpecs(), rng);
+  auto inputs = TinyInputs(1, rng);
+  Variable z = model.Encode(inputs);
+  Variable s(Tensor({1, 1, 4, 3, 6}), false);
+  EXPECT_DEATH(model.Decode(z, s), "non-disentangling");
+}
+
+TEST(TileSensitiveMapTest, ShapeAndValues) {
+  Tensor s = Tensor::FromData({2, 2}, {0.1f, 0.2f, 0.3f, 0.4f});
+  const Tensor tiled = TileSensitiveMap(s, 3, 5);
+  EXPECT_EQ(tiled.shape(), (std::vector<int64_t>{3, 1, 2, 2, 5}));
+  for (int64_t n = 0; n < 3; ++n) {
+    for (int64_t t = 0; t < 5; ++t) {
+      EXPECT_FLOAT_EQ(tiled.at({n, 0, 1, 0, t}), 0.3f);
+    }
+  }
+}
+
+TEST(AdversaryNetTest, PredictionShape) {
+  Rng rng(11);
+  AdversaryNet adversary(2, rng, 3, {4, 1});
+  Variable z(Tensor::RandomUniform({2, 2, 4, 3, 6}, rng), false);
+  Variable pred = adversary.Forward(z);
+  EXPECT_EQ(pred.value().shape(), (std::vector<int64_t>{2, 1, 4, 3, 6}));
+}
+
+TEST(AdversaryNetTest, LossIsScalarMae) {
+  Rng rng(12);
+  AdversaryNet adversary(2, rng, 3, {4, 1});
+  Variable z(Tensor::RandomUniform({1, 2, 4, 3, 6}, rng), false);
+  Tensor s = TileSensitiveMap(Tensor::RandomUniform({4, 3}, rng), 1, 6);
+  Variable loss = adversary.Loss(z, s);
+  EXPECT_EQ(loss.value().size(), 1);
+  EXPECT_GE(loss.scalar(), 0.0f);
+}
+
+TEST(AdversaryNetTest, LearnsConstantMap) {
+  // Adversary should learn to predict a constant S from anything.
+  Rng rng(13);
+  AdversaryNet adversary(1, rng, 3, {4, 1});
+  nn::AdamOptions options;
+  options.learning_rate = 5e-3;
+  options.decay_rate = 1.0;
+  nn::Adam adam(adversary.Parameters(), options);
+  Tensor s = TileSensitiveMap(Tensor({3, 3}, 0.7f), 1, 4);
+  double last = 1.0;
+  for (int step = 0; step < 80; ++step) {
+    Variable z(Tensor::RandomUniform({1, 1, 3, 3, 4}, rng), false);
+    Variable loss = adversary.Loss(z, s);
+    last = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, 0.15);
+}
+
+TEST(EarlyFusionTest, FusedShapeSumsChannels) {
+  Rng rng(14);
+  EarlyFusionCdae model(TinyConfig(), TinySpecs(), rng);
+  EXPECT_EQ(model.total_channels(), 3);
+  auto inputs = TinyInputs(2, rng);
+  Variable fused = model.FuseInputs(inputs);
+  EXPECT_EQ(fused.value().shape(), (std::vector<int64_t>{2, 3, 4, 3, 6}));
+}
+
+TEST(EarlyFusionTest, EncodeDecodeRoundTripShapes) {
+  Rng rng(15);
+  EarlyFusionCdae model(TinyConfig(), TinySpecs(), rng);
+  auto inputs = TinyInputs(1, rng);
+  Variable fused = model.FuseInputs(inputs);
+  Variable z = model.Encode(fused);
+  EXPECT_EQ(z.value().shape(), (std::vector<int64_t>{1, 2, 4, 3, 6}));
+  Variable recon = model.Decode(z);
+  EXPECT_TRUE(recon.value().SameShape(fused.value()));
+}
+
+TEST(EarlyFusionTest, TrainingReducesLoss) {
+  Rng rng(16);
+  EarlyFusionCdae model(TinyConfig(), TinySpecs(), rng);
+  nn::AdamOptions options;
+  options.learning_rate = 3e-3;
+  options.decay_rate = 1.0;
+  nn::Adam adam(model.Parameters(), options);
+  Rng data_rng(17);
+  auto inputs = TinyInputs(2, data_rng);
+  Variable fused_const = model.FuseInputs(inputs);
+  const Tensor target = fused_const.value();
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 50; ++step) {
+    Variable z = model.Encode(Variable(target, false));
+    Variable recon = model.Decode(z);
+    Variable loss = ag::MaeAgainst(recon, target);
+    if (step == 0) first = loss.scalar();
+    last = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, first);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace equitensor

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "data/city.h"
+#include "util/stats.h"
+
+namespace equitensor {
+namespace data {
+namespace {
+
+CityConfig SmallConfig() {
+  CityConfig config;
+  config.width = 8;
+  config.height = 6;
+  config.hours = 24 * 10;
+  config.seed = 7;
+  return config;
+}
+
+TEST(CityTest, DeterministicForEqualSeeds) {
+  SyntheticCity a(SmallConfig()), b(SmallConfig());
+  EXPECT_TRUE(AllClose(a.race_white_fraction(), b.race_white_fraction()));
+  EXPECT_TRUE(AllClose(a.temperature(), b.temperature()));
+}
+
+TEST(CityTest, DifferentSeedsDiffer) {
+  CityConfig other = SmallConfig();
+  other.seed = 8;
+  SyntheticCity a(SmallConfig()), b(other);
+  EXPECT_FALSE(AllClose(a.temperature(), b.temperature()));
+}
+
+TEST(CityTest, SpatialFieldsInUnitRange) {
+  SyntheticCity city(SmallConfig());
+  for (const Tensor* field :
+       {&city.race_white_fraction(), &city.income_high_fraction(),
+        &city.density(), &city.slope(), &city.downtown()}) {
+    EXPECT_GE(field->Min(), 0.0f);
+    EXPECT_LE(field->Max(), 1.0f);
+    EXPECT_EQ(field->shape(), (std::vector<int64_t>{8, 6}));
+  }
+}
+
+TEST(CityTest, SouthCorridorIsDisadvantaged) {
+  // The injected structure: low y -> lower white fraction and income.
+  SyntheticCity city(SmallConfig());
+  const Tensor& race = city.race_white_fraction();
+  const int64_t h = 6;
+  double south = 0.0, north = 0.0;
+  for (int64_t x = 0; x < 8; ++x) {
+    south += race[x * h + 0];
+    north += race[x * h + (h - 1)];
+  }
+  EXPECT_LT(south, north);
+}
+
+TEST(CityTest, RaceAndIncomeCorrelate) {
+  SyntheticCity city(SmallConfig());
+  std::vector<double> race, income;
+  for (int64_t i = 0; i < city.race_white_fraction().size(); ++i) {
+    race.push_back(city.race_white_fraction()[i]);
+    income.push_back(city.income_high_fraction()[i]);
+  }
+  EXPECT_GT(PearsonCorrelation(race, income), 0.5);
+}
+
+TEST(CityTest, BlockGroupsCoverCity) {
+  SyntheticCity city(SmallConfig());
+  // 8x6 grid with 2x2 blocks -> 4 * 3 = 12 block groups per attribute.
+  EXPECT_EQ(city.race_block_groups().size(), 12u);
+  EXPECT_EQ(city.income_block_groups().size(), 12u);
+  EXPECT_EQ(city.house_price_regions().size(), 12u);
+  for (const auto& block : city.race_block_groups()) {
+    EXPECT_GE(block.value, 0.0);
+    EXPECT_LE(block.value, 1.0);
+    EXPECT_EQ(block.polygon.size(), 4u);
+  }
+}
+
+TEST(CityTest, WeatherSeriesHaveHorizonLength) {
+  SyntheticCity city(SmallConfig());
+  EXPECT_EQ(city.temperature().dim(0), 240);
+  EXPECT_EQ(city.precipitation().dim(0), 240);
+  EXPECT_EQ(city.pressure().dim(0), 240);
+  EXPECT_EQ(city.air_quality().dim(0), 240);
+}
+
+TEST(CityTest, PrecipitationNonNegative) {
+  SyntheticCity city(SmallConfig());
+  EXPECT_GE(city.precipitation().Min(), 0.0f);
+}
+
+TEST(CityTest, PressureNearStandardAtmosphere) {
+  SyntheticCity city(SmallConfig());
+  EXPECT_NEAR(city.pressure().Mean(), 1013.0, 15.0);
+}
+
+TEST(CityTest, StreetsAndLanesExist) {
+  SyntheticCity city(SmallConfig());
+  EXPECT_GT(city.streets().size(), 5u);
+  EXPECT_GT(city.transit_routes().size(), 2u);
+  EXPECT_GT(city.bikelanes().size(), 2u);
+  EXPECT_GT(city.street_density().Max(), 0.0f);
+  EXPECT_LE(city.street_density().Max(), 1.0f);
+}
+
+TEST(CityTest, DiurnalFactorsInRange) {
+  for (int64_t hour = 0; hour < 48; ++hour) {
+    EXPECT_GE(SyntheticCity::CommuteFactor(hour), 0.0);
+    EXPECT_LE(SyntheticCity::CommuteFactor(hour), 1.0);
+    EXPECT_GE(SyntheticCity::NightFactor(hour), 0.0);
+    EXPECT_LE(SyntheticCity::NightFactor(hour), 1.0);
+    EXPECT_GE(SyntheticCity::DaytimeFactor(hour), 0.0);
+    EXPECT_LE(SyntheticCity::DaytimeFactor(hour), 1.0);
+  }
+}
+
+TEST(CityTest, CommutePeaksAtRushHour) {
+  EXPECT_GT(SyntheticCity::CommuteFactor(8), SyntheticCity::CommuteFactor(12));
+  EXPECT_GT(SyntheticCity::CommuteFactor(17), SyntheticCity::CommuteFactor(3));
+}
+
+TEST(CityTest, NightPeaksLate) {
+  EXPECT_GT(SyntheticCity::NightFactor(23), SyntheticCity::NightFactor(10));
+}
+
+TEST(CityTest, WeekendCycle) {
+  EXPECT_FALSE(SyntheticCity::IsWeekend(0));        // Monday 0h
+  EXPECT_TRUE(SyntheticCity::IsWeekend(5 * 24));    // Saturday
+  EXPECT_TRUE(SyntheticCity::IsWeekend(6 * 24 + 5));
+  EXPECT_FALSE(SyntheticCity::IsWeekend(7 * 24));   // next Monday
+}
+
+TEST(CityTest, MakeRngStreamsIndependent) {
+  SyntheticCity city(SmallConfig());
+  Rng a = city.MakeRng(1);
+  Rng b = city.MakeRng(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+  Rng a2 = city.MakeRng(1);
+  EXPECT_EQ(city.MakeRng(1).NextU64(), a2.NextU64());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace equitensor

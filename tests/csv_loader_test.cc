@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/csv_loader.h"
+
+namespace equitensor {
+namespace data {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(ParseCsvLineTest, SimpleFields) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine("a,b,c", ',', &fields));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine("a,,c,", ',', &fields));
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithDelimiter) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine("\"Seattle, WA\",47.6", ',', &fields));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "Seattle, WA");
+}
+
+TEST(ParseCsvLineTest, DoubledQuotes) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine("\"say \"\"hi\"\"\",x", ',', &fields));
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLineTest, UnterminatedQuoteFails) {
+  std::vector<std::string> fields;
+  EXPECT_FALSE(ParseCsvLine("\"oops,a", ',', &fields));
+}
+
+TEST(ParseCsvLineTest, CarriageReturnStripped) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine("a,b\r", ',', &fields));
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(ParseCsvLineTest, AlternateDelimiter) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(ParseCsvLine("1;2;3", ';', &fields));
+  EXPECT_EQ(fields.size(), 3u);
+}
+
+TEST(ParseCsvTest, SkipsHeaderAndEmptyLines) {
+  std::istringstream input("x,y\n1,2\n\n3,4\n");
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv(input, {}, &rows));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "1");
+  EXPECT_EQ(rows[1][1], "4");
+}
+
+TEST(ParseCsvTest, NoHeaderOption) {
+  std::istringstream input("1,2\n3,4\n");
+  CsvOptions options;
+  options.has_header = false;
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv(input, options, &rows));
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(LoadEventsCsvTest, ParsesAndSkipsBadRows) {
+  const std::string path = TempPath("events.csv");
+  std::ofstream(path) << "x_km,y_km,hour,notes\n"
+                      << "1.5,2.5,0,ok\n"
+                      << "bad,2.5,1,skipped\n"
+                      << "3.0,0.5,7,\"with, comma\"\n";
+  std::vector<Event> events;
+  int64_t skipped = 0;
+  ASSERT_TRUE(LoadEventsCsv(path, 0, 1, 2, &events, &skipped));
+  EXPECT_EQ(skipped, 1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].location.x, 1.5);
+  EXPECT_EQ(events[1].hour, 7);
+  std::remove(path.c_str());
+}
+
+TEST(LoadEventsCsvTest, MissingFileFails) {
+  std::vector<Event> events;
+  EXPECT_FALSE(LoadEventsCsv(TempPath("missing.csv"), 0, 1, 2, &events));
+}
+
+TEST(LoadSeriesCsvTest, FillsSeriesWithNanGaps) {
+  const std::string path = TempPath("series.csv");
+  std::ofstream(path) << "hour,count\n0,5\n2,7\n2,3\n";
+  Tensor series;
+  ASSERT_TRUE(LoadSeriesCsv(path, 0, 1, 4, &series));
+  EXPECT_FLOAT_EQ(series[0], 5.0f);
+  EXPECT_TRUE(std::isnan(series[1]));
+  EXPECT_FLOAT_EQ(series[2], 10.0f);  // Duplicates sum.
+  EXPECT_TRUE(std::isnan(series[3]));
+  std::remove(path.c_str());
+}
+
+TEST(LoadSeriesCsvTest, OutOfRangeHoursIgnored) {
+  const std::string path = TempPath("series_range.csv");
+  std::ofstream(path) << "hour,count\n-1,5\n10,7\n1,3\n";
+  Tensor series;
+  ASSERT_TRUE(LoadSeriesCsv(path, 0, 1, 4, &series));
+  EXPECT_FLOAT_EQ(series[1], 3.0f);
+  EXPECT_TRUE(std::isnan(series[0]));
+  std::remove(path.c_str());
+}
+
+TEST(WriteFieldCsvTest, RoundTripThroughEvents) {
+  const std::string path = TempPath("field.csv");
+  Tensor field = Tensor::FromData({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  ASSERT_TRUE(WriteFieldCsv(path, field));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,y,value");
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) ++count;
+  EXPECT_EQ(count, 4);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, CsvEventsIntoAlignmentPipeline) {
+  // Write events to CSV, load them back, rasterize into the 3D grid —
+  // the full external-data ingestion path.
+  const std::string path = TempPath("pipeline_events.csv");
+  std::ofstream(path) << "x,y,hour\n0.5,0.5,0\n0.6,0.6,0\n1.5,0.5,3\n";
+  std::vector<Event> events;
+  ASSERT_TRUE(LoadEventsCsv(path, 0, 1, 2, &events));
+  const geo::GridSpec grid{2, 1, 0.0, 0.0, 1.0};
+  const Tensor counts = EventsToGrid(events, grid, 4);
+  EXPECT_FLOAT_EQ(counts.at({0, 0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(counts.at({1, 0, 3}), 1.0f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace equitensor

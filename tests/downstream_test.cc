@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "core/downstream.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+data::CityConfig SmallConfig() {
+  data::CityConfig config;
+  config.width = 6;
+  config.height = 5;
+  config.hours = 24 * 5;
+  config.seed = 21;
+  return config;
+}
+
+class DownstreamTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new data::UrbanDataBundle(
+        data::BuildSeattleAnalog(SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+  static GridTaskConfig FastGridConfig() {
+    GridTaskConfig config;
+    config.history = 12;
+    config.epochs = 1;
+    config.steps_per_epoch = 4;
+    config.batch_size = 2;
+    config.eval_stride = 8;
+    config.predictor.history = 12;
+    config.predictor.history_filters = {4, 4};
+    config.predictor.exo_filters = {4};
+    config.predictor.head_filters = {4, 1};
+    return config;
+  }
+  static data::UrbanDataBundle* bundle_;
+};
+
+data::UrbanDataBundle* DownstreamTest::bundle_ = nullptr;
+
+TEST_F(DownstreamTest, OracleProviderSnapshotShapes) {
+  OracleExoProvider oracle(bundle_, data::Task::kBikeshare);
+  EXPECT_EQ(oracle.channels(), 5);
+  EXPECT_EQ(oracle.horizon(), bundle_->config.hours);
+  Tensor snapshot({5, 6, 5});
+  oracle.Snapshot(10, &snapshot);
+  // 1D channels are constant over space.
+  const float first = snapshot[0];
+  for (int64_t i = 1; i < 30; ++i) EXPECT_FLOAT_EQ(snapshot[i], first);
+}
+
+TEST_F(DownstreamTest, OracleSnapshot2dIsStandardizedDataset) {
+  OracleExoProvider oracle(bundle_, data::Task::kBikeshare);
+  Tensor snapshot({5, 6, 5});
+  oracle.Snapshot(0, &snapshot);
+  // Channel 3 = steep_slopes (2D, time-invariant): the provider emits
+  // the z-scored field — zero mean, unit variance, order-preserving.
+  const int idx = bundle_->IndexOf("steep_slopes");
+  const Tensor& slopes = bundle_->datasets[static_cast<size_t>(idx)].tensor;
+  double mean = 0.0;
+  for (int64_t i = 0; i < 30; ++i) mean += snapshot[3 * 30 + i];
+  EXPECT_NEAR(mean / 30.0, 0.0, 1e-4);
+  // Ordering preserved (affine transform with positive scale).
+  for (int64_t i = 1; i < 30; ++i) {
+    const bool raw_less = slopes[i - 1] < slopes[i];
+    const bool std_less = snapshot[3 * 30 + i - 1] < snapshot[3 * 30 + i];
+    if (slopes[i - 1] != slopes[i]) EXPECT_EQ(raw_less, std_less);
+  }
+}
+
+TEST_F(DownstreamTest, ComputeChannelNormMatchesMoments) {
+  const float values[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const ChannelNorm norm = ComputeChannelNorm(values, 4);
+  EXPECT_FLOAT_EQ(norm.mean, 2.5f);
+  // Population std of {1,2,3,4} is sqrt(1.25).
+  EXPECT_NEAR(1.0f / norm.inv_std, std::sqrt(1.25f), 1e-5f);
+}
+
+TEST_F(DownstreamTest, ComputeChannelNormConstantChannel) {
+  const float values[] = {0.5f, 0.5f, 0.5f};
+  const ChannelNorm norm = ComputeChannelNorm(values, 3);
+  EXPECT_FLOAT_EQ(norm.mean, 0.5f);
+  EXPECT_LE(norm.inv_std, 2e6f);  // Guarded by the std floor.
+}
+
+TEST_F(DownstreamTest, RepresentationProviderStandardizes) {
+  Rng rng(1);
+  const Tensor rep = Tensor::RandomUniform({3, 6, 5, 48}, rng);
+  RepresentationExoProvider provider(&rep);
+  EXPECT_EQ(provider.channels(), 3);
+  EXPECT_EQ(provider.horizon(), 48);
+  Tensor snapshot({3, 6, 5});
+  provider.Snapshot(7, &snapshot);
+  // z-scored channel: reconstruct via the channel's own moments.
+  double sum = 0.0, sq = 0.0;
+  for (int64_t i = 0; i < 6 * 5 * 48; ++i) {
+    const float v = rep[0 * 6 * 5 * 48 + i];
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / (6 * 5 * 48);
+  const double std = std::sqrt(sq / (6 * 5 * 48) - mean * mean);
+  EXPECT_NEAR(snapshot[0], (rep.at({0, 0, 0, 7}) - mean) / std, 1e-3);
+}
+
+TEST_F(DownstreamTest, GridTaskNoExoRuns) {
+  const GridTaskResult result = RunGridTask(
+      bundle_->bikeshare, bundle_->bikeshare_scale, bundle_->income_map,
+      nullptr, FastGridConfig());
+  EXPECT_GT(result.eval_samples, 0);
+  EXPECT_GT(result.mae, 0.0);
+  EXPECT_LT(result.mae, 1.0);
+}
+
+TEST_F(DownstreamTest, GridTaskWithOracleRuns) {
+  OracleExoProvider oracle(bundle_, data::Task::kCrime);
+  GridTaskConfig config = FastGridConfig();
+  config.horizon = 3;
+  const GridTaskResult result =
+      RunGridTask(bundle_->crime, bundle_->crime_scale, bundle_->race_map,
+                  &oracle, config);
+  EXPECT_GT(result.eval_samples, 0);
+  EXPECT_GT(result.mae, 0.0);
+}
+
+TEST_F(DownstreamTest, GridTaskDeterministicForSeed) {
+  const GridTaskResult a = RunGridTask(
+      bundle_->bikeshare, bundle_->bikeshare_scale, bundle_->income_map,
+      nullptr, FastGridConfig());
+  const GridTaskResult b = RunGridTask(
+      bundle_->bikeshare, bundle_->bikeshare_scale, bundle_->income_map,
+      nullptr, FastGridConfig());
+  EXPECT_DOUBLE_EQ(a.mae, b.mae);
+  EXPECT_DOUBLE_EQ(a.fairness.rd, b.fairness.rd);
+}
+
+TEST_F(DownstreamTest, GridTaskRepresentationHorizonLimitsEval) {
+  Rng rng(2);
+  // Representation shorter than the target horizon.
+  const Tensor rep = Tensor::RandomUniform({2, 6, 5, 96}, rng);
+  RepresentationExoProvider provider(&rep);
+  const GridTaskResult result = RunGridTask(
+      bundle_->bikeshare, bundle_->bikeshare_scale, bundle_->income_map,
+      &provider, FastGridConfig());
+  EXPECT_GT(result.eval_samples, 0);
+}
+
+TEST_F(DownstreamTest, OracleSeriesProviderStandardizes) {
+  OracleSeriesProvider provider(bundle_, data::Task::kBikeCount);
+  EXPECT_EQ(provider.channels(), 3);
+  // Mean of the standardized series over all hours must be ~0.
+  std::vector<float> values(3);
+  double sums[3] = {0, 0, 0};
+  for (int64_t t = 0; t < provider.horizon(); ++t) {
+    provider.At(t, values.data());
+    for (int c = 0; c < 3; ++c) sums[c] += values[c];
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(sums[c] / static_cast<double>(provider.horizon()), 0.0, 1e-3);
+  }
+}
+
+TEST_F(DownstreamTest, CellSeriesProviderStandardizes) {
+  Rng rng(3);
+  const Tensor rep = Tensor::RandomUniform({2, 6, 5, 48}, rng);
+  CellSeriesProvider provider(&rep, 2, 3);
+  EXPECT_EQ(provider.channels(), 2);
+  // Standardized over the cell's own series: mean ~0 and order
+  // preserved versus the raw series.
+  std::vector<float> values(2);
+  double sum = 0.0;
+  for (int64_t t = 0; t < 48; ++t) {
+    provider.At(t, values.data());
+    sum += values[0];
+  }
+  EXPECT_NEAR(sum / 48.0, 0.0, 1e-4);
+  float v9[2], v10[2];
+  provider.At(9, v9);
+  provider.At(10, v10);
+  EXPECT_EQ(rep.at({0, 2, 3, 9}) < rep.at({0, 2, 3, 10}), v9[0] < v10[0]);
+}
+
+TEST_F(DownstreamTest, SeriesTaskRuns) {
+  SeriesTaskConfig config;
+  config.history = 24;
+  config.horizon = 3;
+  config.hidden = 8;
+  config.epochs = 1;
+  config.steps_per_epoch = 6;
+  config.batch_size = 4;
+  config.eval_stride = 12;
+  const SeriesTaskResult result =
+      RunSeriesTask(bundle_->bike_count, nullptr, config);
+  EXPECT_GT(result.eval_samples, 0);
+  EXPECT_GT(result.mae, 0.0);
+  // MAE in raw counts should be well under the series maximum.
+  EXPECT_LT(result.mae, bundle_->bike_count.Max());
+}
+
+TEST_F(DownstreamTest, SeriesTaskWithExoRuns) {
+  OracleSeriesProvider oracle(bundle_, data::Task::kBikeCount);
+  SeriesTaskConfig config;
+  config.history = 24;
+  config.horizon = 3;
+  config.hidden = 8;
+  config.epochs = 1;
+  config.steps_per_epoch = 6;
+  config.batch_size = 4;
+  config.eval_stride = 12;
+  const SeriesTaskResult result =
+      RunSeriesTask(bundle_->bike_count, &oracle, config);
+  EXPECT_GT(result.eval_samples, 0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace equitensor

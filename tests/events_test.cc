@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "data/events.h"
+
+namespace equitensor {
+namespace data {
+namespace {
+
+const geo::GridSpec kGrid{3, 2, 0.0, 0.0, 1.0};
+
+TEST(SimulateEventsTest, MeanMatchesIntensity) {
+  Rng rng(1);
+  const auto events = SimulateEvents(
+      kGrid, 2000, [](int64_t, int64_t, int64_t) { return 0.5; }, rng);
+  // 6 cells * 2000 hours * 0.5 = 6000 expected events.
+  EXPECT_NEAR(static_cast<double>(events.size()), 6000.0, 300.0);
+}
+
+TEST(SimulateEventsTest, ZeroIntensityNoEvents) {
+  Rng rng(2);
+  const auto events = SimulateEvents(
+      kGrid, 100, [](int64_t, int64_t, int64_t) { return 0.0; }, rng);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(SimulateEventsTest, EventsLandInIntenseCell) {
+  Rng rng(3);
+  const auto events = SimulateEvents(
+      kGrid, 50,
+      [](int64_t cx, int64_t cy, int64_t) {
+        return (cx == 2 && cy == 1) ? 2.0 : 0.0;
+      },
+      rng);
+  EXPECT_FALSE(events.empty());
+  for (const Event& e : events) {
+    const auto cell = kGrid.CellOf(e.location);
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_EQ(cell->first, 2);
+    EXPECT_EQ(cell->second, 1);
+  }
+}
+
+TEST(EventsToGridTest, CountsMatch) {
+  const std::vector<Event> events = {
+      {{0.5, 0.5}, 0}, {{0.5, 0.5}, 0}, {{2.5, 1.5}, 3}, {{0.5, 0.5}, 1}};
+  const Tensor grid = EventsToGrid(events, kGrid, 4);
+  EXPECT_EQ(grid.shape(), (std::vector<int64_t>{3, 2, 4}));
+  EXPECT_FLOAT_EQ(grid.at({0, 0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(grid.at({0, 0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(grid.at({2, 1, 3}), 1.0f);
+  EXPECT_DOUBLE_EQ(grid.Sum(), 4.0);
+}
+
+TEST(EventsToGridTest, DropsOutOfRange) {
+  const std::vector<Event> events = {
+      {{0.5, 0.5}, -1}, {{0.5, 0.5}, 10}, {{-3.0, 0.5}, 0}};
+  const Tensor grid = EventsToGrid(events, kGrid, 4);
+  EXPECT_DOUBLE_EQ(grid.Sum(), 0.0);
+}
+
+TEST(EventsToSeriesTest, HourlyCounts) {
+  const std::vector<Event> events = {
+      {{0.5, 0.5}, 0}, {{1.5, 0.5}, 0}, {{0.5, 1.5}, 2}};
+  const Tensor series = EventsToSeries(events, 3);
+  EXPECT_FLOAT_EQ(series[0], 2.0f);
+  EXPECT_FLOAT_EQ(series[1], 0.0f);
+  EXPECT_FLOAT_EQ(series[2], 1.0f);
+}
+
+TEST(EventsToDensityTest, SpatialAggregation) {
+  const std::vector<Event> events = {
+      {{0.5, 0.5}, 0}, {{0.6, 0.4}, 99}, {{2.5, 1.5}, 5}};
+  const Tensor density = EventsToDensity(events, kGrid);
+  EXPECT_FLOAT_EQ(density.at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(density.at({2, 1}), 1.0f);
+}
+
+TEST(SampleWeightedPointsTest, RespectsWeights) {
+  Tensor weight({3, 2});
+  weight.at({1, 0}) = 1.0f;  // All mass in one cell.
+  Rng rng(4);
+  const auto points = SampleWeightedPoints(weight, kGrid, 50, rng);
+  EXPECT_EQ(points.size(), 50u);
+  for (const auto& p : points) {
+    const auto cell = kGrid.CellOf(p);
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_EQ(cell->first, 1);
+    EXPECT_EQ(cell->second, 0);
+  }
+}
+
+TEST(SampleWeightedPointsTest, ProportionalSampling) {
+  Tensor weight({3, 2});
+  weight.at({0, 0}) = 3.0f;
+  weight.at({2, 1}) = 1.0f;
+  Rng rng(5);
+  const auto points = SampleWeightedPoints(weight, kGrid, 8000, rng);
+  int64_t heavy = 0;
+  for (const auto& p : points) {
+    const auto cell = kGrid.CellOf(p);
+    if (cell && cell->first == 0 && cell->second == 0) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / points.size(), 0.75, 0.03);
+}
+
+TEST(SampleWeightedPointsTest, ZeroWeightsYieldNothing) {
+  Tensor weight({3, 2});
+  Rng rng(6);
+  EXPECT_TRUE(SampleWeightedPoints(weight, kGrid, 10, rng).empty());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace equitensor

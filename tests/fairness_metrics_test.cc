@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/fairness_metrics.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+TEST(ThresholdGroupsTest, MeanThresholdSplits) {
+  // Values 0.2, 0.4, 0.6, 0.8 -> mean 0.5 -> two cells per group.
+  const Tensor s = Tensor::FromData({2, 2}, {0.2f, 0.4f, 0.6f, 0.8f});
+  const GroupLabels labels = ThresholdGroups(s);
+  EXPECT_EQ(labels.advantaged_count, 2);
+  EXPECT_EQ(labels.disadvantaged_count, 2);
+  EXPECT_FALSE(labels.advantaged[0]);
+  EXPECT_TRUE(labels.advantaged[3]);
+}
+
+TEST(ThresholdGroupsTest, ExplicitThreshold) {
+  const Tensor s = Tensor::FromData({2, 2}, {0.2f, 0.4f, 0.6f, 0.8f});
+  const GroupLabels labels = ThresholdGroups(s, 0.7);
+  EXPECT_EQ(labels.advantaged_count, 1);
+  EXPECT_EQ(labels.disadvantaged_count, 3);
+}
+
+TEST(ThresholdGroupsTest, ThresholdIsInclusive) {
+  const Tensor s = Tensor::FromData({1, 2}, {0.5f, 0.4f});
+  const GroupLabels labels = ThresholdGroups(s, 0.5);
+  EXPECT_TRUE(labels.advantaged[0]);
+  EXPECT_FALSE(labels.advantaged[1]);
+}
+
+class ResidualTest : public ::testing::Test {
+ protected:
+  // 1x2 grid: cell 0 advantaged, cell 1 disadvantaged.
+  GroupLabels MakeGroups() {
+    const Tensor s = Tensor::FromData({1, 2}, {1.0f, 0.0f});
+    return ThresholdGroups(s, 0.5);
+  }
+};
+
+TEST_F(ResidualTest, PerfectPredictionsAreFair) {
+  ResidualAccumulator acc(MakeGroups());
+  const Tensor truth = Tensor::FromData({1, 2}, {3.0f, 5.0f});
+  acc.Add(truth, truth);
+  const ResidualMetrics m = acc.Metrics();
+  EXPECT_DOUBLE_EQ(m.rd, 0.0);
+  EXPECT_DOUBLE_EQ(m.prd, 0.0);
+  EXPECT_DOUBLE_EQ(m.nrd, 0.0);
+}
+
+TEST_F(ResidualTest, OverestimationOfDisadvantagedIsNegativePrd) {
+  // Paper semantics (crime case): PRD < 0 means more overestimation
+  // for the disadvantaged group.
+  ResidualAccumulator acc(MakeGroups());
+  const Tensor pred = Tensor::FromData({1, 2}, {3.0f, 8.0f});
+  const Tensor truth = Tensor::FromData({1, 2}, {3.0f, 5.0f});
+  acc.Add(pred, truth);
+  const ResidualMetrics m = acc.Metrics();
+  EXPECT_DOUBLE_EQ(m.prd, -3.0);
+  EXPECT_DOUBLE_EQ(m.rd, -3.0);
+  EXPECT_DOUBLE_EQ(m.nrd, 0.0);
+}
+
+TEST_F(ResidualTest, UnderestimationOfDisadvantagedIsNegativeNrd) {
+  // Bikeshare case: NRD < 0 means more underestimation for G-.
+  ResidualAccumulator acc(MakeGroups());
+  const Tensor pred = Tensor::FromData({1, 2}, {5.0f, 2.0f});
+  const Tensor truth = Tensor::FromData({1, 2}, {5.0f, 6.0f});
+  acc.Add(pred, truth);
+  const ResidualMetrics m = acc.Metrics();
+  EXPECT_DOUBLE_EQ(m.nrd, -4.0);
+  EXPECT_DOUBLE_EQ(m.rd, 4.0);  // residual = -4 on G-, so G+ - G- = +4
+  EXPECT_DOUBLE_EQ(m.prd, 0.0);
+}
+
+TEST_F(ResidualTest, AccumulatesOverTime) {
+  // Eq. 6 sums over the full period T (no time averaging).
+  ResidualAccumulator acc(MakeGroups());
+  const Tensor pred = Tensor::FromData({1, 2}, {4.0f, 5.0f});
+  const Tensor truth = Tensor::FromData({1, 2}, {3.0f, 5.0f});
+  acc.Add(pred, truth);
+  acc.Add(pred, truth);
+  acc.Add(pred, truth);
+  const ResidualMetrics m = acc.Metrics();
+  EXPECT_DOUBLE_EQ(m.prd, 3.0);  // +1 per timestep on G+
+  EXPECT_EQ(acc.timesteps(), 3);
+}
+
+TEST_F(ResidualTest, GroupSizeNormalization) {
+  // 2x2 grid: 1 advantaged cell, 3 disadvantaged cells.
+  const Tensor s = Tensor::FromData({2, 2}, {1.0f, 0.0f, 0.0f, 0.0f});
+  ResidualAccumulator acc(ThresholdGroups(s, 0.5));
+  // Every disadvantaged cell overestimated by 3.
+  const Tensor pred = Tensor::FromData({2, 2}, {0.0f, 3.0f, 3.0f, 3.0f});
+  const Tensor truth({2, 2}, 0.0f);
+  acc.Add(pred, truth);
+  const ResidualMetrics m = acc.Metrics();
+  // PRD = 0/1 - 9/3 = -3.
+  EXPECT_DOUBLE_EQ(m.prd, -3.0);
+}
+
+TEST_F(ResidualTest, MixedResidualsDecompose) {
+  // RD = PRD - NRD must hold by construction.
+  ResidualAccumulator acc(MakeGroups());
+  const Tensor pred = Tensor::FromData({1, 2}, {7.0f, 2.0f});
+  const Tensor truth = Tensor::FromData({1, 2}, {5.0f, 6.0f});
+  acc.Add(pred, truth);
+  const ResidualMetrics m = acc.Metrics();
+  EXPECT_DOUBLE_EQ(m.rd, m.prd - m.nrd);
+}
+
+TEST(ResidualDeathTest, EmptyGroupAborts) {
+  const Tensor s = Tensor::FromData({1, 2}, {1.0f, 1.0f});
+  EXPECT_DEATH(ResidualAccumulator(ThresholdGroups(s, 0.5)),
+               "disadvantaged");
+}
+
+TEST(ResidualDeathTest, ShapeMismatchAborts) {
+  const Tensor s = Tensor::FromData({1, 2}, {1.0f, 0.0f});
+  ResidualAccumulator acc(ThresholdGroups(s, 0.5));
+  EXPECT_DEATH(acc.Add(Tensor({1, 3}), Tensor({1, 3})), "");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace equitensor

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace equitensor {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.DefineString("name", "default", "a string");
+  flags.DefineInt("count", 5, "an int");
+  flags.DefineDouble("rate", 0.5, "a double");
+  flags.DefineBool("verbose", false, "a bool");
+  return flags;
+}
+
+bool ParseArgs(FlagParser& flags, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return flags.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {}));
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--name=abc", "--count=42", "--rate=1.25"}));
+  EXPECT_EQ(flags.GetString("name"), "abc");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 1.25);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--count", "-7", "--name", "x y"}));
+  EXPECT_EQ(flags.GetInt("count"), -7);
+  EXPECT_EQ(flags.GetString("name"), "x y");
+}
+
+TEST(FlagsTest, BareBoolSetsTrue) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--verbose"}));
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--verbose=true"}));
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  FlagParser flags2 = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags2, {"--verbose=0"}));
+  EXPECT_FALSE(flags2.GetBool("verbose"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--bogus=1"}));
+  EXPECT_NE(flags.error().find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagsTest, BadIntFails) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--count=seven"}));
+  EXPECT_NE(flags.error().find("expects an int"), std::string::npos);
+}
+
+TEST(FlagsTest, BadBoolFails) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--verbose=maybe"}));
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--count"}));
+  EXPECT_NE(flags.error().find("missing a value"), std::string::npos);
+}
+
+TEST(FlagsTest, PositionalArgsCollected) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"input.csv", "--count=1", "out.svg"}));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "out.svg");
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--help"}));
+  EXPECT_TRUE(flags.help_requested());
+  const std::string help = flags.HelpText("desc");
+  EXPECT_NE(help.find("desc"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("default 5"), std::string::npos);
+}
+
+TEST(FlagsDeathTest, WrongTypeAccessorAborts) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {}));
+  EXPECT_DEATH(flags.GetInt("name"), "not a");
+}
+
+TEST(FlagsDeathTest, DuplicateDefineAborts) {
+  FlagParser flags = MakeParser();
+  EXPECT_DEATH(flags.DefineInt("count", 1, "dup"), "duplicate");
+}
+
+}  // namespace
+}  // namespace equitensor

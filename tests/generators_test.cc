@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/preprocess.h"
+#include "util/stats.h"
+
+namespace equitensor {
+namespace data {
+namespace {
+
+CityConfig SmallConfig() {
+  CityConfig config;
+  config.width = 8;
+  config.height = 6;
+  config.hours = 24 * 6;
+  config.seed = 11;
+  return config;
+}
+
+class GeneratorsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { bundle_ = new UrbanDataBundle(BuildSeattleAnalog(SmallConfig())); }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+  static UrbanDataBundle* bundle_;
+};
+
+UrbanDataBundle* GeneratorsTest::bundle_ = nullptr;
+
+TEST_F(GeneratorsTest, TwentyThreeDatasets) {
+  EXPECT_EQ(bundle_->datasets.size(), 23u);
+}
+
+TEST_F(GeneratorsTest, KindInventoryMatchesTable2) {
+  int64_t temporal = 0, spatial = 0, spatio = 0;
+  for (const auto& ds : bundle_->datasets) {
+    switch (ds.kind) {
+      case DatasetKind::kTemporal:
+        ++temporal;
+        break;
+      case DatasetKind::kSpatial:
+        ++spatial;
+        break;
+      case DatasetKind::kSpatioTemporal:
+        ++spatio;
+        break;
+    }
+  }
+  EXPECT_EQ(temporal, 4);
+  EXPECT_EQ(spatial, 16);
+  EXPECT_EQ(spatio, 3);
+}
+
+TEST_F(GeneratorsTest, AllDatasetsScaledAndImputed) {
+  for (const auto& ds : bundle_->datasets) {
+    EXPECT_EQ(CountMissing(ds.tensor), 0) << ds.name;
+    EXPECT_LE(ds.tensor.AbsMax(), 1.0f + 1e-5f) << ds.name;
+    EXPECT_GT(ds.tensor.AbsMax(), 0.0f) << ds.name << " is all zero";
+    EXPECT_GE(ds.scale, 1e-6f) << ds.name;
+  }
+}
+
+TEST_F(GeneratorsTest, ShapesMatchKinds) {
+  const int64_t w = 8, h = 6, t = 24 * 6;
+  for (const auto& ds : bundle_->datasets) {
+    switch (ds.kind) {
+      case DatasetKind::kTemporal:
+        EXPECT_EQ(ds.tensor.shape(), (std::vector<int64_t>{1, t})) << ds.name;
+        break;
+      case DatasetKind::kSpatial:
+        EXPECT_EQ(ds.tensor.shape(), (std::vector<int64_t>{1, w, h}))
+            << ds.name;
+        break;
+      case DatasetKind::kSpatioTemporal:
+        EXPECT_EQ(ds.tensor.shape(), (std::vector<int64_t>{1, w, h, t}))
+            << ds.name;
+        break;
+    }
+  }
+}
+
+TEST_F(GeneratorsTest, IndexOfFindsEveryTable2Name) {
+  const char* names[] = {
+      "temperature",      "precipitation",     "pressure",
+      "air_quality",      "house_price",       "poi_business",
+      "poi_food",         "poi_government",    "poi_hospitals",
+      "poi_public_services", "poi_recreation", "poi_schools",
+      "poi_transportation",  "transit_routes", "transit_signals",
+      "transit_stops",    "seattle_streets",   "total_flow_count",
+      "steep_slopes",     "bikelanes",         "building_permits",
+      "traffic_collisions", "seattle_911_calls"};
+  for (const char* name : names) {
+    EXPECT_GE(bundle_->IndexOf(name), 0) << name;
+  }
+}
+
+TEST_F(GeneratorsTest, SensitiveMapsInUnitRange) {
+  EXPECT_GE(bundle_->race_map.Min(), 0.0f);
+  EXPECT_LE(bundle_->race_map.Max(), 1.0f);
+  EXPECT_GE(bundle_->income_map.Min(), 0.0f);
+  EXPECT_LE(bundle_->income_map.Max(), 1.0f);
+  EXPECT_GT(bundle_->race_map.Max() - bundle_->race_map.Min(), 0.1f)
+      << "race map should vary across the city";
+}
+
+TEST_F(GeneratorsTest, TargetsScaledToUnit) {
+  EXPECT_LE(bundle_->bikeshare.Max(), 1.0f);
+  EXPECT_LE(bundle_->crime.Max(), 1.0f);
+  EXPECT_LE(bundle_->fire.Max(), 1.0f);
+  EXPECT_GT(bundle_->bikeshare_scale, 1.0f);
+  EXPECT_GT(bundle_->crime_scale, 1.0f);
+}
+
+TEST_F(GeneratorsTest, BikeCountIsNonNegativeCountSeries) {
+  EXPECT_EQ(bundle_->bike_count.dim(0), 24 * 6);
+  EXPECT_GE(bundle_->bike_count.Min(), 0.0f);
+  EXPECT_GT(bundle_->bike_count.Mean(), 1.0);
+}
+
+TEST_F(GeneratorsTest, BridgeCellInsideGrid) {
+  EXPECT_GE(bundle_->bridge_cx, 0);
+  EXPECT_LT(bundle_->bridge_cx, 8);
+  EXPECT_GE(bundle_->bridge_cy, 0);
+  EXPECT_LT(bundle_->bridge_cy, 6);
+}
+
+TEST_F(GeneratorsTest, OracleIndicesResolve) {
+  for (const Task task : {Task::kBikeshare, Task::kCrime, Task::kFire,
+                          Task::kBikeCount}) {
+    const auto indices = bundle_->OracleIndices(task);
+    EXPECT_FALSE(indices.empty());
+    for (int idx : indices) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, 23);
+    }
+  }
+  EXPECT_EQ(bundle_->OracleIndices(Task::kBikeshare).size(), 5u);
+  EXPECT_EQ(bundle_->OracleIndices(Task::kCrime).size(), 8u);
+  EXPECT_EQ(bundle_->OracleIndices(Task::kFire).size(), 9u);
+  EXPECT_EQ(bundle_->OracleIndices(Task::kBikeCount).size(), 3u);
+}
+
+TEST_F(GeneratorsTest, BikeCountOracleFeaturesAreTemporal) {
+  for (int idx : bundle_->OracleIndices(Task::kBikeCount)) {
+    EXPECT_EQ(bundle_->datasets[static_cast<size_t>(idx)].kind,
+              DatasetKind::kTemporal);
+  }
+}
+
+TEST_F(GeneratorsTest, CrimeCorrelatesWithNonWhiteShare) {
+  // The injected policing bias: per-cell total crime counts correlate
+  // negatively with white fraction.
+  const int64_t w = 8, h = 6, t = 24 * 6;
+  std::vector<double> crime_per_cell, white;
+  for (int64_t cell = 0; cell < w * h; ++cell) {
+    double total = 0.0;
+    for (int64_t tt = 0; tt < t; ++tt) {
+      total += bundle_->crime[cell * t + tt];
+    }
+    crime_per_cell.push_back(total);
+    white.push_back(bundle_->race_map[cell]);
+  }
+  // (Race-independent hotspot bursts dilute the correlation in this
+  // small test city; the sign and magnitude still reflect the bias.)
+  EXPECT_LT(PearsonCorrelation(crime_per_cell, white), -0.1);
+}
+
+TEST_F(GeneratorsTest, BikeshareCorrelatesWithIncome) {
+  const int64_t w = 8, h = 6, t = 24 * 6;
+  std::vector<double> demand, income;
+  for (int64_t cell = 0; cell < w * h; ++cell) {
+    double total = 0.0;
+    for (int64_t tt = 0; tt < t; ++tt) {
+      total += bundle_->bikeshare[cell * t + tt];
+    }
+    demand.push_back(total);
+    income.push_back(bundle_->income_map[cell]);
+  }
+  EXPECT_GT(PearsonCorrelation(demand, income), 0.1);
+}
+
+TEST_F(GeneratorsTest, CallsCorrelateWithCrime) {
+  // The 911-call input embodies the crime process (why it is an oracle
+  // feature for crime prediction).
+  const int idx = bundle_->IndexOf("seattle_911_calls");
+  const Tensor& calls = bundle_->datasets[static_cast<size_t>(idx)].tensor;
+  const int64_t cells = 8 * 6, t = 24 * 6;
+  std::vector<double> calls_cell(cells, 0.0), crime_cell(cells, 0.0);
+  for (int64_t cell = 0; cell < cells; ++cell) {
+    for (int64_t tt = 0; tt < t; ++tt) {
+      calls_cell[static_cast<size_t>(cell)] += calls[cell * t + tt];
+      crime_cell[static_cast<size_t>(cell)] += bundle_->crime[cell * t + tt];
+    }
+  }
+  EXPECT_GT(PearsonCorrelation(calls_cell, crime_cell), 0.5);
+}
+
+TEST_F(GeneratorsTest, DeterministicRebuild) {
+  const UrbanDataBundle again = BuildSeattleAnalog(SmallConfig());
+  EXPECT_TRUE(AllClose(again.race_map, bundle_->race_map));
+  EXPECT_TRUE(AllClose(again.crime, bundle_->crime));
+  EXPECT_TRUE(AllClose(again.datasets[0].tensor, bundle_->datasets[0].tensor));
+}
+
+TEST(GeneratorsBiasTest, BiasStrengthControlsCoupling) {
+  // With bias 0, crime should decorrelate from race.
+  CityConfig biased = SmallConfig();
+  CityConfig unbiased = SmallConfig();
+  unbiased.bias_strength = 0.0;
+  const UrbanDataBundle b1 = BuildSeattleAnalog(biased);
+  const UrbanDataBundle b0 = BuildSeattleAnalog(unbiased);
+  const int64_t cells = 8 * 6, t = 24 * 6;
+  auto corr = [&](const UrbanDataBundle& b) {
+    std::vector<double> crime(cells, 0.0), white(cells, 0.0);
+    for (int64_t cell = 0; cell < cells; ++cell) {
+      for (int64_t tt = 0; tt < t; ++tt) {
+        crime[static_cast<size_t>(cell)] += b.crime[cell * t + tt];
+      }
+      white[static_cast<size_t>(cell)] = b.race_map[cell];
+    }
+    return PearsonCorrelation(crime, white);
+  };
+  EXPECT_LT(corr(b1), corr(b0) - 0.1);
+}
+
+TEST(TaskNameTest, Names) {
+  EXPECT_STREQ(TaskName(Task::kBikeshare), "bikeshare");
+  EXPECT_STREQ(TaskName(Task::kCrime), "crime");
+  EXPECT_STREQ(TaskName(Task::kFire), "fire");
+  EXPECT_STREQ(TaskName(Task::kBikeCount), "bike_count");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace equitensor

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/geometry.h"
+#include "geo/grid.h"
+
+namespace equitensor {
+namespace geo {
+namespace {
+
+TEST(GeometryTest, SignedAreaCcwPositive) {
+  const Polygon square = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_DOUBLE_EQ(SignedArea(square), 4.0);
+  const Polygon cw = {{0, 0}, {0, 2}, {2, 2}, {2, 0}};
+  EXPECT_DOUBLE_EQ(SignedArea(cw), -4.0);
+  EXPECT_DOUBLE_EQ(Area(cw), 4.0);
+}
+
+TEST(GeometryTest, TriangleArea) {
+  const Polygon tri = {{0, 0}, {4, 0}, {0, 3}};
+  EXPECT_DOUBLE_EQ(Area(tri), 6.0);
+}
+
+TEST(GeometryTest, DegeneratePolygonHasZeroArea) {
+  EXPECT_DOUBLE_EQ(Area({}), 0.0);
+  EXPECT_DOUBLE_EQ(Area({{1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(Area({{1, 1}, {2, 2}}), 0.0);
+}
+
+TEST(GeometryTest, ClipFullyInsideUnchangedArea) {
+  const Polygon tri = {{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}};
+  const Rect cell = {0, 0, 1, 1};
+  EXPECT_NEAR(Area(ClipToRect(tri, cell)), Area(tri), 1e-12);
+}
+
+TEST(GeometryTest, ClipFullyOutsideIsEmpty) {
+  const Polygon tri = {{2, 2}, {3, 2}, {2, 3}};
+  const Rect cell = {0, 0, 1, 1};
+  EXPECT_TRUE(ClipToRect(tri, cell).empty());
+}
+
+TEST(GeometryTest, ClipHalfOverlap) {
+  // Unit square shifted half a cell right: overlap is 0.5.
+  const Polygon square = {{0.5, 0}, {1.5, 0}, {1.5, 1}, {0.5, 1}};
+  const Rect cell = {0, 0, 1, 1};
+  EXPECT_NEAR(IntersectionArea(square, cell), 0.5, 1e-12);
+}
+
+TEST(GeometryTest, ClipQuarterOverlap) {
+  const Polygon square = {{0.5, 0.5}, {1.5, 0.5}, {1.5, 1.5}, {0.5, 1.5}};
+  const Rect cell = {0, 0, 1, 1};
+  EXPECT_NEAR(IntersectionArea(square, cell), 0.25, 1e-12);
+}
+
+TEST(GeometryTest, ClipPolygonLargerThanRect) {
+  const Polygon big = {{-5, -5}, {5, -5}, {5, 5}, {-5, 5}};
+  const Rect cell = {0, 0, 2, 1};
+  EXPECT_NEAR(IntersectionArea(big, cell), 2.0, 1e-12);
+}
+
+TEST(GeometryTest, IntersectionAreasTileThePolygon) {
+  // Cutting a polygon along a 2x2 grid conserves total area.
+  const Polygon poly = {{0.3, 0.2}, {1.7, 0.4}, {1.5, 1.8}, {0.1, 1.5}};
+  double total = 0.0;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      total += IntersectionArea(
+          poly, {static_cast<double>(x), static_cast<double>(y),
+                 static_cast<double>(x + 1), static_cast<double>(y + 1)});
+    }
+  }
+  EXPECT_NEAR(total, Area(poly), 1e-9);
+}
+
+TEST(GeometryTest, RectPolygonRoundTrip) {
+  const Rect r = {1, 2, 4, 6};
+  EXPECT_DOUBLE_EQ(Area(RectPolygon(r)), r.Area());
+}
+
+TEST(GeometryTest, PolylineLength) {
+  const Polyline line = {{0, 0}, {3, 4}, {3, 7}};
+  EXPECT_DOUBLE_EQ(Length(line), 8.0);
+  EXPECT_DOUBLE_EQ(Length({{1, 1}}), 0.0);
+}
+
+TEST(GridTest, CellOfInterior) {
+  GridSpec grid{4, 3, 0.0, 0.0, 1.0};
+  const auto cell = grid.CellOf({2.5, 1.5});
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->first, 2);
+  EXPECT_EQ(cell->second, 1);
+}
+
+TEST(GridTest, CellOfOutside) {
+  GridSpec grid{4, 3, 0.0, 0.0, 1.0};
+  EXPECT_FALSE(grid.CellOf({-0.1, 1.0}).has_value());
+  EXPECT_FALSE(grid.CellOf({4.0, 1.0}).has_value());  // right edge exclusive
+  EXPECT_TRUE(grid.CellOf({0.0, 0.0}).has_value());   // left edge inclusive
+}
+
+TEST(GridTest, CellBoundsAndCenter) {
+  GridSpec grid{4, 3, 10.0, 20.0, 2.0};
+  const Rect bounds = grid.CellBounds(1, 2);
+  EXPECT_DOUBLE_EQ(bounds.min_x, 12.0);
+  EXPECT_DOUBLE_EQ(bounds.max_y, 26.0);
+  const Point center = grid.CellCenter(0, 0);
+  EXPECT_DOUBLE_EQ(center.x, 11.0);
+  EXPECT_DOUBLE_EQ(center.y, 21.0);
+}
+
+TEST(GridTest, BoundsCoverAllCells) {
+  GridSpec grid{5, 4, -1.0, -2.0, 0.5};
+  const Rect bounds = grid.Bounds();
+  EXPECT_DOUBLE_EQ(bounds.Width(), 2.5);
+  EXPECT_DOUBLE_EQ(bounds.Height(), 2.0);
+  EXPECT_EQ(grid.CellCount(), 20);
+}
+
+TEST(GridTest, NonUnitCellSize) {
+  GridSpec grid{10, 10, 0.0, 0.0, 0.25};
+  const auto cell = grid.CellOf({0.6, 2.4});
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->first, 2);
+  EXPECT_EQ(cell->second, 9);
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace equitensor

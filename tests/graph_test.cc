@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "data/city_graph.h"
+#include "nn/graph.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace equitensor {
+namespace {
+
+TEST(NormalizeAdjacencyTest, RowsOfRegularGraphSumToOne) {
+  // A 2-cycle (both nodes degree 1 + self loop): Â rows sum to 1 for a
+  // regular graph.
+  Tensor a = Tensor::FromData({2, 2}, {0, 1, 1, 0});
+  const Tensor norm = nn::NormalizeAdjacency(a);
+  for (int64_t i = 0; i < 2; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 2; ++j) row += norm[i * 2 + j];
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(NormalizeAdjacencyTest, SymmetricInput_SymmetricOutput) {
+  Rng rng(1);
+  const int64_t n = 5;
+  Tensor a({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const float v = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  const Tensor norm = nn::NormalizeAdjacency(a);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(norm[i * n + j], norm[j * n + i], 1e-6);
+    }
+  }
+}
+
+TEST(NormalizeAdjacencyTest, IsolatedNodeKeepsSelfLoopOnly) {
+  Tensor a({3, 3});  // No edges at all.
+  const Tensor norm = nn::NormalizeAdjacency(a);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(norm[i * 3 + j], i == j ? 1.0f : 0.0f, 1e-6);
+    }
+  }
+}
+
+TEST(GraphConvTest, ForwardShape) {
+  Rng rng(2);
+  Tensor a({6, 6});
+  a[1] = a[6] = 1.0f;  // One edge 0-1.
+  nn::GraphConv layer(nn::NormalizeAdjacency(a), 3, 4, rng);
+  Variable x(Tensor::RandomUniform({6, 3}, rng), false);
+  const Variable y = layer.Forward(x);
+  EXPECT_EQ(y.value().shape(), (std::vector<int64_t>{6, 4}));
+}
+
+TEST(GraphConvTest, PropagationSmoothsNeighborFeatures) {
+  // Identity weights, linear activation: the output mixes each node
+  // with its neighbor, so two connected nodes move closer together.
+  Rng rng(3);
+  Tensor a = Tensor::FromData({2, 2}, {0, 1, 1, 0});
+  nn::GraphConv layer(nn::NormalizeAdjacency(a), 1, 1, rng,
+                      nn::Activation::kLinear);
+  layer.Parameters()[0].mutable_value().Fill(1.0f);  // W = [1]
+  Variable x(Tensor::FromData({2, 1}, {0.0f, 1.0f}), false);
+  const Tensor y = layer.Forward(x).value();
+  EXPECT_LT(std::fabs(y[0] - y[1]), 1.0f);  // Closer than inputs.
+  EXPECT_GT(y[0], 0.0f);                    // Received neighbor mass.
+}
+
+TEST(GraphConvTest, GradientsFlowToParameters) {
+  Rng rng(4);
+  Tensor a({4, 4});
+  a[1] = a[4] = a[6] = a[9] = 1.0f;
+  nn::GraphConv layer(nn::NormalizeAdjacency(a), 2, 3, rng);
+  Variable x(Tensor::RandomUniform({4, 2}, rng), false);
+  Backward(ag::SumAll(ag::Sigmoid(layer.Forward(x))));
+  for (const Variable& p : layer.Parameters()) {
+    EXPECT_TRUE(p.grad_ready());
+  }
+}
+
+TEST(GcnEncoderTest, LearnsNodeRegression) {
+  // Target: each node's label is the mean of its neighbors' inputs —
+  // exactly what one propagation step can express.
+  Rng rng(5);
+  const int64_t n = 8;
+  Tensor a({n, n});
+  for (int64_t i = 0; i + 1 < n; ++i) {  // Path graph.
+    a[i * n + i + 1] = 1.0f;
+    a[(i + 1) * n + i] = 1.0f;
+  }
+  nn::GcnEncoder gcn(a, 1, 6, 1, rng);
+  nn::AdamOptions options;
+  options.learning_rate = 1e-2;
+  options.decay_rate = 1.0;
+  nn::Adam adam(gcn.Parameters(), options);
+  const Tensor norm = nn::NormalizeAdjacency(a);
+
+  Tensor x = Tensor::RandomUniform({n, 1}, rng);
+  const Tensor target = MatMul(norm, x);
+  double last = 1.0;
+  for (int step = 0; step < 200; ++step) {
+    Variable pred = gcn.Forward(Variable(x, false));
+    Variable loss = ag::MaeAgainst(pred, target);
+    last = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, 0.05);
+}
+
+TEST(CityGraphTest, AdjacencyStructure) {
+  data::CityConfig config;
+  config.width = 4;
+  config.height = 4;
+  config.hours = 48;
+  config.seed = 6;
+  data::SyntheticCity city(config);
+  const Tensor a = data::BuildCellAdjacency(city);
+  const int64_t n = 16;
+  EXPECT_EQ(a.shape(), (std::vector<int64_t>{n, n}));
+  // Symmetric, zero diagonal, edges only between 4-neighbors.
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(a[i * n + i], 0.0f);
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_FLOAT_EQ(a[i * n + j], a[j * n + i]);
+      const int64_t xi = i / 4, yi = i % 4, xj = j / 4, yj = j % 4;
+      const int64_t manhattan = std::abs(xi - xj) + std::abs(yi - yj);
+      if (manhattan != 1) {
+        EXPECT_FLOAT_EQ(a[i * n + j], 0.0f) << i << "," << j;
+      } else {
+        EXPECT_GT(a[i * n + j], 0.0f);
+      }
+    }
+  }
+}
+
+TEST(CityGraphTest, StreetWeightingRaisesConnectedCells) {
+  data::CityConfig config;
+  config.width = 6;
+  config.height = 5;
+  config.hours = 48;
+  config.seed = 7;
+  data::SyntheticCity city(config);
+  const Tensor base_only = data::BuildCellAdjacency(city, 0.2, 0.0);
+  const Tensor weighted = data::BuildCellAdjacency(city, 0.2, 1.0);
+  // With street weighting every edge weight is >= the base weight and
+  // at least one exceeds it (streets exist somewhere).
+  double gain = 0.0;
+  for (int64_t i = 0; i < weighted.size(); ++i) {
+    if (base_only[i] > 0.0f) {
+      EXPECT_GE(weighted[i], base_only[i]);
+      gain += weighted[i] - base_only[i];
+    }
+  }
+  EXPECT_GT(gain, 0.0);
+}
+
+TEST(CityGraphTest, FieldNodeRoundTrip) {
+  Rng rng(8);
+  const Tensor field = Tensor::RandomUniform({4, 3}, rng);
+  const Tensor nodes = data::FieldToNodeFeatures(field);
+  EXPECT_EQ(nodes.shape(), (std::vector<int64_t>{12, 1}));
+  const Tensor back = data::NodeValuesToField(nodes, 4, 3);
+  EXPECT_TRUE(AllClose(back, field, 0.0f));
+}
+
+TEST(CityGraphTest, MultiChannelFeatures) {
+  Rng rng(9);
+  const Tensor field = Tensor::RandomUniform({3, 4, 2}, rng);
+  const Tensor nodes = data::FieldToNodeFeatures(field);
+  EXPECT_EQ(nodes.shape(), (std::vector<int64_t>{8, 3}));
+  EXPECT_FLOAT_EQ(nodes.at({5, 2}), field.at({2, 2, 1}));
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/equitensor.h"
+#include "core/probe.h"
+#include "data/generators.h"
+#include "util/stats.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+// End-to-end tests on a miniature city. These are the slowest tests in
+// the suite; sizes are deliberately tiny.
+
+data::CityConfig TinyCity() {
+  data::CityConfig config;
+  config.width = 5;
+  config.height = 4;
+  config.hours = 24 * 4;
+  config.seed = 33;
+  return config;
+}
+
+EquiTensorConfig TinyTrainerConfig(const data::CityConfig& city) {
+  EquiTensorConfig config;
+  config.cdae.grid_w = city.width;
+  config.cdae.grid_h = city.height;
+  config.cdae.window = 12;
+  config.cdae.latent_channels = 2;
+  config.cdae.encoder_filters = {4, 1};
+  config.cdae.shared_filters = {6};
+  config.cdae.decoder_filters = {6};
+  config.epochs = 2;
+  config.steps_per_epoch = 5;
+  config.batch_size = 2;
+  config.opt_loss_epochs = 1;
+  config.opt_loss_steps_per_epoch = 3;
+  config.optimizer.learning_rate = 2e-3;
+  return config;
+}
+
+// Slim the bundle to a few datasets so the integration tests stay fast.
+std::vector<data::AlignedDataset> SlimDatasets(
+    const data::UrbanDataBundle& bundle) {
+  std::vector<data::AlignedDataset> slim;
+  for (const char* name : {"temperature", "precipitation", "house_price",
+                           "seattle_streets", "seattle_911_calls"}) {
+    slim.push_back(bundle.datasets[static_cast<size_t>(bundle.IndexOf(name))]);
+  }
+  return slim;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new data::UrbanDataBundle(data::BuildSeattleAnalog(TinyCity()));
+    slim_ = new std::vector<data::AlignedDataset>(SlimDatasets(*bundle_));
+  }
+  static void TearDownTestSuite() {
+    delete slim_;
+    delete bundle_;
+    slim_ = nullptr;
+    bundle_ = nullptr;
+  }
+  static data::UrbanDataBundle* bundle_;
+  static std::vector<data::AlignedDataset>* slim_;
+};
+
+data::UrbanDataBundle* IntegrationTest::bundle_ = nullptr;
+std::vector<data::AlignedDataset>* IntegrationTest::slim_ = nullptr;
+
+TEST_F(IntegrationTest, CoreModelLossDecreases) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.epochs = 4;
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+  const auto& log = trainer.log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_LT(log.back().total_loss, log.front().total_loss);
+}
+
+TEST_F(IntegrationTest, MaterializeShapeAndDeterminism) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+  const Tensor z = trainer.Materialize();
+  // T' = floor(96 / 12) * 12 = 96.
+  EXPECT_EQ(z.shape(), (std::vector<int64_t>{2, 5, 4, 96}));
+  const Tensor z2 = trainer.Materialize();
+  EXPECT_TRUE(AllClose(z, z2));
+}
+
+TEST_F(IntegrationTest, AdaptiveWeightingProducesOptimalLosses) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.weighting = WeightingMode::kOurs;
+  config.alpha = 3.0;
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+  EXPECT_EQ(trainer.optimal_losses().size(), slim_->size());
+  for (double l : trainer.optimal_losses()) EXPECT_GT(l, 0.0);
+  // Weights in the log deviate from 1 after the first epoch.
+  const auto& log = trainer.log();
+  double deviation = 0.0;
+  for (double w : log.back().weights) deviation += std::fabs(w - 1.0);
+  EXPECT_GT(deviation, 1e-6);
+}
+
+TEST_F(IntegrationTest, AdversarialTrainingRaisesProbeError) {
+  // The central fairness claim: a probe recovers S much better from a
+  // fairness-oblivious representation than from an adversarially
+  // trained one.
+  EquiTensorConfig core_cfg = TinyTrainerConfig(TinyCity());
+  core_cfg.epochs = 6;
+  core_cfg.steps_per_epoch = 10;
+  EquiTensorTrainer core(core_cfg, slim_, &bundle_->race_map);
+  core.Train();
+  const Tensor z_core = core.Materialize();
+
+  EquiTensorConfig fair_cfg = core_cfg;
+  fair_cfg.fairness = FairnessMode::kAdversarial;
+  fair_cfg.cdae.disentangle = true;
+  fair_cfg.lambda = 5.0;
+  EquiTensorTrainer fair(fair_cfg, slim_, &bundle_->race_map);
+  fair.Train();
+  const Tensor z_fair = fair.Materialize();
+
+  ProbeConfig probe;
+  probe.window = 12;
+  probe.epochs = 3;
+  probe.steps_per_epoch = 10;
+  probe.batch_size = 2;
+  probe.eval_batches = 3;
+  const double core_mae = ProbeSensitiveLeakage(z_core, bundle_->race_map, probe);
+  const double fair_mae = ProbeSensitiveLeakage(z_fair, bundle_->race_map, probe);
+  EXPECT_GT(fair_mae, core_mae)
+      << "adversarial training should hide the sensitive attribute";
+}
+
+TEST_F(IntegrationTest, UncertaintyWeightingTrains) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.weighting = WeightingMode::kUncertainty;
+  config.epochs = 4;
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+  // Loss decreases and the learned weights move away from 1.
+  EXPECT_LT(trainer.log().back().total_loss, trainer.log().front().total_loss);
+  const auto weights = trainer.CurrentWeights();
+  ASSERT_EQ(weights.size(), slim_->size());
+  double deviation = 0.0;
+  for (double w : weights) {
+    EXPECT_GT(w, 0.0);
+    deviation += std::fabs(w - 1.0);
+  }
+  EXPECT_GT(deviation, 1e-4);
+}
+
+TEST_F(IntegrationTest, PrecomputedOptimalLossesSkipEstimation) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.weighting = WeightingMode::kOurs;
+  config.precomputed_optimal_losses =
+      std::vector<double>(slim_->size(), 0.05);
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+  EXPECT_EQ(trainer.optimal_losses(),
+            std::vector<double>(slim_->size(), 0.05));
+}
+
+TEST_F(IntegrationTest, MaterializeOnTransfersToOtherCity) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+
+  data::CityConfig other_city = TinyCity();
+  other_city.seed = 777;
+  const auto other_bundle = data::BuildSeattleAnalog(other_city);
+  const auto other_slim = SlimDatasets(other_bundle);
+  const Tensor z_other = trainer.MaterializeOn(&other_slim);
+  EXPECT_EQ(z_other.shape(), (std::vector<int64_t>{2, 5, 4, 96}));
+  // Different inputs -> different representation.
+  const Tensor z_native = trainer.Materialize();
+  EXPECT_FALSE(AllClose(z_other, z_native));
+}
+
+TEST_F(IntegrationTest, MaterializeOnRejectsWrongInventory) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+  std::vector<data::AlignedDataset> wrong(slim_->begin(), slim_->end() - 1);
+  EXPECT_DEATH(trainer.MaterializeOn(&wrong), "inventory");
+}
+
+TEST_F(IntegrationTest, GradReversalModeTrains) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.fairness = FairnessMode::kGradReversal;
+  config.lambda = 1.0;
+  EquiTensorTrainer trainer(config, slim_, &bundle_->race_map);
+  trainer.Train();
+  EXPECT_GT(trainer.log().back().adversary_loss, 0.0);
+}
+
+TEST_F(IntegrationTest, AdversaryLearnsWhenEncoderUnpressured) {
+  // With lambda = 0 the encoder ignores the adversary, whose own
+  // alternating updates should still drive L_A down over training.
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.fairness = FairnessMode::kAdversarial;
+  config.lambda = 0.0;
+  config.epochs = 5;
+  config.steps_per_epoch = 8;
+  EquiTensorTrainer trainer(config, slim_, &bundle_->race_map);
+  trainer.Train();
+  const auto& log = trainer.log();
+  EXPECT_LT(log.back().adversary_loss, log.front().adversary_loss);
+}
+
+TEST_F(IntegrationTest, LambdaRaisesInTrainingAdversaryError) {
+  // Higher lambda should leave the in-training adversary with higher
+  // error at the end (the encoder actively hides S).
+  auto final_adv_loss = [&](double lambda) {
+    EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+    config.fairness = FairnessMode::kAdversarial;
+    config.cdae.disentangle = true;
+    config.lambda = lambda;
+    config.epochs = 5;
+    config.steps_per_epoch = 8;
+    EquiTensorTrainer trainer(config, slim_, &bundle_->race_map);
+    trainer.Train();
+    return trainer.log().back().adversary_loss;
+  };
+  EXPECT_GT(final_adv_loss(6.0), final_adv_loss(0.0));
+}
+
+TEST_F(IntegrationTest, TrainingIsDeterministicForSeed) {
+  auto run = [&] {
+    EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+    EquiTensorTrainer trainer(config, slim_, nullptr);
+    trainer.Train();
+    return trainer.Materialize();
+  };
+  EXPECT_TRUE(AllClose(run(), run(), 0.0f));
+}
+
+TEST_F(IntegrationTest, EvaluateReconstructionErrorPositive) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+  const double err = trainer.EvaluateReconstructionError(2);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, static_cast<double>(slim_->size()));
+}
+
+TEST_F(IntegrationTest, ProbeOnNoiseIsHighError) {
+  const Tensor noise = GaussianNoiseRepresentation(2, 5, 4, 96, 5);
+  ProbeConfig probe;
+  probe.window = 12;
+  probe.epochs = 2;
+  probe.steps_per_epoch = 8;
+  probe.batch_size = 2;
+  probe.eval_batches = 3;
+  const double mae = ProbeSensitiveLeakage(noise, bundle_->race_map, probe);
+  // The race map has spread ~0.2; predicting it from noise should
+  // leave error at least around the map's mean absolute deviation.
+  double mad = 0.0;
+  const double mean = bundle_->race_map.Mean();
+  for (int64_t i = 0; i < bundle_->race_map.size(); ++i) {
+    mad += std::fabs(bundle_->race_map[i] - mean);
+  }
+  mad /= static_cast<double>(bundle_->race_map.size());
+  EXPECT_GT(mae, 0.4 * mad);
+}
+
+TEST_F(IntegrationTest, TrainerRejectsSecondTrain) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+  EXPECT_DEATH(trainer.Train(), "already ran");
+}
+
+TEST_F(IntegrationTest, FairnessWithoutSensitiveMapAborts) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.fairness = FairnessMode::kAdversarial;
+  EXPECT_DEATH(EquiTensorTrainer(config, slim_, nullptr), "sensitive");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace equitensor

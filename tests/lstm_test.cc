@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+
+namespace equitensor {
+namespace {
+
+TEST(LstmTest, InitialStateIsZero) {
+  Rng rng(1);
+  nn::LstmCell cell(3, 4, rng);
+  const auto state = cell.InitialState(2);
+  EXPECT_EQ(state.h.value().shape(), (std::vector<int64_t>{2, 4}));
+  EXPECT_DOUBLE_EQ(state.h.value().Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(state.c.value().Sum(), 0.0);
+}
+
+TEST(LstmTest, StepShapes) {
+  Rng rng(2);
+  nn::LstmCell cell(3, 4, rng);
+  Variable x(Tensor({2, 3}, 0.5f), false);
+  const auto next = cell.Step(x, cell.InitialState(2));
+  EXPECT_EQ(next.h.value().shape(), (std::vector<int64_t>{2, 4}));
+  EXPECT_EQ(next.c.value().shape(), (std::vector<int64_t>{2, 4}));
+}
+
+TEST(LstmTest, HiddenStateBounded) {
+  // h = o * tanh(c) is always in (-1, 1).
+  Rng rng(3);
+  nn::LstmCell cell(2, 8, rng);
+  auto state = cell.InitialState(1);
+  for (int t = 0; t < 20; ++t) {
+    Variable x(Tensor({1, 2}, 5.0f), false);
+    state = cell.Step(x, state);
+  }
+  EXPECT_LT(state.h.value().AbsMax(), 1.0f);
+}
+
+TEST(LstmTest, HandComputedStepWithZeroWeights) {
+  // With all weights zero and our bias layout (forget bias = 1, rest
+  // 0): i = g = o = sigmoid/tanh(0), c' = f*0 + i*g = 0.5 * 0 = 0...
+  // g = tanh(0) = 0, so c' = 0 and h' = 0.5 * tanh(0) = 0.
+  Rng rng(4);
+  nn::LstmCell cell(1, 2, rng);
+  // Zero out the weight matrix.
+  cell.Parameters()[0].mutable_value().Fill(0.0f);
+  Variable x(Tensor({1, 1}, 3.0f), false);
+  const auto next = cell.Step(x, cell.InitialState(1));
+  EXPECT_NEAR(next.h.value()[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(next.c.value()[0], 0.0f, 1e-6f);
+}
+
+TEST(LstmTest, ForgetGateCarriesCellState) {
+  // Zero weights, forget bias 1: c' = sigmoid(1)*c_prev.
+  Rng rng(5);
+  nn::LstmCell cell(1, 1, rng);
+  cell.Parameters()[0].mutable_value().Fill(0.0f);
+  nn::LstmState state = {Variable(Tensor({1, 1}, 0.0f)),
+                         Variable(Tensor({1, 1}, 2.0f))};
+  Variable x(Tensor({1, 1}, 0.0f), false);
+  const auto next = cell.Step(x, state);
+  const float sig1 = 1.0f / (1.0f + std::exp(-1.0f));
+  EXPECT_NEAR(next.c.value()[0], sig1 * 2.0f, 1e-5f);
+}
+
+TEST(LstmTest, GradientsFlowThroughTime) {
+  Rng rng(6);
+  nn::LstmCell cell(1, 2, rng);
+  auto state = cell.InitialState(1);
+  for (int t = 0; t < 3; ++t) {
+    Variable x(Tensor({1, 1}, 0.3f), false);
+    state = cell.Step(x, state);
+  }
+  Backward(ag::SumAll(state.h));
+  EXPECT_TRUE(cell.Parameters()[0].grad_ready());
+  EXPECT_GT(cell.Parameters()[0].grad().AbsMax(), 0.0f);
+}
+
+TEST(LstmTest, GradCheckSingleStep) {
+  Rng rng(7);
+  Tensor w = Tensor::RandomUniform({3, 8}, rng, -0.4f, 0.4f);  // in=1, h=2
+  Tensor b = Tensor::RandomUniform({8}, rng, -0.2f, 0.2f);
+  Tensor x = Tensor::RandomUniform({2, 1}, rng, -1.0f, 1.0f);
+  const auto fn = [](std::vector<Variable>& v) {
+    // Manual LSTM step mirroring LstmCell with h0 = c0 = 0.
+    Variable xh = ag::Concat({v[2], Variable(Tensor({2, 2}), false)}, 1);
+    Variable gates = ag::AddBias(ag::MatMul(xh, v[0]), v[1], 1);
+    Variable i = ag::Sigmoid(ag::Slice(gates, {0, 0}, {2, 2}));
+    Variable f = ag::Sigmoid(ag::Slice(gates, {0, 2}, {2, 2}));
+    Variable g = ag::Tanh(ag::Slice(gates, {0, 4}, {2, 2}));
+    Variable o = ag::Sigmoid(ag::Slice(gates, {0, 6}, {2, 2}));
+    Variable c = ag::Mul(i, g);
+    (void)f;
+    Variable h = ag::Mul(o, ag::Tanh(c));
+    return ag::SumAll(h);
+  };
+  const auto result = CheckGradients(fn, {w, b, x}, {true, true, true});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(LstmTest, LearnsToEchoInput) {
+  // Train a 1-step LSTM + linear readout to output its input value.
+  Rng rng(8);
+  nn::LstmCell cell(1, 4, rng);
+  nn::Linear head(4, 1, rng);
+  std::vector<Variable> params = nn::JoinParameters({&cell, &head});
+  nn::AdamOptions options;
+  options.learning_rate = 0.02;
+  options.decay_rate = 1.0;
+  nn::Adam adam(params, options);
+  double last_loss = 1e9;
+  for (int step = 0; step < 250; ++step) {
+    Tensor xs({8, 1});
+    for (int i = 0; i < 8; ++i) {
+      xs[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+    const auto state = cell.Step(Variable(xs), cell.InitialState(8));
+    Variable pred = head.Forward(state.h);
+    Variable loss = ag::MaeAgainst(pred, xs);
+    last_loss = loss.scalar();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, 0.15);
+}
+
+}  // namespace
+}  // namespace equitensor

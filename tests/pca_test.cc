@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/pca.h"
+
+namespace equitensor {
+namespace models {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Tensor m = Tensor::FromData({3, 3}, {3, 0, 0, 0, 1, 0, 0, 0, 2});
+  Tensor values, vectors;
+  SymmetricEigen(m, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(values[1], 2.0f, 1e-5f);
+  EXPECT_NEAR(values[2], 1.0f, 1e-5f);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Tensor m = Tensor::FromData({2, 2}, {2, 1, 1, 2});
+  Tensor values, vectors;
+  SymmetricEigen(m, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(values[1], 1.0f, 1e-5f);
+  // Leading eigenvector is (1, 1)/sqrt(2) up to sign.
+  const float inv_sqrt2 = 1.0f / std::sqrt(2.0f);
+  EXPECT_NEAR(std::fabs(vectors.at({0, 0})), inv_sqrt2, 1e-4f);
+  EXPECT_NEAR(std::fabs(vectors.at({1, 0})), inv_sqrt2, 1e-4f);
+}
+
+TEST(SymmetricEigenTest, EigenEquationHolds) {
+  Rng rng(1);
+  // Random symmetric matrix.
+  Tensor m({4, 4});
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = i; j < 4; ++j) {
+      const float v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      m.at({i, j}) = v;
+      m.at({j, i}) = v;
+    }
+  }
+  Tensor values, vectors;
+  SymmetricEigen(m, &values, &vectors);
+  // Check A v_k ≈ lambda_k v_k for every k.
+  for (int64_t k = 0; k < 4; ++k) {
+    for (int64_t i = 0; i < 4; ++i) {
+      float av = 0.0f;
+      for (int64_t j = 0; j < 4; ++j) {
+        av += m.at({i, j}) * vectors.at({j, k});
+      }
+      EXPECT_NEAR(av, values[k] * vectors.at({i, k}), 1e-3f);
+    }
+  }
+}
+
+TEST(FitPcaTest, RecoversDominantDirection) {
+  // Observations lie close to the direction (3, 4)/5.
+  Rng rng(2);
+  Tensor obs({500, 2});
+  for (int64_t i = 0; i < 500; ++i) {
+    const float t = static_cast<float>(rng.Normal(0.0, 2.0));
+    const float noise = static_cast<float>(rng.Normal(0.0, 0.05));
+    obs[i * 2 + 0] = 0.6f * t + noise;
+    obs[i * 2 + 1] = 0.8f * t - noise;
+  }
+  const PcaResult pca = FitPca(obs, 1);
+  EXPECT_NEAR(std::fabs(pca.components[0]), 0.6f, 0.05f);
+  EXPECT_NEAR(std::fabs(pca.components[1]), 0.8f, 0.05f);
+  EXPECT_GT(pca.eigenvalues[0], 1.0f);
+}
+
+TEST(FitPcaTest, MeanComputed) {
+  Tensor obs = Tensor::FromData({2, 2}, {1, 10, 3, 20});
+  const PcaResult pca = FitPca(obs, 1);
+  EXPECT_FLOAT_EQ(pca.mean[0], 2.0f);
+  EXPECT_FLOAT_EQ(pca.mean[1], 15.0f);
+}
+
+TEST(PcaProjectTest, CentersBeforeProjection) {
+  Tensor obs = Tensor::FromData({4, 2}, {0, 0, 2, 0, 0, 2, 2, 2});
+  const PcaResult pca = FitPca(obs, 2);
+  const Tensor projected = PcaProject(pca, obs);
+  // Projections of a symmetric cloud are zero-mean.
+  double sum0 = 0.0, sum1 = 0.0;
+  for (int64_t i = 0; i < 4; ++i) {
+    sum0 += projected[i * 2];
+    sum1 += projected[i * 2 + 1];
+  }
+  EXPECT_NEAR(sum0, 0.0, 1e-5);
+  EXPECT_NEAR(sum1, 0.0, 1e-5);
+}
+
+TEST(ObservationMatrixTest, LayoutAcrossKinds) {
+  std::vector<data::AlignedDataset> datasets(3);
+  datasets[0].name = "t";
+  datasets[0].kind = data::DatasetKind::kTemporal;
+  datasets[0].tensor = Tensor::FromData({1, 2}, {10, 20});
+  datasets[1].name = "s";
+  datasets[1].kind = data::DatasetKind::kSpatial;
+  datasets[1].tensor = Tensor::FromData({1, 2, 1}, {1, 2});
+  datasets[2].name = "st";
+  datasets[2].kind = data::DatasetKind::kSpatioTemporal;
+  datasets[2].tensor = Tensor::FromData({1, 2, 1, 2}, {100, 200, 300, 400});
+
+  const Tensor obs = DatasetObservationMatrix(datasets, 2, 1, 2);
+  EXPECT_EQ(obs.shape(), (std::vector<int64_t>{4, 3}));
+  // Row for (cell x=0, t=1): temporal=20, spatial=1, spatio=200.
+  EXPECT_FLOAT_EQ(obs.at({1, 0}), 20.0f);
+  EXPECT_FLOAT_EQ(obs.at({1, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(obs.at({1, 2}), 200.0f);
+  // Row for (cell x=1, t=0): temporal=10, spatial=2, spatio=300.
+  EXPECT_FLOAT_EQ(obs.at({2, 0}), 10.0f);
+  EXPECT_FLOAT_EQ(obs.at({2, 1}), 2.0f);
+  EXPECT_FLOAT_EQ(obs.at({2, 2}), 300.0f);
+}
+
+TEST(PcaRepresentationTest, ShapeAndDeterminism) {
+  Rng rng(3);
+  std::vector<data::AlignedDataset> datasets(2);
+  datasets[0].name = "a";
+  datasets[0].kind = data::DatasetKind::kTemporal;
+  datasets[0].tensor = Tensor::RandomUniform({1, 12}, rng);
+  datasets[1].name = "b";
+  datasets[1].kind = data::DatasetKind::kSpatioTemporal;
+  datasets[1].tensor = Tensor::RandomUniform({1, 3, 2, 12}, rng);
+
+  const Tensor z1 = PcaRepresentation(datasets, 3, 2, 12, 2);
+  EXPECT_EQ(z1.shape(), (std::vector<int64_t>{2, 3, 2, 12}));
+  const Tensor z2 = PcaRepresentation(datasets, 3, 2, 12, 2);
+  EXPECT_TRUE(AllClose(z1, z2));
+}
+
+TEST(PcaRepresentationTest, FirstComponentCapturesSharedSignal) {
+  // Two datasets share a strong temporal signal; PCA channel 0 should
+  // carry it (correlate with the shared series in absolute value).
+  const int64_t t = 48;
+  std::vector<data::AlignedDataset> datasets(2);
+  Tensor shared({t});
+  for (int64_t i = 0; i < t; ++i) {
+    shared[i] = static_cast<float>(std::sin(2.0 * M_PI * i / 24.0));
+  }
+  datasets[0].name = "a";
+  datasets[0].kind = data::DatasetKind::kTemporal;
+  datasets[0].tensor = shared.Reshape({1, t});
+  datasets[1].name = "b";
+  datasets[1].kind = data::DatasetKind::kTemporal;
+  datasets[1].tensor = shared.Reshape({1, t});
+
+  const Tensor z = PcaRepresentation(datasets, 2, 2, t, 1);
+  // Correlation at one cell.
+  double dot = 0.0, nz = 0.0, ns = 0.0;
+  for (int64_t i = 0; i < t; ++i) {
+    dot += z[i] * shared[i];
+    nz += z[i] * z[i];
+    ns += shared[i] * shared[i];
+  }
+  EXPECT_GT(std::fabs(dot) / std::sqrt(nz * ns + 1e-12), 0.99);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace equitensor

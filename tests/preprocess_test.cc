@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/preprocess.h"
+
+namespace equitensor {
+namespace data {
+namespace {
+
+TEST(InjectMissingTest, FractionRoughlyRespected) {
+  Tensor t({1, 10000}, 1.0f);
+  Rng rng(1);
+  InjectMissing(&t, 0.15, rng);
+  const int64_t missing = CountMissing(t);
+  EXPECT_NEAR(static_cast<double>(missing) / t.size(), 0.15, 0.02);
+}
+
+TEST(InjectMissingTest, ZeroFractionLeavesDataIntact) {
+  Tensor t({1, 100}, 2.0f);
+  Rng rng(2);
+  InjectMissing(&t, 0.0, rng);
+  EXPECT_EQ(CountMissing(t), 0);
+}
+
+TEST(ImputeTest, SingleGapGetsNeighborAverage) {
+  Tensor t = Tensor::FromData({1, 5}, {1, 2, std::nanf(""), 4, 5});
+  const int64_t imputed = ImputeLocalAverage(&t);
+  EXPECT_EQ(imputed, 1);
+  EXPECT_FLOAT_EQ(t[2], 3.0f);  // (2 + 4) / 2
+}
+
+TEST(ImputeTest, EdgeGapUsesSingleNeighbor) {
+  Tensor t = Tensor::FromData({1, 4}, {std::nanf(""), 6, 7, 8});
+  ImputeLocalAverage(&t);
+  EXPECT_FLOAT_EQ(t[0], 6.0f);
+}
+
+TEST(ImputeTest, ConnectedGapFillsIteratively) {
+  Tensor t = Tensor::FromData(
+      {1, 5}, {2, std::nanf(""), std::nanf(""), std::nanf(""), 10});
+  ImputeLocalAverage(&t);
+  EXPECT_EQ(CountMissing(t), 0);
+  // Values must lie between the boundary values.
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_GE(t[i], 2.0f);
+    EXPECT_LE(t[i], 10.0f);
+  }
+}
+
+TEST(ImputeTest, SpatialNeighborsIn2d) {
+  // Missing center of a plus pattern -> mean of 4 neighbors.
+  Tensor t = Tensor::FromData({1, 3, 3}, {0, 1, 0,   //
+                                          3, std::nanf(""), 5,  //
+                                          0, 7, 0});
+  ImputeLocalAverage(&t);
+  EXPECT_FLOAT_EQ(t.at({0, 1, 1}), 4.0f);
+}
+
+TEST(ImputeTest, AllMissingChannelFallsBackToZero) {
+  Tensor t({1, 4}, std::nanf(""));
+  ImputeLocalAverage(&t);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(ImputeTest, ChannelsAreIndependent) {
+  // Channel axis must not act as a neighbor direction: channel 0 has a
+  // gap surrounded (across channels) by large values that must not
+  // leak in.
+  Tensor t = Tensor::FromData({2, 3}, {1, std::nanf(""), 3,  //
+                                       100, 200, 300});
+  ImputeLocalAverage(&t);
+  EXPECT_FLOAT_EQ(t[1], 2.0f);  // (1 + 3) / 2, not influenced by 200.
+}
+
+TEST(ImputeTest, NoMissingIsNoOp) {
+  Tensor t = Tensor::FromData({1, 3}, {1, 2, 3});
+  EXPECT_EQ(ImputeLocalAverage(&t), 0);
+}
+
+TEST(MaxAbsScaleTest, NonNegativeDataToUnitInterval) {
+  Tensor t = Tensor::FromData({1, 4}, {0, 2, 5, 10});
+  const float scale = MaxAbsScale(&t);
+  EXPECT_FLOAT_EQ(scale, 10.0f);
+  EXPECT_FLOAT_EQ(t.Max(), 1.0f);
+  EXPECT_FLOAT_EQ(t.Min(), 0.0f);
+}
+
+TEST(MaxAbsScaleTest, SignedDataToMinusOneOne) {
+  Tensor t = Tensor::FromData({1, 3}, {-8, 2, 4});
+  const float scale = MaxAbsScale(&t);
+  EXPECT_FLOAT_EQ(scale, 8.0f);
+  EXPECT_FLOAT_EQ(t.Min(), -1.0f);
+}
+
+TEST(MaxAbsScaleTest, AllZeroUnchanged) {
+  Tensor t({1, 3}, 0.0f);
+  EXPECT_FLOAT_EQ(MaxAbsScale(&t), 1.0f);
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+}
+
+TEST(QuantileClipScaleTest, ScalesByQuantileAndClips) {
+  // Values 0..99: the 0.9 quantile is 90; values above clip to 1.
+  Tensor t({1, 100});
+  for (int64_t i = 0; i < 100; ++i) t[i] = static_cast<float>(i);
+  const float scale = QuantileClipScale(&t, 0.9);
+  EXPECT_FLOAT_EQ(scale, 90.0f);
+  EXPECT_FLOAT_EQ(t[45], 0.5f);
+  EXPECT_FLOAT_EQ(t[99], 1.0f);  // clipped
+  EXPECT_FLOAT_EQ(t.Max(), 1.0f);
+}
+
+TEST(QuantileClipScaleTest, AllZeroUnchanged) {
+  Tensor t({1, 10}, 0.0f);
+  EXPECT_FLOAT_EQ(QuantileClipScale(&t), 1.0f);
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+}
+
+TEST(QuantileClipScaleTest, DenserThanMaxAbsOnSparseCounts) {
+  // Sparse Poisson-like data with one outlier: quantile scaling keeps
+  // the bulk of the distribution away from zero.
+  Tensor a({1, 100}, 1.0f);
+  a[0] = 50.0f;  // outlier
+  Tensor b = a;
+  const float max_scale = MaxAbsScale(&a);
+  const float q_scale = QuantileClipScale(&b, 0.95);
+  EXPECT_FLOAT_EQ(max_scale, 50.0f);
+  EXPECT_FLOAT_EQ(q_scale, 1.0f);
+  EXPECT_GT(b.Mean(), a.Mean());
+}
+
+TEST(CorruptTest, FractionOfCellsSetToValue) {
+  Tensor t({1, 10000}, 0.5f);
+  Rng rng(3);
+  const Tensor corrupted = Corrupt(t, 0.15, rng);
+  int64_t hit = 0;
+  for (int64_t i = 0; i < corrupted.size(); ++i) {
+    if (corrupted[i] == -1.0f) ++hit;
+  }
+  EXPECT_NEAR(static_cast<double>(hit) / corrupted.size(), 0.15, 0.02);
+  // Source unchanged.
+  EXPECT_FLOAT_EQ(t[0], 0.5f);
+}
+
+TEST(CorruptTest, ZeroFractionIsCopy) {
+  Tensor t = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Rng rng(4);
+  EXPECT_TRUE(AllClose(Corrupt(t, 0.0, rng), t));
+}
+
+TEST(FinalizeDatasetTest, ImputesAndScales) {
+  AlignedDataset ds;
+  ds.name = "test";
+  ds.kind = DatasetKind::kTemporal;
+  ds.tensor = Tensor::FromData({1, 4}, {2, std::nanf(""), 6, 8});
+  FinalizeDataset(&ds);
+  EXPECT_EQ(CountMissing(ds.tensor), 0);
+  EXPECT_FLOAT_EQ(ds.scale, 8.0f);
+  EXPECT_FLOAT_EQ(ds.tensor.Max(), 1.0f);
+}
+
+TEST(DatasetKindTest, Names) {
+  EXPECT_STREQ(DatasetKindName(DatasetKind::kTemporal), "temporal");
+  EXPECT_STREQ(DatasetKindName(DatasetKind::kSpatial), "spatial");
+  EXPECT_STREQ(DatasetKindName(DatasetKind::kSpatioTemporal),
+               "spatio-temporal");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace equitensor

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/probe.h"
+#include "models/cdae.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+ProbeConfig FastProbe() {
+  ProbeConfig config;
+  config.window = 8;
+  config.epochs = 3;
+  config.steps_per_epoch = 10;
+  config.batch_size = 2;
+  config.eval_batches = 3;
+  config.optimizer.learning_rate = 5e-3;
+  return config;
+}
+
+TEST(ProbeTest, RecoversEmbeddedSensitiveSignal) {
+  // Representation channel 0 *is* the sensitive map (tiled over time):
+  // the probe should drive MAE near zero.
+  Rng rng(1);
+  const Tensor s_map = Tensor::RandomUniform({4, 3}, rng, 0.0f, 1.0f);
+  Tensor rep({2, 4, 3, 64});
+  for (int64_t x = 0; x < 4; ++x) {
+    for (int64_t y = 0; y < 3; ++y) {
+      for (int64_t t = 0; t < 64; ++t) {
+        rep.at({0, x, y, t}) = s_map.at({x, y});
+        rep.at({1, x, y, t}) = static_cast<float>(rng.Uniform());
+      }
+    }
+  }
+  const double mae = ProbeSensitiveLeakage(rep, s_map, FastProbe());
+  EXPECT_LT(mae, 0.08);
+}
+
+TEST(ProbeTest, NoiseRepresentationLeaksLittle) {
+  Rng rng(2);
+  const Tensor s_map = Tensor::RandomUniform({4, 3}, rng, 0.0f, 1.0f);
+  const Tensor noise = GaussianNoiseRepresentation(2, 4, 3, 64, 7);
+  const double noise_mae = ProbeSensitiveLeakage(noise, s_map, FastProbe());
+
+  // Compare against the embedded-signal case: noise must leak less
+  // (higher MAE).
+  Tensor rep({2, 4, 3, 64});
+  for (int64_t x = 0; x < 4; ++x) {
+    for (int64_t y = 0; y < 3; ++y) {
+      for (int64_t t = 0; t < 64; ++t) {
+        rep.at({0, x, y, t}) = s_map.at({x, y});
+      }
+    }
+  }
+  const double signal_mae = ProbeSensitiveLeakage(rep, s_map, FastProbe());
+  EXPECT_GT(noise_mae, signal_mae);
+}
+
+TEST(ProbeTest, DeterministicForSeed) {
+  Rng rng(3);
+  const Tensor s_map = Tensor::RandomUniform({3, 3}, rng);
+  const Tensor rep = GaussianNoiseRepresentation(2, 3, 3, 32, 5);
+  ProbeConfig config = FastProbe();
+  config.epochs = 1;
+  config.steps_per_epoch = 4;
+  const double a = ProbeSensitiveLeakage(rep, s_map, config);
+  const double b = ProbeSensitiveLeakage(rep, s_map, config);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(ProbeTest, GaussianNoiseShapeAndSeed) {
+  const Tensor a = GaussianNoiseRepresentation(3, 4, 5, 16, 11);
+  EXPECT_EQ(a.shape(), (std::vector<int64_t>{3, 4, 5, 16}));
+  const Tensor b = GaussianNoiseRepresentation(3, 4, 5, 16, 11);
+  EXPECT_TRUE(AllClose(a, b));
+  const Tensor c = GaussianNoiseRepresentation(3, 4, 5, 16, 12);
+  EXPECT_FALSE(AllClose(a, c));
+}
+
+TEST(ProbeDeathTest, ShortHorizonAborts) {
+  Rng rng(4);
+  const Tensor s_map = Tensor::RandomUniform({3, 3}, rng);
+  const Tensor rep = GaussianNoiseRepresentation(1, 3, 3, 12, 1);
+  EXPECT_DEATH(ProbeSensitiveLeakage(rep, s_map, FastProbe()),
+               "horizon too short");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace equitensor

@@ -1,0 +1,233 @@
+// Property-based tests: algebraic invariants checked across randomized
+// inputs (seeds parameterized via TEST_P), complementing the
+// example-based unit tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/conv_ops.h"
+#include "autograd/ops.h"
+#include "core/adaptive_weighting.h"
+#include "core/fairness_metrics.h"
+#include "data/preprocess.h"
+#include "geo/rasterize.h"
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+
+namespace equitensor {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng MakeRng() const { return Rng(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+TEST_P(SeededProperty, ConvIsLinearInInput) {
+  Rng rng = MakeRng();
+  const Tensor x1 = Tensor::RandomUniform({1, 2, 4, 3}, rng, -1, 1);
+  const Tensor x2 = Tensor::RandomUniform({1, 2, 4, 3}, rng, -1, 1);
+  const Tensor w = Tensor::RandomUniform({3, 2, 3, 3}, rng, -1, 1);
+  const Tensor lhs =
+      ag::Conv2d(Variable(Add(x1, x2)), Variable(w)).value();
+  const Tensor rhs = Add(ag::Conv2d(Variable(x1), Variable(w)).value(),
+                         ag::Conv2d(Variable(x2), Variable(w)).value());
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-4f));
+}
+
+TEST_P(SeededProperty, ConvIsLinearInWeights) {
+  Rng rng = MakeRng();
+  const Tensor x = Tensor::RandomUniform({2, 1, 8}, rng, -1, 1);
+  const Tensor w1 = Tensor::RandomUniform({2, 1, 3}, rng, -1, 1);
+  const Tensor w2 = Tensor::RandomUniform({2, 1, 3}, rng, -1, 1);
+  const Tensor lhs = ag::Conv1d(Variable(x), Variable(Add(w1, w2))).value();
+  const Tensor rhs = Add(ag::Conv1d(Variable(x), Variable(w1)).value(),
+                         ag::Conv1d(Variable(x), Variable(w2)).value());
+  EXPECT_TRUE(AllClose(lhs, rhs, 1e-4f));
+}
+
+TEST_P(SeededProperty, Conv1dTranslationEquivariantInterior) {
+  Rng rng = MakeRng();
+  const int64_t t = 16;
+  Tensor x = Tensor::RandomUniform({1, 1, t}, rng, -1, 1);
+  // Shift right by one.
+  Tensor shifted({1, 1, t});
+  for (int64_t i = 1; i < t; ++i) shifted[i] = x[i - 1];
+  const Tensor w = Tensor::RandomUniform({1, 1, 3}, rng, -1, 1);
+  const Tensor y = ag::Conv1d(Variable(x), Variable(w)).value();
+  const Tensor y_shifted = ag::Conv1d(Variable(shifted), Variable(w)).value();
+  // Interior outputs (away from both borders) must shift identically.
+  for (int64_t i = 2; i < t - 1; ++i) {
+    EXPECT_NEAR(y_shifted[i], y[i - 1], 1e-5f) << "at " << i;
+  }
+}
+
+TEST_P(SeededProperty, TileThenMeanIsIdentity) {
+  Rng rng = MakeRng();
+  const Tensor x = Tensor::RandomUniform({3, 4}, rng, -2, 2);
+  for (int axis = 0; axis <= 2; ++axis) {
+    const Tensor tiled = TileAt(x, axis, 5);
+    const Tensor back = MeanAxis(tiled, axis);
+    EXPECT_TRUE(AllClose(back, x, 1e-5f)) << "axis " << axis;
+  }
+}
+
+TEST_P(SeededProperty, ConcatSliceRoundTrip) {
+  Rng rng = MakeRng();
+  const int64_t a_cols = 1 + static_cast<int64_t>(rng.UniformInt(4));
+  const int64_t b_cols = 1 + static_cast<int64_t>(rng.UniformInt(4));
+  const Tensor a = Tensor::RandomUniform({3, a_cols}, rng);
+  const Tensor b = Tensor::RandomUniform({3, b_cols}, rng);
+  const Tensor joined = Concat({a, b}, 1);
+  EXPECT_TRUE(AllClose(Slice(joined, {0, 0}, {3, a_cols}), a, 0.0f));
+  EXPECT_TRUE(AllClose(Slice(joined, {0, a_cols}, {3, b_cols}), b, 0.0f));
+}
+
+TEST_P(SeededProperty, SerializationRoundTripExact) {
+  Rng rng = MakeRng();
+  std::vector<int64_t> shape;
+  const int rank = 1 + static_cast<int>(rng.UniformInt(4));
+  for (int d = 0; d < rank; ++d) {
+    shape.push_back(1 + static_cast<int64_t>(rng.UniformInt(5)));
+  }
+  const Tensor original = Tensor::RandomUniform(shape, rng, -10, 10);
+  const std::string path = ::testing::TempDir() + "/prop_" +
+                           std::to_string(GetParam()) + ".etck";
+  ASSERT_TRUE(nn::SaveTensor(path, original));
+  Tensor loaded;
+  ASSERT_TRUE(nn::LoadTensor(path, &loaded));
+  EXPECT_TRUE(AllClose(original, loaded, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST_P(SeededProperty, AdaptiveWeightsAlwaysSumToN) {
+  Rng rng = MakeRng();
+  const int64_t n = 2 + static_cast<int64_t>(rng.UniformInt(8));
+  core::AdaptiveWeighter ours(core::WeightingMode::kOurs, n,
+                              rng.Uniform(0.2, 10.0));
+  std::vector<double> opt(static_cast<size_t>(n));
+  for (double& v : opt) v = rng.Uniform(0.01, 1.0);
+  ours.SetOptimalLosses(opt);
+  core::AdaptiveWeighter dwa(core::WeightingMode::kDwa, n,
+                             rng.Uniform(0.2, 10.0));
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    std::vector<double> losses(static_cast<size_t>(n));
+    for (double& v : losses) v = rng.Uniform(0.001, 2.0);
+    ours.Update(losses);
+    dwa.Update(losses);
+    double sum_ours = 0.0, sum_dwa = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_GT(ours.weights()[static_cast<size_t>(i)], 0.0);
+      sum_ours += ours.weights()[static_cast<size_t>(i)];
+      sum_dwa += dwa.weights()[static_cast<size_t>(i)];
+    }
+    EXPECT_NEAR(sum_ours, static_cast<double>(n), 1e-9);
+    EXPECT_NEAR(sum_dwa, static_cast<double>(n), 1e-9);
+  }
+}
+
+TEST_P(SeededProperty, ResidualIdentityRdEqualsPrdMinusNrd) {
+  Rng rng = MakeRng();
+  Tensor s = Tensor::RandomUniform({4, 4}, rng);
+  // Ensure both groups exist.
+  s[0] = 0.0f;
+  s[1] = 1.0f;
+  core::ResidualAccumulator acc(core::ThresholdGroups(s, 0.5));
+  for (int step = 0; step < 5; ++step) {
+    const Tensor pred = Tensor::RandomUniform({4, 4}, rng, 0, 10);
+    const Tensor truth = Tensor::RandomUniform({4, 4}, rng, 0, 10);
+    acc.Add(pred, truth);
+  }
+  const core::ResidualMetrics m = acc.Metrics();
+  EXPECT_NEAR(m.rd, m.prd - m.nrd, 1e-9);
+}
+
+TEST_P(SeededProperty, ResidualInvariantToCommonShift) {
+  // Adding the same constant to predictions and truth leaves all
+  // residual metrics unchanged.
+  Rng rng = MakeRng();
+  Tensor s = Tensor::RandomUniform({3, 3}, rng);
+  s[0] = 0.0f;
+  s[1] = 1.0f;
+  const core::GroupLabels groups = core::ThresholdGroups(s, 0.5);
+  core::ResidualAccumulator a(groups), b(groups);
+  const Tensor pred = Tensor::RandomUniform({3, 3}, rng, 0, 5);
+  const Tensor truth = Tensor::RandomUniform({3, 3}, rng, 0, 5);
+  a.Add(pred, truth);
+  b.Add(AddScalar(pred, 3.5f), AddScalar(truth, 3.5f));
+  EXPECT_NEAR(a.Metrics().rd, b.Metrics().rd, 1e-5);
+  EXPECT_NEAR(a.Metrics().prd, b.Metrics().prd, 1e-5);
+  EXPECT_NEAR(a.Metrics().nrd, b.Metrics().nrd, 1e-5);
+}
+
+TEST_P(SeededProperty, ImputationRemovesAllGapsAndPreservesValid) {
+  Rng rng = MakeRng();
+  Tensor original = Tensor::RandomUniform({2, 6, 5}, rng);
+  Tensor gappy = original;
+  data::InjectMissing(&gappy, 0.3, rng);
+  Tensor imputed = gappy;
+  data::ImputeLocalAverage(&imputed);
+  EXPECT_EQ(data::CountMissing(imputed), 0);
+  // Non-missing entries are untouched.
+  for (int64_t i = 0; i < original.size(); ++i) {
+    if (!std::isnan(gappy[i])) EXPECT_EQ(imputed[i], original[i]);
+  }
+  // Imputed values stay within the observed range.
+  EXPECT_GE(imputed.Min(), original.Min() - 1e-6f);
+  EXPECT_LE(imputed.Max(), original.Max() + 1e-6f);
+}
+
+TEST_P(SeededProperty, MaxAbsScaleIsIdempotent) {
+  Rng rng = MakeRng();
+  Tensor t = Tensor::RandomUniform({40}, rng, -5, 5);
+  data::MaxAbsScale(&t);
+  Tensor again = t;
+  const float second_scale = data::MaxAbsScale(&again);
+  EXPECT_NEAR(second_scale, 1.0f, 1e-5f);
+  EXPECT_TRUE(AllClose(t, again, 1e-5f));
+}
+
+TEST_P(SeededProperty, RegionRasterizationConservesInteriorMass) {
+  Rng rng = MakeRng();
+  const geo::GridSpec grid{6, 5, 0.0, 0.0, 1.0};
+  // Random triangle fully inside the grid.
+  auto pt = [&] {
+    return geo::Point{rng.Uniform(0.5, 5.5), rng.Uniform(0.5, 4.5)};
+  };
+  const geo::ValuedRegion region = {{pt(), pt(), pt()}, rng.Uniform(1.0, 9.0)};
+  if (geo::Area(region.polygon) < 1e-6) return;  // Degenerate draw.
+  const Tensor grid_values = geo::RasterizeRegions({region}, grid);
+  EXPECT_NEAR(grid_values.Sum(), region.value, 1e-4);
+}
+
+TEST_P(SeededProperty, BackwardDeterministicForFixedGraph) {
+  Rng rng = MakeRng();
+  const Tensor x = Tensor::RandomUniform({2, 3, 6}, rng, -1, 1);
+  const Tensor w = Tensor::RandomUniform({2, 3, 3}, rng, -1, 1);
+  auto run = [&] {
+    Variable xv(x, true), wv(w, true);
+    Variable loss = ag::MeanAll(ag::Sigmoid(ag::Conv1d(xv, wv)));
+    Backward(loss);
+    return std::make_pair(xv.grad(), wv.grad());
+  };
+  const auto [gx1, gw1] = run();
+  const auto [gx2, gw2] = run();
+  EXPECT_TRUE(AllClose(gx1, gx2, 0.0f));
+  EXPECT_TRUE(AllClose(gw1, gw2, 0.0f));
+}
+
+TEST_P(SeededProperty, CorruptionNeverChangesUntouchedCells) {
+  Rng rng = MakeRng();
+  const Tensor t = Tensor::RandomUniform({200}, rng, 0.1f, 0.9f);
+  Rng corrupt_rng = MakeRng();
+  const Tensor corrupted = data::Corrupt(t, 0.2, corrupt_rng);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_TRUE(corrupted[i] == t[i] || corrupted[i] == -1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "geo/rasterize.h"
+
+namespace equitensor {
+namespace geo {
+namespace {
+
+const GridSpec kGrid{4, 3, 0.0, 0.0, 1.0};
+
+TEST(RasterizePointsTest, CountsPerCell) {
+  const std::vector<Point> points = {
+      {0.5, 0.5}, {0.7, 0.3}, {3.5, 2.5}, {1.1, 0.9}};
+  const Tensor grid = RasterizePoints(points, kGrid);
+  EXPECT_EQ(grid.shape(), (std::vector<int64_t>{4, 3}));
+  EXPECT_FLOAT_EQ(grid.at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(grid.at({3, 2}), 1.0f);
+  EXPECT_FLOAT_EQ(grid.at({1, 0}), 1.0f);
+  EXPECT_DOUBLE_EQ(grid.Sum(), 4.0);
+}
+
+TEST(RasterizePointsTest, DropsOutsidePoints) {
+  const std::vector<Point> points = {{-1.0, 0.5}, {0.5, 5.0}, {0.5, 0.5}};
+  const Tensor grid = RasterizePoints(points, kGrid);
+  EXPECT_DOUBLE_EQ(grid.Sum(), 1.0);
+}
+
+TEST(CellsOnSegmentTest, HorizontalLine) {
+  const auto cells = CellsOnSegment({0.1, 0.5}, {3.9, 0.5}, kGrid);
+  EXPECT_EQ(cells.size(), 4u);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].first, static_cast<int64_t>(i));
+    EXPECT_EQ(cells[i].second, 0);
+  }
+}
+
+TEST(CellsOnSegmentTest, VerticalLine) {
+  const auto cells = CellsOnSegment({1.5, 0.1}, {1.5, 2.9}, kGrid);
+  EXPECT_EQ(cells.size(), 3u);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].first, 1);
+    EXPECT_EQ(cells[i].second, static_cast<int64_t>(i));
+  }
+}
+
+TEST(CellsOnSegmentTest, DiagonalTraversesConnectedCells) {
+  const auto cells = CellsOnSegment({0.2, 0.2}, {2.8, 2.8}, kGrid);
+  // Cells must be 4-connected along the traversal and include the
+  // endpoints' cells.
+  ASSERT_GE(cells.size(), 3u);
+  EXPECT_EQ(cells.front(), (std::pair<int64_t, int64_t>{0, 0}));
+  EXPECT_EQ(cells.back(), (std::pair<int64_t, int64_t>{2, 2}));
+  for (size_t i = 1; i < cells.size(); ++i) {
+    const int64_t dx = std::abs(cells[i].first - cells[i - 1].first);
+    const int64_t dy = std::abs(cells[i].second - cells[i - 1].second);
+    EXPECT_EQ(dx + dy, 1) << "traversal must move one cell at a time";
+  }
+}
+
+TEST(CellsOnSegmentTest, SegmentOutsideGridYieldsNothing) {
+  const auto cells = CellsOnSegment({-2, -2}, {-1, -1}, kGrid);
+  EXPECT_TRUE(cells.empty());
+}
+
+TEST(CellsOnSegmentTest, SegmentCrossingGridIsClipped) {
+  const auto cells = CellsOnSegment({-1.0, 1.5}, {5.0, 1.5}, kGrid);
+  EXPECT_EQ(cells.size(), 4u);  // all four columns in row 1
+}
+
+TEST(CellsOnSegmentTest, SegmentWithinOneCell) {
+  const auto cells = CellsOnSegment({0.2, 0.2}, {0.8, 0.6}, kGrid);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], (std::pair<int64_t, int64_t>{0, 0}));
+}
+
+TEST(RasterizeLinesTest, CountsSegmentsPerCell) {
+  const std::vector<Polyline> lines = {
+      {{0.5, 0.5}, {2.5, 0.5}},  // crosses cells (0,0),(1,0),(2,0)
+      {{0.5, 0.2}, {0.5, 0.8}},  // stays in (0,0)
+  };
+  const Tensor grid = RasterizeLines(lines, kGrid);
+  EXPECT_FLOAT_EQ(grid.at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(grid.at({1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(grid.at({2, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(grid.at({3, 0}), 0.0f);
+}
+
+TEST(RasterizeRegionsTest, SingleCellRegion) {
+  // A polygon exactly covering cell (1, 1) puts its whole value there.
+  const ValuedRegion region = {{{1, 1}, {2, 1}, {2, 2}, {1, 2}}, 10.0};
+  const Tensor grid = RasterizeRegions({region}, kGrid);
+  EXPECT_NEAR(grid.at({1, 1}), 10.0f, 1e-5f);
+  EXPECT_NEAR(grid.Sum(), 10.0, 1e-5);
+}
+
+TEST(RasterizeRegionsTest, ProportionalSplitAcrossCells) {
+  // A 2x1 rectangle spanning cells (0,0) and (1,0) splits 50/50.
+  const ValuedRegion region = {{{0, 0}, {2, 0}, {2, 1}, {0, 1}}, 8.0};
+  const Tensor grid = RasterizeRegions({region}, kGrid);
+  EXPECT_NEAR(grid.at({0, 0}), 4.0f, 1e-5f);
+  EXPECT_NEAR(grid.at({1, 0}), 4.0f, 1e-5f);
+}
+
+TEST(RasterizeRegionsTest, ValueMassConservedInsideGrid) {
+  const ValuedRegion region = {{{0.3, 0.2}, {3.1, 0.7}, {2.5, 2.4}}, 5.0};
+  const Tensor grid = RasterizeRegions({region}, kGrid);
+  EXPECT_NEAR(grid.Sum(), 5.0, 1e-6);
+}
+
+TEST(RasterizeRegionsTest, RegionsAdd) {
+  const ValuedRegion a = {{{0, 0}, {1, 0}, {1, 1}, {0, 1}}, 2.0};
+  const ValuedRegion b = {{{0, 0}, {1, 0}, {1, 1}, {0, 1}}, 3.0};
+  const Tensor grid = RasterizeRegions({a, b}, kGrid);
+  EXPECT_NEAR(grid.at({0, 0}), 5.0f, 1e-5f);
+}
+
+TEST(RasterizeRegionsAverageTest, IntensiveValueAveraged) {
+  // Two regions covering halves of cell (0,0) with values 0.2 and 0.8:
+  // the cell's average should be 0.5.
+  const ValuedRegion left = {{{0, 0}, {0.5, 0}, {0.5, 1}, {0, 1}}, 0.2};
+  const ValuedRegion right = {{{0.5, 0}, {1, 0}, {1, 1}, {0.5, 1}}, 0.8};
+  const Tensor grid = RasterizeRegionsAverage({left, right}, kGrid);
+  EXPECT_NEAR(grid.at({0, 0}), 0.5f, 1e-5f);
+}
+
+TEST(RasterizeRegionsAverageTest, ConstantFieldStaysConstant) {
+  // One big constant-valued region: every covered cell reads the value.
+  const ValuedRegion big = {{{0, 0}, {4, 0}, {4, 3}, {0, 3}}, 0.65};
+  const Tensor grid = RasterizeRegionsAverage({big}, kGrid);
+  for (int64_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i], 0.65f, 1e-5f);
+  }
+}
+
+TEST(RasterizeRegionsAverageTest, UncoveredCellsAreZero) {
+  const ValuedRegion small = {{{0, 0}, {1, 0}, {1, 1}, {0, 1}}, 0.9};
+  const Tensor grid = RasterizeRegionsAverage({small}, kGrid);
+  EXPECT_NEAR(grid.at({0, 0}), 0.9f, 1e-5f);
+  EXPECT_FLOAT_EQ(grid.at({3, 2}), 0.0f);
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace equitensor

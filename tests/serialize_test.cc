@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/layers.h"
+#include "nn/serialize.h"
+
+namespace equitensor {
+namespace nn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, TensorRoundTrip) {
+  Rng rng(1);
+  const Tensor original = Tensor::RandomUniform({3, 4, 5}, rng, -2.0f, 2.0f);
+  const std::string path = TempPath("tensor_roundtrip.etck");
+  ASSERT_TRUE(SaveTensor(path, original));
+  Tensor loaded;
+  ASSERT_TRUE(LoadTensor(path, &loaded));
+  EXPECT_TRUE(AllClose(original, loaded, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NamedTensorsPreserveOrderAndNames) {
+  Rng rng(2);
+  std::vector<std::pair<std::string, Tensor>> tensors = {
+      {"alpha", Tensor::RandomUniform({2}, rng)},
+      {"beta", Tensor::RandomUniform({3, 3}, rng)},
+      {"gamma", Tensor::Scalar(7.0f)},
+  };
+  const std::string path = TempPath("named.etck");
+  ASSERT_TRUE(SaveTensors(path, tensors));
+  std::vector<std::pair<std::string, Tensor>> loaded;
+  ASSERT_TRUE(LoadTensors(path, &loaded));
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].first, "alpha");
+  EXPECT_EQ(loaded[1].first, "beta");
+  EXPECT_EQ(loaded[2].first, "gamma");
+  EXPECT_TRUE(AllClose(loaded[1].second, tensors[1].second, 0.0f));
+  EXPECT_EQ(loaded[2].second.rank(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ModuleRoundTripRestoresForward) {
+  Rng rng(3);
+  ConvStack original(2, 2, {4, 1}, 3, rng);
+  const std::string path = TempPath("module.etck");
+  ASSERT_TRUE(SaveModule(path, original));
+
+  Rng other_rng(99);  // Different init.
+  ConvStack restored(2, 2, {4, 1}, 3, other_rng);
+  Variable x(Tensor::RandomUniform({1, 2, 4, 4}, rng), false);
+  const Tensor before = restored.Forward(x).value();
+  ASSERT_TRUE(LoadModule(path, &restored));
+  const Tensor after = restored.Forward(x).value();
+  const Tensor expected = original.Forward(x).value();
+  EXPECT_FALSE(AllClose(before, expected));
+  EXPECT_TRUE(AllClose(after, expected, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadModuleRejectsWrongArchitecture) {
+  Rng rng(4);
+  ConvStack original(2, 2, {4, 1}, 3, rng);
+  const std::string path = TempPath("module_mismatch.etck");
+  ASSERT_TRUE(SaveModule(path, original));
+  ConvStack wider(2, 2, {8, 1}, 3, rng);  // Different shapes.
+  EXPECT_FALSE(LoadModule(path, &wider));
+  Linear different(4, 4, rng);  // Different parameter count.
+  EXPECT_FALSE(LoadModule(path, &different));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  Tensor t;
+  EXPECT_FALSE(LoadTensor(TempPath("does_not_exist.etck"), &t));
+}
+
+TEST(SerializeTest, CorruptMagicFails) {
+  const std::string path = TempPath("bad_magic.etck");
+  std::ofstream(path) << "NOTACHECKPOINT";
+  Tensor t;
+  EXPECT_FALSE(LoadTensor(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileFails) {
+  Rng rng(5);
+  const std::string path = TempPath("truncated.etck");
+  ASSERT_TRUE(SaveTensor(path, Tensor::RandomUniform({100}, rng)));
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary)
+      << contents.substr(0, contents.size() / 2);
+  Tensor t;
+  EXPECT_FALSE(LoadTensor(path, &t));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace equitensor

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/svg_chart.h"
+
+namespace equitensor {
+namespace {
+
+TEST(SvgChartTest, RendersWellFormedDocument) {
+  SvgChart chart("Recon error vs alpha", "alpha", "error");
+  chart.AddSeries("ours", {0.5, 1.0, 2.0}, {2.2, 2.15, 2.14});
+  const std::string svg = chart.Render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Recon error vs alpha"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+}
+
+TEST(SvgChartTest, AllSeriesInLegend) {
+  SvgChart chart("t", "x", "y");
+  chart.AddSeries("alpha_series", {0, 1}, {1, 2});
+  chart.AddSeries("beta_series", {0, 1}, {2, 3});
+  chart.AddHorizontalLine("ceiling", 2.5);
+  const std::string svg = chart.Render();
+  EXPECT_NE(svg.find("alpha_series"), std::string::npos);
+  EXPECT_NE(svg.find("beta_series"), std::string::npos);
+  EXPECT_NE(svg.find("ceiling"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(SvgChartTest, EscapesXmlInTitles) {
+  SvgChart chart("a < b & c", "x", "y");
+  chart.AddSeries("s", {0, 1}, {0, 1});
+  const std::string svg = chart.Render();
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+}
+
+TEST(SvgChartTest, ConstantSeriesDoesNotDivideByZero) {
+  SvgChart chart("t", "x", "y");
+  chart.AddSeries("flat", {0, 1, 2}, {5, 5, 5});
+  const std::string svg = chart.Render();
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(SvgChartTest, WriteFileRoundTrip) {
+  SvgChart chart("t", "x", "y");
+  chart.AddSeries("s", {0, 1}, {1, 0});
+  const std::string path = ::testing::TempDir() + "/chart.svg";
+  ASSERT_TRUE(chart.WriteFile(path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SvgChartDeathTest, EmptyChartAborts) {
+  SvgChart chart("t", "x", "y");
+  EXPECT_DEATH(chart.Render(), "at least one series");
+}
+
+TEST(SvgChartDeathTest, MismatchedSeriesAborts) {
+  SvgChart chart("t", "x", "y");
+  EXPECT_DEATH(chart.AddSeries("s", {0, 1}, {1}), "");
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace equitensor {
+namespace {
+
+TEST(TensorOpsTest, ElementwiseArithmetic) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData({2, 2}, {10, 20, 30, 40});
+  EXPECT_TRUE(AllClose(Add(a, b), Tensor::FromData({2, 2}, {11, 22, 33, 44})));
+  EXPECT_TRUE(AllClose(Sub(b, a), Tensor::FromData({2, 2}, {9, 18, 27, 36})));
+  EXPECT_TRUE(AllClose(Mul(a, a), Tensor::FromData({2, 2}, {1, 4, 9, 16})));
+  EXPECT_TRUE(AllClose(Div(b, a), Tensor::FromData({2, 2}, {10, 10, 10, 10})));
+}
+
+TEST(TensorOpsTest, ScalarOps) {
+  Tensor a = Tensor::FromData({3}, {1, 2, 3});
+  EXPECT_TRUE(AllClose(AddScalar(a, 0.5f), Tensor::FromData({3}, {1.5, 2.5, 3.5})));
+  EXPECT_TRUE(AllClose(MulScalar(a, -2.0f), Tensor::FromData({3}, {-2, -4, -6})));
+}
+
+TEST(TensorOpsTest, MapApplies) {
+  Tensor a = Tensor::FromData({2}, {4, 9});
+  Tensor s = Map(a, [](float x) { return std::sqrt(x); });
+  EXPECT_TRUE(AllClose(s, Tensor::FromData({2}, {2, 3})));
+}
+
+TEST(TensorOpsTest, Errors) {
+  Tensor a = Tensor::FromData({2}, {1, 3});
+  Tensor b = Tensor::FromData({2}, {2, 1});
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(a, b), 1.5);
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, b), 2.5);
+}
+
+TEST(TensorOpsTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(AllClose(c, Tensor::FromData({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(TensorOpsTest, MatMulIdentity) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor eye = Tensor::FromData({2, 2}, {1, 0, 0, 1});
+  EXPECT_TRUE(AllClose(MatMul(a, eye), a));
+  EXPECT_TRUE(AllClose(MatMul(eye, a), a));
+}
+
+TEST(TensorOpsTest, Transpose2d) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2d(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 2);
+  EXPECT_EQ(t.at({0, 1}), 4.0f);
+  EXPECT_EQ(t.at({2, 0}), 3.0f);
+}
+
+TEST(TensorOpsTest, ConcatAxis0) {
+  Tensor a = Tensor::FromData({1, 2}, {1, 2});
+  Tensor b = Tensor::FromData({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_TRUE(AllClose(c, Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6})));
+}
+
+TEST(TensorOpsTest, ConcatAxis1) {
+  Tensor a = Tensor::FromData({2, 1}, {1, 2});
+  Tensor b = Tensor::FromData({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_TRUE(AllClose(c, Tensor::FromData({2, 3}, {1, 3, 4, 2, 5, 6})));
+}
+
+TEST(TensorOpsTest, ConcatNegativeAxis) {
+  Tensor a = Tensor::FromData({2, 1}, {1, 2});
+  Tensor c = Concat({a, a}, -1);
+  EXPECT_EQ(c.dim(1), 2);
+}
+
+TEST(TensorOpsTest, SliceMiddle) {
+  Tensor a = Tensor::FromData({3, 4}, {0, 1, 2,  3, 4, 5,  6,  7,
+                                       8, 9, 10, 11});
+  Tensor s = Slice(a, {1, 1}, {2, 2});
+  EXPECT_TRUE(AllClose(s, Tensor::FromData({2, 2}, {5, 6, 9, 10})));
+}
+
+TEST(TensorOpsTest, SliceFull) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_TRUE(AllClose(Slice(a, {0, 0}, {2, 2}), a));
+}
+
+TEST(TensorOpsTest, MeanAxisMiddle) {
+  Tensor a = Tensor::FromData({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor m = MeanAxis(a, 1);
+  // mean over axis 1: [[ (1+3)/2, (2+4)/2 ], [ (5+7)/2, (6+8)/2 ]]
+  EXPECT_TRUE(AllClose(m, Tensor::FromData({2, 2}, {2, 3, 6, 7})));
+}
+
+TEST(TensorOpsTest, MeanAxisLast) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor m = MeanAxis(a, -1);
+  EXPECT_TRUE(AllClose(m, Tensor::FromData({2}, {2, 5})));
+}
+
+TEST(TensorOpsTest, MeanAxisToScalar) {
+  Tensor a = Tensor::FromData({4}, {1, 2, 3, 4});
+  Tensor m = MeanAxis(a, 0);
+  EXPECT_EQ(m.rank(), 0);
+  EXPECT_FLOAT_EQ(m[0], 2.5f);
+}
+
+TEST(TensorOpsTest, TileTrailing) {
+  Tensor a = Tensor::FromData({2}, {1, 2});
+  Tensor t = TileTrailing(a, 3);
+  EXPECT_TRUE(AllClose(t, Tensor::FromData({2, 3}, {1, 1, 1, 2, 2, 2})));
+}
+
+TEST(TensorOpsTest, TileAtFront) {
+  Tensor a = Tensor::FromData({2}, {1, 2});
+  Tensor t = TileAt(a, 0, 2);
+  EXPECT_TRUE(AllClose(t, Tensor::FromData({2, 2}, {1, 2, 1, 2})));
+}
+
+TEST(TensorOpsTest, TileAtMiddle) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor t = TileAt(a, 1, 2);
+  EXPECT_TRUE(
+      AllClose(t, Tensor::FromData({2, 2, 2}, {1, 2, 1, 2, 3, 4, 3, 4})));
+}
+
+TEST(TensorOpsDeathTest, MismatchedShapesAbort) {
+  Tensor a({2}), b({3});
+  EXPECT_DEATH(Add(a, b), "shape mismatch");
+}
+
+TEST(TensorOpsDeathTest, DivByZeroAborts) {
+  Tensor a({2}, 1.0f), b({2}, 0.0f);
+  EXPECT_DEATH(Div(a, b), "division by zero");
+}
+
+TEST(TensorOpsDeathTest, SliceOutOfRangeAborts) {
+  Tensor a({2, 2});
+  EXPECT_DEATH(Slice(a, {1, 0}, {2, 2}), "");
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace {
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(TensorTest, ShapeConstructorZeroFills) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.size(), 24);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillValueConstructor) {
+  Tensor t({2, 2}, 3.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 3.5f);
+}
+
+TEST(TensorTest, FromDataRoundTrip) {
+  Tensor t = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 1}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(TensorTest, RowMajorOffsets) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.Offset({0, 0, 0}), 0);
+  EXPECT_EQ(t.Offset({0, 0, 3}), 3);
+  EXPECT_EQ(t.Offset({0, 2, 0}), 8);
+  EXPECT_EQ(t.Offset({1, 2, 3}), 23);
+}
+
+TEST(TensorTest, NegativeAxisDim) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.rank(), 2);
+  EXPECT_EQ(r.dim(0), 3);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], t[i]);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::FromData({4}, {-2, 1, 3, -1});
+  EXPECT_DOUBLE_EQ(t.Sum(), 1.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), 0.25);
+  EXPECT_EQ(t.Min(), -2.0f);
+  EXPECT_EQ(t.Max(), 3.0f);
+  EXPECT_EQ(t.AbsMax(), 3.0f);
+}
+
+TEST(TensorTest, RandomUniformRespectsBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomUniform({1000}, rng, -2.0f, 2.0f);
+  EXPECT_GE(t.Min(), -2.0f);
+  EXPECT_LT(t.Max(), 2.0f);
+  EXPECT_NEAR(t.Mean(), 0.0, 0.2);
+}
+
+TEST(TensorTest, RandomNormalMoments) {
+  Rng rng(6);
+  Tensor t = Tensor::RandomNormal({20000}, rng, 1.0f, 0.5f);
+  EXPECT_NEAR(t.Mean(), 1.0, 0.02);
+}
+
+TEST(TensorTest, ScalarFactory) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s[0], 2.5f);
+}
+
+TEST(TensorTest, SameShape) {
+  Tensor a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.SameShape(c));
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a = Tensor::FromData({2}, {1.0f, 2.0f});
+  Tensor b = Tensor::FromData({2}, {1.0f + 1e-6f, 2.0f});
+  EXPECT_TRUE(AllClose(a, b, 1e-5f));
+  Tensor c = Tensor::FromData({2}, {1.1f, 2.0f});
+  EXPECT_FALSE(AllClose(a, c, 1e-5f));
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ShapeString(), "[2, 3]");
+  EXPECT_EQ(Tensor().ShapeString(), "[]");
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a({3}, 1.0f);
+  Tensor b = a;
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorDeathTest, BadShapeAborts) {
+  EXPECT_DEATH(Tensor({2, 0}), "positive");
+}
+
+TEST(TensorDeathTest, OutOfBoundsOffsetAborts) {
+  Tensor t({2, 2});
+  EXPECT_DEATH(t.Offset({2, 0}), "out of bounds");
+}
+
+TEST(TensorDeathTest, BadReshapeAborts) {
+  Tensor t({2, 2});
+  EXPECT_DEATH(t.Reshape({3}), "volume");
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "data/windows.h"
+
+namespace equitensor {
+namespace data {
+namespace {
+
+std::vector<AlignedDataset> MakeDatasets(int64_t hours) {
+  std::vector<AlignedDataset> datasets;
+  // 1D dataset: value = hour index.
+  {
+    AlignedDataset ds;
+    ds.name = "temporal";
+    ds.kind = DatasetKind::kTemporal;
+    ds.tensor = Tensor({1, hours});
+    for (int64_t t = 0; t < hours; ++t) {
+      ds.tensor[t] = static_cast<float>(t);
+    }
+    datasets.push_back(std::move(ds));
+  }
+  // 2D dataset: value = cell index.
+  {
+    AlignedDataset ds;
+    ds.name = "spatial";
+    ds.kind = DatasetKind::kSpatial;
+    ds.tensor = Tensor({1, 3, 2});
+    for (int64_t i = 0; i < 6; ++i) ds.tensor[i] = static_cast<float>(i);
+    datasets.push_back(std::move(ds));
+  }
+  // 3D dataset: value = cell * 1000 + hour.
+  {
+    AlignedDataset ds;
+    ds.name = "spatio";
+    ds.kind = DatasetKind::kSpatioTemporal;
+    ds.tensor = Tensor({1, 3, 2, hours});
+    for (int64_t cell = 0; cell < 6; ++cell) {
+      for (int64_t t = 0; t < hours; ++t) {
+        ds.tensor[cell * hours + t] = static_cast<float>(cell * 1000 + t);
+      }
+    }
+    datasets.push_back(std::move(ds));
+  }
+  return datasets;
+}
+
+TEST(WindowSamplerTest, WindowCount) {
+  const auto datasets = MakeDatasets(100);
+  WindowSampler sampler(&datasets, 24);
+  EXPECT_EQ(sampler.NumWindows(), 77);
+  EXPECT_EQ(sampler.hours(), 100);
+  EXPECT_EQ(sampler.dataset_count(), 3);
+}
+
+TEST(WindowSamplerTest, TemporalSliceValues) {
+  const auto datasets = MakeDatasets(100);
+  WindowSampler sampler(&datasets, 24);
+  const Tensor batch = sampler.MakeBatchFor(0, {10, 50});
+  EXPECT_EQ(batch.shape(), (std::vector<int64_t>{2, 1, 24}));
+  EXPECT_FLOAT_EQ(batch.at({0, 0, 0}), 10.0f);
+  EXPECT_FLOAT_EQ(batch.at({0, 0, 23}), 33.0f);
+  EXPECT_FLOAT_EQ(batch.at({1, 0, 0}), 50.0f);
+}
+
+TEST(WindowSamplerTest, SpatialReplicatedAcrossBatch) {
+  const auto datasets = MakeDatasets(100);
+  WindowSampler sampler(&datasets, 24);
+  const Tensor batch = sampler.MakeBatchFor(1, {0, 30, 60});
+  EXPECT_EQ(batch.shape(), (std::vector<int64_t>{3, 1, 3, 2}));
+  for (int64_t b = 0; b < 3; ++b) {
+    for (int64_t i = 0; i < 6; ++i) {
+      EXPECT_FLOAT_EQ(batch[b * 6 + i], static_cast<float>(i));
+    }
+  }
+}
+
+TEST(WindowSamplerTest, SpatioTemporalSliceValues) {
+  const auto datasets = MakeDatasets(100);
+  WindowSampler sampler(&datasets, 24);
+  const Tensor batch = sampler.MakeBatchFor(2, {5});
+  EXPECT_EQ(batch.shape(), (std::vector<int64_t>{1, 1, 3, 2, 24}));
+  // cell (2, 1) = linear cell 5: expect 5000 + hour.
+  EXPECT_FLOAT_EQ(batch.at({0, 0, 2, 1, 0}), 5005.0f);
+  EXPECT_FLOAT_EQ(batch.at({0, 0, 2, 1, 23}), 5028.0f);
+}
+
+TEST(WindowSamplerTest, MakeBatchCoversAllDatasets) {
+  const auto datasets = MakeDatasets(48);
+  WindowSampler sampler(&datasets, 24);
+  const auto batch = sampler.MakeBatch({0});
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].rank(), 3);
+  EXPECT_EQ(batch[1].rank(), 4);
+  EXPECT_EQ(batch[2].rank(), 5);
+}
+
+TEST(WindowSamplerTest, SampleStartsInRange) {
+  const auto datasets = MakeDatasets(60);
+  WindowSampler sampler(&datasets, 24);
+  Rng rng(1);
+  const auto starts = sampler.SampleStarts(100, rng);
+  EXPECT_EQ(starts.size(), 100u);
+  for (int64_t s : starts) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, sampler.NumWindows());
+  }
+}
+
+TEST(WindowSamplerTest, NonOverlappingStartsTile) {
+  const auto datasets = MakeDatasets(100);
+  WindowSampler sampler(&datasets, 24);
+  const auto starts = sampler.NonOverlappingStarts();
+  ASSERT_EQ(starts.size(), 4u);  // floor(100/24)
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[3], 72);
+}
+
+TEST(WindowSamplerDeathTest, MismatchedHorizonsAbort) {
+  auto datasets = MakeDatasets(100);
+  AlignedDataset odd;
+  odd.name = "odd";
+  odd.kind = DatasetKind::kTemporal;
+  odd.tensor = Tensor({1, 50});
+  datasets.push_back(std::move(odd));
+  EXPECT_DEATH(WindowSampler(&datasets, 24), "disagree on horizon");
+}
+
+TEST(WindowSamplerDeathTest, WindowBeyondRangeAborts) {
+  const auto datasets = MakeDatasets(48);
+  WindowSampler sampler(&datasets, 24);
+  EXPECT_DEATH(sampler.MakeBatchFor(0, {30}), "");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace equitensor

@@ -1,0 +1,119 @@
+// Renders a bench CSV (as written next to every experiment binary)
+// into an SVG line chart — regenerates the paper's figure panels from
+// the reproduced series.
+//
+//   plot_csv --input=fig4_alpha_sweep.csv --x=0 --output=fig4.svg
+//
+// Column 0 is the x axis by default; every other numeric column
+// becomes a series named by its header.
+
+#include <fstream>
+#include <iostream>
+
+#include "data/csv_loader.h"
+#include "util/flags.h"
+#include "util/svg_chart.h"
+
+using namespace equitensor;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineString("input", "", "CSV file produced by a bench binary");
+  flags.DefineInt("x", 0, "index of the x-axis column");
+  flags.DefineString("output", "chart.svg", "SVG output path");
+  flags.DefineString("title", "", "chart title (defaults to the file name)");
+  flags.DefineString("x_label", "", "x-axis label (defaults to x header)");
+  flags.DefineString("y_label", "value", "y-axis label");
+  flags.DefineInt("width", 720, "SVG width");
+  flags.DefineInt("height", 440, "SVG height");
+
+  if (!flags.Parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested() || flags.GetString("input").empty()) {
+    std::cout << flags.HelpText("Render a bench CSV as an SVG line chart.");
+    return flags.help_requested() ? 0 : 2;
+  }
+
+  std::ifstream file(flags.GetString("input"));
+  if (!file) {
+    std::cerr << "cannot open " << flags.GetString("input") << "\n";
+    return 1;
+  }
+  // Read the header row ourselves, then the data rows.
+  std::string header_line;
+  std::getline(file, header_line);
+  std::vector<std::string> headers;
+  if (!data::ParseCsvLine(header_line, ',', &headers)) {
+    std::cerr << "malformed header\n";
+    return 1;
+  }
+  data::CsvOptions options;
+  options.has_header = false;
+  std::vector<std::vector<std::string>> rows;
+  if (!data::ParseCsv(file, options, &rows) || rows.empty()) {
+    std::cerr << "no data rows\n";
+    return 1;
+  }
+
+  const size_t x_col = static_cast<size_t>(flags.GetInt("x"));
+  if (x_col >= headers.size()) {
+    std::cerr << "x column out of range\n";
+    return 1;
+  }
+  auto parse = [](const std::string& s, double* out) {
+    char* end = nullptr;
+    *out = std::strtod(s.c_str(), &end);
+    return !s.empty() && end == s.c_str() + s.size();
+  };
+
+  std::vector<double> xs;
+  std::vector<std::vector<double>> ys(headers.size());
+  std::vector<bool> numeric(headers.size(), true);
+  for (const auto& row : rows) {
+    double x = 0.0;
+    if (row.size() != headers.size() || !parse(row[x_col], &x)) continue;
+    xs.push_back(x);
+    for (size_t c = 0; c < headers.size(); ++c) {
+      double v = 0.0;
+      if (c == x_col) continue;
+      if (parse(row[c], &v)) {
+        ys[c].push_back(v);
+      } else {
+        numeric[c] = false;
+      }
+    }
+  }
+  if (xs.empty()) {
+    std::cerr << "no numeric rows\n";
+    return 1;
+  }
+
+  const std::string title = flags.GetString("title").empty()
+                                ? flags.GetString("input")
+                                : flags.GetString("title");
+  const std::string x_label = flags.GetString("x_label").empty()
+                                  ? headers[x_col]
+                                  : flags.GetString("x_label");
+  SvgChart chart(title, x_label, flags.GetString("y_label"));
+  int series_count = 0;
+  for (size_t c = 0; c < headers.size(); ++c) {
+    if (c == x_col || !numeric[c] || ys[c].size() != xs.size()) continue;
+    chart.AddSeries(headers[c], xs, ys[c]);
+    ++series_count;
+  }
+  if (series_count == 0) {
+    std::cerr << "no numeric series found\n";
+    return 1;
+  }
+  if (!chart.WriteFile(flags.GetString("output"),
+                       static_cast<int>(flags.GetInt("width")),
+                       static_cast<int>(flags.GetInt("height")))) {
+    std::cerr << "failed to write " << flags.GetString("output") << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << flags.GetString("output") << " (" << series_count
+            << " series, " << xs.size() << " points)\n";
+  return 0;
+}
