@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace equitensor {
 namespace bench {
@@ -19,6 +20,7 @@ BenchScale GetBenchScale() {
     result.seeds = std::atoll(s);
     if (result.seeds < 1) result.seeds = 1;
   }
+  result.threads = NumThreads();  // Resolves ET_THREADS lazily.
   return result;
 }
 
@@ -42,7 +44,7 @@ const data::UrbanDataBundle& GetBundle() {
     std::cerr << "[bench] built synthetic city ("
               << city.width << "x" << city.height << " cells, "
               << city.hours << " h, 23 datasets) in " << sw.ElapsedSeconds()
-              << " s\n";
+              << " s; kernels on " << NumThreads() << " thread(s)\n";
     return b;
   }();
   return bundle;

@@ -20,9 +20,14 @@ namespace bench {
 ///                    training budgets).
 ///   ET_BENCH_SEEDS — repeated runs for mean/std tables (default 3;
 ///                    the paper uses 5).
+///   ET_THREADS     — worker threads for the parallel kernels (see
+///                    util/thread_pool.h; default: all cores). The
+///                    resolved count is reported in `threads` so bench
+///                    logs record the execution configuration.
 struct BenchScale {
   double scale = 1.0;
   int64_t seeds = 3;
+  int threads = 1;
 };
 BenchScale GetBenchScale();
 

@@ -11,11 +11,35 @@
 #include "geo/rasterize.h"
 #include "nn/lstm.h"
 #include "tensor/tensor_ops.h"
+#include "util/thread_pool.h"
 
 namespace equitensor {
 namespace {
 
+// The conv/matmul benches sweep the pool size (Arg = thread count) so
+// one run records the scaling curve; results are bitwise-identical
+// across the sweep (see util/thread_pool.h). Each bench restores the
+// serial default so later benches are unaffected.
+class ThreadArg {
+ public:
+  explicit ThreadArg(const benchmark::State& state) {
+    SetNumThreads(static_cast<int>(state.range(0)));
+  }
+  ~ThreadArg() { SetNumThreads(1); }
+};
+
+constexpr int kThreadSweep[] = {1, 2, 4, 8};
+
+// Process-wide CPU time: the default CPU column only charges the main
+// thread, which understates multi-thread cost. Real time stays the
+// headline number for speedup comparisons.
+void ThreadSweep(benchmark::internal::Benchmark* b) {
+  for (int t : kThreadSweep) b->Arg(t);
+  b->MeasureProcessCPUTime()->UseRealTime();
+}
+
 void BM_Conv1dForward(benchmark::State& state) {
+  ThreadArg threads(state);
   Rng rng(1);
   Variable x(Tensor::RandomUniform({4, 16, 24}, rng), false);
   Variable w(Tensor::RandomUniform({32, 16, 3}, rng), false);
@@ -23,9 +47,27 @@ void BM_Conv1dForward(benchmark::State& state) {
     benchmark::DoNotOptimize(ag::Conv1d(x, w).value().data());
   }
 }
-BENCHMARK(BM_Conv1dForward);
+BENCHMARK(BM_Conv1dForward)->Apply(ThreadSweep);
+
+void BM_Conv1dBackward(benchmark::State& state) {
+  ThreadArg threads(state);
+  Rng rng(11);
+  Tensor x = Tensor::RandomUniform({4, 16, 240}, rng);
+  Variable w(Tensor::RandomUniform({32, 16, 3}, rng), true);
+  Tensor target({4, 32, 240}, 0.1f);
+  for (auto _ : state) {
+    w.ZeroGrad();
+    Variable xv(x, true);
+    Variable loss = ag::MaeAgainst(ag::Conv1d(xv, w), target);
+    Backward(loss);  // Exercises both the gx and gw passes.
+    benchmark::DoNotOptimize(w.grad().data());
+    benchmark::DoNotOptimize(xv.grad().data());
+  }
+}
+BENCHMARK(BM_Conv1dBackward)->Apply(ThreadSweep);
 
 void BM_Conv2dForward(benchmark::State& state) {
+  ThreadArg threads(state);
   Rng rng(2);
   Variable x(Tensor::RandomUniform({4, 16, 12, 10}, rng), false);
   Variable w(Tensor::RandomUniform({32, 16, 3, 3}, rng), false);
@@ -33,9 +75,27 @@ void BM_Conv2dForward(benchmark::State& state) {
     benchmark::DoNotOptimize(ag::Conv2d(x, w).value().data());
   }
 }
-BENCHMARK(BM_Conv2dForward);
+BENCHMARK(BM_Conv2dForward)->Apply(ThreadSweep);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  ThreadArg threads(state);
+  Rng rng(12);
+  Tensor x = Tensor::RandomUniform({4, 16, 12, 10}, rng);
+  Variable w(Tensor::RandomUniform({32, 16, 3, 3}, rng), true);
+  Tensor target({4, 32, 12, 10}, 0.1f);
+  for (auto _ : state) {
+    w.ZeroGrad();
+    Variable xv(x, true);
+    Variable loss = ag::MaeAgainst(ag::Conv2d(xv, w), target);
+    Backward(loss);
+    benchmark::DoNotOptimize(w.grad().data());
+    benchmark::DoNotOptimize(xv.grad().data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Apply(ThreadSweep);
 
 void BM_Conv3dForward(benchmark::State& state) {
+  ThreadArg threads(state);
   Rng rng(3);
   Variable x(Tensor::RandomUniform({2, 8, 12, 10, 24}, rng), false);
   Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), false);
@@ -43,9 +103,10 @@ void BM_Conv3dForward(benchmark::State& state) {
     benchmark::DoNotOptimize(ag::Conv3d(x, w).value().data());
   }
 }
-BENCHMARK(BM_Conv3dForward);
+BENCHMARK(BM_Conv3dForward)->Apply(ThreadSweep);
 
 void BM_Conv3dTrainStep(benchmark::State& state) {
+  ThreadArg threads(state);
   Rng rng(4);
   Tensor x = Tensor::RandomUniform({2, 8, 12, 10, 24}, rng);
   Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), true);
@@ -57,10 +118,11 @@ void BM_Conv3dTrainStep(benchmark::State& state) {
     benchmark::DoNotOptimize(w.grad().data());
   }
 }
-BENCHMARK(BM_Conv3dTrainStep);
+BENCHMARK(BM_Conv3dTrainStep)->Apply(ThreadSweep);
 
 void BM_MatMul(benchmark::State& state) {
-  const int64_t n = state.range(0);
+  ThreadArg threads(state);
+  const int64_t n = state.range(1);
   Rng rng(5);
   Tensor a = Tensor::RandomUniform({n, n}, rng);
   Tensor b = Tensor::RandomUniform({n, n}, rng);
@@ -68,7 +130,10 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b).data());
   }
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
+BENCHMARK(BM_MatMul)
+    ->ArgsProduct({{1, 2, 4, 8}, {64, 256}})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_LstmStep(benchmark::State& state) {
   Rng rng(6);

@@ -6,5 +6,11 @@ for b in bench_fig5_weight_curves bench_fig4_alpha_sweep bench_table3_utility be
   /root/repo/build/bench/$b > $b.log 2>&1
   echo "=== DONE $b exit=$? ($(date +%H:%M:%S)) ==="
 done
-/root/repo/build/bench/bench_kernels --benchmark_min_time=0.2s > bench_kernels.log 2>&1
+# JSON (not just the human-readable log) so the kernel-perf trajectory
+# is machine-comparable across PRs. The installed google-benchmark
+# expects a plain double for --benchmark_min_time.
+/root/repo/build/bench/bench_kernels --benchmark_min_time=0.2 \
+  --benchmark_format=json > BENCH_kernels.json 2> bench_kernels.log
+/root/repo/build/bench/bench_kernels --benchmark_min_time=0.2 \
+  >> bench_kernels.log 2>&1
 echo ALL_BENCHES_DONE

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace equitensor {
 namespace ag {
@@ -11,7 +12,16 @@ namespace {
 // All three convolutions share the same skeleton: for each
 // (n, co, ci, kernel offset) pair we stream over the overlapping
 // region with contiguous inner loops over the last axis, which keeps
-// the hot loops vectorizable on the single-core targets we run on.
+// the hot loops vectorizable.
+//
+// Parallel decomposition (see DESIGN.md §8): every pass partitions an
+// index space in which each index *owns* a disjoint slab of the output
+// — forward over (n, co) output planes, input gradients over (n, ci)
+// planes, weight gradients over (co, ci) kernel rows. All reductions
+// for an owned element run inside its chunk in the exact order of the
+// serial reference, so results are bitwise-identical for any thread
+// count. Dimensions are validated once in the public Conv* wrappers;
+// the kernels below receive the pre-checked dims struct.
 
 struct Conv1dDims {
   int64_t batch, cin, t, cout, k, pad;
@@ -25,53 +35,76 @@ Conv1dDims Check1d(const Tensor& x, const Tensor& w) {
   return {x.dim(0), x.dim(1), x.dim(2), w.dim(0), w.dim(2), w.dim(2) / 2};
 }
 
-void Conv1dForward(const Tensor& x, const Tensor& w, Tensor* out) {
-  const Conv1dDims d = Check1d(x, w);
-  for (int64_t n = 0; n < d.batch; ++n) {
-    for (int64_t co = 0; co < d.cout; ++co) {
-      float* dst = out->data() + (n * d.cout + co) * d.t;
-      for (int64_t ci = 0; ci < d.cin; ++ci) {
-        const float* src = x.data() + (n * d.cin + ci) * d.t;
-        const float* wrow = w.data() + (co * d.cin + ci) * d.k;
-        for (int64_t kk = 0; kk < d.k; ++kk) {
-          const float wv = wrow[kk];
-          const int64_t dt = kk - d.pad;
-          const int64_t t0 = std::max<int64_t>(0, -dt);
-          const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
-          for (int64_t t = t0; t < t1; ++t) dst[t] += wv * src[t + dt];
+void Conv1dForward(const Conv1dDims& d, const Tensor& x, const Tensor& w,
+                   Tensor* out) {
+  ParallelFor(
+      0, d.batch * d.cout, GrainForCost(d.cin * d.k * d.t),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const int64_t n = i / d.cout;
+          const int64_t co = i % d.cout;
+          float* dst = out->data() + (n * d.cout + co) * d.t;
+          for (int64_t ci = 0; ci < d.cin; ++ci) {
+            const float* src = x.data() + (n * d.cin + ci) * d.t;
+            const float* wrow = w.data() + (co * d.cin + ci) * d.k;
+            for (int64_t kk = 0; kk < d.k; ++kk) {
+              const float wv = wrow[kk];
+              const int64_t dt = kk - d.pad;
+              const int64_t t0 = std::max<int64_t>(0, -dt);
+              const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
+              for (int64_t t = t0; t < t1; ++t) dst[t] += wv * src[t + dt];
+            }
+          }
         }
-      }
-    }
-  }
+      });
 }
 
-void Conv1dBackward(const Tensor& x, const Tensor& w, const Tensor& gout,
-                    Tensor* gx, Tensor* gw) {
-  const Conv1dDims d = Check1d(x, w);
-  for (int64_t n = 0; n < d.batch; ++n) {
-    for (int64_t co = 0; co < d.cout; ++co) {
-      const float* g = gout.data() + (n * d.cout + co) * d.t;
-      for (int64_t ci = 0; ci < d.cin; ++ci) {
-        const float* src = x.data() + (n * d.cin + ci) * d.t;
-        float* gsrc = gx ? gx->data() + (n * d.cin + ci) * d.t : nullptr;
-        const float* wrow = w.data() + (co * d.cin + ci) * d.k;
-        float* gwrow = gw ? gw->data() + (co * d.cin + ci) * d.k : nullptr;
-        for (int64_t kk = 0; kk < d.k; ++kk) {
-          const int64_t dt = kk - d.pad;
-          const int64_t t0 = std::max<int64_t>(0, -dt);
-          const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
-          if (gsrc) {
-            const float wv = wrow[kk];
-            for (int64_t t = t0; t < t1; ++t) gsrc[t + dt] += wv * g[t];
+void Conv1dBackward(const Conv1dDims& d, const Tensor& x, const Tensor& w,
+                    const Tensor& gout, Tensor* gx, Tensor* gw) {
+  if (gx) {
+    ParallelFor(
+        0, d.batch * d.cin, GrainForCost(d.cout * d.k * d.t),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const int64_t n = i / d.cin;
+            const int64_t ci = i % d.cin;
+            float* gsrc = gx->data() + (n * d.cin + ci) * d.t;
+            for (int64_t co = 0; co < d.cout; ++co) {
+              const float* g = gout.data() + (n * d.cout + co) * d.t;
+              const float* wrow = w.data() + (co * d.cin + ci) * d.k;
+              for (int64_t kk = 0; kk < d.k; ++kk) {
+                const float wv = wrow[kk];
+                const int64_t dt = kk - d.pad;
+                const int64_t t0 = std::max<int64_t>(0, -dt);
+                const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
+                for (int64_t t = t0; t < t1; ++t) gsrc[t + dt] += wv * g[t];
+              }
+            }
           }
-          if (gwrow) {
-            double acc = 0.0;
-            for (int64_t t = t0; t < t1; ++t) acc += g[t] * src[t + dt];
-            gwrow[kk] += static_cast<float>(acc);
+        });
+  }
+  if (gw) {
+    ParallelFor(
+        0, d.cout * d.cin, GrainForCost(d.batch * d.k * d.t),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const int64_t co = i / d.cin;
+            const int64_t ci = i % d.cin;
+            float* gwrow = gw->data() + (co * d.cin + ci) * d.k;
+            for (int64_t n = 0; n < d.batch; ++n) {
+              const float* g = gout.data() + (n * d.cout + co) * d.t;
+              const float* src = x.data() + (n * d.cin + ci) * d.t;
+              for (int64_t kk = 0; kk < d.k; ++kk) {
+                const int64_t dt = kk - d.pad;
+                const int64_t t0 = std::max<int64_t>(0, -dt);
+                const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
+                double acc = 0.0;
+                for (int64_t t = t0; t < t1; ++t) acc += g[t] * src[t + dt];
+                gwrow[kk] += static_cast<float>(acc);
+              }
+            }
           }
-        }
-      }
-    }
+        });
   }
 }
 
@@ -89,81 +122,111 @@ Conv2dDims Check2d(const Tensor& x, const Tensor& wt) {
           wt.dim(0), wt.dim(2), wt.dim(2) / 2};
 }
 
-void Conv2dForward(const Tensor& x, const Tensor& wt, Tensor* out) {
-  const Conv2dDims d = Check2d(x, wt);
+void Conv2dForward(const Conv2dDims& d, const Tensor& x, const Tensor& wt,
+                   Tensor* out) {
   const int64_t plane = d.w * d.h;
-  for (int64_t n = 0; n < d.batch; ++n) {
-    for (int64_t co = 0; co < d.cout; ++co) {
-      float* dst = out->data() + (n * d.cout + co) * plane;
-      for (int64_t ci = 0; ci < d.cin; ++ci) {
-        const float* src = x.data() + (n * d.cin + ci) * plane;
-        const float* wmat = wt.data() + (co * d.cin + ci) * d.k * d.k;
-        for (int64_t kx = 0; kx < d.k; ++kx) {
-          const int64_t dxo = kx - d.pad;
-          const int64_t x0 = std::max<int64_t>(0, -dxo);
-          const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-          for (int64_t ky = 0; ky < d.k; ++ky) {
-            const float wv = wmat[kx * d.k + ky];
-            const int64_t dyo = ky - d.pad;
-            const int64_t y0 = std::max<int64_t>(0, -dyo);
-            const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-            for (int64_t xx = x0; xx < x1; ++xx) {
-              const float* srow = src + (xx + dxo) * d.h + dyo;
-              float* drow = dst + xx * d.h;
-              for (int64_t yy = y0; yy < y1; ++yy) {
-                drow[yy] += wv * srow[yy];
+  ParallelFor(
+      0, d.batch * d.cout, GrainForCost(d.cin * d.k * d.k * plane),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const int64_t n = i / d.cout;
+          const int64_t co = i % d.cout;
+          float* dst = out->data() + (n * d.cout + co) * plane;
+          for (int64_t ci = 0; ci < d.cin; ++ci) {
+            const float* src = x.data() + (n * d.cin + ci) * plane;
+            const float* wmat = wt.data() + (co * d.cin + ci) * d.k * d.k;
+            for (int64_t kx = 0; kx < d.k; ++kx) {
+              const int64_t dxo = kx - d.pad;
+              const int64_t x0 = std::max<int64_t>(0, -dxo);
+              const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+              for (int64_t ky = 0; ky < d.k; ++ky) {
+                const float wv = wmat[kx * d.k + ky];
+                const int64_t dyo = ky - d.pad;
+                const int64_t y0 = std::max<int64_t>(0, -dyo);
+                const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+                for (int64_t xx = x0; xx < x1; ++xx) {
+                  const float* srow = src + (xx + dxo) * d.h + dyo;
+                  float* drow = dst + xx * d.h;
+                  for (int64_t yy = y0; yy < y1; ++yy) {
+                    drow[yy] += wv * srow[yy];
+                  }
+                }
               }
             }
           }
         }
-      }
-    }
-  }
+      });
 }
 
-void Conv2dBackward(const Tensor& x, const Tensor& wt, const Tensor& gout,
-                    Tensor* gx, Tensor* gw) {
-  const Conv2dDims d = Check2d(x, wt);
+void Conv2dBackward(const Conv2dDims& d, const Tensor& x, const Tensor& wt,
+                    const Tensor& gout, Tensor* gx, Tensor* gw) {
   const int64_t plane = d.w * d.h;
-  for (int64_t n = 0; n < d.batch; ++n) {
-    for (int64_t co = 0; co < d.cout; ++co) {
-      const float* g = gout.data() + (n * d.cout + co) * plane;
-      for (int64_t ci = 0; ci < d.cin; ++ci) {
-        const float* src = x.data() + (n * d.cin + ci) * plane;
-        float* gsrc = gx ? gx->data() + (n * d.cin + ci) * plane : nullptr;
-        const float* wmat = wt.data() + (co * d.cin + ci) * d.k * d.k;
-        float* gwmat = gw ? gw->data() + (co * d.cin + ci) * d.k * d.k : nullptr;
-        for (int64_t kx = 0; kx < d.k; ++kx) {
-          const int64_t dxo = kx - d.pad;
-          const int64_t x0 = std::max<int64_t>(0, -dxo);
-          const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-          for (int64_t ky = 0; ky < d.k; ++ky) {
-            const int64_t dyo = ky - d.pad;
-            const int64_t y0 = std::max<int64_t>(0, -dyo);
-            const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-            const float wv = wmat[kx * d.k + ky];
-            double acc = 0.0;
-            for (int64_t xx = x0; xx < x1; ++xx) {
-              const float* grow = g + xx * d.h;
-              const int64_t soff = (xx + dxo) * d.h + dyo;
-              if (gsrc) {
-                float* gsrow = gsrc + soff;
-                for (int64_t yy = y0; yy < y1; ++yy) {
-                  gsrow[yy] += wv * grow[yy];
-                }
-              }
-              if (gwmat) {
-                const float* srow = src + soff;
-                for (int64_t yy = y0; yy < y1; ++yy) {
-                  acc += grow[yy] * srow[yy];
+  if (gx) {
+    ParallelFor(
+        0, d.batch * d.cin, GrainForCost(d.cout * d.k * d.k * plane),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const int64_t n = i / d.cin;
+            const int64_t ci = i % d.cin;
+            float* gsrc = gx->data() + (n * d.cin + ci) * plane;
+            for (int64_t co = 0; co < d.cout; ++co) {
+              const float* g = gout.data() + (n * d.cout + co) * plane;
+              const float* wmat = wt.data() + (co * d.cin + ci) * d.k * d.k;
+              for (int64_t kx = 0; kx < d.k; ++kx) {
+                const int64_t dxo = kx - d.pad;
+                const int64_t x0 = std::max<int64_t>(0, -dxo);
+                const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+                for (int64_t ky = 0; ky < d.k; ++ky) {
+                  const int64_t dyo = ky - d.pad;
+                  const int64_t y0 = std::max<int64_t>(0, -dyo);
+                  const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+                  const float wv = wmat[kx * d.k + ky];
+                  for (int64_t xx = x0; xx < x1; ++xx) {
+                    const float* grow = g + xx * d.h;
+                    float* gsrow = gsrc + (xx + dxo) * d.h + dyo;
+                    for (int64_t yy = y0; yy < y1; ++yy) {
+                      gsrow[yy] += wv * grow[yy];
+                    }
+                  }
                 }
               }
             }
-            if (gwmat) gwmat[kx * d.k + ky] += static_cast<float>(acc);
           }
-        }
-      }
-    }
+        });
+  }
+  if (gw) {
+    ParallelFor(
+        0, d.cout * d.cin, GrainForCost(d.batch * d.k * d.k * plane),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const int64_t co = i / d.cin;
+            const int64_t ci = i % d.cin;
+            float* gwmat = gw->data() + (co * d.cin + ci) * d.k * d.k;
+            for (int64_t n = 0; n < d.batch; ++n) {
+              const float* g = gout.data() + (n * d.cout + co) * plane;
+              const float* src = x.data() + (n * d.cin + ci) * plane;
+              for (int64_t kx = 0; kx < d.k; ++kx) {
+                const int64_t dxo = kx - d.pad;
+                const int64_t x0 = std::max<int64_t>(0, -dxo);
+                const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+                for (int64_t ky = 0; ky < d.k; ++ky) {
+                  const int64_t dyo = ky - d.pad;
+                  const int64_t y0 = std::max<int64_t>(0, -dyo);
+                  const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+                  double acc = 0.0;
+                  for (int64_t xx = x0; xx < x1; ++xx) {
+                    const float* grow = g + xx * d.h;
+                    const float* srow = src + (xx + dxo) * d.h + dyo;
+                    for (int64_t yy = y0; yy < y1; ++yy) {
+                      acc += grow[yy] * srow[yy];
+                    }
+                  }
+                  gwmat[kx * d.k + ky] += static_cast<float>(acc);
+                }
+              }
+            }
+          }
+        });
   }
 }
 
@@ -182,105 +245,144 @@ Conv3dDims Check3d(const Tensor& x, const Tensor& wt) {
           wt.dim(0), wt.dim(2), wt.dim(2) / 2};
 }
 
-void Conv3dForward(const Tensor& x, const Tensor& wt, Tensor* out) {
-  const Conv3dDims d = Check3d(x, wt);
+void Conv3dForward(const Conv3dDims& d, const Tensor& x, const Tensor& wt,
+                   Tensor* out) {
   const int64_t vol = d.w * d.h * d.t;
   const int64_t k3 = d.k * d.k * d.k;
-  for (int64_t n = 0; n < d.batch; ++n) {
-    for (int64_t co = 0; co < d.cout; ++co) {
-      float* dst = out->data() + (n * d.cout + co) * vol;
-      for (int64_t ci = 0; ci < d.cin; ++ci) {
-        const float* src = x.data() + (n * d.cin + ci) * vol;
-        const float* wcube = wt.data() + (co * d.cin + ci) * k3;
-        for (int64_t kx = 0; kx < d.k; ++kx) {
-          const int64_t dxo = kx - d.pad;
-          const int64_t x0 = std::max<int64_t>(0, -dxo);
-          const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-          for (int64_t ky = 0; ky < d.k; ++ky) {
-            const int64_t dyo = ky - d.pad;
-            const int64_t y0 = std::max<int64_t>(0, -dyo);
-            const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-            for (int64_t kt = 0; kt < d.k; ++kt) {
-              const float wv = wcube[(kx * d.k + ky) * d.k + kt];
-              const int64_t dto = kt - d.pad;
-              const int64_t t0 = std::max<int64_t>(0, -dto);
-              const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
-              for (int64_t xx = x0; xx < x1; ++xx) {
-                for (int64_t yy = y0; yy < y1; ++yy) {
-                  const float* srow =
-                      src + ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
-                  float* drow = dst + (xx * d.h + yy) * d.t;
-                  for (int64_t tt = t0; tt < t1; ++tt) {
-                    drow[tt] += wv * srow[tt];
+  ParallelFor(
+      0, d.batch * d.cout, GrainForCost(d.cin * k3 * vol),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const int64_t n = i / d.cout;
+          const int64_t co = i % d.cout;
+          float* dst = out->data() + (n * d.cout + co) * vol;
+          for (int64_t ci = 0; ci < d.cin; ++ci) {
+            const float* src = x.data() + (n * d.cin + ci) * vol;
+            const float* wcube = wt.data() + (co * d.cin + ci) * k3;
+            for (int64_t kx = 0; kx < d.k; ++kx) {
+              const int64_t dxo = kx - d.pad;
+              const int64_t x0 = std::max<int64_t>(0, -dxo);
+              const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+              for (int64_t ky = 0; ky < d.k; ++ky) {
+                const int64_t dyo = ky - d.pad;
+                const int64_t y0 = std::max<int64_t>(0, -dyo);
+                const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+                for (int64_t kt = 0; kt < d.k; ++kt) {
+                  const float wv = wcube[(kx * d.k + ky) * d.k + kt];
+                  const int64_t dto = kt - d.pad;
+                  const int64_t t0 = std::max<int64_t>(0, -dto);
+                  const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
+                  for (int64_t xx = x0; xx < x1; ++xx) {
+                    for (int64_t yy = y0; yy < y1; ++yy) {
+                      const float* srow =
+                          src + ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
+                      float* drow = dst + (xx * d.h + yy) * d.t;
+                      for (int64_t tt = t0; tt < t1; ++tt) {
+                        drow[tt] += wv * srow[tt];
+                      }
+                    }
                   }
                 }
               }
             }
           }
         }
-      }
-    }
-  }
+      });
 }
 
-void Conv3dBackward(const Tensor& x, const Tensor& wt, const Tensor& gout,
-                    Tensor* gx, Tensor* gw) {
-  const Conv3dDims d = Check3d(x, wt);
+void Conv3dBackward(const Conv3dDims& d, const Tensor& x, const Tensor& wt,
+                    const Tensor& gout, Tensor* gx, Tensor* gw) {
   const int64_t vol = d.w * d.h * d.t;
   const int64_t k3 = d.k * d.k * d.k;
-  for (int64_t n = 0; n < d.batch; ++n) {
-    for (int64_t co = 0; co < d.cout; ++co) {
-      const float* g = gout.data() + (n * d.cout + co) * vol;
-      for (int64_t ci = 0; ci < d.cin; ++ci) {
-        const float* src = x.data() + (n * d.cin + ci) * vol;
-        float* gsrc = gx ? gx->data() + (n * d.cin + ci) * vol : nullptr;
-        const float* wcube = wt.data() + (co * d.cin + ci) * k3;
-        float* gwcube = gw ? gw->data() + (co * d.cin + ci) * k3 : nullptr;
-        for (int64_t kx = 0; kx < d.k; ++kx) {
-          const int64_t dxo = kx - d.pad;
-          const int64_t x0 = std::max<int64_t>(0, -dxo);
-          const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-          for (int64_t ky = 0; ky < d.k; ++ky) {
-            const int64_t dyo = ky - d.pad;
-            const int64_t y0 = std::max<int64_t>(0, -dyo);
-            const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-            for (int64_t kt = 0; kt < d.k; ++kt) {
-              const int64_t dto = kt - d.pad;
-              const int64_t t0 = std::max<int64_t>(0, -dto);
-              const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
-              const float wv = wcube[(kx * d.k + ky) * d.k + kt];
-              double acc = 0.0;
-              for (int64_t xx = x0; xx < x1; ++xx) {
-                for (int64_t yy = y0; yy < y1; ++yy) {
-                  const int64_t soff =
-                      ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
-                  const float* grow = g + (xx * d.h + yy) * d.t;
-                  if (gsrc) {
-                    float* gsrow = gsrc + soff;
-                    for (int64_t tt = t0; tt < t1; ++tt) {
-                      gsrow[tt] += wv * grow[tt];
-                    }
-                  }
-                  if (gwcube) {
-                    const float* srow = src + soff;
-                    for (int64_t tt = t0; tt < t1; ++tt) {
-                      acc += grow[tt] * srow[tt];
+  if (gx) {
+    ParallelFor(
+        0, d.batch * d.cin, GrainForCost(d.cout * k3 * vol),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const int64_t n = i / d.cin;
+            const int64_t ci = i % d.cin;
+            float* gsrc = gx->data() + (n * d.cin + ci) * vol;
+            for (int64_t co = 0; co < d.cout; ++co) {
+              const float* g = gout.data() + (n * d.cout + co) * vol;
+              const float* wcube = wt.data() + (co * d.cin + ci) * k3;
+              for (int64_t kx = 0; kx < d.k; ++kx) {
+                const int64_t dxo = kx - d.pad;
+                const int64_t x0 = std::max<int64_t>(0, -dxo);
+                const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+                for (int64_t ky = 0; ky < d.k; ++ky) {
+                  const int64_t dyo = ky - d.pad;
+                  const int64_t y0 = std::max<int64_t>(0, -dyo);
+                  const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+                  for (int64_t kt = 0; kt < d.k; ++kt) {
+                    const int64_t dto = kt - d.pad;
+                    const int64_t t0 = std::max<int64_t>(0, -dto);
+                    const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
+                    const float wv = wcube[(kx * d.k + ky) * d.k + kt];
+                    for (int64_t xx = x0; xx < x1; ++xx) {
+                      for (int64_t yy = y0; yy < y1; ++yy) {
+                        float* gsrow =
+                            gsrc + ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
+                        const float* grow = g + (xx * d.h + yy) * d.t;
+                        for (int64_t tt = t0; tt < t1; ++tt) {
+                          gsrow[tt] += wv * grow[tt];
+                        }
+                      }
                     }
                   }
                 }
               }
-              if (gwcube) {
-                gwcube[(kx * d.k + ky) * d.k + kt] += static_cast<float>(acc);
+            }
+          }
+        });
+  }
+  if (gw) {
+    ParallelFor(
+        0, d.cout * d.cin, GrainForCost(d.batch * k3 * vol),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const int64_t co = i / d.cin;
+            const int64_t ci = i % d.cin;
+            float* gwcube = gw->data() + (co * d.cin + ci) * k3;
+            for (int64_t n = 0; n < d.batch; ++n) {
+              const float* g = gout.data() + (n * d.cout + co) * vol;
+              const float* src = x.data() + (n * d.cin + ci) * vol;
+              for (int64_t kx = 0; kx < d.k; ++kx) {
+                const int64_t dxo = kx - d.pad;
+                const int64_t x0 = std::max<int64_t>(0, -dxo);
+                const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
+                for (int64_t ky = 0; ky < d.k; ++ky) {
+                  const int64_t dyo = ky - d.pad;
+                  const int64_t y0 = std::max<int64_t>(0, -dyo);
+                  const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
+                  for (int64_t kt = 0; kt < d.k; ++kt) {
+                    const int64_t dto = kt - d.pad;
+                    const int64_t t0 = std::max<int64_t>(0, -dto);
+                    const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
+                    double acc = 0.0;
+                    for (int64_t xx = x0; xx < x1; ++xx) {
+                      for (int64_t yy = y0; yy < y1; ++yy) {
+                        const float* srow =
+                            src + ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
+                        const float* grow = g + (xx * d.h + yy) * d.t;
+                        for (int64_t tt = t0; tt < t1; ++tt) {
+                          acc += grow[tt] * srow[tt];
+                        }
+                      }
+                    }
+                    gwcube[(kx * d.k + ky) * d.k + kt] +=
+                        static_cast<float>(acc);
+                  }
+                }
               }
             }
           }
-        }
-      }
-    }
+        });
   }
 }
 
-// Builds the Variable wrapper shared by the three convolutions.
+// Builds the Variable wrapper shared by the three convolutions. The
+// callables receive pre-validated inputs; dims are computed once by
+// the caller and captured.
 template <typename ForwardFn, typename BackwardFn>
 Variable MakeConv(const char* name, const Variable& x, const Variable& w,
                   std::vector<int64_t> out_shape, ForwardFn forward,
@@ -313,20 +415,35 @@ Variable MakeConv(const char* name, const Variable& x, const Variable& w,
 
 Variable Conv1d(const Variable& x, const Variable& w) {
   const Conv1dDims d = Check1d(x.value(), w.value());
-  return MakeConv("conv1d", x, w, {d.batch, d.cout, d.t}, Conv1dForward,
-                  Conv1dBackward);
+  return MakeConv(
+      "conv1d", x, w, {d.batch, d.cout, d.t},
+      [d](const Tensor& xv, const Tensor& wv, Tensor* out) {
+        Conv1dForward(d, xv, wv, out);
+      },
+      [d](const Tensor& xv, const Tensor& wv, const Tensor& gout, Tensor* gx,
+          Tensor* gw) { Conv1dBackward(d, xv, wv, gout, gx, gw); });
 }
 
 Variable Conv2d(const Variable& x, const Variable& w) {
   const Conv2dDims d = Check2d(x.value(), w.value());
-  return MakeConv("conv2d", x, w, {d.batch, d.cout, d.w, d.h}, Conv2dForward,
-                  Conv2dBackward);
+  return MakeConv(
+      "conv2d", x, w, {d.batch, d.cout, d.w, d.h},
+      [d](const Tensor& xv, const Tensor& wv, Tensor* out) {
+        Conv2dForward(d, xv, wv, out);
+      },
+      [d](const Tensor& xv, const Tensor& wv, const Tensor& gout, Tensor* gx,
+          Tensor* gw) { Conv2dBackward(d, xv, wv, gout, gx, gw); });
 }
 
 Variable Conv3d(const Variable& x, const Variable& w) {
   const Conv3dDims d = Check3d(x.value(), w.value());
-  return MakeConv("conv3d", x, w, {d.batch, d.cout, d.w, d.h, d.t},
-                  Conv3dForward, Conv3dBackward);
+  return MakeConv(
+      "conv3d", x, w, {d.batch, d.cout, d.w, d.h, d.t},
+      [d](const Tensor& xv, const Tensor& wv, Tensor* out) {
+        Conv3dForward(d, xv, wv, out);
+      },
+      [d](const Tensor& xv, const Tensor& wv, const Tensor& gout, Tensor* gx,
+          Tensor* gw) { Conv3dBackward(d, xv, wv, gout, gx, gw); });
 }
 
 }  // namespace ag

@@ -4,10 +4,17 @@
 
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace equitensor {
 namespace ag {
 namespace {
+
+// Elementwise forward/backward loops run chunked on the global pool;
+// every element is owned by one chunk so results match the serial
+// loops exactly (DESIGN.md §8). Scalar reductions (MeanAll, SumAll,
+// MAE losses) keep their serial double accumulators so loss values
+// stay bitwise-stable regardless of thread count.
 
 // Shared plumbing for elementwise binary ops with same-shape inputs.
 Variable Binary(const char* name, const Variable& a, const Variable& b,
@@ -17,21 +24,27 @@ Variable Binary(const char* name, const Variable& a, const Variable& b,
       << name << ": " << a.value().ShapeString() << " vs "
       << b.value().ShapeString();
   Tensor out(a.shape());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out[i] = fwd(a.value()[i], b.value()[i]);
-  }
+  ParallelFor(0, out.size(), GrainForCost(1), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      out[i] = fwd(a.value()[i], b.value()[i]);
+    }
+  });
   auto a_node = a.node();
   auto b_node = b.node();
   return Variable::MakeOp(
       name, std::move(out), {a, b}, [a_node, b_node, bwd](const AutogradNode& n) {
         Tensor da(a_node->value.shape());
         Tensor db(b_node->value.shape());
-        for (int64_t i = 0; i < n.grad.size(); ++i) {
-          float ga = 0.0f, gb = 0.0f;
-          bwd(a_node->value[i], b_node->value[i], n.grad[i], &ga, &gb);
-          da[i] = ga;
-          db[i] = gb;
-        }
+        ParallelFor(0, n.grad.size(), GrainForCost(1),
+                    [&](int64_t i0, int64_t i1) {
+                      for (int64_t i = i0; i < i1; ++i) {
+                        float ga = 0.0f, gb = 0.0f;
+                        bwd(a_node->value[i], b_node->value[i], n.grad[i], &ga,
+                            &gb);
+                        da[i] = ga;
+                        db[i] = gb;
+                      }
+                    });
         if (a_node->requires_grad) a_node->AccumulateGrad(da);
         if (b_node->requires_grad) b_node->AccumulateGrad(db);
       });
@@ -41,15 +54,20 @@ Variable Binary(const char* name, const Variable& a, const Variable& b,
 Variable UnaryFromOutput(const char* name, const Variable& a,
                          float (*fwd)(float), float (*dout)(float out)) {
   Tensor out(a.shape());
-  for (int64_t i = 0; i < out.size(); ++i) out[i] = fwd(a.value()[i]);
+  ParallelFor(0, out.size(), GrainForCost(4), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = fwd(a.value()[i]);
+  });
   auto a_node = a.node();
   return Variable::MakeOp(
       name, std::move(out), {a}, [a_node, dout](const AutogradNode& n) {
         if (!a_node->requires_grad) return;
         Tensor da(a_node->value.shape());
-        for (int64_t i = 0; i < n.grad.size(); ++i) {
-          da[i] = n.grad[i] * dout(n.value[i]);
-        }
+        ParallelFor(0, n.grad.size(), GrainForCost(1),
+                    [&](int64_t i0, int64_t i1) {
+                      for (int64_t i = i0; i < i1; ++i) {
+                        da[i] = n.grad[i] * dout(n.value[i]);
+                      }
+                    });
         a_node->AccumulateGrad(da);
       });
 }
@@ -163,14 +181,15 @@ Variable AddBias(const Variable& x, const Variable& bias, int channel_axis) {
   for (int d = channel_axis + 1; d < rank; ++d) inner *= xv.dim(d);
 
   Tensor out(xv.shape());
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t c = 0; c < channels; ++c) {
-      const float bv = bias.value()[c];
-      const float* src = xv.data() + (o * channels + c) * inner;
-      float* dst = out.data() + (o * channels + c) * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] = src[i] + bv;
-    }
-  }
+  ParallelFor(0, outer * channels, GrainForCost(inner),
+              [&](int64_t b0, int64_t b1) {
+                for (int64_t b = b0; b < b1; ++b) {
+                  const float bv = bias.value()[b % channels];
+                  const float* src = xv.data() + b * inner;
+                  float* dst = out.data() + b * inner;
+                  for (int64_t i = 0; i < inner; ++i) dst[i] = src[i] + bv;
+                }
+              });
   auto x_node = x.node();
   auto b_node = bias.node();
   return Variable::MakeOp(
@@ -179,14 +198,20 @@ Variable AddBias(const Variable& x, const Variable& bias, int channel_axis) {
         if (x_node->requires_grad) x_node->AccumulateGrad(n.grad);
         if (b_node->requires_grad) {
           Tensor db({channels});
-          for (int64_t o = 0; o < outer; ++o) {
-            for (int64_t c = 0; c < channels; ++c) {
-              const float* g = n.grad.data() + (o * channels + c) * inner;
-              double sum = 0.0;
-              for (int64_t i = 0; i < inner; ++i) sum += g[i];
-              db[c] += static_cast<float>(sum);
-            }
-          }
+          // Each channel's sum is owned by one chunk and accumulated
+          // over `o` in serial order.
+          ParallelFor(0, channels, GrainForCost(outer * inner),
+                      [&](int64_t c0, int64_t c1) {
+                        for (int64_t c = c0; c < c1; ++c) {
+                          for (int64_t o = 0; o < outer; ++o) {
+                            const float* g =
+                                n.grad.data() + (o * channels + c) * inner;
+                            double sum = 0.0;
+                            for (int64_t i = 0; i < inner; ++i) sum += g[i];
+                            db[c] += static_cast<float>(sum);
+                          }
+                        }
+                      });
           b_node->AccumulateGrad(db);
         }
       });
@@ -273,13 +298,17 @@ Variable TileAt(const Variable& x, int axis, int64_t repeat) {
       [x_node, outer, inner, repeat](const AutogradNode& n) {
         if (!x_node->requires_grad) return;
         Tensor dx(x_node->value.shape());
-        for (int64_t o = 0; o < outer; ++o) {
-          float* dst = dx.data() + o * inner;
-          for (int64_t r = 0; r < repeat; ++r) {
-            const float* src = n.grad.data() + (o * repeat + r) * inner;
-            for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-          }
-        }
+        ParallelFor(0, outer, GrainForCost(repeat * inner),
+                    [&](int64_t o0, int64_t o1) {
+                      for (int64_t o = o0; o < o1; ++o) {
+                        float* dst = dx.data() + o * inner;
+                        for (int64_t r = 0; r < repeat; ++r) {
+                          const float* src =
+                              n.grad.data() + (o * repeat + r) * inner;
+                          for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+                        }
+                      }
+                    });
         x_node->AccumulateGrad(dx);
       });
 }
@@ -313,13 +342,18 @@ Variable MeanAxis(const Variable& x, int axis) {
         if (!x_node->requires_grad) return;
         Tensor dx(x_node->value.shape());
         const float scale = 1.0f / static_cast<float>(axis_dim);
-        for (int64_t o = 0; o < outer; ++o) {
-          const float* g = n.grad.data() + o * inner;
-          for (int64_t a = 0; a < axis_dim; ++a) {
-            float* dst = dx.data() + (o * axis_dim + a) * inner;
-            for (int64_t i = 0; i < inner; ++i) dst[i] = g[i] * scale;
-          }
-        }
+        ParallelFor(0, outer, GrainForCost(axis_dim * inner),
+                    [&](int64_t o0, int64_t o1) {
+                      for (int64_t o = o0; o < o1; ++o) {
+                        const float* g = n.grad.data() + o * inner;
+                        for (int64_t a = 0; a < axis_dim; ++a) {
+                          float* dst = dx.data() + (o * axis_dim + a) * inner;
+                          for (int64_t i = 0; i < inner; ++i) {
+                            dst[i] = g[i] * scale;
+                          }
+                        }
+                      }
+                    });
         x_node->AccumulateGrad(dx);
       });
 }

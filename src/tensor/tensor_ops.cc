@@ -3,15 +3,22 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace equitensor {
 namespace {
+
+// Elementwise loops are chunked over the flat index space; each output
+// element is written by exactly one chunk, so results are identical to
+// the serial loops for any thread count (DESIGN.md §8).
 
 Tensor Zip(const Tensor& a, const Tensor& b, float (*fn)(float, float)) {
   ET_CHECK(a.SameShape(b)) << "shape mismatch " << a.ShapeString() << " vs "
                            << b.ShapeString();
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = fn(a[i], b[i]);
+  ParallelFor(0, a.size(), GrainForCost(1), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = fn(a[i], b[i]);
+  });
   return out;
 }
 
@@ -41,19 +48,25 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] + s;
+  ParallelFor(0, a.size(), GrainForCost(1), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] + s;
+  });
   return out;
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  ParallelFor(0, a.size(), GrainForCost(1), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] * s;
+  });
   return out;
 }
 
 Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
   Tensor out(a.shape());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = fn(a[i]);
+  ParallelFor(0, a.size(), GrainForCost(4), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = fn(a[i]);
+  });
   return out;
 }
 
@@ -83,15 +96,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // Each output row is owned by one chunk; the k-loop runs in serial
+  // order inside it, so the sum order matches the serial kernel.
+  ParallelFor(0, m, GrainForCost(k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        float* orow = po + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -99,9 +116,11 @@ Tensor Transpose2d(const Tensor& a) {
   ET_CHECK_EQ(a.rank(), 2);
   const int64_t m = a.dim(0), n = a.dim(1);
   Tensor out({n, m});
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
-  }
+  ParallelFor(0, m, GrainForCost(n), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+    }
+  });
   return out;
 }
 
@@ -183,15 +202,18 @@ Tensor MeanAxis(const Tensor& t, int axis) {
   for (int d = axis + 1; d < rank; ++d) inner *= t.dim(d);
 
   Tensor out(out_shape);
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t in = 0; in < inner; ++in) {
-      double sum = 0.0;
-      for (int64_t a = 0; a < axis_dim; ++a) {
-        sum += t[(o * axis_dim + a) * inner + in];
-      }
-      out[o * inner + in] = static_cast<float>(sum / axis_dim);
-    }
-  }
+  ParallelFor(0, outer, GrainForCost(inner * axis_dim),
+              [&](int64_t o0, int64_t o1) {
+                for (int64_t o = o0; o < o1; ++o) {
+                  for (int64_t in = 0; in < inner; ++in) {
+                    double sum = 0.0;
+                    for (int64_t a = 0; a < axis_dim; ++a) {
+                      sum += t[(o * axis_dim + a) * inner + in];
+                    }
+                    out[o * inner + in] = static_cast<float>(sum / axis_dim);
+                  }
+                }
+              });
   return out;
 }
 

@@ -1,0 +1,66 @@
+#ifndef EQUITENSOR_UTIL_THREAD_POOL_H_
+#define EQUITENSOR_UTIL_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace equitensor {
+
+/// Parallel execution layer: a lazily-initialized global worker pool
+/// with a chunked parallel-for entry point. This is the substrate the
+/// hot kernels (conv forward/backward, matmul, large elementwise loops)
+/// are routed through.
+///
+/// Determinism contract: `ParallelFor` only partitions the *index
+/// space*; it never changes what is computed for a given index. Every
+/// kernel built on top assigns each output element to exactly one index
+/// (owner-computes) and performs any reduction for that element inside
+/// the owning chunk, iterating in the same order as the serial code.
+/// Results are therefore bitwise-identical for 1, 2, or N threads and
+/// identical to the serial reference — gradients included. See
+/// DESIGN.md §8.
+///
+/// Thread-count selection, in priority order:
+///   1. `SetNumThreads(n)` (e.g. from the `--threads` CLI flag);
+///   2. the `ET_THREADS` environment variable, read once at startup;
+///   3. `std::thread::hardware_concurrency()`.
+/// `n <= 1` selects the serial fallback: `ParallelFor` runs the body
+/// inline on the calling thread and the pool is never materialized.
+/// `SetNumThreads(0)` restores automatic selection (env var / cores).
+
+/// Sets the number of threads parallel regions may use (including the
+/// calling thread, which always participates). 0 = automatic.
+void SetNumThreads(int n);
+
+/// Effective thread count the next parallel region will use (>= 1).
+int NumThreads();
+
+/// Runs `fn(chunk_begin, chunk_end)` over a partition of [begin, end)
+/// into contiguous chunks of at least `grain` indices (grain < 1 is
+/// treated as 1). Chunks execute concurrently on the global pool; the
+/// calling thread participates. Falls back to a single inline
+/// `fn(begin, end)` call when the range is at most one grain, the
+/// effective thread count is 1, or the caller is already inside a
+/// parallel region (nested parallelism runs serially).
+///
+/// The body must treat chunks as independent: it may write only to
+/// locations owned by indices in its chunk. An exception thrown by the
+/// body is captured and rethrown on the calling thread after all chunks
+/// finish; the pool remains usable afterwards.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Suggested `grain` for a loop whose per-index cost is roughly
+/// `cost_per_item` scalar operations: enough indices per chunk that a
+/// chunk amortizes scheduling overhead (~`target_cost` ops). Small
+/// problems therefore stay on the serial fast path automatically.
+inline int64_t GrainForCost(int64_t cost_per_item,
+                            int64_t target_cost = 32768) {
+  if (cost_per_item < 1) cost_per_item = 1;
+  const int64_t grain = target_cost / cost_per_item;
+  return grain < 1 ? 1 : grain;
+}
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_THREAD_POOL_H_

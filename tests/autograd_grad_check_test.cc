@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "autograd/conv_ops.h"
 #include "autograd/grad_check.h"
 #include "autograd/ops.h"
+#include "util/thread_pool.h"
 
 namespace equitensor {
 namespace {
@@ -152,6 +154,38 @@ TEST(GradCheckTest, MaeAgainstConstantTarget) {
   };
   const auto result = CheckGradients(fn, {x}, {true});
   EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// Analytic gradients must still match finite differences when the
+// kernels run on the thread pool. The conv shape is big enough that
+// forward and both backward passes split into multiple chunks at 4
+// threads (cost-based grains; see util/thread_pool.h).
+TEST(GradCheckTest, PoolEnabledGradCheckMatchesFiniteDifferences) {
+  SetNumThreads(4);
+  Rng rng(4242);
+  {
+    const Tensor x = Tensor::RandomUniform({2, 3, 14, 14}, rng, -1.0f, 1.0f);
+    const Tensor w = Tensor::RandomUniform({6, 3, 3, 3}, rng, -0.5f, 0.5f);
+    const auto fn = [](std::vector<Variable>& v) {
+      return ag::SumAll(ag::Sigmoid(ag::Conv2d(v[0], v[1])));
+    };
+    // This loss sums ~2400 sigmoids (~1e3 magnitude), so the float32
+    // scalar resolution (~1e-4) dominates central differences at the
+    // default epsilon; a wider step keeps the quotient well above it.
+    const auto result =
+        CheckGradients(fn, {x, w}, {true, true}, /*epsilon=*/1e-2);
+    EXPECT_TRUE(result.ok) << "conv2d on pool: " << result.detail;
+  }
+  {
+    const Tensor a = Tensor::RandomUniform({3, 4}, rng, -1.0f, 1.0f);
+    const Tensor b = Tensor::RandomUniform({4, 2}, rng, -1.0f, 1.0f);
+    const auto fn = [](std::vector<Variable>& v) {
+      return ag::SumAll(ag::Sigmoid(ag::MatMul(v[0], v[1])));
+    };
+    const auto result = CheckGradients(fn, {a, b}, {true, true});
+    EXPECT_TRUE(result.ok) << "matmul on pool: " << result.detail;
+  }
+  SetNumThreads(0);
 }
 
 TEST(GradCheckTest, DetectsWrongGradient) {

@@ -1,0 +1,165 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace equitensor {
+namespace {
+
+// Restores automatic thread selection after each test so test order
+// does not leak pool configuration.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  ~ThreadPoolTest() override { SetNumThreads(0); }
+};
+
+TEST_F(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  SetNumThreads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { calls++; });
+  ParallelFor(7, 3, 1, [&](int64_t, int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  SetNumThreads(8);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 1, [&](int64_t b, int64_t e) {
+    ASSERT_LE(b, e);
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ThreadPoolTest, NonZeroBeginCoversExactRange) {
+  SetNumThreads(4);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(100, 200, 3, [&](int64_t b, int64_t e) {
+    int64_t local = 0;
+    for (int64_t i = b; i < e; ++i) local += i;
+    sum += local;
+  });
+  // sum of [100, 200) = (100+199)*100/2.
+  EXPECT_EQ(sum.load(), 14950);
+}
+
+TEST_F(ThreadPoolTest, GrainLargerThanRangeRunsInline) {
+  SetNumThreads(8);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;  // No atomic needed: must run on the calling thread.
+  ParallelFor(0, 50, 100, [&](int64_t b, int64_t e) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 50);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ThreadPoolTest, NonPositiveGrainIsTreatedAsOne) {
+  SetNumThreads(4);
+  std::atomic<int64_t> covered{0};
+  ParallelFor(0, 1000, 0, [&](int64_t b, int64_t e) { covered += e - b; });
+  EXPECT_EQ(covered.load(), 1000);
+  covered = 0;
+  ParallelFor(0, 1000, -7, [&](int64_t b, int64_t e) { covered += e - b; });
+  EXPECT_EQ(covered.load(), 1000);
+}
+
+TEST_F(ThreadPoolTest, ChunksRespectGrain) {
+  SetNumThreads(8);
+  std::atomic<int> undersized{0};
+  constexpr int64_t kN = 1000;
+  constexpr int64_t kGrain = 64;
+  ParallelFor(0, kN, kGrain, [&](int64_t b, int64_t e) {
+    // Only the last chunk may be smaller than the grain.
+    if (e - b < kGrain && e != kN) undersized++;
+  });
+  EXPECT_EQ(undersized.load(), 0);
+}
+
+TEST_F(ThreadPoolTest, SerialFallbackStaysOnCallingThread) {
+  SetNumThreads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  ParallelFor(0, 100000, 1, [&](int64_t, int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);  // Serial fallback: one inline call, whole range.
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  SetNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 10000, 1,
+                  [&](int64_t b, int64_t) {
+                    if (b == 0) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+  // The pool must survive: the next region completes normally.
+  std::atomic<int64_t> covered{0};
+  ParallelFor(0, 10000, 1, [&](int64_t b, int64_t e) { covered += e - b; });
+  EXPECT_EQ(covered.load(), 10000);
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesOnSerialPath) {
+  SetNumThreads(1);
+  EXPECT_THROW(ParallelFor(0, 10, 1,
+                           [](int64_t, int64_t) {
+                             throw std::runtime_error("serial failure");
+                           }),
+               std::runtime_error);
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  SetNumThreads(4);
+  std::atomic<int64_t> covered{0};
+  ParallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      const std::thread::id outer_thread = std::this_thread::get_id();
+      ParallelFor(0, 100, 1, [&](int64_t nb, int64_t ne) {
+        EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+        covered += ne - nb;
+      });
+    }
+  });
+  EXPECT_EQ(covered.load(), 64 * 100);
+}
+
+TEST_F(ThreadPoolTest, SetNumThreadsControlsNumThreads) {
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  SetNumThreads(1);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(0);  // Automatic: at least one thread.
+  EXPECT_GE(NumThreads(), 1);
+}
+
+TEST_F(ThreadPoolTest, PoolResizesBetweenRegions) {
+  for (int threads : {2, 5, 3}) {
+    SetNumThreads(threads);
+    std::atomic<int64_t> covered{0};
+    ParallelFor(0, 5000, 1, [&](int64_t b, int64_t e) { covered += e - b; });
+    EXPECT_EQ(covered.load(), 5000) << threads << " threads";
+  }
+}
+
+TEST_F(ThreadPoolTest, GrainForCostScalesInversely) {
+  EXPECT_EQ(GrainForCost(1, 1024), 1024);
+  EXPECT_EQ(GrainForCost(512, 1024), 2);
+  EXPECT_EQ(GrainForCost(100000, 1024), 1);  // Never below one index.
+  EXPECT_EQ(GrainForCost(0, 1024), 1024);    // Degenerate cost clamped.
+  EXPECT_EQ(GrainForCost(-5, 1024), 1024);
+}
+
+}  // namespace
+}  // namespace equitensor

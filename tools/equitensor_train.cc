@@ -16,6 +16,7 @@
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace equitensor;
 
@@ -45,6 +46,9 @@ int main(int argc, char** argv) {
   flags.DefineBool("show_maps", false,
                    "print ASCII maps of the sensitive attribute and Z");
   flags.DefineInt("train_seed", 7, "training seed");
+  flags.DefineInt("threads", 0,
+                  "worker threads for the parallel kernels "
+                  "(0 = ET_THREADS env var, then all cores; 1 = serial)");
 
   if (!flags.Parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
@@ -55,6 +59,8 @@ int main(int argc, char** argv) {
         "Train an EquiTensor over the synthetic-city inventory and save it.");
     return 0;
   }
+
+  SetNumThreads(static_cast<int>(flags.GetInt("threads")));
 
   data::CityConfig city;
   city.width = flags.GetInt("width");
@@ -119,7 +125,8 @@ int main(int argc, char** argv) {
   core::EquiTensorTrainer trainer(config, &bundle.datasets, sensitive);
   std::cout << "Training " << core::FairnessModeName(config.fairness) << "/"
             << core::WeightingModeName(config.weighting) << " model ("
-            << trainer.model().ParameterCount() << " parameters)...\n";
+            << trainer.model().ParameterCount() << " parameters, "
+            << NumThreads() << " thread(s))...\n";
   sw.Restart();
   trainer.Train();
   for (const core::EpochLog& epoch : trainer.log()) {
