@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the checkpoint/serialization layer: builds the
+# suite with ASan+UBSan and runs the serializer, fault-injection,
+# resume, and weighting tests. Fault injections must be *rejected*, not
+# merely survived — any sanitizer report fails the script.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DEQUITENSOR_SANITIZE=ON \
+  -DEQUITENSOR_BUILD_BENCHMARKS=OFF \
+  -DEQUITENSOR_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+TESTS=(serialize_test checkpoint_fault_test checkpoint_resume_test
+       adaptive_weighting_test util_test)
+cmake --build "$BUILD_DIR" -j "$JOBS" --target "${TESTS[@]}"
+
+export ASAN_OPTIONS=detect_leaks=0:abort_on_error=1
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+for t in "${TESTS[@]}"; do
+  echo "=== $t (ASan+UBSan) ==="
+  "$BUILD_DIR/tests/$t"
+done
+echo "All sanitizer checks passed."

@@ -76,18 +76,50 @@ void AdaptiveWeighter::Update(const std::vector<double>& epoch_losses) {
       return;
     }
     case WeightingMode::kDwa: {
-      history_.push_back(epoch_losses);
-      if (history_.size() < 3) return;  // Liu et al.: w = 1 for t <= 2.
-      const auto& prev = history_[history_.size() - 2];
-      const auto& prev2 = history_[history_.size() - 3];
-      std::vector<double> r(epoch_losses.size());
-      for (size_t i = 0; i < r.size(); ++i) {
-        r[i] = prev[i] / std::max(prev2[i], 1e-8);
+      // Liu et al.: w = 1 for t <= 2, then ratios of the two previous
+      // epochs' losses.
+      if (epochs_seen_ >= 2) {
+        std::vector<double> r(epoch_losses.size());
+        for (size_t i = 0; i < r.size(); ++i) {
+          r[i] = prev_losses_[i] / std::max(prev2_losses_[i], 1e-8);
+        }
+        SoftmaxWeights(r);
       }
-      SoftmaxWeights(r);
+      prev2_losses_ = std::move(prev_losses_);
+      prev_losses_ = epoch_losses;
+      ++epochs_seen_;
       return;
     }
   }
+}
+
+WeighterState AdaptiveWeighter::GetState() const {
+  WeighterState state;
+  state.weights = weights_;
+  state.optimal_losses = optimal_losses_;
+  state.prev_losses = prev_losses_;
+  state.prev2_losses = prev2_losses_;
+  state.epochs_seen = epochs_seen_;
+  return state;
+}
+
+bool AdaptiveWeighter::SetState(const WeighterState& state) {
+  const auto n = static_cast<size_t>(dataset_count_);
+  const auto sized = [n](const std::vector<double>& v) {
+    return v.empty() || v.size() == n;
+  };
+  if (state.weights.size() != n || !sized(state.optimal_losses) ||
+      !sized(state.prev_losses) || !sized(state.prev2_losses) ||
+      state.epochs_seen < 0) {
+    return false;
+  }
+  weights_ = state.weights;
+  optimal_losses_ = state.optimal_losses;
+  for (double& loss : optimal_losses_) loss = std::max(loss, 1e-8);
+  prev_losses_ = state.prev_losses;
+  prev2_losses_ = state.prev2_losses;
+  epochs_seen_ = state.epochs_seen;
+  return true;
 }
 
 }  // namespace core

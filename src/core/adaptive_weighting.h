@@ -21,6 +21,17 @@ enum class WeightingMode {
 
 const char* WeightingModeName(WeightingMode mode);
 
+/// Complete serializable state of an AdaptiveWeighter, captured for
+/// training-state checkpoints. Restoring it resumes the weight
+/// trajectory exactly where it left off.
+struct WeighterState {
+  std::vector<double> weights;
+  std::vector<double> optimal_losses;  // kOurs; empty otherwise
+  std::vector<double> prev_losses;     // kDwa ring: epoch t-1
+  std::vector<double> prev2_losses;    // kDwa ring: epoch t-2
+  int64_t epochs_seen = 0;
+};
+
 /// Maintains the per-dataset loss weights w_i(t). Weights start at 1,
 /// always sum to n (softmax times n), and are updated once per epoch
 /// from that epoch's early-step mean losses (§3.3: the mean loss of
@@ -40,6 +51,13 @@ class AdaptiveWeighter {
   WeightingMode mode() const { return mode_; }
   double alpha() const { return alpha_; }
 
+  /// Snapshots the full weighter state for checkpointing.
+  WeighterState GetState() const;
+
+  /// Restores a GetState() snapshot. Returns false (state unchanged)
+  /// when the vectors don't match this weighter's dataset count.
+  bool SetState(const WeighterState& state);
+
  private:
   void SoftmaxWeights(const std::vector<double>& scores);
 
@@ -47,8 +65,13 @@ class AdaptiveWeighter {
   int64_t dataset_count_;
   double alpha_;
   std::vector<double> weights_;
-  std::vector<double> optimal_losses_;        // kOurs
-  std::vector<std::vector<double>> history_;  // kDwa: past epoch losses
+  std::vector<double> optimal_losses_;  // kOurs
+  // kDwa reads only the previous two epochs, so the history is a
+  // two-deep ring (an append-forever vector grew without bound on
+  // long runs).
+  std::vector<double> prev_losses_;
+  std::vector<double> prev2_losses_;
+  int64_t epochs_seen_ = 0;
 };
 
 }  // namespace core

@@ -5,6 +5,7 @@
 
 #include "autograd/ops.h"
 #include "data/preprocess.h"
+#include "nn/serialize.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -250,19 +251,176 @@ std::vector<double> EquiTensorTrainer::CurrentWeights() const {
   return weights;
 }
 
+void EquiTensorTrainer::SetCheckpointing(std::string path, int64_t every) {
+  checkpoint_path_ = std::move(path);
+  checkpoint_every_ = every;
+}
+
+namespace {
+
+/// Metadata keys of the trainer's full-state checkpoint (layout
+/// documented in DESIGN.md §9).
+constexpr char kStateKind[] = "equitensor.train_state";
+
+}  // namespace
+
+bool EquiTensorTrainer::SaveTrainingState(const std::string& path) const {
+  nn::Checkpoint ckpt;
+  ckpt.metadata.emplace_back("state.kind", kStateKind);
+  ckpt.metadata.emplace_back("state.epoch", nn::EncodeI64(next_epoch_));
+  ckpt.metadata.emplace_back("state.fairness",
+                             FairnessModeName(config_.fairness));
+  ckpt.metadata.emplace_back("state.weighting",
+                             WeightingModeName(config_.weighting));
+  ckpt.metadata.emplace_back("state.rng", nn::EncodeU64s(rng_.SerializeState()));
+
+  const WeighterState ws = weighter_.GetState();
+  ckpt.metadata.emplace_back("weighter.weights", nn::EncodeDoubles(ws.weights));
+  ckpt.metadata.emplace_back("weighter.optimal_losses",
+                             nn::EncodeDoubles(ws.optimal_losses));
+  ckpt.metadata.emplace_back("weighter.prev_losses",
+                             nn::EncodeDoubles(ws.prev_losses));
+  ckpt.metadata.emplace_back("weighter.prev2_losses",
+                             nn::EncodeDoubles(ws.prev2_losses));
+  ckpt.metadata.emplace_back("weighter.epochs_seen",
+                             nn::EncodeI64(ws.epochs_seen));
+
+  for (auto& [name, param] : model_->NamedParameters()) {
+    ckpt.tensors.emplace_back("model." + name, param.value());
+  }
+  if (uncertainty_log_vars_.defined()) {
+    ckpt.tensors.emplace_back("uncertainty.log_vars",
+                              uncertainty_log_vars_.value());
+  }
+  if (adversary_) {
+    for (auto& [name, param] : adversary_->NamedParameters()) {
+      ckpt.tensors.emplace_back("adversary." + name, param.value());
+    }
+  }
+  cdae_optimizer_->AppendState("opt.cdae", &ckpt);
+  if (adversary_optimizer_) adversary_optimizer_->AppendState("opt.adv", &ckpt);
+  return nn::SaveCheckpoint(path, ckpt);
+}
+
+bool EquiTensorTrainer::LoadTrainingState(const std::string& path) {
+  ET_CHECK(!trained_) << "LoadTrainingState must precede Train()";
+  nn::Checkpoint ckpt;
+  if (!nn::LoadCheckpoint(path, &ckpt)) return false;
+
+  const std::string* kind = ckpt.FindMetadata("state.kind");
+  if (kind == nullptr || *kind != kStateKind) {
+    ET_LOG(Warning) << path << " is not a training-state checkpoint";
+    return false;
+  }
+  const std::string* fairness = ckpt.FindMetadata("state.fairness");
+  const std::string* weighting = ckpt.FindMetadata("state.weighting");
+  if (fairness == nullptr || *fairness != FairnessModeName(config_.fairness) ||
+      weighting == nullptr ||
+      *weighting != WeightingModeName(config_.weighting)) {
+    ET_LOG(Warning) << "training-state mode mismatch: checkpoint "
+                    << (fairness ? *fairness : "?") << "/"
+                    << (weighting ? *weighting : "?") << " vs config "
+                    << FairnessModeName(config_.fairness) << "/"
+                    << WeightingModeName(config_.weighting);
+    return false;
+  }
+
+  const std::string* epoch_bytes = ckpt.FindMetadata("state.epoch");
+  int64_t epoch = 0;
+  if (epoch_bytes == nullptr || !nn::DecodeI64(*epoch_bytes, &epoch) ||
+      epoch < 0) {
+    ET_LOG(Warning) << "training-state: missing or invalid epoch counter";
+    return false;
+  }
+  if (epoch >= config_.epochs) {
+    ET_LOG(Warning) << "training-state already covers " << epoch
+                    << " epoch(s); config asks for " << config_.epochs
+                    << " — nothing left to train";
+  }
+
+  const std::string* rng_bytes = ckpt.FindMetadata("state.rng");
+  std::vector<uint64_t> rng_words;
+  Rng restored_rng(0);
+  if (rng_bytes == nullptr || !nn::DecodeU64s(*rng_bytes, &rng_words) ||
+      !restored_rng.DeserializeState(rng_words)) {
+    ET_LOG(Warning) << "training-state: malformed RNG state";
+    return false;
+  }
+
+  WeighterState ws;
+  const auto read_doubles = [&ckpt](const char* key, std::vector<double>* out) {
+    const std::string* bytes = ckpt.FindMetadata(key);
+    return bytes != nullptr && nn::DecodeDoubles(*bytes, out);
+  };
+  const std::string* seen_bytes = ckpt.FindMetadata("weighter.epochs_seen");
+  if (!read_doubles("weighter.weights", &ws.weights) ||
+      !read_doubles("weighter.optimal_losses", &ws.optimal_losses) ||
+      !read_doubles("weighter.prev_losses", &ws.prev_losses) ||
+      !read_doubles("weighter.prev2_losses", &ws.prev2_losses) ||
+      seen_bytes == nullptr ||
+      !nn::DecodeI64(*seen_bytes, &ws.epochs_seen)) {
+    ET_LOG(Warning) << "training-state: malformed weighter state";
+    return false;
+  }
+
+  if (!nn::RestoreModuleFromCheckpoint(ckpt, "model.", model_.get())) {
+    ET_LOG(Warning) << "training-state: model restore failed";
+    return false;
+  }
+  if (config_.weighting == WeightingMode::kUncertainty) {
+    const Tensor* log_vars = ckpt.FindTensor("uncertainty.log_vars");
+    if (log_vars == nullptr ||
+        !log_vars->SameShape(uncertainty_log_vars_.value())) {
+      ET_LOG(Warning) << "training-state: missing/mismatched uncertainty "
+                      << "log-variances";
+      return false;
+    }
+    uncertainty_log_vars_.mutable_value() = *log_vars;
+  }
+  if (adversary_ &&
+      !nn::RestoreModuleFromCheckpoint(ckpt, "adversary.", adversary_.get())) {
+    ET_LOG(Warning) << "training-state: adversary restore failed";
+    return false;
+  }
+  if (!cdae_optimizer_->RestoreState("opt.cdae", ckpt)) return false;
+  if (adversary_optimizer_ &&
+      !adversary_optimizer_->RestoreState("opt.adv", ckpt)) {
+    return false;
+  }
+  if (!weighter_.SetState(ws)) {
+    ET_LOG(Warning) << "training-state: weighter state size mismatch";
+    return false;
+  }
+  optimal_losses_ = ws.optimal_losses;
+  rng_ = restored_rng;
+  next_epoch_ = epoch;
+  resumed_ = true;
+  ET_LOG(Info) << "resumed training state from " << path << " at epoch "
+               << epoch;
+  return true;
+}
+
 void EquiTensorTrainer::Train() {
   ET_CHECK(!trained_) << "Train() already ran on this instance";
   trained_ = true;
 
   if (config_.weighting == WeightingMode::kOurs) {
-    optimal_losses_ = config_.precomputed_optimal_losses.empty()
-                          ? EstimateOptimalLosses()
-                          : config_.precomputed_optimal_losses;
-    weighter_.SetOptimalLosses(optimal_losses_);
+    if (resumed_) {
+      // L(opt) estimates were persisted with the checkpoint; re-running
+      // the estimation would waste work (the weighter already holds
+      // them via SetState).
+      ET_CHECK(!optimal_losses_.empty())
+          << "resumed kOurs state lacks optimal losses";
+    } else {
+      optimal_losses_ = config_.precomputed_optimal_losses.empty()
+                            ? EstimateOptimalLosses()
+                            : config_.precomputed_optimal_losses;
+      weighter_.SetOptimalLosses(optimal_losses_);
+    }
   }
 
   const int64_t n_datasets = sampler_.dataset_count();
-  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int64_t epoch = next_epoch_; epoch < config_.epochs; ++epoch) {
     EpochLog entry;
     entry.epoch = epoch;
     entry.weights = CurrentWeights();
@@ -295,6 +453,19 @@ void EquiTensorTrainer::Train() {
     weighter_.Update(entry.dataset_losses);
     ET_LOG(Debug) << "epoch " << epoch << " total recon loss "
                   << entry.total_loss << " adv " << entry.adversary_loss;
+
+    next_epoch_ = epoch + 1;
+    if (checkpoint_every_ > 0 && !checkpoint_path_.empty() &&
+        ((epoch + 1) % checkpoint_every_ == 0 ||
+         epoch + 1 == config_.epochs)) {
+      if (!SaveTrainingState(checkpoint_path_)) {
+        // A failed save must not kill a healthy run; the previous
+        // checkpoint (if any) is still intact thanks to the atomic
+        // rename.
+        ET_LOG(Warning) << "failed to write training state to "
+                        << checkpoint_path_;
+      }
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 #define EQUITENSOR_CORE_EQUITENSOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/adaptive_weighting.h"
@@ -75,7 +76,33 @@ class EquiTensorTrainer {
 
   /// Runs the full training loop (including L(opt) estimation when
   /// adaptive weighting is on). Idempotent per instance: call once.
+  /// After LoadTrainingState() it continues from the stored epoch and
+  /// the remaining epochs are bitwise-identical to an uninterrupted
+  /// run with the same config (the resume determinism contract,
+  /// DESIGN.md §9).
   void Train();
+
+  /// Enables periodic checkpointing: after every `every` completed
+  /// epochs (and after the final one) Train() atomically writes the
+  /// full training state to `path`. `every` <= 0 disables.
+  void SetCheckpointing(std::string path, int64_t every);
+
+  /// Atomically serializes the complete training state — model and
+  /// adversary parameters, Adam moments and step counts, RNG stream,
+  /// epoch counter, adaptive-weighting state, uncertainty weights —
+  /// so LoadTrainingState can resume exactly. Returns false on I/O
+  /// failure (the previous checkpoint at `path`, if any, survives).
+  bool SaveTrainingState(const std::string& path) const;
+
+  /// Restores state written by SaveTrainingState into a trainer built
+  /// with the same configuration and datasets. Must be called before
+  /// Train(). Returns false on any mismatch (wrong mode, missing or
+  /// shape-mismatched tensors, corrupt file), logging the reason; a
+  /// trainer that failed to load should be discarded, not trained.
+  bool LoadTrainingState(const std::string& path);
+
+  /// Epochs already completed (nonzero after a successful resume).
+  int64_t completed_epochs() const { return next_epoch_; }
 
   /// Evaluates the mean total reconstruction error (sum of per-dataset
   /// MAE) on `batches` freshly sampled corrupted batches.
@@ -131,6 +158,11 @@ class EquiTensorTrainer {
   std::vector<double> optimal_losses_;
   std::vector<EpochLog> log_;
   bool trained_ = false;
+
+  std::string checkpoint_path_;
+  int64_t checkpoint_every_ = 0;
+  int64_t next_epoch_ = 0;  // First epoch Train() will run.
+  bool resumed_ = false;
 };
 
 }  // namespace core

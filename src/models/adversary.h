@@ -28,6 +28,9 @@ class AdversaryNet : public nn::Module {
   std::vector<Variable> Parameters() const override {
     return stack_->Parameters();
   }
+  std::vector<nn::NamedParameter> NamedParameters() const override {
+    return stack_->NamedParameters();
+  }
 
  private:
   std::unique_ptr<nn::ConvStack> stack_;

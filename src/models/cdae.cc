@@ -145,6 +145,21 @@ std::vector<Variable> CoreCdae::Parameters() const {
   return params;
 }
 
+std::vector<nn::NamedParameter> CoreCdae::NamedParameters() const {
+  // Same order as Parameters() so optimizer slot indices line up.
+  std::vector<nn::NamedParameter> named;
+  for (size_t i = 0; i < encoders_.size(); ++i) {
+    nn::AppendNamedParameters("enc" + std::to_string(i) + ".", *encoders_[i],
+                              &named);
+  }
+  nn::AppendNamedParameters("shared.", *shared_encoder_, &named);
+  for (size_t i = 0; i < decoders_.size(); ++i) {
+    nn::AppendNamedParameters("dec" + std::to_string(i) + ".", *decoders_[i],
+                              &named);
+  }
+  return named;
+}
+
 Tensor TileSensitiveMap(const Tensor& s_map, int64_t batch, int64_t window) {
   ET_CHECK_EQ(s_map.rank(), 2);
   // [W, H] -> [W, H, window] -> [1, W, H, window] -> [N, 1, W, H, window].

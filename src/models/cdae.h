@@ -69,6 +69,9 @@ class CoreCdae : public nn::Module {
       const std::vector<Tensor>& clean_targets) const;
 
   std::vector<Variable> Parameters() const override;
+  /// Names follow the architecture: "enc<i>.conv<j>.weight",
+  /// "shared.conv<j>.bias", "dec<i>.conv<j>.weight", ...
+  std::vector<nn::NamedParameter> NamedParameters() const override;
 
  private:
   /// Expands a per-dataset encoding to [N, 1, W, H, window].

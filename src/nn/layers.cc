@@ -106,5 +106,14 @@ std::vector<Variable> ConvStack::Parameters() const {
   return params;
 }
 
+std::vector<NamedParameter> ConvStack::NamedParameters() const {
+  std::vector<NamedParameter> named;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    AppendNamedParameters("conv" + std::to_string(i) + ".", *layers_[i],
+                          &named);
+  }
+  return named;
+}
+
 }  // namespace nn
 }  // namespace equitensor

@@ -26,6 +26,9 @@ class Linear : public Module {
 
   Variable Forward(const Variable& x) const;
   std::vector<Variable> Parameters() const override { return {weight_, bias_}; }
+  std::vector<NamedParameter> NamedParameters() const override {
+    return {{"weight", weight_}, {"bias", bias_}};
+  }
 
   const Variable& weight() const { return weight_; }
   const Variable& bias() const { return bias_; }
@@ -45,6 +48,9 @@ class Conv : public Module {
 
   Variable Forward(const Variable& x) const;
   std::vector<Variable> Parameters() const override { return {weight_, bias_}; }
+  std::vector<NamedParameter> NamedParameters() const override {
+    return {{"weight", weight_}, {"bias", bias_}};
+  }
 
   int spatial_rank() const { return spatial_rank_; }
   int64_t in_channels() const { return in_channels_; }
@@ -70,6 +76,8 @@ class ConvStack : public Module {
 
   Variable Forward(const Variable& x) const;
   std::vector<Variable> Parameters() const override;
+  /// Names layers as "conv<i>.weight" / "conv<i>.bias".
+  std::vector<NamedParameter> NamedParameters() const override;
 
   int64_t out_channels() const { return layers_.back()->out_channels(); }
 

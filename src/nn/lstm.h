@@ -31,6 +31,9 @@ class LstmCell : public Module {
   LstmState Step(const Variable& x, const LstmState& state) const;
 
   std::vector<Variable> Parameters() const override { return {weight_, bias_}; }
+  std::vector<NamedParameter> NamedParameters() const override {
+    return {{"weight", weight_}, {"bias", bias_}};
+  }
 
   int64_t input_size() const { return input_size_; }
   int64_t hidden_size() const { return hidden_size_; }

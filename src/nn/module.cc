@@ -3,6 +3,16 @@
 namespace equitensor {
 namespace nn {
 
+std::vector<NamedParameter> Module::NamedParameters() const {
+  std::vector<NamedParameter> named;
+  const auto params = Parameters();
+  named.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    named.push_back({"param_" + std::to_string(i), params[i]});
+  }
+  return named;
+}
+
 std::vector<Variable> JoinParameters(
     std::initializer_list<const Module*> modules) {
   std::vector<Variable> all;
@@ -10,6 +20,13 @@ std::vector<Variable> JoinParameters(
     for (const Variable& p : m->Parameters()) all.push_back(p);
   }
   return all;
+}
+
+void AppendNamedParameters(const std::string& prefix, const Module& module,
+                           std::vector<NamedParameter>* out) {
+  for (auto& [name, param] : module.NamedParameters()) {
+    out->push_back({prefix + name, param});
+  }
 }
 
 }  // namespace nn

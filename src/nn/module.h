@@ -10,6 +10,13 @@
 namespace equitensor {
 namespace nn {
 
+/// A parameter handle paired with its stable, module-assigned name
+/// (e.g. "enc0.conv1.weight"). Checkpoints key on these names.
+struct NamedParameter {
+  std::string name;
+  Variable param;
+};
+
 /// Base class for trainable components. Parameters are Variable handles
 /// (shared with the graph), so optimizers mutate them in place between
 /// forward passes.
@@ -19,6 +26,12 @@ class Module {
 
   /// All trainable parameter handles of this module (recursively).
   virtual std::vector<Variable> Parameters() const = 0;
+
+  /// Named parameter handles in the same order as Parameters(). Names
+  /// are stable across runs for a fixed architecture and unique within
+  /// a module; they identify tensors in checkpoints. The default
+  /// synthesizes "param_<i>" for modules that have not assigned names.
+  virtual std::vector<NamedParameter> NamedParameters() const;
 
   /// Total number of trainable scalars.
   int64_t ParameterCount() const {
@@ -36,6 +49,13 @@ class Module {
 /// Concatenates the parameter lists of several modules.
 std::vector<Variable> JoinParameters(
     std::initializer_list<const Module*> modules);
+
+/// Appends `module`'s named parameters to `out` with `prefix`
+/// prepended to every name (e.g. prefix "enc0." yields
+/// "enc0.conv1.weight"). Composite modules build their name trees
+/// with this.
+void AppendNamedParameters(const std::string& prefix, const Module& module,
+                           std::vector<NamedParameter>* out);
 
 }  // namespace nn
 }  // namespace equitensor

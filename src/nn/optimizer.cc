@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "nn/serialize.h"
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace equitensor {
 namespace nn {
@@ -70,6 +72,49 @@ void Adam::Step() {
 
 void Adam::ZeroGrad() {
   for (Variable& p : params_) p.ZeroGrad();
+}
+
+void Adam::AppendState(const std::string& prefix, Checkpoint* checkpoint) const {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    checkpoint->tensors.emplace_back(prefix + ".m" + std::to_string(k), m_[k]);
+    checkpoint->tensors.emplace_back(prefix + ".v" + std::to_string(k), v_[k]);
+  }
+  checkpoint->metadata.emplace_back(prefix + ".step", EncodeI64(step_));
+}
+
+bool Adam::RestoreState(const std::string& prefix,
+                        const Checkpoint& checkpoint) {
+  const std::string* step_bytes = checkpoint.FindMetadata(prefix + ".step");
+  int64_t step = 0;
+  if (step_bytes == nullptr || !DecodeI64(*step_bytes, &step) || step < 0) {
+    ET_LOG(Warning) << "optimizer state '" << prefix
+                    << "': missing or invalid step count";
+    return false;
+  }
+  std::vector<const Tensor*> m(params_.size());
+  std::vector<const Tensor*> v(params_.size());
+  for (size_t k = 0; k < params_.size(); ++k) {
+    m[k] = checkpoint.FindTensor(prefix + ".m" + std::to_string(k));
+    v[k] = checkpoint.FindTensor(prefix + ".v" + std::to_string(k));
+    if (m[k] == nullptr || v[k] == nullptr) {
+      ET_LOG(Warning) << "optimizer state '" << prefix << "': missing moments "
+                      << "for parameter " << k << " of " << params_.size();
+      return false;
+    }
+    if (!m[k]->SameShape(params_[k].value()) ||
+        !v[k]->SameShape(params_[k].value())) {
+      ET_LOG(Warning) << "optimizer state '" << prefix << "': moment shape "
+                      << m[k]->ShapeString() << " mismatches parameter " << k
+                      << " " << params_[k].value().ShapeString();
+      return false;
+    }
+  }
+  for (size_t k = 0; k < params_.size(); ++k) {
+    m_[k] = *m[k];
+    v_[k] = *v[k];
+  }
+  step_ = step;
+  return true;
 }
 
 Sgd::Sgd(std::vector<Variable> params, double learning_rate)

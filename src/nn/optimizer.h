@@ -1,6 +1,7 @@
 #ifndef EQUITENSOR_NN_OPTIMIZER_H_
 #define EQUITENSOR_NN_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -8,6 +9,8 @@
 
 namespace equitensor {
 namespace nn {
+
+struct Checkpoint;  // nn/serialize.h
 
 /// Configuration for Adam with exponential learning-rate decay, the
 /// optimizer the paper uses (§4.4: "Adam optimizers using an
@@ -41,6 +44,17 @@ class Adam {
   double CurrentLearningRate() const;
 
   int64_t step_count() const { return step_; }
+
+  /// Serializes the full optimizer state — both moment vectors and the
+  /// step count — into `checkpoint` as "<prefix>.m<k>" / "<prefix>.v<k>"
+  /// tensors plus a "<prefix>.step" metadata record, so a resumed run
+  /// updates parameters bitwise-identically.
+  void AppendState(const std::string& prefix, Checkpoint* checkpoint) const;
+
+  /// Restores state written by AppendState against the parameter set
+  /// this optimizer was built over. Validates presence and shapes of
+  /// every slot before mutating anything; returns false on mismatch.
+  bool RestoreState(const std::string& prefix, const Checkpoint& checkpoint);
 
  private:
   std::vector<Variable> params_;

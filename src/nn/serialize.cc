@@ -1,8 +1,15 @@
 #include "nn/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/check.h"
 #include "util/logging.h"
@@ -12,123 +19,490 @@ namespace nn {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'T', 'C', 'K'};
-constexpr uint32_t kVersion = 1;
+constexpr char kFooterTag[4] = {'K', 'C', 'T', 'E'};
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
+constexpr uint32_t kEndianMarker = 0x01020304u;
 
-void WriteU32(std::ostream& os, uint32_t value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+constexpr uint64_t kMaxNameLen = 1u << 20;
+constexpr uint32_t kMaxRank = 16;
+constexpr uint64_t kMaxDim = 1ull << 40;
+// Total-element cap: combined with the remaining-bytes check below it
+// bounds allocations by the actual file size, so a crafted header can
+// neither overflow the volume computation nor trigger a huge alloc.
+constexpr int64_t kMaxElements = int64_t{1} << 40;
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  if (size == 0) return;  // data may be null for empty vectors
+  out->append(static_cast<const char*>(data), size);
 }
 
-void WriteU64(std::ostream& os, uint64_t value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+void AppendU32(std::string* out, uint32_t value) {
+  AppendRaw(out, &value, sizeof(value));
 }
 
-bool ReadU32(std::istream& is, uint32_t* value) {
-  is.read(reinterpret_cast<char*>(value), sizeof(*value));
-  return static_cast<bool>(is);
+void AppendU64(std::string* out, uint64_t value) {
+  AppendRaw(out, &value, sizeof(value));
 }
 
-bool ReadU64(std::istream& is, uint64_t* value) {
-  is.read(reinterpret_cast<char*>(value), sizeof(*value));
-  return static_cast<bool>(is);
+/// Bounds-checked forward reader over an in-memory byte buffer.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+
+  bool ReadRaw(void* out, size_t size) {
+    if (remaining() < size) return false;
+    if (size > 0) std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* value) { return ReadRaw(value, sizeof(*value)); }
+  bool ReadU64(uint64_t* value) { return ReadRaw(value, sizeof(*value)); }
+
+  bool ReadString(uint64_t max_len, std::string* out) {
+    uint64_t len = 0;
+    if (!ReadU64(&len) || len > max_len || remaining() < len) return false;
+    out->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void AppendTensorRecord(std::string* out, const std::string& name,
+                        const Tensor& tensor) {
+  AppendU64(out, name.size());
+  AppendRaw(out, name.data(), name.size());
+  AppendU32(out, static_cast<uint32_t>(tensor.rank()));
+  for (int d = 0; d < tensor.rank(); ++d) {
+    AppendU64(out, static_cast<uint64_t>(tensor.dim(d)));
+  }
+  AppendRaw(out, tensor.data(),
+            static_cast<size_t>(tensor.size()) * sizeof(float));
+}
+
+bool ReadTensorRecord(Cursor* cursor, std::string* name, Tensor* tensor) {
+  if (!cursor->ReadString(kMaxNameLen, name)) return false;
+  uint32_t rank = 0;
+  if (!cursor->ReadU32(&rank) || rank > kMaxRank) return false;
+  std::vector<int64_t> shape;
+  shape.reserve(rank);
+  int64_t volume = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    uint64_t dim = 0;
+    if (!cursor->ReadU64(&dim) || dim == 0 || dim > kMaxDim) return false;
+    shape.push_back(static_cast<int64_t>(dim));
+    // Overflow-checked accumulation: rank-16 headers with 2^40 dims
+    // must be rejected, not wrapped into a small bogus volume.
+    if (__builtin_mul_overflow(volume, static_cast<int64_t>(dim), &volume) ||
+        volume > kMaxElements) {
+      return false;
+    }
+  }
+  const uint64_t payload_bytes = static_cast<uint64_t>(volume) * sizeof(float);
+  if (cursor->remaining() < payload_bytes) return false;
+  std::vector<float> data(static_cast<size_t>(volume));
+  if (!cursor->ReadRaw(data.data(), payload_bytes)) return false;
+  *tensor = Tensor::FromData(std::move(shape), std::move(data));
+  return true;
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return false;
+  const std::streamsize size = file.tellg();
+  if (size < 0) return false;
+  out->resize(static_cast<size_t>(size));
+  file.seekg(0);
+  file.read(out->data(), size);
+  return static_cast<bool>(file);
+}
+
+int64_t g_write_failure_after_bytes = -1;
+
+/// Writes `bytes` to a temp file next to `path`, fsyncs, and renames
+/// it over `path`. Any failure removes the temp file and leaves the
+/// previous `path` contents (if any) intact.
+bool WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    ET_LOG(Warning) << "checkpoint: cannot create " << tmp << ": "
+                    << std::strerror(errno);
+    return false;
+  }
+  size_t limit = bytes.size();
+  bool injected_failure = false;
+  if (g_write_failure_after_bytes >= 0 &&
+      static_cast<uint64_t>(g_write_failure_after_bytes) < limit) {
+    limit = static_cast<size_t>(g_write_failure_after_bytes);
+    injected_failure = true;
+  }
+  bool ok = true;
+  size_t offset = 0;
+  while (offset < limit) {
+    const ssize_t n = ::write(fd, bytes.data() + offset, limit - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ET_LOG(Warning) << "checkpoint: write to " << tmp << " failed: "
+                      << std::strerror(errno);
+      ok = false;
+      break;
+    }
+    offset += static_cast<size_t>(n);
+  }
+  if (injected_failure) ok = false;
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ET_LOG(Warning) << "checkpoint: rename " << tmp << " -> " << path
+                    << " failed: " << std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
 
+namespace internal {
+void SetWriteFailureAfterBytesForTesting(int64_t bytes) {
+  g_write_failure_after_bytes = bytes;
+}
+}  // namespace internal
+
+const Tensor* Checkpoint::FindTensor(const std::string& name) const {
+  for (const auto& [n, t] : tensors) {
+    if (n == name) return &t;
+  }
+  return nullptr;
+}
+
+const std::string* Checkpoint::FindMetadata(const std::string& key) const {
+  for (const auto& [k, v] : metadata) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+uint32_t Crc32(const void* data, size_t size, uint32_t crc) {
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string EncodeCheckpoint(const Checkpoint& checkpoint) {
+  std::string out;
+  AppendRaw(&out, kMagic, sizeof(kMagic));
+  AppendU32(&out, kVersionV2);
+  AppendU32(&out, kEndianMarker);
+  AppendU64(&out, checkpoint.tensors.size());
+  for (const auto& [name, tensor] : checkpoint.tensors) {
+    AppendTensorRecord(&out, name, tensor);
+  }
+  AppendU64(&out, checkpoint.metadata.size());
+  for (const auto& [key, value] : checkpoint.metadata) {
+    AppendU64(&out, key.size());
+    AppendRaw(&out, key.data(), key.size());
+    AppendU64(&out, value.size());
+    AppendRaw(&out, value.data(), value.size());
+  }
+  AppendRaw(&out, kFooterTag, sizeof(kFooterTag));
+  AppendU32(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+bool DecodeCheckpoint(const std::string& bytes, Checkpoint* checkpoint) {
+  checkpoint->tensors.clear();
+  checkpoint->metadata.clear();
+
+  Cursor cursor(bytes.data(), bytes.size());
+  char magic[4];
+  if (!cursor.ReadRaw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    ET_LOG(Warning) << "checkpoint: bad magic";
+    return false;
+  }
+  uint32_t version = 0;
+  if (!cursor.ReadU32(&version)) return false;
+
+  size_t body_end = bytes.size();
+  if (version == kVersionV2) {
+    uint32_t endian = 0;
+    if (!cursor.ReadU32(&endian) || endian != kEndianMarker) {
+      ET_LOG(Warning) << "checkpoint: endianness marker mismatch "
+                      << "(file written on an incompatible host?)";
+      return false;
+    }
+    // Verify the integrity footer before trusting any record header.
+    const size_t footer = sizeof(kFooterTag) + sizeof(uint32_t);
+    if (bytes.size() < cursor.pos() + footer) {
+      ET_LOG(Warning) << "checkpoint: truncated (no footer)";
+      return false;
+    }
+    body_end = bytes.size() - footer;
+    if (std::memcmp(bytes.data() + body_end, kFooterTag,
+                    sizeof(kFooterTag)) != 0) {
+      ET_LOG(Warning) << "checkpoint: missing footer tag (truncated write?)";
+      return false;
+    }
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + body_end + sizeof(kFooterTag),
+                sizeof(stored_crc));
+    const uint32_t actual_crc =
+        Crc32(bytes.data(), body_end + sizeof(kFooterTag));
+    if (stored_crc != actual_crc) {
+      ET_LOG(Warning) << "checkpoint: CRC mismatch (corrupt file)";
+      return false;
+    }
+  } else if (version != kVersionV1) {
+    ET_LOG(Warning) << "checkpoint: unsupported version " << version;
+    return false;
+  }
+
+  Cursor body(bytes.data(), body_end);
+  ET_CHECK(body.ReadRaw(magic, sizeof(magic)));  // re-skip the header
+  ET_CHECK(body.ReadU32(&version));
+  if (version == kVersionV2) {
+    uint32_t endian = 0;
+    ET_CHECK(body.ReadU32(&endian));
+  }
+
+  uint64_t tensor_count = 0;
+  if (!body.ReadU64(&tensor_count)) return false;
+  for (uint64_t i = 0; i < tensor_count; ++i) {
+    std::string name;
+    Tensor tensor;
+    if (!ReadTensorRecord(&body, &name, &tensor)) {
+      ET_LOG(Warning) << "checkpoint: malformed tensor record " << i;
+      checkpoint->tensors.clear();
+      return false;
+    }
+    checkpoint->tensors.emplace_back(std::move(name), std::move(tensor));
+  }
+  if (version == kVersionV2) {
+    uint64_t meta_count = 0;
+    if (!body.ReadU64(&meta_count)) return false;
+    for (uint64_t i = 0; i < meta_count; ++i) {
+      std::string key, value;
+      if (!body.ReadString(kMaxNameLen, &key) ||
+          !body.ReadString(kMaxNameLen * 16, &value)) {
+        ET_LOG(Warning) << "checkpoint: malformed metadata record " << i;
+        checkpoint->tensors.clear();
+        checkpoint->metadata.clear();
+        return false;
+      }
+      checkpoint->metadata.emplace_back(std::move(key), std::move(value));
+    }
+  }
+  if (body.remaining() != 0) {
+    ET_LOG(Warning) << "checkpoint: " << body.remaining()
+                    << " trailing bytes after last record";
+    checkpoint->tensors.clear();
+    checkpoint->metadata.clear();
+    return false;
+  }
+  return true;
+}
+
+bool SaveCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
+  return WriteFileAtomic(path, EncodeCheckpoint(checkpoint));
+}
+
+bool LoadCheckpoint(const std::string& path, Checkpoint* checkpoint) {
+  std::string bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    ET_LOG(Warning) << "checkpoint: cannot read " << path;
+    return false;
+  }
+  if (!DecodeCheckpoint(bytes, checkpoint)) {
+    ET_LOG(Warning) << "checkpoint: rejected " << path;
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeDoubles(const std::vector<double>& values) {
+  std::string out;
+  AppendRaw(&out, values.data(), values.size() * sizeof(double));
+  return out;
+}
+
+bool DecodeDoubles(const std::string& bytes, std::vector<double>* values) {
+  if (bytes.size() % sizeof(double) != 0) return false;
+  values->resize(bytes.size() / sizeof(double));
+  if (!bytes.empty()) std::memcpy(values->data(), bytes.data(), bytes.size());
+  return true;
+}
+
+std::string EncodeU64s(const std::vector<uint64_t>& values) {
+  std::string out;
+  AppendRaw(&out, values.data(), values.size() * sizeof(uint64_t));
+  return out;
+}
+
+bool DecodeU64s(const std::string& bytes, std::vector<uint64_t>* values) {
+  if (bytes.size() % sizeof(uint64_t) != 0) return false;
+  values->resize(bytes.size() / sizeof(uint64_t));
+  if (!bytes.empty()) std::memcpy(values->data(), bytes.data(), bytes.size());
+  return true;
+}
+
+std::string EncodeI64(int64_t value) {
+  std::string out;
+  AppendRaw(&out, &value, sizeof(value));
+  return out;
+}
+
+bool DecodeI64(const std::string& bytes, int64_t* value) {
+  if (bytes.size() != sizeof(*value)) return false;
+  std::memcpy(value, bytes.data(), sizeof(*value));
+  return true;
+}
+
 bool SaveTensors(const std::string& path,
                  const std::vector<std::pair<std::string, Tensor>>& tensors) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return false;
-  file.write(kMagic, sizeof(kMagic));
-  WriteU32(file, kVersion);
-  WriteU64(file, tensors.size());
-  for (const auto& [name, tensor] : tensors) {
-    WriteU64(file, name.size());
-    file.write(name.data(), static_cast<std::streamsize>(name.size()));
-    WriteU32(file, static_cast<uint32_t>(tensor.rank()));
-    for (int d = 0; d < tensor.rank(); ++d) {
-      WriteU64(file, static_cast<uint64_t>(tensor.dim(d)));
-    }
-    file.write(reinterpret_cast<const char*>(tensor.data()),
-               static_cast<std::streamsize>(tensor.size() * sizeof(float)));
-  }
-  return static_cast<bool>(file);
+  Checkpoint checkpoint;
+  checkpoint.tensors = tensors;
+  return SaveCheckpoint(path, checkpoint);
 }
 
 bool LoadTensors(const std::string& path,
                  std::vector<std::pair<std::string, Tensor>>* tensors) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return false;
-  char magic[4];
-  file.read(magic, sizeof(magic));
-  if (!file || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    ET_LOG(Warning) << "bad checkpoint magic in " << path;
-    return false;
-  }
-  uint32_t version = 0;
-  if (!ReadU32(file, &version) || version != kVersion) {
-    ET_LOG(Warning) << "unsupported checkpoint version in " << path;
-    return false;
-  }
-  uint64_t count = 0;
-  if (!ReadU64(file, &count)) return false;
-  tensors->clear();
-  tensors->reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t name_len = 0;
-    if (!ReadU64(file, &name_len) || name_len > (1u << 20)) return false;
-    std::string name(name_len, '\0');
-    file.read(name.data(), static_cast<std::streamsize>(name_len));
-    uint32_t rank = 0;
-    if (!ReadU32(file, &rank) || rank > 16) return false;
-    std::vector<int64_t> shape;
-    int64_t volume = 1;
-    for (uint32_t d = 0; d < rank; ++d) {
-      uint64_t dim = 0;
-      if (!ReadU64(file, &dim) || dim == 0 || dim > (1ull << 40)) return false;
-      shape.push_back(static_cast<int64_t>(dim));
-      volume *= static_cast<int64_t>(dim);
-    }
-    std::vector<float> data(static_cast<size_t>(volume));
-    file.read(reinterpret_cast<char*>(data.data()),
-              static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!file) return false;
-    tensors->emplace_back(std::move(name),
-                          Tensor::FromData(std::move(shape), std::move(data)));
-  }
+  Checkpoint checkpoint;
+  if (!LoadCheckpoint(path, &checkpoint)) return false;
+  *tensors = std::move(checkpoint.tensors);
   return true;
 }
 
 bool SaveModule(const std::string& path, const Module& module) {
-  std::vector<std::pair<std::string, Tensor>> tensors;
-  const auto params = module.Parameters();
-  tensors.reserve(params.size());
-  for (size_t i = 0; i < params.size(); ++i) {
-    tensors.emplace_back("param_" + std::to_string(i), params[i].value());
+  Checkpoint checkpoint;
+  for (auto& [name, param] : module.NamedParameters()) {
+    checkpoint.tensors.emplace_back(name, param.value());
   }
-  return SaveTensors(path, tensors);
+  return SaveCheckpoint(path, checkpoint);
+}
+
+bool RestoreModuleFromCheckpoint(const Checkpoint& checkpoint,
+                                 const std::string& prefix, Module* module) {
+  auto named = module->NamedParameters();
+
+  // Index the checkpoint entries under `prefix` by their bare name.
+  std::unordered_map<std::string, const Tensor*> by_name;
+  std::vector<std::string> ckpt_names;
+  for (const auto& [full_name, tensor] : checkpoint.tensors) {
+    if (full_name.size() < prefix.size() ||
+        full_name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string bare = full_name.substr(prefix.size());
+    by_name[bare] = &tensor;
+    ckpt_names.push_back(std::move(bare));
+  }
+
+  // Pass 1: resolve every module parameter to a checkpoint tensor
+  // (by name, or positionally for v1 "param_<i>" files), validating
+  // shapes. Nothing is assigned until everything checks out, so a bad
+  // checkpoint never leaves the module half-mutated.
+  std::vector<const Tensor*> resolved(named.size(), nullptr);
+  bool ok = true;
+  std::unordered_set<std::string> used;
+  for (size_t i = 0; i < named.size(); ++i) {
+    const auto it = by_name.find(named[i].name);
+    if (it == by_name.end()) {
+      ok = false;
+      continue;
+    }
+    resolved[i] = it->second;
+    used.insert(named[i].name);
+  }
+
+  if (!ok && ckpt_names.size() == named.size()) {
+    // v1 fallback: index-named entries map positionally.
+    bool all_indexed = true;
+    for (size_t i = 0; i < ckpt_names.size(); ++i) {
+      if (ckpt_names[i] != "param_" + std::to_string(i)) {
+        all_indexed = false;
+        break;
+      }
+    }
+    if (all_indexed) {
+      ET_LOG(Info) << "checkpoint: index-named v1 entries, matching "
+                   << named.size() << " parameters positionally";
+      for (size_t i = 0; i < named.size(); ++i) {
+        resolved[i] = by_name.at(ckpt_names[i]);
+        used.insert(ckpt_names[i]);
+      }
+      ok = true;
+    }
+  }
+
+  if (!ok) {
+    for (size_t i = 0; i < named.size(); ++i) {
+      if (resolved[i] == nullptr) {
+        ET_LOG(Warning) << "checkpoint: missing parameter '" << prefix
+                        << named[i].name << "'";
+      }
+    }
+  }
+  for (const std::string& name : ckpt_names) {
+    if (!used.count(name)) {
+      ET_LOG(Warning) << "checkpoint: extra entry '" << prefix << name
+                      << "' not present in the module";
+      ok = false;
+    }
+  }
+  if (!ok) return false;
+
+  for (size_t i = 0; i < named.size(); ++i) {
+    if (!resolved[i]->SameShape(named[i].param.value())) {
+      ET_LOG(Warning) << "checkpoint: parameter '" << prefix << named[i].name
+                      << "' shape mismatch: checkpoint "
+                      << resolved[i]->ShapeString() << " vs module "
+                      << named[i].param.value().ShapeString();
+      ok = false;
+    }
+  }
+  if (!ok) return false;
+
+  // Pass 2: everything validated; assign.
+  for (size_t i = 0; i < named.size(); ++i) {
+    named[i].param.mutable_value() = *resolved[i];
+  }
+  return true;
 }
 
 bool LoadModule(const std::string& path, Module* module) {
-  std::vector<std::pair<std::string, Tensor>> tensors;
-  if (!LoadTensors(path, &tensors)) return false;
-  auto params = module->Parameters();
-  if (tensors.size() != params.size()) {
-    ET_LOG(Warning) << "checkpoint has " << tensors.size()
-                    << " tensors but module expects " << params.size();
-    return false;
-  }
-  for (size_t i = 0; i < params.size(); ++i) {
-    if (!tensors[i].second.SameShape(params[i].value())) {
-      ET_LOG(Warning) << "parameter " << i << " shape mismatch: checkpoint "
-                      << tensors[i].second.ShapeString() << " vs module "
-                      << params[i].value().ShapeString();
-      return false;
-    }
-  }
-  for (size_t i = 0; i < params.size(); ++i) {
-    params[i].mutable_value() = std::move(tensors[i].second);
-  }
-  return true;
+  Checkpoint checkpoint;
+  if (!LoadCheckpoint(path, &checkpoint)) return false;
+  return RestoreModuleFromCheckpoint(checkpoint, "", module);
 }
 
 bool SaveTensor(const std::string& path, const Tensor& tensor) {

@@ -1,5 +1,6 @@
 #include "util/rng.h"
 
+#include <bit>
 #include <cmath>
 
 #include "util/check.h"
@@ -97,6 +98,25 @@ int Rng::Poisson(double lambda) {
 bool Rng::Bernoulli(double p) { return Uniform() < p; }
 
 Rng Rng::Split() { return Rng(NextU64()); }
+
+std::vector<uint64_t> Rng::SerializeState() const {
+  return {state_[0],
+          state_[1],
+          state_[2],
+          state_[3],
+          has_cached_normal_ ? uint64_t{1} : uint64_t{0},
+          std::bit_cast<uint64_t>(cached_normal_)};
+}
+
+bool Rng::DeserializeState(const std::vector<uint64_t>& words) {
+  if (words.size() != 6 || words[4] > 1) return false;
+  // All-zero xoshiro state is a fixed point; reject it.
+  if ((words[0] | words[1] | words[2] | words[3]) == 0) return false;
+  for (int i = 0; i < 4; ++i) state_[i] = words[static_cast<size_t>(i)];
+  has_cached_normal_ = words[4] == 1;
+  cached_normal_ = std::bit_cast<double>(words[5]);
+  return true;
+}
 
 std::vector<size_t> Rng::Permutation(size_t n) {
   std::vector<size_t> perm(n);

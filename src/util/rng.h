@@ -49,6 +49,15 @@ class Rng {
   /// Fisher–Yates shuffles indices [0, n) and returns the permutation.
   std::vector<size_t> Permutation(size_t n);
 
+  /// Raw generator state for checkpointing: the 4 xoshiro words, the
+  /// Box–Muller cache flag, and the cached sample's bit pattern (6
+  /// words). Restoring it resumes the stream bitwise-identically.
+  std::vector<uint64_t> SerializeState() const;
+
+  /// Restores state captured by SerializeState. Returns false (state
+  /// unchanged) if `words` is malformed.
+  bool DeserializeState(const std::vector<uint64_t>& words);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

@@ -107,6 +107,59 @@ TEST(AdaptiveWeighterDeathTest, WrongSizeAborts) {
   EXPECT_DEATH(weighter.Update({0.1, 0.2}), "");
 }
 
+TEST(AdaptiveWeighterTest, DwaKeepsOnlyTwoEpochsOfHistory) {
+  // Regression: kDwa used to append every epoch's losses to an
+  // unbounded history vector. The ring keeps exactly the two previous
+  // epochs, and a long run must behave as if only those existed.
+  AdaptiveWeighter ring(WeightingMode::kDwa, 2, 2.0);
+  for (int epoch = 0; epoch < 1000; ++epoch) {
+    ring.Update({1.0 / (epoch + 1.0), 0.5});
+  }
+  const WeighterState state = ring.GetState();
+  EXPECT_EQ(state.prev_losses.size(), 2u);
+  EXPECT_EQ(state.prev2_losses.size(), 2u);
+  EXPECT_EQ(state.epochs_seen, 1000);
+  // Replaying just the last two epochs into a fresh weighter (primed
+  // past the warmup) yields the same weights.
+  AdaptiveWeighter fresh(WeightingMode::kDwa, 2, 2.0);
+  WeighterState primed = fresh.GetState();
+  primed.prev2_losses = state.prev2_losses;
+  primed.prev_losses = state.prev_losses;
+  primed.epochs_seen = state.epochs_seen;
+  ASSERT_TRUE(fresh.SetState(primed));
+  ring.Update({0.25, 0.5});
+  fresh.Update({0.25, 0.5});
+  EXPECT_EQ(fresh.weights(), ring.weights());
+}
+
+TEST(AdaptiveWeighterTest, StateRoundTripContinuesIdentically) {
+  AdaptiveWeighter original(WeightingMode::kDwa, 3, 2.0);
+  original.Update({0.5, 0.4, 0.3});
+  original.Update({0.45, 0.38, 0.31});
+
+  AdaptiveWeighter restored(WeightingMode::kDwa, 3, 2.0);
+  ASSERT_TRUE(restored.SetState(original.GetState()));
+  EXPECT_EQ(restored.weights(), original.weights());
+  original.Update({0.4, 0.36, 0.29});
+  restored.Update({0.4, 0.36, 0.29});
+  EXPECT_EQ(restored.weights(), original.weights());
+}
+
+TEST(AdaptiveWeighterTest, SetStateRejectsWrongSizes) {
+  AdaptiveWeighter weighter(WeightingMode::kOurs, 3, 2.0);
+  WeighterState state = weighter.GetState();
+  state.weights.resize(2);
+  EXPECT_FALSE(weighter.SetState(state));
+  state = weighter.GetState();
+  state.prev_losses = {0.1};  // wrong length
+  EXPECT_FALSE(weighter.SetState(state));
+  state = weighter.GetState();
+  state.epochs_seen = -1;
+  EXPECT_FALSE(weighter.SetState(state));
+  // A failed SetState leaves the weighter usable with default weights.
+  for (double w : weighter.weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
 TEST(WeightingModeTest, Names) {
   EXPECT_STREQ(WeightingModeName(WeightingMode::kNone), "none");
   EXPECT_STREQ(WeightingModeName(WeightingMode::kOurs), "ours");

@@ -1,0 +1,126 @@
+// Fault-injection coverage for the v2 checkpoint format: every
+// truncation point and every single-byte corruption of a valid file
+// must be rejected cleanly — no crash, no partially mutated module.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "nn/layers.h"
+#include "nn/serialize.h"
+
+namespace equitensor {
+namespace nn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream(path, std::ios::binary).write(bytes.data(),
+                                              static_cast<std::streamsize>(
+                                                  bytes.size()));
+}
+
+Checkpoint MakeCheckpoint() {
+  Rng rng(17);
+  Checkpoint ckpt;
+  ckpt.tensors.emplace_back("weight", Tensor::RandomUniform({3, 2}, rng));
+  ckpt.tensors.emplace_back("bias", Tensor::RandomUniform({3}, rng));
+  ckpt.metadata.emplace_back("epoch", EncodeI64(4));
+  return ckpt;
+}
+
+TEST(CheckpointFaultTest, EveryTruncationRejected) {
+  const std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  // A valid file decodes; every proper prefix (including empty) must
+  // not, and must leave the output checkpoint empty.
+  Checkpoint ok;
+  ASSERT_TRUE(DecodeCheckpoint(bytes, &ok));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Checkpoint out;
+    out.tensors.emplace_back("stale", Tensor::Scalar(1.0f));
+    EXPECT_FALSE(DecodeCheckpoint(bytes.substr(0, len), &out))
+        << "prefix of length " << len << " decoded";
+    EXPECT_TRUE(out.tensors.empty() && out.metadata.empty())
+        << "failed decode left data at length " << len;
+  }
+}
+
+TEST(CheckpointFaultTest, EveryByteFlipRejected) {
+  const std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0xFF);
+    Checkpoint out;
+    EXPECT_FALSE(DecodeCheckpoint(corrupt, &out))
+        << "byte flip at offset " << pos << " went undetected";
+  }
+}
+
+TEST(CheckpointFaultTest, TrailingGarbageRejected) {
+  std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  bytes += '\0';
+  Checkpoint out;
+  EXPECT_FALSE(DecodeCheckpoint(bytes, &out));
+}
+
+TEST(CheckpointFaultTest, CorruptFileLeavesModuleUntouched) {
+  Rng rng(18);
+  Linear module(4, 3, rng);
+  Variable x(Tensor::RandomUniform({2, 4}, rng), false);
+  const Tensor before = module.Forward(x).value();
+
+  // A structurally valid save of this module, with one payload byte
+  // flipped on disk.
+  const std::string path = TempPath("fault_module.etck");
+  ASSERT_TRUE(SaveModule(path, module));
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  WriteBytes(path, bytes);
+
+  EXPECT_FALSE(LoadModule(path, &module));
+  EXPECT_TRUE(AllClose(module.Forward(x).value(), before, 0.0f))
+      << "failed load mutated the module";
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFaultTest, ShapeMismatchLeavesModuleUntouched) {
+  // All-or-nothing restore: even when the first tensor matches, a
+  // mismatch later in the file must leave every parameter untouched.
+  Rng rng(19);
+  Linear donor(4, 3, rng);
+  const std::string path = TempPath("fault_shapes.etck");
+  {
+    Checkpoint ckpt;
+    const auto named = donor.NamedParameters();
+    ckpt.tensors.emplace_back(named[0].name, named[0].param.value());  // good
+    ckpt.tensors.emplace_back(named[1].name, Tensor::Scalar(0.0f));    // bad
+    ASSERT_TRUE(SaveCheckpoint(path, ckpt));
+  }
+  Linear module(4, 3, rng);
+  Variable x(Tensor::RandomUniform({2, 4}, rng), false);
+  const Tensor before = module.Forward(x).value();
+  EXPECT_FALSE(LoadModule(path, &module));
+  EXPECT_TRUE(AllClose(module.Forward(x).value(), before, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFaultTest, UnknownVersionRejected) {
+  std::string bytes = EncodeCheckpoint(MakeCheckpoint());
+  bytes[4] = 3;  // u32 version lives right after the magic
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+  std::memcpy(bytes.data() + bytes.size() - sizeof(uint32_t), &crc,
+              sizeof(crc));
+  Checkpoint out;
+  EXPECT_FALSE(DecodeCheckpoint(bytes, &out));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace equitensor

@@ -1,0 +1,246 @@
+// Kill-and-resume determinism: a run checkpointed at epoch k and
+// resumed into a fresh trainer must continue bitwise-identically to an
+// uninterrupted run with the same config (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/equitensor.h"
+#include "data/generators.h"
+#include "nn/serialize.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+data::CityConfig TinyCity() {
+  data::CityConfig config;
+  config.width = 5;
+  config.height = 4;
+  config.hours = 24 * 4;
+  config.seed = 33;
+  return config;
+}
+
+EquiTensorConfig TinyTrainerConfig(const data::CityConfig& city) {
+  EquiTensorConfig config;
+  config.cdae.grid_w = city.width;
+  config.cdae.grid_h = city.height;
+  config.cdae.window = 12;
+  config.cdae.latent_channels = 2;
+  config.cdae.encoder_filters = {4, 1};
+  config.cdae.shared_filters = {6};
+  config.cdae.decoder_filters = {6};
+  config.epochs = 4;
+  config.steps_per_epoch = 5;
+  config.batch_size = 2;
+  config.opt_loss_epochs = 1;
+  config.opt_loss_steps_per_epoch = 3;
+  config.optimizer.learning_rate = 2e-3;
+  return config;
+}
+
+std::vector<data::AlignedDataset> SlimDatasets(
+    const data::UrbanDataBundle& bundle) {
+  std::vector<data::AlignedDataset> slim;
+  for (const char* name : {"temperature", "precipitation", "house_price",
+                           "seattle_streets", "seattle_911_calls"}) {
+    slim.push_back(bundle.datasets[static_cast<size_t>(bundle.IndexOf(name))]);
+  }
+  return slim;
+}
+
+class CheckpointResumeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new data::UrbanDataBundle(data::BuildSeattleAnalog(TinyCity()));
+    slim_ = new std::vector<data::AlignedDataset>(SlimDatasets(*bundle_));
+  }
+  static void TearDownTestSuite() {
+    delete slim_;
+    delete bundle_;
+    slim_ = nullptr;
+    bundle_ = nullptr;
+  }
+
+  // Trains `config` uninterrupted; then trains a second instance that
+  // checkpoints every epoch but is abandoned after `kill_after`
+  // epochs; then resumes a third instance from the checkpoint and
+  // finishes. Asserts the resumed run's remaining epochs and final
+  // parameters match the uninterrupted run exactly.
+  void CheckResumeMatches(EquiTensorConfig config, const Tensor* sensitive) {
+    const std::string path =
+        ::testing::TempDir() + "/resume_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".etck";
+    const int64_t kill_after = config.epochs / 2;
+
+    EquiTensorTrainer uninterrupted(config, slim_, sensitive);
+    uninterrupted.Train();
+
+    EquiTensorConfig half = config;
+    half.epochs = kill_after;  // "crash" after this many epochs
+    EquiTensorTrainer killed(half, slim_, sensitive);
+    killed.SetCheckpointing(path, 1);
+    killed.Train();
+
+    EquiTensorTrainer resumed(config, slim_, sensitive);
+    ASSERT_TRUE(resumed.LoadTrainingState(path));
+    EXPECT_EQ(resumed.completed_epochs(), kill_after);
+    resumed.Train();
+
+    // Per-epoch telemetry of the resumed half matches bitwise.
+    const auto& full_log = uninterrupted.log();
+    const auto& resumed_log = resumed.log();
+    ASSERT_EQ(full_log.size(), static_cast<size_t>(config.epochs));
+    ASSERT_EQ(resumed_log.size(),
+              static_cast<size_t>(config.epochs - kill_after));
+    for (size_t i = 0; i < resumed_log.size(); ++i) {
+      const EpochLog& a = full_log[static_cast<size_t>(kill_after) + i];
+      const EpochLog& b = resumed_log[i];
+      EXPECT_EQ(a.epoch, b.epoch);
+      EXPECT_EQ(a.dataset_losses, b.dataset_losses);
+      EXPECT_EQ(a.weights, b.weights);
+      EXPECT_EQ(a.total_loss, b.total_loss);
+      EXPECT_EQ(a.adversary_loss, b.adversary_loss);
+    }
+
+    // Final weights match bitwise, so materialization does too.
+    const auto params_a = uninterrupted.model().NamedParameters();
+    const auto params_b = resumed.model().NamedParameters();
+    ASSERT_EQ(params_a.size(), params_b.size());
+    for (size_t i = 0; i < params_a.size(); ++i) {
+      EXPECT_EQ(params_a[i].name, params_b[i].name);
+      EXPECT_TRUE(AllClose(params_a[i].param.value(),
+                           params_b[i].param.value(), 0.0f))
+          << "parameter " << params_a[i].name << " diverged after resume";
+    }
+    EXPECT_TRUE(
+        AllClose(uninterrupted.Materialize(), resumed.Materialize(), 0.0f));
+    std::remove(path.c_str());
+  }
+
+  static data::UrbanDataBundle* bundle_;
+  static std::vector<data::AlignedDataset>* slim_;
+};
+
+data::UrbanDataBundle* CheckpointResumeTest::bundle_ = nullptr;
+std::vector<data::AlignedDataset>* CheckpointResumeTest::slim_ = nullptr;
+
+TEST_F(CheckpointResumeTest, CoreModelResumesBitwise) {
+  CheckResumeMatches(TinyTrainerConfig(TinyCity()), nullptr);
+}
+
+TEST_F(CheckpointResumeTest, DwaAdversarialDisentangledResumesBitwise) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.weighting = WeightingMode::kDwa;
+  config.fairness = FairnessMode::kAdversarial;
+  config.cdae.disentangle = true;
+  config.lambda = 2.0;
+  CheckResumeMatches(config, &bundle_->race_map);
+}
+
+TEST_F(CheckpointResumeTest, OursWeightingResumesBitwise) {
+  // kOurs also checks that resume restores L(opt) instead of
+  // re-estimating (re-estimation would retrain the solo CDAEs).
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.weighting = WeightingMode::kOurs;
+  CheckResumeMatches(config, nullptr);
+}
+
+TEST_F(CheckpointResumeTest, UncertaintyGradReversalResumesBitwise) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.weighting = WeightingMode::kUncertainty;
+  config.fairness = FairnessMode::kGradReversal;
+  CheckResumeMatches(config, &bundle_->race_map);
+}
+
+TEST_F(CheckpointResumeTest, ResumeRestoresOptimalLosses) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.weighting = WeightingMode::kOurs;
+  config.epochs = 2;
+  const std::string path = ::testing::TempDir() + "/resume_opt.etck";
+
+  EquiTensorTrainer first(config, slim_, nullptr);
+  first.SetCheckpointing(path, 1);
+  first.Train();
+  ASSERT_FALSE(first.optimal_losses().empty());
+
+  EquiTensorConfig longer = config;
+  longer.epochs = 3;
+  EquiTensorTrainer resumed(longer, slim_, nullptr);
+  ASSERT_TRUE(resumed.LoadTrainingState(path));
+  EXPECT_EQ(resumed.optimal_losses(), first.optimal_losses());
+  resumed.Train();
+  EXPECT_EQ(resumed.log().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointResumeTest, MismatchedConfigRejected) {
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.epochs = 2;
+  const std::string path = ::testing::TempDir() + "/resume_mismatch.etck";
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.SetCheckpointing(path, 1);
+  trainer.Train();
+
+  {
+    EquiTensorConfig other = config;
+    other.weighting = WeightingMode::kDwa;
+    EquiTensorTrainer wrong(other, slim_, nullptr);
+    EXPECT_FALSE(wrong.LoadTrainingState(path));
+    EXPECT_EQ(wrong.completed_epochs(), 0);
+  }
+  {
+    EquiTensorConfig other = config;
+    other.fairness = FairnessMode::kGradReversal;
+    EquiTensorTrainer wrong(other, slim_, &bundle_->race_map);
+    EXPECT_FALSE(wrong.LoadTrainingState(path));
+  }
+  {
+    EquiTensorConfig other = config;
+    other.cdae.latent_channels = 3;  // different model shapes
+    EquiTensorTrainer wrong(other, slim_, nullptr);
+    EXPECT_FALSE(wrong.LoadTrainingState(path));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointResumeTest, ModelOnlyCheckpointRejectedAsTrainingState) {
+  const std::string model_path = ::testing::TempDir() + "/model_only.etck";
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.epochs = 1;
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.Train();
+  ASSERT_TRUE(nn::SaveModule(model_path, trainer.model()));
+
+  EquiTensorTrainer fresh(config, slim_, nullptr);
+  EXPECT_FALSE(fresh.LoadTrainingState(model_path));
+  std::remove(model_path.c_str());
+}
+
+TEST_F(CheckpointResumeTest, CheckpointFileIsValidV2) {
+  const std::string path = ::testing::TempDir() + "/resume_v2.etck";
+  EquiTensorConfig config = TinyTrainerConfig(TinyCity());
+  config.epochs = 1;
+  EquiTensorTrainer trainer(config, slim_, nullptr);
+  trainer.SetCheckpointing(path, 1);
+  trainer.Train();
+
+  nn::Checkpoint ckpt;
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &ckpt));
+  ASSERT_NE(ckpt.FindMetadata("state.kind"), nullptr);
+  EXPECT_EQ(*ckpt.FindMetadata("state.kind"), "equitensor.train_state");
+  int64_t epoch = -1;
+  ASSERT_NE(ckpt.FindMetadata("state.epoch"), nullptr);
+  ASSERT_TRUE(nn::DecodeI64(*ckpt.FindMetadata("state.epoch"), &epoch));
+  EXPECT_EQ(epoch, 1);
+  EXPECT_NE(ckpt.FindTensor("model.enc0.conv0.weight"), nullptr);
+  EXPECT_NE(ckpt.FindTensor("opt.cdae.m0"), nullptr);
+  EXPECT_NE(ckpt.FindMetadata("state.rng"), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace equitensor

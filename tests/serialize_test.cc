@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "nn/layers.h"
@@ -12,6 +14,45 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream(path, std::ios::binary).write(bytes.data(),
+                                              static_cast<std::streamsize>(
+                                                  bytes.size()));
+}
+
+// Replicates the v1 on-disk layout (magic, u32 version=1, u64 count,
+// then name/rank/dims/payload records — no endian marker, metadata, or
+// CRC footer) exactly as the seed serializer wrote it, for
+// backward-compat coverage.
+std::string EncodeV1(
+    const std::vector<std::pair<std::string, Tensor>>& tensors) {
+  std::string out;
+  const auto append = [&out](const void* p, size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  };
+  const auto append_u32 = [&](uint32_t v) { append(&v, sizeof(v)); };
+  const auto append_u64 = [&](uint64_t v) { append(&v, sizeof(v)); };
+  append("ETCK", 4);
+  append_u32(1);
+  append_u64(tensors.size());
+  for (const auto& [name, tensor] : tensors) {
+    append_u64(name.size());
+    append(name.data(), name.size());
+    append_u32(static_cast<uint32_t>(tensor.rank()));
+    for (int d = 0; d < tensor.rank(); ++d) {
+      append_u64(static_cast<uint64_t>(tensor.dim(d)));
+    }
+    append(tensor.data(), static_cast<size_t>(tensor.size()) * sizeof(float));
+  }
+  return out;
 }
 
 TEST(SerializeTest, TensorRoundTrip) {
@@ -45,6 +86,49 @@ TEST(SerializeTest, NamedTensorsPreserveOrderAndNames) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, MetadataRoundTripAndLookup) {
+  Rng rng(21);
+  Checkpoint ckpt;
+  ckpt.tensors.emplace_back("weights", Tensor::RandomUniform({4, 2}, rng));
+  ckpt.metadata.emplace_back("epoch", EncodeI64(17));
+  ckpt.metadata.emplace_back("note", std::string("free\0form", 9));
+  const std::string path = TempPath("meta.etck");
+  ASSERT_TRUE(SaveCheckpoint(path, ckpt));
+  Checkpoint loaded;
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded));
+  ASSERT_NE(loaded.FindTensor("weights"), nullptr);
+  EXPECT_EQ(loaded.FindTensor("missing"), nullptr);
+  ASSERT_NE(loaded.FindMetadata("epoch"), nullptr);
+  int64_t epoch = 0;
+  ASSERT_TRUE(DecodeI64(*loaded.FindMetadata("epoch"), &epoch));
+  EXPECT_EQ(epoch, 17);
+  ASSERT_NE(loaded.FindMetadata("note"), nullptr);
+  EXPECT_EQ(loaded.FindMetadata("note")->size(), 9u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NumericCodecsRoundTripExactly) {
+  const std::vector<double> doubles = {0.1, -3.5e300, 1e-300, 0.0};
+  std::vector<double> doubles_back;
+  ASSERT_TRUE(DecodeDoubles(EncodeDoubles(doubles), &doubles_back));
+  ASSERT_EQ(doubles_back.size(), doubles.size());
+  for (size_t i = 0; i < doubles.size(); ++i) {
+    EXPECT_EQ(doubles_back[i], doubles[i]);
+  }
+  const std::vector<uint64_t> words = {0, ~uint64_t{0}, 42};
+  std::vector<uint64_t> words_back;
+  ASSERT_TRUE(DecodeU64s(EncodeU64s(words), &words_back));
+  EXPECT_EQ(words_back, words);
+  // Empty lists (e.g. a fresh weighter's loss history) round-trip too.
+  ASSERT_TRUE(DecodeDoubles(EncodeDoubles({}), &doubles_back));
+  EXPECT_TRUE(doubles_back.empty());
+  ASSERT_TRUE(DecodeU64s(EncodeU64s({}), &words_back));
+  EXPECT_TRUE(words_back.empty());
+  EXPECT_FALSE(DecodeDoubles("12345", &doubles_back));  // not 8-aligned
+  int64_t v = 0;
+  EXPECT_FALSE(DecodeI64("123", &v));
+}
+
 TEST(SerializeTest, ModuleRoundTripRestoresForward) {
   Rng rng(3);
   ConvStack original(2, 2, {4, 1}, 3, rng);
@@ -63,15 +147,69 @@ TEST(SerializeTest, ModuleRoundTripRestoresForward) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, SaveModuleWritesRealNames) {
+  Rng rng(31);
+  ConvStack stack(2, 2, {4, 1}, 3, rng);
+  const std::string path = TempPath("module_names.etck");
+  ASSERT_TRUE(SaveModule(path, stack));
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  ASSERT_TRUE(LoadTensors(path, &tensors));
+  ASSERT_EQ(tensors.size(), 4u);
+  EXPECT_EQ(tensors[0].first, "conv0.weight");
+  EXPECT_EQ(tensors[1].first, "conv0.bias");
+  EXPECT_EQ(tensors[2].first, "conv1.weight");
+  EXPECT_EQ(tensors[3].first, "conv1.bias");
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, LoadModuleRejectsWrongArchitecture) {
   Rng rng(4);
   ConvStack original(2, 2, {4, 1}, 3, rng);
   const std::string path = TempPath("module_mismatch.etck");
   ASSERT_TRUE(SaveModule(path, original));
-  ConvStack wider(2, 2, {8, 1}, 3, rng);  // Different shapes.
+  ConvStack wider(2, 2, {8, 1}, 3, rng);  // Same names, different shapes.
   EXPECT_FALSE(LoadModule(path, &wider));
-  Linear different(4, 4, rng);  // Different parameter count.
+  ConvStack deeper(2, 2, {4, 4, 1}, 3, rng);  // Extra layer: missing names.
+  EXPECT_FALSE(LoadModule(path, &deeper));
+  Linear different(4, 4, rng);  // Disjoint names.
   EXPECT_FALSE(LoadModule(path, &different));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadModuleReadsV1IndexNamedCheckpoints) {
+  Rng rng(5);
+  ConvStack original(2, 2, {4, 1}, 3, rng);
+  // A v1 module file: index-synthesized names in Parameters() order.
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  const auto params = original.Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    tensors.emplace_back("param_" + std::to_string(i), params[i].value());
+  }
+  const std::string path = TempPath("module_v1.etck");
+  WriteBytes(path, EncodeV1(tensors));
+
+  Rng other_rng(100);
+  ConvStack restored(2, 2, {4, 1}, 3, other_rng);
+  ASSERT_TRUE(LoadModule(path, &restored));
+  Variable x(Tensor::RandomUniform({1, 2, 4, 4}, rng), false);
+  EXPECT_TRUE(AllClose(restored.Forward(x).value(),
+                       original.Forward(x).value(), 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, V1TensorFilesStillLoad) {
+  Rng rng(6);
+  std::vector<std::pair<std::string, Tensor>> tensors = {
+      {"a", Tensor::RandomUniform({2, 3}, rng)},
+      {"b", Tensor::RandomUniform({5}, rng)},
+  };
+  const std::string path = TempPath("v1_tensors.etck");
+  WriteBytes(path, EncodeV1(tensors));
+  std::vector<std::pair<std::string, Tensor>> loaded;
+  ASSERT_TRUE(LoadTensors(path, &loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].first, "a");
+  EXPECT_TRUE(AllClose(loaded[1].second, tensors[1].second, 0.0f));
   std::remove(path.c_str());
 }
 
@@ -92,16 +230,134 @@ TEST(SerializeTest, TruncatedFileFails) {
   Rng rng(5);
   const std::string path = TempPath("truncated.etck");
   ASSERT_TRUE(SaveTensor(path, Tensor::RandomUniform({100}, rng)));
-  // Truncate to half.
-  std::ifstream in(path, std::ios::binary);
-  std::string contents((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-  in.close();
-  std::ofstream(path, std::ios::binary)
-      << contents.substr(0, contents.size() / 2);
+  const std::string contents = ReadBytes(path);
+  WriteBytes(path, contents.substr(0, contents.size() / 2));
   Tensor t;
   EXPECT_FALSE(LoadTensor(path, &t));
   std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CrcDetectsPayloadBitFlip) {
+  Rng rng(7);
+  const std::string path = TempPath("bitflip.etck");
+  ASSERT_TRUE(SaveTensor(path, Tensor::RandomUniform({64}, rng)));
+  std::string contents = ReadBytes(path);
+  // Flip one bit in the middle of the float payload — structurally the
+  // file still parses, so only the CRC footer can catch it.
+  contents[contents.size() / 2] ^= 0x10;
+  WriteBytes(path, contents);
+  Tensor t;
+  EXPECT_FALSE(LoadTensor(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ForeignEndiannessRejected) {
+  Rng rng(8);
+  const std::string path = TempPath("endian.etck");
+  ASSERT_TRUE(SaveTensor(path, Tensor::RandomUniform({4}, rng)));
+  std::string contents = ReadBytes(path);
+  // Byte-swap the endianness marker at offset 8 as a foreign-endian
+  // writer would have laid it down, and re-stamp the CRC so only the
+  // marker check can reject it.
+  std::swap(contents[8], contents[11]);
+  std::swap(contents[9], contents[10]);
+  const uint32_t crc =
+      Crc32(contents.data(), contents.size() - sizeof(uint32_t));
+  std::memcpy(contents.data() + contents.size() - sizeof(uint32_t), &crc,
+              sizeof(crc));
+  WriteBytes(path, contents);
+  Tensor t;
+  EXPECT_FALSE(LoadTensor(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, OverflowingVolumeHeaderRejected) {
+  // Regression: a crafted rank-16 header with 2^40-sized dims used to
+  // overflow the int64 volume product before the allocation. The
+  // loader must reject it outright (v1 path shown; v2 shares the
+  // record reader).
+  std::string bytes;
+  const auto append = [&bytes](const void* p, size_t n) {
+    bytes.append(static_cast<const char*>(p), n);
+  };
+  const auto append_u32 = [&](uint32_t v) { append(&v, sizeof(v)); };
+  const auto append_u64 = [&](uint64_t v) { append(&v, sizeof(v)); };
+  append("ETCK", 4);
+  append_u32(1);           // version 1 (no CRC to forge)
+  append_u64(1);           // one tensor
+  append_u64(3);           // name length
+  append("evil", 3);
+  append_u32(16);          // rank 16
+  for (int d = 0; d < 16; ++d) append_u64(uint64_t{1} << 40);
+  const std::string path = TempPath("overflow.etck");
+  WriteBytes(path, bytes);
+  std::vector<std::pair<std::string, Tensor>> loaded;
+  EXPECT_FALSE(LoadTensors(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, HugeVolumeBoundedByFileSizeRejected) {
+  // A header whose volume fits int64 but dwarfs the actual payload
+  // must be rejected before any allocation happens.
+  std::string bytes;
+  const auto append = [&bytes](const void* p, size_t n) {
+    bytes.append(static_cast<const char*>(p), n);
+  };
+  const auto append_u32 = [&](uint32_t v) { append(&v, sizeof(v)); };
+  const auto append_u64 = [&](uint64_t v) { append(&v, sizeof(v)); };
+  append("ETCK", 4);
+  append_u32(1);
+  append_u64(1);
+  append_u64(1);
+  append("x", 1);
+  append_u32(2);
+  append_u64(uint64_t{1} << 20);
+  append_u64(uint64_t{1} << 20);  // claims 4 TiB of floats
+  const std::string path = TempPath("huge.etck");
+  WriteBytes(path, bytes);
+  std::vector<std::pair<std::string, Tensor>> loaded;
+  EXPECT_FALSE(LoadTensors(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FailedSavePreservesExistingCheckpoint) {
+  Rng rng(9);
+  const Tensor original = Tensor::RandomUniform({32}, rng);
+  const std::string path = TempPath("atomic.etck");
+  ASSERT_TRUE(SaveTensor(path, original));
+
+  // Simulated disk-full partway through the replacement write: the
+  // save must fail, the old checkpoint must survive untouched, and no
+  // temp file may linger.
+  internal::SetWriteFailureAfterBytesForTesting(10);
+  EXPECT_FALSE(SaveTensor(path, Tensor::RandomUniform({32}, rng)));
+  internal::SetWriteFailureAfterBytesForTesting(-1);
+
+  Tensor reloaded;
+  ASSERT_TRUE(LoadTensor(path, &reloaded));
+  EXPECT_TRUE(AllClose(reloaded, original, 0.0f));
+  for (const auto& entry :
+       std::filesystem::directory_iterator(::testing::TempDir())) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "stray temp file " << entry.path();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FailedSaveLeavesNoFileBehind) {
+  const std::string path = TempPath("fresh.etck");
+  internal::SetWriteFailureAfterBytesForTesting(0);
+  Rng rng(10);
+  EXPECT_FALSE(SaveTensor(path, Tensor::RandomUniform({8}, rng)));
+  internal::SetWriteFailureAfterBytesForTesting(-1);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(SerializeTest, SaveIntoMissingDirectoryFails) {
+  Rng rng(11);
+  EXPECT_FALSE(SaveTensor(TempPath("no_such_dir/x.etck"),
+                          Tensor::RandomUniform({4}, rng)));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -68,6 +69,29 @@ TEST(RngTest, NormalMomentsMatch) {
   const double var = sq / n - mean * mean;
   EXPECT_NEAR(mean, 3.0, 0.05);
   EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, StateRoundTripContinuesStream) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) rng.Uniform();
+  rng.Normal();  // leave a cached Box-Muller value pending
+  const std::vector<uint64_t> state = rng.SerializeState();
+  Rng restored(0);
+  ASSERT_TRUE(restored.DeserializeState(state));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored.Normal(), rng.Normal());
+    EXPECT_EQ(restored.Uniform(), rng.Uniform());
+    EXPECT_EQ(restored.UniformInt(1000), rng.UniformInt(1000));
+  }
+}
+
+TEST(RngTest, DeserializeRejectsBadState) {
+  Rng rng(43);
+  EXPECT_FALSE(rng.DeserializeState({1, 2, 3}));  // wrong size
+  std::vector<uint64_t> state = rng.SerializeState();
+  state[4] = 2;  // cache flag must be 0/1
+  EXPECT_FALSE(rng.DeserializeState(state));
+  EXPECT_FALSE(rng.DeserializeState({0, 0, 0, 0, 0, 0}));  // dead engine
 }
 
 TEST(RngTest, PoissonMeanMatchesLambdaSmall) {

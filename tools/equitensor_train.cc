@@ -43,6 +43,13 @@ int main(int argc, char** argv) {
   flags.DefineString("output_z", "equitensor_z.etck",
                      "path for the materialized representation");
   flags.DefineString("output_model", "", "optional model checkpoint path");
+  flags.DefineInt("checkpoint_every", 0,
+                  "write the full training state every N epochs (0 = off)");
+  flags.DefineString("checkpoint_path", "train_state.etck",
+                     "where --checkpoint_every writes the training state");
+  flags.DefineString("resume", "",
+                     "resume from a training-state checkpoint written by "
+                     "--checkpoint_every (flags must match the original run)");
   flags.DefineBool("show_maps", false,
                    "print ASCII maps of the sensitive attribute and Z");
   flags.DefineInt("train_seed", 7, "training seed");
@@ -123,6 +130,19 @@ int main(int argc, char** argv) {
   }
 
   core::EquiTensorTrainer trainer(config, &bundle.datasets, sensitive);
+  if (!flags.GetString("resume").empty()) {
+    if (!trainer.LoadTrainingState(flags.GetString("resume"))) {
+      std::cerr << "failed to resume from " << flags.GetString("resume")
+                << " (see log for the mismatch)\n";
+      return 1;
+    }
+    std::cout << "Resumed from " << flags.GetString("resume") << " at epoch "
+              << trainer.completed_epochs() << "/" << config.epochs << "\n";
+  }
+  if (flags.GetInt("checkpoint_every") > 0) {
+    trainer.SetCheckpointing(flags.GetString("checkpoint_path"),
+                             flags.GetInt("checkpoint_every"));
+  }
   std::cout << "Training " << core::FairnessModeName(config.fairness) << "/"
             << core::WeightingModeName(config.weighting) << " model ("
             << trainer.model().ParameterCount() << " parameters, "
@@ -147,8 +167,7 @@ int main(int argc, char** argv) {
   std::cout << "Wrote Z " << z.ShapeString() << " -> "
             << flags.GetString("output_z") << "\n";
   if (!flags.GetString("output_model").empty()) {
-    if (!nn::SaveModule(flags.GetString("output_model"),
-                        const_cast<models::CoreCdae&>(trainer.model()))) {
+    if (!nn::SaveModule(flags.GetString("output_model"), trainer.model())) {
       std::cerr << "failed to write model checkpoint\n";
       return 1;
     }
