@@ -11,7 +11,9 @@
 #include "geo/rasterize.h"
 #include "nn/lstm.h"
 #include "tensor/tensor_ops.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace equitensor {
 namespace {
@@ -197,6 +199,53 @@ void BM_Corrupt(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Corrupt);
+
+// Observability overhead (DESIGN.md §10 contract: runtime-disabled
+// spans cost one relaxed load + branch). Arg 0 runs conv3d forward
+// with tracing runtime-disabled, Arg 1 with it enabled — comparing the
+// two against BM_Conv3dForward/1 quantifies both levels.
+void BM_Conv3dForwardTraced(benchmark::State& state) {
+  SetTracingEnabled(state.range(0) != 0);
+  Rng rng(3);
+  Variable x(Tensor::RandomUniform({2, 8, 12, 10, 24}, rng), false);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Conv3d(x, w).value().data());
+  }
+  SetTracingEnabled(false);
+}
+BENCHMARK(BM_Conv3dForwardTraced)
+    ->Arg(0)
+    ->Arg(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Raw span open/close cost with tracing enabled (worst case: a span
+// around nothing).
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  SetTracingEnabled(true);
+  for (auto _ : state) {
+    ET_TRACE_SPAN("bench.empty_span");
+  }
+  SetTracingEnabled(false);
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  SetTracingEnabled(false);
+  for (auto _ : state) {
+    ET_TRACE_SPAN("bench.empty_span_off");
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+// Counter fast path: one relaxed fetch_add on a cached pointer.
+void BM_MetricCounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    ET_METRIC_COUNTER_ADD("bench.counter", 1);
+  }
+}
+BENCHMARK(BM_MetricCounterAdd);
 
 }  // namespace
 }  // namespace equitensor

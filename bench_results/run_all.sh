@@ -13,4 +13,10 @@ done
   --benchmark_format=json > BENCH_kernels.json 2> bench_kernels.log
 /root/repo/build/bench/bench_kernels --benchmark_min_time=0.2 \
   >> bench_kernels.log 2>&1
+# Training telemetry trajectory (per-epoch losses/weights + run summary
+# with kernel timings) in the machine-readable JSONL schema of
+# DESIGN.md §10 — comparable across PRs like BENCH_kernels.json.
+/root/repo/build/tools/equitensor_train --days=10 --epochs=4 \
+  --weighting=dwa --fairness=adversarial --trace \
+  --metrics_jsonl=BENCH_train_telemetry.jsonl > bench_train_telemetry.log 2>&1
 echo ALL_BENCHES_DONE

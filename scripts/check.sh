@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the checkpoint/serialization layer: builds the
-# suite with ASan+UBSan and runs the serializer, fault-injection,
-# resume, and weighting tests. Fault injections must be *rejected*, not
-# merely survived — any sanitizer report fails the script.
+# Sanitizer + test gate. Builds the suite with ASan+UBSan, self-tests
+# the runner (a deliberately failing test must turn the exit status
+# red), then runs the labeled ctest suites. Any sanitizer report or
+# failing test fails the script — ctest's exit status is propagated,
+# never swallowed behind a pipeline or `|| true`.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+# Usage: scripts/check.sh [--quick] [build-dir]
+#   --quick    run only tests labeled `unit` (seconds, not minutes)
+#   build-dir  defaults to build-asan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build-asan}"
+QUICK=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$BUILD_DIR" -S . \
@@ -16,15 +28,31 @@ cmake -B "$BUILD_DIR" -S . \
   -DEQUITENSOR_BUILD_BENCHMARKS=OFF \
   -DEQUITENSOR_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-
-TESTS=(serialize_test checkpoint_fault_test checkpoint_resume_test
-       adaptive_weighting_test util_test)
-cmake --build "$BUILD_DIR" -j "$JOBS" --target "${TESTS[@]}"
+cmake --build "$BUILD_DIR" -j "$JOBS"
 
 export ASAN_OPTIONS=detect_leaks=0:abort_on_error=1
 export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
-for t in "${TESTS[@]}"; do
-  echo "=== $t (ASan+UBSan) ==="
-  "$BUILD_DIR/tests/$t"
-done
+
+# Self-test the harness before trusting a green run: the forced-failure
+# hook in metrics_test must come back as a non-zero ctest exit. This
+# guards against runner regressions where a red test is reported as
+# success (e.g. a status-masking pipeline).
+echo "=== runner self-test (a forced failure must propagate) ==="
+if ET_FORCE_TEST_FAILURE=1 ctest --test-dir "$BUILD_DIR" \
+     -R 'MetricsSmokeTest\.FailsWhenForced' --output-on-failure \
+     --no-tests=error >/dev/null 2>&1; then
+  echo "check.sh: forced failure came back green — the runner is broken" >&2
+  exit 1
+fi
+echo "runner self-test OK: failure propagated as non-zero exit."
+
+LABEL_ARGS=()
+if [[ "$QUICK" == 1 ]]; then
+  LABEL_ARGS=(-L unit)
+  echo "=== unit tests (ASan+UBSan, --quick) ==="
+else
+  echo "=== full suite (ASan+UBSan) ==="
+fi
+ctest --test-dir "$BUILD_DIR" "${LABEL_ARGS[@]+"${LABEL_ARGS[@]}"}" \
+  --output-on-failure --no-tests=error -j "$JOBS"
 echo "All sanitizer checks passed."

@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace equitensor {
 namespace ag {
@@ -37,6 +38,7 @@ Conv1dDims Check1d(const Tensor& x, const Tensor& w) {
 
 void Conv1dForward(const Conv1dDims& d, const Tensor& x, const Tensor& w,
                    Tensor* out) {
+  ET_TRACE_SPAN("conv1d.fwd");
   ParallelFor(
       0, d.batch * d.cout, GrainForCost(d.cin * d.k * d.t),
       [&](int64_t i0, int64_t i1) {
@@ -61,6 +63,7 @@ void Conv1dForward(const Conv1dDims& d, const Tensor& x, const Tensor& w,
 
 void Conv1dBackward(const Conv1dDims& d, const Tensor& x, const Tensor& w,
                     const Tensor& gout, Tensor* gx, Tensor* gw) {
+  ET_TRACE_SPAN("conv1d.bwd");
   if (gx) {
     ParallelFor(
         0, d.batch * d.cin, GrainForCost(d.cout * d.k * d.t),
@@ -124,6 +127,7 @@ Conv2dDims Check2d(const Tensor& x, const Tensor& wt) {
 
 void Conv2dForward(const Conv2dDims& d, const Tensor& x, const Tensor& wt,
                    Tensor* out) {
+  ET_TRACE_SPAN("conv2d.fwd");
   const int64_t plane = d.w * d.h;
   ParallelFor(
       0, d.batch * d.cout, GrainForCost(d.cin * d.k * d.k * plane),
@@ -160,6 +164,7 @@ void Conv2dForward(const Conv2dDims& d, const Tensor& x, const Tensor& wt,
 
 void Conv2dBackward(const Conv2dDims& d, const Tensor& x, const Tensor& wt,
                     const Tensor& gout, Tensor* gx, Tensor* gw) {
+  ET_TRACE_SPAN("conv2d.bwd");
   const int64_t plane = d.w * d.h;
   if (gx) {
     ParallelFor(
@@ -247,6 +252,7 @@ Conv3dDims Check3d(const Tensor& x, const Tensor& wt) {
 
 void Conv3dForward(const Conv3dDims& d, const Tensor& x, const Tensor& wt,
                    Tensor* out) {
+  ET_TRACE_SPAN("conv3d.fwd");
   const int64_t vol = d.w * d.h * d.t;
   const int64_t k3 = d.k * d.k * d.k;
   ParallelFor(
@@ -292,6 +298,7 @@ void Conv3dForward(const Conv3dDims& d, const Tensor& x, const Tensor& wt,
 
 void Conv3dBackward(const Conv3dDims& d, const Tensor& x, const Tensor& wt,
                     const Tensor& gout, Tensor* gx, Tensor* gw) {
+  ET_TRACE_SPAN("conv3d.bwd");
   const int64_t vol = d.w * d.h * d.t;
   const int64_t k3 = d.k * d.k * d.k;
   if (gx) {

@@ -4,11 +4,17 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "core/telemetry.h"
 #include "data/preprocess.h"
 #include "nn/serialize.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
+#include "util/system_info.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace equitensor {
 namespace core {
@@ -256,6 +262,22 @@ void EquiTensorTrainer::SetCheckpointing(std::string path, int64_t every) {
   checkpoint_every_ = every;
 }
 
+void EquiTensorTrainer::SetTelemetry(TrainTelemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  RunContext context;
+  context.fairness = FairnessModeName(config_.fairness);
+  context.weighting = WeightingModeName(config_.weighting);
+  context.lambda = config_.lambda;
+  context.alpha = config_.alpha;
+  context.threads = NumThreads();
+  context.epochs_total = config_.epochs;
+  for (const data::AlignedDataset& ds : *datasets_) {
+    context.dataset_names.push_back(ds.name);
+  }
+  telemetry_->set_context(std::move(context));
+}
+
 namespace {
 
 /// Metadata keys of the trainer's full-state checkpoint (layout
@@ -421,6 +443,8 @@ void EquiTensorTrainer::Train() {
 
   const int64_t n_datasets = sampler_.dataset_count();
   for (int64_t epoch = next_epoch_; epoch < config_.epochs; ++epoch) {
+    ET_TRACE_SPAN("train.epoch");
+    Stopwatch epoch_watch;
     EpochLog entry;
     entry.epoch = epoch;
     entry.weights = CurrentWeights();
@@ -447,7 +471,16 @@ void EquiTensorTrainer::Train() {
     }
     entry.adversary_loss =
         adv_sum / static_cast<double>(config_.steps_per_epoch);
+    entry.wall_seconds = epoch_watch.ElapsedSeconds();
+    entry.peak_rss_bytes = PeakRssBytes();
     log_.push_back(entry);
+
+    ET_METRIC_COUNTER_ADD("train.epochs", 1);
+    ET_METRIC_COUNTER_ADD("train.steps",
+                          static_cast<uint64_t>(config_.steps_per_epoch));
+    ET_METRIC_GAUGE_SET("train.total_loss", entry.total_loss);
+    ET_METRIC_GAUGE_SET("train.adversary_loss", entry.adversary_loss);
+    if (telemetry_ != nullptr) telemetry_->OnEpoch(entry);
 
     // Weights update once per epoch from the early-step means (§3.3).
     weighter_.Update(entry.dataset_losses);

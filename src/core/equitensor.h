@@ -55,14 +55,19 @@ struct EquiTensorConfig {
   uint64_t seed = 7;
 };
 
-/// Per-epoch training telemetry (drives Figures 4 and 5).
+/// Per-epoch training telemetry (drives Figures 4 and 5, and the
+/// JSONL epoch records of core/telemetry).
 struct EpochLog {
   int64_t epoch = 0;
   std::vector<double> dataset_losses;  // mean early-step MAE per dataset
   std::vector<double> weights;         // w_i(t) used during this epoch
   double total_loss = 0.0;             // unweighted sum of dataset losses
   double adversary_loss = 0.0;         // L_A (0 when fairness is off)
+  double wall_seconds = 0.0;           // wall time of this epoch
+  int64_t peak_rss_bytes = 0;          // process peak RSS after the epoch
 };
+
+class TrainTelemetry;
 
 /// Trains the EquiTensor model on a set of aligned datasets and
 /// materializes the integrated representation Z.
@@ -81,6 +86,13 @@ class EquiTensorTrainer {
   /// run with the same config (the resume determinism contract,
   /// DESIGN.md §9).
   void Train();
+
+  /// Attaches an observability sink (core/telemetry.h): fills its
+  /// RunContext from this trainer's config and streams one record per
+  /// epoch during Train(). The sink must outlive the trainer; pass
+  /// nullptr to detach. Call Finish() on the sink yourself after
+  /// Train() returns.
+  void SetTelemetry(TrainTelemetry* telemetry);
 
   /// Enables periodic checkpointing: after every `every` completed
   /// epochs (and after the final one) Train() atomically writes the
@@ -159,6 +171,7 @@ class EquiTensorTrainer {
   std::vector<EpochLog> log_;
   bool trained_ = false;
 
+  TrainTelemetry* telemetry_ = nullptr;
   std::string checkpoint_path_;
   int64_t checkpoint_every_ = 0;
   int64_t next_epoch_ = 0;  // First epoch Train() will run.

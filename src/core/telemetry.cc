@@ -1,0 +1,148 @@
+#include "core/telemetry.h"
+
+#include <utility>
+
+#include "core/equitensor.h"
+#include "util/system_info.h"
+#include "util/thread_pool.h"
+
+namespace equitensor {
+namespace core {
+
+namespace {
+
+JsonValue DoubleArray(const std::vector<double>& values) {
+  JsonValue array = JsonValue::Array();
+  for (double v : values) array.Append(JsonValue::Number(v));
+  return array;
+}
+
+std::string JoinNumbers(const std::vector<double>& values, int decimals) {
+  std::string joined;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) joined += " ";
+    joined += TextTable::Num(values[i], decimals);
+  }
+  return joined;
+}
+
+}  // namespace
+
+TrainTelemetry::~TrainTelemetry() {
+  if (jsonl_open_) jsonl_.close();
+}
+
+bool TrainTelemetry::OpenJsonl(const std::string& path) {
+  jsonl_.open(path, std::ios::out | std::ios::trunc);
+  jsonl_open_ = jsonl_.is_open();
+  return jsonl_open_;
+}
+
+void TrainTelemetry::EnableProgress(std::ostream* os) { progress_ = os; }
+
+JsonValue TrainTelemetry::EpochToJson(const EpochLog& log,
+                                      const RunContext& context) {
+  JsonValue record = JsonValue::Object();
+  record.Set("type", JsonValue::Str("epoch"));
+  record.Set("epoch", JsonValue::Int(log.epoch));
+  record.Set("epochs_total", JsonValue::Int(context.epochs_total));
+  record.Set("dataset_loss", DoubleArray(log.dataset_losses));
+  record.Set("weights", DoubleArray(log.weights));
+  record.Set("total_loss", JsonValue::Number(log.total_loss));
+  record.Set("adversary_loss", JsonValue::Number(log.adversary_loss));
+  record.Set("lambda", JsonValue::Number(context.lambda));
+  record.Set("wall_seconds", JsonValue::Number(log.wall_seconds));
+  record.Set("peak_rss_bytes", JsonValue::Int(log.peak_rss_bytes));
+  return record;
+}
+
+JsonValue TrainTelemetry::RunSummaryToJson(
+    const RunContext& context, double total_seconds, int64_t epochs_completed,
+    const std::vector<TraceStats>& kernels, const MetricsSnapshot& metrics) {
+  JsonValue record = JsonValue::Object();
+  record.Set("type", JsonValue::Str("run_summary"));
+  record.Set("schema_version", JsonValue::Int(1));
+  record.Set("git", JsonValue::Str(GitDescribe()));
+  record.Set("threads", JsonValue::Int(context.threads));
+  record.Set("fairness", JsonValue::Str(context.fairness));
+  record.Set("weighting", JsonValue::Str(context.weighting));
+  record.Set("alpha", JsonValue::Number(context.alpha));
+  record.Set("lambda", JsonValue::Number(context.lambda));
+  JsonValue names = JsonValue::Array();
+  for (const std::string& name : context.dataset_names) {
+    names.Append(JsonValue::Str(name));
+  }
+  record.Set("datasets", std::move(names));
+  record.Set("epochs_completed", JsonValue::Int(epochs_completed));
+  record.Set("total_seconds", JsonValue::Number(total_seconds));
+  record.Set("peak_rss_bytes", JsonValue::Int(PeakRssBytes()));
+  JsonValue timings = JsonValue::Array();
+  for (const TraceStats& s : kernels) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::Str(s.name));
+    entry.Set("count", JsonValue::Int(static_cast<int64_t>(s.count)));
+    entry.Set("total_seconds", JsonValue::Number(s.total_seconds));
+    entry.Set("self_seconds", JsonValue::Number(s.self_seconds));
+    entry.Set("max_seconds", JsonValue::Number(s.max_seconds));
+    timings.Append(std::move(entry));
+  }
+  record.Set("kernel_timings", std::move(timings));
+  record.Set("metrics", MetricsToJson(metrics));
+  return record;
+}
+
+void TrainTelemetry::OnEpoch(const EpochLog& log) {
+  if (jsonl_open_) {
+    jsonl_ << EpochToJson(log, context_).Dump() << "\n";
+    jsonl_.flush();
+  }
+  if (progress_ != nullptr) {
+    if (!progress_header_printed_) {
+      *progress_ << "epoch  total_loss  adv_loss  wall_s  weights\n";
+      progress_header_printed_ = true;
+    }
+    *progress_ << log.epoch + 1 << "/" << context_.epochs_total << "  "
+               << TextTable::Num(log.total_loss, 4) << "  "
+               << TextTable::Num(log.adversary_loss, 4) << "  "
+               << TextTable::Num(log.wall_seconds, 2) << "  ["
+               << JoinNumbers(log.weights, 3) << "]\n";
+    progress_->flush();
+  }
+  progress_rows_.push_back({std::to_string(log.epoch + 1),
+                            JoinNumbers(log.dataset_losses, 4),
+                            JoinNumbers(log.weights, 3),
+                            TextTable::Num(log.total_loss, 4),
+                            TextTable::Num(log.adversary_loss, 4),
+                            TextTable::Num(log.wall_seconds, 2)});
+}
+
+void TrainTelemetry::Finish(double total_seconds, int64_t epochs_completed) {
+  const std::vector<TraceStats> kernels = CollectTraceStats();
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  if (jsonl_open_) {
+    jsonl_ << RunSummaryToJson(context_, total_seconds, epochs_completed,
+                               kernels, metrics)
+                  .Dump()
+           << "\n";
+    jsonl_.flush();
+  }
+  if (progress_ != nullptr) {
+    TextTable table({"epoch", "dataset_loss", "weights", "total", "adv",
+                     "wall_s"});
+    for (const auto& row : progress_rows_) table.AddRow(row);
+    *progress_ << table;
+    *progress_ << "run: " << epochs_completed << " epochs in "
+               << TextTable::Num(total_seconds, 2) << "s, peak rss "
+               << TextTable::Num(static_cast<double>(PeakRssBytes()) /
+                                     (1024.0 * 1024.0),
+                                 1)
+               << " MiB, git " << GitDescribe() << ", threads "
+               << context_.threads << "\n";
+    const std::string trace_table = TraceReportTable();
+    if (!trace_table.empty()) *progress_ << trace_table;
+    progress_->flush();
+  }
+}
+
+}  // namespace core
+}  // namespace equitensor

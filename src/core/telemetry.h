@@ -1,0 +1,87 @@
+#ifndef EQUITENSOR_CORE_TELEMETRY_H_
+#define EQUITENSOR_CORE_TELEMETRY_H_
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/table.h"
+#include "util/trace.h"
+
+namespace equitensor {
+namespace core {
+
+struct EpochLog;
+
+/// Immutable facts about a training run, stamped into every telemetry
+/// record. Filled by EquiTensorTrainer::SetTelemetry from its config.
+struct RunContext {
+  std::string fairness = "none";
+  std::string weighting = "none";
+  double lambda = 0.0;
+  double alpha = 0.0;
+  int threads = 1;
+  int64_t epochs_total = 0;
+  std::vector<std::string> dataset_names;
+};
+
+/// Training observability sinks (DESIGN.md §10): a machine-readable
+/// JSONL stream (one object per epoch plus a final run summary) and a
+/// human progress table built on util/table. Either sink is optional;
+/// with neither enabled every hook is a cheap no-op.
+///
+/// The JSONL field names are a STABILITY CONTRACT consumed by
+/// tools/plot_csv --jsonl and the BENCH_*.json tooling — extend the
+/// schema by adding fields, never by renaming or removing them.
+class TrainTelemetry {
+ public:
+  TrainTelemetry() = default;
+  ~TrainTelemetry();
+
+  TrainTelemetry(const TrainTelemetry&) = delete;
+  TrainTelemetry& operator=(const TrainTelemetry&) = delete;
+
+  /// Opens (truncates) the JSONL sink. Returns false on I/O failure.
+  bool OpenJsonl(const std::string& path);
+
+  /// Streams one human progress line per epoch to `os` (and the full
+  /// boxed table at Finish). `os` must outlive this object.
+  void EnableProgress(std::ostream* os);
+
+  void set_context(RunContext context) { context_ = std::move(context); }
+  const RunContext& context() const { return context_; }
+
+  /// Appends one epoch record to every enabled sink; flushes the
+  /// JSONL stream so a killed run keeps its completed epochs.
+  void OnEpoch(const EpochLog& log);
+
+  /// Writes the final run-summary record (git revision, thread count,
+  /// kernel timings from the trace layer, merged metrics) and the
+  /// boxed progress table. Call once, after training.
+  void Finish(double total_seconds, int64_t epochs_completed);
+
+  /// Schema builders, exposed for the round-trip tests.
+  static JsonValue EpochToJson(const EpochLog& log, const RunContext& context);
+  static JsonValue RunSummaryToJson(const RunContext& context,
+                                    double total_seconds,
+                                    int64_t epochs_completed,
+                                    const std::vector<TraceStats>& kernels,
+                                    const MetricsSnapshot& metrics);
+
+ private:
+  RunContext context_;
+  std::ofstream jsonl_;
+  bool jsonl_open_ = false;
+  std::ostream* progress_ = nullptr;
+  bool progress_header_printed_ = false;
+  std::vector<std::vector<std::string>> progress_rows_;
+};
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_TELEMETRY_H_

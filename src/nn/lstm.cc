@@ -3,6 +3,7 @@
 #include "autograd/ops.h"
 #include "nn/init.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace equitensor {
 namespace nn {
@@ -25,6 +26,7 @@ LstmState LstmCell::InitialState(int64_t n) const {
 }
 
 LstmState LstmCell::Step(const Variable& x, const LstmState& state) const {
+  ET_TRACE_SPAN("lstm.step");
   ET_CHECK_EQ(x.rank(), 2);
   ET_CHECK_EQ(x.value().dim(1), input_size_);
   const int64_t n = x.value().dim(0);

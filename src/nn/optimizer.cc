@@ -5,6 +5,7 @@
 #include "nn/serialize.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace equitensor {
 namespace nn {
@@ -29,6 +30,7 @@ double Adam::CurrentLearningRate() const {
 }
 
 void Adam::Step() {
+  ET_TRACE_SPAN("adam.step");
   const double lr = CurrentLearningRate();
   ++step_;
   const double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_));

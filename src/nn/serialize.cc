@@ -13,6 +13,8 @@
 
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace equitensor {
 namespace nn {
@@ -333,19 +335,28 @@ bool DecodeCheckpoint(const std::string& bytes, Checkpoint* checkpoint) {
 }
 
 bool SaveCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
-  return WriteFileAtomic(path, EncodeCheckpoint(checkpoint));
+  ET_TRACE_SPAN("checkpoint.save");
+  const std::string bytes = EncodeCheckpoint(checkpoint);
+  if (!WriteFileAtomic(path, bytes)) return false;
+  ET_METRIC_COUNTER_ADD("checkpoint.saves", 1);
+  ET_METRIC_COUNTER_ADD("checkpoint.bytes_written", bytes.size());
+  return true;
 }
 
 bool LoadCheckpoint(const std::string& path, Checkpoint* checkpoint) {
+  ET_TRACE_SPAN("checkpoint.load");
   std::string bytes;
   if (!ReadFileBytes(path, &bytes)) {
     ET_LOG(Warning) << "checkpoint: cannot read " << path;
     return false;
   }
   if (!DecodeCheckpoint(bytes, checkpoint)) {
+    ET_METRIC_COUNTER_ADD("checkpoint.rejects", 1);
     ET_LOG(Warning) << "checkpoint: rejected " << path;
     return false;
   }
+  ET_METRIC_COUNTER_ADD("checkpoint.loads", 1);
+  ET_METRIC_COUNTER_ADD("checkpoint.bytes_read", bytes.size());
   return true;
 }
 

@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace equitensor {
 namespace {
@@ -88,6 +89,7 @@ double MeanSquaredError(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ET_TRACE_SPAN("matmul");
   ET_CHECK_EQ(a.rank(), 2);
   ET_CHECK_EQ(b.rank(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);

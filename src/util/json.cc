@@ -1,0 +1,429 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace {
+
+// Nesting cap: telemetry documents are ~3 levels deep; the cap only
+// guards the recursive parser against adversarial inputs.
+constexpr int kMaxDepth = 100;
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    *out += "null";
+    return;
+  }
+  // %.17g round-trips every double; shorten when a cheaper form does.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  if (std::strtod(buf, nullptr) != value) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  *out += buf;
+}
+
+/// Recursive-descent JSON parser over an in-memory buffer.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Run(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const char* message) {
+    if (error_ != nullptr) {
+      *error_ = std::string(message) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return Fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return Fail("dangling escape");
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // combined; telemetry strings are ASCII in practice).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // — strtod alone is too permissive ("+1", "01", "0x2", "inf").
+    const size_t start = pos_;
+    auto digit = [&] {
+      return pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]));
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit()) return Fail("invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;  // a leading zero cannot be followed by more digits
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit()) return Fail("invalid number");
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) return Fail("invalid number");
+      while (digit()) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    *out = JsonValue::Number(std::strtod(token.c_str(), nullptr));
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!Literal("null", 4)) return false;
+        *out = JsonValue::Null();
+        return true;
+      case 't':
+        if (!Literal("true", 4)) return false;
+        *out = JsonValue::Bool(true);
+        return true;
+      case 'f':
+        if (!Literal("false", 5)) return false;
+        *out = JsonValue::Bool(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = JsonValue::Str(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        *out = JsonValue::Array();
+        SkipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          JsonValue element;
+          SkipWhitespace();
+          if (!ParseValue(&element, depth + 1)) return false;
+          out->Append(std::move(element));
+          SkipWhitespace();
+          if (pos_ >= text_.size()) return Fail("unterminated array");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos_;
+        *out = JsonValue::Object();
+        SkipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          SkipWhitespace();
+          if (pos_ >= text_.size() || text_[pos_] != '"') {
+            return Fail("expected object key");
+          }
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipWhitespace();
+          if (pos_ >= text_.size() || text_[pos_] != ':') {
+            return Fail("expected ':'");
+          }
+          ++pos_;
+          SkipWhitespace();
+          JsonValue value;
+          if (!ParseValue(&value, depth + 1)) return false;
+          out->Set(key, std::move(value));
+          SkipWhitespace();
+          if (pos_ >= text_.size()) return Fail("unterminated object");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return Fail("expected ',' or '}'");
+        }
+      }
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+int64_t JsonValue::int_value() const {
+  return static_cast<int64_t>(std::llround(number_));
+}
+
+void JsonValue::Append(JsonValue value) {
+  ET_CHECK(type_ == Type::kArray) << "Append on non-array JsonValue";
+  items_.push_back(std::move(value));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  ET_CHECK(type_ == Type::kObject) << "Set on non-object JsonValue";
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::kNull:
+      out = "null";
+      break;
+    case Type::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(&out, number_);
+      break;
+    case Type::kString:
+      AppendEscaped(&out, string_);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += items_[i].Dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        AppendEscaped(&out, members_[i].first);
+        out.push_back(':');
+        out += members_[i].second.Dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+bool JsonValue::Parse(const std::string& text, JsonValue* out,
+                      std::string* error) {
+  Parser parser(text, error);
+  if (parser.Run(out)) return true;
+  *out = JsonValue::Null();
+  return false;
+}
+
+}  // namespace equitensor

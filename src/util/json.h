@@ -1,0 +1,80 @@
+#ifndef EQUITENSOR_UTIL_JSON_H_
+#define EQUITENSOR_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace equitensor {
+
+/// Minimal JSON document model used by the telemetry layer: the
+/// trainer's `--metrics_jsonl` sink dumps one object per line, and the
+/// tests/tools parse those lines back. Objects preserve insertion
+/// order so emitted records are stable and diffable. Numbers are
+/// doubles (ints round-trip exactly up to 2^53, ample for epoch
+/// counters and byte totals).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue Int(int64_t value) {
+    return Number(static_cast<double>(value));
+  }
+  static JsonValue Str(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  /// number() rounded to the nearest integer (JSON has no int type).
+  int64_t int_value() const;
+  const std::string& str() const { return string_; }
+
+  /// Array elements (empty unless type is kArray).
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in insertion order (empty unless type is kObject).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  size_t size() const {
+    return type_ == Type::kObject ? members_.size() : items_.size();
+  }
+
+  /// Appends to an array (aborts if this is not an array).
+  void Append(JsonValue value);
+  /// Sets an object member, replacing an existing key in place
+  /// (aborts if this is not an object).
+  void Set(const std::string& key, JsonValue value);
+
+  /// Looks up an object member; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Compact single-line serialization (the JSONL form).
+  std::string Dump() const;
+
+  /// Parses a complete JSON document. On failure returns false and
+  /// (optionally) describes the first error with its byte offset.
+  /// Trailing non-whitespace after the document is an error.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_JSON_H_

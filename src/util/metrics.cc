@@ -1,0 +1,233 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace equitensor {
+namespace metrics_internal {
+
+int ThreadSlot() {
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+  return slot;
+}
+
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t observed = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &observed, sizeof(current));
+    const double updated = current + delta;
+    uint64_t updated_bits;
+    std::memcpy(&updated_bits, &updated, sizeof(updated_bits));
+    if (bits->compare_exchange_weak(observed, updated_bits,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double LoadDouble(const std::atomic<uint64_t>& bits) {
+  const uint64_t raw = bits.load(std::memory_order_relaxed);
+  double value;
+  std::memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+}  // namespace metrics_internal
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      slots_(static_cast<size_t>(metrics_internal::kSlots)) {
+  ET_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket bounds must be sorted";
+  for (auto& slot : slots_) {
+    slot.buckets = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  Slot& slot = slots_[static_cast<size_t>(metrics_internal::ThreadSlot())];
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  slot.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  metrics_internal::AtomicAddDouble(&slot.sum_bits, value);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  for (const Slot& slot : slots_) {
+    for (size_t b = 0; b < merged.size(); ++b) {
+      merged[b] += slot.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Slot& slot : slots_) {
+    total += metrics_internal::LoadDouble(slot.sum_bits);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Slot& slot : slots_) {
+    for (auto& bucket : slot.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double growth,
+                                                 int count) {
+  ET_CHECK(start > 0.0 && growth > 1.0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= growth;
+  }
+  return bounds;
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  // Leaked: metric pointers cached in function-local statics must stay
+  // valid through process teardown (worker threads may outlive main).
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto& slot = state.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto& slot = state.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto& slot = state.histograms[name];
+  if (!slot) {
+    if (bounds.empty()) {
+      // Latency-flavored default: 1 µs .. ~65 s in powers of 4.
+      bounds = Histogram::ExponentialBounds(1e-6, 4.0, 13);
+    }
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : state.counters) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  for (const auto& [name, gauge] : state.gauges) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, histogram] : state.histograms) {
+    snapshot.histograms.push_back({name, histogram->bounds(),
+                                   histogram->BucketCounts(),
+                                   histogram->Count(), histogram->Sum()});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& [name, counter] : state.counters) counter->Reset();
+  for (auto& [name, gauge] : state.gauges) gauge->Reset();
+  for (auto& [name, histogram] : state.histograms) histogram->Reset();
+}
+
+JsonValue MetricsToJson(const MetricsSnapshot& snapshot) {
+  JsonValue root = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& c : snapshot.counters) {
+    counters.Set(c.name, JsonValue::Number(static_cast<double>(c.value)));
+  }
+  root.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& g : snapshot.gauges) {
+    gauges.Set(g.name, JsonValue::Number(g.value));
+  }
+  root.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& h : snapshot.histograms) {
+    JsonValue entry = JsonValue::Object();
+    JsonValue bounds = JsonValue::Array();
+    for (const double b : h.bounds) bounds.Append(JsonValue::Number(b));
+    entry.Set("bounds", std::move(bounds));
+    JsonValue buckets = JsonValue::Array();
+    for (const uint64_t b : h.buckets) {
+      buckets.Append(JsonValue::Number(static_cast<double>(b)));
+    }
+    entry.Set("buckets", std::move(buckets));
+    entry.Set("count", JsonValue::Number(static_cast<double>(h.count)));
+    entry.Set("sum", JsonValue::Number(h.sum));
+    histograms.Set(h.name, std::move(entry));
+  }
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+}  // namespace equitensor

@@ -1,0 +1,192 @@
+#ifndef EQUITENSOR_UTIL_METRICS_H_
+#define EQUITENSOR_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace equitensor {
+
+/// Process-wide metrics layer (DESIGN.md §10).
+///
+/// Writes take a lock-free fast path: every metric owns a fixed array
+/// of cache-line-padded slots and each thread updates the slot picked
+/// by its thread-local index (assigned on first use, wrapping when
+/// more threads than slots exist — updates stay correct because every
+/// cell is atomic). Readers merge the slots on scrape, so scrapes are
+/// O(slots) and never block writers. Metric objects are registered
+/// once by name in the global registry and are never destroyed, so a
+/// call site may cache the pointer (the `ET_METRIC_*` macros below do
+/// exactly that with a function-local static).
+
+namespace metrics_internal {
+
+/// Slot count per metric. Matches the thread pool's practical
+/// parallelism; more threads than slots share cells atomically.
+constexpr int kSlots = 64;
+
+/// Index of the calling thread's slot (stable for the thread's life).
+int ThreadSlot();
+
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+struct alignas(64) SumCell {
+  std::atomic<uint64_t> bits{0};  // double stored as bits, CAS-added
+};
+
+/// Atomically adds `delta` to the double stored in `bits`.
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta);
+double LoadDouble(const std::atomic<uint64_t>& bits);
+
+}  // namespace metrics_internal
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    cells_[metrics_internal::ThreadSlot()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over all thread slots.
+  uint64_t Value() const;
+
+  /// Zeroes every slot (tests only; racing writers may survive).
+  void Reset();
+
+ private:
+  metrics_internal::CounterCell cells_[metrics_internal::kSlots];
+};
+
+/// Last-written instantaneous value (single cell: gauges record state,
+/// not per-thread contributions).
+class Gauge {
+ public:
+  void Set(double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double Value() const { return metrics_internal::LoadDouble(bits_); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-layout histogram: `bounds` are inclusive upper edges of the
+/// first N buckets, plus an implicit +inf overflow bucket. The layout
+/// is frozen at registration so merged scrapes line up across threads
+/// and across runs.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (size = bounds().size() + 1), merged over slots.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  double Sum() const;
+  double Mean() const { return Count() == 0 ? 0.0 : Sum() / Count(); }
+  void Reset();
+
+  /// Power-of-`growth` layout from `start` with `count` finite edges —
+  /// the default layout for latency-style metrics.
+  static std::vector<double> ExponentialBounds(double start, double growth,
+                                               int count);
+
+ private:
+  struct alignas(64) Slot {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Slot> slots_;
+};
+
+/// One scraped metric set; names sort lexicographically.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;  // bounds.size() + 1 entries
+    uint64_t count;
+    double sum;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Name-keyed owner of every metric in the process. Registration is
+/// mutex-protected (slow path, once per call site); updates through
+/// the returned pointers are lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the uniquely-named metric, creating it on first use. The
+  /// pointer stays valid for the process lifetime. A histogram's
+  /// bucket layout is fixed by the first registration; later calls
+  /// with different bounds get the existing instance.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Merges every metric's thread slots into one consistent-enough
+  /// snapshot (concurrent writers may land before or after).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all values. Registered metrics (and cached pointers)
+  /// survive. Tests only.
+  void ResetForTesting();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Snapshot -> JSON object {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {"bounds": [...], "buckets": [...], "count": n,
+/// "sum": s}}}. Part of the JSONL schema contract (DESIGN.md §10).
+JsonValue MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Cached-pointer helpers for hot call sites: the registry lookup
+/// happens once per site, then updates are a single atomic op.
+#define ET_METRIC_COUNTER_ADD(name, delta)                                 \
+  do {                                                                     \
+    static ::equitensor::Counter* et_metric_counter =                      \
+        ::equitensor::MetricsRegistry::Global().GetCounter(name);          \
+    et_metric_counter->Add(delta);                                         \
+  } while (0)
+
+#define ET_METRIC_GAUGE_SET(name, value)                                   \
+  do {                                                                     \
+    static ::equitensor::Gauge* et_metric_gauge =                          \
+        ::equitensor::MetricsRegistry::Global().GetGauge(name);            \
+    et_metric_gauge->Set(value);                                           \
+  } while (0)
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_METRICS_H_

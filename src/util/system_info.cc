@@ -1,0 +1,61 @@
+#include "util/system_info.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace equitensor {
+namespace {
+
+/// Directory holding the running executable ("" when unresolvable).
+/// Anchoring `git -C` here keeps GitDescribe working when a tool is
+/// launched from outside the repository tree.
+std::string ExecutableDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+}  // namespace
+
+int64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#ifdef __APPLE__
+  return static_cast<int64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+}
+
+const std::string& GitDescribe() {
+  static const std::string describe = [] {
+    std::string result;
+    std::string command = "git describe --always --dirty 2>/dev/null";
+    const std::string dir = ExecutableDir();
+    if (!dir.empty() && dir.find('\'') == std::string::npos) {
+      command = "git -C '" + dir + "' describe --always --dirty 2>/dev/null";
+    }
+    FILE* pipe = ::popen(command.c_str(), "r");
+    if (pipe != nullptr) {
+      char buffer[256];
+      while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+        result += buffer;
+      }
+      ::pclose(pipe);
+    }
+    while (!result.empty() &&
+           (result.back() == '\n' || result.back() == '\r')) {
+      result.pop_back();
+    }
+    return result.empty() ? std::string("unknown") : result;
+  }();
+  return describe;
+}
+
+}  // namespace equitensor

@@ -1,0 +1,20 @@
+#ifndef EQUITENSOR_UTIL_SYSTEM_INFO_H_
+#define EQUITENSOR_UTIL_SYSTEM_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace equitensor {
+
+/// Peak resident set size of this process in bytes (0 when the
+/// platform cannot report it). Monotonic over the process lifetime.
+int64_t PeakRssBytes();
+
+/// `git describe --always --dirty` of the working directory, for
+/// stamping telemetry with the code revision. Returns "unknown" when
+/// git or a repository is unavailable. Computed once and cached.
+const std::string& GitDescribe();
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_SYSTEM_INFO_H_

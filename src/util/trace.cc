@@ -1,0 +1,196 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "util/metrics.h"
+#include "util/table.h"
+
+namespace equitensor {
+namespace trace_internal {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+// Global list of every SpanSite ever constructed. Sites are
+// function-local statics, so registration happens once per call site;
+// the list is only walked on scrape.
+struct SiteList {
+  std::mutex mu;
+  std::vector<SpanSite*> sites;
+};
+
+SiteList& Sites() {
+  static SiteList* list = new SiteList();  // leaked: sites outlive main
+  return *list;
+}
+
+thread_local TraceSpan* tls_current_span = nullptr;
+thread_local int tls_depth = 0;
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanSite::SpanSite(const char* name) : name_(name) {
+  SiteList& list = Sites();
+  std::lock_guard<std::mutex> lock(list.mu);
+  list.sites.push_back(this);
+}
+
+void SpanSite::Record(uint64_t elapsed_ns, uint64_t child_ns) {
+  SiteSlot& slot = slots_[metrics_internal::ThreadSlot()];
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.total_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  slot.child_ns.fetch_add(child_ns, std::memory_order_relaxed);
+  uint64_t observed = slot.max_ns.load(std::memory_order_relaxed);
+  while (elapsed_ns > observed &&
+         !slot.max_ns.compare_exchange_weak(observed, elapsed_ns,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t SpanSite::Count() const {
+  uint64_t total = 0;
+  for (const auto& s : slots_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t SpanSite::TotalNs() const {
+  uint64_t total = 0;
+  for (const auto& s : slots_) {
+    total += s.total_ns.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t SpanSite::ChildNs() const {
+  uint64_t total = 0;
+  for (const auto& s : slots_) {
+    total += s.child_ns.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t SpanSite::MaxNs() const {
+  uint64_t max_ns = 0;
+  for (const auto& s : slots_) {
+    max_ns = std::max(max_ns, s.max_ns.load(std::memory_order_relaxed));
+  }
+  return max_ns;
+}
+
+void SpanSite::Reset() {
+  for (auto& s : slots_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.total_ns.store(0, std::memory_order_relaxed);
+    s.child_ns.store(0, std::memory_order_relaxed);
+    s.max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace trace_internal
+
+void SetTracingEnabled(bool enabled) {
+  trace_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return trace_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+int CurrentTraceDepth() { return trace_internal::tls_depth; }
+
+TraceSpan::TraceSpan(trace_internal::SpanSite& site)
+    : site_(nullptr), parent_(nullptr) {
+  if (!trace_internal::g_enabled.load(std::memory_order_relaxed)) return;
+  site_ = &site;
+  parent_ = trace_internal::tls_current_span;
+  trace_internal::tls_current_span = this;
+  ++trace_internal::tls_depth;
+  start_ns_ = trace_internal::MonotonicNowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (site_ == nullptr) return;
+  const uint64_t elapsed = trace_internal::MonotonicNowNs() - start_ns_;
+  site_->Record(elapsed, child_ns_);
+  trace_internal::tls_current_span = parent_;
+  --trace_internal::tls_depth;
+  // The parent's self time excludes this span's full wall time (which
+  // already contains any grandchildren).
+  if (parent_ != nullptr) parent_->child_ns_ += elapsed;
+}
+
+std::vector<TraceStats> CollectTraceStats() {
+  struct Merged {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t child_ns = 0;
+    uint64_t max_ns = 0;
+  };
+  std::map<std::string, Merged> by_name;
+  {
+    auto& list = trace_internal::Sites();
+    std::lock_guard<std::mutex> lock(list.mu);
+    for (const trace_internal::SpanSite* site : list.sites) {
+      Merged& m = by_name[site->name()];
+      m.count += site->Count();
+      m.total_ns += site->TotalNs();
+      m.child_ns += site->ChildNs();
+      m.max_ns = std::max(m.max_ns, site->MaxNs());
+    }
+  }
+  std::vector<TraceStats> stats;
+  stats.reserve(by_name.size());
+  for (const auto& [name, m] : by_name) {
+    if (m.count == 0) continue;
+    TraceStats s;
+    s.name = name;
+    s.count = m.count;
+    s.total_seconds = static_cast<double>(m.total_ns) * 1e-9;
+    s.self_seconds =
+        static_cast<double>(m.total_ns - std::min(m.child_ns, m.total_ns)) *
+        1e-9;
+    s.max_seconds = static_cast<double>(m.max_ns) * 1e-9;
+    stats.push_back(std::move(s));
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const TraceStats& a, const TraceStats& b) {
+              return a.total_seconds > b.total_seconds;
+            });
+  return stats;
+}
+
+std::string TraceReportTable() {
+  const std::vector<TraceStats> stats = CollectTraceStats();
+  if (stats.empty()) return "";
+  TextTable table({"span", "count", "total_ms", "self_ms", "mean_us",
+                   "max_ms"});
+  for (const TraceStats& s : stats) {
+    table.AddRow({s.name, std::to_string(s.count),
+                  TextTable::Num(s.total_seconds * 1e3, 3),
+                  TextTable::Num(s.self_seconds * 1e3, 3),
+                  TextTable::Num(s.total_seconds * 1e6 /
+                                     static_cast<double>(s.count),
+                                 1),
+                  TextTable::Num(s.max_seconds * 1e3, 3)});
+  }
+  return table.ToString();
+}
+
+void ResetTraceStatsForTesting() {
+  auto& list = trace_internal::Sites();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (trace_internal::SpanSite* site : list.sites) site->Reset();
+}
+
+}  // namespace equitensor

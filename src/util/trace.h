@@ -1,0 +1,141 @@
+#ifndef EQUITENSOR_UTIL_TRACE_H_
+#define EQUITENSOR_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace equitensor {
+
+/// RAII trace spans over the hot kernels (DESIGN.md §10).
+///
+///   void Conv3dForward(...) {
+///     ET_TRACE_SPAN("conv3d.fwd");
+///     ...
+///   }
+///
+/// Spans nest (a span started while another is open on the same
+/// thread becomes its child, and the parent's *self* time excludes
+/// the child's wall time), record wall time on the monotonic clock,
+/// and aggregate per call-site into lock-free per-thread slots merged
+/// on scrape — the same slot scheme as util/metrics.
+///
+/// Overhead contract:
+///  - Compiled out entirely when the CMake option `EQUITENSOR_TRACE`
+///    is OFF (`ET_TRACE_SPAN` expands to a no-op statement).
+///  - Compiled in but runtime-disabled (the default): one relaxed
+///    atomic load and a branch per span — no clock reads, no stores.
+///  - Enabled: two clock reads plus a handful of relaxed atomic adds
+///    per span. Spans wrap whole kernel invocations, never inner
+///    loops, so even the enabled cost is noise against a conv pass.
+
+#ifndef EQUITENSOR_TRACE_ENABLED
+#define EQUITENSOR_TRACE_ENABLED 1
+#endif
+
+/// Master runtime switch; spans opened while disabled record nothing
+/// (default: disabled — opt in via --trace or tests).
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// Nesting depth of open spans on the calling thread (0 = none).
+int CurrentTraceDepth();
+
+namespace trace_internal {
+
+extern std::atomic<bool> g_enabled;
+
+struct alignas(64) SiteSlot {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> total_ns{0};
+  std::atomic<uint64_t> child_ns{0};
+  std::atomic<uint64_t> max_ns{0};
+};
+
+/// One ET_TRACE_SPAN call site: a function-local static that
+/// registers itself in the global site list on first execution and
+/// owns the per-thread aggregation slots. Never destroyed.
+class SpanSite {
+ public:
+  explicit SpanSite(const char* name);
+
+  void Record(uint64_t elapsed_ns, uint64_t child_ns);
+
+  const char* name() const { return name_; }
+  uint64_t Count() const;
+  uint64_t TotalNs() const;
+  uint64_t ChildNs() const;
+  uint64_t MaxNs() const;
+  void Reset();
+
+ private:
+  const char* name_;
+  SiteSlot slots_[64];
+};
+
+uint64_t MonotonicNowNs();
+
+}  // namespace trace_internal
+
+/// Scoped timer bound to a SpanSite. Construct via ET_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(trace_internal::SpanSite& site);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  trace_internal::SpanSite* site_;  // null when tracing was disabled
+  TraceSpan* parent_;
+  uint64_t start_ns_ = 0;
+  uint64_t child_ns_ = 0;
+};
+
+/// Aggregated statistics for one span name, merged across every call
+/// site with that name and every thread.
+struct TraceStats {
+  std::string name;
+  uint64_t count = 0;
+  double total_seconds = 0.0;  // wall time, children included
+  double self_seconds = 0.0;   // wall time minus child spans
+  double max_seconds = 0.0;    // longest single span
+};
+
+/// Scrapes all sites, merged by name and sorted by total time
+/// descending. Cheap enough to call per epoch.
+std::vector<TraceStats> CollectTraceStats();
+
+/// Human-readable table of CollectTraceStats() (empty string when
+/// nothing was recorded).
+std::string TraceReportTable();
+
+/// Zeroes every site's accumulators; sites stay registered.
+void ResetTraceStatsForTesting();
+
+#if EQUITENSOR_TRACE_ENABLED
+
+#define ET_TRACE_CONCAT_INNER(a, b) a##b
+#define ET_TRACE_CONCAT(a, b) ET_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. `name` must
+/// be a string literal (it is stored by pointer).
+#define ET_TRACE_SPAN(name)                                             \
+  static ::equitensor::trace_internal::SpanSite ET_TRACE_CONCAT(        \
+      et_trace_site_, __LINE__){name};                                  \
+  ::equitensor::TraceSpan ET_TRACE_CONCAT(et_trace_span_, __LINE__)(    \
+      ET_TRACE_CONCAT(et_trace_site_, __LINE__))
+
+#else
+
+#define ET_TRACE_SPAN(name) \
+  do {                      \
+  } while (0)
+
+#endif  // EQUITENSOR_TRACE_ENABLED
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_TRACE_H_

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
+#include <vector>
 
 #include "core/adaptive_weighting.h"
+#include "util/rng.h"
 
 namespace equitensor {
 namespace core {
@@ -165,6 +168,129 @@ TEST(WeightingModeTest, Names) {
   EXPECT_STREQ(WeightingModeName(WeightingMode::kOurs), "ours");
   EXPECT_STREQ(WeightingModeName(WeightingMode::kDwa), "dwa");
 }
+
+// ---------------------------------------------------------------------------
+// Property-based invariants over random loss streams.
+// ---------------------------------------------------------------------------
+
+class WeighterPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// A random per-dataset loss vector in (0, 2].
+  static std::vector<double> RandomLosses(int64_t n, Rng& rng) {
+    std::vector<double> losses(static_cast<size_t>(n));
+    for (double& l : losses) l = rng.Uniform(1e-4, 2.0);
+    return losses;
+  }
+};
+
+TEST_P(WeighterPropertyTest, WeightsStayNonNegativeAndSumToN) {
+  Rng rng(GetParam());
+  for (const WeightingMode mode : {WeightingMode::kOurs, WeightingMode::kDwa}) {
+    const int64_t n = 2 + static_cast<int64_t>(rng.Uniform(0.0, 6.0));
+    const double alpha = rng.Uniform(0.2, 10.0);
+    AdaptiveWeighter weighter(mode, n, alpha);
+    if (mode == WeightingMode::kOurs) {
+      weighter.SetOptimalLosses(RandomLosses(n, rng));
+    }
+    for (int epoch = 0; epoch < 40; ++epoch) {
+      weighter.Update(RandomLosses(n, rng));
+      double sum = 0.0;
+      for (double w : weighter.weights()) {
+        EXPECT_GE(w, 0.0) << WeightingModeName(mode) << " epoch " << epoch;
+        EXPECT_TRUE(std::isfinite(w));
+        sum += w;
+      }
+      EXPECT_NEAR(sum, static_cast<double>(n), 1e-9)
+          << WeightingModeName(mode) << " epoch " << epoch;
+    }
+  }
+}
+
+TEST_P(WeighterPropertyTest, WeightsApproachUniformAsAlphaGrows) {
+  Rng rng(GetParam());
+  const int64_t n = 4;
+  const std::vector<double> optimal = RandomLosses(n, rng);
+  const std::vector<double> losses = RandomLosses(n, rng);
+  // Max deviation from uniform must shrink monotonically along an
+  // increasing alpha ladder and vanish in the limit (Eq. 2: softmax at
+  // infinite temperature).
+  double last_deviation = 1e300;
+  for (const double alpha : {0.5, 2.0, 8.0, 32.0, 1e4, 1e8}) {
+    AdaptiveWeighter weighter(WeightingMode::kOurs, n, alpha);
+    weighter.SetOptimalLosses(optimal);
+    weighter.Update(losses);
+    double deviation = 0.0;
+    for (double w : weighter.weights()) {
+      deviation = std::max(deviation, std::abs(w - 1.0));
+    }
+    EXPECT_LE(deviation, last_deviation + 1e-12) << "alpha " << alpha;
+    last_deviation = deviation;
+  }
+  EXPECT_NEAR(last_deviation, 0.0, 1e-6);
+}
+
+// O(T)-history reference implementation of Dynamic Weight Average:
+// keeps every epoch's losses and recomputes the softmax from
+// history[t-1]/history[t-2] directly (Liu et al., Eq. in §3.3). The
+// production two-deep ring must match it exactly.
+class DwaReference {
+ public:
+  DwaReference(int64_t n, double alpha)
+      : n_(n), alpha_(alpha), weights_(static_cast<size_t>(n), 1.0) {}
+
+  void Update(const std::vector<double>& losses) {
+    history_.push_back(losses);
+    const size_t t = history_.size();
+    if (t < 3) return;  // w = 1 until two full epochs of history exist
+    const std::vector<double>& prev = history_[t - 2];
+    const std::vector<double>& prev2 = history_[t - 3];
+    std::vector<double> r(static_cast<size_t>(n_));
+    for (size_t i = 0; i < r.size(); ++i) {
+      r[i] = prev[i] / std::max(prev2[i], 1e-8);
+    }
+    double max_score = r[0];
+    for (double s : r) max_score = std::max(max_score, s);
+    double denom = 0.0;
+    std::vector<double> exps(r.size());
+    for (size_t i = 0; i < r.size(); ++i) {
+      exps[i] = std::exp((r[i] - max_score) / alpha_);
+      denom += exps[i];
+    }
+    for (size_t i = 0; i < r.size(); ++i) {
+      weights_[i] = static_cast<double>(n_) * exps[i] / denom;
+    }
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  int64_t n_;
+  double alpha_;
+  std::vector<std::vector<double>> history_;  // all epochs, O(T) memory
+  std::vector<double> weights_;
+};
+
+TEST_P(WeighterPropertyTest, DwaRingMatchesFullHistoryReference) {
+  Rng rng(GetParam());
+  const int64_t n = 2 + static_cast<int64_t>(rng.Uniform(0.0, 5.0));
+  const double alpha = rng.Uniform(0.5, 5.0);
+  AdaptiveWeighter ring(WeightingMode::kDwa, n, alpha);
+  DwaReference reference(n, alpha);
+  for (int epoch = 0; epoch < 120; ++epoch) {
+    const std::vector<double> losses = RandomLosses(n, rng);
+    ring.Update(losses);
+    reference.Update(losses);
+    ASSERT_EQ(ring.weights().size(), reference.weights().size());
+    for (size_t i = 0; i < reference.weights().size(); ++i) {
+      // Bitwise equality: both paths must execute the same arithmetic.
+      EXPECT_EQ(ring.weights()[i], reference.weights()[i])
+          << "epoch " << epoch << " dataset " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeighterPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
 
 }  // namespace
 }  // namespace core

@@ -1,8 +1,12 @@
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "autograd/conv_ops.h"
 #include "autograd/grad_check.h"
 #include "autograd/ops.h"
+#include "models/adversary.h"
+#include "nn/lstm.h"
 #include "util/thread_pool.h"
 
 namespace equitensor {
@@ -186,6 +190,113 @@ TEST(GradCheckTest, PoolEnabledGradCheckMatchesFiniteDifferences) {
     EXPECT_TRUE(result.ok) << "matmul on pool: " << result.detail;
   }
   SetNumThreads(0);
+}
+
+// ---------------------------------------------------------------------------
+// Model-level gradients across pool sizes. The determinism contract
+// (DESIGN.md §8) promises bitwise-identical results for any thread
+// count; here that promise is checked end to end through Backward()
+// for the LSTM cell and the adversary head.
+// ---------------------------------------------------------------------------
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// Builds a fresh two-step LSTM loss from identical seeds and returns
+// every gradient (weight, bias, input) computed at `threads` workers.
+std::vector<Tensor> LstmGradientsAt(int threads) {
+  SetNumThreads(threads);
+  Rng rng(7177);
+  nn::LstmCell cell(6, 8, rng);
+  Variable x(Tensor::RandomUniform({4, 6}, rng, -1.0f, 1.0f),
+             /*requires_grad=*/true);
+  nn::LstmState state = cell.InitialState(4);
+  state = cell.Step(x, state);
+  state = cell.Step(x, state);  // two steps: weight reuse across time
+  Variable loss = ag::SumAll(ag::Sigmoid(state.h));
+  Backward(loss);
+  std::vector<Tensor> grads;
+  for (const Variable& p : cell.Parameters()) grads.push_back(p.grad());
+  grads.push_back(x.grad());
+  SetNumThreads(0);
+  return grads;
+}
+
+// Adversary loss L_A (Eq. 4) from a fixed latent and target; returns
+// gradients of every conv-stack parameter and the latent input.
+std::vector<Tensor> AdversaryGradientsAt(int threads) {
+  SetNumThreads(threads);
+  Rng rng(9919);
+  models::AdversaryNet adversary(/*latent_channels=*/3, rng, /*kernel=*/3,
+                                 /*filters=*/{4, 1});
+  Variable z(Tensor::RandomUniform({2, 3, 6, 5, 8}, rng, -1.0f, 1.0f),
+             /*requires_grad=*/true);
+  const Tensor s_tiled = Tensor::RandomUniform({2, 1, 6, 5, 8}, rng);
+  Variable loss = adversary.Loss(z, s_tiled);
+  Backward(loss);
+  std::vector<Tensor> grads;
+  for (const Variable& p : adversary.Parameters()) grads.push_back(p.grad());
+  grads.push_back(z.grad());
+  SetNumThreads(0);
+  return grads;
+}
+
+TEST(GradCheckTest, LstmGradientsBitwiseIdenticalAcrossThreadCounts) {
+  const std::vector<Tensor> serial = LstmGradientsAt(1);
+  ASSERT_FALSE(serial.empty());
+  for (const int threads : {2, 8}) {
+    const std::vector<Tensor> pooled = LstmGradientsAt(threads);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(BitwiseEqual(serial[i], pooled[i]))
+          << "lstm grad " << i << " differs at " << threads << " threads";
+    }
+  }
+}
+
+TEST(GradCheckTest, AdversaryGradientsBitwiseIdenticalAcrossThreadCounts) {
+  const std::vector<Tensor> serial = AdversaryGradientsAt(1);
+  ASSERT_FALSE(serial.empty());
+  for (const int threads : {2, 8}) {
+    const std::vector<Tensor> pooled = AdversaryGradientsAt(threads);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(BitwiseEqual(serial[i], pooled[i]))
+          << "adversary grad " << i << " differs at " << threads << " threads";
+    }
+  }
+}
+
+// Finite-difference validation of the same two models (serial pool is
+// enough: the bitwise tests above extend the verdict to any count).
+TEST(GradCheckTest, LstmStepMatchesFiniteDifferences) {
+  Rng rng(515);
+  nn::LstmCell cell(3, 4, rng);
+  const Tensor x = Tensor::RandomUniform({2, 3}, rng, -1.0f, 1.0f);
+  const auto fn = [&cell](std::vector<Variable>& v) {
+    nn::LstmState state = cell.InitialState(2);
+    state = cell.Step(v[0], state);
+    return ag::SumAll(ag::Sigmoid(state.h));
+  };
+  const GradCheckResult result = CheckGradients(fn, {x}, {true});
+  EXPECT_TRUE(result.ok) << "lstm input grad: " << result.detail;
+}
+
+TEST(GradCheckTest, AdversaryLossMatchesFiniteDifferences) {
+  Rng rng(616);
+  models::AdversaryNet adversary(/*latent_channels=*/2, rng, /*kernel=*/3,
+                                 /*filters=*/{2, 1});
+  const Tensor z = Tensor::RandomUniform({1, 2, 4, 4, 6}, rng, -1.0f, 1.0f);
+  const Tensor s_tiled = Tensor::RandomUniform({1, 1, 4, 4, 6}, rng, 2.0f,
+                                               3.0f);  // keeps MAE off kinks
+  const auto fn = [&adversary, &s_tiled](std::vector<Variable>& v) {
+    return adversary.Loss(v[0], s_tiled);
+  };
+  const GradCheckResult result = CheckGradients(fn, {z}, {true});
+  EXPECT_TRUE(result.ok) << "adversary latent grad: " << result.detail;
 }
 
 TEST(GradCheckTest, DetectsWrongGradient) {

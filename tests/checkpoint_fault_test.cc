@@ -121,6 +121,205 @@ TEST(CheckpointFaultTest, UnknownVersionRejected) {
   EXPECT_FALSE(DecodeCheckpoint(bytes, &out));
 }
 
+// ---------------------------------------------------------------------------
+// Hand-crafted header corpus. The truncation/bit-flip sweeps above mutate a
+// valid file; these build pathological files from raw bytes so each decoder
+// limit (rank, dim, name length, counts, overflow) is hit by name. Sealed()
+// appends a correct footer + CRC, so malformed headers reach the record
+// parser instead of being caught by the checksum.
+// ---------------------------------------------------------------------------
+
+std::string U32Bytes(uint32_t v) {
+  std::string s(sizeof(v), '\0');
+  std::memcpy(s.data(), &v, sizeof(v));
+  return s;
+}
+
+std::string U64Bytes(uint64_t v) {
+  std::string s(sizeof(v), '\0');
+  std::memcpy(s.data(), &v, sizeof(v));
+  return s;
+}
+
+std::string F32Bytes(float v) {
+  std::string s(sizeof(v), '\0');
+  std::memcpy(s.data(), &v, sizeof(v));
+  return s;
+}
+
+std::string V2Header() {
+  return std::string("ETCK") + U32Bytes(2) + U32Bytes(0x01020304u);
+}
+
+std::string Sealed(const std::string& body) {
+  std::string out = body + "KCTE";
+  const uint32_t crc = Crc32(out.data(), out.size());
+  return out + U32Bytes(crc);
+}
+
+// tensor_count 1 | name "t" | rank 1 | dim 2 | two floats — the
+// smallest valid tensor section.
+std::string OneTensorSection() {
+  return U64Bytes(1) + U64Bytes(1) + "t" + U32Bytes(1) + U64Bytes(2) +
+         F32Bytes(1.0f) + F32Bytes(2.0f);
+}
+
+struct CorpusCase {
+  const char* name;
+  std::string bytes;
+  bool expect_ok;
+};
+
+std::vector<CorpusCase> BuildHeaderCorpus() {
+  constexpr uint64_t kMaxDim = uint64_t{1} << 40;
+  constexpr uint64_t kMaxNameLen = uint64_t{1} << 20;
+  std::vector<CorpusCase> corpus;
+
+  corpus.push_back({"empty file", "", false});
+  corpus.push_back({"truncated magic", "ETC", false});
+  corpus.push_back({"lowercase magic", Sealed(std::string("etck") +
+                                              U32Bytes(2) +
+                                              U32Bytes(0x01020304u) +
+                                              U64Bytes(0) + U64Bytes(0)),
+                    false});
+  corpus.push_back({"wrong magic", Sealed(std::string("ETCQ") + U32Bytes(2) +
+                                          U32Bytes(0x01020304u) +
+                                          U64Bytes(0) + U64Bytes(0)),
+                    false});
+  corpus.push_back({"magic only", "ETCK", false});
+  corpus.push_back({"version 0", std::string("ETCK") + U32Bytes(0), false});
+  corpus.push_back({"version 3", std::string("ETCK") + U32Bytes(3), false});
+  corpus.push_back({"version 255", std::string("ETCK") + U32Bytes(255),
+                    false});
+  corpus.push_back({"byte-swapped endian marker",
+                    Sealed(std::string("ETCK") + U32Bytes(2) +
+                           U32Bytes(0x04030201u) + U64Bytes(0) + U64Bytes(0)),
+                    false});
+  corpus.push_back({"tensor count with no records",
+                    Sealed(V2Header() + U64Bytes(1)), false});
+  corpus.push_back({"huge tensor count",
+                    Sealed(V2Header() + U64Bytes(uint64_t{1} << 60)), false});
+  corpus.push_back(
+      {"rank 17 exceeds kMaxRank",
+       Sealed(V2Header() + U64Bytes(1) + U64Bytes(1) + "t" + U32Bytes(17)),
+       false});
+  {
+    // Rank 16 with every dim = 2^40: each dim individually legal, but the
+    // volume (2^640) must be rejected by overflow-checked accumulation —
+    // wrapping would yield a tiny bogus volume and a heap overrun.
+    std::string body = V2Header() + U64Bytes(1) + U64Bytes(1) + "t" +
+                       U32Bytes(16);
+    for (int d = 0; d < 16; ++d) body += U64Bytes(kMaxDim);
+    corpus.push_back({"rank 16 of 2^40 dims overflows volume", Sealed(body),
+                      false});
+  }
+  corpus.push_back(
+      {"zero dim",
+       Sealed(V2Header() + U64Bytes(1) + U64Bytes(1) + "t" + U32Bytes(1) +
+              U64Bytes(0)),
+       false});
+  corpus.push_back(
+      {"dim exceeds kMaxDim",
+       Sealed(V2Header() + U64Bytes(1) + U64Bytes(1) + "t" + U32Bytes(1) +
+              U64Bytes(kMaxDim + 1)),
+       false});
+  corpus.push_back(
+      {"name length exceeds kMaxNameLen",
+       Sealed(V2Header() + U64Bytes(1) + U64Bytes(kMaxNameLen + 1)), false});
+  corpus.push_back(
+      {"name length larger than remaining bytes",
+       Sealed(V2Header() + U64Bytes(1) + U64Bytes(100) + "abc"), false});
+  corpus.push_back(
+      {"payload truncated mid-tensor",
+       Sealed(V2Header() + U64Bytes(1) + U64Bytes(1) + "t" + U32Bytes(1) +
+              U64Bytes(4) + F32Bytes(1.0f) + F32Bytes(2.0f)),
+       false});
+  corpus.push_back(
+      {"metadata count with no records",
+       Sealed(V2Header() + U64Bytes(0) + U64Bytes(1)), false});
+  corpus.push_back(
+      {"metadata key truncated",
+       Sealed(V2Header() + U64Bytes(0) + U64Bytes(1) + U64Bytes(10) + "ab"),
+       false});
+  corpus.push_back(
+      {"metadata key length exceeds limit",
+       Sealed(V2Header() + U64Bytes(0) + U64Bytes(1) +
+              U64Bytes(kMaxNameLen + 1)),
+       false});
+  corpus.push_back(
+      {"metadata value missing",
+       Sealed(V2Header() + U64Bytes(0) + U64Bytes(1) + U64Bytes(1) + "k"),
+       false});
+  corpus.push_back(
+      {"trailing bytes inside sealed body",
+       Sealed(V2Header() + OneTensorSection() + U64Bytes(0) + "junk"),
+       false});
+  {
+    std::string body = V2Header() + U64Bytes(0) + U64Bytes(0);
+    corpus.push_back({"corrupted footer tag",
+                      body + "KCTF" +
+                          U32Bytes(Crc32((body + "KCTF").data(),
+                                         body.size() + 4)),
+                      false});
+    corpus.push_back({"wrong footer CRC",
+                      body + "KCTE" + U32Bytes(0xDEADBEEFu), false});
+    corpus.push_back({"footer CRC truncated to two bytes",
+                      body + "KCTE" + "\x01\x02", false});
+    corpus.push_back({"trailing bytes after valid footer",
+                      Sealed(body) + '\0', false});
+  }
+  corpus.push_back(
+      {"v1/v2 hybrid: v1 version with v2 endian+footer",
+       Sealed(std::string("ETCK") + U32Bytes(1) + U32Bytes(0x01020304u) +
+              U64Bytes(0) + U64Bytes(0)),
+       false});
+  corpus.push_back(
+      {"v1 with trailing garbage",
+       std::string("ETCK") + U32Bytes(1) + U64Bytes(0) + "x", false});
+
+  // Positive controls: the corpus builder itself must produce decodable
+  // files when nothing is wrong, or the rejections above prove nothing.
+  corpus.push_back({"valid empty v2 checkpoint",
+                    Sealed(V2Header() + U64Bytes(0) + U64Bytes(0)), true});
+  corpus.push_back({"valid one-tensor v2 checkpoint",
+                    Sealed(V2Header() + OneTensorSection() + U64Bytes(0)),
+                    true});
+  corpus.push_back({"valid one-tensor v1 checkpoint",
+                    std::string("ETCK") + U32Bytes(1) + OneTensorSection(),
+                    true});
+  return corpus;
+}
+
+TEST(CheckpointFaultTest, HandCraftedHeaderCorpus) {
+  const std::vector<CorpusCase> corpus = BuildHeaderCorpus();
+  size_t malformed = 0;
+  for (const CorpusCase& c : corpus) {
+    Checkpoint out;
+    out.tensors.emplace_back("stale", Tensor::Scalar(1.0f));
+    const bool ok = DecodeCheckpoint(c.bytes, &out);
+    EXPECT_EQ(ok, c.expect_ok) << "corpus case: " << c.name;
+    if (!c.expect_ok) {
+      ++malformed;
+      EXPECT_TRUE(out.tensors.empty() && out.metadata.empty())
+          << "rejected decode left data behind: " << c.name;
+    }
+  }
+  EXPECT_GE(malformed, 20u) << "corpus shrank below the contract";
+}
+
+TEST(CheckpointFaultTest, HandCraftedCorpusViaLoadCheckpoint) {
+  // The same corpus through the file-based loader: bad bytes on disk
+  // must be rejected identically to bad bytes in memory.
+  const std::string path = TempPath("fault_corpus.etck");
+  for (const CorpusCase& c : BuildHeaderCorpus()) {
+    WriteBytes(path, c.bytes);
+    Checkpoint out;
+    EXPECT_EQ(LoadCheckpoint(path, &out), c.expect_ok)
+        << "corpus case: " << c.name;
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace nn
 }  // namespace equitensor

@@ -1,0 +1,104 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace equitensor {
+namespace {
+
+TEST(JsonTest, DumpsScalars) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Int(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Number(1.5).Dump(), "1.5");
+  EXPECT_EQ(JsonValue::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(JsonValue::Number(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue::Number(std::nan("")).Dump(), "null");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(JsonValue::Str("a\"b\\c\n").Dump(), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(JsonValue::Str(std::string("\x01", 1)).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndReplacesInPlace) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", JsonValue::Int(1));
+  obj.Set("a", JsonValue::Int(2));
+  obj.Set("b", JsonValue::Int(3));  // replaced, keeps first position
+  EXPECT_EQ(obj.Dump(), "{\"b\":3,\"a\":2}");
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->int_value(), 2);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  const std::string text =
+      "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null}, "
+      "\"s\": \"x\\u0041y\"}";
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(text, &v, &error)) << error;
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[2].number(), -300.0);
+  EXPECT_TRUE(v.Find("b")->Find("c")->bool_value());
+  EXPECT_TRUE(v.Find("b")->Find("d")->is_null());
+  EXPECT_EQ(v.Find("s")->str(), "xAy");
+}
+
+TEST(JsonTest, RoundTripsThroughDumpAndParse) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("epoch", JsonValue::Int(3));
+  obj.Set("loss", JsonValue::Number(0.123456789012345));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Number(1e-9));
+  arr.Append(JsonValue::Str("x"));
+  obj.Set("values", std::move(arr));
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(obj.Dump(), &parsed));
+  EXPECT_EQ(parsed.Dump(), obj.Dump());
+  EXPECT_DOUBLE_EQ(parsed.Find("loss")->number(), 0.123456789012345);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  JsonValue v;
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2", "\"\\x\"",
+        "{\"a\":1,}", "[1]extra", "\"unterminated", "nul", "+1", "01"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad, &v)) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, ReportsErrorMessage) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": }", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, RejectsOverlyDeepNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::Parse(deep, &v));
+}
+
+TEST(JsonTest, IntValueRoundTripsLargeCounts) {
+  const int64_t bytes = int64_t{1} << 40;
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(JsonValue::Int(bytes).Dump(), &v));
+  EXPECT_EQ(v.int_value(), bytes);
+}
+
+}  // namespace
+}  // namespace equitensor

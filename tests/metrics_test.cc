@@ -1,0 +1,208 @@
+#include "util/metrics.h"
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace equitensor {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().ResetForTesting(); }
+  void TearDown() override { MetricsRegistry::Global().ResetForTesting(); }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  Counter* c = MetricsRegistry::Global().GetCounter("t.counter");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameInstanceByName) {
+  Counter* a = MetricsRegistry::Global().GetCounter("t.same");
+  Counter* b = MetricsRegistry::Global().GetCounter("t.same");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, MetricsRegistry::Global().GetCounter("t.other"));
+}
+
+TEST_F(MetricsTest, CounterMergesAcrossThreads) {
+  Counter* c = MetricsRegistry::Global().GetCounter("t.mt_counter");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("t.gauge");
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  g->Set(2.5);
+  g->Set(-7.25);
+  EXPECT_DOUBLE_EQ(g->Value(), -7.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketsByUpperEdge) {
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("t.hist", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket 0 (<= 1)
+  h->Observe(1.0);    // bucket 0 (inclusive edge)
+  h->Observe(5.0);    // bucket 1
+  h->Observe(1000.0); // overflow bucket
+  const std::vector<uint64_t> buckets = h->BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h->Count(), 4u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h->Mean(), 1006.5 / 4.0);
+}
+
+TEST_F(MetricsTest, HistogramLayoutFrozenByFirstRegistration) {
+  Histogram* a =
+      MetricsRegistry::Global().GetHistogram("t.layout", {1.0, 2.0});
+  Histogram* b =
+      MetricsRegistry::Global().GetHistogram("t.layout", {5.0, 6.0, 7.0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->bounds().size(), 2u);
+}
+
+TEST_F(MetricsTest, HistogramMergesAcrossThreads) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "t.mt_hist", Histogram::ExponentialBounds(1.0, 2.0, 8));
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // Sum of per-thread constants: kPerThread * (1 + 2 + ... + kThreads).
+  EXPECT_DOUBLE_EQ(h->Sum(), kPerThread * (kThreads * (kThreads + 1) / 2.0));
+  uint64_t bucket_total = 0;
+  for (uint64_t n : h->BucketCounts()) bucket_total += n;
+  EXPECT_EQ(bucket_total, h->Count());
+}
+
+TEST_F(MetricsTest, ExponentialBoundsGrow) {
+  const std::vector<double> bounds = Histogram::ExponentialBounds(1e-6, 4.0, 5);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-6);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 4.0);
+  }
+}
+
+TEST_F(MetricsTest, SnapshotSortsNamesAndCapturesValues) {
+  MetricsRegistry::Global().GetCounter("t.z")->Add(1);
+  MetricsRegistry::Global().GetCounter("t.a")->Add(2);
+  MetricsRegistry::Global().GetGauge("t.g")->Set(3.0);
+  MetricsRegistry::Global().GetHistogram("t.h")->Observe(1e-5);
+
+  // Registrations persist across ResetForTesting (cached pointers must
+  // stay valid), so other tests' metrics may coexist in the snapshot —
+  // assert on names, never on exclusive sizes.
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  bool saw_a = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "t.a") {
+      saw_a = true;
+      EXPECT_EQ(c.value, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  bool saw_gauge = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "t.g") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(g.value, 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+  bool saw_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name != "t.h") continue;
+    saw_hist = true;
+    EXPECT_EQ(h.count, 1u);
+    EXPECT_EQ(h.buckets.size(), h.bounds.size() + 1);
+  }
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST_F(MetricsTest, ResetForTestingZeroesButKeepsPointersValid) {
+  Counter* c = MetricsRegistry::Global().GetCounter("t.reset");
+  c->Add(5);
+  MetricsRegistry::Global().ResetForTesting();
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add(1);  // cached pointer still usable — the macro contract
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST_F(MetricsTest, MacrosCachePointersAndRecord) {
+  for (int i = 0; i < 3; ++i) {
+    ET_METRIC_COUNTER_ADD("t.macro_counter", 2);
+    ET_METRIC_GAUGE_SET("t.macro_gauge", i);
+  }
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("t.macro_counter")->Value(),
+            6u);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Global().GetGauge("t.macro_gauge")->Value(),
+                   2.0);
+}
+
+TEST_F(MetricsTest, MetricsToJsonMatchesSchema) {
+  MetricsRegistry::Global().GetCounter("t.json_c")->Add(7);
+  MetricsRegistry::Global().GetGauge("t.json_g")->Set(0.5);
+  MetricsRegistry::Global().GetHistogram("t.json_h", {1.0})->Observe(2.0);
+
+  const JsonValue json = MetricsToJson(MetricsRegistry::Global().Snapshot());
+  // Round-trip through the serialized form — the schema contract is on
+  // the emitted text, not the in-memory object.
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(json.Dump(), &parsed));
+  ASSERT_NE(parsed.Find("counters"), nullptr);
+  EXPECT_EQ(parsed.Find("counters")->Find("t.json_c")->int_value(), 7);
+  EXPECT_DOUBLE_EQ(parsed.Find("gauges")->Find("t.json_g")->number(), 0.5);
+  const JsonValue* hist = parsed.Find("histograms")->Find("t.json_h");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->Find("bounds"), nullptr);
+  ASSERT_NE(hist->Find("buckets"), nullptr);
+  EXPECT_EQ(hist->Find("count")->int_value(), 1);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->number(), 2.0);
+  EXPECT_EQ(hist->Find("buckets")->size(),
+            hist->Find("bounds")->size() + 1);
+}
+
+// Deliberate-failure hook for scripts/check.sh's self-test: the runner
+// must propagate a red test as a non-zero exit. Inert unless the
+// environment variable is set, so normal suites stay green.
+TEST(MetricsSmokeTest, FailsWhenForced) {
+  if (std::getenv("ET_FORCE_TEST_FAILURE") != nullptr) {
+    FAIL() << "forced failure requested via ET_FORCE_TEST_FAILURE";
+  }
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,237 @@
+// JSONL telemetry schema round-trip (DESIGN.md §10): the epoch and
+// run-summary records written during a real (tiny) training run must
+// parse back with every contract field present and consistent with
+// the trainer's own log.
+#include "core/telemetry.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/equitensor.h"
+#include "data/generators.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+data::CityConfig TinyCity() {
+  data::CityConfig config;
+  config.width = 5;
+  config.height = 4;
+  config.hours = 24 * 4;
+  config.seed = 33;
+  return config;
+}
+
+EquiTensorConfig TinyTrainerConfig(const data::CityConfig& city) {
+  EquiTensorConfig config;
+  config.cdae.grid_w = city.width;
+  config.cdae.grid_h = city.height;
+  config.cdae.window = 12;
+  config.cdae.latent_channels = 2;
+  config.cdae.encoder_filters = {4, 1};
+  config.cdae.shared_filters = {6};
+  config.cdae.decoder_filters = {6};
+  config.epochs = 3;
+  config.steps_per_epoch = 4;
+  config.batch_size = 2;
+  config.weighting = WeightingMode::kDwa;
+  config.optimizer.learning_rate = 2e-3;
+  return config;
+}
+
+std::vector<data::AlignedDataset> SlimDatasets(
+    const data::UrbanDataBundle& bundle) {
+  std::vector<data::AlignedDataset> slim;
+  for (const char* name : {"temperature", "house_price", "seattle_911_calls"}) {
+    slim.push_back(bundle.datasets[static_cast<size_t>(bundle.IndexOf(name))]);
+  }
+  return slim;
+}
+
+std::vector<JsonValue> ReadJsonl(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << path;
+  std::vector<JsonValue> records;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    JsonValue record;
+    std::string error;
+    EXPECT_TRUE(JsonValue::Parse(line, &record, &error))
+        << "line " << records.size() + 1 << ": " << error;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+TEST(TelemetryTest, TrainingRunEmitsSchemaConformingJsonl) {
+  const data::CityConfig city = TinyCity();
+  const data::UrbanDataBundle bundle = data::BuildSeattleAnalog(city);
+  const std::vector<data::AlignedDataset> slim = SlimDatasets(bundle);
+  const EquiTensorConfig config = TinyTrainerConfig(city);
+
+  const std::string path = ::testing::TempDir() + "/telemetry_test.jsonl";
+  TrainTelemetry telemetry;
+  ASSERT_TRUE(telemetry.OpenJsonl(path));
+
+  EquiTensorTrainer trainer(config, &slim, nullptr);
+  trainer.SetTelemetry(&telemetry);
+  trainer.Train();
+  telemetry.Finish(/*total_seconds=*/1.25, trainer.completed_epochs());
+
+  const std::vector<JsonValue> records = ReadJsonl(path);
+  ASSERT_EQ(records.size(), static_cast<size_t>(config.epochs) + 1);
+
+  for (int64_t e = 0; e < config.epochs; ++e) {
+    const JsonValue& rec = records[static_cast<size_t>(e)];
+    ASSERT_NE(rec.Find("type"), nullptr);
+    EXPECT_EQ(rec.Find("type")->str(), "epoch");
+    EXPECT_EQ(rec.Find("epoch")->int_value(), e);
+    EXPECT_EQ(rec.Find("epochs_total")->int_value(), config.epochs);
+    const JsonValue* losses = rec.Find("dataset_loss");
+    const JsonValue* weights = rec.Find("weights");
+    ASSERT_NE(losses, nullptr);
+    ASSERT_NE(weights, nullptr);
+    ASSERT_EQ(losses->size(), slim.size());
+    ASSERT_EQ(weights->size(), slim.size());
+
+    // Cross-check against the trainer's in-memory log: the JSONL
+    // stream is the same data, serialized.
+    const EpochLog& log = trainer.log()[static_cast<size_t>(e)];
+    EXPECT_DOUBLE_EQ(rec.Find("total_loss")->number(), log.total_loss);
+    EXPECT_DOUBLE_EQ(rec.Find("adversary_loss")->number(),
+                     log.adversary_loss);
+    for (size_t i = 0; i < slim.size(); ++i) {
+      EXPECT_DOUBLE_EQ(losses->items()[i].number(), log.dataset_losses[i]);
+      EXPECT_DOUBLE_EQ(weights->items()[i].number(), log.weights[i]);
+    }
+    EXPECT_DOUBLE_EQ(rec.Find("lambda")->number(), config.lambda);
+    EXPECT_GT(rec.Find("wall_seconds")->number(), 0.0);
+    EXPECT_GT(rec.Find("peak_rss_bytes")->int_value(), 0);
+  }
+
+  const JsonValue& summary = records.back();
+  EXPECT_EQ(summary.Find("type")->str(), "run_summary");
+  EXPECT_EQ(summary.Find("schema_version")->int_value(), 1);
+  EXPECT_FALSE(summary.Find("git")->str().empty());
+  EXPECT_GE(summary.Find("threads")->int_value(), 1);
+  EXPECT_EQ(summary.Find("fairness")->str(), "none");
+  EXPECT_EQ(summary.Find("weighting")->str(), "dwa");
+  EXPECT_EQ(summary.Find("epochs_completed")->int_value(), config.epochs);
+  EXPECT_DOUBLE_EQ(summary.Find("total_seconds")->number(), 1.25);
+  EXPECT_GT(summary.Find("peak_rss_bytes")->int_value(), 0);
+  const JsonValue* datasets = summary.Find("datasets");
+  ASSERT_NE(datasets, nullptr);
+  ASSERT_EQ(datasets->size(), slim.size());
+  EXPECT_EQ(datasets->items()[0].str(), "temperature");
+  ASSERT_NE(summary.Find("kernel_timings"), nullptr);
+  ASSERT_NE(summary.Find("metrics"), nullptr);
+  const JsonValue* counters = summary.Find("metrics")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* epochs_counter = counters->Find("train.epochs");
+  ASSERT_NE(epochs_counter, nullptr);
+  EXPECT_GE(epochs_counter->int_value(), config.epochs);
+}
+
+TEST(TelemetryTest, KernelTimingsAppearWhenTracingEnabled) {
+#if !EQUITENSOR_TRACE_ENABLED
+  GTEST_SKIP() << "spans compiled out (-DEQUITENSOR_TRACE=OFF)";
+#endif
+  const data::CityConfig city = TinyCity();
+  const data::UrbanDataBundle bundle = data::BuildSeattleAnalog(city);
+  const std::vector<data::AlignedDataset> slim = SlimDatasets(bundle);
+  EquiTensorConfig config = TinyTrainerConfig(city);
+  config.epochs = 1;
+  config.weighting = WeightingMode::kNone;
+
+  const std::string path = ::testing::TempDir() + "/telemetry_traced.jsonl";
+  TrainTelemetry telemetry;
+  ASSERT_TRUE(telemetry.OpenJsonl(path));
+
+  ResetTraceStatsForTesting();
+  SetTracingEnabled(true);
+  EquiTensorTrainer trainer(config, &slim, nullptr);
+  trainer.SetTelemetry(&telemetry);
+  trainer.Train();
+  telemetry.Finish(0.5, trainer.completed_epochs());
+  SetTracingEnabled(false);
+
+  const std::vector<JsonValue> records = ReadJsonl(path);
+  const JsonValue& summary = records.back();
+  const JsonValue* timings = summary.Find("kernel_timings");
+  ASSERT_NE(timings, nullptr);
+  ASSERT_GT(timings->size(), 0u);
+  bool saw_epoch_span = false;
+  for (const JsonValue& entry : timings->items()) {
+    ASSERT_NE(entry.Find("name"), nullptr);
+    EXPECT_GT(entry.Find("count")->int_value(), 0);
+    EXPECT_GE(entry.Find("total_seconds")->number(), 0.0);
+    EXPECT_GE(entry.Find("total_seconds")->number(),
+              entry.Find("self_seconds")->number());
+    EXPECT_GE(entry.Find("total_seconds")->number(),
+              entry.Find("max_seconds")->number());
+    if (entry.Find("name")->str() == "train.epoch") saw_epoch_span = true;
+  }
+  EXPECT_TRUE(saw_epoch_span);
+}
+
+TEST(TelemetryTest, ProgressSinkRendersTableAndSummaryLine) {
+  EpochLog log;
+  log.epoch = 0;
+  log.dataset_losses = {0.5, 0.25};
+  log.weights = {1.1, 0.9};
+  log.total_loss = 0.75;
+  log.adversary_loss = 0.1;
+  log.wall_seconds = 0.02;
+  log.peak_rss_bytes = 1 << 20;
+
+  RunContext context;
+  context.epochs_total = 1;
+  context.threads = 2;
+
+  std::ostringstream out;
+  TrainTelemetry telemetry;
+  telemetry.set_context(context);
+  telemetry.EnableProgress(&out);
+  telemetry.OnEpoch(log);
+  telemetry.Finish(0.02, 1);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("1/1"), std::string::npos);
+  EXPECT_NE(text.find("0.7500"), std::string::npos);
+  EXPECT_NE(text.find("dataset_loss"), std::string::npos);
+  EXPECT_NE(text.find("1 epochs in"), std::string::npos);
+}
+
+TEST(TelemetryTest, EpochToJsonIsStable) {
+  EpochLog log;
+  log.epoch = 2;
+  log.dataset_losses = {1.0};
+  log.weights = {1.0};
+  log.total_loss = 1.0;
+  log.wall_seconds = 0.5;
+  log.peak_rss_bytes = 42;
+  RunContext context;
+  context.epochs_total = 4;
+  context.lambda = 2.0;
+
+  // The exact field ordering is part of the contract: downstream
+  // parsers may diff raw lines.
+  EXPECT_EQ(TrainTelemetry::EpochToJson(log, context).Dump(),
+            "{\"type\":\"epoch\",\"epoch\":2,\"epochs_total\":4,"
+            "\"dataset_loss\":[1],\"weights\":[1],\"total_loss\":1,"
+            "\"adversary_loss\":0,\"lambda\":2,\"wall_seconds\":0.5,"
+            "\"peak_rss_bytes\":42}");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace equitensor

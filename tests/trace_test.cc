@@ -1,0 +1,206 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace equitensor {
+namespace {
+
+void SpinFor(std::chrono::microseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TraceStats FindStats(const std::vector<TraceStats>& stats,
+                     const std::string& name) {
+  for (const TraceStats& s : stats) {
+    if (s.name == name) return s;
+  }
+  return TraceStats{};
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !EQUITENSOR_TRACE_ENABLED
+    GTEST_SKIP() << "spans compiled out (-DEQUITENSOR_TRACE=OFF)";
+#endif
+    ResetTraceStatsForTesting();
+    SetTracingEnabled(true);
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    ResetTraceStatsForTesting();
+  }
+};
+
+TEST_F(TraceTest, RecordsCountAndWallTime) {
+  for (int i = 0; i < 3; ++i) {
+    ET_TRACE_SPAN("test.leaf");
+    SpinFor(std::chrono::microseconds(200));
+  }
+  const TraceStats s = FindStats(CollectTraceStats(), "test.leaf");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_GE(s.total_seconds, 3 * 200e-6);
+  EXPECT_GE(s.max_seconds, 200e-6);
+  EXPECT_LE(s.max_seconds, s.total_seconds);
+  // A leaf has no children: self time equals wall time.
+  EXPECT_DOUBLE_EQ(s.self_seconds, s.total_seconds);
+}
+
+TEST_F(TraceTest, NestedSpansSubtractChildTimeFromParentSelf) {
+  {
+    ET_TRACE_SPAN("test.parent");
+    SpinFor(std::chrono::microseconds(300));
+    {
+      ET_TRACE_SPAN("test.child");
+      SpinFor(std::chrono::microseconds(500));
+    }
+    SpinFor(std::chrono::microseconds(100));
+  }
+  const std::vector<TraceStats> stats = CollectTraceStats();
+  const TraceStats parent = FindStats(stats, "test.parent");
+  const TraceStats child = FindStats(stats, "test.child");
+  ASSERT_EQ(parent.count, 1u);
+  ASSERT_EQ(child.count, 1u);
+  EXPECT_GE(parent.total_seconds, child.total_seconds);
+  // Parent self excludes the child's full wall time but keeps its own.
+  EXPECT_NEAR(parent.self_seconds, parent.total_seconds - child.total_seconds,
+              1e-9);
+  EXPECT_GE(parent.self_seconds, 400e-6 - 1e-9);
+}
+
+TEST_F(TraceTest, ThreeLevelNestingChargesEachLevelOnce) {
+  {
+    ET_TRACE_SPAN("test.gp");
+    {
+      ET_TRACE_SPAN("test.p");
+      {
+        ET_TRACE_SPAN("test.c");
+        SpinFor(std::chrono::microseconds(300));
+      }
+    }
+  }
+  const std::vector<TraceStats> stats = CollectTraceStats();
+  const TraceStats gp = FindStats(stats, "test.gp");
+  const TraceStats p = FindStats(stats, "test.p");
+  const TraceStats c = FindStats(stats, "test.c");
+  // The grandparent's child time is the parent's wall time (which
+  // already contains the grandchild) — no double subtraction.
+  EXPECT_NEAR(gp.self_seconds, gp.total_seconds - p.total_seconds, 1e-9);
+  EXPECT_NEAR(p.self_seconds, p.total_seconds - c.total_seconds, 1e-9);
+  EXPECT_GE(gp.total_seconds, p.total_seconds);
+  EXPECT_GE(p.total_seconds, c.total_seconds);
+}
+
+TEST_F(TraceTest, DepthTracksOpenSpans) {
+  EXPECT_EQ(CurrentTraceDepth(), 0);
+  {
+    ET_TRACE_SPAN("test.depth1");
+    EXPECT_EQ(CurrentTraceDepth(), 1);
+    {
+      ET_TRACE_SPAN("test.depth2");
+      EXPECT_EQ(CurrentTraceDepth(), 2);
+    }
+    EXPECT_EQ(CurrentTraceDepth(), 1);
+  }
+  EXPECT_EQ(CurrentTraceDepth(), 0);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  SetTracingEnabled(false);
+  {
+    ET_TRACE_SPAN("test.disabled");
+    SpinFor(std::chrono::microseconds(100));
+    EXPECT_EQ(CurrentTraceDepth(), 0);
+  }
+  EXPECT_EQ(FindStats(CollectTraceStats(), "test.disabled").count, 0u);
+}
+
+TEST_F(TraceTest, ReenablingResumesRecording) {
+  auto hit = [] { ET_TRACE_SPAN("test.toggle"); };
+  hit();
+  SetTracingEnabled(false);
+  hit();
+  SetTracingEnabled(true);
+  hit();
+  EXPECT_EQ(FindStats(CollectTraceStats(), "test.toggle").count, 2u);
+}
+
+TEST_F(TraceTest, MergesAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ET_TRACE_SPAN("test.mt");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const TraceStats s = FindStats(CollectTraceStats(), "test.mt");
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(TraceTest, NestingIsPerThread) {
+  // A span open on this thread must not become the parent of spans on
+  // other threads.
+  ET_TRACE_SPAN("test.outer_on_main");
+  std::thread worker([] {
+    EXPECT_EQ(CurrentTraceDepth(), 0);
+    ET_TRACE_SPAN("test.inner_on_worker");
+    EXPECT_EQ(CurrentTraceDepth(), 1);
+  });
+  worker.join();
+}
+
+TEST_F(TraceTest, SameNameAtTwoSitesMergesByName) {
+  auto site_a = [] { ET_TRACE_SPAN("test.shared_name"); };
+  auto site_b = [] { ET_TRACE_SPAN("test.shared_name"); };
+  site_a();
+  site_a();
+  site_b();
+  EXPECT_EQ(FindStats(CollectTraceStats(), "test.shared_name").count, 3u);
+}
+
+TEST_F(TraceTest, StatsSortByTotalTimeDescending) {
+  {
+    ET_TRACE_SPAN("test.slow");
+    SpinFor(std::chrono::microseconds(800));
+  }
+  {
+    ET_TRACE_SPAN("test.fast");
+  }
+  const std::vector<TraceStats> stats = CollectTraceStats();
+  ASSERT_GE(stats.size(), 2u);
+  for (size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_GE(stats[i - 1].total_seconds, stats[i].total_seconds);
+  }
+}
+
+TEST_F(TraceTest, ResetClearsStatsButSitesSurvive) {
+  auto hit = [] { ET_TRACE_SPAN("test.reset"); };
+  hit();
+  ResetTraceStatsForTesting();
+  EXPECT_EQ(FindStats(CollectTraceStats(), "test.reset").count, 0u);
+  hit();
+  EXPECT_EQ(FindStats(CollectTraceStats(), "test.reset").count, 1u);
+}
+
+TEST_F(TraceTest, ReportTableListsSpans) {
+  {
+    ET_TRACE_SPAN("test.table_span");
+  }
+  const std::string table = TraceReportTable();
+  EXPECT_NE(table.find("test.table_span"), std::string::npos);
+  EXPECT_NE(table.find("total_ms"), std::string::npos);
+  ResetTraceStatsForTesting();
+  EXPECT_EQ(TraceReportTable(), "");
+}
+
+}  // namespace
+}  // namespace equitensor

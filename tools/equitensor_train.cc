@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/equitensor.h"
+#include "core/telemetry.h"
 #include "data/generators.h"
 #include "nn/serialize.h"
 #include "util/ascii_map.h"
@@ -17,6 +18,7 @@
 #include "util/stopwatch.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 using namespace equitensor;
 
@@ -52,6 +54,14 @@ int main(int argc, char** argv) {
                      "--checkpoint_every (flags must match the original run)");
   flags.DefineBool("show_maps", false,
                    "print ASCII maps of the sensitive attribute and Z");
+  flags.DefineString("metrics_jsonl", "",
+                     "stream one JSON object per epoch (plus a final run "
+                     "summary) to this path — DESIGN.md §10 schema");
+  flags.DefineBool("progress", false,
+                   "print a live per-epoch progress table");
+  flags.DefineBool("trace", false,
+                   "time the hot kernels with ET_TRACE_SPAN and report "
+                   "per-span totals (small runtime overhead)");
   flags.DefineInt("train_seed", 7, "training seed");
   flags.DefineInt("threads", 0,
                   "worker threads for the parallel kernels "
@@ -68,6 +78,7 @@ int main(int argc, char** argv) {
   }
 
   SetNumThreads(static_cast<int>(flags.GetInt("threads")));
+  SetTracingEnabled(flags.GetBool("trace"));
 
   data::CityConfig city;
   city.width = flags.GetInt("width");
@@ -143,21 +154,39 @@ int main(int argc, char** argv) {
     trainer.SetCheckpointing(flags.GetString("checkpoint_path"),
                              flags.GetInt("checkpoint_every"));
   }
+  core::TrainTelemetry telemetry;
+  const std::string jsonl_path = flags.GetString("metrics_jsonl");
+  if (!jsonl_path.empty() && !telemetry.OpenJsonl(jsonl_path)) {
+    std::cerr << "failed to open --metrics_jsonl " << jsonl_path << "\n";
+    return 1;
+  }
+  if (flags.GetBool("progress")) telemetry.EnableProgress(&std::cout);
+  trainer.SetTelemetry(&telemetry);
+
   std::cout << "Training " << core::FairnessModeName(config.fairness) << "/"
             << core::WeightingModeName(config.weighting) << " model ("
             << trainer.model().ParameterCount() << " parameters, "
             << NumThreads() << " thread(s))...\n";
   sw.Restart();
   trainer.Train();
-  for (const core::EpochLog& epoch : trainer.log()) {
-    std::cout << "  epoch " << epoch.epoch << ": recon "
-              << TextTable::Num(epoch.total_loss, 4);
-    if (config.fairness != core::FairnessMode::kNone) {
-      std::cout << ", adversary " << TextTable::Num(epoch.adversary_loss, 4);
+  telemetry.Finish(sw.ElapsedSeconds(), trainer.completed_epochs());
+  if (!flags.GetBool("progress")) {
+    for (const core::EpochLog& epoch : trainer.log()) {
+      std::cout << "  epoch " << epoch.epoch << ": recon "
+                << TextTable::Num(epoch.total_loss, 4);
+      if (config.fairness != core::FairnessMode::kNone) {
+        std::cout << ", adversary " << TextTable::Num(epoch.adversary_loss, 4);
+      }
+      std::cout << "\n";
     }
-    std::cout << "\n";
   }
   std::cout << "Trained in " << sw.ElapsedSeconds() << " s\n";
+  if (!jsonl_path.empty()) {
+    std::cout << "Wrote telemetry -> " << jsonl_path << "\n";
+  }
+  if (flags.GetBool("trace") && !flags.GetBool("progress")) {
+    std::cout << TraceReportTable();
+  }
 
   const Tensor z = trainer.Materialize();
   if (!nn::SaveTensor(flags.GetString("output_z"), z)) {

@@ -6,19 +6,110 @@
 //
 // Column 0 is the x axis by default; every other numeric column
 // becomes a series named by its header.
+//
+// Alternatively renders an equitensor_train telemetry stream
+// (DESIGN.md §10) as loss/weight curves over epochs:
+//
+//   plot_csv --jsonl=run.jsonl --output=run.svg
 
 #include <fstream>
 #include <iostream>
 
 #include "data/csv_loader.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/svg_chart.h"
 
 using namespace equitensor;
 
+namespace {
+
+// Builds one series per scalar/array field of the epoch records:
+// total_loss, adversary_loss, dataset_loss[i], weights[i] vs epoch.
+int PlotJsonl(const FlagParser& flags) {
+  std::ifstream file(flags.GetString("jsonl"));
+  if (!file) {
+    std::cerr << "cannot open " << flags.GetString("jsonl") << "\n";
+    return 1;
+  }
+  std::vector<double> xs;
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  auto channel = [&](const std::string& name) -> std::vector<double>& {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return series[i];
+    }
+    names.push_back(name);
+    series.emplace_back();
+    return series.back();
+  };
+  std::string line;
+  int line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue record;
+    std::string error;
+    if (!JsonValue::Parse(line, &record, &error)) {
+      std::cerr << "line " << line_no << ": bad JSON (" << error << ")\n";
+      return 1;
+    }
+    const JsonValue* type = record.Find("type");
+    if (type == nullptr || type->str() != "epoch") continue;
+    const JsonValue* epoch = record.Find("epoch");
+    if (epoch == nullptr) continue;
+    xs.push_back(epoch->number());
+    if (const JsonValue* v = record.Find("total_loss")) {
+      channel("total_loss").push_back(v->number());
+    }
+    if (const JsonValue* v = record.Find("adversary_loss")) {
+      channel("adversary_loss").push_back(v->number());
+    }
+    for (const char* field : {"dataset_loss", "weights"}) {
+      const JsonValue* array = record.Find(field);
+      if (array == nullptr || array->type() != JsonValue::Type::kArray) {
+        continue;
+      }
+      for (size_t i = 0; i < array->size(); ++i) {
+        channel(std::string(field) + "[" + std::to_string(i) + "]")
+            .push_back(array->items()[i].number());
+      }
+    }
+  }
+  if (xs.empty()) {
+    std::cerr << "no epoch records in " << flags.GetString("jsonl") << "\n";
+    return 1;
+  }
+  const std::string title = flags.GetString("title").empty()
+                                ? flags.GetString("jsonl")
+                                : flags.GetString("title");
+  SvgChart chart(title, "epoch", flags.GetString("y_label"));
+  int count = 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (series[i].size() != xs.size()) continue;  // partial channel
+    chart.AddSeries(names[i], xs, series[i]);
+    ++count;
+  }
+  if (count == 0 ||
+      !chart.WriteFile(flags.GetString("output"),
+                       static_cast<int>(flags.GetInt("width")),
+                       static_cast<int>(flags.GetInt("height")))) {
+    std::cerr << "failed to write " << flags.GetString("output") << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << flags.GetString("output") << " (" << count
+            << " series, " << xs.size() << " epochs)\n";
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   FlagParser flags;
   flags.DefineString("input", "", "CSV file produced by a bench binary");
+  flags.DefineString("jsonl", "",
+                     "equitensor_train --metrics_jsonl telemetry stream "
+                     "(plots epoch records; overrides --input)");
   flags.DefineInt("x", 0, "index of the x-axis column");
   flags.DefineString("output", "chart.svg", "SVG output path");
   flags.DefineString("title", "", "chart title (defaults to the file name)");
@@ -31,10 +122,13 @@ int main(int argc, char** argv) {
     std::cerr << flags.error() << "\n";
     return 2;
   }
-  if (flags.help_requested() || flags.GetString("input").empty()) {
-    std::cout << flags.HelpText("Render a bench CSV as an SVG line chart.");
+  if (flags.help_requested() ||
+      (flags.GetString("input").empty() && flags.GetString("jsonl").empty())) {
+    std::cout << flags.HelpText(
+        "Render a bench CSV or a telemetry JSONL stream as an SVG chart.");
     return flags.help_requested() ? 0 : 2;
   }
+  if (!flags.GetString("jsonl").empty()) return PlotJsonl(flags);
 
   std::ifstream file(flags.GetString("input"));
   if (!file) {
