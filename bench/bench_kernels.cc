@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "autograd/conv_ops.h"
+#include "autograd/hooks.h"
 #include "autograd/ops.h"
 #include "data/preprocess.h"
 #include "geo/rasterize.h"
@@ -215,6 +218,31 @@ void BM_Conv3dForwardTraced(benchmark::State& state) {
   SetTracingEnabled(false);
 }
 BENCHMARK(BM_Conv3dForwardTraced)
+    ->Arg(0)
+    ->Arg(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Observation-hook overhead (DESIGN.md §11 contract: with no hooks
+// registered, ag::Observe is one relaxed load and returns its input
+// Variable untouched). Arg 0 wraps conv3d forward in an inactive
+// observation point, Arg 1 registers a minimal hook; comparing Arg 0
+// against BM_Conv3dForward/1 is the "hooks disabled within 2%" probe
+// that bench_results/run_all.sh reports on.
+void BM_Conv3dForwardObserved(benchmark::State& state) {
+  std::unique_ptr<ag::ScopedHook> hook;
+  if (state.range(0) != 0) {
+    hook = std::make_unique<ag::ScopedHook>([](const ag::HookContext&) {});
+  }
+  Rng rng(3);
+  Variable x(Tensor::RandomUniform({2, 8, 12, 10, 24}, rng), false);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), false);
+  for (auto _ : state) {
+    Variable y = ag::Observe("bench.conv3d", ag::Conv3d(x, w));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_Conv3dForwardObserved)
     ->Arg(0)
     ->Arg(1)
     ->MeasureProcessCPUTime()

@@ -1,0 +1,83 @@
+#include "autograd/hooks.h"
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace equitensor {
+namespace ag {
+
+const char* HookPhaseName(HookPhase phase) {
+  switch (phase) {
+    case HookPhase::kForward:
+      return "forward";
+    case HookPhase::kBackward:
+      return "backward";
+  }
+  return "?";
+}
+
+struct HookRegistry::Impl {
+  std::mutex mu;
+  std::vector<std::pair<int, HookFn>> hooks;
+  int next_id = 1;
+};
+
+HookRegistry::Impl& HookRegistry::impl() const {
+  // Leaked: observation points may fire from pool threads that outlive
+  // main (same lifetime scheme as the metrics registry).
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+HookRegistry& HookRegistry::Global() {
+  static HookRegistry* registry = new HookRegistry();
+  return *registry;
+}
+
+int HookRegistry::Add(HookFn fn) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const int id = state.next_id++;
+  state.hooks.emplace_back(id, std::move(fn));
+  active_count_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void HookRegistry::Remove(int id) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto it = state.hooks.begin(); it != state.hooks.end(); ++it) {
+    if (it->first == id) {
+      state.hooks.erase(it);
+      active_count_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void HookRegistry::Notify(const HookContext& context) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& [id, fn] : state.hooks) fn(context);
+}
+
+Variable Observe(const std::string& name, const Variable& x) {
+  HookRegistry& registry = HookRegistry::Global();
+  if (!registry.active()) return x;
+  registry.Notify({name, HookPhase::kForward, x.value()});
+  if (!x.requires_grad()) return x;
+  // Pass-through node: same value, and a backward closure that reports
+  // the gradient before forwarding it unchanged to the source.
+  std::string point = name;
+  return Variable::MakeOp(
+      "observe", x.value(), {x},
+      [point = std::move(point)](const AutogradNode& node) {
+        HookRegistry::Global().Notify(
+            {point, HookPhase::kBackward, node.grad});
+        node.parents[0]->AccumulateGrad(node.grad);
+      });
+}
+
+}  // namespace ag
+}  // namespace equitensor

@@ -1,0 +1,94 @@
+#ifndef EQUITENSOR_AUTOGRAD_HOOKS_H_
+#define EQUITENSOR_AUTOGRAD_HOOKS_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "autograd/variable.h"
+
+namespace equitensor {
+namespace ag {
+
+/// Model-introspection hooks (DESIGN.md §11). Named observation points
+/// are threaded through the NN layers (ConvStack, Linear, LstmCell)
+/// and the models built from them; when at least one hook is
+/// registered, every point reports its forward activation — and, once
+/// Backward() reaches it, its gradient — to the registry. With no
+/// hooks registered the whole layer is inert: an observation point
+/// costs one relaxed atomic load and adds nothing to the graph, so the
+/// kernels and their benchmarks are untouched.
+
+/// Which side of an observation point fired.
+enum class HookPhase { kForward, kBackward };
+
+const char* HookPhaseName(HookPhase phase);
+
+/// One observation event. The tensor reference is only valid for the
+/// duration of the callback — copy it if you need to keep it.
+struct HookContext {
+  const std::string& point;  // e.g. "cdae.enc0.conv1"
+  HookPhase phase;
+  const Tensor& tensor;      // activation (forward) or gradient (backward)
+};
+
+using HookFn = std::function<void(const HookContext&)>;
+
+/// Process-wide hook registry. Registration is mutex-protected (rare);
+/// the active() fast path is a single relaxed atomic load, which is
+/// all a disabled observation point ever executes.
+class HookRegistry {
+ public:
+  static HookRegistry& Global();
+
+  HookRegistry(const HookRegistry&) = delete;
+  HookRegistry& operator=(const HookRegistry&) = delete;
+
+  /// Registers `fn` for every observation event (both phases). Returns
+  /// a handle for Remove(). The callback runs synchronously on the
+  /// thread executing the observed op and must not re-enter the
+  /// registry.
+  int Add(HookFn fn);
+  void Remove(int id);
+
+  /// True when at least one hook is registered.
+  bool active() const {
+    return active_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  void Notify(const HookContext& context);
+
+ private:
+  HookRegistry() = default;
+  std::atomic<int> active_count_{0};
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII hook registration.
+class ScopedHook {
+ public:
+  explicit ScopedHook(HookFn fn) : id_(HookRegistry::Global().Add(std::move(fn))) {}
+  ~ScopedHook() { HookRegistry::Global().Remove(id_); }
+
+  ScopedHook(const ScopedHook&) = delete;
+  ScopedHook& operator=(const ScopedHook&) = delete;
+
+ private:
+  int id_;
+};
+
+/// Cheap check used by call sites to skip building point names.
+inline bool HooksActive() { return HookRegistry::Global().active(); }
+
+/// Identity op that reports x under `name`: its forward value
+/// immediately, its gradient when Backward() reaches it. When no hooks
+/// are registered, returns x itself (same node, zero cost). When x
+/// does not require grad only the forward event fires and no graph
+/// node is created.
+Variable Observe(const std::string& name, const Variable& x);
+
+}  // namespace ag
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_AUTOGRAD_HOOKS_H_

@@ -136,8 +136,66 @@ std::vector<double> EquiTensorTrainer::EstimateOptimalLosses() {
   return optimal;
 }
 
+namespace {
+
+double L2Norm(const Tensor& tensor) {
+  double sq = 0.0;
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    sq += static_cast<double>(tensor[i]) * tensor[i];
+  }
+  return std::sqrt(sq);
+}
+
+/// Appends grad/weight norms for `params` (same order as the optimizer
+/// that owns them); update_ratio is filled in after the step.
+void CollectPreStepStats(const std::vector<nn::NamedParameter>& params,
+                         std::vector<LayerStat>* out) {
+  out->reserve(out->size() + params.size());
+  for (const nn::NamedParameter& named : params) {
+    LayerStat stat;
+    stat.name = named.name;
+    stat.grad_norm =
+        named.param.grad_ready() ? L2Norm(named.param.grad()) : 0.0;
+    stat.weight_norm = L2Norm(named.param.value());
+    out->push_back(std::move(stat));
+  }
+}
+
+void FillUpdateRatios(const std::vector<double>& update_norms, size_t offset,
+                      std::vector<LayerStat>* out) {
+  for (size_t k = 0; k < update_norms.size(); ++k) {
+    LayerStat& stat = (*out)[offset + k];
+    stat.update_ratio = update_norms[k] / (stat.weight_norm + 1e-12);
+  }
+}
+
+}  // namespace
+
+void EquiTensorTrainer::BuildStatParamLists() {
+  if (stat_params_built_) return;
+  stat_params_built_ = true;
+  // Mirrors the cdae_params order assembled in the constructor — the
+  // optimizers' update norms are indexed by that order.
+  for (auto& [name, param] : model_->NamedParameters()) {
+    cdae_stat_params_.push_back({"model." + name, param});
+  }
+  if (config_.weighting == WeightingMode::kUncertainty) {
+    cdae_stat_params_.push_back({"uncertainty.log_vars",
+                                 uncertainty_log_vars_});
+  }
+  if (adversary_) {
+    std::vector<nn::NamedParameter>& into =
+        config_.fairness == FairnessMode::kAdversarial ? adv_stat_params_
+                                                       : cdae_stat_params_;
+    for (auto& [name, param] : adversary_->NamedParameters()) {
+      into.push_back({"adversary." + name, param});
+    }
+  }
+}
+
 std::vector<double> EquiTensorTrainer::TrainStep(
-    const std::vector<int64_t>& starts, double* adversary_loss) {
+    const std::vector<int64_t>& starts, double* adversary_loss,
+    std::vector<LayerStat>* layer_stats) {
   const int64_t n = static_cast<int64_t>(starts.size());
   const auto clean = sampler_.MakeBatch(starts);
 
@@ -221,7 +279,16 @@ std::vector<double> EquiTensorTrainer::TrainStep(
     // Discard the gradients that leaked into the (frozen) adversary.
     adversary_optimizer_->ZeroGrad();
   }
+  if (layer_stats != nullptr) {
+    BuildStatParamLists();
+    CollectPreStepStats(cdae_stat_params_, layer_stats);
+    cdae_optimizer_->EnableUpdateNormTracking(true);
+  }
   cdae_optimizer_->Step();
+  if (layer_stats != nullptr) {
+    FillUpdateRatios(cdae_optimizer_->last_update_norms(), 0, layer_stats);
+    cdae_optimizer_->EnableUpdateNormTracking(false);
+  }
 
   if (config_.fairness == FairnessMode::kAdversarial) {
     // Alternating phase 2 (§3.4): update the adversary against the
@@ -233,7 +300,17 @@ std::vector<double> EquiTensorTrainer::TrainStep(
     Variable z_current = ag::Detach(model_->Encode(inputs));
     Variable l_a = adversary_->Loss(z_current, s_tiled);
     Backward(l_a);
+    const size_t adv_offset = layer_stats != nullptr ? layer_stats->size() : 0;
+    if (layer_stats != nullptr) {
+      CollectPreStepStats(adv_stat_params_, layer_stats);
+      adversary_optimizer_->EnableUpdateNormTracking(true);
+    }
     adversary_optimizer_->Step();
+    if (layer_stats != nullptr) {
+      FillUpdateRatios(adversary_optimizer_->last_update_norms(), adv_offset,
+                       layer_stats);
+      adversary_optimizer_->EnableUpdateNormTracking(false);
+    }
   }
 
   std::vector<double> step_losses;
@@ -260,6 +337,39 @@ std::vector<double> EquiTensorTrainer::CurrentWeights() const {
 void EquiTensorTrainer::SetCheckpointing(std::string path, int64_t every) {
   checkpoint_path_ = std::move(path);
   checkpoint_every_ = every;
+}
+
+void EquiTensorTrainer::SetLayerStatsEnabled(bool enabled) {
+  layer_stats_enabled_ = enabled;
+}
+
+void EquiTensorTrainer::SetNumericsChecking(NanCheckMode mode,
+                                            std::string bundle_path) {
+  if (mode == NanCheckMode::kOff) {
+    sentinel_.reset();
+    return;
+  }
+  sentinel_ = std::make_unique<NumericsSentinel>(mode);
+  sentinel_bundle_path_ = std::move(bundle_path);
+}
+
+void EquiTensorTrainer::CheckAllParameters() {
+  sentinel_->CheckParameters("model.", model_->NamedParameters());
+  if (uncertainty_log_vars_.defined()) {
+    sentinel_->CheckParameters(
+        "uncertainty.", {nn::NamedParameter{"log_vars", uncertainty_log_vars_}});
+  }
+  if (adversary_) {
+    sentinel_->CheckParameters("adversary.", adversary_->NamedParameters());
+  }
+}
+
+void EquiTensorTrainer::HandleSentinelTrip() {
+  std::vector<std::string> tail;
+  if (telemetry_ != nullptr) tail = telemetry_->RecentRecords();
+  sentinel_->WriteBundle(sentinel_bundle_path_, tail);
+  ET_CHECK(false) << "numerics sentinel: " << sentinel_->TripMessage()
+                  << "; diagnostic bundle: " << sentinel_bundle_path_;
 }
 
 void EquiTensorTrainer::SetTelemetry(TrainTelemetry* telemetry) {
@@ -425,6 +535,7 @@ bool EquiTensorTrainer::LoadTrainingState(const std::string& path) {
 void EquiTensorTrainer::Train() {
   ET_CHECK(!trained_) << "Train() already ran on this instance";
   trained_ = true;
+  if (sentinel_) sentinel_->Arm();
 
   if (config_.weighting == WeightingMode::kOurs) {
     if (resumed_) {
@@ -455,8 +566,21 @@ void EquiTensorTrainer::Train() {
     for (int64_t step = 0; step < config_.steps_per_epoch; ++step) {
       const auto starts = sampler_.SampleStarts(config_.batch_size, rng_);
       double adv_loss = 0.0;
-      const auto losses = TrainStep(starts, &adv_loss);
+      if (sentinel_) sentinel_->SetPosition(epoch, step);
+      const bool collect_stats =
+          layer_stats_enabled_ && step + 1 == config_.steps_per_epoch;
+      const auto losses = TrainStep(
+          starts, &adv_loss, collect_stats ? &entry.layer_stats : nullptr);
       adv_sum += adv_loss;
+      if (sentinel_ && sentinel_->mode() == NanCheckMode::kStep) {
+        for (size_t i = 0; i < losses.size(); ++i) {
+          sentinel_->CheckScalar("loss." + (*datasets_)[i].name, losses[i]);
+        }
+        sentinel_->CheckScalar("loss.adversary", adv_loss);
+        CheckAllParameters();
+      }
+      // Hooks can trip mid-TrainStep; fail fast before the next batch.
+      if (sentinel_ && sentinel_->tripped()) HandleSentinelTrip();
       if (step < probe_steps) {
         for (int64_t i = 0; i < n_datasets; ++i) {
           probe_sums[static_cast<size_t>(i)] +=
@@ -471,6 +595,8 @@ void EquiTensorTrainer::Train() {
     }
     entry.adversary_loss =
         adv_sum / static_cast<double>(config_.steps_per_epoch);
+    entry.adv_recon_balance =
+        entry.adversary_loss / std::max(entry.total_loss, 1e-12);
     entry.wall_seconds = epoch_watch.ElapsedSeconds();
     entry.peak_rss_bytes = PeakRssBytes();
     log_.push_back(entry);
@@ -481,6 +607,14 @@ void EquiTensorTrainer::Train() {
     ET_METRIC_GAUGE_SET("train.total_loss", entry.total_loss);
     ET_METRIC_GAUGE_SET("train.adversary_loss", entry.adversary_loss);
     if (telemetry_ != nullptr) telemetry_->OnEpoch(entry);
+
+    if (sentinel_ && sentinel_->mode() == NanCheckMode::kEpoch) {
+      sentinel_->SetPosition(epoch, config_.steps_per_epoch);
+      sentinel_->CheckScalar("epoch.total_loss", entry.total_loss);
+      sentinel_->CheckScalar("epoch.adversary_loss", entry.adversary_loss);
+      CheckAllParameters();
+      if (sentinel_->tripped()) HandleSentinelTrip();
+    }
 
     // Weights update once per epoch from the early-step means (§3.3).
     weighter_.Update(entry.dataset_losses);

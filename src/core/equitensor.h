@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/adaptive_weighting.h"
+#include "core/sentinel.h"
 #include "data/windows.h"
 #include "models/adversary.h"
 #include "models/cdae.h"
@@ -55,6 +56,17 @@ struct EquiTensorConfig {
   uint64_t seed = 7;
 };
 
+/// Per-parameter health statistics (DESIGN.md §11), collected on the
+/// last step of an epoch when layer-stats streaming is enabled — the
+/// signals behind the paper's Fig. 5 weight curves and Table 4
+/// adversary results, per named parameter instead of per run.
+struct LayerStat {
+  std::string name;           // e.g. "model.enc0.conv0.weight"
+  double grad_norm = 0.0;     // L2 of the gradient before the update
+  double weight_norm = 0.0;   // L2 of the parameter before the update
+  double update_ratio = 0.0;  // ||applied update|| / (||weight|| + eps)
+};
+
 /// Per-epoch training telemetry (drives Figures 4 and 5, and the
 /// JSONL epoch records of core/telemetry).
 struct EpochLog {
@@ -65,6 +77,10 @@ struct EpochLog {
   double adversary_loss = 0.0;         // L_A (0 when fairness is off)
   double wall_seconds = 0.0;           // wall time of this epoch
   int64_t peak_rss_bytes = 0;          // process peak RSS after the epoch
+  /// adversary_loss / max(total_loss, eps): the adversary-vs-
+  /// reconstruction balance adversarial training must hold (§3.4).
+  double adv_recon_balance = 0.0;
+  std::vector<LayerStat> layer_stats;  // empty unless streaming enabled
 };
 
 class TrainTelemetry;
@@ -98,6 +114,18 @@ class EquiTensorTrainer {
   /// epochs (and after the final one) Train() atomically writes the
   /// full training state to `path`. `every` <= 0 disables.
   void SetCheckpointing(std::string path, int64_t every);
+
+  /// Streams per-parameter health statistics (grad norm, weight norm,
+  /// update/weight ratio) into EpochLog::layer_stats, collected on the
+  /// last step of every epoch. Off by default: collection walks every
+  /// parameter tensor, so it is not free.
+  void SetLayerStatsEnabled(bool enabled);
+
+  /// Installs the numerics sentinel (--nan_check). On the first
+  /// NaN/Inf Train() writes a post-mortem diagnostic bundle to
+  /// `bundle_path` (offending tensor + context + recent telemetry)
+  /// and aborts with the offending point name. kOff uninstalls.
+  void SetNumericsChecking(NanCheckMode mode, std::string bundle_path);
 
   /// Atomically serializes the complete training state — model and
   /// adversary parameters, Adam moments and step counts, RNG stream,
@@ -151,9 +179,21 @@ class EquiTensorTrainer {
 
  private:
   /// One optimization step on one minibatch; returns per-dataset losses
-  /// and (via out-param) the adversary loss.
+  /// and (via out-param) the adversary loss. When `layer_stats` is
+  /// non-null, appends one LayerStat per optimized parameter.
   std::vector<double> TrainStep(const std::vector<int64_t>& starts,
-                                double* adversary_loss);
+                                double* adversary_loss,
+                                std::vector<LayerStat>* layer_stats = nullptr);
+
+  /// Lazily builds the named-parameter lists mirroring the optimizers'
+  /// parameter order (for layer stats and sentinel scans).
+  void BuildStatParamLists();
+
+  /// Runs the sentinel over every trainable parameter tensor.
+  void CheckAllParameters();
+
+  /// Writes the diagnostic bundle for the recorded trip and aborts.
+  void HandleSentinelTrip();
 
   EquiTensorConfig config_;
   const std::vector<data::AlignedDataset>* datasets_;
@@ -170,6 +210,15 @@ class EquiTensorTrainer {
   std::vector<double> optimal_losses_;
   std::vector<EpochLog> log_;
   bool trained_ = false;
+
+  bool layer_stats_enabled_ = false;
+  std::unique_ptr<NumericsSentinel> sentinel_;
+  std::string sentinel_bundle_path_;
+  /// Parameter-name lists parallel to cdae_optimizer_ /
+  /// adversary_optimizer_ parameter order (built on first use).
+  std::vector<nn::NamedParameter> cdae_stat_params_;
+  std::vector<nn::NamedParameter> adv_stat_params_;
+  bool stat_params_built_ = false;
 
   TrainTelemetry* telemetry_ = nullptr;
   std::string checkpoint_path_;

@@ -1,0 +1,170 @@
+#include "core/sentinel.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/serialize.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace equitensor {
+namespace core {
+
+const char kDiagnosticBundleKind[] = "equitensor.diagnostic_bundle";
+
+const char* NanCheckModeName(NanCheckMode mode) {
+  switch (mode) {
+    case NanCheckMode::kOff:
+      return "off";
+    case NanCheckMode::kEpoch:
+      return "epoch";
+    case NanCheckMode::kStep:
+      return "step";
+  }
+  return "?";
+}
+
+bool ParseNanCheckMode(const std::string& text, NanCheckMode* mode) {
+  if (text == "off") {
+    *mode = NanCheckMode::kOff;
+  } else if (text == "epoch") {
+    *mode = NanCheckMode::kEpoch;
+  } else if (text == "step") {
+    *mode = NanCheckMode::kStep;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+TensorSummary SummarizeTensor(const Tensor& tensor) {
+  TensorSummary summary;
+  summary.size = tensor.size();
+  double sum = 0.0;
+  int64_t finite = 0;
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    const float v = tensor[i];
+    if (!std::isfinite(v)) {
+      ++summary.nonfinite;
+      continue;
+    }
+    if (finite == 0 || v < summary.min) summary.min = v;
+    if (finite == 0 || v > summary.max) summary.max = v;
+    sum += v;
+    ++finite;
+  }
+  if (finite > 0) summary.mean = sum / static_cast<double>(finite);
+  return summary;
+}
+
+std::string TensorSummary::ToString() const {
+  std::ostringstream os;
+  os << "min=" << min << " max=" << max << " mean=" << mean
+     << " nonfinite=" << nonfinite << "/" << size;
+  return os.str();
+}
+
+namespace {
+
+bool HasNonfinite(const Tensor& tensor) {
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    if (!std::isfinite(tensor[i])) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+NumericsSentinel::NumericsSentinel(NanCheckMode mode) : mode_(mode) {}
+
+NumericsSentinel::~NumericsSentinel() {
+  if (armed_) ag::HookRegistry::Global().Remove(hook_id_);
+}
+
+void NumericsSentinel::Arm() {
+  if (mode_ != NanCheckMode::kStep || armed_) return;
+  hook_id_ = ag::HookRegistry::Global().Add([this](const ag::HookContext& ctx) {
+    if (tripped_) return;
+    if (!HasNonfinite(ctx.tensor)) return;
+    Record(ctx.point, ag::HookPhaseName(ctx.phase), ctx.tensor);
+  });
+  armed_ = true;
+}
+
+void NumericsSentinel::SetPosition(int64_t epoch, int64_t step) {
+  epoch_ = epoch;
+  step_ = step;
+}
+
+void NumericsSentinel::Record(const std::string& point, const char* phase,
+                              const Tensor& tensor) {
+  tripped_ = true;
+  trip_.point = point;
+  trip_.phase = phase;
+  trip_.summary = SummarizeTensor(tensor);
+  trip_.snapshot = tensor;
+  trip_.epoch = epoch_;
+  trip_.step = step_;
+  ET_METRIC_COUNTER_ADD("sentinel.trips", 1);
+}
+
+bool NumericsSentinel::CheckParameters(
+    const std::string& prefix, const std::vector<nn::NamedParameter>& params) {
+  if (tripped_) return false;
+  for (const nn::NamedParameter& named : params) {
+    if (!HasNonfinite(named.param.value())) continue;
+    Record(prefix + named.name, "parameter", named.param.value());
+    return true;
+  }
+  return false;
+}
+
+bool NumericsSentinel::CheckScalar(const std::string& name, double value) {
+  if (tripped_ || std::isfinite(value)) return false;
+  Record(name, "loss", Tensor::Scalar(static_cast<float>(value)));
+  return true;
+}
+
+const SentinelTrip& NumericsSentinel::trip() const {
+  ET_CHECK(tripped_) << "sentinel has not tripped";
+  return trip_;
+}
+
+std::string NumericsSentinel::TripMessage() const {
+  if (!tripped_) return "";
+  std::ostringstream os;
+  os << "non-finite values in " << trip_.phase << " at '" << trip_.point
+     << "' (epoch " << trip_.epoch << ", step " << trip_.step << "): "
+     << trip_.summary.ToString();
+  return os.str();
+}
+
+bool NumericsSentinel::WriteBundle(
+    const std::string& path,
+    const std::vector<std::string>& telemetry_tail) const {
+  if (!tripped_) return false;
+  nn::Checkpoint bundle;
+  bundle.metadata.emplace_back("diag.kind", kDiagnosticBundleKind);
+  bundle.metadata.emplace_back("diag.point", trip_.point);
+  bundle.metadata.emplace_back("diag.phase", trip_.phase);
+  bundle.metadata.emplace_back("diag.epoch", nn::EncodeI64(trip_.epoch));
+  bundle.metadata.emplace_back("diag.step", nn::EncodeI64(trip_.step));
+  bundle.metadata.emplace_back("diag.summary", trip_.summary.ToString());
+  std::string tail;
+  for (const std::string& line : telemetry_tail) {
+    tail += line;
+    tail += '\n';
+  }
+  bundle.metadata.emplace_back("diag.telemetry_tail", tail);
+  bundle.tensors.emplace_back("offending", trip_.snapshot);
+  if (!nn::SaveCheckpoint(path, bundle)) {
+    ET_LOG(Warning) << "failed to write diagnostic bundle to " << path;
+    return false;
+  }
+  ET_LOG(Info) << "wrote diagnostic bundle to " << path;
+  return true;
+}
+
+}  // namespace core
+}  // namespace equitensor

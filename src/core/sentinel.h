@@ -1,0 +1,123 @@
+#ifndef EQUITENSOR_CORE_SENTINEL_H_
+#define EQUITENSOR_CORE_SENTINEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/hooks.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace equitensor {
+namespace core {
+
+/// Numerics sentinel (DESIGN.md §11): watches a training run for the
+/// first NaN/Inf in activations, gradients, losses, or parameters and
+/// captures everything needed for a post-mortem — the offending point
+/// name, a tensor summary, the epoch/step position, and a snapshot of
+/// the tensor itself. The trainer writes the captured state to an ETCK
+/// diagnostic bundle and fails fast; tests exercise the trip paths
+/// directly through this class.
+
+/// How often numerical health is checked (--nan_check).
+enum class NanCheckMode {
+  kOff,    // No checking (the default; zero overhead).
+  kEpoch,  // Parameters and epoch losses scanned once per epoch.
+  kStep,   // Every observed activation/gradient (via autograd hooks)
+           // plus parameters and losses, every step.
+};
+
+const char* NanCheckModeName(NanCheckMode mode);
+
+/// Parses "off" | "epoch" | "step"; returns false on anything else.
+bool ParseNanCheckMode(const std::string& text, NanCheckMode* mode);
+
+/// Order statistics of one tensor, NaN-safe: min/max/mean are computed
+/// over the finite elements only (0 when none are finite).
+struct TensorSummary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  int64_t nonfinite = 0;  // NaN or +/-Inf element count
+  int64_t size = 0;
+
+  /// "min=... max=... mean=... nonfinite=k/n" diagnostic string.
+  std::string ToString() const;
+};
+
+TensorSummary SummarizeTensor(const Tensor& tensor);
+
+/// Everything captured at the moment of the first non-finite value.
+struct SentinelTrip {
+  std::string point;  // observation point or parameter/loss name
+  std::string phase;  // "forward" | "backward" | "parameter" | "loss"
+  TensorSummary summary;
+  Tensor snapshot;  // copy of the offending tensor
+  int64_t epoch = 0;
+  int64_t step = 0;
+};
+
+class NumericsSentinel {
+ public:
+  explicit NumericsSentinel(NanCheckMode mode);
+  ~NumericsSentinel();
+
+  NumericsSentinel(const NumericsSentinel&) = delete;
+  NumericsSentinel& operator=(const NumericsSentinel&) = delete;
+
+  NanCheckMode mode() const { return mode_; }
+
+  /// In kStep mode, registers the autograd hooks that scan every
+  /// observed activation and gradient. Idempotent; the destructor
+  /// unregisters. kEpoch mode never registers hooks (parameter/loss
+  /// scans only), keeping the training graph untouched.
+  void Arm();
+
+  /// Position stamped into the next trip (call per epoch/step).
+  void SetPosition(int64_t epoch, int64_t step);
+
+  /// Scans named parameter tensors, prefixing trip names with
+  /// `prefix` (e.g. "model."). Returns true if this call tripped.
+  bool CheckParameters(const std::string& prefix,
+                       const std::vector<nn::NamedParameter>& params);
+
+  /// Checks one already-computed scalar (a loss); `name` becomes the
+  /// trip point. Returns true if this call tripped.
+  bool CheckScalar(const std::string& name, double value);
+
+  bool tripped() const { return tripped_; }
+  const SentinelTrip& trip() const;
+
+  /// Writes the post-mortem diagnostic bundle for the recorded trip:
+  /// an ETCK v2 checkpoint holding the offending tensor snapshot plus
+  /// "diag.*" metadata (point, phase, epoch/step, summary) and the
+  /// last-N telemetry JSONL records. Returns false on I/O failure or
+  /// if nothing tripped.
+  bool WriteBundle(const std::string& path,
+                   const std::vector<std::string>& telemetry_tail) const;
+
+  /// One-line human description of the trip (empty before a trip).
+  std::string TripMessage() const;
+
+ private:
+  void Record(const std::string& point, const char* phase,
+              const Tensor& tensor);
+
+  NanCheckMode mode_;
+  int hook_id_ = 0;
+  bool armed_ = false;
+  bool tripped_ = false;
+  SentinelTrip trip_;
+  int64_t epoch_ = 0;
+  int64_t step_ = 0;
+};
+
+/// Metadata keys of the diagnostic bundle ("diag.kind" identifies it).
+extern const char kDiagnosticBundleKind[];
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_SENTINEL_H_

@@ -53,6 +53,20 @@ JsonValue TrainTelemetry::EpochToJson(const EpochLog& log,
   record.Set("lambda", JsonValue::Number(context.lambda));
   record.Set("wall_seconds", JsonValue::Number(log.wall_seconds));
   record.Set("peak_rss_bytes", JsonValue::Int(log.peak_rss_bytes));
+  // Schema v2 additions go strictly after the v1 fields so v1 consumers
+  // relying on the field prefix keep working (stability contract above).
+  record.Set("schema_version", JsonValue::Int(kTelemetrySchemaVersion));
+  record.Set("adv_recon_balance", JsonValue::Number(log.adv_recon_balance));
+  JsonValue stats = JsonValue::Array();
+  for (const LayerStat& stat : log.layer_stats) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::Str(stat.name));
+    entry.Set("grad_norm", JsonValue::Number(stat.grad_norm));
+    entry.Set("weight_norm", JsonValue::Number(stat.weight_norm));
+    entry.Set("update_ratio", JsonValue::Number(stat.update_ratio));
+    stats.Append(std::move(entry));
+  }
+  record.Set("layer_stats", std::move(stats));
   return record;
 }
 
@@ -61,7 +75,7 @@ JsonValue TrainTelemetry::RunSummaryToJson(
     const std::vector<TraceStats>& kernels, const MetricsSnapshot& metrics) {
   JsonValue record = JsonValue::Object();
   record.Set("type", JsonValue::Str("run_summary"));
-  record.Set("schema_version", JsonValue::Int(1));
+  record.Set("schema_version", JsonValue::Int(kTelemetrySchemaVersion));
   record.Set("git", JsonValue::Str(GitDescribe()));
   record.Set("threads", JsonValue::Int(context.threads));
   record.Set("fairness", JsonValue::Str(context.fairness));
@@ -91,11 +105,24 @@ JsonValue TrainTelemetry::RunSummaryToJson(
   return record;
 }
 
+void TrainTelemetry::RememberRecord(std::string line) {
+  if (recent_records_.size() >= kRecentRecordCap) {
+    recent_records_.erase(recent_records_.begin());
+  }
+  recent_records_.push_back(std::move(line));
+}
+
+std::vector<std::string> TrainTelemetry::RecentRecords() const {
+  return recent_records_;
+}
+
 void TrainTelemetry::OnEpoch(const EpochLog& log) {
+  std::string line = EpochToJson(log, context_).Dump();
   if (jsonl_open_) {
-    jsonl_ << EpochToJson(log, context_).Dump() << "\n";
+    jsonl_ << line << "\n";
     jsonl_.flush();
   }
+  RememberRecord(std::move(line));
   if (progress_ != nullptr) {
     if (!progress_header_printed_) {
       *progress_ << "epoch  total_loss  adv_loss  wall_s  weights\n";

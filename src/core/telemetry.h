@@ -17,6 +17,11 @@ namespace core {
 
 struct EpochLog;
 
+/// JSONL schema version stamped into every epoch record and the run
+/// summary. v2 added per-layer stats, adv_recon_balance, and the epoch
+/// records' own schema_version field (DESIGN.md §10/§11).
+inline constexpr int64_t kTelemetrySchemaVersion = 2;
+
 /// Immutable facts about a training run, stamped into every telemetry
 /// record. Filled by EquiTensorTrainer::SetTelemetry from its config.
 struct RunContext {
@@ -64,6 +69,14 @@ class TrainTelemetry {
   /// boxed progress table. Call once, after training.
   void Finish(double total_seconds, int64_t epochs_completed);
 
+  /// The most recent serialized JSONL records (oldest first, capped at
+  /// kRecentRecordCap) — the numerics sentinel folds them into its
+  /// post-mortem diagnostic bundle. Maintained even when no JSONL sink
+  /// is open.
+  std::vector<std::string> RecentRecords() const;
+
+  static constexpr size_t kRecentRecordCap = 32;
+
   /// Schema builders, exposed for the round-trip tests.
   static JsonValue EpochToJson(const EpochLog& log, const RunContext& context);
   static JsonValue RunSummaryToJson(const RunContext& context,
@@ -73,7 +86,11 @@ class TrainTelemetry {
                                     const MetricsSnapshot& metrics);
 
  private:
+  /// Appends one serialized record to the bounded recency ring.
+  void RememberRecord(std::string line);
+
   RunContext context_;
+  std::vector<std::string> recent_records_;
   std::ofstream jsonl_;
   bool jsonl_open_ = false;
   std::ostream* progress_ = nullptr;

@@ -13,6 +13,7 @@ AdversaryNet::AdversaryNet(int64_t latent_channels, Rng& rng, int64_t kernel,
   stack_ = std::make_unique<nn::ConvStack>(3, latent_channels,
                                            std::move(filters), kernel, rng,
                                            nn::Activation::kLinear);
+  stack_->SetObserveName("adversary");
 }
 
 Variable AdversaryNet::Forward(const Variable& z) const {

@@ -30,10 +30,14 @@ CoreCdae::CoreCdae(CdaeConfig config, std::vector<DatasetSpec> specs, Rng& rng)
       << "per-dataset encoders must collapse to one feature (§3.2)";
 
   // Per-dataset encoder stacks (conv dimensionality matches the data).
-  for (const DatasetSpec& spec : specs_) {
+  // Observation names mirror the NamedParameters tree so a sentinel
+  // trip at "cdae.enc0.conv1" points at the "enc0.conv1.*" parameters.
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const DatasetSpec& spec = specs_[i];
     encoders_.push_back(std::make_unique<nn::ConvStack>(
         SpatialRank(spec.kind), spec.channels, config_.encoder_filters,
         config_.kernel, rng, nn::Activation::kRelu));
+    encoders_.back()->SetObserveName("cdae.enc" + std::to_string(i));
   }
 
   // Shared 3D encoder producing Z with K channels.
@@ -42,16 +46,19 @@ CoreCdae::CoreCdae(CdaeConfig config, std::vector<DatasetSpec> specs, Rng& rng)
   shared_encoder_ = std::make_unique<nn::ConvStack>(
       3, dataset_count(), shared, config_.kernel, rng,
       nn::Activation::kLinear);
+  shared_encoder_->SetObserveName("cdae.shared");
 
   // Per-dataset decoder stacks from Z (+S when disentangling).
   const int64_t decoder_in =
       config_.latent_channels + (config_.disentangle ? 1 : 0);
-  for (const DatasetSpec& spec : specs_) {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const DatasetSpec& spec = specs_[i];
     std::vector<int64_t> filters = config_.decoder_filters;
     filters.push_back(spec.channels);
     decoders_.push_back(std::make_unique<nn::ConvStack>(
         SpatialRank(spec.kind), decoder_in, filters, config_.kernel, rng,
         nn::Activation::kLinear));
+    decoders_.back()->SetObserveName("cdae.dec" + std::to_string(i));
   }
 }
 

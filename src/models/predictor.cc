@@ -65,8 +65,11 @@ Seq2SeqForecaster::Seq2SeqForecaster(int64_t input_features, int64_t hidden,
   ET_CHECK_GE(input_features, 1);
   ET_CHECK_GE(horizon, 1);
   encoder_ = std::make_unique<nn::LstmCell>(input_features, hidden, rng);
+  encoder_->SetObserveName("seq2seq.encoder");
   decoder_ = std::make_unique<nn::LstmCell>(1, hidden, rng);
+  decoder_->SetObserveName("seq2seq.decoder");
   head_ = std::make_unique<nn::Linear>(hidden, 1, rng);
+  head_->SetObserveName("seq2seq.head");
 }
 
 Variable Seq2SeqForecaster::Forward(const Variable& history) const {

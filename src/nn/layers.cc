@@ -34,7 +34,11 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
 Variable Linear::Forward(const Variable& x) const {
   Variable y = ag::MatMul(x, weight_);
   y = ag::AddBias(y, bias_, /*channel_axis=*/1);
-  return Activate(y, act_);
+  y = Activate(y, act_);
+  if (!observe_name_.empty() && ag::HooksActive()) {
+    y = ag::Observe(observe_name_, y);
+  }
+  return y;
 }
 
 Conv::Conv(int spatial_rank, int64_t in_channels, int64_t out_channels,
@@ -93,8 +97,16 @@ ConvStack::ConvStack(int spatial_rank, int64_t in_channels,
 }
 
 Variable ConvStack::Forward(const Variable& x) const {
+  // The observation check is hoisted out of the layer loop: with no
+  // hooks registered a forward pass costs one relaxed atomic load.
+  const bool observing = !observe_name_.empty() && ag::HooksActive();
   Variable y = x;
-  for (const auto& layer : layers_) y = layer->Forward(y);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    y = layers_[i]->Forward(y);
+    if (observing) {
+      y = ag::Observe(observe_name_ + ".conv" + std::to_string(i), y);
+    }
+  }
   return y;
 }
 

@@ -2,9 +2,11 @@
 #define EQUITENSOR_NN_LAYERS_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "autograd/conv_ops.h"
+#include "autograd/hooks.h"
 #include "autograd/ops.h"
 #include "nn/module.h"
 #include "util/rng.h"
@@ -33,10 +35,15 @@ class Linear : public Module {
   const Variable& weight() const { return weight_; }
   const Variable& bias() const { return bias_; }
 
+  /// Names this layer's output as a hook observation point
+  /// (autograd/hooks.h); empty (the default) disables observation.
+  void SetObserveName(std::string name) { observe_name_ = std::move(name); }
+
  private:
   Variable weight_;
   Variable bias_;
   Activation act_;
+  std::string observe_name_;
 };
 
 /// Convolutional layer with stride 1 and same padding; `spatial_rank`
@@ -81,8 +88,14 @@ class ConvStack : public Module {
 
   int64_t out_channels() const { return layers_.back()->out_channels(); }
 
+  /// Names the stack's layers as hook observation points
+  /// "<name>.conv<i>" (autograd/hooks.h); empty disables observation.
+  void SetObserveName(std::string name) { observe_name_ = std::move(name); }
+  const std::string& observe_name() const { return observe_name_; }
+
  private:
   std::vector<std::unique_ptr<Conv>> layers_;
+  std::string observe_name_;
 };
 
 }  // namespace nn

@@ -1,5 +1,6 @@
 #include "nn/lstm.h"
 
+#include "autograd/hooks.h"
 #include "autograd/ops.h"
 #include "nn/init.h"
 #include "util/check.h"
@@ -33,6 +34,8 @@ LstmState LstmCell::Step(const Variable& x, const LstmState& state) const {
 
   Variable xh = ag::Concat({x, state.h}, /*axis=*/1);
   Variable gates = ag::AddBias(ag::MatMul(xh, weight_), bias_, 1);
+  const bool observing = !observe_name_.empty() && ag::HooksActive();
+  if (observing) gates = ag::Observe(observe_name_ + ".gates", gates);
 
   const int64_t hs = hidden_size_;
   Variable i = ag::Sigmoid(ag::Slice(gates, {0, 0 * hs}, {n, hs}));
@@ -42,6 +45,10 @@ LstmState LstmCell::Step(const Variable& x, const LstmState& state) const {
 
   Variable c_next = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
   Variable h_next = ag::Mul(o, ag::Tanh(c_next));
+  if (observing) {
+    c_next = ag::Observe(observe_name_ + ".c", c_next);
+    h_next = ag::Observe(observe_name_ + ".h", h_next);
+  }
   return {h_next, c_next};
 }
 

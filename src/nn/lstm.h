@@ -1,6 +1,7 @@
 #ifndef EQUITENSOR_NN_LSTM_H_
 #define EQUITENSOR_NN_LSTM_H_
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -38,11 +39,17 @@ class LstmCell : public Module {
   int64_t input_size() const { return input_size_; }
   int64_t hidden_size() const { return hidden_size_; }
 
+  /// Names the cell's per-step outputs as hook observation points
+  /// "<name>.gates" / "<name>.h" / "<name>.c" (autograd/hooks.h);
+  /// empty (the default) disables observation.
+  void SetObserveName(std::string name) { observe_name_ = std::move(name); }
+
  private:
   int64_t input_size_;
   int64_t hidden_size_;
   Variable weight_;  // [input+hidden, 4*hidden]
   Variable bias_;    // [4*hidden]
+  std::string observe_name_;
 };
 
 }  // namespace nn

@@ -51,6 +51,9 @@ void Adam::Step() {
     if (norm > options_.clip_norm) scale = options_.clip_norm / norm;
   }
 
+  if (track_update_norms_) {
+    last_update_norms_.assign(params_.size(), 0.0);
+  }
   for (size_t k = 0; k < params_.size(); ++k) {
     Variable& p = params_[k];
     if (!p.grad_ready()) continue;
@@ -58,6 +61,7 @@ void Adam::Step() {
     Tensor& value = p.mutable_value();
     Tensor& m = m_[k];
     Tensor& v = v_[k];
+    double update_sq = 0.0;
     for (int64_t i = 0; i < value.size(); ++i) {
       const double gi = static_cast<double>(g[i]) * scale;
       m[i] = static_cast<float>(options_.beta1 * m[i] + (1.0 - options_.beta1) * gi);
@@ -65,11 +69,21 @@ void Adam::Step() {
                                 (1.0 - options_.beta2) * gi * gi);
       const double m_hat = m[i] / bias1;
       const double v_hat = v[i] / bias2;
-      value[i] -= static_cast<float>(lr * m_hat /
-                                     (std::sqrt(v_hat) + options_.epsilon));
+      const float delta = static_cast<float>(
+          lr * m_hat / (std::sqrt(v_hat) + options_.epsilon));
+      value[i] -= delta;
+      if (track_update_norms_) {
+        update_sq += static_cast<double>(delta) * delta;
+      }
     }
+    if (track_update_norms_) last_update_norms_[k] = std::sqrt(update_sq);
     p.ZeroGrad();
   }
+}
+
+void Adam::EnableUpdateNormTracking(bool enabled) {
+  track_update_norms_ = enabled;
+  if (!enabled) last_update_norms_.clear();
 }
 
 void Adam::ZeroGrad() {

@@ -56,12 +56,27 @@ class Adam {
   /// every slot before mutating anything; returns false on mismatch.
   bool RestoreState(const std::string& prefix, const Checkpoint& checkpoint);
 
+  /// When enabled, Step() additionally records the L2 norm of the
+  /// update it applied to each parameter (0 for parameters it skipped)
+  /// — the numerator of the update/weight ratio the per-layer training
+  /// stats stream (DESIGN.md §11). Off by default; the tracked Step is
+  /// otherwise bitwise-identical to the untracked one.
+  void EnableUpdateNormTracking(bool enabled);
+
+  /// Per-parameter update norms of the most recent tracked Step(), in
+  /// parameter order. Empty until a tracked step has run.
+  const std::vector<double>& last_update_norms() const {
+    return last_update_norms_;
+  }
+
  private:
   std::vector<Variable> params_;
   AdamOptions options_;
   std::vector<Tensor> m_;
   std::vector<Tensor> v_;
   int64_t step_ = 0;
+  bool track_update_norms_ = false;
+  std::vector<double> last_update_norms_;
 };
 
 /// Plain SGD, used by tests as a reference optimizer.

@@ -40,6 +40,14 @@ double LoadDouble(const std::atomic<uint64_t>& bits) {
   return value;
 }
 
+void NoteNonfiniteDropped() {
+  // Cached like the ET_METRIC_* macros; counters only ever add finite
+  // integers, so this cannot recurse.
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("metrics_nonfinite_dropped");
+  counter->Add(1);
+}
+
 }  // namespace metrics_internal
 
 uint64_t Counter::Value() const {
@@ -65,6 +73,10 @@ Histogram::Histogram(std::vector<double> bounds)
 }
 
 void Histogram::Observe(double value) {
+  if (!std::isfinite(value)) {
+    metrics_internal::NoteNonfiniteDropped();
+    return;
+  }
   Slot& slot = slots_[static_cast<size_t>(metrics_internal::ThreadSlot())];
   const size_t bucket = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -

@@ -2,6 +2,7 @@
 #define EQUITENSOR_UTIL_METRICS_H_
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -43,6 +44,12 @@ struct alignas(64) SumCell {
 void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta);
 double LoadDouble(const std::atomic<uint64_t>& bits);
 
+/// Bumps the "metrics_nonfinite_dropped" counter: a NaN/Inf reached a
+/// gauge or histogram and was dropped instead of poisoning it. One NaN
+/// in a histogram sum would otherwise wipe out every other observation
+/// at scrape time.
+void NoteNonfiniteDropped();
+
 }  // namespace metrics_internal
 
 /// Monotonically increasing event count.
@@ -67,7 +74,13 @@ class Counter {
 /// not per-thread contributions).
 class Gauge {
  public:
+  /// Non-finite values are dropped (and counted) rather than stored —
+  /// a gauge that reads NaN tells a dashboard nothing.
   void Set(double value) {
+    if (!std::isfinite(value)) {
+      metrics_internal::NoteNonfiniteDropped();
+      return;
+    }
     uint64_t bits;
     static_assert(sizeof(bits) == sizeof(value));
     __builtin_memcpy(&bits, &value, sizeof(bits));
@@ -88,6 +101,9 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
+  /// Non-finite values are dropped (and counted via the
+  /// "metrics_nonfinite_dropped" counter): one NaN folded into the
+  /// running sum would poison Sum()/Mean() for the whole run.
   void Observe(double value);
 
   const std::vector<double>& bounds() const { return bounds_; }

@@ -6,8 +6,11 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "util/trace.h"
 
 namespace equitensor {
 namespace {
@@ -84,7 +87,10 @@ class Pool {
     stop_ = false;
     threads_.reserve(static_cast<size_t>(workers));
     for (int i = 0; i < workers; ++i) {
-      threads_.emplace_back([this] { WorkerLoop(); });
+      threads_.emplace_back([this, i] {
+        SetTraceThreadName("pool.worker" + std::to_string(i));
+        WorkerLoop();
+      });
     }
   }
 

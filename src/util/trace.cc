@@ -31,6 +31,60 @@ SiteList& Sites() {
 thread_local TraceSpan* tls_current_span = nullptr;
 thread_local int tls_depth = 0;
 
+// --- Per-event recording (Chrome-trace export) ---------------------
+//
+// Each thread owns one bounded EventBuffer, registered in a leaked
+// global list and reached through a thread_local pointer. The buffer
+// mutex is effectively uncontended: the owning thread appends, and the
+// drain in StopTraceEventRecording only runs after recording stopped.
+
+constexpr size_t kMaxEventsPerThread = 1 << 16;
+
+struct EventBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t thread_id = 0;
+  std::string thread_name;
+};
+
+struct EventBufferList {
+  std::mutex mu;
+  std::vector<EventBuffer*> buffers;
+};
+
+EventBufferList& EventBuffers() {
+  static EventBufferList* list = new EventBufferList();  // leaked
+  return *list;
+}
+
+std::atomic<bool> g_recording{false};
+std::atomic<uint64_t> g_dropped_events{0};
+
+thread_local EventBuffer* tls_event_buffer = nullptr;
+
+EventBuffer& ThreadEventBuffer() {
+  if (tls_event_buffer == nullptr) {
+    auto* buffer = new EventBuffer();  // leaked: outlives the thread
+    EventBufferList& list = EventBuffers();
+    std::lock_guard<std::mutex> lock(list.mu);
+    buffer->thread_id = static_cast<uint32_t>(list.buffers.size());
+    list.buffers.push_back(buffer);
+    tls_event_buffer = buffer;
+  }
+  return *tls_event_buffer;
+}
+
+void RecordTraceEvent(const char* name, uint64_t start_ns,
+                      uint64_t duration_ns) {
+  EventBuffer& buffer = ThreadEventBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back({name, start_ns, duration_ns, buffer.thread_id});
+}
+
 }  // namespace
 
 uint64_t MonotonicNowNs() {
@@ -123,6 +177,9 @@ TraceSpan::~TraceSpan() {
   if (site_ == nullptr) return;
   const uint64_t elapsed = trace_internal::MonotonicNowNs() - start_ns_;
   site_->Record(elapsed, child_ns_);
+  if (trace_internal::g_recording.load(std::memory_order_relaxed)) {
+    trace_internal::RecordTraceEvent(site_->name(), start_ns_, elapsed);
+  }
   trace_internal::tls_current_span = parent_;
   --trace_internal::tls_depth;
   // The parent's self time excludes this span's full wall time (which
@@ -191,6 +248,64 @@ void ResetTraceStatsForTesting() {
   auto& list = trace_internal::Sites();
   std::lock_guard<std::mutex> lock(list.mu);
   for (trace_internal::SpanSite* site : list.sites) site->Reset();
+}
+
+void StartTraceEventRecording() {
+  auto& list = trace_internal::EventBuffers();
+  {
+    std::lock_guard<std::mutex> lock(list.mu);
+    for (trace_internal::EventBuffer* buffer : list.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->events.clear();
+    }
+  }
+  trace_internal::g_dropped_events.store(0, std::memory_order_relaxed);
+  trace_internal::g_recording.store(true, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> StopTraceEventRecording() {
+  trace_internal::g_recording.store(false, std::memory_order_relaxed);
+  std::vector<TraceEvent> events;
+  auto& list = trace_internal::EventBuffers();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (trace_internal::EventBuffer* buffer : list.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+    buffer->events.clear();
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return events;
+}
+
+bool TraceEventRecordingActive() {
+  return trace_internal::g_recording.load(std::memory_order_relaxed);
+}
+
+uint64_t DroppedTraceEventCount() {
+  return trace_internal::g_dropped_events.load(std::memory_order_relaxed);
+}
+
+void SetTraceThreadName(const std::string& name) {
+  trace_internal::EventBuffer& buffer = trace_internal::ThreadEventBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.thread_name = name;
+}
+
+std::vector<std::pair<uint32_t, std::string>> TraceThreadNames() {
+  std::vector<std::pair<uint32_t, std::string>> names;
+  auto& list = trace_internal::EventBuffers();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (trace_internal::EventBuffer* buffer : list.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    const std::string name = buffer->thread_name.empty()
+                                 ? "thread" + std::to_string(buffer->thread_id)
+                                 : buffer->thread_name;
+    names.emplace_back(buffer->thread_id, name);
+  }
+  return names;
 }
 
 }  // namespace equitensor

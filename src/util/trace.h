@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace equitensor {
@@ -38,6 +39,44 @@ namespace equitensor {
 /// (default: disabled — opt in via --trace or tests).
 void SetTracingEnabled(bool enabled);
 bool TracingEnabled();
+
+/// Whether ET_TRACE_SPAN compiles to a real span in this build
+/// (EQUITENSOR_TRACE=ON). When false, --trace/--chrome_trace can only
+/// produce empty output — callers should warn loudly.
+constexpr bool TraceCompiledIn() { return EQUITENSOR_TRACE_ENABLED != 0; }
+
+/// One completed span occurrence captured for the Chrome-trace
+/// exporter (util/trace_export.h).
+struct TraceEvent {
+  const char* name = nullptr;  // span-site literal, never freed
+  uint64_t start_ns = 0;       // monotonic clock
+  uint64_t duration_ns = 0;
+  uint32_t thread_id = 0;  // dense per-thread track id (0 = first seen)
+};
+
+/// Starts buffering one TraceEvent per completed span, in addition to
+/// the aggregate stats. Requires tracing to also be enabled. Buffers
+/// are bounded per thread; overflow drops events and counts the drops.
+/// Clears any events and drop counts from a previous recording.
+void StartTraceEventRecording();
+
+/// Stops buffering and drains every thread's events, sorted by start
+/// time. Safe to call when recording never started (returns empty).
+std::vector<TraceEvent> StopTraceEventRecording();
+
+bool TraceEventRecordingActive();
+
+/// Events discarded because a per-thread buffer filled up during the
+/// current/last recording.
+uint64_t DroppedTraceEventCount();
+
+/// Names the calling thread's track in Chrome-trace exports ("main",
+/// "pool.worker3", ...). Unnamed threads fall back to "thread<N>".
+void SetTraceThreadName(const std::string& name);
+
+/// (thread_id, name) pairs for every thread that recorded events or
+/// named itself, in thread_id order.
+std::vector<std::pair<uint32_t, std::string>> TraceThreadNames();
 
 /// Nesting depth of open spans on the calling thread (0 = none).
 int CurrentTraceDepth();

@@ -1,0 +1,84 @@
+#include "util/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace equitensor {
+
+JsonValue ChromeTraceToJson(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<uint32_t, std::string>>& thread_names) {
+  JsonValue trace_events = JsonValue::Array();
+
+  // Timestamps are exported relative to the earliest event so the
+  // microsecond values stay far below the 2^53 double-exact range.
+  uint64_t t0 = 0;
+  bool have_t0 = false;
+  for (const TraceEvent& event : events) {
+    if (!have_t0 || event.start_ns < t0) {
+      t0 = event.start_ns;
+      have_t0 = true;
+    }
+  }
+
+  // Metadata first: one thread_name record per track that appears in
+  // the event stream (plus any explicitly named idle threads).
+  std::vector<uint32_t> seen_threads;
+  for (const TraceEvent& event : events) {
+    if (std::find(seen_threads.begin(), seen_threads.end(),
+                  event.thread_id) == seen_threads.end()) {
+      seen_threads.push_back(event.thread_id);
+    }
+  }
+  for (const auto& [tid, name] : thread_names) {
+    if (std::find(seen_threads.begin(), seen_threads.end(), tid) ==
+        seen_threads.end()) {
+      continue;
+    }
+    JsonValue meta = JsonValue::Object();
+    meta.Set("ph", JsonValue::Str("M"));
+    meta.Set("name", JsonValue::Str("thread_name"));
+    meta.Set("pid", JsonValue::Int(1));
+    meta.Set("tid", JsonValue::Int(static_cast<int64_t>(tid)));
+    JsonValue args = JsonValue::Object();
+    args.Set("name", JsonValue::Str(name));
+    meta.Set("args", std::move(args));
+    trace_events.Append(std::move(meta));
+  }
+
+  for (const TraceEvent& event : events) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("ph", JsonValue::Str("X"));
+    entry.Set("name", JsonValue::Str(event.name));
+    entry.Set("ts",
+              JsonValue::Number(static_cast<double>(event.start_ns - t0) /
+                                1e3));
+    entry.Set("dur",
+              JsonValue::Number(static_cast<double>(event.duration_ns) / 1e3));
+    entry.Set("pid", JsonValue::Int(1));
+    entry.Set("tid", JsonValue::Int(static_cast<int64_t>(event.thread_id)));
+    trace_events.Append(std::move(entry));
+  }
+
+  JsonValue document = JsonValue::Object();
+  document.Set("traceEvents", std::move(trace_events));
+  document.Set("displayTimeUnit", JsonValue::Str("ms"));
+  return document;
+}
+
+bool WriteChromeTrace(
+    const std::string& path, const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<uint32_t, std::string>>& thread_names) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    ET_LOG(Warning) << "cannot open chrome trace file " << path;
+    return false;
+  }
+  out << ChromeTraceToJson(events, thread_names).Dump() << "\n";
+  out.flush();
+  return out.good();
+}
+
+}  // namespace equitensor

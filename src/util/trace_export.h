@@ -1,0 +1,35 @@
+#ifndef EQUITENSOR_UTIL_TRACE_EXPORT_H_
+#define EQUITENSOR_UTIL_TRACE_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+#include "util/trace.h"
+
+namespace equitensor {
+
+/// Chrome trace-event export (DESIGN.md §11): serializes the span
+/// events buffered by Start/StopTraceEventRecording into the JSON
+/// object format that chrome://tracing and Perfetto load directly —
+/// one complete ("ph":"X") event per span with microsecond timestamps
+/// relative to the first event, one track per recording thread, and a
+/// thread_name metadata ("ph":"M") record per track so pool workers
+/// show up by name.
+
+/// Builds the {"traceEvents":[...]} document. `thread_names` maps
+/// TraceEvent::thread_id to track names (TraceThreadNames()); threads
+/// without an entry fall back to "thread<N>".
+JsonValue ChromeTraceToJson(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<uint32_t, std::string>>& thread_names);
+
+/// Writes ChromeTraceToJson to `path`. Returns false on I/O failure.
+bool WriteChromeTrace(
+    const std::string& path, const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<uint32_t, std::string>>& thread_names);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_TRACE_EXPORT_H_

@@ -1,0 +1,204 @@
+// Chrome-trace export (DESIGN.md §11): per-span event recording must
+// capture nesting and thread tracks, and the emitted JSON must parse
+// under the strict util/json parser with the exact fields
+// chrome://tracing and Perfetto expect.
+#include "util/trace_export.h"
+
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace equitensor {
+namespace {
+
+#if EQUITENSOR_TRACE_ENABLED
+
+void InnerWork() {
+  ET_TRACE_SPAN("test.inner");
+  volatile int sink = 0;
+  for (int i = 0; i < 1000; ++i) sink = sink + i;
+}
+
+void OuterWork() {
+  ET_TRACE_SPAN("test.outer");
+  InnerWork();
+  InnerWork();
+}
+
+class ChromeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTracingEnabled(true);
+    StartTraceEventRecording();
+  }
+  void TearDown() override {
+    StopTraceEventRecording();
+    SetTracingEnabled(false);
+  }
+};
+
+TEST_F(ChromeTraceTest, RecordingCapturesNestedSpans) {
+  OuterWork();
+  const std::vector<TraceEvent> events = StopTraceEventRecording();
+  ASSERT_EQ(events.size(), 3u);
+
+  // Sorted by start time: the outer span opens first.
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_STREQ(events[2].name, "test.inner");
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[i - 1].start_ns) << "monotonic";
+  }
+  // Children nest strictly inside the parent interval.
+  const uint64_t outer_end = events[0].start_ns + events[0].duration_ns;
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[0].start_ns);
+    EXPECT_LE(events[i].start_ns + events[i].duration_ns, outer_end);
+  }
+}
+
+TEST_F(ChromeTraceTest, StopDrainsAndSecondStopIsEmpty) {
+  OuterWork();
+  EXPECT_FALSE(StopTraceEventRecording().empty());
+  EXPECT_TRUE(StopTraceEventRecording().empty());
+  EXPECT_FALSE(TraceEventRecordingActive());
+}
+
+TEST_F(ChromeTraceTest, ThreadsRecordOnSeparateTracks) {
+  OuterWork();
+  std::thread other([] { InnerWork(); });
+  other.join();
+
+  const std::vector<TraceEvent> events = StopTraceEventRecording();
+  ASSERT_FALSE(events.empty());
+  std::set<uint32_t> tracks;
+  for (const TraceEvent& event : events) tracks.insert(event.thread_id);
+  EXPECT_GE(tracks.size(), 2u);
+}
+
+TEST_F(ChromeTraceTest, PoolWorkersNameTheirTracks) {
+  SetNumThreads(2);
+  // The worker names its track as soon as the pool materializes it;
+  // poll briefly since the naming happens on the worker thread.
+  ParallelFor(0, 8, /*grain=*/1, [](int64_t, int64_t) { InnerWork(); });
+  bool saw_worker = false;
+  for (int attempt = 0; attempt < 100 && !saw_worker; ++attempt) {
+    for (const auto& [tid, name] : TraceThreadNames()) {
+      if (name.rfind("pool.worker", 0) == 0) saw_worker = true;
+    }
+    if (!saw_worker) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  SetNumThreads(0);
+  EXPECT_TRUE(saw_worker);
+}
+
+TEST_F(ChromeTraceTest, ExportParsesUnderStrictJsonParser) {
+  SetTraceThreadName("main");
+  OuterWork();
+  const std::vector<TraceEvent> events = StopTraceEventRecording();
+
+  const std::string path = ::testing::TempDir() + "/chrome_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(path, events, TraceThreadNames()));
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  JsonValue document;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(buffer.str(), &document, &error)) << error;
+  const JsonValue* trace_events = document.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+
+  size_t complete_events = 0;
+  bool saw_main_track_name = false;
+  double last_ts = -1.0;
+  for (const JsonValue& entry : trace_events->items()) {
+    const std::string& ph = entry.Find("ph")->str();
+    ASSERT_NE(entry.Find("pid"), nullptr);
+    ASSERT_NE(entry.Find("tid"), nullptr);
+    if (ph == "M") {
+      EXPECT_EQ(entry.Find("name")->str(), "thread_name");
+      if (entry.Find("args")->Find("name")->str() == "main") {
+        saw_main_track_name = true;
+      }
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++complete_events;
+    const double ts = entry.Find("ts")->number();
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(ts, last_ts) << "timestamps must be monotonic";
+    last_ts = ts;
+    EXPECT_GE(entry.Find("dur")->number(), 0.0);
+    EXPECT_FALSE(entry.Find("name")->str().empty());
+  }
+  EXPECT_EQ(complete_events, events.size());
+  EXPECT_TRUE(saw_main_track_name);
+}
+
+TEST_F(ChromeTraceTest, PerThreadBufferOverflowDropsAndCounts) {
+  // 2^16 events fit per thread; everything beyond is dropped, counted,
+  // and must not grow the buffer.
+  for (int i = 0; i < (1 << 16) + 100; ++i) InnerWork();
+  EXPECT_GT(DroppedTraceEventCount(), 0u);
+  const std::vector<TraceEvent> events = StopTraceEventRecording();
+  EXPECT_EQ(events.size(), static_cast<size_t>(1) << 16);
+}
+
+TEST(ChromeTraceBuildTest, TraceCompiledInMatchesBuildFlag) {
+  EXPECT_TRUE(TraceCompiledIn());
+}
+
+#else  // !EQUITENSOR_TRACE_ENABLED
+
+TEST(ChromeTraceBuildTest, CompiledOutBuildsReportAndStayEmpty) {
+  EXPECT_FALSE(TraceCompiledIn());
+  SetTracingEnabled(true);
+  StartTraceEventRecording();
+  EXPECT_TRUE(StopTraceEventRecording().empty());
+  SetTracingEnabled(false);
+}
+
+#endif  // EQUITENSOR_TRACE_ENABLED
+
+TEST(ChromeTraceJsonTest, EmptyEventListStillValidDocument) {
+  const JsonValue document = ChromeTraceToJson({}, {});
+  EXPECT_EQ(document.Find("traceEvents")->size(), 0u);
+  JsonValue reparsed;
+  ASSERT_TRUE(JsonValue::Parse(document.Dump(), &reparsed));
+}
+
+TEST(ChromeTraceJsonTest, TimestampsRebaseToFirstEventMicroseconds) {
+  std::vector<TraceEvent> events;
+  events.push_back({"a", 5'000'000'000ULL, 2'000ULL, 0});
+  events.push_back({"b", 5'000'003'000ULL, 1'000ULL, 1});
+  const JsonValue document =
+      ChromeTraceToJson(events, {{0, "main"}, {1, "pool.worker0"}});
+  const JsonValue* items = document.Find("traceEvents");
+  // Two metadata records then the two complete events.
+  ASSERT_EQ(items->size(), 4u);
+  const JsonValue& a = items->items()[2];
+  const JsonValue& b = items->items()[3];
+  EXPECT_DOUBLE_EQ(a.Find("ts")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Find("dur")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(b.Find("ts")->number(), 3.0);
+  EXPECT_DOUBLE_EQ(b.Find("dur")->number(), 1.0);
+  EXPECT_EQ(a.Find("tid")->int_value(), 0);
+  EXPECT_EQ(b.Find("tid")->int_value(), 1);
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,138 @@
+// Autograd observation hooks (DESIGN.md §11): named points must report
+// forward activations and backward gradients to registered hooks, stay
+// inert (same Variable, no graph node) when nothing is registered, and
+// surface the layer names the models thread through them.
+#include "autograd/hooks.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace equitensor {
+namespace ag {
+namespace {
+
+struct Event {
+  std::string point;
+  HookPhase phase;
+  std::vector<float> values;
+};
+
+std::vector<float> ToVector(const Tensor& tensor) {
+  return std::vector<float>(tensor.data(), tensor.data() + tensor.size());
+}
+
+TEST(HooksTest, InactiveObservePassesThroughUntouched) {
+  ASSERT_FALSE(HooksActive());
+  Variable x(Tensor::FromData({2}, {1.0f, 2.0f}), /*requires_grad=*/true);
+  Variable y = Observe("unwatched", x);
+  // Same underlying node: no graph op was inserted.
+  EXPECT_EQ(y.value().data(), x.value().data());
+}
+
+TEST(HooksTest, ForwardAndBackwardEventsReachHook) {
+  std::vector<Event> events;
+  ScopedHook hook([&](const HookContext& ctx) {
+    events.push_back({ctx.point, ctx.phase, ToVector(ctx.tensor)});
+  });
+  ASSERT_TRUE(HooksActive());
+
+  Variable x(Tensor::FromData({2}, {1.0f, -3.0f}), /*requires_grad=*/true);
+  Variable y = Observe("probe", x);
+  Variable loss = SumAll(MulScalar(y, 2.0f));
+  Backward(loss);
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].point, "probe");
+  EXPECT_EQ(events[0].phase, HookPhase::kForward);
+  EXPECT_EQ(events[0].values, (std::vector<float>{1.0f, -3.0f}));
+  EXPECT_EQ(events[1].point, "probe");
+  EXPECT_EQ(events[1].phase, HookPhase::kBackward);
+  EXPECT_EQ(events[1].values, (std::vector<float>{2.0f, 2.0f}));
+
+  // The observation is an identity: gradients flow to x unchanged.
+  ASSERT_TRUE(x.grad_ready());
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 2.0f);
+}
+
+TEST(HooksTest, ConstantInputFiresForwardOnly) {
+  std::vector<Event> events;
+  ScopedHook hook([&](const HookContext& ctx) {
+    events.push_back({ctx.point, ctx.phase, ToVector(ctx.tensor)});
+  });
+  Variable x(Tensor::FromData({1}, {5.0f}), /*requires_grad=*/false);
+  Variable y = Observe("constant", x);
+  EXPECT_EQ(y.value().data(), x.value().data());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, HookPhase::kForward);
+}
+
+TEST(HooksTest, ScopedHookUnregistersOnDestruction) {
+  {
+    ScopedHook hook([](const HookContext&) {});
+    EXPECT_TRUE(HooksActive());
+  }
+  EXPECT_FALSE(HooksActive());
+}
+
+TEST(HooksTest, RemoveByIdDeactivatesThatHookOnly) {
+  int first_calls = 0;
+  int second_calls = 0;
+  HookRegistry& registry = HookRegistry::Global();
+  const int first = registry.Add([&](const HookContext&) { ++first_calls; });
+  const int second = registry.Add([&](const HookContext&) { ++second_calls; });
+
+  Variable x(Tensor::FromData({1}, {1.0f}), /*requires_grad=*/false);
+  Observe("p", x);
+  EXPECT_EQ(first_calls, 1);
+  EXPECT_EQ(second_calls, 1);
+
+  registry.Remove(first);
+  Observe("p", x);
+  EXPECT_EQ(first_calls, 1);
+  EXPECT_EQ(second_calls, 2);
+  registry.Remove(second);
+  EXPECT_FALSE(HooksActive());
+}
+
+TEST(HooksTest, ConvStackReportsPerLayerPoints) {
+  Rng rng(11);
+  nn::ConvStack stack(/*spatial_rank=*/3, /*in_channels=*/1, {2, 3},
+                      /*kernel=*/3, rng);
+  stack.SetObserveName("m");
+
+  std::vector<std::string> forward_points;
+  ScopedHook hook([&](const HookContext& ctx) {
+    if (ctx.phase == HookPhase::kForward) forward_points.push_back(ctx.point);
+  });
+
+  Variable x(Tensor({1, 1, 4, 4, 6}), /*requires_grad=*/false);
+  stack.Forward(x);
+  ASSERT_EQ(forward_points.size(), 2u);
+  EXPECT_EQ(forward_points[0], "m.conv0");
+  EXPECT_EQ(forward_points[1], "m.conv1");
+}
+
+TEST(HooksTest, UnnamedModulesStaySilent) {
+  Rng rng(11);
+  nn::ConvStack stack(/*spatial_rank=*/3, /*in_channels=*/1, {2},
+                      /*kernel=*/3, rng);
+
+  int calls = 0;
+  ScopedHook hook([&](const HookContext&) { ++calls; });
+  Variable x(Tensor({1, 1, 4, 4, 6}), /*requires_grad=*/false);
+  stack.Forward(x);
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace equitensor

@@ -1,6 +1,7 @@
 #include "util/metrics.h"
 
 #include <cstdlib>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -193,6 +194,38 @@ TEST_F(MetricsTest, MetricsToJsonMatchesSchema) {
   EXPECT_DOUBLE_EQ(hist->Find("sum")->number(), 2.0);
   EXPECT_EQ(hist->Find("buckets")->size(),
             hist->Find("bounds")->size() + 1);
+}
+
+TEST_F(MetricsTest, GaugeDropsNonfiniteAndCounts) {
+  Counter* dropped =
+      MetricsRegistry::Global().GetCounter("metrics_nonfinite_dropped");
+  Gauge* g = MetricsRegistry::Global().GetGauge("t.nan_gauge");
+  g->Set(1.5);
+  const uint64_t before = dropped->Value();
+  g->Set(std::numeric_limits<double>::quiet_NaN());
+  g->Set(std::numeric_limits<double>::infinity());
+  g->Set(-std::numeric_limits<double>::infinity());
+  // The last finite value survives; the three bad sets were counted.
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+  EXPECT_EQ(dropped->Value(), before + 3);
+}
+
+TEST_F(MetricsTest, HistogramDropsNonfiniteAndCounts) {
+  Counter* dropped =
+      MetricsRegistry::Global().GetCounter("metrics_nonfinite_dropped");
+  Histogram* h = MetricsRegistry::Global().GetHistogram("t.nan_hist", {1.0});
+  h->Observe(0.5);
+  const uint64_t before = dropped->Value();
+  h->Observe(std::numeric_limits<double>::quiet_NaN());
+  h->Observe(std::numeric_limits<double>::infinity());
+  // One NaN folded into the sum would poison Mean() for the whole run;
+  // instead count, sum, and buckets see only the finite observation.
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.5);
+  const std::vector<uint64_t> buckets = h->BucketCounts();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 0u);
+  EXPECT_EQ(dropped->Value(), before + 2);
 }
 
 // Deliberate-failure hook for scripts/check.sh's self-test: the runner

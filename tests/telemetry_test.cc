@@ -116,11 +116,19 @@ TEST(TelemetryTest, TrainingRunEmitsSchemaConformingJsonl) {
     EXPECT_DOUBLE_EQ(rec.Find("lambda")->number(), config.lambda);
     EXPECT_GT(rec.Find("wall_seconds")->number(), 0.0);
     EXPECT_GT(rec.Find("peak_rss_bytes")->int_value(), 0);
+    EXPECT_EQ(rec.Find("schema_version")->int_value(),
+              kTelemetrySchemaVersion);
+    EXPECT_DOUBLE_EQ(rec.Find("adv_recon_balance")->number(),
+                     log.adv_recon_balance);
+    // Layer stats stay an empty array unless explicitly enabled.
+    ASSERT_NE(rec.Find("layer_stats"), nullptr);
+    EXPECT_EQ(rec.Find("layer_stats")->size(), 0u);
   }
 
   const JsonValue& summary = records.back();
   EXPECT_EQ(summary.Find("type")->str(), "run_summary");
-  EXPECT_EQ(summary.Find("schema_version")->int_value(), 1);
+  EXPECT_EQ(summary.Find("schema_version")->int_value(),
+            kTelemetrySchemaVersion);
   EXPECT_FALSE(summary.Find("git")->str().empty());
   EXPECT_GE(summary.Find("threads")->int_value(), 1);
   EXPECT_EQ(summary.Find("fairness")->str(), "none");
@@ -224,12 +232,89 @@ TEST(TelemetryTest, EpochToJsonIsStable) {
   context.lambda = 2.0;
 
   // The exact field ordering is part of the contract: downstream
-  // parsers may diff raw lines.
+  // parsers may diff raw lines. Schema v2 fields append after the v1
+  // fields so a v1 consumer's line prefix is unchanged.
   EXPECT_EQ(TrainTelemetry::EpochToJson(log, context).Dump(),
             "{\"type\":\"epoch\",\"epoch\":2,\"epochs_total\":4,"
             "\"dataset_loss\":[1],\"weights\":[1],\"total_loss\":1,"
             "\"adversary_loss\":0,\"lambda\":2,\"wall_seconds\":0.5,"
-            "\"peak_rss_bytes\":42}");
+            "\"peak_rss_bytes\":42,\"schema_version\":2,"
+            "\"adv_recon_balance\":0,\"layer_stats\":[]}");
+}
+
+TEST(TelemetryTest, LayerStatsSerializePerParameter) {
+  EpochLog log;
+  log.epoch = 0;
+  log.dataset_losses = {1.0};
+  log.weights = {1.0};
+  log.layer_stats.push_back({"model.enc0.conv0.weight", 0.5, 2.0, 0.01});
+  RunContext context;
+  context.epochs_total = 1;
+
+  const JsonValue record = TrainTelemetry::EpochToJson(log, context);
+  const JsonValue* stats = record.Find("layer_stats");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_EQ(stats->size(), 1u);
+  const JsonValue& stat = stats->items()[0];
+  EXPECT_EQ(stat.Find("name")->str(), "model.enc0.conv0.weight");
+  EXPECT_DOUBLE_EQ(stat.Find("grad_norm")->number(), 0.5);
+  EXPECT_DOUBLE_EQ(stat.Find("weight_norm")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.Find("update_ratio")->number(), 0.01);
+}
+
+TEST(TelemetryTest, RecentRecordsKeepBoundedNewestTail) {
+  TrainTelemetry telemetry;  // no JSONL sink: the ring still fills
+  RunContext context;
+  context.epochs_total = 100;
+  telemetry.set_context(context);
+  EpochLog log;
+  log.dataset_losses = {1.0};
+  log.weights = {1.0};
+  for (int64_t e = 0; e < 40; ++e) {
+    log.epoch = e;
+    telemetry.OnEpoch(log);
+  }
+  const std::vector<std::string> records = telemetry.RecentRecords();
+  ASSERT_EQ(records.size(), TrainTelemetry::kRecentRecordCap);
+  JsonValue oldest, newest;
+  ASSERT_TRUE(JsonValue::Parse(records.front(), &oldest));
+  ASSERT_TRUE(JsonValue::Parse(records.back(), &newest));
+  EXPECT_EQ(oldest.Find("epoch")->int_value(), 40 - 32);
+  EXPECT_EQ(newest.Find("epoch")->int_value(), 39);
+}
+
+TEST(TelemetryTest, TrainerStreamsLayerStatsWhenEnabled) {
+  const data::CityConfig city = TinyCity();
+  const data::UrbanDataBundle bundle = data::BuildSeattleAnalog(city);
+  const std::vector<data::AlignedDataset> slim = SlimDatasets(bundle);
+  EquiTensorConfig config = TinyTrainerConfig(city);
+  config.epochs = 2;
+  config.weighting = WeightingMode::kNone;
+
+  EquiTensorTrainer trainer(config, &slim, nullptr);
+  trainer.SetLayerStatsEnabled(true);
+  trainer.Train();
+
+  ASSERT_EQ(trainer.log().size(), 2u);
+  for (const EpochLog& epoch : trainer.log()) {
+    ASSERT_FALSE(epoch.layer_stats.empty());
+    // One entry per model parameter, named like the checkpoint keys.
+    EXPECT_EQ(epoch.layer_stats.size(),
+              trainer.model().NamedParameters().size());
+    for (const LayerStat& stat : epoch.layer_stats) {
+      EXPECT_EQ(stat.name.rfind("model.", 0), 0u) << stat.name;
+      EXPECT_GT(stat.weight_norm, 0.0) << stat.name;
+      EXPECT_GE(stat.grad_norm, 0.0) << stat.name;
+      EXPECT_GE(stat.update_ratio, 0.0) << stat.name;
+    }
+    // Something trained on the last step of each epoch: at least one
+    // parameter must have moved.
+    bool any_update = false;
+    for (const LayerStat& stat : epoch.layer_stats) {
+      if (stat.update_ratio > 0.0) any_update = true;
+    }
+    EXPECT_TRUE(any_update);
+  }
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+#include "util/trace_export.h"
 
 using namespace equitensor;
 
@@ -62,6 +63,18 @@ int main(int argc, char** argv) {
   flags.DefineBool("trace", false,
                    "time the hot kernels with ET_TRACE_SPAN and report "
                    "per-span totals (small runtime overhead)");
+  flags.DefineString("chrome_trace", "",
+                     "record every span and write a chrome://tracing / "
+                     "Perfetto JSON trace to this path (implies --trace)");
+  flags.DefineString("nan_check", "off",
+                     "numerics sentinel: off | epoch | step — on the first "
+                     "NaN/Inf, write a diagnostic bundle and abort with the "
+                     "offending layer (DESIGN.md §11)");
+  flags.DefineString("nan_bundle", "numerics_diagnostic.etck",
+                     "where --nan_check writes its post-mortem bundle");
+  flags.DefineBool("layer_stats", false,
+                   "stream per-parameter grad/weight/update stats into the "
+                   "--metrics_jsonl epoch records");
   flags.DefineInt("train_seed", 7, "training seed");
   flags.DefineInt("threads", 0,
                   "worker threads for the parallel kernels "
@@ -78,7 +91,28 @@ int main(int argc, char** argv) {
   }
 
   SetNumThreads(static_cast<int>(flags.GetInt("threads")));
-  SetTracingEnabled(flags.GetBool("trace"));
+  const std::string chrome_trace_path = flags.GetString("chrome_trace");
+  const bool want_tracing =
+      flags.GetBool("trace") || !chrome_trace_path.empty();
+  SetTracingEnabled(want_tracing);
+  if (want_tracing && !TraceCompiledIn()) {
+    // Spans expand to no-ops in this build: honoring the flag silently
+    // would hand the user an empty trace.
+    std::cerr << "WARNING: --trace/--chrome_trace requested but this binary "
+                 "was built with EQUITENSOR_TRACE=OFF; spans are compiled "
+                 "out and no timings will be recorded. Rebuild with "
+                 "-DEQUITENSOR_TRACE=ON.\n";
+  }
+  if (!chrome_trace_path.empty()) {
+    SetTraceThreadName("main");
+    StartTraceEventRecording();
+  }
+  core::NanCheckMode nan_mode = core::NanCheckMode::kOff;
+  if (!core::ParseNanCheckMode(flags.GetString("nan_check"), &nan_mode)) {
+    std::cerr << "unknown --nan_check " << flags.GetString("nan_check")
+              << " (want off | epoch | step)\n";
+    return 2;
+  }
 
   data::CityConfig city;
   city.width = flags.GetInt("width");
@@ -162,6 +196,13 @@ int main(int argc, char** argv) {
   }
   if (flags.GetBool("progress")) telemetry.EnableProgress(&std::cout);
   trainer.SetTelemetry(&telemetry);
+  trainer.SetLayerStatsEnabled(flags.GetBool("layer_stats"));
+  trainer.SetNumericsChecking(nan_mode, flags.GetString("nan_bundle"));
+  if (nan_mode != core::NanCheckMode::kOff) {
+    std::cout << "Numerics sentinel armed (--nan_check="
+              << core::NanCheckModeName(nan_mode) << ", bundle -> "
+              << flags.GetString("nan_bundle") << ")\n";
+  }
 
   std::cout << "Training " << core::FairnessModeName(config.fairness) << "/"
             << core::WeightingModeName(config.weighting) << " model ("
@@ -186,6 +227,19 @@ int main(int argc, char** argv) {
   }
   if (flags.GetBool("trace") && !flags.GetBool("progress")) {
     std::cout << TraceReportTable();
+  }
+  if (!chrome_trace_path.empty()) {
+    const std::vector<TraceEvent> events = StopTraceEventRecording();
+    if (!WriteChromeTrace(chrome_trace_path, events, TraceThreadNames())) {
+      std::cerr << "failed to write --chrome_trace " << chrome_trace_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "Wrote chrome trace (" << events.size() << " events";
+    if (DroppedTraceEventCount() > 0) {
+      std::cout << ", " << DroppedTraceEventCount() << " dropped";
+    }
+    std::cout << ") -> " << chrome_trace_path << "\n";
   }
 
   const Tensor z = trainer.Materialize();
