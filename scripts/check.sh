@@ -56,3 +56,67 @@ fi
 ctest --test-dir "$BUILD_DIR" "${LABEL_ARGS[@]+"${LABEL_ARGS[@]}"}" \
   --output-on-failure --no-tests=error -j "$JOBS"
 echo "All sanitizer checks passed."
+
+# Telemetry-endpoint smoke test (DESIGN.md §12): a short live run with
+# --serve=0 must answer all four endpoints with well-formed payloads.
+# /metrics is checked by the Prometheus-text validator, /status and
+# /fairness by the strict JSON parser (both via tools/scrape_check).
+# Skipped under --quick; run against the sanitizer build so a race or
+# UB in the server path fails the gate.
+if [[ "$QUICK" != 1 ]]; then
+  echo "=== telemetry endpoint smoke test ==="
+  SMOKE_LOG="$(mktemp)"
+  "$BUILD_DIR"/tools/equitensor_train \
+    --width=6 --height=5 --days=4 --epochs=2 --steps=3 --batch=2 \
+    --fairness=adversarial --trace --serve=0 --serve_linger=60 \
+    --output_z="$(mktemp -u).etck" >"$SMOKE_LOG" 2>&1 &
+  SMOKE_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^Telemetry server listening on port \([0-9]*\)$/\1/p' \
+      "$SMOKE_LOG")"
+    [[ -n "$PORT" ]] && break
+    if ! kill -0 "$SMOKE_PID" 2>/dev/null; then
+      echo "check.sh: smoke run died before binding its port" >&2
+      cat "$SMOKE_LOG" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  if [[ -z "$PORT" ]]; then
+    echo "check.sh: no port line in the smoke-run log" >&2
+    cat "$SMOKE_LOG" >&2
+    kill "$SMOKE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  # Let training finish (the linger keeps serving) so /status and
+  # /fairness carry real epoch data, not the waiting placeholder.
+  for _ in $(seq 1 300); do
+    grep -q "^Serving telemetry" "$SMOKE_LOG" && break
+    sleep 0.2
+  done
+  SMOKE_OK=1
+  "$BUILD_DIR"/tools/scrape_check --port="$PORT" --path=/metrics \
+    --format=prom || SMOKE_OK=0
+  "$BUILD_DIR"/tools/scrape_check --port="$PORT" --path=/status \
+    --format=json || SMOKE_OK=0
+  "$BUILD_DIR"/tools/scrape_check --port="$PORT" --path=/fairness \
+    --format=json || SMOKE_OK=0
+  # /healthz is plain text; a healthy run must answer 200.
+  "$BUILD_DIR"/tools/scrape_check --port="$PORT" --path=/healthz \
+    --format=text --expect_status=200 || SMOKE_OK=0
+  # Graceful teardown: SIGINT must end the linger with exit 0 and no
+  # leaked listener.
+  kill -INT "$SMOKE_PID"
+  if ! wait "$SMOKE_PID"; then
+    echo "check.sh: smoke run exited non-zero after SIGINT" >&2
+    cat "$SMOKE_LOG" >&2
+    exit 1
+  fi
+  if [[ "$SMOKE_OK" != 1 ]]; then
+    echo "check.sh: telemetry endpoint smoke test failed" >&2
+    cat "$SMOKE_LOG" >&2
+    exit 1
+  fi
+  echo "Telemetry endpoints OK (port $PORT)."
+fi

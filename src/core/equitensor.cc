@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "core/fairness_metrics.h"
 #include "core/telemetry.h"
 #include "data/preprocess.h"
 #include "nn/serialize.h"
@@ -11,6 +12,7 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/shutdown.h"
 #include "util/stopwatch.h"
 #include "util/system_info.h"
 #include "util/thread_pool.h"
@@ -321,6 +323,25 @@ std::vector<double> EquiTensorTrainer::TrainStep(
   return step_losses;
 }
 
+void EquiTensorTrainer::AuditFairness(EpochLog* entry) {
+  if (sensitive_map_ == nullptr) return;
+  ET_TRACE_SPAN("train.fairness_audit");
+  // Clean (uncorrupted) probe batch from a dedicated RNG stream:
+  // sampling from rng_ here would shift the training stream and break
+  // bitwise-identical resume (checkpoint_resume_test).
+  Rng audit_rng(config_.seed ^
+                (0xFA1DBEEFULL + static_cast<uint64_t>(entry->epoch) *
+                                     0x9E3779B97F4A7C15ULL));
+  const auto starts = sampler_.SampleStarts(config_.batch_size, audit_rng);
+  const Tensor z = model_->EncodeValue(sampler_.MakeBatch(starts));
+  const FairnessSignal signal = AuditRepresentation(z, *sensitive_map_);
+  entry->fairness_audited = true;
+  entry->fairness_correlation = signal.correlation;
+  entry->parity_gap = signal.parity_gap;
+  ET_METRIC_GAUGE_SET("train.fairness_correlation", signal.correlation);
+  ET_METRIC_GAUGE_SET("train.parity_gap", signal.parity_gap);
+}
+
 std::vector<double> EquiTensorTrainer::CurrentWeights() const {
   if (config_.weighting != WeightingMode::kUncertainty) {
     return weighter_.weights();
@@ -365,6 +386,12 @@ void EquiTensorTrainer::CheckAllParameters() {
 }
 
 void EquiTensorTrainer::HandleSentinelTrip() {
+  // Flip /healthz (and flush a final health record to the JSONL sink)
+  // before aborting, so a scraper sees the unhealthy state and the
+  // offending layer even though the process is about to die.
+  if (telemetry_ != nullptr) {
+    telemetry_->NoteUnhealthy(sentinel_->TripMessage());
+  }
   std::vector<std::string> tail;
   if (telemetry_ != nullptr) tail = telemetry_->RecentRecords();
   sentinel_->WriteBundle(sentinel_bundle_path_, tail);
@@ -554,6 +581,13 @@ void EquiTensorTrainer::Train() {
 
   const int64_t n_datasets = sampler_.dataset_count();
   for (int64_t epoch = next_epoch_; epoch < config_.epochs; ++epoch) {
+    if (ShutdownRequested()) {
+      // Cooperative Ctrl-C/SIGTERM (util/shutdown): stop at the epoch
+      // boundary so the caller can still flush telemetry, write the
+      // run summary, and exit 0 with everything completed so far.
+      ET_LOG(Info) << "shutdown requested; stopping before epoch " << epoch;
+      break;
+    }
     ET_TRACE_SPAN("train.epoch");
     Stopwatch epoch_watch;
     EpochLog entry;
@@ -597,10 +631,14 @@ void EquiTensorTrainer::Train() {
         adv_sum / static_cast<double>(config_.steps_per_epoch);
     entry.adv_recon_balance =
         entry.adversary_loss / std::max(entry.total_loss, 1e-12);
+    AuditFairness(&entry);
     entry.wall_seconds = epoch_watch.ElapsedSeconds();
     entry.peak_rss_bytes = PeakRssBytes();
     log_.push_back(entry);
 
+    static Histogram* epoch_hist = MetricsRegistry::Global().GetHistogram(
+        "train.epoch_seconds", Histogram::ExponentialBounds(0.01, 2.0, 12));
+    epoch_hist->Observe(entry.wall_seconds);
     ET_METRIC_COUNTER_ADD("train.epochs", 1);
     ET_METRIC_COUNTER_ADD("train.steps",
                           static_cast<uint64_t>(config_.steps_per_epoch));

@@ -81,6 +81,13 @@ struct EpochLog {
   /// reconstruction balance adversarial training must hold (§3.4).
   double adv_recon_balance = 0.0;
   std::vector<LayerStat> layer_stats;  // empty unless streaming enabled
+  /// Live fairness audit (DESIGN.md §12, streamed to /fairness and
+  /// the JSONL sink): Pearson correlation of cell-mean Z with the
+  /// sensitive map, and the demographic-parity gap of cell-mean Z.
+  /// Only filled when the trainer holds a sensitive map.
+  bool fairness_audited = false;
+  double fairness_correlation = 0.0;
+  double parity_gap = 0.0;
 };
 
 class TrainTelemetry;
@@ -188,6 +195,12 @@ class EquiTensorTrainer {
   /// Lazily builds the named-parameter lists mirroring the optimizers'
   /// parameter order (for layer stats and sentinel scans).
   void BuildStatParamLists();
+
+  /// Per-epoch live fairness audit: encodes one clean probe batch
+  /// (drawn from its own RNG stream so the resume-determinism
+  /// contract of DESIGN.md §9 is untouched) and fills the fairness
+  /// fields of `entry`. No-op without a sensitive map.
+  void AuditFairness(EpochLog* entry);
 
   /// Runs the sentinel over every trainable parameter tensor.
   void CheckAllParameters();

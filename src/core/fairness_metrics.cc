@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/stats.h"
 
 namespace equitensor {
 namespace core {
@@ -59,6 +60,65 @@ ResidualMetrics ResidualAccumulator::Metrics() const {
   metrics.nrd = neg_adv_ / n_adv - neg_dis_ / n_dis;
   metrics.rd = res_adv_ / n_adv - res_dis_ / n_dis;
   return metrics;
+}
+
+std::vector<double> CellMeans(const Tensor& z, int64_t w, int64_t h) {
+  ET_CHECK(z.rank() == 4 || z.rank() == 5)
+      << "representation must be [K,W,H,T] or [N,K,W,H,T]";
+  const int64_t spatial = z.rank() == 4 ? 1 : 2;
+  ET_CHECK_EQ(z.dim(spatial), w);
+  ET_CHECK_EQ(z.dim(spatial + 1), h);
+  const int64_t t = z.dim(spatial + 2);
+  const int64_t cells = w * h;
+  // Row-major layout: outer = N*K (or K), then W, H, T — so for each
+  // outer block the [W*H] cell grid is contiguous with stride T.
+  int64_t outer = 1;
+  for (int64_t d = 0; d < spatial; ++d) outer *= z.dim(d);
+  std::vector<double> means(static_cast<size_t>(cells), 0.0);
+  const float* data = z.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t cell = 0; cell < cells; ++cell) {
+      const float* src = data + (o * cells + cell) * t;
+      double sum = 0.0;
+      for (int64_t i = 0; i < t; ++i) sum += src[i];
+      means[static_cast<size_t>(cell)] += sum;
+    }
+  }
+  const double denom = static_cast<double>(outer) * static_cast<double>(t);
+  for (double& m : means) m /= denom;
+  return means;
+}
+
+FairnessSignal AuditRepresentation(const Tensor& z,
+                                   const Tensor& sensitive_map) {
+  ET_CHECK_EQ(sensitive_map.rank(), 2);
+  const int64_t w = sensitive_map.dim(0);
+  const int64_t h = sensitive_map.dim(1);
+  const std::vector<double> cell_z = CellMeans(z, w, h);
+  std::vector<double> cell_s;
+  cell_s.reserve(static_cast<size_t>(sensitive_map.size()));
+  for (int64_t i = 0; i < sensitive_map.size(); ++i) {
+    cell_s.push_back(static_cast<double>(sensitive_map[i]));
+  }
+
+  FairnessSignal signal;
+  signal.correlation = PearsonCorrelation(cell_z, cell_s);
+
+  const GroupLabels groups = ThresholdGroups(sensitive_map);
+  double adv_sum = 0.0, dis_sum = 0.0;
+  for (size_t i = 0; i < cell_z.size(); ++i) {
+    if (groups.advantaged[i]) {
+      adv_sum += cell_z[i];
+    } else {
+      dis_sum += cell_z[i];
+    }
+  }
+  if (groups.advantaged_count > 0 && groups.disadvantaged_count > 0) {
+    signal.parity_gap =
+        adv_sum / static_cast<double>(groups.advantaged_count) -
+        dis_sum / static_cast<double>(groups.disadvantaged_count);
+  }
+  return signal;
 }
 
 }  // namespace core

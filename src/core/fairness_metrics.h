@@ -58,6 +58,30 @@ class ResidualAccumulator {
   int64_t timesteps_ = 0;
 };
 
+/// Live fairness signal of a representation during training
+/// (DESIGN.md §12): how much of the sensitive map S is linearly
+/// visible in Z right now. Streamed per epoch into the JSONL
+/// telemetry and the /fairness endpoint, so the adversarial λ
+/// trade-off can be monitored while it is being optimized instead of
+/// only audited offline (§4.3).
+struct FairnessSignal {
+  /// Pearson correlation between the per-cell mean of Z and S over
+  /// the grid cells (0 = no linear leakage).
+  double correlation = 0.0;
+  /// Demographic-parity gap: mean cell-mean Z over G+ minus over G-
+  /// (groups from ThresholdGroups at the city-mean threshold).
+  double parity_gap = 0.0;
+};
+
+/// Per-cell mean of a representation over every non-spatial dim.
+/// `z` must be [K, W, H, T] or [N, K, W, H, T] with W*H matching
+/// `cells`; returns a row-major [W*H] vector.
+std::vector<double> CellMeans(const Tensor& z, int64_t w, int64_t h);
+
+/// Audits `z` (shapes as CellMeans) against `sensitive_map` ([W, H]).
+FairnessSignal AuditRepresentation(const Tensor& z,
+                                   const Tensor& sensitive_map);
+
 }  // namespace core
 }  // namespace equitensor
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/equitensor.h"
+#include "core/telemetry_server.h"
 #include "util/system_info.h"
 #include "util/thread_pool.h"
 
@@ -67,6 +68,14 @@ JsonValue TrainTelemetry::EpochToJson(const EpochLog& log,
     stats.Append(std::move(entry));
   }
   record.Set("layer_stats", std::move(stats));
+  // Live fairness audit (additive, still schema v2): present only on
+  // epochs that carried an audit, so runs without a sensitive map emit
+  // byte-identical records to pre-audit builds.
+  if (log.fairness_audited) {
+    record.Set("fairness_correlation",
+               JsonValue::Number(log.fairness_correlation));
+    record.Set("parity_gap", JsonValue::Number(log.parity_gap));
+  }
   return record;
 }
 
@@ -116,6 +125,30 @@ std::vector<std::string> TrainTelemetry::RecentRecords() const {
   return recent_records_;
 }
 
+void TrainTelemetry::AttachServer(TelemetryServer* server) {
+  server_ = server;
+  if (server_ != nullptr) {
+    server_->SetHealth(healthy_, health_detail_);
+  }
+}
+
+void TrainTelemetry::NoteUnhealthy(const std::string& detail) {
+  healthy_ = false;
+  health_detail_ = detail;
+  JsonValue record = JsonValue::Object();
+  record.Set("type", JsonValue::Str("health"));
+  record.Set("schema_version", JsonValue::Int(kTelemetrySchemaVersion));
+  record.Set("healthy", JsonValue::Bool(false));
+  record.Set("detail", JsonValue::Str(detail));
+  std::string line = record.Dump();
+  if (jsonl_open_) {
+    jsonl_ << line << "\n";
+    jsonl_.flush();
+  }
+  RememberRecord(std::move(line));
+  if (server_ != nullptr) server_->SetHealth(false, detail);
+}
+
 void TrainTelemetry::OnEpoch(const EpochLog& log) {
   std::string line = EpochToJson(log, context_).Dump();
   if (jsonl_open_) {
@@ -123,6 +156,39 @@ void TrainTelemetry::OnEpoch(const EpochLog& log) {
     jsonl_.flush();
   }
   RememberRecord(std::move(line));
+  if (server_ != nullptr) {
+    // /status mirrors the JSONL epoch record (same builder, so the
+    // values match byte for byte) plus run-level context a scraper
+    // cannot recover from a single record.
+    JsonValue status = EpochToJson(log, context_);
+    status.Set("type", JsonValue::Str("status"));
+    status.Set("git", JsonValue::Str(GitDescribe()));
+    status.Set("healthy", JsonValue::Bool(healthy_));
+    server_->PublishStatus(status);
+
+    if (log.fairness_audited) {
+      JsonValue point = JsonValue::Object();
+      point.Set("epoch", JsonValue::Int(log.epoch));
+      point.Set("fairness_correlation",
+                JsonValue::Number(log.fairness_correlation));
+      point.Set("parity_gap", JsonValue::Number(log.parity_gap));
+      point.Set("total_loss", JsonValue::Number(log.total_loss));
+      point.Set("adversary_loss", JsonValue::Number(log.adversary_loss));
+      if (fairness_history_.size() >= kFairnessHistoryCap) {
+        fairness_history_.erase(fairness_history_.begin());
+      }
+      fairness_history_.push_back(std::move(point));
+
+      JsonValue doc = JsonValue::Object();
+      doc.Set("type", JsonValue::Str("fairness"));
+      doc.Set("fairness", JsonValue::Str(context_.fairness));
+      doc.Set("lambda", JsonValue::Number(context_.lambda));
+      JsonValue epochs = JsonValue::Array();
+      for (const JsonValue& p : fairness_history_) epochs.Append(p);
+      doc.Set("epochs", std::move(epochs));
+      server_->PublishFairness(doc);
+    }
+  }
   if (progress_ != nullptr) {
     if (!progress_header_printed_) {
       *progress_ << "epoch  total_loss  adv_loss  wall_s  weights\n";
@@ -147,10 +213,14 @@ void TrainTelemetry::Finish(double total_seconds, int64_t epochs_completed) {
   const std::vector<TraceStats> kernels = CollectTraceStats();
   const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
   if (jsonl_open_) {
-    jsonl_ << RunSummaryToJson(context_, total_seconds, epochs_completed,
-                               kernels, metrics)
-                  .Dump()
-           << "\n";
+    JsonValue summary = RunSummaryToJson(context_, total_seconds,
+                                         epochs_completed, kernels, metrics);
+    // Final health verdict: "ok", or the sentinel detail captured by
+    // NoteUnhealthy (flushed here even when the trip aborts the run,
+    // since NoteUnhealthy also wrote its own record).
+    summary.Set("health",
+                JsonValue::Str(healthy_ ? std::string("ok") : health_detail_));
+    jsonl_ << summary.Dump() << "\n";
     jsonl_.flush();
   }
   if (progress_ != nullptr) {

@@ -16,6 +16,7 @@ namespace equitensor {
 namespace core {
 
 struct EpochLog;
+class TelemetryServer;
 
 /// JSONL schema version stamped into every epoch record and the run
 /// summary. v2 added per-layer stats, adv_recon_balance, and the epoch
@@ -57,6 +58,19 @@ class TrainTelemetry {
   /// boxed table at Finish). `os` must outlive this object.
   void EnableProgress(std::ostream* os);
 
+  /// Mirrors every epoch into a live TelemetryServer (DESIGN.md §12):
+  /// OnEpoch publishes a /status snapshot and, when the epoch carried a
+  /// fairness audit, the bounded /fairness history. The server must
+  /// outlive this object; pass nullptr to detach.
+  void AttachServer(TelemetryServer* server);
+
+  /// Marks the run unhealthy (numerics-sentinel trip): flips the
+  /// attached server's /healthz to 503 with `detail`, and flushes a
+  /// final health record to the JSONL sink so the state survives the
+  /// imminent abort. The run summary's "health" field reports the
+  /// detail instead of "ok".
+  void NoteUnhealthy(const std::string& detail);
+
   void set_context(RunContext context) { context_ = std::move(context); }
   const RunContext& context() const { return context_; }
 
@@ -90,6 +104,13 @@ class TrainTelemetry {
   void RememberRecord(std::string line);
 
   RunContext context_;
+  TelemetryServer* server_ = nullptr;
+  bool healthy_ = true;
+  std::string health_detail_;
+  /// Per-epoch fairness entries for the /fairness endpoint, bounded at
+  /// kFairnessHistoryCap (oldest dropped first).
+  std::vector<JsonValue> fairness_history_;
+  static constexpr size_t kFairnessHistoryCap = 512;
   std::vector<std::string> recent_records_;
   std::ofstream jsonl_;
   bool jsonl_open_ = false;

@@ -1,0 +1,118 @@
+#include "core/telemetry_server.h"
+
+#include <cstring>
+
+#include "util/metrics.h"
+#include "util/prom.h"
+#include "util/system_info.h"
+#include "util/trace.h"
+
+namespace equitensor {
+namespace core {
+
+SnapshotCell::SnapshotCell(size_t capacity) : capacity_(capacity) {
+  for (Slot& slot : slots_) slot.data.resize(capacity_);
+}
+
+void SnapshotCell::Publish(const std::string& doc) {
+  const char* src = doc.data();
+  size_t n = doc.size();
+  static const char kOversize[] = "{\"error\":\"snapshot too large\"}";
+  if (n > capacity_) {
+    src = kOversize;
+    n = sizeof(kOversize) - 1;
+  }
+  const int cur = active_.load(std::memory_order_relaxed);
+  const int next = cur == 0 ? 1 : 0;  // covers the initial -1 too
+  Slot& slot = slots_[next];
+  // Odd sequence marks the slot dirty. Readers of the *other* slot are
+  // unaffected; a reader that raced a previous publish into this slot
+  // sees the odd value (or a changed one after copying) and retries.
+  slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  // Benign-by-protocol race: the memcpy may overlap a straggling
+  // reader's copy of this slot, which the seq recheck then discards.
+  std::memcpy(slot.data.data(), src, n);
+  slot.len.store(n, std::memory_order_release);
+  slot.seq.fetch_add(1, std::memory_order_release);
+  active_.store(next, std::memory_order_release);
+}
+
+bool SnapshotCell::Read(std::string* out) const {
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    const int idx = active_.load(std::memory_order_acquire);
+    if (idx < 0) return false;
+    const Slot& slot = slots_[idx];
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before & 1) continue;  // writer inside; the swap is imminent
+    const size_t len = slot.len.load(std::memory_order_acquire);
+    std::string copy(slot.data.data(), std::min(len, capacity_));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) == seq_before) {
+      *out = std::move(copy);
+      return true;
+    }
+  }
+  return false;  // theoretical: 1024 publishes raced one read
+}
+
+TelemetryServer::TelemetryServer() {
+  http_.Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheusText(MetricsRegistry::Global().Snapshot(),
+                                         CollectTraceStats());
+    return response;
+  });
+  http_.Handle("/healthz", [this](const HttpRequest&) {
+    HttpResponse response;
+    if (healthy()) {
+      response.body = "ok\n";
+    } else {
+      response.status = 503;
+      std::string detail;
+      health_detail_.Read(&detail);
+      response.body = "unhealthy: " + detail + "\n";
+    }
+    return response;
+  });
+  const auto json_endpoint = [](const SnapshotCell* cell,
+                                const char* fallback) {
+    return [cell, fallback](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "application/json";
+      if (!cell->Read(&response.body)) response.body = fallback;
+      response.body += "\n";
+      return response;
+    };
+  };
+  http_.Handle("/status",
+               json_endpoint(&status_,
+                             "{\"type\":\"status\",\"state\":\"waiting\"}"));
+  http_.Handle("/fairness",
+               json_endpoint(&fairness_,
+                             "{\"type\":\"fairness\",\"epochs\":[]}"));
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+bool TelemetryServer::Start(int port, std::string* error) {
+  return http_.Start(port, error);
+}
+
+void TelemetryServer::Stop() { http_.Stop(); }
+
+void TelemetryServer::PublishStatus(const JsonValue& doc) {
+  status_.Publish(doc.Dump());
+}
+
+void TelemetryServer::PublishFairness(const JsonValue& doc) {
+  fairness_.Publish(doc.Dump());
+}
+
+void TelemetryServer::SetHealth(bool healthy, const std::string& detail) {
+  health_detail_.Publish(detail);
+  healthy_.store(healthy, std::memory_order_release);
+}
+
+}  // namespace core
+}  // namespace equitensor

@@ -1,0 +1,105 @@
+#ifndef EQUITENSOR_CORE_TELEMETRY_SERVER_H_
+#define EQUITENSOR_CORE_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/http_server.h"
+#include "util/json.h"
+
+namespace equitensor {
+namespace core {
+
+/// Lock-free single-writer snapshot cell: a seqlock over a double
+/// buffer (DESIGN.md §12). The training thread Publish()es a rendered
+/// document once per epoch; HTTP workers Read() it at scrape time.
+/// The writer is wait-free (two atomic bumps around a memcpy into the
+/// slot the readers are *not* pointed at), so publishing never blocks
+/// on a slow scrape — the requirement that keeps serving off the
+/// training hot path. Readers copy optimistically and retry when the
+/// sequence moved underneath them; with one publish per epoch a
+/// retry is already rare, a second is practically impossible.
+class SnapshotCell {
+ public:
+  explicit SnapshotCell(size_t capacity = 256 * 1024);
+
+  /// Publishes `doc` (single writer only). Documents larger than the
+  /// capacity are replaced by a small diagnostic JSON object rather
+  /// than truncated into invalid JSON.
+  void Publish(const std::string& doc);
+
+  /// Copies the latest published document; false before the first
+  /// Publish. Safe from any thread.
+  bool Read(std::string* out) const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // odd while the writer is inside
+    std::atomic<size_t> len{0};
+    std::vector<char> data;
+  };
+
+  const size_t capacity_;
+  Slot slots_[2];
+  std::atomic<int> active_{-1};  // -1 until the first Publish
+};
+
+/// The live observability endpoint of a training run (DESIGN.md §12):
+/// mounts util/http_server with
+///   /metrics  — Prometheus text exposition of the metrics registry
+///               plus kernel-timing histograms from the trace layer,
+///               rendered fresh per scrape (the registry is lock-free)
+///   /healthz  — 200 "ok" until the numerics sentinel (or any caller
+///               of SetHealth) reports otherwise, then 503 with the
+///               offending point
+///   /status   — JSON snapshot of the newest epoch (same values as
+///               the JSONL telemetry record), published through a
+///               SnapshotCell
+///   /fairness — JSON per-epoch history of the live fairness audit
+///               (Pearson corr of Z vs S, demographic-parity gap)
+/// Wire a run into it via TrainTelemetry::AttachServer.
+class TelemetryServer {
+ public:
+  TelemetryServer();
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds `port` (0 = ephemeral) and starts serving. Returns false
+  /// with a reason when the port is taken or the server already runs.
+  bool Start(int port, std::string* error);
+
+  int port() const { return http_.port(); }
+  bool running() const { return http_.running(); }
+
+  /// Graceful stop: closes the listen socket, completes in-flight
+  /// responses, joins every server thread. Idempotent.
+  void Stop();
+
+  /// Single-writer publication (the training thread).
+  void PublishStatus(const JsonValue& doc);
+  void PublishFairness(const JsonValue& doc);
+
+  /// Flips /healthz; `detail` names the offending layer/point.
+  void SetHealth(bool healthy, const std::string& detail);
+  bool healthy() const { return healthy_.load(std::memory_order_acquire); }
+
+  uint64_t requests_served() const { return http_.requests_served(); }
+
+ private:
+  HttpServer http_;
+  SnapshotCell status_;
+  SnapshotCell fairness_;
+  SnapshotCell health_detail_;
+  std::atomic<bool> healthy_{true};
+};
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_TELEMETRY_SERVER_H_

@@ -91,6 +91,15 @@ Variable CoreCdae::Encode(const std::vector<Variable>& inputs) const {
   return shared_encoder_->Forward(merged);
 }
 
+Tensor CoreCdae::EncodeValue(const std::vector<Tensor>& inputs) const {
+  std::vector<Variable> vars;
+  vars.reserve(inputs.size());
+  for (const Tensor& tensor : inputs) {
+    vars.emplace_back(tensor, /*requires_grad=*/false);
+  }
+  return Encode(vars).value();
+}
+
 std::vector<Variable> CoreCdae::Decode(const Variable& z,
                                        const Variable& s_tiled) const {
   Variable decoder_input = z;

@@ -57,6 +57,13 @@ class CoreCdae : public nn::Module {
   /// ([N,C,window] / [N,C,W,H] / [N,C,W,H,window]). Returns Z.
   Variable Encode(const std::vector<Variable>& inputs) const;
 
+  /// Gradient-free convenience over Encode for audit/serving paths
+  /// (the trainer's live fairness audit, DESIGN.md §12): wraps clean
+  /// tensors in non-grad Variables and returns the latent value
+  /// [N, K, W, H, window] without growing an autograd graph rooted in
+  /// the parameters' gradient state.
+  Tensor EncodeValue(const std::vector<Tensor>& inputs) const;
+
   /// Decodes every dataset from Z. `s_tiled` ([N,1,W,H,window]) is
   /// required iff config.disentangle; pass an undefined Variable
   /// otherwise.

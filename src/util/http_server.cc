@@ -1,0 +1,324 @@
+#include "util/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/shutdown.h"
+
+namespace equitensor {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+void SetSocketTimeouts(int fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes all of `data`, tolerating short writes and EINTR. Returns
+/// false on error/timeout (the peer gets a truncated response; there
+/// is nothing better to do on a scrape path).
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void WriteResponse(int fd, const std::string& method,
+                   const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  if (!WriteAll(fd, head.data(), head.size())) return;
+  if (method != "HEAD") WriteAll(fd, response.body.data(), response.body.size());
+}
+
+void WriteErrorAndClose(int fd, int status) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::string(StatusText(status)) + "\n";
+  WriteResponse(fd, "GET", response);
+  ::close(fd);
+}
+
+/// Reads until the end of the request head ("\r\n\r\n") or `cap`
+/// bytes. Returns false on timeout/EOF-before-head/oversize (status
+/// code to send back in *fail_status).
+bool ReadRequestHead(int fd, size_t cap, std::string* head,
+                     int* fail_status) {
+  char buf[2048];
+  while (head->find("\r\n\r\n") == std::string::npos) {
+    if (head->size() > cap) {
+      *fail_status = 431;
+      return false;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      *fail_status = 408;  // timeout or premature close
+      return false;
+    }
+    head->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Parses "GET /path?query HTTP/1.1" out of the head's first line.
+bool ParseRequestLine(const std::string& head, HttpRequest* request) {
+  const size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) return false;
+  const std::string line = head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return false;
+  request->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (line.compare(sp2 + 1, 7, "HTTP/1.") != 0) return false;
+  if (target.empty() || target[0] != '/') return false;
+  const size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    request->path = std::move(target);
+  } else {
+    request->path = target.substr(0, qmark);
+    request->query = target.substr(qmark + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Options options) : options_(options) {
+  if (options_.worker_threads < 1) options_.worker_threads = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  ET_CHECK(!running()) << "Handle() must precede Start()";
+  ET_CHECK(!path.empty() && path[0] == '/') << "route must start with /";
+  routes_.emplace_back(path, std::move(handler));
+}
+
+bool HttpServer::Start(int port, std::string* error) {
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running()) {
+    if (error != nullptr) *error = "server already running on port " +
+                                   std::to_string(port_);
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind to port " + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  workers_ = std::make_unique<TaskPool>(options_.worker_threads,
+                                        options_.queue_capacity);
+  running_.store(true, std::memory_order_release);
+  // A shutdown signal closes the listen fd, kicking accept(2) out of
+  // its block so the loop can observe ShutdownRequested().
+  RegisterShutdownFd(listen_fd_);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (!running_.load(std::memory_order_acquire) || ShutdownRequested()) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listen socket closed (Stop) or unrecoverable
+    }
+    SetSocketTimeouts(fd, options_.io_timeout_ms);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (!workers_->TrySubmit([this, fd] { ServeConnection(fd); })) {
+      // Queue full: shed load from the accept thread. A tiny blocking
+      // write, but bounded by the socket timeout.
+      requests_shed_.fetch_add(1, std::memory_order_relaxed);
+      ET_METRIC_COUNTER_ADD("http.requests_shed", 1);
+      WriteErrorAndClose(fd, 503);
+    }
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string head;
+  int fail_status = 400;
+  if (!ReadRequestHead(fd, options_.max_request_bytes, &head, &fail_status)) {
+    WriteErrorAndClose(fd, fail_status);
+    return;
+  }
+  HttpRequest request;
+  if (!ParseRequestLine(head, &request)) {
+    WriteErrorAndClose(fd, 400);
+    return;
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  ET_METRIC_COUNTER_ADD("http.requests", 1);
+  if (request.method != "GET" && request.method != "HEAD") {
+    WriteErrorAndClose(fd, 405);
+    return;
+  }
+  const HttpHandler* handler = nullptr;
+  for (const auto& [path, h] : routes_) {
+    if (path == request.path) {
+      handler = &h;
+      break;
+    }
+  }
+  HttpResponse response;
+  if (handler == nullptr) {
+    response.status = 404;
+    response.body = "not found\n";
+  } else {
+    try {
+      response = (*handler)(request);
+    } catch (const std::exception& e) {
+      ET_LOG(Warning) << "http handler for " << request.path
+                      << " threw: " << e.what();
+      response = HttpResponse();
+      response.status = 503;
+      response.body = "handler error\n";
+    }
+  }
+  WriteResponse(fd, request.method, response);
+  ::close(fd);
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown(2) is what unblocks a thread parked in accept(2) (close
+  // alone leaves it blocked forever on Linux); the loop then sees
+  // running_ == false and exits. When UnregisterShutdownFd returns
+  // false the signal handler already shut the socket down and closed
+  // it — the fd number may have been reused, so leave it alone.
+  if (UnregisterShutdownFd(listen_fd_)) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  port_ = 0;
+  if (workers_) {
+    workers_->Shutdown();  // In-flight responses complete.
+    workers_.reset();
+  }
+}
+
+bool HttpGet(int port, const std::string& path, int* status,
+             std::string* body, std::string* error, int timeout_ms) {
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason + ": " + std::strerror(errno);
+    return false;
+  };
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return fail("socket");
+  SetSocketTimeouts(fd, timeout_ms);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return fail("connect to 127.0.0.1:" + std::to_string(port));
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!WriteAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return fail("send");
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      return fail("recv");
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    if (error != nullptr) *error = "malformed response";
+    return false;
+  }
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > head_end) {
+    if (error != nullptr) *error = "malformed status line";
+    return false;
+  }
+  *status = std::atoi(raw.c_str() + sp + 1);
+  *body = raw.substr(head_end + 4);
+  return true;
+}
+
+}  // namespace equitensor

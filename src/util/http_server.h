@@ -1,0 +1,121 @@
+#ifndef EQUITENSOR_UTIL_HTTP_SERVER_H_
+#define EQUITENSOR_UTIL_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace equitensor {
+
+/// Dependency-free HTTP/1.1 server for the telemetry endpoints
+/// (DESIGN.md §12). Scope is deliberately narrow: GET/HEAD requests on
+/// the loopback-or-LAN scrape path, one response per connection
+/// (`Connection: close`), bounded request size, per-socket timeouts.
+/// It is an observability port, not a traffic-serving frontend.
+///
+/// Threading: a dedicated accept thread parks in accept(2); each
+/// accepted connection is handed to a bounded TaskPool
+/// (util/thread_pool) so a slow reader cannot stall the accept loop,
+/// and a full queue degrades to `503` written from the accept thread.
+/// Handlers run on pool workers and must be thread-safe.
+
+/// One parsed request. Only the parts the telemetry endpoints need.
+struct HttpRequest {
+  std::string method;  // "GET" | "HEAD" (anything else is rejected)
+  std::string path;    // decoded-free path, e.g. "/metrics"
+  std::string query;   // raw text after '?', "" when absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Options {
+    /// Workers handling requests; capped small — scrapes are tiny.
+    int worker_threads = 2;
+    /// Accepted-but-unstarted connections before 503 shedding.
+    size_t queue_capacity = 16;
+    /// Per-socket read/write timeout.
+    int io_timeout_ms = 5000;
+    /// Cap on request head (request line + headers).
+    size_t max_request_bytes = 16 * 1024;
+  };
+
+  HttpServer() : HttpServer(Options{}) {}
+  explicit HttpServer(Options options);
+
+  /// Stops the server if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for an exact path. Must be called before
+  /// Start(); later calls abort (handlers are read lock-free while
+  /// serving). Unmatched paths get 404.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts the accept loop.
+  /// Returns false with a reason in `*error` when the bind fails (port
+  /// in use, permissions) or the server is already running — the
+  /// double-bind guard the trainer relies on.
+  bool Start(int port, std::string* error);
+
+  /// The bound port (resolved after Start with port 0); 0 when not
+  /// running.
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Closes the listen socket, joins the accept thread, drains the
+  /// worker pool. In-flight responses complete; idle sockets are
+  /// closed. Idempotent, safe to call from any (non-signal) thread.
+  void Stop();
+
+  /// Total requests accepted and handled (including 404s), and
+  /// connections shed with 503. For tests and the run summary.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_shed() const {
+    return requests_shed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  std::vector<std::pair<std::string, HttpHandler>> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<TaskPool> workers_;
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+};
+
+/// Minimal blocking HTTP/1.1 GET against 127.0.0.1:`port` — the client
+/// half used by tests and the scrape_check tool (no external curl
+/// dependency in the test path). Returns false on connect/parse
+/// failure; otherwise fills the status code and body.
+bool HttpGet(int port, const std::string& path, int* status,
+             std::string* body, std::string* error = nullptr,
+             int timeout_ms = 5000);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_HTTP_SERVER_H_

@@ -1,0 +1,402 @@
+#include "util/prom.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace equitensor {
+namespace {
+
+/// Shortest round-trip decimal form (falls back to %.17g).
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec == std::errc()) return std::string(buf, ptr);
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) { return IsNameStartChar(c) || (c >= '0' && c <= '9'); }
+
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& labels, const std::string& value) {
+  *out += name;
+  if (!labels.empty()) {
+    *out += '{';
+    *out += labels;
+    *out += '}';
+  }
+  *out += ' ';
+  *out += value;
+  *out += '\n';
+}
+
+void AppendHistogram(std::string* out, const std::string& name,
+                     const std::string& extra_labels,
+                     const std::vector<double>& bounds,
+                     const std::vector<uint64_t>& buckets, uint64_t count,
+                     double sum) {
+  uint64_t cumulative = 0;
+  const std::string sep = extra_labels.empty() ? "" : extra_labels + ",";
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += i < buckets.size() ? buckets[i] : 0;
+    AppendSample(out, name + "_bucket",
+                 sep + "le=\"" + FormatDouble(bounds[i]) + "\"",
+                 std::to_string(cumulative));
+  }
+  AppendSample(out, name + "_bucket", sep + "le=\"+Inf\"",
+               std::to_string(count));
+  AppendSample(out, name + "_sum", extra_labels, FormatDouble(sum));
+  AppendSample(out, name + "_count", extra_labels, std::to_string(count));
+}
+
+}  // namespace
+
+std::string PromSanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = i == 0 ? IsNameStartChar(c) : IsNameChar(c);
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"':  out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:   out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 const std::vector<TraceStats>& kernels) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& counter : snapshot.counters) {
+    std::string name = "et_" + PromSanitizeName(counter.name);
+    // Prometheus convention: counters end in _total.
+    if (name.size() < 6 || name.compare(name.size() - 6, 6, "_total") != 0) {
+      name += "_total";
+    }
+    out += "# TYPE " + name + " counter\n";
+    AppendSample(&out, name, "", std::to_string(counter.value));
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    const std::string name = "et_" + PromSanitizeName(gauge.name);
+    out += "# TYPE " + name + " gauge\n";
+    AppendSample(&out, name, "", FormatDouble(gauge.value));
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string name = "et_" + PromSanitizeName(histogram.name);
+    out += "# TYPE " + name + " histogram\n";
+    AppendHistogram(&out, name, "", histogram.bounds, histogram.buckets,
+                    histogram.count, histogram.sum);
+  }
+  if (!kernels.empty()) {
+    // The trace layer aggregates count/sum/max per span site (no
+    // per-occurrence buckets survive), so the exposition is a
+    // single-+Inf-bucket histogram per kernel — still a valid
+    // histogram family that PromQL `rate(..._sum)/rate(..._count)`
+    // consumes — with max as a companion gauge.
+    out += "# HELP et_kernel_seconds wall time of instrumented kernels\n";
+    out += "# TYPE et_kernel_seconds histogram\n";
+    for (const TraceStats& k : kernels) {
+      const std::string label =
+          "kernel=\"" + PromEscapeLabelValue(k.name) + "\"";
+      AppendHistogram(&out, "et_kernel_seconds", label, {}, {}, k.count,
+                      k.total_seconds);
+    }
+    out += "# TYPE et_kernel_self_seconds_total counter\n";
+    for (const TraceStats& k : kernels) {
+      AppendSample(&out, "et_kernel_self_seconds_total",
+                   "kernel=\"" + PromEscapeLabelValue(k.name) + "\"",
+                   FormatDouble(k.self_seconds));
+    }
+    out += "# TYPE et_kernel_max_seconds gauge\n";
+    for (const TraceStats& k : kernels) {
+      AppendSample(&out, "et_kernel_max_seconds",
+                   "kernel=\"" + PromEscapeLabelValue(k.name) + "\"",
+                   FormatDouble(k.max_seconds));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One parsed sample line.
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;  // decoded values
+  double value = 0.0;
+};
+
+bool ParseMetricName(const std::string& line, size_t* pos, std::string* name) {
+  const size_t start = *pos;
+  if (start >= line.size() || !IsNameStartChar(line[start])) return false;
+  size_t end = start + 1;
+  while (end < line.size() && IsNameChar(line[end])) ++end;
+  *name = line.substr(start, end - start);
+  *pos = end;
+  return true;
+}
+
+bool ParseLabels(const std::string& line, size_t* pos, Sample* sample,
+                 std::string* reason) {
+  size_t i = *pos + 1;  // past '{'
+  for (;;) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '}') break;  // trailing comma case
+    std::string label;
+    if (!ParseMetricName(line, &i, &label) || label.find(':') !=
+        std::string::npos) {
+      *reason = "bad label name";
+      return false;
+    }
+    if (i >= line.size() || line[i] != '=') {
+      *reason = "expected '=' after label name";
+      return false;
+    }
+    ++i;
+    if (i >= line.size() || line[i] != '"') {
+      *reason = "label value must be quoted";
+      return false;
+    }
+    ++i;
+    std::string value;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        ++i;
+        if (i >= line.size()) break;
+        switch (line[i]) {
+          case '\\': value += '\\'; break;
+          case '"':  value += '"'; break;
+          case 'n':  value += '\n'; break;
+          default:
+            *reason = "bad escape in label value";
+            return false;
+        }
+        ++i;
+      } else {
+        value += line[i++];
+      }
+    }
+    if (i >= line.size()) {
+      *reason = "unterminated label value";
+      return false;
+    }
+    ++i;  // closing quote
+    sample->labels.emplace_back(std::move(label), std::move(value));
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= line.size() || line[i] != '}') {
+    *reason = "expected '}'";
+    return false;
+  }
+  *pos = i + 1;
+  return true;
+}
+
+bool ParseValue(const std::string& text, double* out) {
+  if (text == "NaN") {
+    *out = std::nan("");
+    return true;
+  }
+  if (text == "+Inf" || text == "Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return !text.empty() && end == text.c_str() + text.size();
+}
+
+/// Strips an `le` label and renders the rest as a stable grouping key.
+std::string LabelKeyWithoutLe(const Sample& sample, std::string* le) {
+  std::string key;
+  for (const auto& [name, value] : sample.labels) {
+    if (name == "le") {
+      *le = value;
+      continue;
+    }
+    key += name + "=" + value + ";";
+  }
+  return key;
+}
+
+}  // namespace
+
+bool ValidatePrometheusText(const std::string& text, std::string* error) {
+  const auto fail = [&](int line_no, const std::string& reason) {
+    if (error != nullptr) {
+      *error = line_no > 0
+                   ? "line " + std::to_string(line_no) + ": " + reason
+                   : reason;
+    }
+    return false;
+  };
+  if (!text.empty() && text.back() != '\n') {
+    return fail(1, "exposition must end with a newline");
+  }
+
+  std::map<std::string, std::string> types;           // family -> type
+  std::set<std::string> sampled;                      // names seen as samples
+  // histogram family -> label-key -> ordered (le, cumulative count)
+  std::map<std::string, std::map<std::string,
+                                 std::vector<std::pair<double, double>>>>
+      hist_buckets;
+  std::map<std::string, std::map<std::string, double>> hist_counts;
+
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    const size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // `# TYPE <name> <type>` — anything else after '#' is a comment.
+      if (line.compare(0, 7, "# TYPE ") == 0) {
+        size_t i = 7;
+        std::string name;
+        if (!ParseMetricName(line, &i, &name) || i >= line.size() ||
+            line[i] != ' ') {
+          return fail(line_no, "malformed TYPE line");
+        }
+        const std::string type = line.substr(i + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(line_no, "unknown metric type '" + type + "'");
+        }
+        if (types.count(name) != 0) {
+          return fail(line_no, "duplicate TYPE for " + name);
+        }
+        if (sampled.count(name) != 0) {
+          return fail(line_no, "TYPE after samples for " + name);
+        }
+        types[name] = type;
+      }
+      continue;
+    }
+
+    Sample sample;
+    size_t i = 0;
+    std::string reason;
+    if (!ParseMetricName(line, &i, &sample.name)) {
+      return fail(line_no, "bad metric name");
+    }
+    if (i < line.size() && line[i] == '{' &&
+        !ParseLabels(line, &i, &sample, &reason)) {
+      return fail(line_no, reason);
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(line_no, "expected space before value");
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    // Optional trailing timestamp: value [timestamp]
+    std::string value_text = line.substr(i);
+    const size_t space = value_text.find(' ');
+    std::string ts_text;
+    if (space != std::string::npos) {
+      ts_text = value_text.substr(space + 1);
+      value_text = value_text.substr(0, space);
+      double ts = 0;
+      if (!ParseValue(ts_text, &ts)) {
+        return fail(line_no, "bad timestamp");
+      }
+    }
+    if (!ParseValue(value_text, &sample.value)) {
+      return fail(line_no, "bad sample value '" + value_text + "'");
+    }
+    sampled.insert(sample.name);
+
+    // Histogram bookkeeping: map _bucket/_sum/_count back to the
+    // family name the TYPE line declared.
+    for (const char* suffix : {"_bucket", "_count"}) {
+      const size_t len = std::string(suffix).size();
+      if (sample.name.size() <= len ||
+          sample.name.compare(sample.name.size() - len, len, suffix) != 0) {
+        continue;
+      }
+      const std::string family = sample.name.substr(0, sample.name.size() - len);
+      const auto it = types.find(family);
+      if (it == types.end() || it->second != "histogram") continue;
+      std::string le;
+      const std::string key = LabelKeyWithoutLe(sample, &le);
+      if (std::string(suffix) == "_bucket") {
+        if (le.empty()) {
+          return fail(line_no, "histogram bucket without le label");
+        }
+        double edge = 0;
+        if (!ParseValue(le, &edge)) {
+          return fail(line_no, "unparsable le value '" + le + "'");
+        }
+        hist_buckets[family][key].emplace_back(edge, sample.value);
+      } else {
+        hist_counts[family][key] = sample.value;
+      }
+    }
+  }
+
+  for (const auto& [family, groups] : hist_buckets) {
+    for (const auto& [key, buckets] : groups) {
+      double prev_edge = -HUGE_VAL;
+      double prev_count = -1.0;
+      bool has_inf = false;
+      for (const auto& [edge, count] : buckets) {
+        if (edge <= prev_edge) {
+          return fail(0, family + ": bucket le values not increasing");
+        }
+        if (count < prev_count) {
+          return fail(0, family + ": bucket counts not cumulative");
+        }
+        prev_edge = edge;
+        prev_count = count;
+        if (std::isinf(edge) && edge > 0) has_inf = true;
+      }
+      if (!has_inf) {
+        return fail(0, family + ": missing le=\"+Inf\" bucket");
+      }
+      const auto counts_it = hist_counts.find(family);
+      if (counts_it == hist_counts.end() ||
+          counts_it->second.count(key) == 0) {
+        return fail(0, family + ": missing _count series");
+      }
+      if (counts_it->second.at(key) != buckets.back().second) {
+        return fail(0, family + ": _count disagrees with +Inf bucket");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace equitensor

@@ -1,0 +1,53 @@
+#ifndef EQUITENSOR_UTIL_PROM_H_
+#define EQUITENSOR_UTIL_PROM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace equitensor {
+
+/// Prometheus text exposition (version 0.0.4) rendering of the metrics
+/// registry, served by core/telemetry_server on `/metrics`
+/// (DESIGN.md §12). Mapping:
+///   Counter   -> `et_<name>_total` (counter)
+///   Gauge     -> `et_<name>` (gauge)
+///   Histogram -> `et_<name>` (histogram: cumulative `_bucket{le=...}`
+///                including `+Inf`, plus `_sum` and `_count`)
+/// Registry names use dots ("train.total_loss"); every character that
+/// is not [a-zA-Z0-9_:] becomes '_'.
+
+/// Registry name -> valid Prometheus metric name (no `et_` prefix).
+std::string PromSanitizeName(const std::string& name);
+
+/// Escapes a label value for `{name="value"}` position: backslash,
+/// double quote, and newline get backslash escapes.
+std::string PromEscapeLabelValue(const std::string& value);
+
+/// Renders the full exposition: every registry metric, plus one
+/// histogram series per kernel-timing span (`et_kernel_seconds` with a
+/// `kernel` label; aggregate stats only carry count/sum/max, so the
+/// single bucket is `+Inf` and max surfaces as the companion gauge
+/// `et_kernel_max_seconds`). Ends with a trailing newline as the
+/// format requires.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 const std::vector<TraceStats>& kernels);
+
+/// Minimal structural checker for the text exposition format, used by
+/// the scrape smoke test (scripts/check.sh) and the prom tests:
+///  - every line is a comment (`# ...`) or `name{labels} value`;
+///  - metric and label names match the spec charset, label values are
+///    properly quoted/escaped, values parse as floats (NaN/±Inf ok);
+///  - `# TYPE` lines are well-formed and precede their samples;
+///  - for each TYPE'd histogram: `_bucket` counts are cumulative
+///    (non-decreasing with le), an `le="+Inf"` bucket exists and
+///    equals `_count`.
+/// Returns false and fills `*error` with "line N: reason" on the
+/// first violation.
+bool ValidatePrometheusText(const std::string& text, std::string* error);
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_PROM_H_

@@ -1,0 +1,91 @@
+#include "util/shutdown.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace equitensor {
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+
+// Fixed-size fd table so the signal handler never allocates. -1 marks
+// a free slot. Writes happen on normal threads; the handler only
+// reads/exchanges, all through atomics.
+constexpr int kMaxShutdownFds = 8;
+std::atomic<int> g_fds[kMaxShutdownFds] = {
+    {-1}, {-1}, {-1}, {-1}, {-1}, {-1}, {-1}, {-1}};
+
+void ShutdownSignalHandler(int signum) {
+  g_shutdown_requested.store(true, std::memory_order_release);
+  for (std::atomic<int>& slot : g_fds) {
+    const int fd = slot.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+      // shutdown(2) before close(2): on Linux, closing a listening
+      // socket does NOT wake a thread blocked in accept(2) — only
+      // shutdown does (accept returns EINVAL). Both calls are
+      // async-signal-safe.
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+  // Second signal: default disposition (terminate). Re-install lazily
+  // here instead of using SA_RESETHAND so SIGINT and SIGTERM reset
+  // each other too.
+  struct sigaction dfl = {};
+  dfl.sa_handler = SIG_DFL;
+  ::sigaction(SIGINT, &dfl, nullptr);
+  ::sigaction(SIGTERM, &dfl, nullptr);
+  (void)signum;
+}
+
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = ShutdownSignalHandler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // No SA_RESTART: blocked accept(2) returns EINTR.
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_acquire);
+}
+
+void RequestShutdown() {
+  g_shutdown_requested.store(true, std::memory_order_release);
+}
+
+bool RegisterShutdownFd(int fd) {
+  if (fd < 0) return false;
+  for (std::atomic<int>& slot : g_fds) {
+    int expected = -1;
+    if (slot.compare_exchange_strong(expected, fd,
+                                     std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool UnregisterShutdownFd(int fd) {
+  if (fd < 0) return false;
+  for (std::atomic<int>& slot : g_fds) {
+    int expected = fd;
+    if (slot.compare_exchange_strong(expected, -1,
+                                     std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ResetShutdownForTesting() {
+  g_shutdown_requested.store(false, std::memory_order_release);
+}
+
+}  // namespace equitensor

@@ -1,0 +1,47 @@
+#ifndef EQUITENSOR_UTIL_SHUTDOWN_H_
+#define EQUITENSOR_UTIL_SHUTDOWN_H_
+
+namespace equitensor {
+
+/// Cooperative shutdown for long-running tools (DESIGN.md §12).
+///
+/// The first SIGINT/SIGTERM sets a process-wide flag and shuts down
+/// (then closes) every registered file descriptor (the telemetry
+/// server's listen socket), using only async-signal-safe calls; long
+/// loops poll
+/// ShutdownRequested() and wind down at the next safe point — the
+/// trainer finishes the current epoch, flushes its run summary, and
+/// exits 0. A second signal restores the default disposition and
+/// re-raises, so a wedged process can still be killed.
+
+/// Installs the SIGINT/SIGTERM handler described above. Idempotent.
+void InstallShutdownSignalHandlers();
+
+/// Whether a shutdown signal has been received (or RequestShutdown
+/// was called). Cheap enough to poll per training step.
+bool ShutdownRequested();
+
+/// Sets the flag programmatically (tests, fatal-error paths).
+void RequestShutdown();
+
+/// Registers a file descriptor to be shutdown(2)-then-close(2)d from
+/// the signal handler — shutdown is what actually unblocks a thread
+/// parked in accept(2) (close alone leaves it blocked) so it can
+/// observe the flag. At most a small fixed number of fds are tracked;
+/// returns false when the table is full or fd is negative.
+bool RegisterShutdownFd(int fd);
+
+/// Removes a previously registered fd. Returns true when the fd was
+/// still registered — i.e. the signal handler has NOT fired and the
+/// caller still owns the descriptor and must close it. False means
+/// the handler already shut it down and closed it (or it was never
+/// registered); the fd number may have been reused, so do not touch
+/// it.
+bool UnregisterShutdownFd(int fd);
+
+/// Test hook: clears the flag (signal handlers stay installed).
+void ResetShutdownForTesting();
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_SHUTDOWN_H_

@@ -33,28 +33,28 @@ int64_t PeakRssBytes() {
 #endif
 }
 
+std::string GitDescribeForDir(const std::string& dir) {
+  std::string result;
+  std::string command = "git describe --always --dirty 2>/dev/null";
+  if (!dir.empty() && dir.find('\'') == std::string::npos) {
+    command = "git -C '" + dir + "' describe --always --dirty 2>/dev/null";
+  }
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe != nullptr) {
+    char buffer[256];
+    while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      result += buffer;
+    }
+    ::pclose(pipe);
+  }
+  while (!result.empty() && (result.back() == '\n' || result.back() == '\r')) {
+    result.pop_back();
+  }
+  return result.empty() ? std::string("unknown") : result;
+}
+
 const std::string& GitDescribe() {
-  static const std::string describe = [] {
-    std::string result;
-    std::string command = "git describe --always --dirty 2>/dev/null";
-    const std::string dir = ExecutableDir();
-    if (!dir.empty() && dir.find('\'') == std::string::npos) {
-      command = "git -C '" + dir + "' describe --always --dirty 2>/dev/null";
-    }
-    FILE* pipe = ::popen(command.c_str(), "r");
-    if (pipe != nullptr) {
-      char buffer[256];
-      while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
-        result += buffer;
-      }
-      ::pclose(pipe);
-    }
-    while (!result.empty() &&
-           (result.back() == '\n' || result.back() == '\r')) {
-      result.pop_back();
-    }
-    return result.empty() ? std::string("unknown") : result;
-  }();
+  static const std::string describe = GitDescribeForDir(ExecutableDir());
   return describe;
 }
 

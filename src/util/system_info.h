@@ -15,6 +15,12 @@ int64_t PeakRssBytes();
 /// git or a repository is unavailable. Computed once and cached.
 const std::string& GitDescribe();
 
+/// Uncached variant anchored at `dir` (empty = current directory) —
+/// the building block behind GitDescribe, exposed so tests can cover
+/// the outside-a-repository fallback without forking a relocated
+/// binary. Returns "unknown" when `dir` is not inside a git tree.
+std::string GitDescribeForDir(const std::string& dir);
+
 }  // namespace equitensor
 
 #endif  // EQUITENSOR_UTIL_SYSTEM_INFO_H_

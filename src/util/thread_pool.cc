@@ -171,6 +171,65 @@ int NumThreads() {
   return n > kMaxThreads ? kMaxThreads : n;
 }
 
+TaskPool::TaskPool(int threads, size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] {
+      SetTraceThreadName("task.worker" + std::to_string(i));
+      WorkerLoop();
+    });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    queue_.clear();  // Unstarted tasks are dropped on destruction.
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool TaskPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void TaskPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;  // Queued tasks still run; WorkerLoop drains.
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // Exceptions are the task's own problem: handlers catch.
+  }
+}
+
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn) {
   if (end <= begin) return;

@@ -1,8 +1,14 @@
 #ifndef EQUITENSOR_UTIL_THREAD_POOL_H_
 #define EQUITENSOR_UTIL_THREAD_POOL_H_
 
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace equitensor {
 
@@ -49,6 +55,47 @@ int NumThreads();
 /// finish; the pool remains usable afterwards.
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
+
+/// Small bounded task pool for background work that may *block* (the
+/// telemetry server's socket I/O, log shipping). Deliberately separate
+/// from the global compute pool above: a handler stuck in a slow
+/// `write(2)` must never stall a ParallelFor worker mid-kernel. The
+/// queue is bounded so a flood of work degrades by rejection
+/// (TrySubmit returns false) instead of by unbounded memory growth —
+/// the HTTP layer turns a rejection into `503 Service Unavailable`.
+class TaskPool {
+ public:
+  /// Starts `threads` workers (min 1) with room for `queue_capacity`
+  /// pending tasks beyond the ones currently executing.
+  TaskPool(int threads, size_t queue_capacity);
+
+  /// Drains nothing: pending tasks not yet started are dropped, the
+  /// workers finish their current task and exit.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `task` unless the queue is full or the pool is shutting
+  /// down; returns whether the task was accepted.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops accepting work, waits for started *and queued* tasks to
+  /// complete, joins the workers. Idempotent.
+  void Shutdown();
+
+  size_t queue_capacity() const { return capacity_; }
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
 
 /// Suggested `grain` for a loop whose per-index cost is roughly
 /// `cost_per_item` scalar operations: enough indices per chunk that a

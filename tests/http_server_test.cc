@@ -1,0 +1,276 @@
+// The embedded HTTP/1.1 server behind the live telemetry endpoints
+// (DESIGN.md §12): routing, error statuses, the double-bind guard,
+// ephemeral ports, the bounded TaskPool it serves from, and the
+// cooperative-shutdown plumbing of util/shutdown.
+#include "util/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/shutdown.h"
+#include "util/thread_pool.h"
+
+namespace equitensor {
+namespace {
+
+// Sends raw bytes to 127.0.0.1:port and returns everything the server
+// writes back — lets the tests speak malformed or non-GET HTTP, which
+// the well-behaved HttpGet client cannot.
+std::string RawRequest(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  char buffer[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    reply.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+HttpServer::Options SmallOptions() {
+  HttpServer::Options options;
+  options.worker_threads = 2;
+  options.queue_capacity = 8;
+  options.io_timeout_ms = 2000;
+  return options;
+}
+
+TEST(HttpServerTest, RoutesRequestsAndResolvesEphemeralPort) {
+  HttpServer server(SmallOptions());
+  server.Handle("/hello", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "hi " + request.query;
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  EXPECT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet(server.port(), "/hello?x=1", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "hi x=1");
+  EXPECT_GE(server.requests_served(), 1u);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, UnknownPathIs404AndNonGetIs405) {
+  HttpServer server(SmallOptions());
+  server.Handle("/known", [](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet(server.port(), "/missing", &status, &body, &error));
+  EXPECT_EQ(status, 404);
+
+  const std::string reply = RawRequest(
+      server.port(), "POST /known HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(reply.find("405"), std::string::npos) << reply;
+  server.Stop();
+}
+
+TEST(HttpServerTest, HeadGetsHeadersWithoutBody) {
+  HttpServer server(SmallOptions());
+  server.Handle("/doc", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "0123456789";
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const std::string reply =
+      RawRequest(server.port(), "HEAD /doc HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(reply.find("200"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Content-Length: 10"), std::string::npos) << reply;
+  const size_t head_end = reply.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(reply.substr(head_end + 4), "");  // no body after headers
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedRequestLineIsRejected) {
+  HttpServer server(SmallOptions());
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const std::string reply = RawRequest(server.port(), "garbage\r\n\r\n");
+  EXPECT_NE(reply.find("400"), std::string::npos) << reply;
+  server.Stop();
+}
+
+TEST(HttpServerTest, DoubleBindFailsWithReason) {
+  HttpServer first(SmallOptions());
+  std::string error;
+  ASSERT_TRUE(first.Start(0, &error)) << error;
+
+  HttpServer second(SmallOptions());
+  std::string bind_error;
+  EXPECT_FALSE(second.Start(first.port(), &bind_error));
+  EXPECT_NE(bind_error.find("in use"), std::string::npos) << bind_error;
+
+  // Starting an already-running server is also refused.
+  std::string rerun_error;
+  EXPECT_FALSE(first.Start(0, &rerun_error));
+  first.Stop();
+
+  // Port is free again after Stop.
+  HttpServer third(SmallOptions());
+  ASSERT_TRUE(third.Start(first.port(), &error)) << error;
+  third.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndHandlerExceptionsBecome503) {
+  HttpServer server(SmallOptions());
+  server.Handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("handler bug");
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet(server.port(), "/boom", &status, &body, &error));
+  EXPECT_EQ(status, 503);
+  server.Stop();
+  server.Stop();  // second stop must be a no-op, not a crash
+}
+
+TEST(HttpServerTest, ServesConcurrentScrapes) {
+  HttpServer server(SmallOptions());
+  std::atomic<int> hits{0};
+  server.Handle("/count", [&hits](const HttpRequest&) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 5;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &failures] {
+      for (int i = 0; i < kPerClient; ++i) {
+        int status = 0;
+        std::string body;
+        // Shed (503) responses are acceptable under load; losing the
+        // connection entirely is not.
+        if (!HttpGet(server.port(), "/count", &status, &body)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(hits.load() + static_cast<int>(server.requests_shed()),
+            kClients * kPerClient);
+  server.Stop();
+}
+
+TEST(TaskPoolTest, RunsSubmittedTasks) {
+  TaskPool pool(2, 16);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  pool.Shutdown();  // drains the queue before joining
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(TaskPoolTest, FullQueueRejectsInsteadOfBlocking) {
+  TaskPool pool(1, 2);
+  std::atomic<bool> release{false};
+  // Occupy the single worker so queued tasks pile up.
+  ASSERT_TRUE(pool.TrySubmit([&release] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }));
+  // Fill the queue; eventually TrySubmit must return false promptly.
+  int accepted = 0;
+  while (pool.TrySubmit([] {}) && accepted < 100) ++accepted;
+  EXPECT_LE(accepted, 2);
+  release.store(true, std::memory_order_release);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.TrySubmit([] {}));  // after shutdown: rejected
+}
+
+TEST(ShutdownTest, RequestFlagAndFdRegistry) {
+  ResetShutdownForTesting();
+  EXPECT_FALSE(ShutdownRequested());
+  RequestShutdown();
+  EXPECT_TRUE(ShutdownRequested());
+  ResetShutdownForTesting();
+  EXPECT_FALSE(ShutdownRequested());
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_TRUE(RegisterShutdownFd(fds[0]));
+  // True: the fd was still registered, the caller owns (and closes) it.
+  EXPECT_TRUE(UnregisterShutdownFd(fds[0]));
+  // False: no longer registered — an already-fired handler would have
+  // closed it, so the caller must not touch the descriptor.
+  EXPECT_FALSE(UnregisterShutdownFd(fds[0]));
+  EXPECT_FALSE(RegisterShutdownFd(-1));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// Regression test: the signal handler must shutdown(2) registered fds,
+// not just close them — close alone does not wake a thread parked in
+// accept(2), which left Stop() hanging forever in join() whenever
+// SIGINT landed on any other thread. A hang here is the failure mode.
+TEST(ShutdownTest, SignalWakesBlockedAcceptSoStopCanJoin) {
+  ResetShutdownForTesting();
+  InstallShutdownSignalHandlers();
+  HttpServer server(SmallOptions());
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  // Let the accept thread park in accept(2).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // raise() delivers to THIS thread — the accept thread only learns
+  // about the shutdown through the fd, exactly the hang scenario.
+  ASSERT_EQ(::raise(SIGINT), 0);
+  EXPECT_TRUE(ShutdownRequested());
+  server.Stop();  // must return promptly instead of hanging in join()
+  EXPECT_FALSE(server.running());
+  // The one-shot handler re-armed SIG_DFL; restore it for later tests.
+  InstallShutdownSignalHandlers();
+  ResetShutdownForTesting();
+}
+
+}  // namespace
+}  // namespace equitensor

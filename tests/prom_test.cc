@@ -1,0 +1,155 @@
+// Prometheus text-exposition rendering and the structural validator
+// behind /metrics and the scrape smoke test (DESIGN.md §12).
+#include "util/prom.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace equitensor {
+namespace {
+
+MetricsSnapshot BuildSnapshot() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.ResetForTesting();
+  registry.GetCounter("prom.requests")->Add(7);
+  registry.GetGauge("prom.loss")->Set(0.125);
+  Histogram* h =
+      registry.GetHistogram("prom.latency", {0.001, 0.01, 0.1});
+  h->Observe(0.005);
+  h->Observe(0.05);
+  h->Observe(5.0);
+  return registry.Snapshot();
+}
+
+TEST(PromTest, SanitizesNames) {
+  EXPECT_EQ(PromSanitizeName("train.total_loss"), "train_total_loss");
+  EXPECT_EQ(PromSanitizeName("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(PromSanitizeName("9lives"), "_lives");  // bad start char
+  EXPECT_EQ(PromSanitizeName(""), "_");
+  EXPECT_EQ(PromSanitizeName("ok_name:sub"), "ok_name:sub");
+}
+
+TEST(PromTest, EscapesLabelValues) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PromEscapeLabelValue("two\nlines"), "two\\nlines");
+}
+
+TEST(PromTest, RenderedRegistryValidates) {
+  const MetricsSnapshot snapshot = BuildSnapshot();
+  const std::string text = RenderPrometheusText(snapshot, {});
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error << "\n" << text;
+
+  // Counter name carries the _total convention; histogram exposes the
+  // cumulative buckets plus +Inf, _sum and _count.
+  EXPECT_NE(text.find("# TYPE et_prom_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("et_prom_requests_total 7"), std::string::npos);
+  EXPECT_NE(text.find("et_prom_loss 0.125"), std::string::npos);
+  EXPECT_NE(text.find("et_prom_latency_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("et_prom_latency_count 3"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(PromTest, KernelTimingsRenderAsValidHistograms) {
+  TraceStats conv;
+  conv.name = "conv3d.fwd";
+  conv.count = 42;
+  conv.total_seconds = 1.5;
+  conv.self_seconds = 1.25;
+  conv.max_seconds = 0.25;
+  TraceStats weird;
+  weird.name = "span \"quoted\"\\path";
+  weird.count = 1;
+  weird.total_seconds = 0.001;
+
+  const std::string text =
+      RenderPrometheusText(MetricsSnapshot{}, {conv, weird});
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("# TYPE et_kernel_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("et_kernel_seconds_bucket{kernel=\"conv3d.fwd\",le=\"+Inf\"} "
+                "42"),
+      std::string::npos);
+  EXPECT_NE(text.find("et_kernel_seconds_sum{kernel=\"conv3d.fwd\"} 1.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("et_kernel_max_seconds{kernel=\"conv3d.fwd\"} 0.25"),
+            std::string::npos);
+  // The pathological span name survives escaping and still validates.
+  EXPECT_NE(text.find("kernel=\"span \\\"quoted\\\"\\\\path\""),
+            std::string::npos);
+}
+
+TEST(PromValidatorTest, AcceptsSpecCornerCases) {
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText("", &error)) << error;
+  EXPECT_TRUE(ValidatePrometheusText(
+      "# just a comment\nname_only 1\nwith_ts 2 1712345678\n"
+      "special NaN\nneg -Inf\n",
+      &error))
+      << error;
+  EXPECT_TRUE(ValidatePrometheusText(
+      "metric{a=\"x\",b=\"y\"} 1\nmetric{a=\"z\"} 2\n", &error))
+      << error;
+}
+
+TEST(PromValidatorTest, RejectsStructuralViolations) {
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText("no_trailing_newline 1", &error));
+  EXPECT_NE(error.find("newline"), std::string::npos);
+
+  EXPECT_FALSE(ValidatePrometheusText("9bad 1\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("name{l=unquoted} 1\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("name{l=\"bad\\q\"} 1\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("name notanumber\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\n# TYPE h histogram\n", &error));
+  EXPECT_FALSE(
+      ValidatePrometheusText("h 1\n# TYPE h histogram\n", &error));
+}
+
+TEST(PromValidatorTest, RejectsBrokenHistograms) {
+  std::string error;
+  // Non-cumulative bucket counts.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+      &error));
+  EXPECT_NE(error.find("cumulative"), std::string::npos);
+
+  // Missing +Inf bucket.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+      &error));
+  EXPECT_NE(error.find("+Inf"), std::string::npos);
+
+  // _count disagreeing with the +Inf bucket.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+      &error));
+  EXPECT_NE(error.find("_count"), std::string::npos);
+
+  // le values out of order.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\n"
+      "h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+      &error));
+  EXPECT_NE(error.find("increasing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -1,0 +1,48 @@
+// util/system_info: the peak-RSS and git-revision probes stamped into
+// telemetry records and the /status endpoint.
+#include "util/system_info.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace equitensor {
+namespace {
+
+TEST(SystemInfoTest, PeakRssIsPositiveAndMonotone) {
+  const int64_t before = PeakRssBytes();
+  EXPECT_GT(before, 0);
+
+  // Touch a comfortably-larger-than-noise allocation (64 MiB, one
+  // byte per page) so the high-water mark must move or at least hold.
+  constexpr size_t kBytes = 64 * 1024 * 1024;
+  std::vector<char> ballast(kBytes);
+  for (size_t i = 0; i < kBytes; i += 4096) ballast[i] = 1;
+  const int64_t after = PeakRssBytes();
+  EXPECT_GE(after, before);
+  EXPECT_GE(after, static_cast<int64_t>(kBytes) / 2);
+
+  // Peak RSS never decreases, even after the ballast dies.
+  ballast.clear();
+  ballast.shrink_to_fit();
+  EXPECT_GE(PeakRssBytes(), after);
+}
+
+TEST(SystemInfoTest, GitDescribeFallsBackOutsideARepository) {
+  // /proc is guaranteed present on the Linux CI hosts and is never a
+  // git tree; "unknown" is the documented fallback.
+  EXPECT_EQ(GitDescribeForDir("/proc"), "unknown");
+  EXPECT_EQ(GitDescribeForDir("/nonexistent-dir-for-test"), "unknown");
+}
+
+TEST(SystemInfoTest, GitDescribeIsNonEmptyAndCached) {
+  const std::string& first = GitDescribe();
+  EXPECT_FALSE(first.empty());
+  // Cached: same object every call.
+  EXPECT_EQ(&first, &GitDescribe());
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -7,14 +7,18 @@
 //       --fairness=adversarial --sensitive=race --lambda=2 \
 //       --output_z=z.etck --output_model=model.etck
 
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "core/equitensor.h"
 #include "core/telemetry.h"
+#include "core/telemetry_server.h"
 #include "data/generators.h"
 #include "nn/serialize.h"
 #include "util/ascii_map.h"
 #include "util/flags.h"
+#include "util/shutdown.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -75,6 +79,13 @@ int main(int argc, char** argv) {
   flags.DefineBool("layer_stats", false,
                    "stream per-parameter grad/weight/update stats into the "
                    "--metrics_jsonl epoch records");
+  flags.DefineInt("serve", -1,
+                  "expose live telemetry over HTTP on this port while "
+                  "training (-1 = off, 0 = pick an ephemeral port): "
+                  "/metrics (Prometheus), /healthz, /status, /fairness");
+  flags.DefineInt("serve_linger", 0,
+                  "with --serve: keep the telemetry server up this many "
+                  "seconds after training finishes (Ctrl-C ends early)");
   flags.DefineInt("train_seed", 7, "training seed");
   flags.DefineInt("threads", 0,
                   "worker threads for the parallel kernels "
@@ -89,6 +100,10 @@ int main(int argc, char** argv) {
         "Train an EquiTensor over the synthetic-city inventory and save it.");
     return 0;
   }
+
+  // Ctrl-C/SIGTERM stop training at the next epoch boundary (and cut a
+  // telemetry linger short) instead of killing the process mid-write.
+  InstallShutdownSignalHandlers();
 
   SetNumThreads(static_cast<int>(flags.GetInt("threads")));
   const std::string chrome_trace_path = flags.GetString("chrome_trace");
@@ -195,6 +210,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (flags.GetBool("progress")) telemetry.EnableProgress(&std::cout);
+  core::TelemetryServer server;
+  if (flags.GetInt("serve") >= 0) {
+    std::string error;
+    if (!server.Start(static_cast<int>(flags.GetInt("serve")), &error)) {
+      std::cerr << "failed to start telemetry server: " << error << "\n";
+      return 1;
+    }
+    // The port line is machine-read (scripts/check.sh smoke test greps
+    // it to find an ephemeral --serve=0 port); keep the format stable.
+    std::cout << "Telemetry server listening on port " << server.port()
+              << "\n";
+    std::cout.flush();
+    telemetry.AttachServer(&server);
+  }
   trainer.SetTelemetry(&telemetry);
   trainer.SetLayerStatsEnabled(flags.GetBool("layer_stats"));
   trainer.SetNumericsChecking(nan_mode, flags.GetString("nan_bundle"));
@@ -211,6 +240,10 @@ int main(int argc, char** argv) {
   sw.Restart();
   trainer.Train();
   telemetry.Finish(sw.ElapsedSeconds(), trainer.completed_epochs());
+  if (ShutdownRequested() && trainer.completed_epochs() < config.epochs) {
+    std::cout << "Interrupted: completed " << trainer.completed_epochs()
+              << "/" << config.epochs << " epochs\n";
+  }
   if (!flags.GetBool("progress")) {
     for (const core::EpochLog& epoch : trainer.log()) {
       std::cout << "  epoch " << epoch.epoch << ": recon "
@@ -256,6 +289,21 @@ int main(int argc, char** argv) {
     }
     std::cout << "Wrote model -> " << flags.GetString("output_model") << "\n";
   }
+
+  if (server.running() && flags.GetInt("serve_linger") > 0) {
+    const int64_t linger = flags.GetInt("serve_linger");
+    std::cout << "Serving telemetry for up to " << linger
+              << " s (Ctrl-C to stop)...\n";
+    std::cout.flush();
+    Stopwatch linger_watch;
+    while (!ShutdownRequested() &&
+           linger_watch.ElapsedSeconds() < static_cast<double>(linger)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  // Explicit stop (the destructor would too): closes the listen socket
+  // and joins every server thread, so no socket outlives main.
+  server.Stop();
 
   if (flags.GetBool("show_maps") && sensitive != nullptr) {
     Tensor z_mean({city.width, city.height});

@@ -25,7 +25,8 @@ using namespace equitensor;
 namespace {
 
 // Builds one series per scalar/array field of the epoch records:
-// total_loss, adversary_loss, dataset_loss[i], weights[i] vs epoch.
+// total_loss, adversary_loss, fairness_correlation, parity_gap,
+// dataset_loss[i], weights[i] vs epoch.
 int PlotJsonl(const FlagParser& flags) {
   std::ifstream file(flags.GetString("jsonl"));
   if (!file) {
@@ -64,6 +65,15 @@ int PlotJsonl(const FlagParser& flags) {
     }
     if (const JsonValue* v = record.Find("adversary_loss")) {
       channel("adversary_loss").push_back(v->number());
+    }
+    // Live fairness audit (schema v2 additive fields): only present on
+    // audited epochs; the partial-channel guard below drops them when
+    // the run mixed audited and unaudited epochs.
+    if (const JsonValue* v = record.Find("fairness_correlation")) {
+      channel("fairness_correlation").push_back(v->number());
+    }
+    if (const JsonValue* v = record.Find("parity_gap")) {
+      channel("parity_gap").push_back(v->number());
     }
     for (const char* field : {"dataset_loss", "weights"}) {
       const JsonValue* array = record.Find(field);

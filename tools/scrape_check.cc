@@ -1,0 +1,99 @@
+// Scrape validator for the live telemetry endpoints (DESIGN.md §12):
+// fetches a document over HTTP (or reads it from a file / stdin) and
+// checks that it is well-formed — Prometheus text exposition for
+// --format=prom, strict JSON for --format=json. scripts/check.sh uses
+// it to smoke-test a --serve run without any external tooling.
+//
+//   scrape_check --port=9909 --path=/metrics --format=prom
+//   scrape_check --file=status.json --format=json
+//   some_producer | scrape_check --format=json
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/http_server.h"
+#include "util/json.h"
+#include "util/prom.h"
+
+using namespace equitensor;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineInt("port", 0, "scrape 127.0.0.1:<port> (requires --path)");
+  flags.DefineString("path", "/metrics", "HTTP path to scrape");
+  flags.DefineString("file", "",
+                     "validate this file instead of scraping ('-' = stdin; "
+                     "stdin is also the default when --port is 0)");
+  flags.DefineString("format", "prom",
+                     "expected format: prom | json | text (text only "
+                     "checks the HTTP status)");
+  flags.DefineInt("expect_status", 200,
+                  "required HTTP status when scraping (0 = any)");
+  flags.DefineBool("print", false, "echo the validated document to stdout");
+
+  if (!flags.Parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText(
+        "Fetch a telemetry document and validate its format.");
+    return 0;
+  }
+  const std::string format = flags.GetString("format");
+  if (format != "prom" && format != "json" && format != "text") {
+    std::cerr << "unknown --format " << format
+              << " (want prom | json | text)\n";
+    return 2;
+  }
+
+  std::string body;
+  const int port = static_cast<int>(flags.GetInt("port"));
+  const std::string file = flags.GetString("file");
+  if (port > 0) {
+    int status = 0;
+    std::string error;
+    if (!HttpGet(port, flags.GetString("path"), &status, &body, &error)) {
+      std::cerr << "scrape failed: " << error << "\n";
+      return 1;
+    }
+    const int expect = static_cast<int>(flags.GetInt("expect_status"));
+    if (expect != 0 && status != expect) {
+      std::cerr << "unexpected HTTP status " << status << " (want " << expect
+                << ") for " << flags.GetString("path") << "\n";
+      return 1;
+    }
+  } else if (!file.empty() && file != "-") {
+    std::ifstream in(file, std::ios::binary);
+    if (!in.is_open()) {
+      std::cerr << "cannot open " << file << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    body = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    body = buffer.str();
+  }
+
+  std::string error;
+  if (format == "prom") {
+    if (!ValidatePrometheusText(body, &error)) {
+      std::cerr << "invalid Prometheus exposition: " << error << "\n";
+      return 1;
+    }
+  } else if (format == "json") {
+    JsonValue doc;
+    if (!JsonValue::Parse(body, &doc, &error)) {
+      std::cerr << "invalid JSON: " << error << "\n";
+      return 1;
+    }
+  }  // "text": the status check above is the whole assertion.
+  if (flags.GetBool("print")) std::cout << body;
+  std::cerr << "ok: " << body.size() << " bytes of valid " << format << "\n";
+  return 0;
+}
