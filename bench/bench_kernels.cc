@@ -12,6 +12,8 @@
 #include "autograd/ops.h"
 #include "data/preprocess.h"
 #include "geo/rasterize.h"
+#include "nn/backend_registry.h"
+#include "nn/kernels_simd.h"
 #include "nn/lstm.h"
 #include "tensor/tensor_ops.h"
 #include "util/metrics.h"
@@ -124,6 +126,77 @@ void BM_Conv3dTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv3dTrainStep)->Apply(ThreadSweep);
+
+// --- simd backend sweep ---------------------------------------------
+//
+// The BM_*Simd benches rerun the conv/matmul shapes above on the
+// im2col + blocked-GEMM backend; comparing e.g. BM_Conv3dForwardSimd/1
+// against BM_Conv3dForward/1 (the parallel default, identical shape)
+// is the single-thread speedup number the Performance table quotes.
+// Selection is restored so later benches keep the default backend.
+class BackendArg {
+ public:
+  explicit BackendArg(backend::Backend b) { backend::SetBackend(b); }
+  ~BackendArg() { backend::SetBackend(backend::Backend::kParallel); }
+};
+
+void BM_Conv2dForwardSimd(benchmark::State& state) {
+  BackendArg be(backend::Backend::kSimd);
+  ThreadArg threads(state);
+  Rng rng(2);
+  Variable x(Tensor::RandomUniform({4, 16, 12, 10}, rng), false);
+  Variable w(Tensor::RandomUniform({32, 16, 3, 3}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Conv2d(x, w).value().data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardSimd)->Apply(ThreadSweep);
+
+void BM_Conv3dForwardSimd(benchmark::State& state) {
+  BackendArg be(backend::Backend::kSimd);
+  ThreadArg threads(state);
+  Rng rng(3);
+  Variable x(Tensor::RandomUniform({2, 8, 12, 10, 24}, rng), false);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Conv3d(x, w).value().data());
+  }
+}
+BENCHMARK(BM_Conv3dForwardSimd)->Apply(ThreadSweep);
+
+void BM_Conv3dTrainStepSimd(benchmark::State& state) {
+  BackendArg be(backend::Backend::kSimd);
+  ThreadArg threads(state);
+  Rng rng(4);
+  Tensor x = Tensor::RandomUniform({2, 8, 12, 10, 24}, rng);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), true);
+  Tensor target({2, 16, 12, 10, 24}, 0.1f);
+  for (auto _ : state) {
+    w.ZeroGrad();
+    Variable loss = ag::MaeAgainst(ag::Conv3d(Variable(x), w), target);
+    Backward(loss);
+    benchmark::DoNotOptimize(w.grad().data());
+  }
+}
+BENCHMARK(BM_Conv3dTrainStepSimd)->Apply(ThreadSweep);
+
+void BM_GemmRowMajorSimd(benchmark::State& state) {
+  ThreadArg threads(state);
+  const int64_t n = state.range(1);
+  Rng rng(5);
+  Tensor a = Tensor::RandomUniform({n, n}, rng);
+  Tensor b = Tensor::RandomUniform({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    backend::GemmRowMajor(n, n, n, a.data(), n, b.data(), n, c.data(), n,
+                          /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmRowMajorSimd)
+    ->ArgsProduct({{1, 2, 4, 8}, {64, 256}})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_MatMul(benchmark::State& state) {
   ThreadArg threads(state);

@@ -25,7 +25,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$BUILD_DIR" -S . \
   -DEQUITENSOR_SANITIZE=ON \
-  -DEQUITENSOR_BUILD_BENCHMARKS=OFF \
+  -DEQUITENSOR_BUILD_BENCHMARKS=ON \
   -DEQUITENSOR_BUILD_EXAMPLES=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -119,4 +119,36 @@ if [[ "$QUICK" != 1 ]]; then
     exit 1
   fi
   echo "Telemetry endpoints OK (port $PORT)."
+fi
+
+# Backend self-verification smoke (DESIGN.md §13): a short training run
+# under --backend=check executes every conv/matmul kernel on both the
+# simd and reference backends and aborts on any mismatch beyond the
+# shape-scaled tolerance, so a broken vector kernel cannot hide behind
+# a green unit suite. Runs against the sanitizer build. A bad backend
+# name must be rejected with the usage exit code, not a crash.
+if [[ "$QUICK" != 1 ]]; then
+  echo "=== backend=check self-verification smoke ==="
+  "$BUILD_DIR"/tools/equitensor_train \
+    --width=6 --height=5 --days=4 --epochs=1 --steps=2 --batch=2 \
+    --backend=check --output_z="$(mktemp -u).etck" >/dev/null
+  if "$BUILD_DIR"/tools/equitensor_train --backend=definitely-not-a-backend \
+       >/dev/null 2>&1; then
+    echo "check.sh: invalid --backend name was accepted" >&2
+    exit 1
+  fi
+  echo "Backend check mode OK (simd vs reference parity held)."
+
+  # Bench smoke: the kernel benchmarks double as integration coverage
+  # for the simd hot paths (packed GEMM, fused conv forward, arena
+  # leases) under ASan+UBSan. One short pass over the Simd benches —
+  # we want "runs clean", not timings, so min_time is tiny.
+  if [[ -x "$BUILD_DIR"/bench/bench_kernels ]]; then
+    echo "=== bench smoke (Simd benches under sanitizers) ==="
+    "$BUILD_DIR"/bench/bench_kernels --benchmark_filter='Simd' \
+      --benchmark_min_time=0.01 >/dev/null
+    echo "Bench smoke OK."
+  else
+    echo "bench_kernels not built in $BUILD_DIR; skipping bench smoke."
+  fi
 fi

@@ -1,34 +1,23 @@
 #include "autograd/conv_ops.h"
 
-#include <algorithm>
+#include <utility>
 
+#include "nn/backend_registry.h"
 #include "util/check.h"
-#include "util/thread_pool.h"
-#include "util/trace.h"
 
 namespace equitensor {
 namespace ag {
 namespace {
 
-// All three convolutions share the same skeleton: for each
-// (n, co, ci, kernel offset) pair we stream over the overlapping
-// region with contiguous inner loops over the last axis, which keeps
-// the hot loops vectorizable.
-//
-// Parallel decomposition (see DESIGN.md §8): every pass partitions an
-// index space in which each index *owns* a disjoint slab of the output
-// — forward over (n, co) output planes, input gradients over (n, ci)
-// planes, weight gradients over (co, ci) kernel rows. All reductions
-// for an owned element run inside its chunk in the exact order of the
-// serial reference, so results are bitwise-identical for any thread
-// count. Dimensions are validated once in the public Conv* wrappers;
-// the kernels below receive the pre-checked dims struct.
+// The conv kernels themselves live behind the runtime backend
+// registry (nn/backend_registry.h): reference scalar loops, the
+// ParallelFor owner-computes path, and the im2col + blocked-GEMM simd
+// path, selected by --backend / ET_BACKEND. This layer validates
+// shapes exactly once per op — the dims structs below are the
+// pre-checked contract every backend kernel trusts — and wires the
+// dispatch into the autograd graph.
 
-struct Conv1dDims {
-  int64_t batch, cin, t, cout, k, pad;
-};
-
-Conv1dDims Check1d(const Tensor& x, const Tensor& w) {
+backend::Conv1dDims Check1d(const Tensor& x, const Tensor& w) {
   ET_CHECK_EQ(x.rank(), 3) << "Conv1d input must be [N, C, T]";
   ET_CHECK_EQ(w.rank(), 3) << "Conv1d weight must be [Cout, Cin, K]";
   ET_CHECK_EQ(x.dim(1), w.dim(1)) << "Cin mismatch";
@@ -36,86 +25,7 @@ Conv1dDims Check1d(const Tensor& x, const Tensor& w) {
   return {x.dim(0), x.dim(1), x.dim(2), w.dim(0), w.dim(2), w.dim(2) / 2};
 }
 
-void Conv1dForward(const Conv1dDims& d, const Tensor& x, const Tensor& w,
-                   Tensor* out) {
-  ET_TRACE_SPAN("conv1d.fwd");
-  ParallelFor(
-      0, d.batch * d.cout, GrainForCost(d.cin * d.k * d.t),
-      [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-          const int64_t n = i / d.cout;
-          const int64_t co = i % d.cout;
-          float* dst = out->data() + (n * d.cout + co) * d.t;
-          for (int64_t ci = 0; ci < d.cin; ++ci) {
-            const float* src = x.data() + (n * d.cin + ci) * d.t;
-            const float* wrow = w.data() + (co * d.cin + ci) * d.k;
-            for (int64_t kk = 0; kk < d.k; ++kk) {
-              const float wv = wrow[kk];
-              const int64_t dt = kk - d.pad;
-              const int64_t t0 = std::max<int64_t>(0, -dt);
-              const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
-              for (int64_t t = t0; t < t1; ++t) dst[t] += wv * src[t + dt];
-            }
-          }
-        }
-      });
-}
-
-void Conv1dBackward(const Conv1dDims& d, const Tensor& x, const Tensor& w,
-                    const Tensor& gout, Tensor* gx, Tensor* gw) {
-  ET_TRACE_SPAN("conv1d.bwd");
-  if (gx) {
-    ParallelFor(
-        0, d.batch * d.cin, GrainForCost(d.cout * d.k * d.t),
-        [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            const int64_t n = i / d.cin;
-            const int64_t ci = i % d.cin;
-            float* gsrc = gx->data() + (n * d.cin + ci) * d.t;
-            for (int64_t co = 0; co < d.cout; ++co) {
-              const float* g = gout.data() + (n * d.cout + co) * d.t;
-              const float* wrow = w.data() + (co * d.cin + ci) * d.k;
-              for (int64_t kk = 0; kk < d.k; ++kk) {
-                const float wv = wrow[kk];
-                const int64_t dt = kk - d.pad;
-                const int64_t t0 = std::max<int64_t>(0, -dt);
-                const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
-                for (int64_t t = t0; t < t1; ++t) gsrc[t + dt] += wv * g[t];
-              }
-            }
-          }
-        });
-  }
-  if (gw) {
-    ParallelFor(
-        0, d.cout * d.cin, GrainForCost(d.batch * d.k * d.t),
-        [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            const int64_t co = i / d.cin;
-            const int64_t ci = i % d.cin;
-            float* gwrow = gw->data() + (co * d.cin + ci) * d.k;
-            for (int64_t n = 0; n < d.batch; ++n) {
-              const float* g = gout.data() + (n * d.cout + co) * d.t;
-              const float* src = x.data() + (n * d.cin + ci) * d.t;
-              for (int64_t kk = 0; kk < d.k; ++kk) {
-                const int64_t dt = kk - d.pad;
-                const int64_t t0 = std::max<int64_t>(0, -dt);
-                const int64_t t1 = std::min<int64_t>(d.t, d.t - dt);
-                double acc = 0.0;
-                for (int64_t t = t0; t < t1; ++t) acc += g[t] * src[t + dt];
-                gwrow[kk] += static_cast<float>(acc);
-              }
-            }
-          }
-        });
-  }
-}
-
-struct Conv2dDims {
-  int64_t batch, cin, w, h, cout, k, pad;
-};
-
-Conv2dDims Check2d(const Tensor& x, const Tensor& wt) {
+backend::Conv2dDims Check2d(const Tensor& x, const Tensor& wt) {
   ET_CHECK_EQ(x.rank(), 4) << "Conv2d input must be [N, C, W, H]";
   ET_CHECK_EQ(wt.rank(), 4) << "Conv2d weight must be [Cout, Cin, K, K]";
   ET_CHECK_EQ(x.dim(1), wt.dim(1)) << "Cin mismatch";
@@ -125,121 +35,7 @@ Conv2dDims Check2d(const Tensor& x, const Tensor& wt) {
           wt.dim(0), wt.dim(2), wt.dim(2) / 2};
 }
 
-void Conv2dForward(const Conv2dDims& d, const Tensor& x, const Tensor& wt,
-                   Tensor* out) {
-  ET_TRACE_SPAN("conv2d.fwd");
-  const int64_t plane = d.w * d.h;
-  ParallelFor(
-      0, d.batch * d.cout, GrainForCost(d.cin * d.k * d.k * plane),
-      [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-          const int64_t n = i / d.cout;
-          const int64_t co = i % d.cout;
-          float* dst = out->data() + (n * d.cout + co) * plane;
-          for (int64_t ci = 0; ci < d.cin; ++ci) {
-            const float* src = x.data() + (n * d.cin + ci) * plane;
-            const float* wmat = wt.data() + (co * d.cin + ci) * d.k * d.k;
-            for (int64_t kx = 0; kx < d.k; ++kx) {
-              const int64_t dxo = kx - d.pad;
-              const int64_t x0 = std::max<int64_t>(0, -dxo);
-              const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-              for (int64_t ky = 0; ky < d.k; ++ky) {
-                const float wv = wmat[kx * d.k + ky];
-                const int64_t dyo = ky - d.pad;
-                const int64_t y0 = std::max<int64_t>(0, -dyo);
-                const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-                for (int64_t xx = x0; xx < x1; ++xx) {
-                  const float* srow = src + (xx + dxo) * d.h + dyo;
-                  float* drow = dst + xx * d.h;
-                  for (int64_t yy = y0; yy < y1; ++yy) {
-                    drow[yy] += wv * srow[yy];
-                  }
-                }
-              }
-            }
-          }
-        }
-      });
-}
-
-void Conv2dBackward(const Conv2dDims& d, const Tensor& x, const Tensor& wt,
-                    const Tensor& gout, Tensor* gx, Tensor* gw) {
-  ET_TRACE_SPAN("conv2d.bwd");
-  const int64_t plane = d.w * d.h;
-  if (gx) {
-    ParallelFor(
-        0, d.batch * d.cin, GrainForCost(d.cout * d.k * d.k * plane),
-        [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            const int64_t n = i / d.cin;
-            const int64_t ci = i % d.cin;
-            float* gsrc = gx->data() + (n * d.cin + ci) * plane;
-            for (int64_t co = 0; co < d.cout; ++co) {
-              const float* g = gout.data() + (n * d.cout + co) * plane;
-              const float* wmat = wt.data() + (co * d.cin + ci) * d.k * d.k;
-              for (int64_t kx = 0; kx < d.k; ++kx) {
-                const int64_t dxo = kx - d.pad;
-                const int64_t x0 = std::max<int64_t>(0, -dxo);
-                const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-                for (int64_t ky = 0; ky < d.k; ++ky) {
-                  const int64_t dyo = ky - d.pad;
-                  const int64_t y0 = std::max<int64_t>(0, -dyo);
-                  const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-                  const float wv = wmat[kx * d.k + ky];
-                  for (int64_t xx = x0; xx < x1; ++xx) {
-                    const float* grow = g + xx * d.h;
-                    float* gsrow = gsrc + (xx + dxo) * d.h + dyo;
-                    for (int64_t yy = y0; yy < y1; ++yy) {
-                      gsrow[yy] += wv * grow[yy];
-                    }
-                  }
-                }
-              }
-            }
-          }
-        });
-  }
-  if (gw) {
-    ParallelFor(
-        0, d.cout * d.cin, GrainForCost(d.batch * d.k * d.k * plane),
-        [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            const int64_t co = i / d.cin;
-            const int64_t ci = i % d.cin;
-            float* gwmat = gw->data() + (co * d.cin + ci) * d.k * d.k;
-            for (int64_t n = 0; n < d.batch; ++n) {
-              const float* g = gout.data() + (n * d.cout + co) * plane;
-              const float* src = x.data() + (n * d.cin + ci) * plane;
-              for (int64_t kx = 0; kx < d.k; ++kx) {
-                const int64_t dxo = kx - d.pad;
-                const int64_t x0 = std::max<int64_t>(0, -dxo);
-                const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-                for (int64_t ky = 0; ky < d.k; ++ky) {
-                  const int64_t dyo = ky - d.pad;
-                  const int64_t y0 = std::max<int64_t>(0, -dyo);
-                  const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-                  double acc = 0.0;
-                  for (int64_t xx = x0; xx < x1; ++xx) {
-                    const float* grow = g + xx * d.h;
-                    const float* srow = src + (xx + dxo) * d.h + dyo;
-                    for (int64_t yy = y0; yy < y1; ++yy) {
-                      acc += grow[yy] * srow[yy];
-                    }
-                  }
-                  gwmat[kx * d.k + ky] += static_cast<float>(acc);
-                }
-              }
-            }
-          }
-        });
-  }
-}
-
-struct Conv3dDims {
-  int64_t batch, cin, w, h, t, cout, k, pad;
-};
-
-Conv3dDims Check3d(const Tensor& x, const Tensor& wt) {
+backend::Conv3dDims Check3d(const Tensor& x, const Tensor& wt) {
   ET_CHECK_EQ(x.rank(), 5) << "Conv3d input must be [N, C, W, H, T]";
   ET_CHECK_EQ(wt.rank(), 5) << "Conv3d weight must be [Cout, Cin, K, K, K]";
   ET_CHECK_EQ(x.dim(1), wt.dim(1)) << "Cin mismatch";
@@ -248,143 +44,6 @@ Conv3dDims Check3d(const Tensor& x, const Tensor& wt) {
   ET_CHECK_EQ(wt.dim(2) % 2, 1) << "same padding requires odd kernel";
   return {x.dim(0), x.dim(1), x.dim(2), x.dim(3), x.dim(4),
           wt.dim(0), wt.dim(2), wt.dim(2) / 2};
-}
-
-void Conv3dForward(const Conv3dDims& d, const Tensor& x, const Tensor& wt,
-                   Tensor* out) {
-  ET_TRACE_SPAN("conv3d.fwd");
-  const int64_t vol = d.w * d.h * d.t;
-  const int64_t k3 = d.k * d.k * d.k;
-  ParallelFor(
-      0, d.batch * d.cout, GrainForCost(d.cin * k3 * vol),
-      [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-          const int64_t n = i / d.cout;
-          const int64_t co = i % d.cout;
-          float* dst = out->data() + (n * d.cout + co) * vol;
-          for (int64_t ci = 0; ci < d.cin; ++ci) {
-            const float* src = x.data() + (n * d.cin + ci) * vol;
-            const float* wcube = wt.data() + (co * d.cin + ci) * k3;
-            for (int64_t kx = 0; kx < d.k; ++kx) {
-              const int64_t dxo = kx - d.pad;
-              const int64_t x0 = std::max<int64_t>(0, -dxo);
-              const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-              for (int64_t ky = 0; ky < d.k; ++ky) {
-                const int64_t dyo = ky - d.pad;
-                const int64_t y0 = std::max<int64_t>(0, -dyo);
-                const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-                for (int64_t kt = 0; kt < d.k; ++kt) {
-                  const float wv = wcube[(kx * d.k + ky) * d.k + kt];
-                  const int64_t dto = kt - d.pad;
-                  const int64_t t0 = std::max<int64_t>(0, -dto);
-                  const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
-                  for (int64_t xx = x0; xx < x1; ++xx) {
-                    for (int64_t yy = y0; yy < y1; ++yy) {
-                      const float* srow =
-                          src + ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
-                      float* drow = dst + (xx * d.h + yy) * d.t;
-                      for (int64_t tt = t0; tt < t1; ++tt) {
-                        drow[tt] += wv * srow[tt];
-                      }
-                    }
-                  }
-                }
-              }
-            }
-          }
-        }
-      });
-}
-
-void Conv3dBackward(const Conv3dDims& d, const Tensor& x, const Tensor& wt,
-                    const Tensor& gout, Tensor* gx, Tensor* gw) {
-  ET_TRACE_SPAN("conv3d.bwd");
-  const int64_t vol = d.w * d.h * d.t;
-  const int64_t k3 = d.k * d.k * d.k;
-  if (gx) {
-    ParallelFor(
-        0, d.batch * d.cin, GrainForCost(d.cout * k3 * vol),
-        [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            const int64_t n = i / d.cin;
-            const int64_t ci = i % d.cin;
-            float* gsrc = gx->data() + (n * d.cin + ci) * vol;
-            for (int64_t co = 0; co < d.cout; ++co) {
-              const float* g = gout.data() + (n * d.cout + co) * vol;
-              const float* wcube = wt.data() + (co * d.cin + ci) * k3;
-              for (int64_t kx = 0; kx < d.k; ++kx) {
-                const int64_t dxo = kx - d.pad;
-                const int64_t x0 = std::max<int64_t>(0, -dxo);
-                const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-                for (int64_t ky = 0; ky < d.k; ++ky) {
-                  const int64_t dyo = ky - d.pad;
-                  const int64_t y0 = std::max<int64_t>(0, -dyo);
-                  const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-                  for (int64_t kt = 0; kt < d.k; ++kt) {
-                    const int64_t dto = kt - d.pad;
-                    const int64_t t0 = std::max<int64_t>(0, -dto);
-                    const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
-                    const float wv = wcube[(kx * d.k + ky) * d.k + kt];
-                    for (int64_t xx = x0; xx < x1; ++xx) {
-                      for (int64_t yy = y0; yy < y1; ++yy) {
-                        float* gsrow =
-                            gsrc + ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
-                        const float* grow = g + (xx * d.h + yy) * d.t;
-                        for (int64_t tt = t0; tt < t1; ++tt) {
-                          gsrow[tt] += wv * grow[tt];
-                        }
-                      }
-                    }
-                  }
-                }
-              }
-            }
-          }
-        });
-  }
-  if (gw) {
-    ParallelFor(
-        0, d.cout * d.cin, GrainForCost(d.batch * k3 * vol),
-        [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            const int64_t co = i / d.cin;
-            const int64_t ci = i % d.cin;
-            float* gwcube = gw->data() + (co * d.cin + ci) * k3;
-            for (int64_t n = 0; n < d.batch; ++n) {
-              const float* g = gout.data() + (n * d.cout + co) * vol;
-              const float* src = x.data() + (n * d.cin + ci) * vol;
-              for (int64_t kx = 0; kx < d.k; ++kx) {
-                const int64_t dxo = kx - d.pad;
-                const int64_t x0 = std::max<int64_t>(0, -dxo);
-                const int64_t x1 = std::min<int64_t>(d.w, d.w - dxo);
-                for (int64_t ky = 0; ky < d.k; ++ky) {
-                  const int64_t dyo = ky - d.pad;
-                  const int64_t y0 = std::max<int64_t>(0, -dyo);
-                  const int64_t y1 = std::min<int64_t>(d.h, d.h - dyo);
-                  for (int64_t kt = 0; kt < d.k; ++kt) {
-                    const int64_t dto = kt - d.pad;
-                    const int64_t t0 = std::max<int64_t>(0, -dto);
-                    const int64_t t1 = std::min<int64_t>(d.t, d.t - dto);
-                    double acc = 0.0;
-                    for (int64_t xx = x0; xx < x1; ++xx) {
-                      for (int64_t yy = y0; yy < y1; ++yy) {
-                        const float* srow =
-                            src + ((xx + dxo) * d.h + (yy + dyo)) * d.t + dto;
-                        const float* grow = g + (xx * d.h + yy) * d.t;
-                        for (int64_t tt = t0; tt < t1; ++tt) {
-                          acc += grow[tt] * srow[tt];
-                        }
-                      }
-                    }
-                    gwcube[(kx * d.k + ky) * d.k + kt] +=
-                        static_cast<float>(acc);
-                  }
-                }
-              }
-            }
-          }
-        });
-  }
 }
 
 // Builds the Variable wrapper shared by the three convolutions. The
@@ -421,36 +80,36 @@ Variable MakeConv(const char* name, const Variable& x, const Variable& w,
 }  // namespace
 
 Variable Conv1d(const Variable& x, const Variable& w) {
-  const Conv1dDims d = Check1d(x.value(), w.value());
+  const backend::Conv1dDims d = Check1d(x.value(), w.value());
   return MakeConv(
       "conv1d", x, w, {d.batch, d.cout, d.t},
       [d](const Tensor& xv, const Tensor& wv, Tensor* out) {
-        Conv1dForward(d, xv, wv, out);
+        backend::Conv1dForward(d, xv, wv, out);
       },
       [d](const Tensor& xv, const Tensor& wv, const Tensor& gout, Tensor* gx,
-          Tensor* gw) { Conv1dBackward(d, xv, wv, gout, gx, gw); });
+          Tensor* gw) { backend::Conv1dBackward(d, xv, wv, gout, gx, gw); });
 }
 
 Variable Conv2d(const Variable& x, const Variable& w) {
-  const Conv2dDims d = Check2d(x.value(), w.value());
+  const backend::Conv2dDims d = Check2d(x.value(), w.value());
   return MakeConv(
       "conv2d", x, w, {d.batch, d.cout, d.w, d.h},
       [d](const Tensor& xv, const Tensor& wv, Tensor* out) {
-        Conv2dForward(d, xv, wv, out);
+        backend::Conv2dForward(d, xv, wv, out);
       },
       [d](const Tensor& xv, const Tensor& wv, const Tensor& gout, Tensor* gx,
-          Tensor* gw) { Conv2dBackward(d, xv, wv, gout, gx, gw); });
+          Tensor* gw) { backend::Conv2dBackward(d, xv, wv, gout, gx, gw); });
 }
 
 Variable Conv3d(const Variable& x, const Variable& w) {
-  const Conv3dDims d = Check3d(x.value(), w.value());
+  const backend::Conv3dDims d = Check3d(x.value(), w.value());
   return MakeConv(
       "conv3d", x, w, {d.batch, d.cout, d.w, d.h, d.t},
       [d](const Tensor& xv, const Tensor& wv, Tensor* out) {
-        Conv3dForward(d, xv, wv, out);
+        backend::Conv3dForward(d, xv, wv, out);
       },
       [d](const Tensor& xv, const Tensor& wv, const Tensor& gout, Tensor* gx,
-          Tensor* gw) { Conv3dBackward(d, xv, wv, gout, gx, gw); });
+          Tensor* gw) { backend::Conv3dBackward(d, xv, wv, gout, gx, gw); });
 }
 
 }  // namespace ag

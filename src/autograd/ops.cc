@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/backend_registry.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -150,19 +151,37 @@ Variable Exp(const Variable& a) {
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
-  Tensor out = equitensor::MatMul(a.value(), b.value());
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
+  ET_CHECK_EQ(av.rank(), 2) << "MatMul lhs must be rank 2";
+  ET_CHECK_EQ(bv.rank(), 2) << "MatMul rhs must be rank 2";
+  ET_CHECK_EQ(av.dim(1), bv.dim(0))
+      << "MatMul shape mismatch: " << av.ShapeString() << " x "
+      << bv.ShapeString();
+  const int64_t m = av.dim(0);
+  const int64_t k = av.dim(1);
+  const int64_t n = bv.dim(1);
+  Tensor out({m, n});
+  backend::MatMul({m, k, n}, av.data(), bv.data(), out.data());
   auto a_node = a.node();
   auto b_node = b.node();
   return Variable::MakeOp(
-      "matmul", std::move(out), {a, b}, [a_node, b_node](const AutogradNode& n) {
-        // dA = G * B^T ; dB = A^T * G.
+      "matmul", std::move(out), {a, b},
+      [a_node, b_node, m, k, n](const AutogradNode& n_) {
+        // dA = G · Bᵀ ; dB = Aᵀ · G. The trans flags make the backend
+        // pack the transposed operand from the stored layout — no
+        // materialized Transpose2d temporaries.
         if (a_node->requires_grad) {
-          a_node->AccumulateGrad(
-              equitensor::MatMul(n.grad, Transpose2d(b_node->value)));
+          Tensor da({m, k});
+          backend::MatMul({m, n, k, /*trans_a=*/false, /*trans_b=*/true},
+                          n_.grad.data(), b_node->value.data(), da.data());
+          a_node->AccumulateGrad(da);
         }
         if (b_node->requires_grad) {
-          b_node->AccumulateGrad(
-              equitensor::MatMul(Transpose2d(a_node->value), n.grad));
+          Tensor db({k, n});
+          backend::MatMul({k, m, n, /*trans_a=*/true, /*trans_b=*/false},
+                          a_node->value.data(), n_.grad.data(), db.data());
+          b_node->AccumulateGrad(db);
         }
       });
 }

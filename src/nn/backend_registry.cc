@@ -1,0 +1,347 @@
+#include "nn/backend_registry.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "nn/kernels_naive.h"
+#include "nn/kernels_simd.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace equitensor {
+namespace backend {
+namespace {
+
+// (op key -> backend name -> implementation). Guarded by a mutex; hot
+// dispatch never touches the map — it goes through the cached tables
+// below, rebuilt only when a registration bumps the version.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::map<std::string, void (*)()>> ops;
+  std::atomic<uint64_t> version{0};
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // never destroyed
+  return *r;
+}
+
+// Built-in kernel sets register on first use: a static archive drops
+// TUs nothing references, so self-registering global constructors
+// would silently vanish — registration is an explicit, idempotent call.
+void EnsureBuiltinsRegistered() {
+  RegisterNaiveKernels();
+  RegisterSimdKernels();
+}
+
+std::atomic<int> g_backend{-1};  // -1 = unset, else static_cast<Backend>
+
+Backend BackendFromEnv() {
+  const char* env = std::getenv("ET_BACKEND");
+  if (env == nullptr || env[0] == '\0') return Backend::kParallel;
+  Backend b;
+  ET_CHECK(ParseBackend(env, &b))
+      << "ET_BACKEND=" << env
+      << " is not a backend (reference | parallel | simd | check)";
+  return b;
+}
+
+Backend ActiveBackend() {
+  int b = g_backend.load(std::memory_order_relaxed);
+  if (b < 0) {
+    b = static_cast<int>(BackendFromEnv());
+    // First resolution wins; concurrent first calls agree because the
+    // env var is stable.
+    g_backend.store(b, std::memory_order_relaxed);
+  }
+  return static_cast<Backend>(b);
+}
+
+/// Fully-resolved kernel set for one executable backend. Check mode
+/// resolves the reference and simd tables and compares.
+struct KernelTable {
+  Conv1dFwdFn conv1d_fwd;
+  Conv1dBwdFn conv1d_bwd;
+  Conv2dFwdFn conv2d_fwd;
+  Conv2dBwdFn conv2d_bwd;
+  Conv3dFwdFn conv3d_fwd;
+  Conv3dBwdFn conv3d_bwd;
+  MatMulFn matmul;
+};
+
+KernelTable BuildTable(const char* name) {
+  KernelTable t;
+  t.conv1d_fwd = ResolveKernelFn<Conv1dFwdFn>("conv1d_fwd", name);
+  t.conv1d_bwd = ResolveKernelFn<Conv1dBwdFn>("conv1d_bwd", name);
+  t.conv2d_fwd = ResolveKernelFn<Conv2dFwdFn>("conv2d_fwd", name);
+  t.conv2d_bwd = ResolveKernelFn<Conv2dBwdFn>("conv2d_bwd", name);
+  t.conv3d_fwd = ResolveKernelFn<Conv3dFwdFn>("conv3d_fwd", name);
+  t.conv3d_bwd = ResolveKernelFn<Conv3dBwdFn>("conv3d_bwd", name);
+  t.matmul = ResolveKernelFn<MatMulFn>("matmul", name);
+  return t;
+}
+
+// Table cache: rebuilt when the registry version moves (tests shimming
+// kernels via re-registration take effect on their next dispatch).
+const KernelTable& TableFor(Backend b) {
+  ET_CHECK(b != Backend::kCheck) << "check mode has no single table";
+  static std::mutex mu;
+  static uint64_t cached_version = ~uint64_t{0};
+  static KernelTable tables[3];
+  EnsureBuiltinsRegistered();
+  std::lock_guard<std::mutex> lock(mu);
+  const uint64_t v = GetRegistry().version.load(std::memory_order_acquire);
+  if (v != cached_version) {
+    tables[0] = BuildTable("reference");
+    tables[1] = BuildTable("parallel");
+    tables[2] = BuildTable("simd");
+    cached_version = v;
+  }
+  return tables[static_cast<int>(b)];
+}
+
+void CompareOrDie(const char* op, const Tensor& ref, const Tensor& got,
+                  int64_t reduction_length) {
+  ET_CHECK(ref.SameShape(got));
+  const float tol = CheckTolerance(reduction_length, ref.AbsMax());
+  float max_diff = 0.0f;
+  int64_t where = -1;
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    const float diff = std::fabs(ref[i] - got[i]);
+    if (diff > max_diff) {
+      max_diff = diff;
+      where = i;
+    }
+  }
+  ET_CHECK(max_diff <= tol)
+      << "backend check failed for " << op << ": simd diverges from "
+      << "reference by " << max_diff << " (tolerance " << tol
+      << ") at linear index " << where << ", shape " << ref.ShapeString();
+  ET_METRIC_COUNTER_ADD("backend.check.passes", 1);
+}
+
+// Check-mode conv dispatch: run reference and simd into separate
+// buffers, compare within the documented bound, keep the simd result.
+// Backward kernels accumulate, so the comparison runs on zeroed temps
+// which are then added into the caller's gradients. Check mode is a
+// verification mode — its extra buffers are ordinary allocations, not
+// arena leases, and its cost is ~2x plus a compare.
+template <typename Dims, typename FwdFn>
+void CheckedConvFwd(const char* op, FwdFn ref_fn, FwdFn simd_fn,
+                    const Dims& d, const Tensor& x, const Tensor& w,
+                    Tensor* out, int64_t reduction) {
+  Tensor ref(out->shape());
+  ref_fn(d, x, w, &ref);
+  simd_fn(d, x, w, out);
+  CompareOrDie(op, ref, *out, reduction);
+}
+
+template <typename Dims, typename BwdFn>
+void CheckedConvBwd(const char* op, BwdFn ref_fn, BwdFn simd_fn,
+                    const Dims& d, const Tensor& x, const Tensor& w,
+                    const Tensor& gout, Tensor* gx, Tensor* gw,
+                    int64_t gx_reduction, int64_t gw_reduction) {
+  Tensor ref_gx, ref_gw, simd_gx, simd_gw;
+  if (gx) {
+    ref_gx = Tensor(x.shape());
+    simd_gx = Tensor(x.shape());
+  }
+  if (gw) {
+    ref_gw = Tensor(w.shape());
+    simd_gw = Tensor(w.shape());
+  }
+  ref_fn(d, x, w, gout, gx ? &ref_gx : nullptr, gw ? &ref_gw : nullptr);
+  simd_fn(d, x, w, gout, gx ? &simd_gx : nullptr, gw ? &simd_gw : nullptr);
+  if (gx) {
+    CompareOrDie(op, ref_gx, simd_gx, gx_reduction);
+    for (int64_t i = 0; i < gx->size(); ++i) (*gx)[i] += simd_gx[i];
+  }
+  if (gw) {
+    CompareOrDie(op, ref_gw, simd_gw, gw_reduction);
+    for (int64_t i = 0; i < gw->size(); ++i) (*gw)[i] += simd_gw[i];
+  }
+}
+
+}  // namespace
+
+void RegisterKernel(const std::string& op_key, const std::string& backend,
+                    void (*fn)()) {
+  ET_CHECK(fn != nullptr) << "null kernel for " << op_key << "/" << backend;
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.ops[op_key][backend] = fn;
+  r.version.fetch_add(1, std::memory_order_release);
+}
+
+void* ResolveKernel(const std::string& op_key, const std::string& backend) {
+  EnsureBuiltinsRegistered();
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto op_it = r.ops.find(op_key);
+  ET_CHECK(op_it != r.ops.end()) << "unknown op key " << op_key;
+  auto be_it = op_it->second.find(backend);
+  ET_CHECK(be_it != op_it->second.end())
+      << "op " << op_key << " has no '" << backend << "' implementation";
+  return reinterpret_cast<void*>(be_it->second);
+}
+
+std::vector<std::pair<std::string, std::string>> ListKernels() {
+  EnsureBuiltinsRegistered();
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [op, impls] : r.ops) {
+    for (const auto& [name, fn] : impls) {
+      (void)fn;
+      out.emplace_back(op, name);
+    }
+  }
+  return out;
+}
+
+bool ParseBackend(const std::string& name, Backend* out) {
+  if (name == "reference") {
+    *out = Backend::kReference;
+  } else if (name == "parallel") {
+    *out = Backend::kParallel;
+  } else if (name == "simd") {
+    *out = Backend::kSimd;
+  } else if (name == "check") {
+    *out = Backend::kCheck;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kReference:
+      return "reference";
+    case Backend::kParallel:
+      return "parallel";
+    case Backend::kSimd:
+      return "simd";
+    case Backend::kCheck:
+      return "check";
+  }
+  return "unknown";
+}
+
+void SetBackend(Backend b) {
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+Backend CurrentBackend() { return ActiveBackend(); }
+
+bool SimdAcceleratorActive() {
+  EnsureBuiltinsRegistered();
+  return SimdKernelsUseAvx2();
+}
+
+float CheckTolerance(int64_t reduction_length, float ref_absmax) {
+  constexpr float kCheckRelTol = 1e-5f;
+  const float len = static_cast<float>(reduction_length < 1 ? 1
+                                                            : reduction_length);
+  const float scale = ref_absmax > 1.0f ? ref_absmax : 1.0f;
+  return kCheckRelTol * std::sqrt(len) * scale;
+}
+
+void Conv1dForward(const Conv1dDims& d, const Tensor& x, const Tensor& w,
+                   Tensor* out) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kCheck) {
+    CheckedConvFwd("conv1d_fwd", TableFor(Backend::kReference).conv1d_fwd,
+                   TableFor(Backend::kSimd).conv1d_fwd, d, x, w, out,
+                   d.cin * d.k);
+    return;
+  }
+  TableFor(b).conv1d_fwd(d, x, w, out);
+}
+
+void Conv1dBackward(const Conv1dDims& d, const Tensor& x, const Tensor& w,
+                    const Tensor& gout, Tensor* gx, Tensor* gw) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kCheck) {
+    CheckedConvBwd("conv1d_bwd", TableFor(Backend::kReference).conv1d_bwd,
+                   TableFor(Backend::kSimd).conv1d_bwd, d, x, w, gout, gx, gw,
+                   d.cout * d.k, d.batch * d.t);
+    return;
+  }
+  TableFor(b).conv1d_bwd(d, x, w, gout, gx, gw);
+}
+
+void Conv2dForward(const Conv2dDims& d, const Tensor& x, const Tensor& w,
+                   Tensor* out) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kCheck) {
+    CheckedConvFwd("conv2d_fwd", TableFor(Backend::kReference).conv2d_fwd,
+                   TableFor(Backend::kSimd).conv2d_fwd, d, x, w, out,
+                   d.cin * d.k * d.k);
+    return;
+  }
+  TableFor(b).conv2d_fwd(d, x, w, out);
+}
+
+void Conv2dBackward(const Conv2dDims& d, const Tensor& x, const Tensor& w,
+                    const Tensor& gout, Tensor* gx, Tensor* gw) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kCheck) {
+    CheckedConvBwd("conv2d_bwd", TableFor(Backend::kReference).conv2d_bwd,
+                   TableFor(Backend::kSimd).conv2d_bwd, d, x, w, gout, gx, gw,
+                   d.cout * d.k * d.k, d.batch * d.w * d.h);
+    return;
+  }
+  TableFor(b).conv2d_bwd(d, x, w, gout, gx, gw);
+}
+
+void Conv3dForward(const Conv3dDims& d, const Tensor& x, const Tensor& w,
+                   Tensor* out) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kCheck) {
+    CheckedConvFwd("conv3d_fwd", TableFor(Backend::kReference).conv3d_fwd,
+                   TableFor(Backend::kSimd).conv3d_fwd, d, x, w, out,
+                   d.cin * d.k * d.k * d.k);
+    return;
+  }
+  TableFor(b).conv3d_fwd(d, x, w, out);
+}
+
+void Conv3dBackward(const Conv3dDims& d, const Tensor& x, const Tensor& w,
+                    const Tensor& gout, Tensor* gx, Tensor* gw) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kCheck) {
+    CheckedConvBwd("conv3d_bwd", TableFor(Backend::kReference).conv3d_bwd,
+                   TableFor(Backend::kSimd).conv3d_bwd, d, x, w, gout, gx, gw,
+                   d.cout * d.k * d.k * d.k, d.batch * d.w * d.h * d.t);
+    return;
+  }
+  TableFor(b).conv3d_bwd(d, x, w, gout, gx, gw);
+}
+
+void MatMul(const MatMulSpec& spec, const float* a, const float* b, float* c) {
+  const Backend be = ActiveBackend();
+  if (be == Backend::kCheck) {
+    MatMulSpec fresh = spec;
+    fresh.accumulate = false;
+    Tensor ref({spec.m, spec.n});
+    Tensor simd({spec.m, spec.n});
+    TableFor(Backend::kReference).matmul(fresh, a, b, ref.data());
+    TableFor(Backend::kSimd).matmul(fresh, a, b, simd.data());
+    CompareOrDie("matmul", ref, simd, spec.k);
+    if (spec.accumulate) {
+      for (int64_t i = 0; i < simd.size(); ++i) c[i] += simd[i];
+    } else {
+      for (int64_t i = 0; i < simd.size(); ++i) c[i] = simd[i];
+    }
+    return;
+  }
+  TableFor(be).matmul(spec, a, b, c);
+}
+
+}  // namespace backend
+}  // namespace equitensor

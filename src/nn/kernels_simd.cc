@@ -1,0 +1,754 @@
+#include "nn/kernels_simd.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/backend_registry.h"
+#include "util/arena.h"
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ET_SIMD_X86 1
+#include <immintrin.h>
+#define ET_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#else
+#define ET_SIMD_X86 0
+#endif
+
+namespace equitensor {
+namespace backend {
+namespace {
+
+// im2col + blocked GEMM lowering (DESIGN.md §13).
+//
+// All three convolutions share one geometry: a 1d conv is a 3d conv
+// with W = H = 1 and a temporal-only kernel, a 2d conv one with T = 1.
+// Per sample n the forward pass is a single GEMM
+//
+//   Y[n]  (Cout x P)  =  W (Cout x CK)  ·  col (CK x P)
+//
+// with P = W·H·T output positions and CK = Cin·KW·KH·KT patch
+// entries; `col` is the im2col matrix ("same" zero padding folded in
+// as zeroed row borders). The backward pass is two more GEMMs:
+//
+//   gcol (CK x P)     =  Wᵀ (CK x Cout)  ·  gY[n] (Cout x P)
+//   gWᵀ  (CK x Cout) +=  col (CK x P)    ·  gYᵀ  (P x Cout)
+//
+// followed by a col2im scatter-add for gX. Scratch (col, gcol, the
+// transpose packs) is leased from the global arena, so after the first
+// step of a fixed-shape training loop these kernels allocate nothing.
+//
+// Determinism: the GEMM block grid is a pure function of the problem
+// shape, every output element accumulates in a fixed serial k order,
+// and ParallelFor only distributes whole blocks — results are bitwise
+// identical for any thread count on a given machine. Cross-backend
+// (vs `reference`) the accumulation association differs, bounded by
+// CheckTolerance.
+
+struct ConvGeom {
+  int64_t batch, cin, cout;
+  int64_t w, h, t;     // spatial extents (1 where the rank lacks them)
+  int64_t kw, kh, kt;  // kernel extents
+  int64_t pw, ph, pt;  // "same" pads per axis
+};
+
+int64_t SpatialVolume(const ConvGeom& g) { return g.w * g.h * g.t; }
+int64_t PatchSize(const ConvGeom& g) { return g.cin * g.kw * g.kh * g.kt; }
+
+// ---------------------------------------------------------------------------
+// GEMM micro-kernels. The 6x16 tile keeps 12 accumulator registers
+// live in AVX2 (6 rows x 2 ymm) with one broadcast per row per k step.
+// The portable variant mirrors the same tile so the blocked driver is
+// shared; GCC auto-vectorizes its inner loops at the baseline ISA.
+//
+// Both operands reach the kernels packed: A as [kk][kMR] groups (the
+// six broadcasts per k step read 24 consecutive bytes) and B as
+// [kk][kNR] lines (the two vector loads stream contiguous 64-byte
+// rows). Packing happens once per cache block in the driver below.
+
+constexpr int64_t kMR = 6;    // micro-tile rows
+constexpr int64_t kNR = 16;   // micro-tile cols
+constexpr int64_t kMB = 96;   // row block (16 micro-rows)
+constexpr int64_t kNB = 240;  // col block (15 micro-cols)
+constexpr int64_t kKC = 512;  // k block: B panel stays cache-resident
+
+using MicroKernelFn = void (*)(int64_t kc, const float* a, const float* b,
+                               float* c, int64_t ldc, bool first);
+
+#if ET_SIMD_X86
+// Variable-row-count tile (MR in 1..6), all 16 columns vectorized. MR
+// is a template constant so the accumulator array unrolls into
+// registers; row remainders (e.g. a Cout=16 GEMM splitting 6+6+4) stay
+// on the FMA path instead of falling back to scalar edge code.
+// Accumulators are NAMED variables, not a __m256 array: GCC keeps an
+// array's stack image live and re-stores every accumulator each k step
+// (12 stores per iteration — measured 2x slower); named locals stay
+// register-only.
+template <int MR>
+ET_TARGET_AVX2 void MicroMx16Avx2(int64_t kc, const float* a, const float* b,
+                                  float* c, int64_t ldc, bool first) {
+  const __m256 z = _mm256_setzero_ps();
+  __m256 l0 = z, h0 = z, l1 = z, h1 = z, l2 = z, h2 = z;
+  __m256 l3 = z, h3 = z, l4 = z, h4 = z, l5 = z, h5 = z;
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(b + kk * kNR);
+    const __m256 b1 = _mm256_loadu_ps(b + kk * kNR + 8);
+    const float* arow = a + kk * kMR;
+    __m256 av = _mm256_broadcast_ss(arow);
+    l0 = _mm256_fmadd_ps(av, b0, l0);
+    h0 = _mm256_fmadd_ps(av, b1, h0);
+    if constexpr (MR > 1) {
+      av = _mm256_broadcast_ss(arow + 1);
+      l1 = _mm256_fmadd_ps(av, b0, l1);
+      h1 = _mm256_fmadd_ps(av, b1, h1);
+    }
+    if constexpr (MR > 2) {
+      av = _mm256_broadcast_ss(arow + 2);
+      l2 = _mm256_fmadd_ps(av, b0, l2);
+      h2 = _mm256_fmadd_ps(av, b1, h2);
+    }
+    if constexpr (MR > 3) {
+      av = _mm256_broadcast_ss(arow + 3);
+      l3 = _mm256_fmadd_ps(av, b0, l3);
+      h3 = _mm256_fmadd_ps(av, b1, h3);
+    }
+    if constexpr (MR > 4) {
+      av = _mm256_broadcast_ss(arow + 4);
+      l4 = _mm256_fmadd_ps(av, b0, l4);
+      h4 = _mm256_fmadd_ps(av, b1, h4);
+    }
+    if constexpr (MR > 5) {
+      av = _mm256_broadcast_ss(arow + 5);
+      l5 = _mm256_fmadd_ps(av, b0, l5);
+      h5 = _mm256_fmadd_ps(av, b1, h5);
+    }
+  }
+  const auto out = [&](int i, __m256 lo, __m256 hi) ET_TARGET_AVX2 {
+    float* crow = c + i * ldc;
+    if (first) {
+      _mm256_storeu_ps(crow, lo);
+      _mm256_storeu_ps(crow + 8, hi);
+    } else {
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), lo));
+      _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), hi));
+    }
+  };
+  out(0, l0, h0);
+  if constexpr (MR > 1) out(1, l1, h1);
+  if constexpr (MR > 2) out(2, l2, h2);
+  if constexpr (MR > 3) out(3, l3, h3);
+  if constexpr (MR > 4) out(4, l4, h4);
+  if constexpr (MR > 5) out(5, l5, h5);
+}
+#endif  // ET_SIMD_X86
+
+template <int MR>
+void MicroMx16Portable(int64_t kc, const float* a, const float* b, float* c,
+                       int64_t ldc, bool first) {
+  float acc[MR][kNR] = {};
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* brow = b + kk * kNR;
+    for (int i = 0; i < MR; ++i) {
+      const float av = a[kk * kMR + i];
+      for (int64_t j = 0; j < kNR; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    float* crow = c + i * ldc;
+    if (first) {
+      for (int64_t j = 0; j < kNR; ++j) crow[j] = acc[i][j];
+    } else {
+      for (int64_t j = 0; j < kNR; ++j) crow[j] += acc[i][j];
+    }
+  }
+}
+
+// Per-row-count kernel table, index mr in 1..6 (entry 0 unused). One
+// runtime cpu probe picks the AVX2 or portable family for the process.
+struct MicroKernelTable {
+  MicroKernelFn by_rows[kMR + 1];
+  bool avx2;
+};
+
+MicroKernelTable PickMicroKernels() {
+  MicroKernelTable t;
+#if ET_SIMD_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    t.by_rows[1] = MicroMx16Avx2<1>;
+    t.by_rows[2] = MicroMx16Avx2<2>;
+    t.by_rows[3] = MicroMx16Avx2<3>;
+    t.by_rows[4] = MicroMx16Avx2<4>;
+    t.by_rows[5] = MicroMx16Avx2<5>;
+    t.by_rows[6] = MicroMx16Avx2<6>;
+    t.avx2 = true;
+    return t;
+  }
+#endif
+  t.by_rows[1] = MicroMx16Portable<1>;
+  t.by_rows[2] = MicroMx16Portable<2>;
+  t.by_rows[3] = MicroMx16Portable<3>;
+  t.by_rows[4] = MicroMx16Portable<4>;
+  t.by_rows[5] = MicroMx16Portable<5>;
+  t.by_rows[6] = MicroMx16Portable<6>;
+  t.avx2 = false;
+  return t;
+}
+
+const MicroKernelTable& MicroKernels() {
+  static const MicroKernelTable t = PickMicroKernels();
+  return t;
+}
+
+// Partial tiles at the right block edge (nr < kNR): same packed
+// operands and fixed k order, scalar accumulators over the live
+// columns only.
+void EdgeTile(int64_t mr, int64_t nr, int64_t kc, const float* a,
+              const float* b, float* c, int64_t ldc, bool first) {
+  for (int64_t i = 0; i < mr; ++i) {
+    float acc[kNR] = {};
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const float av = a[kk * kMR + i];
+      const float* brow = b + kk * kNR;
+      for (int64_t j = 0; j < nr; ++j) acc[j] += av * brow[j];
+    }
+    float* crow = c + i * ldc;
+    if (first) {
+      for (int64_t j = 0; j < nr; ++j) crow[j] = acc[j];
+    } else {
+      for (int64_t j = 0; j < nr; ++j) crow[j] += acc[j];
+    }
+  }
+}
+
+// Shared blocked driver (the public GemmRowMajor wraps it; the fused
+// conv forward below drives the same micro-kernels block by block).
+void GemmBlocked(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+                 const float* b, int64_t ldb, float* c, int64_t ldc,
+                 bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      for (int64_t i = 0; i < m; ++i) {
+        std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+      }
+    }
+    return;
+  }
+  const MicroKernelTable& micro = MicroKernels();
+  const int64_t mb_count = (m + kMB - 1) / kMB;
+  const int64_t nb_count = (n + kNB - 1) / kNB;
+  const int64_t max_jt = (std::min(n, kNB) + kNR - 1) / kNR;
+  const int64_t max_it = (std::min(m, kMB) + kMR - 1) / kMR;
+  const int64_t max_kc = std::min(k, kKC);
+  // Whole blocks are the unit of parallel work, so the result is
+  // independent of how ParallelFor chunks the block grid.
+  ParallelFor(
+      0, mb_count * nb_count, 1, [&](int64_t blk0, int64_t blk1) {
+        // Per-worker packing buffers (arena leases): B as
+        // [j_tile][kk][kNR] contiguous lines, A as [i_tile][kk][kMR]
+        // broadcast groups. Without packing the micro-kernel re-walks
+        // the ldb/lda-strided sources for every tile pair, which is
+        // what capped throughput.
+        ArenaBuffer apack(Arena::Global(), max_it * max_kc * kMR);
+        ArenaBuffer bpack(Arena::Global(), max_jt * max_kc * kNR);
+        for (int64_t blk = blk0; blk < blk1; ++blk) {
+          const int64_t mb = blk / nb_count;
+          const int64_t nb = blk % nb_count;
+          const int64_t i_begin = mb * kMB;
+          const int64_t i_end = std::min(m, i_begin + kMB);
+          const int64_t j_begin = nb * kNB;
+          const int64_t j_end = std::min(n, j_begin + kNB);
+          const int64_t i_tiles = (i_end - i_begin + kMR - 1) / kMR;
+          const int64_t j_tiles = (j_end - j_begin + kNR - 1) / kNR;
+          for (int64_t kc0 = 0; kc0 < k; kc0 += kKC) {
+            const int64_t kc = std::min(kKC, k - kc0);
+            const bool first = (kc0 == 0) && !accumulate;
+            // Pack loop is kk-major: each k step reads one contiguous
+            // slice of the source row and fans it out to j_tiles
+            // write cursors. The jt-major order would touch kc
+            // distinct pages per tile (ldb-strided 64-byte reads),
+            // which is TLB-bound.
+            const int64_t full_jt = (j_end - j_begin) / kNR;
+            for (int64_t kk = 0; kk < kc; ++kk) {
+              const float* src = b + (kc0 + kk) * ldb + j_begin;
+              float* dst = bpack.data() + kk * kNR;
+              int64_t jt = 0;
+              for (; jt < full_jt; ++jt) {
+                std::memcpy(dst + jt * kc * kNR, src + jt * kNR,
+                            kNR * sizeof(float));
+              }
+              if (jt < j_tiles) {
+                const int64_t nr = j_end - j_begin - jt * kNR;
+                float* tail = dst + jt * kc * kNR;
+                const float* tsrc = src + jt * kNR;
+                for (int64_t j = 0; j < nr; ++j) tail[j] = tsrc[j];
+                for (int64_t j = nr; j < kNR; ++j) tail[j] = 0.0f;
+              }
+            }
+            const float* btiles = bpack.data();
+            for (int64_t it = 0; it < i_tiles; ++it) {
+              const int64_t i0 = i_begin + it * kMR;
+              const int64_t mr = std::min(kMR, i_end - i0);
+              float* dst = apack.data() + it * kc * kMR;
+              for (int64_t i = 0; i < mr; ++i) {
+                const float* src = a + (i0 + i) * lda + kc0;
+                for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + i] = src[kk];
+              }
+              for (int64_t i = mr; i < kMR; ++i) {
+                for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + i] = 0.0f;
+              }
+            }
+            // Tile loop order keeps the smaller operand's panels
+            // hot: with few row tiles (e.g. a Cout=16 conv forward)
+            // the jt-outer order reads each B tile once per block and
+            // re-reads the small A pack from L1, instead of streaming
+            // the whole B panel again for every row tile.
+            const auto tile_at = [&](int64_t it, int64_t jt) {
+              const int64_t i0 = i_begin + it * kMR;
+              const int64_t mr = std::min(kMR, i_end - i0);
+              const int64_t j0 = j_begin + jt * kNR;
+              const int64_t nr = std::min(kNR, j_end - j0);
+              const float* ablk = apack.data() + it * kc * kMR;
+              const float* bblk = btiles + jt * kc * kNR;
+              float* cblk = c + i0 * ldc + j0;
+              if (nr == kNR) {
+                micro.by_rows[mr](kc, ablk, bblk, cblk, ldc, first);
+              } else {
+                EdgeTile(mr, nr, kc, ablk, bblk, cblk, ldc, first);
+              }
+            };
+            if (i_tiles <= j_tiles) {
+              for (int64_t jt = 0; jt < j_tiles; ++jt) {
+                for (int64_t it = 0; it < i_tiles; ++it) tile_at(it, jt);
+              }
+            } else {
+              for (int64_t it = 0; it < i_tiles; ++it) {
+                for (int64_t jt = 0; jt < j_tiles; ++jt) tile_at(it, jt);
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace
+
+void GemmRowMajor(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+                  const float* b, int64_t ldb, float* c, int64_t ldc,
+                  bool accumulate) {
+  GemmBlocked(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// im2col / col2im for the unified geometry. Row r of the col matrix
+// corresponds to patch entry (ci, kx, ky, kt); the "same" padding
+// appears as zeroed borders. Rows are independent, so the loop
+// parallelizes over r (owner-computes).
+
+// Writes the p values of col row r (patch entry r) for sample xn into
+// `row`. Each cell is written exactly once: the pad borders get
+// zeros, the interior gets the shifted input span. (A full memset
+// followed by the copies would double the write traffic, which is
+// most of im2col's cost.)
+void Im2ColRow(const ConvGeom& g, int64_t r, const float* xn, float* row) {
+  const int64_t p = SpatialVolume(g);
+  const int64_t kvol = g.kw * g.kh * g.kt;
+  const int64_t ci = r / kvol;
+  const int64_t rem = r % kvol;
+  const int64_t kx = rem / (g.kh * g.kt);
+  const int64_t ky = (rem / g.kt) % g.kh;
+  const int64_t kt = rem % g.kt;
+  const int64_t dxo = kx - g.pw;
+  const int64_t dyo = ky - g.ph;
+  const int64_t dto = kt - g.pt;
+  const int64_t x0 = std::max<int64_t>(0, -dxo);
+  const int64_t x1 = std::min<int64_t>(g.w, g.w - dxo);
+  const int64_t y0 = std::max<int64_t>(0, -dyo);
+  const int64_t y1 = std::min<int64_t>(g.h, g.h - dyo);
+  const int64_t t0 = std::max<int64_t>(0, -dto);
+  const int64_t t1 = std::min<int64_t>(g.t, g.t - dto);
+  if (x0 >= x1 || y0 >= y1 || t0 >= t1) {
+    std::memset(row, 0, static_cast<size_t>(p) * sizeof(float));
+    return;
+  }
+  const float* src = xn + ci * p;
+  const size_t span = static_cast<size_t>(t1 - t0) * sizeof(float);
+  const int64_t ht = g.h * g.t;
+  std::memset(row, 0, static_cast<size_t>(x0 * ht) * sizeof(float));
+  std::memset(row + x1 * ht, 0,
+              static_cast<size_t>((g.w - x1) * ht) * sizeof(float));
+  for (int64_t xx = x0; xx < x1; ++xx) {
+    float* plane = row + xx * ht;
+    std::memset(plane, 0, static_cast<size_t>(y0 * g.t) * sizeof(float));
+    std::memset(plane + y1 * g.t, 0,
+                static_cast<size_t>((g.h - y1) * g.t) * sizeof(float));
+    for (int64_t yy = y0; yy < y1; ++yy) {
+      float* line = plane + yy * g.t;
+      for (int64_t tt = 0; tt < t0; ++tt) line[tt] = 0.0f;
+      for (int64_t tt = t1; tt < g.t; ++tt) line[tt] = 0.0f;
+      const int64_t src_off = ((xx + dxo) * g.h + (yy + dyo)) * g.t + t0 + dto;
+      std::memcpy(line + t0, src + src_off, span);
+    }
+  }
+}
+
+void Im2Col(const ConvGeom& g, const float* xn, float* col) {
+  const int64_t p = SpatialVolume(g);
+  const int64_t rows = PatchSize(g);
+  ParallelFor(0, rows, GrainForCost(p), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) Im2ColRow(g, r, xn, col + r * p);
+  });
+}
+
+// Fused im2col: emits row r straight into the packed-B image
+// GemmBlocked consumes ([k_block][j_tile][kk][kNR]), so the forward
+// conv writes its col matrix exactly once in kernel order instead of
+// writing a row-major col and having the GEMM re-read it strided to
+// pack. Same border/span walk as Im2Col, chunked at j-tile seams;
+// the final tile's padding columns are zeroed so full-width loads in
+// the micro-kernel are safe.
+// Writes the [j0, j1) slice of col row r into `out` (out[0] is column
+// j0). Same zero-border / shifted-span structure as Im2ColRow,
+// clipped to the window; the fused conv forward stages one cache
+// block's worth of each row at a time with this.
+void Im2ColRowSlice(const ConvGeom& g, int64_t r, const float* xn, int64_t j0,
+                    int64_t j1, float* out) {
+  const int64_t p = SpatialVolume(g);
+  const int64_t kvol = g.kw * g.kh * g.kt;
+  const int64_t ci = r / kvol;
+  const int64_t rem = r % kvol;
+  const int64_t kx = rem / (g.kh * g.kt);
+  const int64_t ky = (rem / g.kt) % g.kh;
+  const int64_t kt = rem % g.kt;
+  const int64_t dxo = kx - g.pw;
+  const int64_t dyo = ky - g.ph;
+  const int64_t dto = kt - g.pt;
+  const int64_t t0 = std::max<int64_t>(0, -dto);
+  const int64_t t1 = std::min<int64_t>(g.t, g.t - dto);
+  const float* src = xn + ci * p;
+  // Walk the window as t-line segments; coordinates advance
+  // incrementally after the initial decode of j0.
+  int64_t xx = j0 / (g.h * g.t);
+  int64_t yy = (j0 - xx * g.h * g.t) / g.t;
+  int64_t tt = j0 - (xx * g.h + yy) * g.t;
+  for (int64_t j = j0; j < j1;) {
+    const int64_t seg = std::min(g.t - tt, j1 - j);
+    float* d = out + (j - j0) - tt;  // d[q] is column j - tt + q
+    const int64_t sx = xx + dxo;
+    const int64_t sy = yy + dyo;
+    if (sx < 0 || sx >= g.w || sy < 0 || sy >= g.h) {
+      std::memset(d + tt, 0, static_cast<size_t>(seg) * sizeof(float));
+    } else {
+      const int64_t lo = std::clamp(t0, tt, tt + seg);
+      const int64_t hi = std::clamp(t1, lo, tt + seg);
+      for (int64_t q = tt; q < lo; ++q) d[q] = 0.0f;
+      if (hi > lo) {
+        std::memcpy(d + lo, src + (sx * g.h + sy) * g.t + dto + lo,
+                    static_cast<size_t>(hi - lo) * sizeof(float));
+      }
+      for (int64_t q = hi; q < tt + seg; ++q) d[q] = 0.0f;
+    }
+    j += seg;
+    tt += seg;
+    if (tt == g.t) {
+      tt = 0;
+      if (++yy == g.h) {
+        yy = 0;
+        ++xx;
+      }
+    }
+  }
+}
+
+
+// Scatter-add of gcol back onto the input gradient. Each ci owns its
+// gx plane; the k offsets are applied in a fixed order inside the
+// owner, so the accumulation is deterministic for any thread count.
+void Col2Im(const ConvGeom& g, const float* gcol, float* gxn) {
+  const int64_t p = SpatialVolume(g);
+  const int64_t kvol = g.kw * g.kh * g.kt;
+  ParallelFor(0, g.cin, GrainForCost(kvol * p), [&](int64_t c0, int64_t c1) {
+    for (int64_t ci = c0; ci < c1; ++ci) {
+      float* gplane = gxn + ci * p;
+      for (int64_t kx = 0; kx < g.kw; ++kx) {
+        const int64_t dxo = kx - g.pw;
+        const int64_t x0 = std::max<int64_t>(0, -dxo);
+        const int64_t x1 = std::min<int64_t>(g.w, g.w - dxo);
+        for (int64_t ky = 0; ky < g.kh; ++ky) {
+          const int64_t dyo = ky - g.ph;
+          const int64_t y0 = std::max<int64_t>(0, -dyo);
+          const int64_t y1 = std::min<int64_t>(g.h, g.h - dyo);
+          for (int64_t kt = 0; kt < g.kt; ++kt) {
+            const int64_t dto = kt - g.pt;
+            const int64_t t0 = std::max<int64_t>(0, -dto);
+            const int64_t t1 = std::min<int64_t>(g.t, g.t - dto);
+            if (x0 >= x1 || y0 >= y1 || t0 >= t1) continue;
+            const int64_t r = ((ci * g.kw + kx) * g.kh + ky) * g.kt + kt;
+            const float* row = gcol + r * p;
+            for (int64_t xx = x0; xx < x1; ++xx) {
+              for (int64_t yy = y0; yy < y1; ++yy) {
+                float* gdst =
+                    gplane + ((xx + dxo) * g.h + (yy + dyo)) * g.t + dto;
+                const float* gsrc = row + (xx * g.h + yy) * g.t;
+                for (int64_t tt = t0; tt < t1; ++tt) gdst[tt] += gsrc[tt];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+// Transpose pack: src [rows x cols] row-major -> dst [cols x rows].
+void PackTranspose(const float* src, int64_t rows, int64_t cols, float* dst) {
+  ParallelFor(0, cols, GrainForCost(rows), [&](int64_t c0, int64_t c1) {
+    for (int64_t cc = c0; cc < c1; ++cc) {
+      float* drow = dst + cc * rows;
+      for (int64_t rr = 0; rr < rows; ++rr) drow[rr] = src[rr * cols + cc];
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Convolution drivers.
+
+// Fused forward: never materializes the full col matrix. For each
+// (sample, column block) the B panel is staged straight from the
+// input — Im2ColRowSlice into an L1 row buffer, fanned out to the
+// packed [j_tile][kk][kNR] tiles of a ~200 KB recycled scratch — and
+// consumed by the micro-kernels while still cache-warm. A full-width
+// col would round-trip 2-3 MB per sample through RAM three times
+// (write, strided re-read, pack), which dominated the unfused
+// profile. W is packed once per call; the jt-outer tile order then
+// reads each B tile exactly once per block.
+void SimdConvForward(const ConvGeom& g, const Tensor& x, const Tensor& w,
+                     Tensor* out) {
+  const int64_t p = SpatialVolume(g);
+  const int64_t ck = PatchSize(g);
+  const int64_t m = g.cout;
+  const MicroKernelTable& micro = MicroKernels();
+  const int64_t i_tiles = (m + kMR - 1) / kMR;
+  const int64_t nb_count = (p + kNB - 1) / kNB;
+  const int64_t max_kc = std::min(ck, kKC);
+  const int64_t max_jt = (std::min(p, kNB) + kNR - 1) / kNR;
+  // Pack W once: [k_block][i_tile][kk][kMR], shared by every block.
+  ArenaBuffer apack(Arena::Global(), i_tiles * ck * kMR);
+  for (int64_t kc0 = 0; kc0 < ck; kc0 += kKC) {
+    const int64_t kc = std::min(kKC, ck - kc0);
+    for (int64_t it = 0; it < i_tiles; ++it) {
+      const int64_t i0 = it * kMR;
+      const int64_t mr = std::min(kMR, m - i0);
+      float* dst = apack.data() + kc0 * i_tiles * kMR + it * kc * kMR;
+      for (int64_t i = 0; i < mr; ++i) {
+        const float* srow = w.data() + (i0 + i) * ck + kc0;
+        for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + i] = srow[kk];
+      }
+      for (int64_t i = mr; i < kMR; ++i) {
+        for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + i] = 0.0f;
+      }
+    }
+  }
+  // One work item per (sample, column block); owners write disjoint
+  // output blocks in a fixed k order, so any thread count produces
+  // bitwise-identical results.
+  ParallelFor(
+      0, g.batch * nb_count, 1, [&](int64_t blk0, int64_t blk1) {
+        ArenaBuffer bscratch(Arena::Global(), max_jt * max_kc * kNR);
+        ArenaBuffer rowslice(Arena::Global(), max_jt * kNR);
+        for (int64_t blk = blk0; blk < blk1; ++blk) {
+          const int64_t n = blk / nb_count;
+          const int64_t nb = blk % nb_count;
+          const float* xn = x.data() + n * g.cin * p;
+          float* cn = out->data() + n * m * p;
+          const int64_t j_begin = nb * kNB;
+          const int64_t j_end = std::min(p, j_begin + kNB);
+          const int64_t width = j_end - j_begin;
+          const int64_t j_tiles = (width + kNR - 1) / kNR;
+          // Zero the staging pad once; rows only rewrite [0, width).
+          for (int64_t q = width; q < j_tiles * kNR; ++q) {
+            rowslice.data()[q] = 0.0f;
+          }
+          for (int64_t kc0 = 0; kc0 < ck; kc0 += kKC) {
+            const int64_t kc = std::min(kKC, ck - kc0);
+            const bool first = (kc0 == 0);
+            // The rowslice bounce looks redundant (each value is
+            // written twice) but is load-bearing: it decouples the
+            // strided input reads from the tile-strided packed
+            // stores. Fusing them — writing im2col output straight
+            // into the packed tiles — measures 4x slower on this
+            // loop: the interleaved load/store streams collide in
+            // the memory-disambiguation predictor (4K aliasing) and
+            // each chunk pays a machine-clear-sized penalty.
+            for (int64_t kk = 0; kk < kc; ++kk) {
+              Im2ColRowSlice(g, kc0 + kk, xn, j_begin, j_end,
+                             rowslice.data());
+              float* dst = bscratch.data() + kk * kNR;
+              for (int64_t jt = 0; jt < j_tiles; ++jt) {
+                std::memcpy(dst + jt * kc * kNR, rowslice.data() + jt * kNR,
+                            kNR * sizeof(float));
+              }
+            }
+            for (int64_t jt = 0; jt < j_tiles; ++jt) {
+              const int64_t j0 = j_begin + jt * kNR;
+              const int64_t nr = std::min(kNR, j_end - j0);
+              const float* bblk = bscratch.data() + jt * kc * kNR;
+              for (int64_t it = 0; it < i_tiles; ++it) {
+                const int64_t i0 = it * kMR;
+                const int64_t mr = std::min(kMR, m - i0);
+                const float* ablk =
+                    apack.data() + kc0 * i_tiles * kMR + it * kc * kMR;
+                float* cblk = cn + i0 * p + j0;
+                if (nr == kNR) {
+                  micro.by_rows[mr](kc, ablk, bblk, cblk, p, first);
+                } else {
+                  EdgeTile(mr, nr, kc, ablk, bblk, cblk, p, first);
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+void SimdConvBackward(const ConvGeom& g, const Tensor& x, const Tensor& w,
+                      const Tensor& gout, Tensor* gx, Tensor* gw) {
+  const int64_t p = SpatialVolume(g);
+  const int64_t ck = PatchSize(g);
+  if (gx) {
+    // gcol = Wᵀ · gY, then scatter back onto the input grid. Wᵀ is
+    // packed contiguous once per call so the GEMM runs unit-stride.
+    ArenaBuffer wt(Arena::Global(), ck * g.cout);
+    PackTranspose(w.data(), g.cout, ck, wt.data());
+    ArenaBuffer gcol(Arena::Global(), ck * p);
+    for (int64_t n = 0; n < g.batch; ++n) {
+      GemmRowMajor(ck, p, g.cout, wt.data(), g.cout,
+                   gout.data() + n * g.cout * p, p, gcol.data(), p,
+                   /*accumulate=*/false);
+      Col2Im(g, gcol.data(), gx->data() + n * g.cin * p);
+    }
+  }
+  if (gw) {
+    // gWᵀ += col · gYᵀ, accumulated over the batch in sample order,
+    // transposed onto gw at the end. Computing the transposed product
+    // keeps both GEMM operands unit-stride (col rows and packed gYᵀ
+    // rows) instead of gathering strided columns.
+    ArenaBuffer col(Arena::Global(), ck * p);
+    ArenaBuffer gyt(Arena::Global(), p * g.cout);
+    ArenaBuffer gwt(Arena::Global(), ck * g.cout);
+    std::memset(gwt.data(), 0,
+                static_cast<size_t>(ck * g.cout) * sizeof(float));
+    for (int64_t n = 0; n < g.batch; ++n) {
+      Im2Col(g, x.data() + n * g.cin * p, col.data());
+      PackTranspose(gout.data() + n * g.cout * p, g.cout, p, gyt.data());
+      GemmRowMajor(ck, g.cout, p, col.data(), p, gyt.data(), g.cout,
+                   gwt.data(), g.cout, /*accumulate=*/true);
+    }
+    float* gw_data = gw->data();
+    const float* gwt_data = gwt.data();
+    for (int64_t co = 0; co < g.cout; ++co) {
+      for (int64_t r = 0; r < ck; ++r) {
+        gw_data[co * ck + r] += gwt_data[r * g.cout + co];
+      }
+    }
+  }
+}
+
+ConvGeom GeomFrom(const Conv1dDims& d) {
+  return {d.batch, d.cin, d.cout, 1, 1, d.t, 1, 1, d.k, 0, 0, d.pad};
+}
+ConvGeom GeomFrom(const Conv2dDims& d) {
+  return {d.batch, d.cin, d.cout, d.w, d.h, 1, d.k, d.k, 1, d.pad, d.pad, 0};
+}
+ConvGeom GeomFrom(const Conv3dDims& d) {
+  return {d.batch, d.cin,  d.cout, d.w,   d.h,   d.t,
+          d.k,     d.k,    d.k,    d.pad, d.pad, d.pad};
+}
+
+// Registered entry points: backend-tagged span + dispatch counter,
+// then the shared driver.
+
+void SimdConv1dFwd(const Conv1dDims& d, const Tensor& x, const Tensor& w,
+                   Tensor* out) {
+  ET_TRACE_SPAN("conv1d.fwd.simd");
+  ET_METRIC_COUNTER_ADD("kernel.conv1d_fwd.simd", 1);
+  SimdConvForward(GeomFrom(d), x, w, out);
+}
+void SimdConv1dBwd(const Conv1dDims& d, const Tensor& x, const Tensor& w,
+                   const Tensor& gout, Tensor* gx, Tensor* gw) {
+  ET_TRACE_SPAN("conv1d.bwd.simd");
+  ET_METRIC_COUNTER_ADD("kernel.conv1d_bwd.simd", 1);
+  SimdConvBackward(GeomFrom(d), x, w, gout, gx, gw);
+}
+void SimdConv2dFwd(const Conv2dDims& d, const Tensor& x, const Tensor& w,
+                   Tensor* out) {
+  ET_TRACE_SPAN("conv2d.fwd.simd");
+  ET_METRIC_COUNTER_ADD("kernel.conv2d_fwd.simd", 1);
+  SimdConvForward(GeomFrom(d), x, w, out);
+}
+void SimdConv2dBwd(const Conv2dDims& d, const Tensor& x, const Tensor& w,
+                   const Tensor& gout, Tensor* gx, Tensor* gw) {
+  ET_TRACE_SPAN("conv2d.bwd.simd");
+  ET_METRIC_COUNTER_ADD("kernel.conv2d_bwd.simd", 1);
+  SimdConvBackward(GeomFrom(d), x, w, gout, gx, gw);
+}
+void SimdConv3dFwd(const Conv3dDims& d, const Tensor& x, const Tensor& w,
+                   Tensor* out) {
+  ET_TRACE_SPAN("conv3d.fwd.simd");
+  ET_METRIC_COUNTER_ADD("kernel.conv3d_fwd.simd", 1);
+  SimdConvForward(GeomFrom(d), x, w, out);
+}
+void SimdConv3dBwd(const Conv3dDims& d, const Tensor& x, const Tensor& w,
+                   const Tensor& gout, Tensor* gx, Tensor* gw) {
+  ET_TRACE_SPAN("conv3d.bwd.simd");
+  ET_METRIC_COUNTER_ADD("kernel.conv3d_bwd.simd", 1);
+  SimdConvBackward(GeomFrom(d), x, w, gout, gx, gw);
+}
+
+void SimdMatMul(const MatMulSpec& s, const float* a, const float* b, float* c) {
+  ET_TRACE_SPAN("matmul.simd");
+  ET_METRIC_COUNTER_ADD("kernel.matmul.simd", 1);
+  // Transposed operands are packed contiguous (arena scratch) so the
+  // blocked kernel always runs on unit-stride rows.
+  ArenaBuffer apack, bpack;
+  const float* aeff = a;
+  const float* beff = b;
+  if (s.trans_a) {
+    apack = ArenaBuffer(Arena::Global(), s.m * s.k);
+    PackTranspose(a, s.k, s.m, apack.data());
+    aeff = apack.data();
+  }
+  if (s.trans_b) {
+    bpack = ArenaBuffer(Arena::Global(), s.k * s.n);
+    PackTranspose(b, s.n, s.k, bpack.data());
+    beff = bpack.data();
+  }
+  GemmRowMajor(s.m, s.n, s.k, aeff, s.k, beff, s.n, c, s.n, s.accumulate);
+}
+
+}  // namespace
+
+bool SimdKernelsUseAvx2() { return MicroKernels().avx2; }
+
+void RegisterSimdKernels() {
+  static const bool registered = [] {
+    RegisterKernelFn<Conv1dFwdFn>("conv1d_fwd", "simd", SimdConv1dFwd);
+    RegisterKernelFn<Conv1dBwdFn>("conv1d_bwd", "simd", SimdConv1dBwd);
+    RegisterKernelFn<Conv2dFwdFn>("conv2d_fwd", "simd", SimdConv2dFwd);
+    RegisterKernelFn<Conv2dBwdFn>("conv2d_bwd", "simd", SimdConv2dBwd);
+    RegisterKernelFn<Conv3dFwdFn>("conv3d_fwd", "simd", SimdConv3dFwd);
+    RegisterKernelFn<Conv3dBwdFn>("conv3d_bwd", "simd", SimdConv3dBwd);
+    RegisterKernelFn<MatMulFn>("matmul", "simd", SimdMatMul);
+    ET_METRIC_GAUGE_SET("backend.simd.avx2", SimdKernelsUseAvx2() ? 1.0 : 0.0);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace backend
+}  // namespace equitensor

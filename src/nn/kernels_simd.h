@@ -1,0 +1,34 @@
+#ifndef EQUITENSOR_NN_KERNELS_SIMD_H_
+#define EQUITENSOR_NN_KERNELS_SIMD_H_
+
+#include <cstdint>
+
+namespace equitensor {
+namespace backend {
+
+/// Registers the `simd` kernel set: conv1d/2d/3d forward and backward
+/// lowered to im2col + blocked GEMM, and the GEMM itself with an
+/// AVX2/FMA 6x16 micro-kernel (runtime cpu dispatch; portable blocked
+/// fallback elsewhere). All scratch — im2col matrices, transpose
+/// packs — is leased from util/arena, so steady-state execution does
+/// no heap allocation. Idempotent; called by the registry on first
+/// use.
+void RegisterSimdKernels();
+
+/// True when the AVX2/FMA micro-kernel was selected at startup; false
+/// means the portable blocked fallback is in use.
+bool SimdKernelsUseAvx2();
+
+/// Blocked row-major single-precision GEMM, exposed for tests and
+/// benches: C[m, n] = A[m, k] · B[k, n] (+= when `accumulate`).
+/// Deterministic for any thread count: the block grid is a pure
+/// function of (m, n, k) and every C element accumulates in a fixed
+/// serial k order.
+void GemmRowMajor(int64_t m, int64_t n, int64_t k, const float* a,
+                  int64_t lda, const float* b, int64_t ldb, float* c,
+                  int64_t ldc, bool accumulate);
+
+}  // namespace backend
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_NN_KERNELS_SIMD_H_

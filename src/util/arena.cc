@@ -1,0 +1,123 @@
+#include "util/arena.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace equitensor {
+namespace {
+
+// Smallest size class: below this every request shares one class so a
+// spray of tiny scratch requests cannot fragment the free lists.
+constexpr int64_t kMinClass = 256;
+
+int64_t SizeClassFor(int64_t count) {
+  int64_t c = kMinClass;
+  while (c < count) c <<= 1;
+  return c;
+}
+
+}  // namespace
+
+Arena& Arena::Global() {
+  static Arena* arena = new Arena();  // never destroyed
+  return *arena;
+}
+
+void Arena::AlignedFree::operator()(float* p) const { std::free(p); }
+
+Arena::Buf Arena::AcquireRaw(int64_t count, int64_t* size_class) {
+  ET_CHECK_GT(count, 0) << "arena acquire of empty buffer";
+  const int64_t cls = SizeClassFor(count);
+  *size_class = cls;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.outstanding;
+  auto it = free_.find(cls);
+  if (it != free_.end() && !it->second.empty()) {
+    Buf buf = std::move(it->second.back());
+    it->second.pop_back();
+    ++stats_.reuses;
+    ET_METRIC_COUNTER_ADD("arena.reuses", 1);
+    return buf;
+  }
+  ++stats_.allocations;
+  stats_.bytes_reserved += static_cast<uint64_t>(cls) * sizeof(float);
+  ET_METRIC_COUNTER_ADD("arena.allocations", 1);
+  ET_METRIC_GAUGE_SET("arena.bytes_reserved",
+                      static_cast<double>(stats_.bytes_reserved));
+  // Size classes are powers of two >= 256 floats, so the byte count is
+  // a multiple of the 64-byte alignment as aligned_alloc requires.
+  float* raw = static_cast<float*>(
+      std::aligned_alloc(64, static_cast<size_t>(cls) * sizeof(float)));
+  ET_CHECK(raw != nullptr) << "arena allocation failed";
+  return Buf(raw);
+}
+
+void Arena::Release(Buf buf, int64_t size_class) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The free-list vector keeps its capacity across pop/push, so a
+  // steady-state release is pointer moves only — no heap traffic.
+  free_[size_class].push_back(std::move(buf));
+  ET_CHECK_GT(stats_.outstanding, 0u);
+  --stats_.outstanding;
+}
+
+Arena::Stats Arena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Arena::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.clear();
+  const uint64_t outstanding = stats_.outstanding;
+  stats_ = Stats{};
+  stats_.outstanding = outstanding;
+}
+
+ArenaBuffer::ArenaBuffer(Arena& arena, int64_t count)
+    : arena_(&arena), count_(count) {
+  buf_ = arena.AcquireRaw(count, &size_class_);
+}
+
+ArenaBuffer::~ArenaBuffer() {
+  if (arena_ != nullptr && buf_ != nullptr) {
+    arena_->Release(std::move(buf_), size_class_);
+  }
+}
+
+ArenaBuffer::ArenaBuffer(ArenaBuffer&& other) noexcept
+    : arena_(other.arena_),
+      buf_(std::move(other.buf_)),
+      count_(other.count_),
+      size_class_(other.size_class_) {
+  other.arena_ = nullptr;
+  other.count_ = 0;
+  other.size_class_ = 0;
+}
+
+ArenaBuffer& ArenaBuffer::operator=(ArenaBuffer&& other) noexcept {
+  if (this != &other) {
+    if (arena_ != nullptr && buf_ != nullptr) {
+      arena_->Release(std::move(buf_), size_class_);
+    }
+    arena_ = other.arena_;
+    buf_ = std::move(other.buf_);
+    count_ = other.count_;
+    size_class_ = other.size_class_;
+    other.arena_ = nullptr;
+    other.count_ = 0;
+    other.size_class_ = 0;
+  }
+  return *this;
+}
+
+void ArenaBuffer::Zero() {
+  if (buf_ != nullptr) {
+    std::memset(buf_.get(), 0, static_cast<size_t>(count_) * sizeof(float));
+  }
+}
+
+}  // namespace equitensor

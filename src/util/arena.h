@@ -1,0 +1,111 @@
+#ifndef EQUITENSOR_UTIL_ARENA_H_
+#define EQUITENSOR_UTIL_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace equitensor {
+
+/// Reusable scratch-buffer arena for the kernel hot paths (DESIGN.md
+/// §13). im2col lowering and GEMM packing need large per-call scratch
+/// whose size depends only on the op's shapes; shapes repeat every
+/// training step, so the arena plans each size once and then recycles:
+/// steady-state conv/GEMM execution performs zero heap allocations.
+///
+/// Model: buffers are keyed by their element count rounded up to a
+/// size class (powers of two above a small floor). `Acquire` pops a
+/// recycled buffer of the right class or mallocs a fresh one;
+/// releasing (via ArenaBuffer's destructor) pushes it back on the
+/// class free list. Contents are NOT cleared on either side — callers
+/// that need zeroed scratch must clear the span they use.
+///
+/// Thread safety: all operations take the arena mutex. Kernels
+/// acquire scratch once per op invocation (never inside ParallelFor
+/// bodies), so the lock is far off the inner-loop path.
+///
+/// Alignment: every buffer starts on a 64-byte (cache line) boundary,
+/// so vector kernels may use aligned and non-temporal stores on any
+/// offset that is a multiple of 16 floats.
+///
+/// Observability: fresh mallocs and recycled hits are counted; the
+/// allocation-count probe (tests/arena_test.cc, ctest label `unit`)
+/// asserts the steady-state training loop stops allocating after
+/// warm-up, and the counters are exported through util/metrics as
+/// `arena.allocations` / `arena.reuses` / `arena.bytes_reserved`.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Process-wide arena used by the kernel backends.
+  static Arena& Global();
+
+  struct Stats {
+    uint64_t allocations = 0;    // fresh heap allocations
+    uint64_t reuses = 0;         // acquires served from a free list
+    uint64_t bytes_reserved = 0; // total bytes ever allocated and kept
+    uint64_t outstanding = 0;    // buffers currently acquired
+  };
+
+  Stats stats() const;
+
+  /// Drops every cached buffer (outstanding ones are unaffected and
+  /// still return to the — now empty — free lists) and zeroes the
+  /// counters. Test hook; never called on the training path.
+  void ResetForTesting();
+
+  /// Deleter for the aligned allocations backing arena buffers.
+  struct AlignedFree {
+    void operator()(float* p) const;
+  };
+  using Buf = std::unique_ptr<float[], AlignedFree>;
+
+ private:
+  friend class ArenaBuffer;
+
+  Buf AcquireRaw(int64_t count, int64_t* size_class);
+  void Release(Buf buf, int64_t size_class);
+
+  mutable std::mutex mu_;
+  // size class (element count) -> idle buffers of exactly that class.
+  // The leased buffer itself travels inside ArenaBuffer, so acquire
+  // and release are free-list pops/pushes with no bookkeeping allocs.
+  std::unordered_map<int64_t, std::vector<Buf>> free_;
+  Stats stats_;
+};
+
+/// RAII lease of arena scratch: acquires `count` floats on
+/// construction, returns them to the free list on destruction.
+/// Movable, not copyable. The span is uninitialized.
+class ArenaBuffer {
+ public:
+  ArenaBuffer() = default;
+  ArenaBuffer(Arena& arena, int64_t count);
+  ~ArenaBuffer();
+  ArenaBuffer(ArenaBuffer&& other) noexcept;
+  ArenaBuffer& operator=(ArenaBuffer&& other) noexcept;
+  ArenaBuffer(const ArenaBuffer&) = delete;
+  ArenaBuffer& operator=(const ArenaBuffer&) = delete;
+
+  float* data() { return buf_.get(); }
+  const float* data() const { return buf_.get(); }
+  int64_t count() const { return count_; }
+
+  /// Sets the leased span (not the whole size class) to zero.
+  void Zero();
+
+ private:
+  Arena* arena_ = nullptr;
+  Arena::Buf buf_;
+  int64_t count_ = 0;
+  int64_t size_class_ = 0;
+};
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_ARENA_H_

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "autograd/conv_ops.h"
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "nn/backend_registry.h"
+#include "nn/kernels_simd.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace equitensor {
+namespace {
+
+// Parity suite for the kernel backend registry (DESIGN.md §13): the
+// simd (im2col + blocked GEMM) backend must match the reference scalar
+// loops within CheckTolerance on every shape — including degenerate
+// ones the blocking logic could mishandle — at any thread count, and
+// must be bitwise-deterministic across thread counts on its own.
+
+class BackendParityTest : public ::testing::Test {
+ protected:
+  ~BackendParityTest() override {
+    backend::SetBackend(backend::Backend::kParallel);
+    SetNumThreads(0);
+  }
+};
+
+void ExpectClose(const Tensor& ref, const Tensor& got, int64_t reduction,
+                 const std::string& what) {
+  ASSERT_TRUE(ref.SameShape(got)) << what;
+  const float tol = backend::CheckTolerance(reduction, ref.AbsMax());
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(ref[i] - got[i]));
+  }
+  EXPECT_LE(max_diff, tol) << what << ": max elementwise diff " << max_diff
+                           << " exceeds tolerance " << tol;
+}
+
+struct ParityCase {
+  const char* name;
+  std::vector<int64_t> x_shape;  // rank decides conv1d/2d/3d
+  std::vector<int64_t> w_shape;
+};
+
+// Shapes chosen to stress the lowering: kernel larger than the input
+// (pure padding columns in im2col), channel counts that don't divide
+// the 6x16 micro-tile (1 / 3 / 17), and batch 1 vs N.
+const ParityCase kCases[] = {
+    {"conv1d_basic", {2, 3, 8}, {4, 3, 3}},
+    {"conv1d_kernel_gt_input", {1, 1, 2}, {2, 1, 5}},
+    {"conv2d_c1", {1, 1, 5, 4}, {3, 1, 3, 3}},
+    {"conv2d_c3_batch4", {4, 3, 6, 5}, {5, 3, 3, 3}},
+    {"conv2d_c17", {2, 17, 4, 4}, {6, 17, 3, 3}},
+    {"conv2d_kernel_gt_input", {1, 2, 2, 2}, {2, 2, 5, 5}},
+    {"conv3d_c1_batch1", {1, 1, 3, 3, 3}, {1, 1, 3, 3, 3}},
+    {"conv3d_c3", {2, 3, 4, 3, 5}, {4, 3, 3, 3, 3}},
+    {"conv3d_c17", {1, 17, 3, 3, 3}, {2, 17, 3, 3, 3}},
+    {"conv3d_kernel_gt_input", {2, 2, 2, 2, 2}, {3, 2, 5, 5, 5}},
+    {"conv3d_batch5", {5, 2, 3, 4, 3}, {3, 2, 3, 3, 3}},
+};
+
+struct ConvResult {
+  Tensor y, gx, gw;
+};
+
+// Runs forward + full backward (upstream gradient = 1) for one case on
+// the currently selected backend.
+ConvResult RunConv(const ParityCase& c, unsigned seed) {
+  Rng rng(seed);
+  Tensor x = Tensor::RandomUniform(c.x_shape, rng, -1.0f, 1.0f);
+  Tensor w = Tensor::RandomUniform(c.w_shape, rng, -1.0f, 1.0f);
+  Variable xv(x, true);
+  Variable wv(w, true);
+  Variable y;
+  switch (static_cast<int>(c.x_shape.size())) {
+    case 3:
+      y = ag::Conv1d(xv, wv);
+      break;
+    case 4:
+      y = ag::Conv2d(xv, wv);
+      break;
+    default:
+      y = ag::Conv3d(xv, wv);
+      break;
+  }
+  Variable loss = ag::SumAll(y);
+  Backward(loss);
+  return {y.value(), xv.grad(), wv.grad()};
+}
+
+int64_t ReductionFor(const ParityCase& c) {
+  int64_t r = c.w_shape[1];
+  for (size_t i = 2; i < c.w_shape.size(); ++i) r *= c.w_shape[i];
+  return r;
+}
+
+TEST_F(BackendParityTest, SimdMatchesReferenceAcrossShapesAndThreads) {
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    for (const ParityCase& c : kCases) {
+      backend::SetBackend(backend::Backend::kReference);
+      const ConvResult ref = RunConv(c, 99);
+      backend::SetBackend(backend::Backend::kSimd);
+      const ConvResult simd = RunConv(c, 99);
+      const std::string tag =
+          std::string(c.name) + " @" + std::to_string(threads) + "t";
+      const int64_t red = ReductionFor(c);
+      ExpectClose(ref.y, simd.y, red, tag + " forward");
+      // gx reduces over cout * k^d; gw over batch * spatial. Use the
+      // larger so one bound covers both.
+      const int64_t bwd_red =
+          std::max<int64_t>(red * c.w_shape[0] / c.w_shape[1],
+                            ref.gx.size() / c.x_shape[1]);
+      ExpectClose(ref.gx, simd.gx, bwd_red, tag + " gx");
+      ExpectClose(ref.gw, simd.gw, bwd_red, tag + " gw");
+    }
+  }
+}
+
+TEST_F(BackendParityTest, SimdBitwiseDeterministicAcrossThreadCounts) {
+  backend::SetBackend(backend::Backend::kSimd);
+  SetNumThreads(1);
+  const ConvResult base = RunConv(kCases[7], 123);  // conv3d_c3
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    const ConvResult got = RunConv(kCases[7], 123);
+    const auto expect_bitwise = [threads](const Tensor& want, const Tensor& have,
+                                          const char* what) {
+      ASSERT_EQ(want.size(), have.size());
+      ASSERT_EQ(std::memcmp(want.data(), have.data(),
+                            sizeof(float) * want.size()),
+                0)
+          << what << " not bitwise at " << threads << " threads";
+    };
+    expect_bitwise(base.y, got.y, "forward");
+    expect_bitwise(base.gx, got.gx, "gx");
+    expect_bitwise(base.gw, got.gw, "gw");
+  }
+}
+
+TEST_F(BackendParityTest, GradCheckThroughSimdBackward) {
+  backend::SetBackend(backend::Backend::kSimd);
+  Rng rng(7);
+  Tensor x = Tensor::RandomUniform({1, 2, 3, 3, 4}, rng, -1.0f, 1.0f);
+  Tensor w = Tensor::RandomUniform({2, 2, 3, 3, 3}, rng, -0.5f, 0.5f);
+  const auto fn = [](std::vector<Variable>& v) {
+    return ag::SumAll(ag::Sigmoid(ag::Conv3d(v[0], v[1])));
+  };
+  const auto result = CheckGradients(fn, {x, w}, {true, true});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST_F(BackendParityTest, GradCheckThroughSimdMatMul) {
+  backend::SetBackend(backend::Backend::kSimd);
+  Rng rng(8);
+  Tensor a = Tensor::RandomUniform({5, 7}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::RandomUniform({7, 4}, rng, -1.0f, 1.0f);
+  const auto fn = [](std::vector<Variable>& v) {
+    return ag::SumAll(ag::Sigmoid(ag::MatMul(v[0], v[1])));
+  };
+  const auto result = CheckGradients(fn, {a, b}, {true, true});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST_F(BackendParityTest, MatMulParityIncludingTransposedOperands) {
+  Rng rng(31);
+  // Odd sizes so both the 6-row and 16-column micro-tile edges run.
+  const int64_t m = 23, k = 19, n = 37;
+  Tensor a = Tensor::RandomUniform({m, k}, rng, -1.0f, 1.0f);
+  Tensor b = Tensor::RandomUniform({k, n}, rng, -1.0f, 1.0f);
+  Tensor at = Transpose2d(a);
+  Tensor bt = Transpose2d(b);
+  const backend::MatMulSpec specs[] = {
+      {m, k, n, false, false, false},
+      {m, k, n, false, true, false},
+      {m, k, n, true, false, false},
+      {m, k, n, true, true, false},
+      {m, k, n, false, false, true},
+  };
+  for (const backend::MatMulSpec& spec : specs) {
+    const float* pa = spec.trans_a ? at.data() : a.data();
+    const float* pb = spec.trans_b ? bt.data() : b.data();
+    Tensor ref({m, n}, spec.accumulate ? 0.5f : 0.0f);
+    Tensor simd({m, n}, spec.accumulate ? 0.5f : 0.0f);
+    backend::ResolveKernelFn<backend::MatMulFn>("matmul", "reference")(
+        spec, pa, pb, ref.data());
+    backend::ResolveKernelFn<backend::MatMulFn>("matmul", "simd")(
+        spec, pa, pb, simd.data());
+    ExpectClose(ref, simd, k,
+                std::string("matmul ta=") + (spec.trans_a ? "1" : "0") +
+                    " tb=" + (spec.trans_b ? "1" : "0") +
+                    " acc=" + (spec.accumulate ? "1" : "0"));
+  }
+}
+
+TEST_F(BackendParityTest, GemmRowMajorMatchesNaiveOnTileEdges) {
+  Rng rng(57);
+  for (int64_t m : {1, 5, 6, 7, 96, 97}) {
+    for (int64_t n : {1, 15, 16, 17, 240}) {
+      const int64_t k = 33;
+      Tensor a = Tensor::RandomUniform({m, k}, rng, -1.0f, 1.0f);
+      Tensor b = Tensor::RandomUniform({k, n}, rng, -1.0f, 1.0f);
+      Tensor c({m, n});
+      backend::GemmRowMajor(m, n, k, a.data(), k, b.data(), n, c.data(), n,
+                            /*accumulate=*/false);
+      Tensor ref = MatMul(a, b);
+      ExpectClose(ref, c,
+                  k, "gemm " + std::to_string(m) + "x" + std::to_string(n));
+    }
+  }
+}
+
+TEST_F(BackendParityTest, CheckModeRunsAndKeepsSimdResult) {
+  backend::SetBackend(backend::Backend::kCheck);
+  SetNumThreads(2);
+  for (const ParityCase& c : {kCases[3], kCases[7]}) {
+    const ConvResult got = RunConv(c, 11);  // aborts on divergence
+    backend::SetBackend(backend::Backend::kSimd);
+    const ConvResult simd = RunConv(c, 11);
+    backend::SetBackend(backend::Backend::kCheck);
+    for (int64_t i = 0; i < got.y.size(); ++i) {
+      ASSERT_EQ(got.y[i], simd.y[i]) << "check mode must keep the simd result";
+    }
+  }
+}
+
+TEST_F(BackendParityTest, RegistryListsAllBuiltinKernels) {
+  const auto kernels = backend::ListKernels();
+  const char* ops[] = {"conv1d_fwd", "conv1d_bwd", "conv2d_fwd", "conv2d_bwd",
+                       "conv3d_fwd", "conv3d_bwd", "matmul"};
+  const char* backends[] = {"reference", "parallel", "simd"};
+  for (const char* op : ops) {
+    for (const char* be : backends) {
+      bool found = false;
+      for (const auto& [k_op, k_be] : kernels) {
+        found |= (k_op == op && k_be == be);
+      }
+      EXPECT_TRUE(found) << op << "/" << be << " not registered";
+    }
+  }
+}
+
+TEST_F(BackendParityTest, ParseBackendRoundTrips) {
+  backend::Backend b;
+  for (const char* name : {"reference", "parallel", "simd", "check"}) {
+    ASSERT_TRUE(backend::ParseBackend(name, &b));
+    EXPECT_STREQ(backend::BackendName(b), name);
+  }
+  EXPECT_FALSE(backend::ParseBackend("cuda", &b));
+}
+
+}  // namespace
+}  // namespace equitensor

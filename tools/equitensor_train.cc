@@ -15,6 +15,7 @@
 #include "core/telemetry.h"
 #include "core/telemetry_server.h"
 #include "data/generators.h"
+#include "nn/backend_registry.h"
 #include "nn/serialize.h"
 #include "util/ascii_map.h"
 #include "util/flags.h"
@@ -90,6 +91,10 @@ int main(int argc, char** argv) {
   flags.DefineInt("threads", 0,
                   "worker threads for the parallel kernels "
                   "(0 = ET_THREADS env var, then all cores; 1 = serial)");
+  flags.DefineString("backend", "",
+                     "kernel backend: reference | parallel | simd | check "
+                     "(empty = ET_BACKEND env var, then parallel; check "
+                     "runs simd self-verified against reference)");
 
   if (!flags.Parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
@@ -106,6 +111,19 @@ int main(int argc, char** argv) {
   InstallShutdownSignalHandlers();
 
   SetNumThreads(static_cast<int>(flags.GetInt("threads")));
+  if (const std::string backend_name = flags.GetString("backend");
+      !backend_name.empty()) {
+    backend::Backend be;
+    if (!backend::ParseBackend(backend_name, &be)) {
+      std::cerr << "--backend=" << backend_name
+                << " is not a backend (reference | parallel | simd | check)\n";
+      return 2;
+    }
+    backend::SetBackend(be);
+  }
+  std::cout << "kernel backend: " << backend::BackendName(backend::CurrentBackend())
+            << (backend::SimdAcceleratorActive() ? " (avx2/fma)" : " (portable)")
+            << "\n";
   const std::string chrome_trace_path = flags.GetString("chrome_trace");
   const bool want_tracing =
       flags.GetBool("trace") || !chrome_trace_path.empty();
