@@ -139,6 +139,72 @@ if [[ "$QUICK" != 1 ]]; then
   fi
   echo "Backend check mode OK (simd vs reference parity held)."
 
+  # Serving smoke (DESIGN.md §14): train a tiny model with a serving
+  # bundle, bring up equitensor_serve under the sanitizers, validate
+  # /healthz, /metrics, and a real /predict with scrape_check, then
+  # SIGHUP hot-reload and require a second predict from generation 2.
+  # SIGINT must end the daemon with exit 0.
+  echo "=== serving daemon smoke test ==="
+  SERVE_LOG="$(mktemp)"
+  SERVE_CKPT="$(mktemp -u).etck"
+  "$BUILD_DIR"/tools/equitensor_train \
+    --width=6 --height=5 --days=6 --epochs=2 --steps=2 --batch=2 \
+    --output_z="$(mktemp -u).etck" --output_serving="$SERVE_CKPT" >/dev/null
+  "$BUILD_DIR"/tools/equitensor_serve --checkpoint="$SERVE_CKPT" --port=0 \
+    --task_epochs=1 --task_steps=4 >"$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  SERVE_PORT=""
+  for _ in $(seq 1 300); do
+    SERVE_PORT="$(sed -n 's/^Serving on port \([0-9]*\)$/\1/p' "$SERVE_LOG")"
+    [[ -n "$SERVE_PORT" ]] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+      echo "check.sh: serving daemon died before binding its port" >&2
+      cat "$SERVE_LOG" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  if [[ -z "$SERVE_PORT" ]]; then
+    echo "check.sh: serving daemon never printed its port" >&2
+    cat "$SERVE_LOG" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  SERVE_OK=1
+  "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" --path=/healthz \
+    --format=text --expect_status=200 || SERVE_OK=0
+  "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" --path=/metrics \
+    --format=prom || SERVE_OK=0
+  # The smoke bundle has >24 target hours, so t=25 is always in range.
+  "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" \
+    --path='/predict?t=25' --format=json || SERVE_OK=0
+  kill -HUP "$SERVE_PID"
+  RELOADED=""
+  for _ in $(seq 1 300); do
+    grep -q "Reloaded generation 2" "$SERVE_LOG" && { RELOADED=1; break; }
+    sleep 0.2
+  done
+  if [[ -z "$RELOADED" ]]; then
+    echo "check.sh: SIGHUP hot reload never completed" >&2
+    cat "$SERVE_LOG" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" \
+    --path='/predict?t=25' --format=json || SERVE_OK=0
+  kill -INT "$SERVE_PID"
+  if ! wait "$SERVE_PID"; then
+    echo "check.sh: serving daemon exited non-zero after SIGINT" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  if [[ "$SERVE_OK" != 1 ]]; then
+    echo "check.sh: serving endpoint smoke test failed" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  echo "Serving daemon OK (port $SERVE_PORT, hot reload to generation 2)."
+
   # Bench smoke: the kernel benchmarks double as integration coverage
   # for the simd hot paths (packed GEMM, fused conv forward, arena
   # leases) under ASan+UBSan. One short pass over the Simd benches —

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# End-to-end serving parity + hot-reload exercise (DESIGN.md §14).
+#
+# Trains a tiny EquiTensor with --output_serving, starts TWO daemons
+# from the same bundle — one coalescing up to 8 /predict requests per
+# forward pass, one strictly unbatched — drives both with loadgen
+# --dump, and requires the response bodies to be byte-identical: the
+# batching layer must be bitwise-transparent. Then SIGHUPs the batched
+# daemon, waits for generation 2, and checks it still answers.
+#
+# Invoked by ctest (serving_e2e, labels integration;net) with
+# TRAIN_BIN/SERVE_BIN/LOADGEN_BIN pointing at the built tools.
+set -euo pipefail
+
+TRAIN_BIN=${TRAIN_BIN:?set TRAIN_BIN to equitensor_train}
+SERVE_BIN=${SERVE_BIN:?set SERVE_BIN to equitensor_serve}
+LOADGEN_BIN=${LOADGEN_BIN:?set LOADGEN_BIN to loadgen}
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in ${pids[@]+"${pids[@]}"}; do kill -INT "$pid" 2>/dev/null || true; done
+  for pid in ${pids[@]+"${pids[@]}"}; do wait "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== train tiny model -> serving bundle =="
+"$TRAIN_BIN" --days=6 --epochs=1 --steps=2 --batch=2 \
+  --output_z="$workdir/z.etck" --output_serving="$workdir/serving.etck" \
+  >"$workdir/train.log" 2>&1 || { cat "$workdir/train.log"; exit 1; }
+
+# start_server <name> <extra flags...>; sets <name>_pid and <name>_port.
+start_server() {
+  local name=$1; shift
+  "$SERVE_BIN" --checkpoint="$workdir/serving.etck" --port=0 \
+    --task_epochs=1 --task_steps=4 "$@" >"$workdir/$name.log" 2>&1 &
+  local pid=$!
+  pids+=("$pid")
+  local port=""
+  for _ in $(seq 1 300); do
+    port=$(sed -n 's/^Serving on port \([0-9]*\)$/\1/p' "$workdir/$name.log" | head -n1)
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "$name daemon died:"; cat "$workdir/$name.log"; exit 1
+    fi
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "$name never printed its port"; cat "$workdir/$name.log"; exit 1; }
+  eval "${name}_pid=$pid"
+  eval "${name}_port=$port"
+  echo "   $name on port $port (pid $pid)"
+}
+
+echo "== start batched + unbatched daemons =="
+start_server batched --max_batch=8 --batch_window_ms=5
+start_server unbatched --max_batch=1
+
+echo "== drive both, compare dumps bitwise =="
+"$LOADGEN_BIN" --port="$batched_port" --threads=4 --requests=25 --post \
+  --embed_every=5 --dump="$workdir/batched.dump" \
+  --out="$workdir/batched.json" >"$workdir/loadgen_batched.log" 2>&1 \
+  || { cat "$workdir/loadgen_batched.log"; exit 1; }
+"$LOADGEN_BIN" --port="$unbatched_port" --threads=4 --requests=25 \
+  --dump="$workdir/unbatched.dump" >"$workdir/loadgen_unbatched.log" 2>&1 \
+  || { cat "$workdir/loadgen_unbatched.log"; exit 1; }
+# Same (thread, request) -> t schedule on both sides, so the dumps
+# must already agree line for line; sorting only guards against
+# different thread interleavings of identical content.
+LC_ALL=C sort "$workdir/batched.dump" >"$workdir/batched.sorted"
+LC_ALL=C sort "$workdir/unbatched.dump" >"$workdir/unbatched.sorted"
+if ! cmp -s "$workdir/batched.sorted" "$workdir/unbatched.sorted"; then
+  echo "FAIL: batched and unbatched /predict responses differ"
+  diff "$workdir/batched.sorted" "$workdir/unbatched.sorted" | head -5
+  exit 1
+fi
+grep -q '"batches":' "$workdir/batched.json" || { echo "no batch stats"; exit 1; }
+
+echo "== SIGHUP hot reload on the batched daemon =="
+kill -HUP "$batched_pid"
+reloaded=""
+for _ in $(seq 1 300); do
+  if grep -q "Reloaded generation 2" "$workdir/batched.log"; then
+    reloaded=yes; break
+  fi
+  sleep 0.1
+done
+[ -n "$reloaded" ] || { echo "reload never completed"; cat "$workdir/batched.log"; exit 1; }
+
+echo "== post-reload predictions still serve =="
+"$LOADGEN_BIN" --port="$batched_port" --threads=1 --requests=3 \
+  >"$workdir/loadgen_after.log" 2>&1 || { cat "$workdir/loadgen_after.log"; exit 1; }
+grep -q '"generation":2' "$workdir/loadgen_after.log" \
+  || { echo "post-reload responses are not generation 2"; cat "$workdir/loadgen_after.log"; exit 1; }
+
+echo "== clean shutdown =="
+for pid in "$batched_pid" "$unbatched_pid"; do
+  kill -INT "$pid"
+  wait "$pid" || { echo "daemon $pid exited non-zero"; exit 1; }
+done
+pids=()
+echo "serving_e2e OK"

@@ -10,25 +10,6 @@ namespace equitensor {
 namespace core {
 namespace {
 
-// Stacks target history windows ending at (exclusive) hours `t0s` into
-// [N, 1, W, H, history].
-Tensor StackHistory(const Tensor& target, const std::vector<int64_t>& t0s,
-                    int64_t history) {
-  const int64_t w = target.dim(0), h = target.dim(1), t = target.dim(2);
-  const int64_t n = static_cast<int64_t>(t0s.size());
-  Tensor out({n, 1, w, h, history});
-  for (int64_t b = 0; b < n; ++b) {
-    const int64_t t0 = t0s[static_cast<size_t>(b)];
-    ET_CHECK(t0 - history >= 0 && t0 <= t);
-    for (int64_t row = 0; row < w * h; ++row) {
-      const float* src = target.data() + row * t + (t0 - history);
-      float* dst = out.data() + (b * w * h + row) * history;
-      std::copy(src, src + history, dst);
-    }
-  }
-  return out;
-}
-
 // Mean of target[..., t0+1 .. t0+horizon] as [N, 1, W, H].
 Tensor StackLabels(const Tensor& target, const std::vector<int64_t>& t0s,
                    int64_t horizon) {
@@ -49,9 +30,28 @@ Tensor StackLabels(const Tensor& target, const std::vector<int64_t>& t0s,
   return out;
 }
 
-// Stacks exo snapshots at target hours t0+1 into [N, E, W, H].
-Tensor StackExo(const ExoProvider& exo, const std::vector<int64_t>& t0s,
-                int64_t w, int64_t h) {
+}  // namespace
+
+Tensor StackTargetHistory(const Tensor& target,
+                          const std::vector<int64_t>& t0s, int64_t history) {
+  const int64_t w = target.dim(0), h = target.dim(1), t = target.dim(2);
+  const int64_t n = static_cast<int64_t>(t0s.size());
+  Tensor out({n, 1, w, h, history});
+  for (int64_t b = 0; b < n; ++b) {
+    const int64_t t0 = t0s[static_cast<size_t>(b)];
+    ET_CHECK(t0 - history >= 0 && t0 <= t);
+    for (int64_t row = 0; row < w * h; ++row) {
+      const float* src = target.data() + row * t + (t0 - history);
+      float* dst = out.data() + (b * w * h + row) * history;
+      std::copy(src, src + history, dst);
+    }
+  }
+  return out;
+}
+
+Tensor StackExoSnapshots(const ExoProvider& exo,
+                         const std::vector<int64_t>& t0s, int64_t w,
+                         int64_t h) {
   const int64_t n = static_cast<int64_t>(t0s.size());
   const int64_t e = exo.channels();
   Tensor out({n, e, w, h});
@@ -63,8 +63,6 @@ Tensor StackExo(const ExoProvider& exo, const std::vector<int64_t>& t0s,
   }
   return out;
 }
-
-}  // namespace
 
 ChannelNorm ComputeChannelNorm(const float* values, int64_t count) {
   double sum = 0.0, sq = 0.0;
@@ -174,48 +172,61 @@ void RepresentationExoProvider::Snapshot(int64_t t, Tensor* out) const {
   }
 }
 
-GridTaskResult RunGridTask(const Tensor& target, float scale,
-                           const Tensor& sensitive_map,
-                           const ExoProvider* exo,
-                           const GridTaskConfig& config) {
+TrainedGridPredictor TrainGridPredictor(const Tensor& target,
+                                        const ExoProvider* exo,
+                                        const GridTaskConfig& config) {
   ET_CHECK_EQ(target.rank(), 3);
   const int64_t w = target.dim(0), h = target.dim(1), t = target.dim(2);
 
   // Usable last-observed hours: history available before, horizon
   // after, and exo features must cover the target hour.
-  int64_t t_limit = t - config.horizon;
-  if (exo != nullptr) t_limit = std::min(t_limit, exo->horizon() - 1);
-  const int64_t t_min = config.history;
-  ET_CHECK_GT(t_limit, t_min) << "horizon too short for the task setup";
-  const int64_t train_end =
-      t_min + static_cast<int64_t>(config.train_fraction *
-                                   static_cast<double>(t_limit - t_min));
+  TrainedGridPredictor out;
+  out.t_limit = t - config.horizon;
+  if (exo != nullptr) out.t_limit = std::min(out.t_limit, exo->horizon() - 1);
+  out.t_min = config.history;
+  ET_CHECK_GT(out.t_limit, out.t_min) << "horizon too short for the task setup";
+  out.train_end = out.t_min +
+                  static_cast<int64_t>(config.train_fraction *
+                                       static_cast<double>(out.t_limit -
+                                                           out.t_min));
 
   Rng rng(config.seed);
-  models::GridPredictor model(config.predictor,
-                              exo ? exo->channels() : 0, rng);
-  nn::Adam optimizer(model.Parameters(), config.optimizer);
+  out.model = std::make_unique<models::GridPredictor>(
+      config.predictor, exo ? exo->channels() : 0, rng);
+  nn::Adam optimizer(out.model->Parameters(), config.optimizer);
 
-  // Training loop.
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     for (int64_t step = 0; step < config.steps_per_epoch; ++step) {
       std::vector<int64_t> t0s;
       for (int64_t b = 0; b < config.batch_size; ++b) {
-        t0s.push_back(t_min + static_cast<int64_t>(rng.UniformInt(
-                                  static_cast<uint64_t>(train_end - t_min))));
+        t0s.push_back(out.t_min +
+                      static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(
+                          out.train_end - out.t_min))));
       }
-      Variable history(StackHistory(target, t0s, config.history), false);
+      Variable history(StackTargetHistory(target, t0s, config.history), false);
       Variable exo_batch;
       if (exo != nullptr) {
-        exo_batch = Variable(StackExo(*exo, t0s, w, h), false);
+        exo_batch = Variable(StackExoSnapshots(*exo, t0s, w, h), false);
       }
       const Tensor labels = StackLabels(target, t0s, config.horizon);
-      Variable pred = model.Forward(history, exo_batch);
+      Variable pred = out.model->Forward(history, exo_batch);
       Variable loss = ag::MaeAgainst(pred, labels);
       Backward(loss);
       optimizer.Step();
     }
   }
+  return out;
+}
+
+GridTaskResult RunGridTask(const Tensor& target, float scale,
+                           const Tensor& sensitive_map,
+                           const ExoProvider* exo,
+                           const GridTaskConfig& config) {
+  const int64_t w = target.dim(0), h = target.dim(1);
+  TrainedGridPredictor trained = TrainGridPredictor(target, exo, config);
+  const models::GridPredictor& model = *trained.model;
+  const int64_t train_end = trained.train_end;
+  const int64_t t_limit = trained.t_limit;
 
   // Held-out evaluation over the tail, stride-sampled.
   GridTaskResult result;
@@ -223,10 +234,10 @@ GridTaskResult RunGridTask(const Tensor& target, float scale,
   double total_mae = 0.0;
   for (int64_t t0 = train_end; t0 < t_limit; t0 += config.eval_stride) {
     const std::vector<int64_t> t0s = {t0};
-    Variable history(StackHistory(target, t0s, config.history), false);
+    Variable history(StackTargetHistory(target, t0s, config.history), false);
     Variable exo_batch;
     if (exo != nullptr) {
-      exo_batch = Variable(StackExo(*exo, t0s, w, h), false);
+      exo_batch = Variable(StackExoSnapshots(*exo, t0s, w, h), false);
     }
     const Tensor labels = StackLabels(target, t0s, config.horizon);
     Variable pred = model.Forward(history, exo_batch);

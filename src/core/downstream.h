@@ -96,6 +96,37 @@ struct GridTaskResult {
   int64_t eval_samples = 0;
 };
 
+/// Stacks target history windows ending at (exclusive) hours `t0s`
+/// into [N, 1, W, H, history]. Shared by training, evaluation, and
+/// the serving daemon's batched forward path (DESIGN.md §14): a batch
+/// of requests is exactly a longer `t0s`.
+Tensor StackTargetHistory(const Tensor& target,
+                          const std::vector<int64_t>& t0s, int64_t history);
+
+/// Stacks exo snapshots at target hours t0+1 into [N, E, W, H].
+Tensor StackExoSnapshots(const ExoProvider& exo,
+                         const std::vector<int64_t>& t0s, int64_t w,
+                         int64_t h);
+
+/// A predictor trained by TrainGridPredictor, plus the hour ranges it
+/// was trained under (t_min/train_end/t_limit as computed from the
+/// target horizon, the task config, and the exo provider).
+struct TrainedGridPredictor {
+  std::unique_ptr<models::GridPredictor> model;
+  int64_t t_min = 0;
+  int64_t train_end = 0;
+  int64_t t_limit = 0;
+};
+
+/// Trains a GridPredictor on `target` with the features of `exo`
+/// (nullptr = no exogenous features), deterministically in
+/// `config.seed`. This is the training half of RunGridTask, exposed so
+/// the serving daemon can fit the downstream head once at
+/// checkpoint-load time and then serve forward passes from it.
+TrainedGridPredictor TrainGridPredictor(const Tensor& target,
+                                        const ExoProvider* exo,
+                                        const GridTaskConfig& config);
+
 /// Trains a GridPredictor on `target` ([W, H, T], max-abs scaled, with
 /// `scale` mapping back to raw counts) using the features of `exo`
 /// (nullptr = the "No exogenous data" baseline), then evaluates MAE

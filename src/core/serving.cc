@@ -1,0 +1,857 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "nn/serialize.h"
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/prom.h"
+#include "util/trace.h"
+
+namespace equitensor {
+namespace core {
+namespace {
+
+constexpr char kServingFormat[] = "equitensor.serving.v1";
+
+const char* KindName(data::DatasetKind kind) {
+  switch (kind) {
+    case data::DatasetKind::kTemporal:
+      return "temporal";
+    case data::DatasetKind::kSpatial:
+      return "spatial";
+    case data::DatasetKind::kSpatioTemporal:
+      return "spatiotemporal";
+  }
+  return "temporal";
+}
+
+bool KindFromName(const std::string& name, data::DatasetKind* kind) {
+  if (name == "temporal") {
+    *kind = data::DatasetKind::kTemporal;
+  } else if (name == "spatial") {
+    *kind = data::DatasetKind::kSpatial;
+  } else if (name == "spatiotemporal") {
+    *kind = data::DatasetKind::kSpatioTemporal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+JsonValue FiltersToJson(const std::vector<int64_t>& filters) {
+  JsonValue array = JsonValue::Array();
+  for (int64_t f : filters) array.Append(JsonValue::Int(f));
+  return array;
+}
+
+bool FiltersFromJson(const JsonValue* value, std::vector<int64_t>* filters) {
+  if (value == nullptr || value->type() != JsonValue::Type::kArray) {
+    return false;
+  }
+  filters->clear();
+  for (const JsonValue& item : value->items()) {
+    if (item.type() != JsonValue::Type::kNumber) return false;
+    filters->push_back(item.int_value());
+  }
+  return true;
+}
+
+JsonValue CdaeConfigToJson(const models::CdaeConfig& config) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("grid_w", JsonValue::Int(config.grid_w));
+  doc.Set("grid_h", JsonValue::Int(config.grid_h));
+  doc.Set("window", JsonValue::Int(config.window));
+  doc.Set("latent_channels", JsonValue::Int(config.latent_channels));
+  doc.Set("encoder_filters", FiltersToJson(config.encoder_filters));
+  doc.Set("shared_filters", FiltersToJson(config.shared_filters));
+  doc.Set("decoder_filters", FiltersToJson(config.decoder_filters));
+  doc.Set("kernel", JsonValue::Int(config.kernel));
+  doc.Set("corruption", JsonValue::Number(config.corruption));
+  doc.Set("disentangle", JsonValue::Bool(config.disentangle));
+  return doc;
+}
+
+bool CdaeConfigFromJson(const std::string& text, models::CdaeConfig* config,
+                        std::string* error) {
+  JsonValue doc;
+  if (!JsonValue::Parse(text, &doc, error)) return false;
+  const auto require_int = [&doc](const char* key, int64_t* out) {
+    const JsonValue* value = doc.Find(key);
+    if (value == nullptr || value->type() != JsonValue::Type::kNumber) {
+      return false;
+    }
+    *out = value->int_value();
+    return true;
+  };
+  if (!require_int("grid_w", &config->grid_w) ||
+      !require_int("grid_h", &config->grid_h) ||
+      !require_int("window", &config->window) ||
+      !require_int("latent_channels", &config->latent_channels) ||
+      !require_int("kernel", &config->kernel) ||
+      !FiltersFromJson(doc.Find("encoder_filters"),
+                       &config->encoder_filters) ||
+      !FiltersFromJson(doc.Find("shared_filters"), &config->shared_filters) ||
+      !FiltersFromJson(doc.Find("decoder_filters"),
+                       &config->decoder_filters)) {
+    if (error) *error = "serving.cdae_config is missing required fields";
+    return false;
+  }
+  if (const JsonValue* value = doc.Find("corruption");
+      value != nullptr && value->type() == JsonValue::Type::kNumber) {
+    config->corruption = value->number();
+  }
+  if (const JsonValue* value = doc.Find("disentangle");
+      value != nullptr && value->type() == JsonValue::Type::kBool) {
+    config->disentangle = value->bool_value();
+  }
+  return true;
+}
+
+JsonValue SpecsToJson(const std::vector<models::DatasetSpec>& specs) {
+  JsonValue array = JsonValue::Array();
+  for (const models::DatasetSpec& spec : specs) {
+    JsonValue item = JsonValue::Object();
+    item.Set("name", JsonValue::Str(spec.name));
+    item.Set("kind", JsonValue::Str(KindName(spec.kind)));
+    item.Set("channels", JsonValue::Int(spec.channels));
+    array.Append(item);
+  }
+  return array;
+}
+
+bool SpecsFromJson(const std::string& text,
+                   std::vector<models::DatasetSpec>* specs,
+                   std::string* error) {
+  JsonValue doc;
+  if (!JsonValue::Parse(text, &doc, error)) return false;
+  if (doc.type() != JsonValue::Type::kArray) {
+    if (error) *error = "serving.specs is not an array";
+    return false;
+  }
+  specs->clear();
+  for (const JsonValue& item : doc.items()) {
+    const JsonValue* name = item.Find("name");
+    const JsonValue* kind = item.Find("kind");
+    const JsonValue* channels = item.Find("channels");
+    models::DatasetSpec spec;
+    if (name == nullptr || name->type() != JsonValue::Type::kString ||
+        kind == nullptr || kind->type() != JsonValue::Type::kString ||
+        channels == nullptr ||
+        channels->type() != JsonValue::Type::kNumber ||
+        !KindFromName(kind->str(), &spec.kind)) {
+      if (error) *error = "serving.specs entry is malformed";
+      return false;
+    }
+    spec.name = name->str();
+    spec.channels = channels->int_value();
+    specs->push_back(std::move(spec));
+  }
+  return true;
+}
+
+bool SetError(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+/// Query-string integer lookup: 0 = key absent, -1 = present but not a
+/// base-10 integer, 1 = parsed into `*out`.
+int QueryInt64(const std::string& query, const std::string& key,
+               int64_t* out) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.compare(0, eq, key) == 0) {
+      const std::string value = pair.substr(eq + 1);
+      if (value.empty()) return -1;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') return -1;
+      *out = static_cast<int64_t>(parsed);
+      return 1;
+    }
+    if (amp == query.size()) break;
+    pos = amp + 1;
+  }
+  return 0;
+}
+
+HttpResponse JsonResponse(int status, const JsonValue& doc) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json; charset=utf-8";
+  response.body = doc.Dump() + "\n";
+  return response;
+}
+
+HttpResponse JsonError(int status, const std::string& message) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("error", JsonValue::Str(message));
+  return JsonResponse(status, doc);
+}
+
+}  // namespace
+
+bool SaveServingCheckpoint(const std::string& path,
+                           const ServingArtifacts& artifacts) {
+  if (artifacts.z.rank() != 4 || artifacts.sensitive_map.rank() != 2 ||
+      artifacts.target.rank() != 3) {
+    return false;
+  }
+  nn::Checkpoint checkpoint;
+  checkpoint.tensors.emplace_back("z", artifacts.z);
+  checkpoint.tensors.emplace_back("sensitive_map", artifacts.sensitive_map);
+  checkpoint.tensors.emplace_back("target", artifacts.target);
+  checkpoint.metadata.emplace_back("serving.format", kServingFormat);
+  checkpoint.metadata.emplace_back("serving.task", artifacts.task_name);
+  checkpoint.metadata.emplace_back(
+      "serving.target_scale",
+      nn::EncodeDoubles({static_cast<double>(artifacts.target_scale)}));
+  if (artifacts.encoder != nullptr) {
+    checkpoint.metadata.emplace_back(
+        "serving.cdae_config",
+        CdaeConfigToJson(artifacts.encoder->config()).Dump());
+    checkpoint.metadata.emplace_back(
+        "serving.specs", SpecsToJson(artifacts.encoder->specs()).Dump());
+    for (const nn::NamedParameter& parameter :
+         artifacts.encoder->NamedParameters()) {
+      checkpoint.tensors.emplace_back("model." + parameter.name,
+                                      parameter.param.value());
+    }
+  }
+  return nn::SaveCheckpoint(path, checkpoint);
+}
+
+std::shared_ptr<const ServingModel> LoadServingModel(
+    const std::string& path, const GridTaskConfig& task, int64_t generation,
+    std::string* error) {
+  nn::Checkpoint checkpoint;
+  if (!nn::LoadCheckpoint(path, &checkpoint)) {
+    SetError(error, "cannot read serving checkpoint: " + path);
+    return nullptr;
+  }
+  const std::string* format = checkpoint.FindMetadata("serving.format");
+  if (format == nullptr || *format != kServingFormat) {
+    SetError(error,
+             "not a serving checkpoint (serving.format missing or unknown)");
+    return nullptr;
+  }
+  const Tensor* z = checkpoint.FindTensor("z");
+  const Tensor* sensitive = checkpoint.FindTensor("sensitive_map");
+  const Tensor* target = checkpoint.FindTensor("target");
+  if (z == nullptr || sensitive == nullptr || target == nullptr) {
+    SetError(error, "serving checkpoint is missing z/sensitive_map/target");
+    return nullptr;
+  }
+  if (z->rank() != 4) {
+    SetError(error, "z must be [K, W, H, T'], got " + z->ShapeString());
+    return nullptr;
+  }
+  const int64_t w = z->dim(1), h = z->dim(2);
+  if (sensitive->rank() != 2 || sensitive->dim(0) != w ||
+      sensitive->dim(1) != h) {
+    SetError(error, "sensitive_map shape " + sensitive->ShapeString() +
+                        " does not match z grid " + z->ShapeString());
+    return nullptr;
+  }
+  if (target->rank() != 3 || target->dim(0) != w || target->dim(1) != h) {
+    SetError(error, "target shape " + target->ShapeString() +
+                        " does not match z grid " + z->ShapeString());
+    return nullptr;
+  }
+  double scale = 1.0;
+  if (const std::string* encoded =
+          checkpoint.FindMetadata("serving.target_scale")) {
+    std::vector<double> values;
+    if (!nn::DecodeDoubles(*encoded, &values) || values.size() != 1) {
+      SetError(error, "serving.target_scale is corrupt");
+      return nullptr;
+    }
+    scale = values[0];
+  }
+  if (!std::isfinite(scale) || scale <= 0.0) {
+    SetError(error, "serving.target_scale must be finite and positive");
+    return nullptr;
+  }
+
+  std::shared_ptr<ServingModel> model(new ServingModel());
+  model->z_ = *z;
+  model->sensitive_map_ = *sensitive;
+  model->target_ = *target;
+  model->target_scale_ = static_cast<float>(scale);
+  if (const std::string* name = checkpoint.FindMetadata("serving.task")) {
+    model->task_name_ = *name;
+  }
+  model->task_ = task;
+  model->generation_ = generation;
+
+  if (const std::string* config_json =
+          checkpoint.FindMetadata("serving.cdae_config")) {
+    models::CdaeConfig config;
+    std::vector<models::DatasetSpec> specs;
+    std::string why;
+    const std::string* specs_json = checkpoint.FindMetadata("serving.specs");
+    if (!CdaeConfigFromJson(*config_json, &config, &why) ||
+        specs_json == nullptr || !SpecsFromJson(*specs_json, &specs, &why)) {
+      SetError(error, "bad encoder metadata: " +
+                          (why.empty() ? std::string("missing serving.specs")
+                                       : why));
+      return nullptr;
+    }
+    if (config.grid_w != w || config.grid_h != h ||
+        config.latent_channels != z->dim(0)) {
+      SetError(error, "encoder config does not match z shape " +
+                          z->ShapeString());
+      return nullptr;
+    }
+    Rng rng(0);  // init values are replaced by the restore below
+    model->encoder_ =
+        std::make_unique<models::CoreCdae>(config, std::move(specs), rng);
+    if (!nn::RestoreModuleFromCheckpoint(checkpoint, "model.",
+                                         model->encoder_.get())) {
+      SetError(error,
+               "encoder parameters do not match serving.cdae_config");
+      return nullptr;
+    }
+  }
+
+  model->exo_ = std::make_unique<RepresentationExoProvider>(&model->z_);
+  const int64_t target_hours = model->target_.dim(2);
+  const int64_t t_limit =
+      std::min(target_hours - task.horizon, model->exo_->horizon() - 1);
+  if (t_limit <= task.history) {
+    SetError(error, "not enough hours to fit the predictor head (history " +
+                        std::to_string(task.history) + ", usable hours " +
+                        std::to_string(t_limit) + ")");
+    return nullptr;
+  }
+  TrainedGridPredictor trained =
+      TrainGridPredictor(model->target_, model->exo_.get(), task);
+  model->predictor_ = std::move(trained.model);
+  model->predict_t_min_ = task.history;
+  model->predict_t_max_ = std::min(target_hours, model->z_.dim(3) - 2);
+  model->base_audit_ =
+      AuditRepresentation(model->z_, model->sensitive_map_);
+  return model;
+}
+
+Tensor ServingModel::Predict(const std::vector<int64_t>& t0s) const {
+  ET_CHECK(!t0s.empty()) << "Predict needs at least one hour";
+  Tensor history = StackTargetHistory(target_, t0s, task_.history);
+  Tensor exo = StackExoSnapshots(*exo_, t0s, w(), h());
+  const Variable out = predictor_->Forward(Variable(std::move(history), false),
+                                           Variable(std::move(exo), false));
+  return out.value();
+}
+
+std::vector<float> ServingModel::EmbeddingAt(int64_t cx, int64_t cy,
+                                             int64_t t) const {
+  ET_CHECK(cx >= 0 && cx < w() && cy >= 0 && cy < h() && t >= 0 &&
+           t < z_hours())
+      << "embedding coordinate out of range";
+  std::vector<float> out(static_cast<size_t>(k()));
+  for (int64_t c = 0; c < k(); ++c) {
+    out[static_cast<size_t>(c)] =
+        z_[((c * w() + cx) * h() + cy) * z_hours() + t];
+  }
+  return out;
+}
+
+FairnessSignal ServingModel::AuditSlice(int64_t t) const {
+  ET_CHECK(t >= 0 && t < z_hours()) << "audit hour out of range";
+  Tensor slice({k(), w(), h(), 1});
+  for (int64_t c = 0; c < k(); ++c) {
+    for (int64_t x = 0; x < w(); ++x) {
+      for (int64_t y = 0; y < h(); ++y) {
+        slice[(c * w() + x) * h() + y] =
+            z_[((c * w() + x) * h() + y) * z_hours() + t];
+      }
+    }
+  }
+  return AuditRepresentation(slice, sensitive_map_);
+}
+
+int64_t ServingModel::parameter_count() const {
+  int64_t count = predictor_ ? predictor_->ParameterCount() : 0;
+  if (encoder_) count += encoder_->ParameterCount();
+  return count;
+}
+
+EmbeddingCache::EmbeddingCache(size_t capacity) : capacity_(capacity) {}
+
+bool EmbeddingCache::Get(int64_t key, std::string* out) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void EmbeddingCache::Put(int64_t key, std::string value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void EmbeddingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t EmbeddingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+PredictBatcher::PredictBatcher(Options options, ModelProvider provider)
+    : options_(options), provider_(std::move(provider)) {
+  if (options_.max_batch < 1) options_.max_batch = 1;
+  if (options_.window_ms < 0) options_.window_ms = 0;
+}
+
+PredictBatcher::~PredictBatcher() { Stop(); }
+
+void PredictBatcher::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!stop_) return;
+  stop_ = false;
+  worker_ = std::thread(&PredictBatcher::Loop, this);
+}
+
+void PredictBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !worker_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (Pending& pending : leftover) {
+    PredictOutcome outcome;
+    outcome.error = "server shutting down";
+    pending.promise.set_value(std::move(outcome));
+  }
+}
+
+PredictOutcome PredictBatcher::Predict(int64_t t) {
+  // Validate against the current generation before queueing so a
+  // malformed request never occupies a batch slot (Execute re-checks
+  // against whichever generation actually runs the batch).
+  std::shared_ptr<const ServingModel> model = provider_();
+  if (!model) {
+    PredictOutcome outcome;
+    outcome.error = "no model loaded";
+    return outcome;
+  }
+  if (t < model->predict_t_min() || t > model->predict_t_max()) {
+    PredictOutcome outcome;
+    outcome.generation = model->generation();
+    outcome.error = "t out of range [" +
+                    std::to_string(model->predict_t_min()) + ", " +
+                    std::to_string(model->predict_t_max()) + "]";
+    return outcome;
+  }
+  std::future<PredictOutcome> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      PredictOutcome outcome;
+      outcome.error = "batcher not running";
+      return outcome;
+    }
+    queue_.emplace_back();
+    queue_.back().t = t;
+    future = queue_.back().promise.get_future();
+  }
+  cv_.notify_all();
+  return future.get();
+}
+
+void PredictBatcher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;  // leftovers are failed by Stop()
+    if (options_.max_batch > 1 && options_.window_ms > 0 &&
+        static_cast<int64_t>(queue_.size()) < options_.max_batch) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(options_.window_ms);
+      cv_.wait_until(lock, deadline, [this] {
+        return stop_ ||
+               static_cast<int64_t>(queue_.size()) >= options_.max_batch;
+      });
+      if (stop_) return;
+    }
+    std::vector<Pending> batch;
+    const int64_t take = std::min<int64_t>(
+        static_cast<int64_t>(queue_.size()), options_.max_batch);
+    batch.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    Execute(std::move(batch));
+    lock.lock();
+  }
+}
+
+void PredictBatcher::Execute(std::vector<Pending> batch) {
+  std::shared_ptr<const ServingModel> model = provider_();
+  std::vector<int64_t> hours;
+  std::vector<size_t> slots;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PredictOutcome outcome;
+    if (!model) {
+      outcome.error = "no model loaded";
+      batch[i].promise.set_value(std::move(outcome));
+      continue;
+    }
+    const int64_t t = batch[i].t;
+    if (t < model->predict_t_min() || t > model->predict_t_max()) {
+      outcome.generation = model->generation();
+      outcome.error = "t out of range [" +
+                      std::to_string(model->predict_t_min()) + ", " +
+                      std::to_string(model->predict_t_max()) + "]";
+      batch[i].promise.set_value(std::move(outcome));
+      continue;
+    }
+    hours.push_back(t);
+    slots.push_back(i);
+  }
+  if (hours.empty()) return;
+
+  const Tensor out = model->Predict(hours);  // [N, 1, W, H]
+  const int64_t cells = model->w() * model->h();
+  for (size_t j = 0; j < hours.size(); ++j) {
+    PredictOutcome outcome;
+    outcome.ok = true;
+    outcome.generation = model->generation();
+    outcome.grid = Tensor({model->w(), model->h()});
+    std::memcpy(outcome.grid.data(), out.data() + static_cast<int64_t>(j) * cells,
+                static_cast<size_t>(cells) * sizeof(float));
+    batch[slots[j]].promise.set_value(std::move(outcome));
+  }
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
+  requests_batched_.fetch_add(hours.size(), std::memory_order_relaxed);
+  uint64_t observed = max_batch_observed_.load(std::memory_order_relaxed);
+  while (hours.size() > observed &&
+         !max_batch_observed_.compare_exchange_weak(
+             observed, hours.size(), std::memory_order_relaxed)) {
+  }
+  ET_METRIC_COUNTER_ADD("serving.batches", 1);
+  ET_METRIC_COUNTER_ADD("serving.batched_requests",
+                        static_cast<double>(hours.size()));
+}
+
+ServingService::ServingService(Options options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      batcher_(options_.batch, [this] { return model(); }),
+      http_(options_.http),
+      start_time_(std::chrono::steady_clock::now()) {
+  http_.Handle("/healthz", [this](const HttpRequest&) {
+    HttpResponse response;
+    if (model()) {
+      response.body = "ok\n";
+    } else {
+      response.status = 503;
+      response.body = "no model loaded\n";
+    }
+    return response;
+  });
+  http_.Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheusText(MetricsRegistry::Global().Snapshot(),
+                                         CollectTraceStats());
+    return response;
+  });
+  http_.Handle("/status", [this](const HttpRequest& request) {
+    return HandleStatus(request);
+  });
+  http_.Handle("/embed", [this](const HttpRequest& request) {
+    return HandleEmbed(request);
+  });
+  http_.Handle("/predict", {"GET", "POST"},
+               [this](const HttpRequest& request) {
+                 return HandlePredict(request);
+               });
+  http_.Handle("/fairness", [this](const HttpRequest& request) {
+    return HandleFairness(request);
+  });
+}
+
+ServingService::~ServingService() { Stop(); }
+
+bool ServingService::LoadInitial(std::string* error) {
+  std::shared_ptr<const ServingModel> model =
+      LoadServingModel(options_.checkpoint_path, options_.task, 1, error);
+  if (!model) return false;
+  SetModel(std::move(model));
+  return true;
+}
+
+bool ServingService::Start(int port, std::string* error) {
+  if (!model()) {
+    return SetError(error, "ServingService::Start before LoadInitial");
+  }
+  batcher_.Start();
+  if (!http_.Start(port, error)) {
+    batcher_.Stop();
+    return false;
+  }
+  return true;
+}
+
+void ServingService::Stop() {
+  http_.Stop();
+  batcher_.Stop();
+}
+
+bool ServingService::Reload(std::string* error) {
+  std::string why;
+  const int64_t next_generation = generation() + 1;
+  std::shared_ptr<const ServingModel> model = LoadServingModel(
+      options_.checkpoint_path, options_.task, next_generation, &why);
+  if (!model) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    ET_METRIC_COUNTER_ADD("serving.reload_failures", 1);
+    {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      last_reload_error_ = why;
+    }
+    return SetError(error, why);
+  }
+  SetModel(std::move(model));
+  // Entries carry the generation in their key, so anything a racing
+  // request re-inserts from the old generation just ages out of the
+  // LRU instead of being served as current.
+  cache_.Clear();
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  ET_METRIC_COUNTER_ADD("serving.reloads", 1);
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    last_reload_error_.clear();
+  }
+  return true;
+}
+
+std::shared_ptr<const ServingModel> ServingService::model() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
+}
+
+void ServingService::SetModel(std::shared_ptr<const ServingModel> model) {
+  const int64_t generation = model->generation();
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    model_ = std::move(model);
+  }
+  generation_.store(generation, std::memory_order_release);
+  ET_METRIC_GAUGE_SET("serving.generation",
+                      static_cast<double>(generation));
+}
+
+HttpResponse ServingService::HandleEmbed(const HttpRequest& request) {
+  std::shared_ptr<const ServingModel> model = this->model();
+  if (!model) return JsonError(503, "no model loaded");
+  int64_t cx = 0, cy = 0, t = 0;
+  if (QueryInt64(request.query, "cx", &cx) != 1 ||
+      QueryInt64(request.query, "cy", &cy) != 1 ||
+      QueryInt64(request.query, "t", &t) != 1) {
+    return JsonError(400, "expected integer query parameters cx, cy, t");
+  }
+  if (cx < 0 || cx >= model->w() || cy < 0 || cy >= model->h() || t < 0 ||
+      t >= model->z_hours()) {
+    return JsonError(400, "cell (" + std::to_string(cx) + ", " +
+                              std::to_string(cy) + ", " + std::to_string(t) +
+                              ") outside grid [" + std::to_string(model->w()) +
+                              ", " + std::to_string(model->h()) + ", " +
+                              std::to_string(model->z_hours()) + "]");
+  }
+  ET_METRIC_COUNTER_ADD("serving.embed_requests", 1);
+  // Generation is part of the key: a hot reload invalidates by
+  // construction even if a racing Put lands after the Clear.
+  const int64_t key =
+      ((model->generation() * model->w() + cx) * model->h() + cy) *
+          model->z_hours() +
+      t;
+  std::string payload;
+  if (cache_.Get(key, &payload)) {
+    ET_METRIC_COUNTER_ADD("serving.cache_hits", 1);
+    HttpResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    response.body = std::move(payload);
+    return response;
+  }
+  ET_METRIC_COUNTER_ADD("serving.cache_misses", 1);
+  JsonValue doc = JsonValue::Object();
+  doc.Set("type", JsonValue::Str("embedding"));
+  doc.Set("generation", JsonValue::Int(model->generation()));
+  doc.Set("cx", JsonValue::Int(cx));
+  doc.Set("cy", JsonValue::Int(cy));
+  doc.Set("t", JsonValue::Int(t));
+  doc.Set("k", JsonValue::Int(model->k()));
+  JsonValue values = JsonValue::Array();
+  for (float v : model->EmbeddingAt(cx, cy, t)) {
+    values.Append(JsonValue::Number(static_cast<double>(v)));
+  }
+  doc.Set("embedding", std::move(values));
+  HttpResponse response = JsonResponse(200, doc);
+  cache_.Put(key, response.body);
+  return response;
+}
+
+HttpResponse ServingService::HandlePredict(const HttpRequest& request) {
+  int64_t t = 0;
+  if (request.method == "POST") {
+    JsonValue doc;
+    std::string why;
+    if (!JsonValue::Parse(request.body, &doc, &why)) {
+      return JsonError(400, "request body is not JSON: " + why);
+    }
+    const JsonValue* hour = doc.Find("t");
+    if (hour == nullptr || hour->type() != JsonValue::Type::kNumber) {
+      return JsonError(400, "request body must be {\"t\": <hour>}");
+    }
+    t = hour->int_value();
+  } else if (QueryInt64(request.query, "t", &t) != 1) {
+    return JsonError(400, "expected integer query parameter t");
+  }
+  ET_METRIC_COUNTER_ADD("serving.predict_requests", 1);
+  PredictOutcome outcome = batcher_.Predict(t);
+  if (!outcome.ok) {
+    // No generation means the service itself was unavailable (no model
+    // or batcher stopped) rather than a bad request.
+    return JsonError(outcome.generation == 0 ? 503 : 400, outcome.error);
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("type", JsonValue::Str("prediction"));
+  doc.Set("generation", JsonValue::Int(outcome.generation));
+  doc.Set("t", JsonValue::Int(t));
+  doc.Set("w", JsonValue::Int(outcome.grid.dim(0)));
+  doc.Set("h", JsonValue::Int(outcome.grid.dim(1)));
+  JsonValue values = JsonValue::Array();
+  for (int64_t i = 0; i < outcome.grid.size(); ++i) {
+    values.Append(JsonValue::Number(static_cast<double>(outcome.grid[i])));
+  }
+  doc.Set("prediction", std::move(values));
+  return JsonResponse(200, doc);
+}
+
+HttpResponse ServingService::HandleFairness(const HttpRequest& request) {
+  std::shared_ptr<const ServingModel> model = this->model();
+  if (!model) return JsonError(503, "no model loaded");
+  ET_METRIC_COUNTER_ADD("serving.fairness_requests", 1);
+  JsonValue doc = JsonValue::Object();
+  doc.Set("type", JsonValue::Str("fairness"));
+  doc.Set("generation", JsonValue::Int(model->generation()));
+  doc.Set("task", JsonValue::Str(model->task_name()));
+  int64_t t = 0;
+  const int found = QueryInt64(request.query, "t", &t);
+  if (found == -1) return JsonError(400, "t must be an integer");
+  if (found == 1) {
+    if (t < 0 || t >= model->z_hours()) {
+      return JsonError(400, "t out of range [0, " +
+                                std::to_string(model->z_hours()) + ")");
+    }
+    const FairnessSignal signal = model->AuditSlice(t);
+    doc.Set("scope", JsonValue::Str("slice"));
+    doc.Set("t", JsonValue::Int(t));
+    doc.Set("correlation", JsonValue::Number(signal.correlation));
+    doc.Set("parity_gap", JsonValue::Number(signal.parity_gap));
+  } else {
+    const FairnessSignal& signal = model->base_audit();
+    doc.Set("scope", JsonValue::Str("full"));
+    doc.Set("correlation", JsonValue::Number(signal.correlation));
+    doc.Set("parity_gap", JsonValue::Number(signal.parity_gap));
+  }
+  return JsonResponse(200, doc);
+}
+
+HttpResponse ServingService::HandleStatus(const HttpRequest&) {
+  std::shared_ptr<const ServingModel> model = this->model();
+  JsonValue doc = JsonValue::Object();
+  doc.Set("type", JsonValue::Str("serving_status"));
+  doc.Set("checkpoint", JsonValue::Str(options_.checkpoint_path));
+  doc.Set("uptime_seconds",
+          JsonValue::Number(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start_time_)
+                                .count()));
+  doc.Set("generation", JsonValue::Int(generation()));
+  if (model) {
+    doc.Set("task", JsonValue::Str(model->task_name()));
+    doc.Set("k", JsonValue::Int(model->k()));
+    doc.Set("w", JsonValue::Int(model->w()));
+    doc.Set("h", JsonValue::Int(model->h()));
+    doc.Set("z_hours", JsonValue::Int(model->z_hours()));
+    doc.Set("predict_t_min", JsonValue::Int(model->predict_t_min()));
+    doc.Set("predict_t_max", JsonValue::Int(model->predict_t_max()));
+    doc.Set("parameters", JsonValue::Int(model->parameter_count()));
+    doc.Set("has_encoder", JsonValue::Bool(model->encoder() != nullptr));
+  }
+  JsonValue cache = JsonValue::Object();
+  cache.Set("hits", JsonValue::Int(static_cast<int64_t>(cache_.hits())));
+  cache.Set("misses", JsonValue::Int(static_cast<int64_t>(cache_.misses())));
+  cache.Set("size", JsonValue::Int(static_cast<int64_t>(cache_.size())));
+  cache.Set("capacity",
+            JsonValue::Int(static_cast<int64_t>(cache_.capacity())));
+  doc.Set("cache", std::move(cache));
+  JsonValue batch = JsonValue::Object();
+  batch.Set("max_batch", JsonValue::Int(options_.batch.max_batch));
+  batch.Set("window_ms", JsonValue::Int(options_.batch.window_ms));
+  batch.Set("batches",
+            JsonValue::Int(static_cast<int64_t>(batcher_.batches_run())));
+  batch.Set("requests",
+            JsonValue::Int(static_cast<int64_t>(batcher_.requests_batched())));
+  batch.Set(
+      "max_batch_observed",
+      JsonValue::Int(static_cast<int64_t>(batcher_.max_batch_observed())));
+  doc.Set("batch", std::move(batch));
+  doc.Set("requests_served",
+          JsonValue::Int(static_cast<int64_t>(http_.requests_served())));
+  doc.Set("requests_shed",
+          JsonValue::Int(static_cast<int64_t>(http_.requests_shed())));
+  doc.Set("reloads", JsonValue::Int(static_cast<int64_t>(reloads())));
+  doc.Set("reload_failures",
+          JsonValue::Int(static_cast<int64_t>(reload_failures())));
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    doc.Set("last_reload_error", JsonValue::Str(last_reload_error_));
+  }
+  return JsonResponse(200, doc);
+}
+
+}  // namespace core
+}  // namespace equitensor

@@ -1,0 +1,316 @@
+#ifndef EQUITENSOR_CORE_SERVING_H_
+#define EQUITENSOR_CORE_SERVING_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/downstream.h"
+#include "core/fairness_metrics.h"
+#include "models/cdae.h"
+#include "util/http_server.h"
+#include "util/json.h"
+
+namespace equitensor {
+namespace core {
+
+/// The serving layer (DESIGN.md §14): a trained EquiTensor answers
+/// queries for many downstream consumers over HTTP — the paper's reuse
+/// story (Figure 1B) as a live system instead of offline benches.
+///
+///   equitensor_train --output_serving=s.etck   (writes the bundle)
+///   equitensor_serve --checkpoint=s.etck       (answers queries)
+///
+/// A serving checkpoint is an ETCK v2 container holding the
+/// materialized representation Z, the sensitive-attribute map S, the
+/// downstream target history, and (optionally) the trained CoreCdae
+/// encoder parameters with enough config metadata to rebuild the
+/// module. At load time the daemon fits the downstream GridPredictor
+/// head on the stored target with Z features (deterministic in the
+/// task seed, so two daemons loading the same bundle serve bitwise-
+/// identical predictions), audits Z against S, and starts serving.
+
+/// What goes into a serving checkpoint.
+struct ServingArtifacts {
+  Tensor z;              // [K, W, H, T'] materialized representation
+  Tensor sensitive_map;  // [W, H] sensitive attribute in [0, 1]
+  Tensor target;         // [W, H, T] downstream target, max-abs scaled
+  float target_scale = 1.0f;  // divisor mapping target back to raw counts
+  std::string task_name = "bikeshare";
+  /// When non-null, the encoder parameters plus config/spec metadata
+  /// are stored under the "model." prefix so the daemon can rebuild
+  /// and verify the module (and future raw-input paths can encode).
+  const models::CoreCdae* encoder = nullptr;
+};
+
+/// Atomically writes the serving bundle (ETCK v2). False on I/O error.
+bool SaveServingCheckpoint(const std::string& path,
+                           const ServingArtifacts& artifacts);
+
+/// An immutable loaded model generation. Built by LoadServingModel,
+/// published behind a snapshot pointer, and kept alive by in-flight
+/// requests through their shared_ptr — the hot-reload contract: a
+/// reload swaps the pointer, requests already holding the old
+/// generation finish on it.
+class ServingModel {
+ public:
+  /// The bundle's tensors. `z` is [K, W, H, T'].
+  const Tensor& z() const { return z_; }
+  const Tensor& sensitive_map() const { return sensitive_map_; }
+  const Tensor& target() const { return target_; }
+  float target_scale() const { return target_scale_; }
+  const std::string& task_name() const { return task_name_; }
+
+  int64_t k() const { return z_.dim(0); }
+  int64_t w() const { return z_.dim(1); }
+  int64_t h() const { return z_.dim(2); }
+  int64_t z_hours() const { return z_.dim(3); }
+
+  /// Valid last-observed hours for Predict: enough target history
+  /// before `t`, and Z must cover hour t+1.
+  int64_t predict_t_min() const { return predict_t_min_; }
+  int64_t predict_t_max() const { return predict_t_max_; }
+
+  /// Batched downstream forward: one pass over the stacked histories
+  /// and Z snapshots of every `t0s` entry. Returns [N, 1, W, H].
+  /// Per-sample results are bitwise-independent of the batch
+  /// composition (the conv kernels reduce each output element in a
+  /// fixed serial order regardless of N — DESIGN.md §8/§13), which is
+  /// what makes request coalescing transparent. Not thread-safe;
+  /// serialize calls (the PredictBatcher does).
+  Tensor Predict(const std::vector<int64_t>& t0s) const;
+
+  /// The K-vector Z[:, cx, cy, t].
+  std::vector<float> EmbeddingAt(int64_t cx, int64_t cy, int64_t t) const;
+
+  /// Audit of the full Z against S, computed once at load.
+  const FairnessSignal& base_audit() const { return base_audit_; }
+
+  /// Audit of the single time slice Z[:, :, :, t] against S.
+  FairnessSignal AuditSlice(int64_t t) const;
+
+  /// Restored encoder (may be null when the bundle has no model).
+  const models::CoreCdae* encoder() const { return encoder_.get(); }
+
+  /// Trainable scalars across encoder + predictor head.
+  int64_t parameter_count() const;
+
+  /// Monotone generation number assigned by the loader (1 = initial).
+  int64_t generation() const { return generation_; }
+
+ private:
+  friend std::shared_ptr<const ServingModel> LoadServingModel(
+      const std::string& path, const GridTaskConfig& task,
+      int64_t generation, std::string* error);
+
+  ServingModel() = default;
+
+  Tensor z_, sensitive_map_, target_;
+  float target_scale_ = 1.0f;
+  std::string task_name_;
+  GridTaskConfig task_;
+  int64_t predict_t_min_ = 0, predict_t_max_ = 0;
+  std::unique_ptr<models::CoreCdae> encoder_;
+  std::unique_ptr<RepresentationExoProvider> exo_;
+  std::unique_ptr<models::GridPredictor> predictor_;
+  FairnessSignal base_audit_;
+  int64_t generation_ = 0;
+};
+
+/// Loads a serving checkpoint, rebuilds/restores the encoder when the
+/// bundle carries one, fits the downstream predictor head (seeded by
+/// `task.seed` — deterministic), and audits Z. Returns null with a
+/// reason in `*error` on any validation failure; never aborts on bad
+/// input.
+std::shared_ptr<const ServingModel> LoadServingModel(
+    const std::string& path, const GridTaskConfig& task, int64_t generation,
+    std::string* error);
+
+/// Thread-safe LRU cache for rendered embedding responses, keyed by
+/// the (cx, cy, t) cell-window coordinate. Capacity 0 disables
+/// caching. Cleared on hot reload (entries embed the generation).
+class EmbeddingCache {
+ public:
+  explicit EmbeddingCache(size_t capacity);
+
+  bool Get(int64_t key, std::string* out);
+  void Put(int64_t key, std::string value);
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::pair<int64_t, std::string>> lru_;  // front = most recent
+  std::unordered_map<int64_t,
+                     std::list<std::pair<int64_t, std::string>>::iterator>
+      index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+/// Outcome of one /predict request.
+struct PredictOutcome {
+  bool ok = false;
+  std::string error;      // set when !ok
+  int64_t generation = 0;
+  Tensor grid;            // [W, H] scaled prediction
+};
+
+/// Coalesces concurrent /predict requests into one batched forward
+/// pass. HTTP workers block in Predict(); a dedicated batcher thread
+/// drains the queue: it takes the first request, waits up to
+/// `window_ms` for the batch to fill to `max_batch`, runs ONE
+/// ServingModel::Predict over the stacked hours, and distributes the
+/// per-sample slices. Because per-sample results are batch-invariant
+/// (see ServingModel::Predict), coalescing is bitwise-transparent:
+/// max_batch = 1 produces identical responses, just slower. All model
+/// execution funnels through the single batcher thread, so the
+/// forward pass itself never runs concurrently.
+class PredictBatcher {
+ public:
+  struct Options {
+    int64_t max_batch = 8;
+    int64_t window_ms = 2;
+  };
+  using ModelProvider = std::function<std::shared_ptr<const ServingModel>()>;
+
+  PredictBatcher(Options options, ModelProvider provider);
+  ~PredictBatcher();
+
+  void Start();
+  void Stop();
+
+  /// Blocking; safe from any thread. Fails fast (without touching the
+  /// model) when `t` is outside the current generation's range.
+  PredictOutcome Predict(int64_t t);
+
+  uint64_t batches_run() const {
+    return batches_run_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_batched() const {
+    return requests_batched_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_batch_observed() const {
+    return max_batch_observed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    int64_t t = 0;
+    std::promise<PredictOutcome> promise;
+  };
+  void Loop();
+  void Execute(std::vector<Pending> batch);
+
+  Options options_;
+  ModelProvider provider_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = true;
+  std::thread worker_;
+  std::atomic<uint64_t> batches_run_{0};
+  std::atomic<uint64_t> requests_batched_{0};
+  std::atomic<uint64_t> max_batch_observed_{0};
+};
+
+/// The daemon: checkpoint lifecycle (initial load + SIGHUP hot
+/// reload), the HTTP frontend, the batcher, and the embedding cache.
+///
+/// Endpoints:
+///   GET  /healthz            200 "ok" once a model is loaded
+///   GET  /metrics            Prometheus exposition (util/prom)
+///   GET  /status             JSON: generation, ranges, cache/batch/
+///                            reload counters
+///   GET  /embed?cx=&cy=&t=   JSON: Z[:, cx, cy, t] (LRU-cached)
+///   GET  /predict?t=N        JSON: scaled prediction grid for hour
+///   POST /predict {"t": N}   t+1..t+horizon (batched forward)
+///   GET  /fairness[?t=N]     JSON: corr(Z,S) + parity gap, full Z or
+///                            one time slice
+class ServingService {
+ public:
+  struct Options {
+    std::string checkpoint_path;
+    GridTaskConfig task;             // predictor fit recipe (seeded)
+    PredictBatcher::Options batch;
+    size_t cache_capacity = 4096;
+    HttpServer::Options http;
+  };
+
+  explicit ServingService(Options options);
+  ~ServingService();
+
+  ServingService(const ServingService&) = delete;
+  ServingService& operator=(const ServingService&) = delete;
+
+  /// Loads the initial model (fits the predictor head — takes a
+  /// moment). Must succeed before Start().
+  bool LoadInitial(std::string* error);
+
+  /// Binds `port` (0 = ephemeral) and starts the batcher + frontend.
+  bool Start(int port, std::string* error);
+  void Stop();
+
+  /// Hot reload: loads the checkpoint path again, atomically swaps
+  /// the model pointer, clears the embedding cache. In-flight
+  /// requests finish on the generation they started with. On failure
+  /// the old model keeps serving and `*error` says why.
+  bool Reload(std::string* error);
+
+  int port() const { return http_.port(); }
+  bool running() const { return http_.running(); }
+
+  std::shared_ptr<const ServingModel> model() const;
+  int64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  uint64_t reloads() const { return reloads_.load(std::memory_order_relaxed); }
+  uint64_t reload_failures() const {
+    return reload_failures_.load(std::memory_order_relaxed);
+  }
+
+  const HttpServer& http() const { return http_; }
+  EmbeddingCache& cache() { return cache_; }
+  PredictBatcher& batcher() { return batcher_; }
+
+ private:
+  HttpResponse HandleEmbed(const HttpRequest& request);
+  HttpResponse HandlePredict(const HttpRequest& request);
+  HttpResponse HandleFairness(const HttpRequest& request);
+  HttpResponse HandleStatus(const HttpRequest& request);
+  void SetModel(std::shared_ptr<const ServingModel> model);
+
+  Options options_;
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const ServingModel> model_;
+  std::atomic<int64_t> generation_{0};
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> reload_failures_{0};
+  std::string last_reload_error_;  // guarded by model_mu_
+  EmbeddingCache cache_;
+  PredictBatcher batcher_;
+  HttpServer http_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace core
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_SERVING_H_

@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +28,7 @@ const char* StatusText(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
     case 431: return "Request Header Fields Too Large";
     case 503: return "Service Unavailable";
     default:  return "Unknown";
@@ -42,7 +45,7 @@ void SetSocketTimeouts(int fd, int timeout_ms) {
 
 /// Writes all of `data`, tolerating short writes and EINTR. Returns
 /// false on error/timeout (the peer gets a truncated response; there
-/// is nothing better to do on a scrape path).
+/// is nothing better to do on this path).
 bool WriteAll(int fd, const char* data, size_t len) {
   size_t done = 0;
   while (done < len) {
@@ -56,67 +59,140 @@ bool WriteAll(int fd, const char* data, size_t len) {
   return true;
 }
 
-void WriteResponse(int fd, const std::string& method,
-                   const HttpResponse& response) {
+/// Writes one response. `keep_alive` selects the Connection header;
+/// returns false when the write failed (the connection is dead).
+bool WriteResponse(int fd, const std::string& method,
+                   const HttpResponse& response, bool keep_alive) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      StatusText(response.status) + "\r\n";
   head += "Content-Type: " + response.content_type + "\r\n";
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  head += "Connection: close\r\n\r\n";
-  if (!WriteAll(fd, head.data(), head.size())) return;
-  if (method != "HEAD") WriteAll(fd, response.body.data(), response.body.size());
+  head += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                     : "Connection: close\r\n\r\n";
+  if (!WriteAll(fd, head.data(), head.size())) return false;
+  if (method == "HEAD") return true;
+  return WriteAll(fd, response.body.data(), response.body.size());
 }
 
-void WriteErrorAndClose(int fd, int status) {
+void WriteError(int fd, int status) {
   HttpResponse response;
   response.status = status;
   response.body = std::string(StatusText(status)) + "\n";
-  WriteResponse(fd, "GET", response);
-  ::close(fd);
+  WriteResponse(fd, "GET", response, /*keep_alive=*/false);
 }
 
-/// Reads until the end of the request head ("\r\n\r\n") or `cap`
-/// bytes. Returns false on timeout/EOF-before-head/oversize (status
-/// code to send back in *fail_status).
-bool ReadRequestHead(int fd, size_t cap, std::string* head,
-                     int* fail_status) {
-  char buf[2048];
-  while (head->find("\r\n\r\n") == std::string::npos) {
-    if (head->size() > cap) {
-      *fail_status = 431;
+bool AsciiCaseEq(const std::string& a, const char* b) {
+  const size_t bn = std::strlen(b);
+  if (a.size() != bn) return false;
+  for (size_t i = 0; i < bn; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
       return false;
     }
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      *fail_status = 408;  // timeout or premature close
-      return false;
-    }
-    head->append(buf, static_cast<size_t>(n));
   }
   return true;
 }
 
-/// Parses "GET /path?query HTTP/1.1" out of the head's first line.
-bool ParseRequestLine(const std::string& head, HttpRequest* request) {
-  const size_t eol = head.find("\r\n");
-  if (eol == std::string::npos) return false;
-  const std::string line = head.substr(0, eol);
+std::string Trimmed(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+/// Everything parsed out of one request head.
+struct RequestHead {
+  HttpRequest request;
+  bool has_content_length = false;
+  size_t content_length = 0;
+  bool keep_alive = true;  // HTTP/1.1 default
+};
+
+/// Parses "METHOD /path?query HTTP/1.x" — strictly. The line must be
+/// exactly three space-separated non-empty tokens: an empty method, a
+/// doubled space, or a target with an embedded unencoded space (e.g.
+/// "GET /a b HTTP/1.1") is a 400, never a silently bogus path.
+bool ParseRequestLine(const std::string& line, RequestHead* head) {
   const size_t sp1 = line.find(' ');
-  const size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 == sp1) return false;
-  request->method = line.substr(0, sp1);
+  if (sp1 == std::string::npos || sp1 == 0) return false;  // empty method
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  // Any further space means an unencoded space inside the target or
+  // version — reject instead of misparsing.
+  if (line.find(' ', sp2 + 1) != std::string::npos) return false;
+  head->request.method = line.substr(0, sp1);
   std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (line.compare(sp2 + 1, 7, "HTTP/1.") != 0) return false;
+  const std::string version = line.substr(sp2 + 1);
+  if (version.compare(0, 7, "HTTP/1.") != 0 || version.size() != 8 ||
+      (version[7] != '0' && version[7] != '1')) {
+    return false;
+  }
   if (target.empty() || target[0] != '/') return false;
+  head->keep_alive = version[7] == '1';  // HTTP/1.0 defaults to close
   const size_t qmark = target.find('?');
   if (qmark == std::string::npos) {
-    request->path = std::move(target);
+    head->request.path = std::move(target);
   } else {
-    request->path = target.substr(0, qmark);
-    request->query = target.substr(qmark + 1);
+    head->request.path = target.substr(0, qmark);
+    head->request.query = target.substr(qmark + 1);
   }
   return true;
+}
+
+/// Parses the head block (request line + header fields, without the
+/// trailing blank line). Returns false on any malformed line.
+bool ParseHead(const std::string& text, RequestHead* head) {
+  size_t pos = text.find("\r\n");
+  if (pos == std::string::npos) return false;
+  if (!ParseRequestLine(text.substr(0, pos), head)) return false;
+  pos += 2;
+  while (pos < text.size()) {
+    const size_t eol = text.find("\r\n", pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? std::string::npos
+                                                  : eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 2;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    const std::string name = line.substr(0, colon);
+    const std::string value = Trimmed(line.substr(colon + 1));
+    if (AsciiCaseEq(name, "content-length")) {
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+      }
+      errno = 0;
+      const unsigned long long parsed = std::strtoull(value.c_str(), nullptr, 10);
+      if (errno != 0) return false;
+      head->has_content_length = true;
+      head->content_length = static_cast<size_t>(parsed);
+    } else if (AsciiCaseEq(name, "connection")) {
+      if (AsciiCaseEq(value, "close")) head->keep_alive = false;
+      if (AsciiCaseEq(value, "keep-alive")) head->keep_alive = true;
+    }
+  }
+  return true;
+}
+
+/// Case-insensitive header lookup inside a raw response head block.
+/// Returns false when absent.
+bool FindHeaderValue(const std::string& head, const char* name,
+                     std::string* value) {
+  size_t pos = head.find("\r\n");
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    pos += 2;
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos && AsciiCaseEq(line.substr(0, colon), name)) {
+      *value = Trimmed(line.substr(colon + 1));
+      return true;
+    }
+    pos = eol;
+  }
+  return false;
 }
 
 }  // namespace
@@ -124,14 +200,24 @@ bool ParseRequestLine(const std::string& head, HttpRequest* request) {
 HttpServer::HttpServer(Options options) : options_(options) {
   if (options_.worker_threads < 1) options_.worker_threads = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  if (options_.max_requests_per_connection < 1) {
+    options_.max_requests_per_connection = 1;
+  }
 }
 
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  Handle(path, {"GET", "HEAD"}, std::move(handler));
+}
+
+void HttpServer::Handle(const std::string& path,
+                        std::vector<std::string> methods,
+                        HttpHandler handler) {
   ET_CHECK(!running()) << "Handle() must precede Start()";
   ET_CHECK(!path.empty() && path[0] == '/') << "route must start with /";
-  routes_.emplace_back(path, std::move(handler));
+  ET_CHECK(!methods.empty()) << "route needs at least one method";
+  routes_.push_back(Route{path, std::move(methods), std::move(handler)});
 }
 
 bool HttpServer::Start(int port, std::string* error) {
@@ -161,7 +247,7 @@ bool HttpServer::Start(int port, std::string* error) {
              sizeof(addr)) != 0) {
     return fail("bind to port " + std::to_string(port));
   }
-  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
@@ -199,53 +285,152 @@ void HttpServer::AcceptLoop() {
       // write, but bounded by the socket timeout.
       requests_shed_.fetch_add(1, std::memory_order_relaxed);
       ET_METRIC_COUNTER_ADD("http.requests_shed", 1);
-      WriteErrorAndClose(fd, 503);
+      WriteError(fd, 503);
+      ::close(fd);
     }
   }
 }
 
-void HttpServer::ServeConnection(int fd) {
-  std::string head;
-  int fail_status = 400;
-  if (!ReadRequestHead(fd, options_.max_request_bytes, &head, &fail_status)) {
-    WriteErrorAndClose(fd, fail_status);
-    return;
-  }
-  HttpRequest request;
-  if (!ParseRequestLine(head, &request)) {
-    WriteErrorAndClose(fd, 400);
-    return;
-  }
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
-  ET_METRIC_COUNTER_ADD("http.requests", 1);
-  if (request.method != "GET" && request.method != "HEAD") {
-    WriteErrorAndClose(fd, 405);
-    return;
-  }
-  const HttpHandler* handler = nullptr;
-  for (const auto& [path, h] : routes_) {
-    if (path == request.path) {
-      handler = &h;
-      break;
-    }
-  }
-  HttpResponse response;
-  if (handler == nullptr) {
-    response.status = 404;
-    response.body = "not found\n";
-  } else {
-    try {
-      response = (*handler)(request);
-    } catch (const std::exception& e) {
-      ET_LOG(Warning) << "http handler for " << request.path
-                      << " threw: " << e.what();
-      response = HttpResponse();
-      response.status = 503;
-      response.body = "handler error\n";
-    }
-  }
-  WriteResponse(fd, request.method, response);
+void HttpServer::TrackConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  open_conns_.insert(fd);
+}
+
+void HttpServer::UntrackAndClose(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  open_conns_.erase(fd);
   ::close(fd);
+}
+
+void HttpServer::ServeConnection(int fd) {
+  TrackConnection(fd);
+  std::string buffer;  // unconsumed bytes: head-in-progress, body, next request
+  char chunk[4096];
+  uint64_t served_here = 0;
+  const size_t head_cap = options_.max_request_bytes;
+
+  for (;;) {
+    // --- Read until one full head is buffered. The cap is enforced
+    // after every append: the head region can never overshoot
+    // max_request_bytes before the 431 fires (it previously could, by
+    // up to one read chunk).
+    size_t head_end;
+    for (;;) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) break;
+      if (buffer.size() > head_cap) {
+        WriteError(fd, 431);
+        UntrackAndClose(fd);
+        return;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        // Idle keep-alive close (or a peer that never spoke): close
+        // quietly. Anything mid-request gets the 408.
+        if (!buffer.empty()) WriteError(fd, 408);
+        UntrackAndClose(fd);
+        return;
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    if (head_end + 4 > head_cap) {
+      WriteError(fd, 431);
+      UntrackAndClose(fd);
+      return;
+    }
+
+    RequestHead head;
+    if (!ParseHead(buffer.substr(0, head_end + 2), &head)) {
+      WriteError(fd, 400);
+      UntrackAndClose(fd);
+      return;
+    }
+    buffer.erase(0, head_end + 4);
+
+    HttpRequest& request = head.request;
+    const bool method_known = request.method == "GET" ||
+                              request.method == "HEAD" ||
+                              request.method == "POST";
+    if (!method_known) {
+      WriteError(fd, 405);
+      UntrackAndClose(fd);
+      return;
+    }
+
+    // --- Body (framed by Content-Length; we do not speak chunked).
+    if (head.has_content_length && head.content_length > 0) {
+      if (head.content_length > options_.max_body_bytes) {
+        WriteError(fd, 413);
+        UntrackAndClose(fd);
+        return;
+      }
+      while (buffer.size() < head.content_length) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          WriteError(fd, 408);
+          UntrackAndClose(fd);
+          return;
+        }
+        buffer.append(chunk, static_cast<size_t>(n));
+      }
+      request.body = buffer.substr(0, head.content_length);
+      buffer.erase(0, head.content_length);
+    }
+
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    ET_METRIC_COUNTER_ADD("http.requests", 1);
+    ++served_here;
+
+    // --- Route.
+    const Route* route = nullptr;
+    for (const Route& r : routes_) {
+      if (r.path == request.path) {
+        route = &r;
+        break;
+      }
+    }
+    HttpResponse response;
+    bool method_allowed = true;
+    if (route == nullptr) {
+      response.status = 404;
+      response.body = "not found\n";
+    } else {
+      // HEAD rides on any GET route.
+      const std::string& probe =
+          request.method == "HEAD" ? std::string("GET") : request.method;
+      method_allowed =
+          std::find(route->methods.begin(), route->methods.end(), probe) !=
+              route->methods.end() ||
+          std::find(route->methods.begin(), route->methods.end(),
+                    request.method) != route->methods.end();
+      if (!method_allowed) {
+        response.status = 405;
+        response.body = "method not allowed\n";
+      } else {
+        try {
+          response = route->handler(request);
+        } catch (const std::exception& e) {
+          ET_LOG(Warning) << "http handler for " << request.path
+                          << " threw: " << e.what();
+          response = HttpResponse();
+          response.status = 503;
+          response.body = "handler error\n";
+        }
+      }
+    }
+
+    const bool keep_alive =
+        head.keep_alive && method_allowed &&
+        served_here < options_.max_requests_per_connection &&
+        running_.load(std::memory_order_acquire);
+    if (!WriteResponse(fd, request.method, response, keep_alive) ||
+        !keep_alive) {
+      UntrackAndClose(fd);
+      return;
+    }
+  }
 }
 
 void HttpServer::Stop() {
@@ -262,10 +447,120 @@ void HttpServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_ = -1;
   port_ = 0;
+  // Kick workers parked in recv(2) on idle keep-alive connections:
+  // shutdown wakes the read with EOF, the loop sees running_ == false
+  // (or the peer gone) and finishes. The fds stay open — their owning
+  // worker closes them — so the numbers cannot be reused under us.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : open_conns_) ::shutdown(fd, SHUT_RD);
+  }
   if (workers_) {
     workers_->Shutdown();  // In-flight responses complete.
     workers_.reset();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Client half.
+
+bool HttpClient::Connect(int port, std::string* error, int timeout_ms) {
+  Close();
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason + ": " + std::strerror(errno);
+    return false;
+  };
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return fail("socket");
+  SetSocketTimeouts(fd_, timeout_ms);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Close();
+    return fail("connect to 127.0.0.1:" + std::to_string(port));
+  }
+  port_ = port;
+  return true;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool HttpClient::Get(const std::string& path, int* status, std::string* body,
+                     std::string* error) {
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: keep-alive\r\n\r\n";
+  return RoundTrip(request, status, body, error);
+}
+
+bool HttpClient::Post(const std::string& path, const std::string& request_body,
+                      const std::string& content_type, int* status,
+                      std::string* body, std::string* error) {
+  const std::string request =
+      "POST " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n" +
+      "Content-Type: " + content_type + "\r\n" +
+      "Content-Length: " + std::to_string(request_body.size()) +
+      "\r\nConnection: keep-alive\r\n\r\n" + request_body;
+  return RoundTrip(request, status, body, error);
+}
+
+bool HttpClient::RoundTrip(const std::string& request, int* status,
+                           std::string* body, std::string* error) {
+  const auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason;
+    Close();
+    return false;
+  };
+  if (fd_ < 0) return fail("not connected");
+  if (!WriteAll(fd_, request.data(), request.size())) {
+    return fail(std::string("send: ") + std::strerror(errno));
+  }
+  std::string raw;
+  char chunk[4096];
+  size_t head_end;
+  while ((head_end = raw.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return fail("connection closed before response head");
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  const std::string head = raw.substr(0, head_end + 2);
+  if (head.compare(0, 5, "HTTP/") != 0) return fail("malformed response");
+  const size_t sp = head.find(' ');
+  if (sp == std::string::npos) return fail("malformed status line");
+  *status = std::atoi(head.c_str() + sp + 1);
+
+  std::string length_text;
+  if (!FindHeaderValue(head, "content-length", &length_text)) {
+    return fail("response without Content-Length on a keep-alive connection");
+  }
+  const size_t content_length =
+      static_cast<size_t>(std::strtoull(length_text.c_str(), nullptr, 10));
+  std::string rest = raw.substr(head_end + 4);
+  while (rest.size() < content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return fail("truncated body");
+    rest.append(chunk, static_cast<size_t>(n));
+  }
+  *body = rest.substr(0, content_length);
+
+  std::string connection;
+  if (FindHeaderValue(head, "connection", &connection) &&
+      AsciiCaseEq(connection, "close")) {
+    Close();
+  }
+  return true;
 }
 
 bool HttpGet(int port, const std::string& path, int* status,
@@ -311,14 +606,42 @@ bool HttpGet(int port, const std::string& path, int* status,
     if (error != nullptr) *error = "malformed response";
     return false;
   }
-  const size_t sp = raw.find(' ');
+  const std::string head = raw.substr(0, head_end + 2);
+  const size_t sp = head.find(' ');
   if (sp == std::string::npos || sp + 4 > head_end) {
     if (error != nullptr) *error = "malformed status line";
     return false;
   }
-  *status = std::atoi(raw.c_str() + sp + 1);
-  *body = raw.substr(head_end + 4);
+  *status = std::atoi(head.c_str() + sp + 1);
+  std::string rest = raw.substr(head_end + 4);
+  // Honor Content-Length when the peer declares one: a read-to-EOF on
+  // a `Connection: close` stream can end early (peer died mid-write)
+  // or late (a keep-alive server that ignored our close and answered a
+  // pipelined follow-up) — both silently corrupted the body before.
+  std::string length_text;
+  if (FindHeaderValue(head, "content-length", &length_text)) {
+    const size_t content_length =
+        static_cast<size_t>(std::strtoull(length_text.c_str(), nullptr, 10));
+    if (rest.size() < content_length) {
+      if (error != nullptr) {
+        *error = "truncated body: got " + std::to_string(rest.size()) +
+                 " of " + length_text + " bytes";
+      }
+      return false;
+    }
+    rest.resize(content_length);
+  }
+  *body = std::move(rest);
   return true;
+}
+
+bool HttpPost(int port, const std::string& path,
+              const std::string& request_body, const std::string& content_type,
+              int* status, std::string* body, std::string* error,
+              int timeout_ms) {
+  HttpClient client;
+  if (!client.Connect(port, error, timeout_ms)) return false;
+  return client.Post(path, request_body, content_type, status, body, error);
 }
 
 }  // namespace equitensor

@@ -2,8 +2,11 @@
 #define EQUITENSOR_UTIL_HTTP_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -13,23 +16,27 @@
 
 namespace equitensor {
 
-/// Dependency-free HTTP/1.1 server for the telemetry endpoints
-/// (DESIGN.md §12). Scope is deliberately narrow: GET/HEAD requests on
-/// the loopback-or-LAN scrape path, one response per connection
-/// (`Connection: close`), bounded request size, per-socket timeouts.
-/// It is an observability port, not a traffic-serving frontend.
+/// Dependency-free HTTP/1.1 server. Originally the telemetry scrape
+/// port (DESIGN.md §12), now also the serving frontend behind
+/// `equitensor_serve` (DESIGN.md §14): GET/HEAD/POST, request bodies
+/// framed by `Content-Length`, persistent (keep-alive) connections
+/// with per-socket timeouts, bounded request head and body sizes.
 ///
 /// Threading: a dedicated accept thread parks in accept(2); each
 /// accepted connection is handed to a bounded TaskPool
 /// (util/thread_pool) so a slow reader cannot stall the accept loop,
 /// and a full queue degrades to `503` written from the accept thread.
+/// A worker owns its connection for the connection's lifetime (a
+/// keep-alive peer occupies one worker), so size `worker_threads` to
+/// the expected concurrent-connection count, not the request rate.
 /// Handlers run on pool workers and must be thread-safe.
 
-/// One parsed request. Only the parts the telemetry endpoints need.
+/// One parsed request.
 struct HttpRequest {
-  std::string method;  // "GET" | "HEAD" (anything else is rejected)
+  std::string method;  // "GET" | "HEAD" | "POST" (anything else: 405)
   std::string path;    // decoded-free path, e.g. "/metrics"
   std::string query;   // raw text after '?', "" when absent
+  std::string body;    // POST payload ("" for GET/HEAD)
 };
 
 struct HttpResponse {
@@ -43,14 +50,24 @@ using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 class HttpServer {
  public:
   struct Options {
-    /// Workers handling requests; capped small — scrapes are tiny.
+    /// Workers handling connections; a keep-alive connection holds its
+    /// worker until the peer closes or times out.
     int worker_threads = 2;
     /// Accepted-but-unstarted connections before 503 shedding.
     size_t queue_capacity = 16;
-    /// Per-socket read/write timeout.
+    /// Per-socket read/write timeout. Also the keep-alive idle
+    /// timeout: a connection with no next request in this window is
+    /// closed.
     int io_timeout_ms = 5000;
-    /// Cap on request head (request line + headers).
+    /// Cap on the request head (request line + headers, including the
+    /// terminating blank line). Enforced after every read: the head
+    /// can never buffer past this size before the 431 fires.
     size_t max_request_bytes = 16 * 1024;
+    /// Cap on a request body (`Content-Length`); larger gets 413.
+    size_t max_body_bytes = 1 * 1024 * 1024;
+    /// Requests served on one connection before the server closes it
+    /// (bounds how long a chatty peer can pin a worker).
+    uint64_t max_requests_per_connection = 1024;
   };
 
   HttpServer() : HttpServer(Options{}) {}
@@ -62,10 +79,15 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers `handler` for an exact path. Must be called before
-  /// Start(); later calls abort (handlers are read lock-free while
-  /// serving). Unmatched paths get 404.
+  /// Registers `handler` for an exact path, accepting GET and HEAD.
+  /// Must be called before Start(); later calls abort (handlers are
+  /// read lock-free while serving). Unmatched paths get 404; a
+  /// request whose method is not accepted by the route gets 405.
   void Handle(const std::string& path, HttpHandler handler);
+
+  /// Same, with an explicit method whitelist (e.g. {"GET", "POST"}).
+  void Handle(const std::string& path, std::vector<std::string> methods,
+              HttpHandler handler);
 
   /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts the accept loop.
   /// Returns false with a reason in `*error` when the bind fails (port
@@ -79,9 +101,10 @@ class HttpServer {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  /// Closes the listen socket, joins the accept thread, drains the
-  /// worker pool. In-flight responses complete; idle sockets are
-  /// closed. Idempotent, safe to call from any (non-signal) thread.
+  /// Closes the listen socket, shuts down idle keep-alive connections,
+  /// joins the accept thread, drains the worker pool. In-flight
+  /// responses complete. Idempotent, safe to call from any
+  /// (non-signal) thread.
   void Stop();
 
   /// Total requests accepted and handled (including 404s), and
@@ -94,11 +117,19 @@ class HttpServer {
   }
 
  private:
+  struct Route {
+    std::string path;
+    std::vector<std::string> methods;
+    HttpHandler handler;
+  };
+
   void AcceptLoop();
   void ServeConnection(int fd);
+  void TrackConnection(int fd);
+  void UntrackAndClose(int fd);
 
   Options options_;
-  std::vector<std::pair<std::string, HttpHandler>> routes_;
+  std::vector<Route> routes_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
@@ -106,15 +137,66 @@ class HttpServer {
   std::unique_ptr<TaskPool> workers_;
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> requests_shed_{0};
+  /// Open connection sockets, so Stop() can shutdown(2) a worker
+  /// parked in recv(2) on a keep-alive connection instead of waiting
+  /// out the idle timeout.
+  std::mutex conn_mu_;
+  std::set<int> open_conns_;
 };
 
-/// Minimal blocking HTTP/1.1 GET against 127.0.0.1:`port` — the client
-/// half used by tests and the scrape_check tool (no external curl
-/// dependency in the test path). Returns false on connect/parse
-/// failure; otherwise fills the status code and body.
+/// Minimal blocking HTTP/1.1 client against 127.0.0.1 with keep-alive
+/// support — the client half used by tests, tools/scrape_check, and
+/// tools/loadgen (no external curl dependency). One request at a time
+/// per instance; not thread-safe.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient() { Close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to 127.0.0.1:`port`. Closes any previous connection.
+  bool Connect(int port, std::string* error = nullptr,
+               int timeout_ms = 5000);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Issues one request on the persistent connection. The response
+  /// body is framed by `Content-Length` (required from the peer);
+  /// a short read fails with "truncated body" and closes. When the
+  /// server answers `Connection: close`, the socket is closed after
+  /// the response; call Connect() again to continue.
+  bool Get(const std::string& path, int* status, std::string* body,
+           std::string* error = nullptr);
+  bool Post(const std::string& path, const std::string& request_body,
+            const std::string& content_type, int* status, std::string* body,
+            std::string* error = nullptr);
+
+ private:
+  bool RoundTrip(const std::string& request, int* status, std::string* body,
+                 std::string* error);
+
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// One-shot blocking HTTP/1.1 GET against 127.0.0.1:`port`
+/// (`Connection: close`). Returns false on connect/parse failure;
+/// otherwise fills the status code and body. When the response
+/// carries `Content-Length`, the body is validated against it — a
+/// truncated body fails instead of being returned short.
 bool HttpGet(int port, const std::string& path, int* status,
              std::string* body, std::string* error = nullptr,
              int timeout_ms = 5000);
+
+/// One-shot blocking POST; same framing rules as HttpGet.
+bool HttpPost(int port, const std::string& path,
+              const std::string& request_body,
+              const std::string& content_type, int* status,
+              std::string* body, std::string* error = nullptr,
+              int timeout_ms = 5000);
 
 }  // namespace equitensor
 

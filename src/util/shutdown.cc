@@ -10,6 +10,7 @@ namespace equitensor {
 namespace {
 
 std::atomic<bool> g_shutdown_requested{false};
+std::atomic<uint64_t> g_reload_requests{0};
 
 // Fixed-size fd table so the signal handler never allocates. -1 marks
 // a free slot. Writes happen on normal threads; the handler only
@@ -42,6 +43,31 @@ void ShutdownSignalHandler(int signum) {
 }
 
 }  // namespace
+
+namespace {
+void ReloadSignalHandler(int signum) {
+  g_reload_requests.fetch_add(1, std::memory_order_acq_rel);
+  (void)signum;
+}
+}  // namespace
+
+void InstallReloadSignalHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = ReloadSignalHandler;
+  ::sigemptyset(&sa.sa_mask);
+  // SA_RESTART: a reload must not disturb in-flight socket reads; the
+  // serving loop polls ReloadRequestCount at its own pace.
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGHUP, &sa, nullptr);
+}
+
+uint64_t ReloadRequestCount() {
+  return g_reload_requests.load(std::memory_order_acquire);
+}
+
+void RequestReloadForTesting() {
+  g_reload_requests.fetch_add(1, std::memory_order_acq_rel);
+}
 
 void InstallShutdownSignalHandlers() {
   struct sigaction sa = {};

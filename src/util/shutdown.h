@@ -1,6 +1,8 @@
 #ifndef EQUITENSOR_UTIL_SHUTDOWN_H_
 #define EQUITENSOR_UTIL_SHUTDOWN_H_
 
+#include <cstdint>
+
 namespace equitensor {
 
 /// Cooperative shutdown for long-running tools (DESIGN.md §12).
@@ -38,6 +40,20 @@ bool RegisterShutdownFd(int fd);
 /// registered); the fd number may have been reused, so do not touch
 /// it.
 bool UnregisterShutdownFd(int fd);
+
+/// Hot-reload signalling (DESIGN.md §14): SIGHUP bumps a process-wide
+/// counter instead of terminating. A serving loop remembers the last
+/// count it acted on and reloads when the counter moves — signals that
+/// arrive mid-reload coalesce into one more reload instead of queuing.
+/// Idempotent; independent of the SIGINT/SIGTERM handler above.
+void InstallReloadSignalHandler();
+
+/// Number of SIGHUPs received since InstallReloadSignalHandler (or
+/// ForTesting bumps). Monotonic.
+uint64_t ReloadRequestCount();
+
+/// Test hook: bumps the reload counter without raising a signal.
+void RequestReloadForTesting();
 
 /// Test hook: clears the flag (signal handlers stay installed).
 void ResetShutdownForTesting();

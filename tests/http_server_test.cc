@@ -197,6 +197,259 @@ TEST(HttpServerTest, ServesConcurrentScrapes) {
   server.Stop();
 }
 
+// Regression: the head cap used to be checked BEFORE the recv append,
+// letting the buffered head overshoot max_request_bytes by up to one
+// read chunk. A head of exactly cap bytes must pass; one byte more
+// must draw the 431 — with nothing buffered beyond the cap.
+TEST(HttpServerTest, HeadCapIsExactAtTheBoundary) {
+  HttpServer::Options options = SmallOptions();
+  options.max_request_bytes = 512;
+  HttpServer server(options);
+  server.Handle("/x", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  // Pad the head with one header so the full head (request line +
+  // headers + blank line) lands exactly on the cap.
+  const std::string skeleton = "GET /x HTTP/1.0\r\nX-Pad: \r\n\r\n";
+  const std::string at_cap =
+      "GET /x HTTP/1.0\r\nX-Pad: " +
+      std::string(options.max_request_bytes - skeleton.size(), 'a') +
+      "\r\n\r\n";
+  ASSERT_EQ(at_cap.size(), options.max_request_bytes);
+  EXPECT_NE(RawRequest(server.port(), at_cap).find("200"), std::string::npos);
+
+  const std::string over_cap =
+      "GET /x HTTP/1.0\r\nX-Pad: " +
+      std::string(options.max_request_bytes + 1 - skeleton.size(), 'a') +
+      "\r\n\r\n";
+  ASSERT_EQ(over_cap.size(), options.max_request_bytes + 1);
+  EXPECT_NE(RawRequest(server.port(), over_cap).find("431"),
+            std::string::npos);
+  server.Stop();
+}
+
+// Regression: the old first-space/last-space split silently misparsed
+// request lines with embedded spaces, empty methods, or a missing
+// version instead of rejecting them.
+TEST(HttpServerTest, MalformedRequestLineCorpusAllGet400) {
+  HttpServer server(SmallOptions());
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const char* corpus[] = {
+      " /x HTTP/1.1\r\n\r\n",          // empty method
+      "GET /x\r\n\r\n",                // missing version
+      "GET  /x HTTP/1.1\r\n\r\n",      // double space -> empty target
+      "GET /x  HTTP/1.1\r\n\r\n",      // double space -> 4 tokens
+      "GET /a b HTTP/1.1\r\n\r\n",     // space embedded in the target
+      "GET ? HTTP/1.1\r\n\r\n",        // target must start with '/'
+      "GET /x HTTP/2.0\r\n\r\n",       // version we do not speak
+      "GET /x HTTP/1.1 extra\r\n\r\n"  // trailing junk
+  };
+  for (const char* request : corpus) {
+    const std::string reply = RawRequest(server.port(), request);
+    EXPECT_NE(reply.find("400"), std::string::npos)
+        << "accepted malformed request line: " << request << " -> " << reply;
+  }
+  server.Stop();
+}
+
+// A peer that starts a request but never finishes the head gets 408
+// once the socket timeout fires (a silent peer that sent nothing is
+// just closed).
+TEST(HttpServerTest, SlowClientMidRequestGets408) {
+  HttpServer::Options options = SmallOptions();
+  options.io_timeout_ms = 300;
+  HttpServer server(options);
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  // RawRequest sends the partial head and then reads: the next thing
+  // on the socket is the server's timeout response.
+  const std::string reply = RawRequest(server.port(), "GET /x HTT");
+  EXPECT_NE(reply.find("408"), std::string::npos) << reply;
+  server.Stop();
+}
+
+// With the one worker pinned by a slow handler and the accept queue
+// full, further connections must be shed with 503 from the accept
+// thread instead of piling up.
+TEST(HttpServerTest, ShedsWith503WhenSaturated) {
+  HttpServer::Options options = SmallOptions();
+  options.worker_threads = 1;
+  options.queue_capacity = 1;
+  HttpServer server(options);
+  std::atomic<bool> release{false};
+  server.Handle("/block", [&release](const HttpRequest&) {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    HttpResponse response;
+    response.body = "done";
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  std::thread blocker(
+      [&server] { RawRequest(server.port(), "GET /block HTTP/1.0\r\n\r\n"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<std::thread> probes;
+  std::atomic<int> sheds{0};
+  for (int i = 0; i < 6; ++i) {
+    probes.emplace_back([&server, &sheds] {
+      const std::string reply =
+          RawRequest(server.port(), "GET /block HTTP/1.0\r\n\r\n");
+      if (reply.find("503") != std::string::npos) {
+        sheds.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  release.store(true, std::memory_order_release);
+  blocker.join();
+  for (std::thread& probe : probes) probe.join();
+  EXPECT_GT(sheds.load(), 0);
+  EXPECT_EQ(server.requests_shed(), static_cast<uint64_t>(sheds.load()));
+  server.Stop();
+}
+
+// One connection, many requests: the keep-alive loop with buffered
+// parsing, plus POST bodies framed by Content-Length on the same
+// socket.
+TEST(HttpServerTest, KeepAliveServesManyRequestsOnOneConnection) {
+  HttpServer server(SmallOptions());
+  std::atomic<int> hits{0};
+  server.Handle("/ping", [&hits](const HttpRequest&) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  server.Handle("/echo", {"POST"}, [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.body;
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+  for (int i = 0; i < 5; ++i) {
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(client.Get("/ping", &status, &body, &error)) << error;
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, "pong");
+    ASSERT_TRUE(client.connected());  // same socket throughout
+  }
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(client.Post("/echo", "payload with \r\n inside",
+                          "text/plain", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "payload with \r\n inside");
+  // GET on a POST-only route: refused, not dispatched.
+  ASSERT_TRUE(client.Get("/echo", &status, &body, &error)) << error;
+  EXPECT_EQ(status, 405);
+  EXPECT_EQ(hits.load(), 5);
+  server.Stop();
+}
+
+// The per-connection request budget closes a chatty peer cleanly: the
+// last allowed response carries Connection: close.
+TEST(HttpServerTest, MaxRequestsPerConnectionCloses) {
+  HttpServer::Options options = SmallOptions();
+  options.max_requests_per_connection = 2;
+  HttpServer server(options);
+  server.Handle("/x", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(client.Get("/x", &status, &body, &error)) << error;
+  EXPECT_TRUE(client.connected());
+  ASSERT_TRUE(client.Get("/x", &status, &body, &error)) << error;
+  EXPECT_FALSE(client.connected());  // server said Connection: close
+  ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+  ASSERT_TRUE(client.Get("/x", &status, &body, &error)) << error;
+  EXPECT_EQ(status, 200);
+  server.Stop();
+}
+
+// A declared body larger than max_body_bytes is refused up front.
+TEST(HttpServerTest, OversizedBodyGets413) {
+  HttpServer::Options options = SmallOptions();
+  options.max_body_bytes = 128;
+  HttpServer server(options);
+  server.Handle("/echo", {"POST"}, [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.body;
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const std::string body(200, 'b');
+  const std::string reply = RawRequest(
+      server.port(), "POST /echo HTTP/1.1\r\nContent-Length: " +
+                         std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(reply.find("413"), std::string::npos) << reply;
+  server.Stop();
+}
+
+// Regression for the client half: HttpGet used to return whatever
+// read-to-EOF produced, silently handing back truncated bodies. With
+// Content-Length validation a short body is an error, not a result.
+TEST(HttpClientTest, TruncatedBodyFailsInsteadOfReturningShort) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  // A liar server: promises 100 bytes, sends 5, hangs up.
+  std::thread liar([listen_fd] {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) return;
+    char sink[1024];
+    ::recv(conn, sink, sizeof(sink), 0);
+    const char response[] =
+        "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort";
+    ::send(conn, response, sizeof(response) - 1, 0);
+    ::close(conn);
+  });
+
+  int status = 0;
+  std::string body, error;
+  EXPECT_FALSE(HttpGet(port, "/", &status, &body, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  liar.join();
+  ::close(listen_fd);
+}
+
 TEST(TaskPoolTest, RunsSubmittedTasks) {
   TaskPool pool(2, 16);
   std::atomic<int> done{0};

@@ -1,0 +1,148 @@
+// Batched, hot-reloadable inference daemon over a trained EquiTensor
+// (DESIGN.md §14). Loads a serving bundle written by
+// `equitensor_train --output_serving`, fits the downstream head
+// deterministically, and answers /embed, /predict, /fairness,
+// /status, /healthz, and /metrics over HTTP until SIGINT/SIGTERM.
+// SIGHUP re-reads the checkpoint and atomically swaps the model;
+// in-flight requests finish on the generation they started with.
+//
+//   equitensor_serve --checkpoint=serving.etck --port=8080
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "core/serving.h"
+#include "nn/backend_registry.h"
+#include "util/flags.h"
+#include "util/shutdown.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+using namespace equitensor;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineString("checkpoint", "serving.etck",
+                     "serving bundle written by equitensor_train "
+                     "--output_serving");
+  flags.DefineInt("port", 8080, "HTTP port (0 = pick an ephemeral port)");
+  flags.DefineInt("max_batch", 8,
+                  "coalesce up to this many queued /predict requests into "
+                  "one batched forward (1 = no batching; responses are "
+                  "bitwise identical either way)");
+  flags.DefineInt("batch_window_ms", 2,
+                  "how long the batcher waits for the batch to fill");
+  flags.DefineInt("cache_capacity", 4096,
+                  "LRU capacity of the /embed response cache (0 = off)");
+  flags.DefineInt("workers", 8,
+                  "HTTP worker threads (one keep-alive connection each)");
+  flags.DefineInt("history", 24, "target history hours fed to the predictor");
+  flags.DefineInt("task_epochs", 4, "epochs for the predictor-head fit");
+  flags.DefineInt("task_steps", 20, "steps per epoch for the head fit");
+  flags.DefineInt("task_batch", 8, "minibatch size for the head fit");
+  flags.DefineInt("task_seed", 123,
+                  "head-fit seed; two daemons with equal flags and "
+                  "checkpoint serve bitwise-identical predictions");
+  flags.DefineInt("threads", 0,
+                  "worker threads for the parallel kernels "
+                  "(0 = ET_THREADS env var, then all cores; 1 = serial)");
+  flags.DefineString("backend", "",
+                     "kernel backend: reference | parallel | simd | check "
+                     "(empty = ET_BACKEND env var, then parallel)");
+
+  if (!flags.Parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText(
+        "Serve a trained EquiTensor over HTTP (batched, hot-reloadable).");
+    return 0;
+  }
+
+  SetNumThreads(static_cast<int>(flags.GetInt("threads")));
+  if (const std::string backend_name = flags.GetString("backend");
+      !backend_name.empty()) {
+    backend::Backend be;
+    if (!backend::ParseBackend(backend_name, &be)) {
+      std::cerr << "--backend=" << backend_name
+                << " is not a backend (reference | parallel | simd | check)\n";
+      return 2;
+    }
+    backend::SetBackend(be);
+  }
+
+  core::ServingService::Options options;
+  options.checkpoint_path = flags.GetString("checkpoint");
+  options.task.history = flags.GetInt("history");
+  options.task.predictor.history = options.task.history;
+  options.task.epochs = flags.GetInt("task_epochs");
+  options.task.steps_per_epoch = flags.GetInt("task_steps");
+  options.task.batch_size = flags.GetInt("task_batch");
+  options.task.seed = static_cast<uint64_t>(flags.GetInt("task_seed"));
+  options.batch.max_batch = flags.GetInt("max_batch");
+  options.batch.window_ms = flags.GetInt("batch_window_ms");
+  options.cache_capacity =
+      static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("cache_capacity")));
+  options.http.worker_threads = static_cast<int>(flags.GetInt("workers"));
+
+  core::ServingService service(options);
+  Stopwatch sw;
+  std::cout << "Loading " << options.checkpoint_path
+            << " (fitting predictor head)...\n";
+  std::string error;
+  if (!service.LoadInitial(&error)) {
+    std::cerr << "failed to load serving checkpoint: " << error << "\n";
+    return 1;
+  }
+  {
+    const auto model = service.model();
+    std::cout << "  generation 1: Z " << model->z().ShapeString() << ", "
+              << model->parameter_count() << " parameters, predict t in ["
+              << model->predict_t_min() << ", " << model->predict_t_max()
+              << "], corr(Z,S) " << model->base_audit().correlation
+              << " (loaded in " << sw.ElapsedSeconds() << " s)\n";
+  }
+
+  // SIGINT/SIGTERM wind the daemon down; SIGHUP bumps the reload
+  // counter which the poll loop below turns into Reload().
+  InstallShutdownSignalHandlers();
+  InstallReloadSignalHandler();
+
+  if (!service.Start(static_cast<int>(flags.GetInt("port")), &error)) {
+    std::cerr << "failed to start server: " << error << "\n";
+    return 1;
+  }
+  // Machine-read line (tests and scripts/check.sh grep it to find an
+  // ephemeral --port=0 port); keep the format stable.
+  std::cout << "Serving on port " << service.port() << "\n";
+  std::cout.flush();
+
+  uint64_t acted_reloads = ReloadRequestCount();
+  while (!ShutdownRequested()) {
+    const uint64_t pending = ReloadRequestCount();
+    if (pending != acted_reloads) {
+      // Coalesce: one reload covers every SIGHUP that arrived so far.
+      acted_reloads = pending;
+      sw.Restart();
+      std::string why;
+      if (service.Reload(&why)) {
+        const auto model = service.model();
+        std::cout << "Reloaded generation " << service.generation() << " in "
+                  << sw.ElapsedSeconds() << " s (Z "
+                  << model->z().ShapeString() << ")\n";
+      } else {
+        std::cout << "Reload failed, keeping generation "
+                  << service.generation() << ": " << why << "\n";
+      }
+      std::cout.flush();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cout << "Shutting down (served " << service.http().requests_served()
+            << " requests, " << service.reloads() << " reloads)\n";
+  service.Stop();
+  return 0;
+}

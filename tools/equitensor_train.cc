@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/equitensor.h"
+#include "core/serving.h"
 #include "core/telemetry.h"
 #include "core/telemetry_server.h"
 #include "data/generators.h"
@@ -51,6 +52,10 @@ int main(int argc, char** argv) {
   flags.DefineString("output_z", "equitensor_z.etck",
                      "path for the materialized representation");
   flags.DefineString("output_model", "", "optional model checkpoint path");
+  flags.DefineString("output_serving", "",
+                     "optional serving bundle for equitensor_serve: Z, the "
+                     "--sensitive map, the bikeshare target, and the trained "
+                     "encoder in one ETCK checkpoint (DESIGN.md §14)");
   flags.DefineInt("checkpoint_every", 0,
                   "write the full training state every N epochs (0 = off)");
   flags.DefineString("checkpoint_path", "train_state.etck",
@@ -306,6 +311,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "Wrote model -> " << flags.GetString("output_model") << "\n";
+  }
+  if (!flags.GetString("output_serving").empty()) {
+    core::ServingArtifacts artifacts;
+    artifacts.z = z;
+    // The serving fairness audit uses the --sensitive attribute even
+    // when training ran without a fairness mode.
+    artifacts.sensitive_map = flags.GetString("sensitive") == "income"
+                                  ? bundle.income_map
+                                  : bundle.race_map;
+    artifacts.target = bundle.bikeshare;
+    artifacts.target_scale = bundle.bikeshare_scale;
+    artifacts.task_name = "bikeshare";
+    artifacts.encoder = &trainer.model();
+    if (!core::SaveServingCheckpoint(flags.GetString("output_serving"),
+                                     artifacts)) {
+      std::cerr << "failed to write --output_serving "
+                << flags.GetString("output_serving") << "\n";
+      return 1;
+    }
+    std::cout << "Wrote serving bundle -> " << flags.GetString("output_serving")
+              << "\n";
   }
 
   if (server.running() && flags.GetInt("serve_linger") > 0) {

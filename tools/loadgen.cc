@@ -1,0 +1,284 @@
+// Closed-loop load generator for equitensor_serve: N client threads,
+// each with one keep-alive connection, issue /predict (and optionally
+// /embed) requests back-to-back and record per-request latency. The
+// summary (p50/p90/p99 latency, QPS, server-side cache/batch counters
+// scraped from /status) is written as JSON — scripts/check.sh points
+// it at BENCH_serving.json.
+//
+//   loadgen --port=8080 --threads=4 --requests=200 --out=BENCH_serving.json
+//
+// With --dump=FILE every /predict response body is written as one
+// line, in deterministic (thread, request) order. Two servers that
+// serve bitwise-identical predictions produce byte-identical dumps —
+// the serving e2e test compares a --max_batch=8 server against a
+// --max_batch=1 server this way.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/http_server.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+using namespace equitensor;
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(rank);
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  std::vector<std::string> bodies;  // only filled with --dump
+  uint64_t failures = 0;
+  std::string first_error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineInt("port", 8080, "equitensor_serve port");
+  flags.DefineInt("threads", 4, "concurrent client connections");
+  flags.DefineInt("requests", 100, "requests per thread");
+  flags.DefineBool("post", false,
+                   "use POST {\"t\":N} bodies instead of GET /predict?t=N");
+  flags.DefineInt("embed_every", 0,
+                  "also GET /embed every Nth request (0 = never); repeats "
+                  "a small key set so the LRU cache gets hits");
+  flags.DefineString("out", "",
+                     "write the JSON summary here (e.g. BENCH_serving.json); "
+                     "empty prints to stdout only");
+  flags.DefineString("dump", "",
+                     "write every /predict response body as one line, in "
+                     "(thread, request) order, for bitwise comparison");
+  if (!flags.Parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText("Closed-loop load generator for "
+                                "equitensor_serve.");
+    return 0;
+  }
+
+  const int port = static_cast<int>(flags.GetInt("port"));
+  const int64_t thread_count = std::max<int64_t>(1, flags.GetInt("threads"));
+  const int64_t per_thread = std::max<int64_t>(1, flags.GetInt("requests"));
+  const bool use_post = flags.GetBool("post");
+  const int64_t embed_every = std::max<int64_t>(0, flags.GetInt("embed_every"));
+  const bool dumping = !flags.GetString("dump").empty();
+
+  // The valid hour range and grid come from the server itself.
+  int status = 0;
+  std::string body, error;
+  if (!HttpGet(port, "/status", &status, &body, &error) || status != 200) {
+    std::cerr << "cannot read /status from port " << port << ": "
+              << (error.empty() ? "HTTP " + std::to_string(status) : error)
+              << "\n";
+    return 1;
+  }
+  JsonValue status_doc;
+  if (!JsonValue::Parse(body, &status_doc, &error)) {
+    std::cerr << "/status is not JSON: " << error << "\n";
+    return 1;
+  }
+  const JsonValue* t_min_v = status_doc.Find("predict_t_min");
+  const JsonValue* t_max_v = status_doc.Find("predict_t_max");
+  const JsonValue* w_v = status_doc.Find("w");
+  const JsonValue* h_v = status_doc.Find("h");
+  const JsonValue* z_hours_v = status_doc.Find("z_hours");
+  if (t_min_v == nullptr || t_max_v == nullptr || w_v == nullptr ||
+      h_v == nullptr || z_hours_v == nullptr) {
+    std::cerr << "/status has no model (is the daemon loaded?)\n";
+    return 1;
+  }
+  const int64_t t_min = t_min_v->int_value();
+  const int64_t t_max = t_max_v->int_value();
+  const int64_t t_span = t_max - t_min + 1;
+  const int64_t grid_w = w_v->int_value();
+  const int64_t grid_h = h_v->int_value();
+  const int64_t z_hours = z_hours_v->int_value();
+  if (t_span <= 0) {
+    std::cerr << "server reports an empty predict range\n";
+    return 1;
+  }
+
+  std::cout << "Driving port " << port << ": " << thread_count << " threads x "
+            << per_thread << " requests, t in [" << t_min << ", " << t_max
+            << "]" << (use_post ? ", POST" : ", GET") << "\n";
+
+  std::vector<WorkerResult> results(static_cast<size_t>(thread_count));
+  std::vector<std::thread> workers;
+  Stopwatch wall;
+  for (int64_t worker_id = 0; worker_id < thread_count; ++worker_id) {
+    workers.emplace_back([&, worker_id] {
+      WorkerResult& result = results[static_cast<size_t>(worker_id)];
+      result.latencies_ms.reserve(static_cast<size_t>(per_thread));
+      HttpClient client;
+      std::string client_error;
+      if (!client.Connect(port, &client_error)) {
+        result.failures = static_cast<uint64_t>(per_thread);
+        result.first_error = "connect: " + client_error;
+        return;
+      }
+      for (int64_t i = 0; i < per_thread; ++i) {
+        const int64_t sequence = worker_id * per_thread + i;
+        const int64_t t = t_min + sequence % t_span;
+        int request_status = 0;
+        std::string request_body, request_error;
+        Stopwatch latency;
+        bool ok;
+        if (use_post) {
+          ok = client.Post("/predict", "{\"t\": " + std::to_string(t) + "}",
+                           "application/json", &request_status, &request_body,
+                           &request_error);
+        } else {
+          ok = client.Get("/predict?t=" + std::to_string(t), &request_status,
+                          &request_body, &request_error);
+        }
+        const double elapsed_ms = latency.ElapsedSeconds() * 1e3;
+        if (!ok && !client.connected()) {
+          // Keep-alive limit or server restart: reconnect once.
+          ok = client.Connect(port, &request_error) &&
+               (use_post
+                    ? client.Post("/predict",
+                                  "{\"t\": " + std::to_string(t) + "}",
+                                  "application/json", &request_status,
+                                  &request_body, &request_error)
+                    : client.Get("/predict?t=" + std::to_string(t),
+                                 &request_status, &request_body,
+                                 &request_error));
+        }
+        if (!ok || request_status != 200) {
+          ++result.failures;
+          if (result.first_error.empty()) {
+            result.first_error =
+                ok ? "HTTP " + std::to_string(request_status) + ": " +
+                         request_body
+                   : request_error;
+          }
+          continue;
+        }
+        result.latencies_ms.push_back(elapsed_ms);
+        if (dumping) result.bodies.push_back(request_body);
+        if (embed_every > 0 && sequence % embed_every == 0) {
+          const int64_t cx = sequence % grid_w;
+          const int64_t cy = (sequence / grid_w) % grid_h;
+          const int64_t te = t_min % z_hours;
+          client.Get("/embed?cx=" + std::to_string(cx) +
+                         "&cy=" + std::to_string(cy) +
+                         "&t=" + std::to_string(te),
+                     &request_status, &request_body, &request_error);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::vector<double> latencies;
+  uint64_t failures = 0;
+  std::string first_error;
+  for (const WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+    failures += result.failures;
+    if (first_error.empty()) first_error = result.first_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const uint64_t succeeded = latencies.size();
+  double mean_ms = 0.0;
+  for (double ms : latencies) mean_ms += ms;
+  if (succeeded > 0) mean_ms /= static_cast<double>(succeeded);
+  const double qps =
+      wall_seconds > 0.0 ? static_cast<double>(succeeded) / wall_seconds : 0.0;
+
+  if (dumping) {
+    std::ofstream dump(flags.GetString("dump"), std::ios::trunc);
+    for (const WorkerResult& result : results) {
+      for (const std::string& line : result.bodies) {
+        dump << line;  // server bodies already end in '\n'
+        if (line.empty() || line.back() != '\n') dump << '\n';
+      }
+    }
+    if (!dump) {
+      std::cerr << "failed to write --dump " << flags.GetString("dump")
+                << "\n";
+      return 1;
+    }
+  }
+
+  // Post-run server counters: cache hit rate and realized batch sizes.
+  JsonValue after = JsonValue::Null();
+  if (HttpGet(port, "/status", &status, &body, &error) && status == 200) {
+    JsonValue parsed;
+    if (JsonValue::Parse(body, &parsed, nullptr)) after = parsed;
+  }
+
+  JsonValue summary = JsonValue::Object();
+  summary.Set("type", JsonValue::Str("bench_serving"));
+  summary.Set("threads", JsonValue::Int(thread_count));
+  summary.Set("requests", JsonValue::Int(thread_count * per_thread));
+  summary.Set("succeeded", JsonValue::Int(static_cast<int64_t>(succeeded)));
+  summary.Set("failed", JsonValue::Int(static_cast<int64_t>(failures)));
+  summary.Set("wall_seconds", JsonValue::Number(wall_seconds));
+  summary.Set("qps", JsonValue::Number(qps));
+  JsonValue latency = JsonValue::Object();
+  latency.Set("mean_ms", JsonValue::Number(mean_ms));
+  latency.Set("p50_ms", JsonValue::Number(Percentile(latencies, 0.50)));
+  latency.Set("p90_ms", JsonValue::Number(Percentile(latencies, 0.90)));
+  latency.Set("p99_ms", JsonValue::Number(Percentile(latencies, 0.99)));
+  latency.Set("max_ms",
+              JsonValue::Number(latencies.empty() ? 0.0 : latencies.back()));
+  summary.Set("latency", std::move(latency));
+  if (!after.is_null()) {
+    if (const JsonValue* cache = after.Find("cache")) {
+      JsonValue copy = *cache;
+      const JsonValue* hits = cache->Find("hits");
+      const JsonValue* misses = cache->Find("misses");
+      if (hits != nullptr && misses != nullptr) {
+        const double total = hits->number() + misses->number();
+        copy.Set("hit_rate", JsonValue::Number(
+                                 total > 0.0 ? hits->number() / total : 0.0));
+      }
+      summary.Set("cache", std::move(copy));
+    }
+    if (const JsonValue* batch = after.Find("batch")) {
+      summary.Set("batch", *batch);
+    }
+    if (const JsonValue* generation = after.Find("generation")) {
+      summary.Set("generation", *generation);
+    }
+  }
+
+  const std::string rendered = summary.Dump();
+  std::cout << rendered << "\n";
+  if (!flags.GetString("out").empty()) {
+    std::ofstream out(flags.GetString("out"), std::ios::trunc);
+    out << rendered << "\n";
+    if (!out) {
+      std::cerr << "failed to write --out " << flags.GetString("out") << "\n";
+      return 1;
+    }
+    std::cout << "Wrote summary -> " << flags.GetString("out") << "\n";
+  }
+  if (failures > 0) {
+    std::cerr << failures << " requests failed (first: " << first_error
+              << ")\n";
+    return 1;
+  }
+  return 0;
+}
