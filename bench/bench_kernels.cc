@@ -12,8 +12,10 @@
 #include "autograd/ops.h"
 #include "data/preprocess.h"
 #include "geo/rasterize.h"
+#include "models/cdae.h"
 #include "nn/backend_registry.h"
 #include "nn/kernels_simd.h"
+#include "nn/layers.h"
 #include "nn/lstm.h"
 #include "tensor/tensor_ops.h"
 #include "util/metrics.h"
@@ -179,6 +181,100 @@ void BM_Conv3dTrainStepSimd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv3dTrainStepSimd)->Apply(ThreadSweep);
+
+// --- fused backend sweep --------------------------------------------
+//
+// The BM_*Fused benches run the same work through the static graph
+// schedule (DESIGN.md §15): conv+bias+activation collapsed into one
+// kernel call and the CDAE's dataset concat folded into the shared
+// encoder's input gather. BM_ConvBiasActSimd is the eager simd chain
+// on the identical shape, so BM_ConvBiasActFused/1 vs
+// BM_ConvBiasActSimd/1 isolates the epilogue fusion win, and
+// BM_CdaeTrainStepFused/1 vs BM_CdaeTrainStepSimd/1 is the model-level
+// number the Performance table quotes (same floats bitwise, fewer
+// intermediate tensors).
+
+void BM_ConvBiasActSimd(benchmark::State& state) {
+  BackendArg be(backend::Backend::kSimd);
+  ThreadArg threads(state);
+  Rng rng(5);
+  Variable x(Tensor::RandomUniform({2, 8, 12, 10, 24}, rng), false);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), false);
+  Variable b(Tensor::RandomUniform({16}, rng), false);
+  for (auto _ : state) {
+    Variable y = nn::Activate(ag::AddBias(ag::Conv3d(x, w), b, 1),
+                              nn::Activation::kRelu);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_ConvBiasActSimd)->Apply(ThreadSweep);
+
+void BM_ConvBiasActFused(benchmark::State& state) {
+  BackendArg be(backend::Backend::kFused);
+  ThreadArg threads(state);
+  Rng rng(5);
+  Variable x(Tensor::RandomUniform({2, 8, 12, 10, 24}, rng), false);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), false);
+  Variable b(Tensor::RandomUniform({16}, rng), false);
+  for (auto _ : state) {
+    Variable y = ag::ConvBiasAct(x, w, b, backend::Act::kRelu);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_ConvBiasActFused)->Apply(ThreadSweep);
+
+// One full CDAE train step (encode through the per-dataset encoders,
+// concat, shared encoder, decode, summed MAE, backward) on a
+// paper-shaped grid. Both variants run identical float expressions;
+// the fused one goes through the sealed graph schedule.
+models::CdaeConfig BenchCdaeConfig() {
+  models::CdaeConfig config;
+  config.grid_w = 12;
+  config.grid_h = 10;
+  config.window = 24;
+  config.latent_channels = 2;
+  config.encoder_filters = {8, 1};
+  config.shared_filters = {8};
+  config.decoder_filters = {8};
+  return config;
+}
+
+void CdaeTrainStepBench(benchmark::State& state, backend::Backend b) {
+  BackendArg be(b);
+  ThreadArg threads(state);
+  Rng rng(6);
+  const std::vector<models::DatasetSpec> specs = {
+      {"temporal", data::DatasetKind::kTemporal, 1},
+      {"spatiotemporal", data::DatasetKind::kSpatioTemporal, 2}};
+  models::CoreCdae model(BenchCdaeConfig(), specs, rng);
+  std::vector<Variable> params = model.Parameters();
+  Rng data_rng(7);
+  const std::vector<Variable> inputs = {
+      Variable(Tensor::RandomUniform({2, 1, 24}, data_rng), false),
+      Variable(Tensor::RandomUniform({2, 2, 12, 10, 24}, data_rng), false)};
+  std::vector<Tensor> clean;
+  for (const Variable& in : inputs) clean.push_back(in.value());
+  for (auto _ : state) {
+    for (Variable& p : params) p.ZeroGrad();
+    const Variable z = model.Encode(inputs);
+    const auto recons = model.Decode(z, Variable());
+    const auto losses = model.ReconstructionLosses(recons, clean);
+    Variable total = losses[0];
+    for (size_t i = 1; i < losses.size(); ++i) total = ag::Add(total, losses[i]);
+    Backward(total);
+    benchmark::DoNotOptimize(params[0].grad().data());
+  }
+}
+
+void BM_CdaeTrainStepSimd(benchmark::State& state) {
+  CdaeTrainStepBench(state, backend::Backend::kSimd);
+}
+BENCHMARK(BM_CdaeTrainStepSimd)->Apply(ThreadSweep);
+
+void BM_CdaeTrainStepFused(benchmark::State& state) {
+  CdaeTrainStepBench(state, backend::Backend::kFused);
+}
+BENCHMARK(BM_CdaeTrainStepFused)->Apply(ThreadSweep);
 
 void BM_GemmRowMajorSimd(benchmark::State& state) {
   ThreadArg threads(state);

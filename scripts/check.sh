@@ -122,11 +122,13 @@ if [[ "$QUICK" != 1 ]]; then
 fi
 
 # Backend self-verification smoke (DESIGN.md §13): a short training run
-# under --backend=check executes every conv/matmul kernel on both the
-# simd and reference backends and aborts on any mismatch beyond the
-# shape-scaled tolerance, so a broken vector kernel cannot hide behind
-# a green unit suite. Runs against the sanitizer build. A bad backend
-# name must be rejected with the usage exit code, not a crash.
+# under --backend=check executes every conv/matmul kernel — including
+# the fused conv+bias+act dispatches, which check mode decomposes into
+# their constituent reference ops — on both backends and aborts on any
+# mismatch beyond the shape-scaled tolerance, so a broken vector or
+# fused kernel cannot hide behind a green unit suite. Runs against the
+# sanitizer build. A bad backend name must be rejected with the usage
+# exit code, not a crash.
 if [[ "$QUICK" != 1 ]]; then
   echo "=== backend=check self-verification smoke ==="
   "$BUILD_DIR"/tools/equitensor_train \
@@ -138,6 +140,15 @@ if [[ "$QUICK" != 1 ]]; then
     exit 1
   fi
   echo "Backend check mode OK (simd vs reference parity held)."
+
+  # Fused-backend smoke (DESIGN.md §15): the same tiny run through the
+  # static graph schedule (fused conv+bias+act kernels, concat folded
+  # into the shared encoder's gather) under the sanitizers.
+  echo "=== backend=fused graph-schedule smoke ==="
+  "$BUILD_DIR"/tools/equitensor_train \
+    --width=6 --height=5 --days=4 --epochs=1 --steps=2 --batch=2 \
+    --backend=fused --output_z="$(mktemp -u).etck" >/dev/null
+  echo "Fused backend OK (graph schedule trained end to end)."
 
   # Serving smoke (DESIGN.md §14): train a tiny model with a serving
   # bundle, bring up equitensor_serve under the sanitizers, validate
@@ -206,12 +217,12 @@ if [[ "$QUICK" != 1 ]]; then
   echo "Serving daemon OK (port $SERVE_PORT, hot reload to generation 2)."
 
   # Bench smoke: the kernel benchmarks double as integration coverage
-  # for the simd hot paths (packed GEMM, fused conv forward, arena
-  # leases) under ASan+UBSan. One short pass over the Simd benches —
-  # we want "runs clean", not timings, so min_time is tiny.
+  # for the simd and fused hot paths (packed GEMM, fused conv forward,
+  # arena leases, graph-schedule train steps) under ASan+UBSan. One
+  # short pass — we want "runs clean", not timings, so min_time is tiny.
   if [[ -x "$BUILD_DIR"/bench/bench_kernels ]]; then
-    echo "=== bench smoke (Simd benches under sanitizers) ==="
-    "$BUILD_DIR"/bench/bench_kernels --benchmark_filter='Simd' \
+    echo "=== bench smoke (Simd|Fused benches under sanitizers) ==="
+    "$BUILD_DIR"/bench/bench_kernels --benchmark_filter='Simd|Fused' \
       --benchmark_min_time=0.01 >/dev/null
     echo "Bench smoke OK."
   else

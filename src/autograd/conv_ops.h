@@ -1,7 +1,10 @@
 #ifndef EQUITENSOR_AUTOGRAD_CONV_OPS_H_
 #define EQUITENSOR_AUTOGRAD_CONV_OPS_H_
 
+#include <vector>
+
 #include "autograd/variable.h"
+#include "nn/backend_registry.h"
 
 namespace equitensor {
 namespace ag {
@@ -24,6 +27,23 @@ Variable Conv2d(const Variable& x, const Variable& w);
 
 /// Spatio-temporal convolution over [N, Cin, W, H, T] -> [N, Cout, W, H, T].
 Variable Conv3d(const Variable& x, const Variable& w);
+
+/// Fused conv → +bias → activation as ONE autograd node and ONE
+/// backend dispatch (DESIGN.md §15). The spatial rank follows x.rank()
+/// (3 → 1D, 4 → 2D, 5 → 3D); `b` is the length-Cout bias. Equal to the
+/// eager Conv/AddBias/Activate chain — bitwise on a fixed backend —
+/// while never materializing the pre-activation tensor.
+Variable ConvBiasAct(const Variable& x, const Variable& w, const Variable& b,
+                     backend::Act act);
+
+/// The same fused op whose input is the axis-1 concat of `parts` (all
+/// rank 5, matching batch and spatial extents). The concat is folded
+/// into the conv's input gather, so neither the concatenated tensor
+/// nor its gradient ever exists; per-part gradients scatter straight
+/// from the conv backward.
+Variable ConcatConvBiasAct(const std::vector<Variable>& parts,
+                           const Variable& w, const Variable& b,
+                           backend::Act act);
 
 }  // namespace ag
 }  // namespace equitensor

@@ -64,7 +64,7 @@ EarlyFusionResult TrainEarlyFusion(
     const auto tensors = sampler.MakeBatch(chunk);
     std::vector<Variable> inputs;
     for (const Tensor& tensor : tensors) inputs.emplace_back(tensor, false);
-    const Variable z = model.Encode(model.FuseInputs(inputs));
+    const Variable z = model.EncodeParts(inputs);
     const Tensor& zv = z.value();
     for (size_t b = begin; b < end; ++b) {
       const int64_t start = starts[b];

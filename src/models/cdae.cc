@@ -1,6 +1,9 @@
 #include "models/cdae.h"
 
+#include "autograd/hooks.h"
 #include "autograd/ops.h"
+#include "nn/backend_registry.h"
+#include "nn/graph_ir.h"
 #include "tensor/tensor_ops.h"
 #include "util/check.h"
 
@@ -60,7 +63,35 @@ CoreCdae::CoreCdae(CdaeConfig config, std::vector<DatasetSpec> specs, Rng& rng)
         nn::Activation::kLinear));
     decoders_.back()->SetObserveName("cdae.dec" + std::to_string(i));
   }
+
+  // Whole-encoder static graph (DESIGN.md §15), built once over the
+  // construction-time shapes. Sealing fuses every conv→bias→act chain
+  // and folds the dataset concat into the shared encoder's first conv.
+  encode_ir_ = std::make_unique<nn::GraphIr>();
+  std::vector<int> expanded_ids;
+  expanded_ids.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    int id = encode_ir_->AddInput(specs_[i].channels);
+    id = encoders_[i]->AppendToIr(encode_ir_.get(), id);
+    switch (specs_[i].kind) {
+      case data::DatasetKind::kTemporal:
+        id = encode_ir_->AddTile(id, 2, config_.grid_w);
+        id = encode_ir_->AddTile(id, 3, config_.grid_h);
+        break;
+      case data::DatasetKind::kSpatial:
+        id = encode_ir_->AddTile(id, 4, config_.window);
+        break;
+      case data::DatasetKind::kSpatioTemporal:
+        break;
+    }
+    expanded_ids.push_back(id);
+  }
+  const int merged = encode_ir_->AddConcat(std::move(expanded_ids));
+  encode_ir_->MarkOutput(shared_encoder_->AppendToIr(encode_ir_.get(), merged));
+  encode_ir_->Seal();
 }
+
+CoreCdae::~CoreCdae() = default;
 
 Variable CoreCdae::ExpandTo3d(const Variable& encoded,
                               data::DatasetKind kind) const {
@@ -81,6 +112,11 @@ Variable CoreCdae::ExpandTo3d(const Variable& encoded,
 
 Variable CoreCdae::Encode(const std::vector<Variable>& inputs) const {
   ET_CHECK_EQ(static_cast<int64_t>(inputs.size()), dataset_count());
+  // Fused schedule, unless hooks need the eager chain's intermediates
+  // (the encoders carry observe names, so hook runs must stay eager).
+  if (!ag::HooksActive() && backend::FusedGraphActive()) {
+    return encode_ir_->Run(inputs)[0];
+  }
   std::vector<Variable> expanded;
   expanded.reserve(inputs.size());
   for (size_t i = 0; i < inputs.size(); ++i) {

@@ -46,6 +46,7 @@ struct CdaeConfig {
 class CoreCdae : public nn::Module {
  public:
   CoreCdae(CdaeConfig config, std::vector<DatasetSpec> specs, Rng& rng);
+  ~CoreCdae();  // out of line: nn::GraphIr is incomplete here
 
   const CdaeConfig& config() const { return config_; }
   const std::vector<DatasetSpec>& specs() const { return specs_; }
@@ -55,7 +56,16 @@ class CoreCdae : public nn::Module {
 
   /// Encodes one batch. `inputs[i]` must hold dataset i in NN layout
   /// ([N,C,window] / [N,C,W,H] / [N,C,W,H,window]). Returns Z.
+  ///
+  /// Under a fused-graph backend (backend::FusedGraphActive) with no
+  /// hooks registered, this runs the model's sealed static schedule
+  /// (nn/graph_ir.h): every conv+bias+activation is one fused dispatch
+  /// and the encoder concat is folded into the shared encoder's first
+  /// conv, so the [N, D, W, H, T] merged tensor never exists.
   Variable Encode(const std::vector<Variable>& inputs) const;
+
+  /// The sealed whole-encoder graph (for tests and diagnostics).
+  const nn::GraphIr& encode_ir() const { return *encode_ir_; }
 
   /// Gradient-free convenience over Encode for audit/serving paths
   /// (the trainer's live fairness audit, DESIGN.md §12): wraps clean
@@ -89,6 +99,9 @@ class CoreCdae : public nn::Module {
   std::vector<std::unique_ptr<nn::ConvStack>> encoders_;
   std::unique_ptr<nn::ConvStack> shared_encoder_;
   std::vector<std::unique_ptr<nn::ConvStack>> decoders_;
+  /// Whole-encoder static graph: dataset inputs -> per-dataset
+  /// encoders -> tiles -> concat -> shared encoder, fused.
+  std::unique_ptr<nn::GraphIr> encode_ir_;
 };
 
 /// Tiles a [W, H] sensitive map into the decoder/adversary target

@@ -1,6 +1,9 @@
 #include "models/early_fusion.h"
 
+#include "autograd/hooks.h"
 #include "autograd/ops.h"
+#include "nn/backend_registry.h"
+#include "nn/graph_ir.h"
 #include "util/check.h"
 
 namespace equitensor {
@@ -22,7 +25,33 @@ EarlyFusionCdae::EarlyFusionCdae(CdaeConfig config,
   decoder_ = std::make_unique<nn::ConvStack>(3, config_.latent_channels,
                                              std::move(dec), config_.kernel,
                                              rng, nn::Activation::kLinear);
+
+  // Static parts→Z graph: the input concat folds into the encoder's
+  // first conv on a fused backend (DESIGN.md §15).
+  parts_ir_ = std::make_unique<nn::GraphIr>();
+  std::vector<int> expanded_ids;
+  expanded_ids.reserve(specs_.size());
+  for (const DatasetSpec& spec : specs_) {
+    int id = parts_ir_->AddInput(spec.channels);
+    switch (spec.kind) {
+      case data::DatasetKind::kTemporal:
+        id = parts_ir_->AddTile(id, 2, config_.grid_w);
+        id = parts_ir_->AddTile(id, 3, config_.grid_h);
+        break;
+      case data::DatasetKind::kSpatial:
+        id = parts_ir_->AddTile(id, 4, config_.window);
+        break;
+      case data::DatasetKind::kSpatioTemporal:
+        break;
+    }
+    expanded_ids.push_back(id);
+  }
+  const int merged = parts_ir_->AddConcat(std::move(expanded_ids));
+  parts_ir_->MarkOutput(encoder_->AppendToIr(parts_ir_.get(), merged));
+  parts_ir_->Seal();
 }
+
+EarlyFusionCdae::~EarlyFusionCdae() = default;
 
 Variable EarlyFusionCdae::FuseInputs(const std::vector<Variable>& inputs) const {
   ET_CHECK_EQ(inputs.size(), specs_.size());
@@ -48,6 +77,15 @@ Variable EarlyFusionCdae::FuseInputs(const std::vector<Variable>& inputs) const 
 Variable EarlyFusionCdae::Encode(const Variable& fused) const {
   ET_CHECK_EQ(fused.value().dim(1), total_channels_);
   return encoder_->Forward(fused);
+}
+
+Variable EarlyFusionCdae::EncodeParts(
+    const std::vector<Variable>& inputs) const {
+  ET_CHECK_EQ(inputs.size(), specs_.size());
+  if (!ag::HooksActive() && backend::FusedGraphActive()) {
+    return parts_ir_->Run(inputs)[0];
+  }
+  return Encode(FuseInputs(inputs));
 }
 
 Variable EarlyFusionCdae::Decode(const Variable& z) const {

@@ -16,15 +16,27 @@ namespace models {
 class EarlyFusionCdae : public nn::Module {
  public:
   EarlyFusionCdae(CdaeConfig config, std::vector<DatasetSpec> specs, Rng& rng);
+  ~EarlyFusionCdae();  // out of line: nn::GraphIr is incomplete here
 
   int64_t total_channels() const { return total_channels_; }
   const CdaeConfig& config() const { return config_; }
 
   /// Tiles + concatenates per-dataset batches into [N, ΣC, W, H, T].
+  /// Stays eager on purpose: the training loop needs the fused stack
+  /// as a materialized reconstruction target.
   Variable FuseInputs(const std::vector<Variable>& inputs) const;
 
   /// [N, ΣC, W, H, T] -> Z [N, K, W, H, T].
   Variable Encode(const Variable& fused) const;
+
+  /// Encode straight from per-dataset batches. Under a fused-graph
+  /// backend this runs the sealed tiles→concat→encoder schedule, where
+  /// the input concat folds into the encoder's first conv; otherwise
+  /// it is exactly Encode(FuseInputs(inputs)).
+  Variable EncodeParts(const std::vector<Variable>& inputs) const;
+
+  /// The sealed parts→Z graph (for tests and diagnostics).
+  const nn::GraphIr& parts_ir() const { return *parts_ir_; }
 
   /// Z -> reconstruction of the fused stack.
   Variable Decode(const Variable& z) const;
@@ -37,6 +49,8 @@ class EarlyFusionCdae : public nn::Module {
   int64_t total_channels_ = 0;
   std::unique_ptr<nn::ConvStack> encoder_;
   std::unique_ptr<nn::ConvStack> decoder_;
+  /// Static graph: dataset inputs -> tiles -> concat -> encoder.
+  std::unique_ptr<nn::GraphIr> parts_ir_;
 };
 
 }  // namespace models

@@ -6,6 +6,9 @@
 #include <map>
 #include <mutex>
 
+#include <cstring>
+
+#include "nn/kernels_fused.h"
 #include "nn/kernels_naive.h"
 #include "nn/kernels_simd.h"
 #include "util/check.h"
@@ -36,6 +39,7 @@ Registry& GetRegistry() {
 void EnsureBuiltinsRegistered() {
   RegisterNaiveKernels();
   RegisterSimdKernels();
+  RegisterFusedKernels();
 }
 
 std::atomic<int> g_backend{-1};  // -1 = unset, else static_cast<Backend>
@@ -46,7 +50,7 @@ Backend BackendFromEnv() {
   Backend b;
   ET_CHECK(ParseBackend(env, &b))
       << "ET_BACKEND=" << env
-      << " is not a backend (reference | parallel | simd | check)";
+      << " is not a backend (reference | parallel | simd | check | fused)";
   return b;
 }
 
@@ -91,7 +95,7 @@ const KernelTable& TableFor(Backend b) {
   ET_CHECK(b != Backend::kCheck) << "check mode has no single table";
   static std::mutex mu;
   static uint64_t cached_version = ~uint64_t{0};
-  static KernelTable tables[3];
+  static KernelTable tables[5];  // indexed by Backend value; kCheck unused
   EnsureBuiltinsRegistered();
   std::lock_guard<std::mutex> lock(mu);
   const uint64_t v = GetRegistry().version.load(std::memory_order_acquire);
@@ -99,9 +103,41 @@ const KernelTable& TableFor(Backend b) {
     tables[0] = BuildTable("reference");
     tables[1] = BuildTable("parallel");
     tables[2] = BuildTable("simd");
+    tables[static_cast<int>(Backend::kFused)] = BuildTable("fused");
     cached_version = v;
   }
   return tables[static_cast<int>(b)];
+}
+
+/// The fused-op kernels exist only under the "fused" backend name —
+/// every other backend dispatches them through the decomposition
+/// below — so they get their own cached table instead of rows in
+/// KernelTable (where ResolveKernel would abort for reference/
+/// parallel/simd).
+struct FusedOpTable {
+  ConvBiasActFwdFn cba_fwd;
+  ConvBiasActBwdFn cba_bwd;
+  ConcatConvBiasActFwdFn ccba_fwd;
+  ConcatConvBiasActBwdFn ccba_bwd;
+};
+
+const FusedOpTable& FusedOps() {
+  static std::mutex mu;
+  static uint64_t cached_version = ~uint64_t{0};
+  static FusedOpTable t;
+  EnsureBuiltinsRegistered();
+  std::lock_guard<std::mutex> lock(mu);
+  const uint64_t v = GetRegistry().version.load(std::memory_order_acquire);
+  if (v != cached_version) {
+    t.cba_fwd = ResolveKernelFn<ConvBiasActFwdFn>("conv_bias_act_fwd", "fused");
+    t.cba_bwd = ResolveKernelFn<ConvBiasActBwdFn>("conv_bias_act_bwd", "fused");
+    t.ccba_fwd = ResolveKernelFn<ConcatConvBiasActFwdFn>(
+        "concat_conv_bias_act_fwd", "fused");
+    t.ccba_bwd = ResolveKernelFn<ConcatConvBiasActBwdFn>(
+        "concat_conv_bias_act_bwd", "fused");
+    cached_version = v;
+  }
+  return t;
 }
 
 void CompareOrDie(const char* op, const Tensor& ref, const Tensor& got,
@@ -166,6 +202,158 @@ void CheckedConvBwd(const char* op, BwdFn ref_fn, BwdFn simd_fn,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fused-op decomposition. Non-fused backends execute a fused dispatch
+// as its constituent ops: conv through the backend's kernel table,
+// bias/activation/bias-grad through the shared eager-expression
+// helpers (kernels_fused.h). The result is bitwise equal to the eager
+// op chain on that backend — and the kReference instantiation doubles
+// as the oracle check mode replays every fused dispatch against.
+
+Conv1dDims To1d(const ConvBiasActDims& d) {
+  return {d.batch, d.cin, d.t, d.cout, d.k, d.pad};
+}
+Conv2dDims To2d(const ConvBiasActDims& d) {
+  return {d.batch, d.cin, d.w, d.h, d.cout, d.k, d.pad};
+}
+Conv3dDims To3d(const ConvBiasActDims& d) {
+  return {d.batch, d.cin, d.w, d.h, d.t, d.cout, d.k, d.pad};
+}
+
+int64_t FusedSpatialVolume(const ConvBiasActDims& d) { return d.w * d.h * d.t; }
+
+int64_t FusedKernelVolume(const ConvBiasActDims& d) {
+  int64_t kv = d.k;
+  for (int64_t r = 1; r < d.rank; ++r) kv *= d.k;
+  return kv;
+}
+
+// Materializes the axis-1 concat of `parts` — only on the decomposed
+// path; the fused kernels gather from the parts directly.
+Tensor MaterializeConcat(const ConvBiasActDims& d,
+                         const std::vector<const Tensor*>& parts) {
+  const int64_t pvol = FusedSpatialVolume(d);
+  std::vector<int64_t> shape = {d.batch, d.cin};
+  if (d.rank >= 2) {
+    shape.push_back(d.w);
+    shape.push_back(d.h);
+  }
+  if (d.rank != 2) shape.push_back(d.t);
+  Tensor merged(std::move(shape));
+  int64_t off = 0;
+  for (const Tensor* part : parts) {
+    const int64_t c_part = part->dim(1);
+    for (int64_t n = 0; n < d.batch; ++n) {
+      std::memcpy(merged.data() + (n * d.cin + off) * pvol,
+                  part->data() + n * c_part * pvol,
+                  static_cast<size_t>(c_part * pvol) * sizeof(float));
+    }
+    off += c_part;
+  }
+  return merged;
+}
+
+void DecomposedConvFwd(const KernelTable& t, const ConvBiasActDims& d,
+                       const Tensor& x, const Tensor& w, Tensor* out) {
+  switch (d.rank) {
+    case 1:
+      t.conv1d_fwd(To1d(d), x, w, out);
+      return;
+    case 2:
+      t.conv2d_fwd(To2d(d), x, w, out);
+      return;
+    default:
+      t.conv3d_fwd(To3d(d), x, w, out);
+      return;
+  }
+}
+
+void DecomposedConvBwd(const KernelTable& t, const ConvBiasActDims& d,
+                       const Tensor& x, const Tensor& w, const Tensor& gout,
+                       Tensor* gx, Tensor* gw) {
+  switch (d.rank) {
+    case 1:
+      t.conv1d_bwd(To1d(d), x, w, gout, gx, gw);
+      return;
+    case 2:
+      t.conv2d_bwd(To2d(d), x, w, gout, gx, gw);
+      return;
+    default:
+      t.conv3d_bwd(To3d(d), x, w, gout, gx, gw);
+      return;
+  }
+}
+
+void DecomposedCbaFwd(Backend b, const ConvBiasActDims& d, const Tensor& x,
+                      const Tensor& w, const Tensor& bias, Tensor* out) {
+  // The fused op overwrites `out`; the base conv kernels add into a
+  // zeroed buffer, so clear first (in check mode the caller's buffer
+  // already holds the fused result).
+  std::memset(out->data(), 0,
+              static_cast<size_t>(out->size()) * sizeof(float));
+  DecomposedConvFwd(TableFor(b), d, x, w, out);
+  FusedBiasActEpilogue(d.act, d.batch, d.cout, FusedSpatialVolume(d),
+                       bias.data(), out->data());
+}
+
+// The decomposed backward derives act' from the PRODUCED output `y`
+// (whichever kernel produced it), exactly like the eager activation
+// backward — so in check mode the fused and reference paths share one
+// relu mask and differences reflect conv associativity only.
+void DecomposedCbaBwd(Backend b, const ConvBiasActDims& d, const Tensor& x,
+                      const Tensor& w, const Tensor& y, const Tensor& gout,
+                      Tensor* gx, Tensor* gw, Tensor* gb) {
+  const int64_t pvol = FusedSpatialVolume(d);
+  Tensor gpre_t;
+  const Tensor* gpre = &gout;
+  if (d.act != Act::kLinear) {
+    gpre_t = Tensor(gout.shape());
+    FusedGradPreAct(d.act, gout.data(), y.data(), gout.size(), gpre_t.data());
+    gpre = &gpre_t;
+  }
+  if (gb) {
+    FusedAccumulateBiasGrad(d.batch, d.cout, pvol, gpre->data(), gb->data());
+  }
+  if (gx || gw) DecomposedConvBwd(TableFor(b), d, x, w, *gpre, gx, gw);
+}
+
+void DecomposedCcbaFwd(Backend b, const ConvBiasActDims& d,
+                       const std::vector<const Tensor*>& parts, const Tensor& w,
+                       const Tensor& bias, Tensor* out) {
+  const Tensor merged = MaterializeConcat(d, parts);
+  DecomposedCbaFwd(b, d, merged, w, bias, out);
+}
+
+void DecomposedCcbaBwd(Backend b, const ConvBiasActDims& d,
+                       const std::vector<const Tensor*>& parts, const Tensor& w,
+                       const Tensor& y, const Tensor& gout,
+                       const std::vector<Tensor*>& gparts, Tensor* gw,
+                       Tensor* gb) {
+  const int64_t pvol = FusedSpatialVolume(d);
+  bool any_gx = false;
+  for (Tensor* gp : gparts) any_gx |= (gp != nullptr);
+  const Tensor merged = MaterializeConcat(d, parts);
+  Tensor gx_merged;
+  if (any_gx) gx_merged = Tensor(merged.shape());
+  DecomposedCbaBwd(b, d, merged, w, y, gout, any_gx ? &gx_merged : nullptr, gw,
+                   gb);
+  if (!any_gx) return;
+  // Eager concat backward: each part receives its channel slice of the
+  // merged gradient (accumulating, per the fused-op contract).
+  int64_t off = 0;
+  for (size_t pi = 0; pi < parts.size(); ++pi) {
+    const int64_t c_part = parts[pi]->dim(1);
+    if (gparts[pi] != nullptr) {
+      for (int64_t n = 0; n < d.batch; ++n) {
+        const float* src = gx_merged.data() + (n * d.cin + off) * pvol;
+        float* dst = gparts[pi]->data() + n * c_part * pvol;
+        for (int64_t i = 0; i < c_part * pvol; ++i) dst[i] += src[i];
+      }
+    }
+    off += c_part;
+  }
+}
+
 }  // namespace
 
 void RegisterKernel(const std::string& op_key, const std::string& backend,
@@ -212,6 +400,8 @@ bool ParseBackend(const std::string& name, Backend* out) {
     *out = Backend::kSimd;
   } else if (name == "check") {
     *out = Backend::kCheck;
+  } else if (name == "fused") {
+    *out = Backend::kFused;
   } else {
     return false;
   }
@@ -228,6 +418,8 @@ const char* BackendName(Backend b) {
       return "simd";
     case Backend::kCheck:
       return "check";
+    case Backend::kFused:
+      return "fused";
   }
   return "unknown";
 }
@@ -341,6 +533,158 @@ void MatMul(const MatMulSpec& spec, const float* a, const float* b, float* c) {
     return;
   }
   TableFor(be).matmul(spec, a, b, c);
+}
+
+bool FusedGraphActive() {
+  const Backend b = ActiveBackend();
+  return b == Backend::kFused || b == Backend::kCheck;
+}
+
+void ConvBiasActForward(const ConvBiasActDims& d, const Tensor& x,
+                        const Tensor& w, const Tensor& bias, Tensor* out) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kFused) {
+    FusedOps().cba_fwd(d, x, w, bias, out);
+    return;
+  }
+  if (b == Backend::kCheck) {
+    FusedOps().cba_fwd(d, x, w, bias, out);
+    Tensor ref(out->shape());
+    DecomposedCbaFwd(Backend::kReference, d, x, w, bias, &ref);
+    // +1 term: the bias add on top of the cin·k^rank conv reduction.
+    CompareOrDie("conv_bias_act_fwd", ref, *out,
+                 d.cin * FusedKernelVolume(d) + 1);
+    return;
+  }
+  DecomposedCbaFwd(b, d, x, w, bias, out);
+}
+
+void ConvBiasActBackward(const ConvBiasActDims& d, const Tensor& x,
+                         const Tensor& w, const Tensor& y, const Tensor& gout,
+                         Tensor* gx, Tensor* gw, Tensor* gb) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kFused) {
+    FusedOps().cba_bwd(d, x, w, y, gout, gx, gw, gb);
+    return;
+  }
+  if (b == Backend::kCheck) {
+    // The fused backward accumulates, so both paths run on zeroed
+    // temps; the fused results are compared then added into the
+    // caller's gradients.
+    Tensor f_gx, f_gw, f_gb, r_gx, r_gw, r_gb;
+    if (gx) {
+      f_gx = Tensor(x.shape());
+      r_gx = Tensor(x.shape());
+    }
+    if (gw) {
+      f_gw = Tensor(w.shape());
+      r_gw = Tensor(w.shape());
+    }
+    if (gb) {
+      f_gb = Tensor({d.cout});
+      r_gb = Tensor({d.cout});
+    }
+    FusedOps().cba_bwd(d, x, w, y, gout, gx ? &f_gx : nullptr,
+                       gw ? &f_gw : nullptr, gb ? &f_gb : nullptr);
+    DecomposedCbaBwd(Backend::kReference, d, x, w, y, gout,
+                     gx ? &r_gx : nullptr, gw ? &r_gw : nullptr,
+                     gb ? &r_gb : nullptr);
+    const int64_t kvol = FusedKernelVolume(d);
+    const int64_t pvol = FusedSpatialVolume(d);
+    if (gx) {
+      CompareOrDie("conv_bias_act_bwd", r_gx, f_gx, d.cout * kvol);
+      for (int64_t i = 0; i < gx->size(); ++i) (*gx)[i] += f_gx[i];
+    }
+    if (gw) {
+      CompareOrDie("conv_bias_act_bwd", r_gw, f_gw, d.batch * pvol);
+      for (int64_t i = 0; i < gw->size(); ++i) (*gw)[i] += f_gw[i];
+    }
+    if (gb) {
+      CompareOrDie("conv_bias_act_bwd", r_gb, f_gb, d.batch * pvol);
+      for (int64_t i = 0; i < gb->size(); ++i) (*gb)[i] += f_gb[i];
+    }
+    return;
+  }
+  DecomposedCbaBwd(b, d, x, w, y, gout, gx, gw, gb);
+}
+
+void ConcatConvBiasActForward(const ConvBiasActDims& d,
+                              const std::vector<const Tensor*>& parts,
+                              const Tensor& w, const Tensor& bias,
+                              Tensor* out) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kFused) {
+    FusedOps().ccba_fwd(d, parts, w, bias, out);
+    return;
+  }
+  if (b == Backend::kCheck) {
+    FusedOps().ccba_fwd(d, parts, w, bias, out);
+    Tensor ref(out->shape());
+    DecomposedCcbaFwd(Backend::kReference, d, parts, w, bias, &ref);
+    CompareOrDie("concat_conv_bias_act_fwd", ref, *out,
+                 d.cin * FusedKernelVolume(d) + 1);
+    return;
+  }
+  DecomposedCcbaFwd(b, d, parts, w, bias, out);
+}
+
+void ConcatConvBiasActBackward(const ConvBiasActDims& d,
+                               const std::vector<const Tensor*>& parts,
+                               const Tensor& w, const Tensor& y,
+                               const Tensor& gout,
+                               const std::vector<Tensor*>& gparts, Tensor* gw,
+                               Tensor* gb) {
+  const Backend b = ActiveBackend();
+  if (b == Backend::kFused) {
+    FusedOps().ccba_bwd(d, parts, w, y, gout, gparts, gw, gb);
+    return;
+  }
+  if (b == Backend::kCheck) {
+    std::vector<Tensor> f_gp_store(parts.size()), r_gp_store(parts.size());
+    std::vector<Tensor*> f_gp(parts.size(), nullptr),
+        r_gp(parts.size(), nullptr);
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (gparts[i] != nullptr) {
+        f_gp_store[i] = Tensor(parts[i]->shape());
+        r_gp_store[i] = Tensor(parts[i]->shape());
+        f_gp[i] = &f_gp_store[i];
+        r_gp[i] = &r_gp_store[i];
+      }
+    }
+    Tensor f_gw, f_gb, r_gw, r_gb;
+    if (gw) {
+      f_gw = Tensor(w.shape());
+      r_gw = Tensor(w.shape());
+    }
+    if (gb) {
+      f_gb = Tensor({d.cout});
+      r_gb = Tensor({d.cout});
+    }
+    FusedOps().ccba_bwd(d, parts, w, y, gout, f_gp, gw ? &f_gw : nullptr,
+                        gb ? &f_gb : nullptr);
+    DecomposedCcbaBwd(Backend::kReference, d, parts, w, y, gout, r_gp,
+                      gw ? &r_gw : nullptr, gb ? &r_gb : nullptr);
+    const int64_t kvol = FusedKernelVolume(d);
+    const int64_t pvol = FusedSpatialVolume(d);
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (gparts[i] == nullptr) continue;
+      CompareOrDie("concat_conv_bias_act_bwd", r_gp_store[i], f_gp_store[i],
+                   d.cout * kvol);
+      for (int64_t j = 0; j < gparts[i]->size(); ++j) {
+        (*gparts[i])[j] += f_gp_store[i][j];
+      }
+    }
+    if (gw) {
+      CompareOrDie("concat_conv_bias_act_bwd", r_gw, f_gw, d.batch * pvol);
+      for (int64_t i = 0; i < gw->size(); ++i) (*gw)[i] += f_gw[i];
+    }
+    if (gb) {
+      CompareOrDie("concat_conv_bias_act_bwd", r_gb, f_gb, d.batch * pvol);
+      for (int64_t i = 0; i < gb->size(); ++i) (*gb)[i] += f_gb[i];
+    }
+    return;
+  }
+  DecomposedCcbaBwd(b, d, parts, w, y, gout, gparts, gw, gb);
 }
 
 }  // namespace backend

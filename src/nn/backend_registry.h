@@ -22,10 +22,16 @@ namespace backend {
 ///   simd      — im2col + blocked AVX2/FMA GEMM with arena-planned
 ///               scratch (kernels_simd.cc); deterministic per thread
 ///               count, equal to reference within CheckTolerance.
-///   check     — self-verifying mode: every dispatch runs `simd` and
-///               `reference` and CHECK-fails if they diverge beyond
-///               CheckTolerance; the simd result is kept, so the fast
-///               path is what actually executes.
+///   fused     — the static-graph executor (nn/graph_ir.h): models
+///               route their forward through a fused schedule whose
+///               conv+bias+activation chains and encoder concats
+///               collapse into the single-kernel dispatches below
+///               (kernels_fused.cc); base ops delegate to `simd`.
+///   check     — self-verifying mode: every dispatch runs the fast
+///               path (`simd`, or the fused kernel for fused ops) and
+///               a reference decomposition and CHECK-fails if they
+///               diverge beyond CheckTolerance; the fast result is
+///               kept, so the fast path is what actually executes.
 ///
 /// Selection: `SetBackend` (wired to the tools' `--backend` flag),
 /// else the `ET_BACKEND` environment variable read once at startup,
@@ -33,7 +39,7 @@ namespace backend {
 /// `RegisterKernel` call instead of a rewrite; this is also the seam
 /// an external-BLAS or GPU backend would plug into.
 
-enum class Backend { kReference, kParallel, kSimd, kCheck };
+enum class Backend { kReference, kParallel, kSimd, kCheck, kFused };
 
 /// Pre-validated convolution geometry ("same" zero padding, stride 1,
 /// odd kernels — see autograd/conv_ops.h for the layout conventions).
@@ -86,6 +92,52 @@ using Conv3dBwdFn = void (*)(const Conv3dDims&, const Tensor& x,
 using MatMulFn = void (*)(const MatMulSpec&, const float* a, const float* b,
                           float* c);
 
+/// Pointwise activation folded into a fused conv epilogue. Values
+/// mirror nn::Activation; semantics are bit-for-bit the eager ops
+/// (relu `x > 0 ? x : 0`, sigmoid `1/(1+exp(-x))`, tanh `std::tanh`).
+enum class Act : int32_t { kLinear = 0, kRelu = 1, kSigmoid = 2, kTanh = 3 };
+
+/// Pre-validated geometry of a fused conv+bias+activation dispatch.
+/// One struct covers all three spatial ranks with the same unification
+/// the simd lowering uses: rank 1 sets w = h = 1 (t is the time axis),
+/// rank 2 sets t = 1. For the concat-folding variant `cin` is the SUM
+/// of the part channel counts; per-part layout rides in the dispatch
+/// arguments, not here.
+struct ConvBiasActDims {
+  int64_t rank;  // spatial rank: 1, 2, or 3
+  int64_t batch, cin, cout, k, pad;
+  int64_t w, h, t;  // unified extents (see above)
+  Act act;
+};
+
+/// Fused-kernel contracts (kernels_fused.cc):
+///  - forward OVERWRITES `out` = act(conv(x, w) + bias) — unlike the
+///    base conv kernels there is no zero-fill precondition;
+///  - backward ACCUMULATES into gx / gw / gb, any of which may be null
+///    to skip that gradient, and receives the forward OUTPUT `y` so
+///    activation derivatives are computed from the produced values
+///    (matching the eager autograd ops bit for bit);
+///  - the concat variant reads the virtual input from `parts` (their
+///    channels stacked on axis 1, the fold described in DESIGN.md §15)
+///    and scatters gx into `gparts`; null entries skip that part.
+using ConvBiasActFwdFn = void (*)(const ConvBiasActDims&, const Tensor& x,
+                                  const Tensor& w, const Tensor& bias,
+                                  Tensor* out);
+using ConvBiasActBwdFn = void (*)(const ConvBiasActDims&, const Tensor& x,
+                                  const Tensor& w, const Tensor& y,
+                                  const Tensor& gout, Tensor* gx, Tensor* gw,
+                                  Tensor* gb);
+using ConcatConvBiasActFwdFn = void (*)(const ConvBiasActDims&,
+                                        const std::vector<const Tensor*>& parts,
+                                        const Tensor& w, const Tensor& bias,
+                                        Tensor* out);
+using ConcatConvBiasActBwdFn = void (*)(const ConvBiasActDims&,
+                                        const std::vector<const Tensor*>& parts,
+                                        const Tensor& w, const Tensor& y,
+                                        const Tensor& gout,
+                                        const std::vector<Tensor*>& gparts,
+                                        Tensor* gw, Tensor* gb);
+
 /// Registers `fn` (one of the Fn types above) for (`op_key`,
 /// `backend`). Op keys: conv1d_fwd, conv1d_bwd, conv2d_fwd, conv2d_bwd,
 /// conv3d_fwd, conv3d_bwd, matmul. Re-registering an existing pair
@@ -115,7 +167,7 @@ Fn ResolveKernelFn(const std::string& op_key, const std::string& backend) {
 std::vector<std::pair<std::string, std::string>> ListKernels();
 
 /// Backend-name round trip: "reference" | "parallel" | "simd" |
-/// "check". ParseBackend returns false on unknown names.
+/// "check" | "fused". ParseBackend returns false on unknown names.
 bool ParseBackend(const std::string& name, Backend* out);
 const char* BackendName(Backend b);
 
@@ -123,6 +175,12 @@ const char* BackendName(Backend b);
 /// SetBackend, the ET_BACKEND env var (read once), kParallel.
 void SetBackend(Backend b);
 Backend CurrentBackend();
+
+/// True when models should execute through their fused graph schedule
+/// (nn/graph_ir.h) instead of eager op chains: the current backend is
+/// `fused`, or `check` (so the self-verifying mode replays every fused
+/// dispatch against its reference decomposition).
+bool FusedGraphActive();
 
 /// True when the CPU executes the AVX2/FMA micro-kernels; false means
 /// the simd backend is running its portable blocked fallback.
@@ -153,6 +211,28 @@ void Conv3dForward(const Conv3dDims& d, const Tensor& x, const Tensor& w,
 void Conv3dBackward(const Conv3dDims& d, const Tensor& x, const Tensor& w,
                     const Tensor& gout, Tensor* gx, Tensor* gw);
 void MatMul(const MatMulSpec& spec, const float* a, const float* b, float* c);
+
+/// Fused-op dispatch. Under `fused` (and `check`) these run the fused
+/// kernels; under every other backend they DECOMPOSE into the
+/// constituent base ops of that backend — conv via its kernel table
+/// plus the eager bias/activation loops — producing values bitwise
+/// equal to the eager op chain, so the fused graph schedule can run on
+/// any backend. Check mode runs the fused kernel AND the reference
+/// decomposition and aborts beyond CheckTolerance.
+void ConvBiasActForward(const ConvBiasActDims& d, const Tensor& x,
+                        const Tensor& w, const Tensor& bias, Tensor* out);
+void ConvBiasActBackward(const ConvBiasActDims& d, const Tensor& x,
+                         const Tensor& w, const Tensor& y, const Tensor& gout,
+                         Tensor* gx, Tensor* gw, Tensor* gb);
+void ConcatConvBiasActForward(const ConvBiasActDims& d,
+                              const std::vector<const Tensor*>& parts,
+                              const Tensor& w, const Tensor& bias, Tensor* out);
+void ConcatConvBiasActBackward(const ConvBiasActDims& d,
+                               const std::vector<const Tensor*>& parts,
+                               const Tensor& w, const Tensor& y,
+                               const Tensor& gout,
+                               const std::vector<Tensor*>& gparts, Tensor* gw,
+                               Tensor* gb);
 
 }  // namespace backend
 }  // namespace equitensor

@@ -48,12 +48,10 @@ namespace {
 // (vs `reference`) the accumulation association differs, bounded by
 // CheckTolerance.
 
-struct ConvGeom {
-  int64_t batch, cin, cout;
-  int64_t w, h, t;     // spatial extents (1 where the rank lacks them)
-  int64_t kw, kh, kt;  // kernel extents
-  int64_t pw, ph, pt;  // "same" pads per axis
-};
+// The geometry struct lives in the header (SimdConvGeom) so the fused
+// executor can drive the same lowering; the old internal name stays as
+// the local spelling.
+using ConvGeom = SimdConvGeom;
 
 int64_t SpatialVolume(const ConvGeom& g) { return g.w * g.h * g.t; }
 int64_t PatchSize(const ConvGeom& g) { return g.cin * g.kw * g.kh * g.kt; }
@@ -349,13 +347,20 @@ namespace {
 // corresponds to patch entry (ci, kx, ky, kt); the "same" padding
 // appears as zeroed borders. Rows are independent, so the loop
 // parallelizes over r (owner-computes).
+//
+// The input is addressed through per-channel gather tables: channel
+// ci of sample n lives at chan_base[ci] + n * chan_stride[ci]. A
+// dense tensor is the trivial table; the fused concat fold points
+// channels at separate source tensors. The emitted col values are
+// identical either way, which is what makes the fold bitwise-neutral.
 
-// Writes the p values of col row r (patch entry r) for sample xn into
+// Writes the p values of col row r (patch entry r) for sample n into
 // `row`. Each cell is written exactly once: the pad borders get
 // zeros, the interior gets the shifted input span. (A full memset
 // followed by the copies would double the write traffic, which is
 // most of im2col's cost.)
-void Im2ColRow(const ConvGeom& g, int64_t r, const float* xn, float* row) {
+void Im2ColRow(const ConvGeom& g, int64_t r, const float* const* chan_base,
+               const int64_t* chan_stride, int64_t n, float* row) {
   const int64_t p = SpatialVolume(g);
   const int64_t kvol = g.kw * g.kh * g.kt;
   const int64_t ci = r / kvol;
@@ -376,7 +381,7 @@ void Im2ColRow(const ConvGeom& g, int64_t r, const float* xn, float* row) {
     std::memset(row, 0, static_cast<size_t>(p) * sizeof(float));
     return;
   }
-  const float* src = xn + ci * p;
+  const float* src = chan_base[ci] + n * chan_stride[ci];
   const size_t span = static_cast<size_t>(t1 - t0) * sizeof(float);
   const int64_t ht = g.h * g.t;
   std::memset(row, 0, static_cast<size_t>(x0 * ht) * sizeof(float));
@@ -397,11 +402,14 @@ void Im2ColRow(const ConvGeom& g, int64_t r, const float* xn, float* row) {
   }
 }
 
-void Im2Col(const ConvGeom& g, const float* xn, float* col) {
+void Im2Col(const ConvGeom& g, const float* const* chan_base,
+            const int64_t* chan_stride, int64_t n, float* col) {
   const int64_t p = SpatialVolume(g);
   const int64_t rows = PatchSize(g);
   ParallelFor(0, rows, GrainForCost(p), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) Im2ColRow(g, r, xn, col + r * p);
+    for (int64_t r = r0; r < r1; ++r) {
+      Im2ColRow(g, r, chan_base, chan_stride, n, col + r * p);
+    }
   });
 }
 
@@ -416,9 +424,9 @@ void Im2Col(const ConvGeom& g, const float* xn, float* col) {
 // j0). Same zero-border / shifted-span structure as Im2ColRow,
 // clipped to the window; the fused conv forward stages one cache
 // block's worth of each row at a time with this.
-void Im2ColRowSlice(const ConvGeom& g, int64_t r, const float* xn, int64_t j0,
-                    int64_t j1, float* out) {
-  const int64_t p = SpatialVolume(g);
+void Im2ColRowSlice(const ConvGeom& g, int64_t r,
+                    const float* const* chan_base, const int64_t* chan_stride,
+                    int64_t n, int64_t j0, int64_t j1, float* out) {
   const int64_t kvol = g.kw * g.kh * g.kt;
   const int64_t ci = r / kvol;
   const int64_t rem = r % kvol;
@@ -430,7 +438,7 @@ void Im2ColRowSlice(const ConvGeom& g, int64_t r, const float* xn, int64_t j0,
   const int64_t dto = kt - g.pt;
   const int64_t t0 = std::max<int64_t>(0, -dto);
   const int64_t t1 = std::min<int64_t>(g.t, g.t - dto);
-  const float* src = xn + ci * p;
+  const float* src = chan_base[ci] + n * chan_stride[ci];
   // Walk the window as t-line segments; coordinates advance
   // incrementally after the initial decode of j0.
   int64_t xx = j0 / (g.h * g.t);
@@ -467,14 +475,19 @@ void Im2ColRowSlice(const ConvGeom& g, int64_t r, const float* xn, int64_t j0,
 
 
 // Scatter-add of gcol back onto the input gradient. Each ci owns its
-// gx plane; the k offsets are applied in a fixed order inside the
-// owner, so the accumulation is deterministic for any thread count.
-void Col2Im(const ConvGeom& g, const float* gcol, float* gxn) {
+// gx plane (addressed through the gather tables, so a folded concat
+// scatters straight into the per-part gradients); the k offsets are
+// applied in a fixed order inside the owner, so the accumulation is
+// deterministic for any thread count. Null channel entries (a part
+// that doesn't need its gradient) are skipped.
+void Col2Im(const ConvGeom& g, const float* gcol, float* const* gx_base,
+            const int64_t* gx_stride, int64_t n) {
   const int64_t p = SpatialVolume(g);
   const int64_t kvol = g.kw * g.kh * g.kt;
   ParallelFor(0, g.cin, GrainForCost(kvol * p), [&](int64_t c0, int64_t c1) {
     for (int64_t ci = c0; ci < c1; ++ci) {
-      float* gplane = gxn + ci * p;
+      if (gx_base[ci] == nullptr) continue;
+      float* gplane = gx_base[ci] + n * gx_stride[ci];
       for (int64_t kx = 0; kx < g.kw; ++kx) {
         const int64_t dxo = kx - g.pw;
         const int64_t x0 = std::max<int64_t>(0, -dxo);
@@ -515,6 +528,8 @@ void PackTranspose(const float* src, int64_t rows, int64_t cols, float* dst) {
   });
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Convolution drivers.
 
@@ -527,8 +542,9 @@ void PackTranspose(const float* src, int64_t rows, int64_t cols, float* dst) {
 // (write, strided re-read, pack), which dominated the unfused
 // profile. W is packed once per call; the jt-outer tile order then
 // reads each B tile exactly once per block.
-void SimdConvForward(const ConvGeom& g, const Tensor& x, const Tensor& w,
-                     Tensor* out) {
+void SimdConvForwardGather(const SimdConvGeom& g, const float* const* chan_base,
+                           const int64_t* chan_stride, const float* w,
+                           float* out) {
   const int64_t p = SpatialVolume(g);
   const int64_t ck = PatchSize(g);
   const int64_t m = g.cout;
@@ -546,7 +562,7 @@ void SimdConvForward(const ConvGeom& g, const Tensor& x, const Tensor& w,
       const int64_t mr = std::min(kMR, m - i0);
       float* dst = apack.data() + kc0 * i_tiles * kMR + it * kc * kMR;
       for (int64_t i = 0; i < mr; ++i) {
-        const float* srow = w.data() + (i0 + i) * ck + kc0;
+        const float* srow = w + (i0 + i) * ck + kc0;
         for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + i] = srow[kk];
       }
       for (int64_t i = mr; i < kMR; ++i) {
@@ -564,8 +580,7 @@ void SimdConvForward(const ConvGeom& g, const Tensor& x, const Tensor& w,
         for (int64_t blk = blk0; blk < blk1; ++blk) {
           const int64_t n = blk / nb_count;
           const int64_t nb = blk % nb_count;
-          const float* xn = x.data() + n * g.cin * p;
-          float* cn = out->data() + n * m * p;
+          float* cn = out + n * m * p;
           const int64_t j_begin = nb * kNB;
           const int64_t j_end = std::min(p, j_begin + kNB);
           const int64_t width = j_end - j_begin;
@@ -586,8 +601,8 @@ void SimdConvForward(const ConvGeom& g, const Tensor& x, const Tensor& w,
             // the memory-disambiguation predictor (4K aliasing) and
             // each chunk pays a machine-clear-sized penalty.
             for (int64_t kk = 0; kk < kc; ++kk) {
-              Im2ColRowSlice(g, kc0 + kk, xn, j_begin, j_end,
-                             rowslice.data());
+              Im2ColRowSlice(g, kc0 + kk, chan_base, chan_stride, n, j_begin,
+                             j_end, rowslice.data());
               float* dst = bscratch.data() + kk * kNR;
               for (int64_t jt = 0; jt < j_tiles; ++jt) {
                 std::memcpy(dst + jt * kc * kNR, rowslice.data() + jt * kNR,
@@ -616,21 +631,24 @@ void SimdConvForward(const ConvGeom& g, const Tensor& x, const Tensor& w,
       });
 }
 
-void SimdConvBackward(const ConvGeom& g, const Tensor& x, const Tensor& w,
-                      const Tensor& gout, Tensor* gx, Tensor* gw) {
+void SimdConvBackwardGather(const SimdConvGeom& g,
+                            const float* const* chan_base,
+                            const int64_t* chan_stride, const float* w,
+                            const float* gout, float* const* gx_base,
+                            const int64_t* gx_stride, float* gw) {
   const int64_t p = SpatialVolume(g);
   const int64_t ck = PatchSize(g);
-  if (gx) {
+  if (gx_base) {
     // gcol = Wᵀ · gY, then scatter back onto the input grid. Wᵀ is
     // packed contiguous once per call so the GEMM runs unit-stride.
     ArenaBuffer wt(Arena::Global(), ck * g.cout);
-    PackTranspose(w.data(), g.cout, ck, wt.data());
+    PackTranspose(w, g.cout, ck, wt.data());
     ArenaBuffer gcol(Arena::Global(), ck * p);
     for (int64_t n = 0; n < g.batch; ++n) {
-      GemmRowMajor(ck, p, g.cout, wt.data(), g.cout,
-                   gout.data() + n * g.cout * p, p, gcol.data(), p,
+      GemmRowMajor(ck, p, g.cout, wt.data(), g.cout, gout + n * g.cout * p, p,
+                   gcol.data(), p,
                    /*accumulate=*/false);
-      Col2Im(g, gcol.data(), gx->data() + n * g.cin * p);
+      Col2Im(g, gcol.data(), gx_base, gx_stride, n);
     }
   }
   if (gw) {
@@ -644,19 +662,58 @@ void SimdConvBackward(const ConvGeom& g, const Tensor& x, const Tensor& w,
     std::memset(gwt.data(), 0,
                 static_cast<size_t>(ck * g.cout) * sizeof(float));
     for (int64_t n = 0; n < g.batch; ++n) {
-      Im2Col(g, x.data() + n * g.cin * p, col.data());
-      PackTranspose(gout.data() + n * g.cout * p, g.cout, p, gyt.data());
+      Im2Col(g, chan_base, chan_stride, n, col.data());
+      PackTranspose(gout + n * g.cout * p, g.cout, p, gyt.data());
       GemmRowMajor(ck, g.cout, p, col.data(), p, gyt.data(), g.cout,
                    gwt.data(), g.cout, /*accumulate=*/true);
     }
-    float* gw_data = gw->data();
     const float* gwt_data = gwt.data();
     for (int64_t co = 0; co < g.cout; ++co) {
       for (int64_t r = 0; r < ck; ++r) {
-        gw_data[co * ck + r] += gwt_data[r * g.cout + co];
+        gw[co * ck + r] += gwt_data[r * g.cout + co];
       }
     }
   }
+}
+
+namespace {
+
+// Dense-tensor wrappers: one gather table per call (cin pointer
+// entries — ordinary small vectors, not arena leases).
+void DenseChanTable(const Tensor& x, int64_t cin, int64_t p,
+                    std::vector<const float*>* base,
+                    std::vector<int64_t>* stride) {
+  base->resize(cin);
+  stride->assign(cin, cin * p);
+  for (int64_t ci = 0; ci < cin; ++ci) (*base)[ci] = x.data() + ci * p;
+}
+
+void SimdConvForward(const ConvGeom& g, const Tensor& x, const Tensor& w,
+                     Tensor* out) {
+  const int64_t p = SpatialVolume(g);
+  std::vector<const float*> base;
+  std::vector<int64_t> stride;
+  DenseChanTable(x, g.cin, p, &base, &stride);
+  SimdConvForwardGather(g, base.data(), stride.data(), w.data(), out->data());
+}
+
+void SimdConvBackward(const ConvGeom& g, const Tensor& x, const Tensor& w,
+                      const Tensor& gout, Tensor* gx, Tensor* gw) {
+  const int64_t p = SpatialVolume(g);
+  std::vector<const float*> base;
+  std::vector<int64_t> stride;
+  DenseChanTable(x, g.cin, p, &base, &stride);
+  std::vector<float*> gx_base;
+  std::vector<int64_t> gx_stride;
+  if (gx) {
+    gx_base.resize(g.cin);
+    gx_stride.assign(g.cin, g.cin * p);
+    for (int64_t ci = 0; ci < g.cin; ++ci) gx_base[ci] = gx->data() + ci * p;
+  }
+  SimdConvBackwardGather(g, base.data(), stride.data(), w.data(), gout.data(),
+                         gx ? gx_base.data() : nullptr,
+                         gx ? gx_stride.data() : nullptr,
+                         gw ? gw->data() : nullptr);
 }
 
 ConvGeom GeomFrom(const Conv1dDims& d) {

@@ -28,6 +28,39 @@ void GemmRowMajor(int64_t m, int64_t n, int64_t k, const float* a,
                   int64_t lda, const float* b, int64_t ldb, float* c,
                   int64_t ldc, bool accumulate);
 
+/// Unified conv geometry shared by the simd lowering and the fused
+/// executor: a 1d conv is a 3d conv with w = h = 1 and a temporal-only
+/// kernel, a 2d conv one with t = 1.
+struct SimdConvGeom {
+  int64_t batch, cin, cout;
+  int64_t w, h, t;     // spatial extents (1 where the rank lacks them)
+  int64_t kw, kh, kt;  // kernel extents
+  int64_t pw, ph, pt;  // "same" pads per axis
+};
+
+/// Gather-source conv forward: input channel ci of sample n reads the
+/// plane at chan_base[ci] + n * chan_stride[ci] (spatial volume
+/// w*h*t floats, dense). A single dense tensor is the special case
+/// chan_base[ci] = x + ci*p, chan_stride[ci] = cin*p; a channel
+/// concat folds in by pointing channels at the source parts instead —
+/// the im2col matrix it produces is IDENTICAL either way, so the
+/// folded conv is bitwise equal to conv-after-materialized-concat on
+/// this backend. `out` ([batch, cout, p]) is overwritten.
+void SimdConvForwardGather(const SimdConvGeom& g, const float* const* chan_base,
+                           const int64_t* chan_stride, const float* w,
+                           float* out);
+
+/// Gather/scatter conv backward. gx scatters per input channel through
+/// gx_base[ci] + n * gx_stride[ci], ACCUMULATING (pass gx_base ==
+/// nullptr to skip gx entirely; individual null entries skip that
+/// channel). gw ([cout, ck]) accumulates as well (nullptr skips).
+/// `gout` is dense [batch, cout, p].
+void SimdConvBackwardGather(const SimdConvGeom& g,
+                            const float* const* chan_base,
+                            const int64_t* chan_stride, const float* w,
+                            const float* gout, float* const* gx_base,
+                            const int64_t* gx_stride, float* gw);
+
 }  // namespace backend
 }  // namespace equitensor
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/backend_registry.h"
+#include "nn/graph_ir.h"
 #include "nn/init.h"
 #include "util/check.h"
 
@@ -94,12 +96,31 @@ ConvStack::ConvStack(int spatial_rank, int64_t in_channels,
                                rng, act));
     channels = filters[i];
   }
+  ir_ = std::make_unique<GraphIr>();
+  const int input = ir_->AddInput(in_channels);
+  ir_->MarkOutput(AppendToIr(ir_.get(), input));
+  ir_->Seal();
+}
+
+ConvStack::~ConvStack() = default;
+
+int ConvStack::AppendToIr(GraphIr* ir, int input) const {
+  int id = input;
+  for (const auto& layer : layers_) {
+    id = ir->AddConv(id, layer->spatial_rank(), layer->weight());
+    id = ir->AddBias(id, layer->bias());
+    id = ir->AddAct(id, layer->activation());
+  }
+  return id;
 }
 
 Variable ConvStack::Forward(const Variable& x) const {
   // The observation check is hoisted out of the layer loop: with no
   // hooks registered a forward pass costs one relaxed atomic load.
   const bool observing = !observe_name_.empty() && ag::HooksActive();
+  // Fused-graph backends execute the sealed schedule — unless hooks
+  // need the eager chain's intermediates.
+  if (!observing && backend::FusedGraphActive()) return ir_->Run1(x);
   Variable y = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
     y = layers_[i]->Forward(y);

@@ -14,6 +14,8 @@
 namespace equitensor {
 namespace nn {
 
+class GraphIr;  // nn/graph_ir.h; layers only hold a pointer
+
 /// Pointwise nonlinearity applied after a layer's affine transform.
 enum class Activation { kLinear, kRelu, kSigmoid, kTanh };
 
@@ -63,6 +65,13 @@ class Conv : public Module {
   int64_t in_channels() const { return in_channels_; }
   int64_t out_channels() const { return out_channels_; }
 
+  /// Parameter/config access for the static-graph builder
+  /// (nn/graph_ir.h), which references the SAME Variables so optimizer
+  /// steps are visible to a sealed schedule.
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+  Activation activation() const { return act_; }
+
  private:
   int spatial_rank_;
   int64_t in_channels_;
@@ -80,8 +89,18 @@ class ConvStack : public Module {
   ConvStack(int spatial_rank, int64_t in_channels,
             std::vector<int64_t> filters, int64_t kernel, Rng& rng,
             Activation final_act = Activation::kLinear);
+  ~ConvStack();  // out of line: GraphIr is incomplete here
 
+  /// Runs the stack. Under a fused-graph backend (backend ::
+  /// FusedGraphActive) and with no hooks observing, this executes the
+  /// stack's sealed fused schedule instead of the eager layer loop —
+  /// same values bitwise on a fixed backend, fewer intermediates.
   Variable Forward(const Variable& x) const;
+
+  /// Appends this stack's layers to `ir` starting from node `input`;
+  /// returns the stack's output node id. Used by models composing
+  /// several stacks into one graph.
+  int AppendToIr(GraphIr* ir, int input) const;
   std::vector<Variable> Parameters() const override;
   /// Names layers as "conv<i>.weight" / "conv<i>.bias".
   std::vector<NamedParameter> NamedParameters() const override;
@@ -93,8 +112,13 @@ class ConvStack : public Module {
   void SetObserveName(std::string name) { observe_name_ = std::move(name); }
   const std::string& observe_name() const { return observe_name_; }
 
+  /// The stack's own sealed single-input graph (what Forward runs on a
+  /// fused backend); exposed for tests and diagnostics.
+  const GraphIr& ir() const { return *ir_; }
+
  private:
   std::vector<std::unique_ptr<Conv>> layers_;
+  std::unique_ptr<GraphIr> ir_;
   std::string observe_name_;
 };
 

@@ -6,6 +6,7 @@
 #include "autograd/grad_check.h"
 #include "autograd/ops.h"
 #include "models/adversary.h"
+#include "nn/backend_registry.h"
 #include "nn/lstm.h"
 #include "util/thread_pool.h"
 
@@ -297,6 +298,87 @@ TEST(GradCheckTest, AdversaryLossMatchesFiniteDifferences) {
   };
   const GradCheckResult result = CheckGradients(fn, {z}, {true});
   EXPECT_TRUE(result.ok) << "adversary latent grad: " << result.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Fused backward paths (DESIGN.md §15). The fused ops compute their
+// whole backward — act' from the output, bias reduction, conv
+// gather/scatter — inside one kernel; finite differences validate that
+// composition directly under the fused backend. Activations stay
+// smooth (sigmoid/tanh/linear) so the quotients are well conditioned;
+// the relu epilogue's parity with eager is covered by
+// fusion_parity_test's differential fuzz.
+// ---------------------------------------------------------------------------
+
+struct ScopedBackend {
+  explicit ScopedBackend(backend::Backend b) { backend::SetBackend(b); }
+  ~ScopedBackend() { backend::SetBackend(backend::Backend::kParallel); }
+};
+
+TEST(GradCheckTest, FusedConvBiasActMatchesFiniteDifferences) {
+  ScopedBackend scoped(backend::Backend::kFused);
+  struct FusedCase {
+    const char* name;
+    std::vector<int64_t> x_shape, w_shape;
+    backend::Act act;
+  };
+  const FusedCase cases[] = {
+      {"rank1_sigmoid", {2, 3, 6}, {4, 3, 3}, backend::Act::kSigmoid},
+      {"rank2_tanh", {2, 2, 5, 4}, {3, 2, 3, 3}, backend::Act::kTanh},
+      {"rank3_sigmoid", {1, 2, 3, 3, 4}, {2, 2, 3, 3, 3},
+       backend::Act::kSigmoid},
+      {"rank3_linear", {2, 2, 3, 2, 3}, {3, 2, 3, 3, 3},
+       backend::Act::kLinear},
+      // 1x1x1 kernel: the im2col degenerates to a channel gather.
+      {"rank3_pointwise", {2, 3, 4, 3, 5}, {2, 3, 1, 1, 1},
+       backend::Act::kTanh},
+      // Kernel larger than the input: every window hangs over the edge
+      // and most im2col columns are padding.
+      {"rank2_kernel_gt_input", {1, 1, 2, 2}, {2, 1, 5, 5},
+       backend::Act::kSigmoid},
+      // Singleton spatial dims stress the unified w=h=1 geometry.
+      {"rank3_singleton", {1, 1, 1, 1, 3}, {1, 1, 3, 3, 3},
+       backend::Act::kSigmoid},
+  };
+  Rng rng(2026);
+  for (const FusedCase& c : cases) {
+    const Tensor x = Tensor::RandomUniform(c.x_shape, rng, -1.0f, 1.0f);
+    const Tensor w = Tensor::RandomUniform(c.w_shape, rng, -0.5f, 0.5f);
+    const Tensor b = Tensor::RandomUniform({c.w_shape[0]}, rng, -0.5f, 0.5f);
+    const backend::Act act = c.act;
+    const auto fn = [act](std::vector<Variable>& v) {
+      return ag::SumAll(ag::Sigmoid(ag::ConvBiasAct(v[0], v[1], v[2], act)));
+    };
+    const auto result = CheckGradients(fn, {x, w, b}, {true, true, true});
+    EXPECT_TRUE(result.ok) << c.name << ": " << result.detail;
+  }
+}
+
+TEST(GradCheckTest, FusedConcatConvBiasActMatchesFiniteDifferences) {
+  ScopedBackend scoped(backend::Backend::kFused);
+  Rng rng(3033);
+  // Three parts with distinct channel counts; the fused kernel gathers
+  // them as a virtual [1, 6, 3, 2, 4] input.
+  const Tensor p0 = Tensor::RandomUniform({1, 2, 3, 2, 4}, rng, -1.0f, 1.0f);
+  const Tensor p1 = Tensor::RandomUniform({1, 1, 3, 2, 4}, rng, -1.0f, 1.0f);
+  const Tensor p2 = Tensor::RandomUniform({1, 3, 3, 2, 4}, rng, -1.0f, 1.0f);
+  const Tensor w = Tensor::RandomUniform({2, 6, 3, 3, 3}, rng, -0.5f, 0.5f);
+  const Tensor b = Tensor::RandomUniform({2}, rng, -0.5f, 0.5f);
+  const auto fn = [](std::vector<Variable>& v) {
+    return ag::SumAll(ag::Sigmoid(ag::ConcatConvBiasAct(
+        {v[0], v[1], v[2]}, v[3], v[4], backend::Act::kTanh)));
+  };
+  {
+    const auto result = CheckGradients(fn, {p0, p1, p2, w, b},
+                                       {true, true, true, true, true});
+    EXPECT_TRUE(result.ok) << "all grads: " << result.detail;
+  }
+  {
+    // Skipped middle part exercises the null-entry scatter path.
+    const auto result = CheckGradients(fn, {p0, p1, p2, w, b},
+                                       {true, false, true, true, true});
+    EXPECT_TRUE(result.ok) << "skipped part grad: " << result.detail;
+  }
 }
 
 TEST(GradCheckTest, DetectsWrongGradient) {

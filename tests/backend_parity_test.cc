@@ -233,27 +233,65 @@ TEST_F(BackendParityTest, CheckModeRunsAndKeepsSimdResult) {
 
 TEST_F(BackendParityTest, RegistryListsAllBuiltinKernels) {
   const auto kernels = backend::ListKernels();
+  const auto registered = [&](const char* op, const char* be) {
+    for (const auto& [k_op, k_be] : kernels) {
+      if (k_op == op && k_be == be) return true;
+    }
+    return false;
+  };
   const char* ops[] = {"conv1d_fwd", "conv1d_bwd", "conv2d_fwd", "conv2d_bwd",
                        "conv3d_fwd", "conv3d_bwd", "matmul"};
-  const char* backends[] = {"reference", "parallel", "simd"};
+  const char* backends[] = {"reference", "parallel", "simd", "fused"};
   for (const char* op : ops) {
     for (const char* be : backends) {
-      bool found = false;
-      for (const auto& [k_op, k_be] : kernels) {
-        found |= (k_op == op && k_be == be);
-      }
-      EXPECT_TRUE(found) << op << "/" << be << " not registered";
+      EXPECT_TRUE(registered(op, be)) << op << "/" << be << " not registered";
     }
+  }
+  // The fused op keys exist only under "fused"; every other backend
+  // reaches them through the registry's decomposition path.
+  const char* fused_ops[] = {"conv_bias_act_fwd", "conv_bias_act_bwd",
+                             "concat_conv_bias_act_fwd",
+                             "concat_conv_bias_act_bwd"};
+  for (const char* op : fused_ops) {
+    EXPECT_TRUE(registered(op, "fused")) << op << "/fused not registered";
+    EXPECT_FALSE(registered(op, "simd")) << op << " should be fused-only";
+    EXPECT_FALSE(registered(op, "reference")) << op << " should be fused-only";
   }
 }
 
 TEST_F(BackendParityTest, ParseBackendRoundTrips) {
   backend::Backend b;
-  for (const char* name : {"reference", "parallel", "simd", "check"}) {
+  for (const char* name : {"reference", "parallel", "simd", "check", "fused"}) {
     ASSERT_TRUE(backend::ParseBackend(name, &b));
     EXPECT_STREQ(backend::BackendName(b), name);
   }
   EXPECT_FALSE(backend::ParseBackend("cuda", &b));
+}
+
+TEST_F(BackendParityTest, CheckModeDecomposesFusedDispatch) {
+  // Under check, a fused dispatch must run the fused kernel AND its
+  // reference decomposition, abort on divergence, and keep the fused
+  // result (bitwise what the fused backend produces).
+  Rng rng(21);
+  Tensor x = Tensor::RandomUniform({2, 3, 4, 3, 5}, rng, -1.0f, 1.0f);
+  Tensor w = Tensor::RandomUniform({4, 3, 3, 3, 3}, rng, -0.5f, 0.5f);
+  Tensor b = Tensor::RandomUniform({4}, rng, -0.5f, 0.5f);
+  const auto run = [&] {
+    Variable xv(x, true), wv(w, true), bv(b, true);
+    Variable y = ag::ConvBiasAct(xv, wv, bv, backend::Act::kRelu);
+    Backward(ag::SumAll(y));
+    return std::vector<Tensor>{y.value(), xv.grad(), wv.grad(), bv.grad()};
+  };
+  backend::SetBackend(backend::Backend::kFused);
+  const auto fused = run();
+  backend::SetBackend(backend::Backend::kCheck);
+  const auto checked = run();  // aborts if fused diverges from reference
+  for (size_t i = 0; i < fused.size(); ++i) {
+    ASSERT_EQ(std::memcmp(fused[i].data(), checked[i].data(),
+                          sizeof(float) * fused[i].size()),
+              0)
+        << "check mode must keep the fused result (tensor " << i << ")";
+  }
 }
 
 }  // namespace

@@ -97,9 +97,10 @@ int main(int argc, char** argv) {
                   "worker threads for the parallel kernels "
                   "(0 = ET_THREADS env var, then all cores; 1 = serial)");
   flags.DefineString("backend", "",
-                     "kernel backend: reference | parallel | simd | check "
-                     "(empty = ET_BACKEND env var, then parallel; check "
-                     "runs simd self-verified against reference)");
+                     "kernel backend: reference | parallel | simd | fused | check "
+                     "(empty = ET_BACKEND env var, then parallel; fused runs "
+                     "the static-graph fused schedule; check self-verifies "
+                     "every dispatch against reference)");
 
   if (!flags.Parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
@@ -121,7 +122,7 @@ int main(int argc, char** argv) {
     backend::Backend be;
     if (!backend::ParseBackend(backend_name, &be)) {
       std::cerr << "--backend=" << backend_name
-                << " is not a backend (reference | parallel | simd | check)\n";
+                << " is not a backend (reference | parallel | simd | fused | check)\n";
       return 2;
     }
     backend::SetBackend(be);
