@@ -150,19 +150,24 @@ if [[ "$QUICK" != 1 ]]; then
     --backend=fused --output_z="$(mktemp -u).etck" >/dev/null
   echo "Fused backend OK (graph schedule trained end to end)."
 
-  # Serving smoke (DESIGN.md §14): train a tiny model with a serving
-  # bundle, bring up equitensor_serve under the sanitizers, validate
-  # /healthz, /metrics, and a real /predict with scrape_check, then
-  # SIGHUP hot-reload and require a second predict from generation 2.
-  # SIGINT must end the daemon with exit 0.
+  # Serving smoke (DESIGN.md §14/§16): train a tiny model with a
+  # serving bundle, bring up equitensor_serve under the sanitizers with
+  # the observability layer on (JSONL access log, /debug endpoints),
+  # validate /healthz, /metrics (including a real multi-bucket stage
+  # histogram), /debug/requests, /debug/slow, and a real /predict with
+  # scrape_check, then SIGHUP hot-reload and require a second predict
+  # from generation 2. SIGINT must end the daemon with exit 0, after
+  # which the access log must be well-formed JSONL.
   echo "=== serving daemon smoke test ==="
   SERVE_LOG="$(mktemp)"
+  SERVE_ACCESS_LOG="$(mktemp -u).jsonl"
   SERVE_CKPT="$(mktemp -u).etck"
   "$BUILD_DIR"/tools/equitensor_train \
     --width=6 --height=5 --days=6 --epochs=2 --steps=2 --batch=2 \
     --output_z="$(mktemp -u).etck" --output_serving="$SERVE_CKPT" >/dev/null
   "$BUILD_DIR"/tools/equitensor_serve --checkpoint="$SERVE_CKPT" --port=0 \
-    --task_epochs=1 --task_steps=4 >"$SERVE_LOG" 2>&1 &
+    --task_epochs=1 --task_steps=4 \
+    --access_log="$SERVE_ACCESS_LOG" --slow_ms=500 >"$SERVE_LOG" 2>&1 &
   SERVE_PID=$!
   SERVE_PORT=""
   for _ in $(seq 1 300); do
@@ -184,11 +189,21 @@ if [[ "$QUICK" != 1 ]]; then
   SERVE_OK=1
   "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" --path=/healthz \
     --format=text --expect_status=200 || SERVE_OK=0
-  "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" --path=/metrics \
-    --format=prom || SERVE_OK=0
   # The smoke bundle has >24 target hours, so t=25 is always in range.
   "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" \
     --path='/predict?t=25' --format=json || SERVE_OK=0
+  # With a /predict observed, /metrics must expose the forward stage as
+  # a real multi-bucket histogram, and the /debug endpoints serve the
+  # live timelines.
+  "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" --path=/metrics \
+    --format=prom \
+    --require_histogram=et_serving_stage_seconds_forward || SERVE_OK=0
+  "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" \
+    --path=/debug/requests --format=json || SERVE_OK=0
+  "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" \
+    --path=/debug/slow --format=json || SERVE_OK=0
+  "$BUILD_DIR"/tools/scrape_check --port="$SERVE_PORT" \
+    --path=/debug/stages --format=json || SERVE_OK=0
   kill -HUP "$SERVE_PID"
   RELOADED=""
   for _ in $(seq 1 300); do
@@ -214,7 +229,16 @@ if [[ "$QUICK" != 1 ]]; then
     cat "$SERVE_LOG" >&2
     exit 1
   fi
-  echo "Serving daemon OK (port $SERVE_PORT, hot reload to generation 2)."
+  # Every access-log line must round-trip through the strict JSON
+  # parser (the log sampled every request: scrapes + predicts).
+  if ! "$BUILD_DIR"/tools/scrape_check --file="$SERVE_ACCESS_LOG" \
+       --format=jsonl; then
+    echo "check.sh: serving access log is not valid JSONL" >&2
+    cat "$SERVE_ACCESS_LOG" >&2
+    exit 1
+  fi
+  echo "Serving daemon OK (port $SERVE_PORT, hot reload to generation 2," \
+    "access log valid)."
 
   # Bench smoke: the kernel benchmarks double as integration coverage
   # for the simd and fused hot paths (packed GEMM, fused conv forward,

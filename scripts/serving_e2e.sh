@@ -8,7 +8,13 @@
 # batching layer must be bitwise-transparent. Then SIGHUPs the batched
 # daemon, waits for generation 2, and checks it still answers.
 #
-# Invoked by ctest (serving_e2e, labels integration;net) with
+# The batched daemon runs with request observability on (the default):
+# loadgen's summary must carry the server-side stage breakdown and the
+# client-vs-server latency reconciliation (DESIGN.md §16), and the
+# bitwise-parity contract must hold WITH the observability layer
+# enabled — instrumentation may never change responses.
+#
+# Invoked by ctest (serving_e2e, labels integration;net;serving) with
 # TRAIN_BIN/SERVE_BIN/LOADGEN_BIN pointing at the built tools.
 set -euo pipefail
 
@@ -75,6 +81,17 @@ if ! cmp -s "$workdir/batched.sorted" "$workdir/unbatched.sorted"; then
   exit 1
 fi
 grep -q '"batches":' "$workdir/batched.json" || { echo "no batch stats"; exit 1; }
+
+echo "== observability fields in the loadgen summary =="
+# The batched daemon observes requests (default --observe), so the
+# summary must reconcile client latency against the server's own
+# per-stage view scraped from /debug/stages.
+for field in '"server_stages"' '"requests_observed"' '"forward"' \
+             '"reconciliation"' '"client_p99_ms"' '"server_p99_ms"' \
+             '"delta_p50_ms"'; do
+  grep -q "$field" "$workdir/batched.json" \
+    || { echo "loadgen summary is missing $field"; cat "$workdir/batched.json"; exit 1; }
+done
 
 echo "== SIGHUP hot reload on the batched daemon =="
 kill -HUP "$batched_pid"

@@ -9,6 +9,7 @@
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/prom.h"
+#include "util/stopwatch.h"
 #include "util/trace.h"
 
 namespace equitensor {
@@ -386,7 +387,9 @@ int64_t ServingModel::parameter_count() const {
 
 EmbeddingCache::EmbeddingCache(size_t capacity) : capacity_(capacity) {}
 
-bool EmbeddingCache::Get(int64_t key, std::string* out) {
+bool EmbeddingCache::Get(int64_t key, std::string* out,
+                         RequestContext* context) {
+  StageScope stage(context, RequestStage::kCacheLookup);
   if (capacity_ == 0) return false;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -463,7 +466,7 @@ void PredictBatcher::Stop() {
   }
 }
 
-PredictOutcome PredictBatcher::Predict(int64_t t) {
+PredictOutcome PredictBatcher::Predict(int64_t t, RequestContext* context) {
   // Validate against the current generation before queueing so a
   // malformed request never occupies a batch slot (Execute re-checks
   // against whichever generation actually runs the batch).
@@ -491,20 +494,26 @@ PredictOutcome PredictBatcher::Predict(int64_t t) {
     }
     queue_.emplace_back();
     queue_.back().t = t;
+    queue_.back().enqueue = std::chrono::steady_clock::now();
+    queue_.back().context = context;
     future = queue_.back().promise.get_future();
+    ET_METRIC_GAUGE_SET("serving.queue_depth",
+                        static_cast<double>(queue_.size()));
   }
   cv_.notify_all();
   return future.get();
 }
 
 void PredictBatcher::Loop() {
+  SetTraceThreadName("serve.batcher");
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
     if (stop_) return;  // leftovers are failed by Stop()
+    const auto wake = std::chrono::steady_clock::now();
     if (options_.max_batch > 1 && options_.window_ms > 0 &&
         static_cast<int64_t>(queue_.size()) < options_.max_batch) {
-      const auto deadline = std::chrono::steady_clock::now() +
+      const auto deadline = wake +
                             std::chrono::milliseconds(options_.window_ms);
       cv_.wait_until(lock, deadline, [this] {
         return stop_ ||
@@ -512,6 +521,7 @@ void PredictBatcher::Loop() {
       });
       if (stop_) return;
     }
+    const auto popped = std::chrono::steady_clock::now();
     std::vector<Pending> batch;
     const int64_t take = std::min<int64_t>(
         static_cast<int64_t>(queue_.size()), options_.max_batch);
@@ -519,6 +529,23 @@ void PredictBatcher::Loop() {
     for (int64_t i = 0; i < take; ++i) {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+    }
+    ET_METRIC_GAUGE_SET("serving.queue_depth",
+                        static_cast<double>(queue_.size()));
+    // Stage attribution per request: queue-wait is enqueue -> the
+    // batcher waking for this round; batch-wait is the rest of the
+    // time until the batch was sealed (window fill). A request that
+    // arrived mid-window has no queue-wait, only the remaining window.
+    for (Pending& pending : batch) {
+      if (pending.context == nullptr) continue;
+      const auto start = pending.enqueue;
+      const auto woke = std::max(start, wake);
+      pending.context->AddStage(
+          RequestStage::kQueueWait,
+          std::chrono::duration<double>(woke - start).count());
+      pending.context->AddStage(
+          RequestStage::kBatchWait,
+          std::chrono::duration<double>(popped - woke).count());
     }
     lock.unlock();
     Execute(std::move(batch));
@@ -530,6 +557,9 @@ void PredictBatcher::Execute(std::vector<Pending> batch) {
   std::shared_ptr<const ServingModel> model = provider_();
   std::vector<int64_t> hours;
   std::vector<size_t> slots;
+  // The owning HTTP worker stays blocked on the future, so writing a
+  // pending's context is safe exactly until its promise is fulfilled —
+  // every AddStage / generation write below precedes the set_value.
   for (size_t i = 0; i < batch.size(); ++i) {
     PredictOutcome outcome;
     if (!model) {
@@ -543,6 +573,9 @@ void PredictBatcher::Execute(std::vector<Pending> batch) {
       outcome.error = "t out of range [" +
                       std::to_string(model->predict_t_min()) + ", " +
                       std::to_string(model->predict_t_max()) + "]";
+      if (batch[i].context != nullptr) {
+        batch[i].context->timeline().generation = model->generation();
+      }
       batch[i].promise.set_value(std::move(outcome));
       continue;
     }
@@ -551,7 +584,18 @@ void PredictBatcher::Execute(std::vector<Pending> batch) {
   }
   if (hours.empty()) return;
 
-  const Tensor out = model->Predict(hours);  // [N, 1, W, H]
+  Stopwatch forward_watch;
+  Tensor out;
+  {
+    ET_TRACE_SPAN("serve.batch_forward");
+    out = model->Predict(hours);  // [N, 1, W, H]
+  }
+  // Every coalesced request paid the full forward wall time — the pass
+  // ran once for all of them, and none could finish sooner.
+  const double forward_seconds = forward_watch.ElapsedSeconds();
+  static Histogram* const occupancy = MetricsRegistry::Global().GetHistogram(
+      "serving.batch_occupancy", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  occupancy->Observe(static_cast<double>(hours.size()));
   const int64_t cells = model->w() * model->h();
   for (size_t j = 0; j < hours.size(); ++j) {
     PredictOutcome outcome;
@@ -560,6 +604,11 @@ void PredictBatcher::Execute(std::vector<Pending> batch) {
     outcome.grid = Tensor({model->w(), model->h()});
     std::memcpy(outcome.grid.data(), out.data() + static_cast<int64_t>(j) * cells,
                 static_cast<size_t>(cells) * sizeof(float));
+    RequestContext* context = batch[slots[j]].context;
+    if (context != nullptr) {
+      context->AddStage(RequestStage::kForward, forward_seconds);
+      context->timeline().generation = model->generation();
+    }
     batch[slots[j]].promise.set_value(std::move(outcome));
   }
   batches_run_.fetch_add(1, std::memory_order_relaxed);
@@ -580,6 +629,22 @@ ServingService::ServingService(Options options)
       batcher_(options_.batch, [this] { return model(); }),
       http_(options_.http),
       start_time_(std::chrono::steady_clock::now()) {
+  if (options_.observe) {
+    observability_ =
+        std::make_unique<RequestObservability>(options_.observability);
+    http_.set_observer([this](const RequestTimeline& timeline) {
+      observability_->Observe(timeline);
+    });
+    http_.Handle("/debug/requests", [this](const HttpRequest&) {
+      return JsonResponse(200, observability_->RequestsJson());
+    });
+    http_.Handle("/debug/slow", [this](const HttpRequest&) {
+      return JsonResponse(200, observability_->SlowJson());
+    });
+    http_.Handle("/debug/stages", [this](const HttpRequest&) {
+      return JsonResponse(200, observability_->StagesJson());
+    });
+  }
   http_.Handle("/healthz", [this](const HttpRequest&) {
     HttpResponse response;
     if (model()) {
@@ -625,6 +690,10 @@ bool ServingService::LoadInitial(std::string* error) {
 bool ServingService::Start(int port, std::string* error) {
   if (!model()) {
     return SetError(error, "ServingService::Start before LoadInitial");
+  }
+  if (observability_ != nullptr) {
+    std::string why;
+    if (!observability_->OpenAccessLog(&why)) return SetError(error, why);
   }
   batcher_.Start();
   if (!http_.Start(port, error)) {
@@ -684,8 +753,12 @@ void ServingService::SetModel(std::shared_ptr<const ServingModel> model) {
 }
 
 HttpResponse ServingService::HandleEmbed(const HttpRequest& request) {
+  ET_TRACE_SPAN("serve.embed");
   std::shared_ptr<const ServingModel> model = this->model();
   if (!model) return JsonError(503, "no model loaded");
+  if (request.context != nullptr) {
+    request.context->timeline().generation = model->generation();
+  }
   int64_t cx = 0, cy = 0, t = 0;
   if (QueryInt64(request.query, "cx", &cx) != 1 ||
       QueryInt64(request.query, "cy", &cy) != 1 ||
@@ -708,7 +781,7 @@ HttpResponse ServingService::HandleEmbed(const HttpRequest& request) {
           model->z_hours() +
       t;
   std::string payload;
-  if (cache_.Get(key, &payload)) {
+  if (cache_.Get(key, &payload, request.context)) {
     ET_METRIC_COUNTER_ADD("serving.cache_hits", 1);
     HttpResponse response;
     response.content_type = "application/json; charset=utf-8";
@@ -716,6 +789,7 @@ HttpResponse ServingService::HandleEmbed(const HttpRequest& request) {
     return response;
   }
   ET_METRIC_COUNTER_ADD("serving.cache_misses", 1);
+  StageScope serialize(request.context, RequestStage::kSerialize);
   JsonValue doc = JsonValue::Object();
   doc.Set("type", JsonValue::Str("embedding"));
   doc.Set("generation", JsonValue::Int(model->generation()));
@@ -734,6 +808,7 @@ HttpResponse ServingService::HandleEmbed(const HttpRequest& request) {
 }
 
 HttpResponse ServingService::HandlePredict(const HttpRequest& request) {
+  ET_TRACE_SPAN("serve.predict");
   int64_t t = 0;
   if (request.method == "POST") {
     JsonValue doc;
@@ -750,12 +825,16 @@ HttpResponse ServingService::HandlePredict(const HttpRequest& request) {
     return JsonError(400, "expected integer query parameter t");
   }
   ET_METRIC_COUNTER_ADD("serving.predict_requests", 1);
-  PredictOutcome outcome = batcher_.Predict(t);
+  PredictOutcome outcome = batcher_.Predict(t, request.context);
+  if (request.context != nullptr && outcome.generation != 0) {
+    request.context->timeline().generation = outcome.generation;
+  }
   if (!outcome.ok) {
     // No generation means the service itself was unavailable (no model
     // or batcher stopped) rather than a bad request.
     return JsonError(outcome.generation == 0 ? 503 : 400, outcome.error);
   }
+  StageScope serialize(request.context, RequestStage::kSerialize);
   JsonValue doc = JsonValue::Object();
   doc.Set("type", JsonValue::Str("prediction"));
   doc.Set("generation", JsonValue::Int(outcome.generation));
@@ -771,8 +850,12 @@ HttpResponse ServingService::HandlePredict(const HttpRequest& request) {
 }
 
 HttpResponse ServingService::HandleFairness(const HttpRequest& request) {
+  ET_TRACE_SPAN("serve.fairness");
   std::shared_ptr<const ServingModel> model = this->model();
   if (!model) return JsonError(503, "no model loaded");
+  if (request.context != nullptr) {
+    request.context->timeline().generation = model->generation();
+  }
   ET_METRIC_COUNTER_ADD("serving.fairness_requests", 1);
   JsonValue doc = JsonValue::Object();
   doc.Set("type", JsonValue::Str("fairness"));
@@ -846,6 +929,18 @@ HttpResponse ServingService::HandleStatus(const HttpRequest&) {
   doc.Set("reloads", JsonValue::Int(static_cast<int64_t>(reloads())));
   doc.Set("reload_failures",
           JsonValue::Int(static_cast<int64_t>(reload_failures())));
+  if (observability_ != nullptr) {
+    JsonValue observe = JsonValue::Object();
+    observe.Set("observed", JsonValue::Int(static_cast<int64_t>(
+                                observability_->observed())));
+    observe.Set("access_log_lines",
+                JsonValue::Int(static_cast<int64_t>(
+                    observability_->access_log_lines())));
+    observe.Set("ring_capacity",
+                JsonValue::Int(static_cast<int64_t>(
+                    observability_->options().ring_capacity)));
+    doc.Set("observability", std::move(observe));
+  }
   {
     std::lock_guard<std::mutex> lock(model_mu_);
     doc.Set("last_reload_error", JsonValue::Str(last_reload_error_));

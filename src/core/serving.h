@@ -22,6 +22,7 @@
 #include "models/cdae.h"
 #include "util/http_server.h"
 #include "util/json.h"
+#include "util/request_trace.h"
 
 namespace equitensor {
 namespace core {
@@ -145,7 +146,9 @@ class EmbeddingCache {
  public:
   explicit EmbeddingCache(size_t capacity);
 
-  bool Get(int64_t key, std::string* out);
+  /// Probe; records the lookup duration as the request's cache stage
+  /// when a context is attached.
+  bool Get(int64_t key, std::string* out, RequestContext* context = nullptr);
   void Put(int64_t key, std::string value);
   void Clear();
 
@@ -198,8 +201,13 @@ class PredictBatcher {
   void Stop();
 
   /// Blocking; safe from any thread. Fails fast (without touching the
-  /// model) when `t` is outside the current generation's range.
-  PredictOutcome Predict(int64_t t);
+  /// model) when `t` is outside the current generation's range. With a
+  /// context attached, the batcher records the request's queue-wait,
+  /// batch-wait, and forward stages; the caller stays blocked on the
+  /// future while the batcher thread writes, and the batcher never
+  /// touches the context after fulfilling the promise, so the two
+  /// threads hand the context off without overlap.
+  PredictOutcome Predict(int64_t t, RequestContext* context = nullptr);
 
   uint64_t batches_run() const {
     return batches_run_.load(std::memory_order_relaxed);
@@ -214,6 +222,8 @@ class PredictBatcher {
  private:
   struct Pending {
     int64_t t = 0;
+    std::chrono::steady_clock::time_point enqueue;
+    RequestContext* context = nullptr;  // null when unobserved
     std::promise<PredictOutcome> promise;
   };
   void Loop();
@@ -244,6 +254,11 @@ class PredictBatcher {
 ///   POST /predict {"t": N}   t+1..t+horizon (batched forward)
 ///   GET  /fairness[?t=N]     JSON: corr(Z,S) + parity gap, full Z or
 ///                            one time slice
+///   GET  /debug/requests     JSON: last-K request timelines (seqlock
+///                            ring — DESIGN.md §16)
+///   GET  /debug/slow         JSON: top-K slowest requests
+///   GET  /debug/stages       JSON: per-stage / per-endpoint latency
+///                            percentiles (loadgen scrapes this)
 class ServingService {
  public:
   struct Options {
@@ -252,6 +267,12 @@ class ServingService {
     PredictBatcher::Options batch;
     size_t cache_capacity = 4096;
     HttpServer::Options http;
+    /// Request observability (DESIGN.md §16). With `observe` false the
+    /// server attaches no observer, mounts no /debug routes, and the
+    /// request path records nothing — the overhead-baseline mode that
+    /// `bench_serving.sh` measures against.
+    bool observe = true;
+    RequestObservability::Options observability;
   };
 
   explicit ServingService(Options options);
@@ -289,6 +310,8 @@ class ServingService {
   const HttpServer& http() const { return http_; }
   EmbeddingCache& cache() { return cache_; }
   PredictBatcher& batcher() { return batcher_; }
+  /// Null when Options::observe is false.
+  RequestObservability* observability() { return observability_.get(); }
 
  private:
   HttpResponse HandleEmbed(const HttpRequest& request);
@@ -304,6 +327,7 @@ class ServingService {
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> reload_failures_{0};
   std::string last_reload_error_;  // guarded by model_mu_
+  std::unique_ptr<RequestObservability> observability_;
   EmbeddingCache cache_;
   PredictBatcher batcher_;
   HttpServer http_;

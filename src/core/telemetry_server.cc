@@ -55,7 +55,25 @@ bool SnapshotCell::Read(std::string* out) const {
   return false;  // theoretical: 1024 publishes raced one read
 }
 
-TelemetryServer::TelemetryServer() {
+TelemetryServer::TelemetryServer()
+    : observability_([] {
+        RequestObservability::Options options;
+        options.metric_prefix = "telemetry";
+        options.ring_capacity = 32;
+        // Scrapes are sparse; the ring and histograms are plenty — no
+        // access log for the telemetry port.
+        options.sample_every = 0;
+        return options;
+      }()) {
+  http_.set_observer([this](const RequestTimeline& timeline) {
+    observability_.Observe(timeline);
+  });
+  http_.Handle("/debug/requests", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    response.body = observability_.RequestsJson().Dump() + "\n";
+    return response;
+  });
   http_.Handle("/metrics", [](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";

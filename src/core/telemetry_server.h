@@ -61,6 +61,9 @@ class SnapshotCell {
 ///               SnapshotCell
 ///   /fairness — JSON per-epoch history of the live fairness audit
 ///               (Pearson corr of Z vs S, demographic-parity gap)
+///   /debug/requests — JSON ring of the last scrapes' request
+///               timelines (DESIGN.md §16; same layer as the serving
+///               daemon's, with metric prefix "telemetry")
 /// Wire a run into it via TrainTelemetry::AttachServer.
 class TelemetryServer {
  public:
@@ -91,8 +94,11 @@ class TelemetryServer {
 
   uint64_t requests_served() const { return http_.requests_served(); }
 
+  RequestObservability& observability() { return observability_; }
+
  private:
   HttpServer http_;
+  RequestObservability observability_;
   SnapshotCell status_;
   SnapshotCell fairness_;
   SnapshotCell health_detail_;

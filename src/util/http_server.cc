@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -16,6 +17,7 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/shutdown.h"
+#include "util/stopwatch.h"
 
 namespace equitensor {
 namespace {
@@ -220,6 +222,12 @@ void HttpServer::Handle(const std::string& path,
   routes_.push_back(Route{path, std::move(methods), std::move(handler)});
 }
 
+void HttpServer::set_observer(
+    std::function<void(const RequestTimeline&)> observer) {
+  ET_CHECK(!running()) << "set_observer() must precede Start()";
+  observer_ = std::move(observer);
+}
+
 bool HttpServer::Start(int port, std::string* error) {
   const auto fail = [&](const std::string& reason) {
     if (error != nullptr) *error = reason + ": " + std::strerror(errno);
@@ -285,6 +293,21 @@ void HttpServer::AcceptLoop() {
       // write, but bounded by the socket timeout.
       requests_shed_.fetch_add(1, std::memory_order_relaxed);
       ET_METRIC_COUNTER_ADD("http.requests_shed", 1);
+      // Say so in the log, at most about once a second: a silent 503
+      // storm looks like a client bug until someone scrapes metrics.
+      static std::atomic<int64_t> last_warn_s{-1};
+      const int64_t now_s = std::chrono::duration_cast<std::chrono::seconds>(
+                                std::chrono::steady_clock::now()
+                                    .time_since_epoch())
+                                .count();
+      int64_t prev = last_warn_s.load(std::memory_order_relaxed);
+      if (prev != now_s &&
+          last_warn_s.compare_exchange_strong(prev, now_s,
+                                              std::memory_order_relaxed)) {
+        ET_LOG(Warning) << "http worker queue saturated; shedding with 503 ("
+                        << requests_shed_.load(std::memory_order_relaxed)
+                        << " shed total)";
+      }
       WriteError(fd, 503);
       ::close(fd);
     }
@@ -308,8 +331,16 @@ void HttpServer::ServeConnection(int fd) {
   char chunk[4096];
   uint64_t served_here = 0;
   const size_t head_cap = options_.max_request_bytes;
+  const bool observed = static_cast<bool>(observer_);
 
   for (;;) {
+    // Request timing starts at the first byte of this request:
+    // pipelined leftovers count from here, otherwise the clock starts
+    // after the first successful recv — keep-alive idle time between
+    // requests is not parse time.
+    Stopwatch request_watch;
+    bool timing_started = observed && !buffer.empty();
+
     // --- Read until one full head is buffered. The cap is enforced
     // after every append: the head region can never overshoot
     // max_request_bytes before the 431 fires (it previously could, by
@@ -333,6 +364,10 @@ void HttpServer::ServeConnection(int fd) {
         return;
       }
       buffer.append(chunk, static_cast<size_t>(n));
+      if (observed && !timing_started) {
+        timing_started = true;
+        request_watch.Restart();
+      }
     }
     if (head_end + 4 > head_cap) {
       WriteError(fd, 431);
@@ -383,6 +418,23 @@ void HttpServer::ServeConnection(int fd) {
     ET_METRIC_COUNTER_ADD("http.requests", 1);
     ++served_here;
 
+    // --- Observability context, living on this worker's stack for
+    // exactly one request. Parse covers first byte -> head+body ready.
+    RequestContext context;
+    if (observed) {
+      RequestTimeline& timeline = context.timeline();
+      timeline.id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      timeline.set_method(request.method);
+      timeline.set_path(request.path);
+      timeline.start_seconds =
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      timeline.unix_seconds = RequestUnixSeconds();
+      context.AddStage(RequestStage::kParse, request_watch.ElapsedSeconds());
+      request.context = &context;
+    }
+
     // --- Route.
     const Route* route = nullptr;
     for (const Route& r : routes_) {
@@ -425,8 +477,22 @@ void HttpServer::ServeConnection(int fd) {
         head.keep_alive && method_allowed &&
         served_here < options_.max_requests_per_connection &&
         running_.load(std::memory_order_acquire);
-    if (!WriteResponse(fd, request.method, response, keep_alive) ||
-        !keep_alive) {
+    bool write_ok;
+    if (observed) {
+      Stopwatch write_watch;
+      write_ok = WriteResponse(fd, request.method, response, keep_alive);
+      // Serialize = handler-side JSON render (already recorded via
+      // StageScope) + the socket write added here.
+      context.AddStage(RequestStage::kSerialize, write_watch.ElapsedSeconds());
+      RequestTimeline& timeline = context.timeline();
+      timeline.routed = route != nullptr && method_allowed;
+      timeline.status = response.status;
+      timeline.total_seconds = request_watch.ElapsedSeconds();
+      observer_(timeline);
+    } else {
+      write_ok = WriteResponse(fd, request.method, response, keep_alive);
+    }
+    if (!write_ok || !keep_alive) {
       UntrackAndClose(fd);
       return;
     }

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/request_trace.h"
 #include "util/thread_pool.h"
 
 namespace equitensor {
@@ -37,6 +38,11 @@ struct HttpRequest {
   std::string path;    // decoded-free path, e.g. "/metrics"
   std::string query;   // raw text after '?', "" when absent
   std::string body;    // POST payload ("" for GET/HEAD)
+  /// Per-request observability handle, set by the server when a
+  /// request observer is attached (null otherwise). Handlers and the
+  /// layers below them record stage durations into it via StageScope;
+  /// it lives on the worker's stack for exactly this request.
+  RequestContext* context = nullptr;
 };
 
 struct HttpResponse {
@@ -89,6 +95,16 @@ class HttpServer {
   void Handle(const std::string& path, std::vector<std::string> methods,
               HttpHandler handler);
 
+  /// Attaches a completion observer: called once per finished request
+  /// (after the response bytes are written) with the final
+  /// RequestTimeline — monotonic id, parse/serialize timings recorded
+  /// by the server, plus whatever stages the handler layers added.
+  /// While no observer is attached the server allocates no context and
+  /// records nothing, so the uninstrumented path stays at its old
+  /// cost. Must be called before Start(); runs on worker threads and
+  /// must be thread-safe.
+  void set_observer(std::function<void(const RequestTimeline&)> observer);
+
   /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts the accept loop.
   /// Returns false with a reason in `*error` when the bind fails (port
   /// in use, permissions) or the server is already running — the
@@ -130,6 +146,8 @@ class HttpServer {
 
   Options options_;
   std::vector<Route> routes_;
+  std::function<void(const RequestTimeline&)> observer_;
+  std::atomic<uint64_t> next_request_id_{0};
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};

@@ -113,18 +113,17 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
                     histogram.count, histogram.sum);
   }
   if (!kernels.empty()) {
-    // The trace layer aggregates count/sum/max per span site (no
-    // per-occurrence buckets survive), so the exposition is a
-    // single-+Inf-bucket histogram per kernel — still a valid
-    // histogram family that PromQL `rate(..._sum)/rate(..._count)`
-    // consumes — with max as a companion gauge.
+    // Real multi-bucket exposition: each span site counts durations
+    // into the shared log-spaced layout (util/trace), so percentile
+    // queries (`histogram_quantile`) work per kernel. The bucket
+    // counts sum to the span count, keeping +Inf == _count.
     out += "# HELP et_kernel_seconds wall time of instrumented kernels\n";
     out += "# TYPE et_kernel_seconds histogram\n";
     for (const TraceStats& k : kernels) {
       const std::string label =
           "kernel=\"" + PromEscapeLabelValue(k.name) + "\"";
-      AppendHistogram(&out, "et_kernel_seconds", label, {}, {}, k.count,
-                      k.total_seconds);
+      AppendHistogram(&out, "et_kernel_seconds", label, k.bucket_bounds,
+                      k.bucket_counts, k.count, k.total_seconds);
     }
     out += "# TYPE et_kernel_self_seconds_total counter\n";
     for (const TraceStats& k : kernels) {
@@ -274,6 +273,7 @@ bool ValidatePrometheusText(const std::string& text, std::string* error) {
                                  std::vector<std::pair<double, double>>>>
       hist_buckets;
   std::map<std::string, std::map<std::string, double>> hist_counts;
+  std::map<std::string, std::map<std::string, double>> hist_sums;
 
   size_t pos = 0;
   int line_no = 0;
@@ -341,7 +341,7 @@ bool ValidatePrometheusText(const std::string& text, std::string* error) {
 
     // Histogram bookkeeping: map _bucket/_sum/_count back to the
     // family name the TYPE line declared.
-    for (const char* suffix : {"_bucket", "_count"}) {
+    for (const char* suffix : {"_bucket", "_count", "_sum"}) {
       const size_t len = std::string(suffix).size();
       if (sample.name.size() <= len ||
           sample.name.compare(sample.name.size() - len, len, suffix) != 0) {
@@ -361,8 +361,10 @@ bool ValidatePrometheusText(const std::string& text, std::string* error) {
           return fail(line_no, "unparsable le value '" + le + "'");
         }
         hist_buckets[family][key].emplace_back(edge, sample.value);
-      } else {
+      } else if (std::string(suffix) == "_count") {
         hist_counts[family][key] = sample.value;
+      } else {
+        hist_sums[family][key] = sample.value;
       }
     }
   }
@@ -393,6 +395,16 @@ bool ValidatePrometheusText(const std::string& text, std::string* error) {
       }
       if (counts_it->second.at(key) != buckets.back().second) {
         return fail(0, family + ": _count disagrees with +Inf bucket");
+      }
+      // A histogram without _sum breaks `rate(_sum)/rate(_count)`
+      // mean-latency queries; require the full triplet.
+      const auto sums_it = hist_sums.find(family);
+      if (sums_it == hist_sums.end() || sums_it->second.count(key) == 0) {
+        return fail(0, family + ": missing _sum series");
+      }
+      const double sum = sums_it->second.at(key);
+      if (std::isnan(sum) || (buckets.back().second > 0 && sum < 0)) {
+        return fail(0, family + ": _sum is not a valid duration total");
       }
     }
   }

@@ -28,8 +28,8 @@ std::string PromEscapeLabelValue(const std::string& value);
 
 /// Renders the full exposition: every registry metric, plus one
 /// histogram series per kernel-timing span (`et_kernel_seconds` with a
-/// `kernel` label; aggregate stats only carry count/sum/max, so the
-/// single bucket is `+Inf` and max surfaces as the companion gauge
+/// `kernel` label, real log-spaced buckets from the trace layer's
+/// shared layout, and max as the companion gauge
 /// `et_kernel_max_seconds`). Ends with a trailing newline as the
 /// format requires.
 std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
@@ -42,8 +42,9 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
 ///    properly quoted/escaped, values parse as floats (NaN/±Inf ok);
 ///  - `# TYPE` lines are well-formed and precede their samples;
 ///  - for each TYPE'd histogram: `_bucket` counts are cumulative
-///    (non-decreasing with le), an `le="+Inf"` bucket exists and
-///    equals `_count`.
+///    (non-decreasing with le), the le edges strictly increase, an
+///    `le="+Inf"` bucket exists and equals `_count`, and a `_sum`
+///    series is present (non-negative whenever the count is).
 /// Returns false and fills `*error` with "line N: reason" on the
 /// first violation.
 bool ValidatePrometheusText(const std::string& text, std::string* error);

@@ -1,0 +1,360 @@
+#include "util/request_trace.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+namespace equitensor {
+namespace {
+
+/// Default latency layout: 10 µs growing ×√2, 40 edges (~7.4 s max).
+/// The √2 growth keeps bucket-interpolation error on quantile
+/// estimates near ±10%, so the server-side p50/p99 in the loadgen
+/// reconciliation land close to the client's exact percentiles; ×2
+/// buckets put a whole unimodal latency population inside one bucket
+/// and skewed the estimate by half a bucket width.
+std::vector<double> DefaultLatencyBounds() {
+  return Histogram::ExponentialBounds(1e-5, std::sqrt(2.0), 40);
+}
+
+void CopyTruncated(char* dst, size_t cap, const std::string& src) {
+  const size_t n = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+double UnixNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Registry-name-safe endpoint token: "/debug/requests" ->
+/// "debug_requests". The metric layer re-sanitizes for Prometheus, so
+/// this only needs to be stable and readable.
+std::string SanitizeEndpoint(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  for (char c : path) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    if (ok) {
+      out += c;
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out.empty() ? "root" : out;
+}
+
+JsonValue MsNumber(double seconds) { return JsonValue::Number(seconds * 1e3); }
+
+}  // namespace
+
+const char* RequestStageName(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::kParse: return "parse";
+    case RequestStage::kQueueWait: return "queue_wait";
+    case RequestStage::kBatchWait: return "batch_wait";
+    case RequestStage::kCacheLookup: return "cache_lookup";
+    case RequestStage::kForward: return "forward";
+    case RequestStage::kSerialize: return "serialize";
+  }
+  return "unknown";
+}
+
+void RequestTimeline::set_method(const std::string& m) {
+  CopyTruncated(method, sizeof(method), m);
+}
+
+void RequestTimeline::set_path(const std::string& p) {
+  CopyTruncated(path, sizeof(path), p);
+}
+
+double RequestTimeline::StagesTotal() const {
+  double total = 0.0;
+  for (double s : stage_seconds) total += s;
+  return total;
+}
+
+RequestRing::RequestRing(size_t capacity)
+    : slots_(std::max<size_t>(1, capacity)) {}
+
+void RequestRing::Push(const RequestTimeline& timeline) {
+  const uint64_t ticket = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % slots_.size()];
+  // Odd sequence marks the slot as mid-write; readers skip it. Two
+  // writers lapping each other on the same slot (ring smaller than the
+  // in-flight request count) interleave their bumps, which at worst
+  // leaves readers skipping that slot until the next push — never a
+  // torn read surfacing, which is the contract that matters.
+  slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  slot.data = timeline;
+  slot.seq.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<RequestTimeline> RequestRing::Snapshot() const {
+  std::vector<RequestTimeline> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const uint64_t before = slot.seq.load(std::memory_order_acquire);
+      if (before == 0 || (before & 1) != 0) break;  // empty or mid-write
+      RequestTimeline copy = slot.data;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_acquire) == before) {
+        out.push_back(copy);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestTimeline& a, const RequestTimeline& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+RequestObservability::RequestObservability(Options options)
+    : options_(std::move(options)), ring_(options_.ring_capacity) {
+  if (options_.latency_bounds.empty()) {
+    options_.latency_bounds = DefaultLatencyBounds();
+  }
+  if (options_.slow_capacity < 1) options_.slow_capacity = 1;
+  if (options_.sample_every < 0) options_.sample_every = 0;
+  // Resolve the per-stage histograms once: registry pointers are
+  // stable for the process lifetime, and Observe must not take the
+  // registry's name-lookup mutex on every completion.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (int s = 0; s < kNumRequestStages; ++s) {
+    stage_histograms_[s] = registry.GetHistogram(
+        options_.metric_prefix + ".stage_seconds." +
+            RequestStageName(static_cast<RequestStage>(s)),
+        options_.latency_bounds);
+  }
+}
+
+RequestObservability::~RequestObservability() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+}
+
+bool RequestObservability::OpenAccessLog(std::string* error) {
+  if (options_.access_log_path.empty()) return true;
+  log_fd_ = ::open(options_.access_log_path.c_str(),
+                   O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (log_fd_ < 0) {
+    if (error != nullptr) {
+      *error = "cannot open access log " + options_.access_log_path + ": " +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string RequestObservability::EndpointName(
+    const RequestTimeline& timeline) const {
+  // Unrouted paths collapse into one bucket so a 404 scan cannot mint
+  // unbounded metric names.
+  if (!timeline.routed) return "other";
+  return SanitizeEndpoint(timeline.path);
+}
+
+Histogram* RequestObservability::EndpointHistogram(
+    const std::string& endpoint) {
+  {
+    std::lock_guard<std::mutex> lock(endpoint_mu_);
+    auto it = endpoint_histograms_.find(endpoint);
+    if (it != endpoint_histograms_.end()) return it->second;
+  }
+  // Miss: resolve through the registry (its own mutex), then publish.
+  Histogram* histogram = MetricsRegistry::Global().GetHistogram(
+      options_.metric_prefix + ".request_seconds." + endpoint,
+      options_.latency_bounds);
+  std::lock_guard<std::mutex> lock(endpoint_mu_);
+  endpoint_histograms_.emplace(endpoint, histogram);
+  return histogram;
+}
+
+void RequestObservability::Observe(const RequestTimeline& timeline) {
+  const uint64_t seen = observed_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Histograms: one per endpoint for the total, one per stage — all
+  // pre-resolved pointers (ctor / EndpointHistogram's small cache), so
+  // the hot path never touches the registry's name-lookup mutex.
+  EndpointHistogram(EndpointName(timeline))
+      ->Observe(timeline.total_seconds);
+  for (int s = 0; s < kNumRequestStages; ++s) {
+    const double seconds = timeline.stage_seconds[s];
+    if (seconds <= 0.0) continue;
+    stage_histograms_[s]->Observe(seconds);
+  }
+
+  ring_.Push(timeline);
+
+  const bool slow =
+      timeline.total_seconds * 1e3 >= options_.slow_threshold_ms;
+  if (slow) {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    // Tiny K: linear insert keeps the table sorted slowest-first.
+    auto it = std::upper_bound(
+        slow_.begin(), slow_.end(), timeline,
+        [](const RequestTimeline& a, const RequestTimeline& b) {
+          return a.total_seconds > b.total_seconds;
+        });
+    if (it != slow_.end() || slow_.size() < options_.slow_capacity) {
+      slow_.insert(it, timeline);
+      if (slow_.size() > options_.slow_capacity) slow_.pop_back();
+    }
+  }
+
+  if (log_fd_ >= 0) {
+    const bool sampled =
+        options_.sample_every > 0 &&
+        (seen - 1) % static_cast<uint64_t>(options_.sample_every) == 0;
+    if (sampled || slow) WriteAccessLine(timeline);
+  }
+}
+
+void RequestObservability::WriteAccessLine(const RequestTimeline& timeline) {
+  const std::string line = TimelineToJson(timeline).Dump() + "\n";
+  // One write(2) under the lock per line: lines are atomic on disk, so
+  // a concurrent reader (or a crash) never sees interleaved halves.
+  std::lock_guard<std::mutex> lock(log_mu_);
+  size_t done = 0;
+  while (done < line.size()) {
+    const ssize_t n = ::write(log_fd_, line.data() + done, line.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // disk full / closed: drop the line, keep serving
+    }
+    done += static_cast<size_t>(n);
+  }
+  access_lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<RequestTimeline> RequestObservability::RecentRequests() const {
+  return ring_.Snapshot();
+}
+
+std::vector<RequestTimeline> RequestObservability::SlowRequests() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return slow_;
+}
+
+JsonValue RequestObservability::TimelineToJson(
+    const RequestTimeline& timeline) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("type", JsonValue::Str("request"));
+  doc.Set("id", JsonValue::Int(static_cast<int64_t>(timeline.id)));
+  doc.Set("method", JsonValue::Str(timeline.method));
+  doc.Set("path", JsonValue::Str(timeline.path));
+  doc.Set("status", JsonValue::Int(timeline.status));
+  if (timeline.generation > 0) {
+    doc.Set("generation", JsonValue::Int(timeline.generation));
+  }
+  doc.Set("unix_seconds", JsonValue::Number(timeline.unix_seconds));
+  doc.Set("total_ms", MsNumber(timeline.total_seconds));
+  JsonValue stages = JsonValue::Object();
+  for (int s = 0; s < kNumRequestStages; ++s) {
+    if (timeline.stage_seconds[s] <= 0.0) continue;
+    stages.Set(RequestStageName(static_cast<RequestStage>(s)),
+               MsNumber(timeline.stage_seconds[s]));
+  }
+  doc.Set("stages_ms", std::move(stages));
+  return doc;
+}
+
+namespace {
+
+JsonValue TimelinesJson(const char* type,
+                        const std::vector<RequestTimeline>& timelines) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("type", JsonValue::Str(type));
+  doc.Set("count", JsonValue::Int(static_cast<int64_t>(timelines.size())));
+  JsonValue array = JsonValue::Array();
+  for (const RequestTimeline& t : timelines) {
+    array.Append(RequestObservability::TimelineToJson(t));
+  }
+  doc.Set("requests", std::move(array));
+  return doc;
+}
+
+}  // namespace
+
+JsonValue RequestObservability::RequestsJson() const {
+  return TimelinesJson("debug_requests", RecentRequests());
+}
+
+JsonValue RequestObservability::SlowJson() const {
+  return TimelinesJson("debug_slow", SlowRequests());
+}
+
+JsonValue RequestObservability::StagesJson() const {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const std::string stage_prefix = options_.metric_prefix + ".stage_seconds.";
+  const std::string endpoint_prefix =
+      options_.metric_prefix + ".request_seconds.";
+  JsonValue doc = JsonValue::Object();
+  doc.Set("type", JsonValue::Str("serving_stages"));
+  doc.Set("requests_observed",
+          JsonValue::Int(static_cast<int64_t>(observed())));
+  const auto render = [](const MetricsSnapshot::HistogramValue& h) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", JsonValue::Int(static_cast<int64_t>(h.count)));
+    entry.Set("mean_ms",
+              MsNumber(h.count == 0 ? 0.0
+                                    : h.sum / static_cast<double>(h.count)));
+    entry.Set("p50_ms",
+              MsNumber(HistogramQuantile(h.bounds, h.buckets, 0.50)));
+    entry.Set("p99_ms",
+              MsNumber(HistogramQuantile(h.bounds, h.buckets, 0.99)));
+    return entry;
+  };
+  JsonValue stages = JsonValue::Object();
+  JsonValue endpoints = JsonValue::Object();
+  for (const auto& h : snapshot.histograms) {
+    if (h.name.compare(0, stage_prefix.size(), stage_prefix) == 0) {
+      stages.Set(h.name.substr(stage_prefix.size()), render(h));
+    } else if (h.name.compare(0, endpoint_prefix.size(), endpoint_prefix) ==
+               0) {
+      endpoints.Set(h.name.substr(endpoint_prefix.size()), render(h));
+    }
+  }
+  doc.Set("stages", std::move(stages));
+  doc.Set("endpoints", std::move(endpoints));
+  return doc;
+}
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (next >= rank && buckets[i] > 0) {
+      if (i >= bounds.size()) return bounds.back();  // overflow: clamp
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac =
+          (rank - cumulative) / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+double RequestUnixSeconds() { return UnixNowSeconds(); }
+
+}  // namespace equitensor

@@ -31,6 +31,29 @@ SiteList& Sites() {
 thread_local TraceSpan* tls_current_span = nullptr;
 thread_local int tls_depth = 0;
 
+// Shared bucket layout for every span site's latency histogram.
+// Mutated only by ConfigureTraceHistogram, which the contract requires
+// to run before spans record (tools parse flags before enabling
+// tracing), so Record() reads it without synchronization.
+struct HistogramLayout {
+  int count = 0;
+  uint64_t edges_ns[kMaxTraceHistogramBuckets] = {};
+};
+
+HistogramLayout& Layout() {
+  static HistogramLayout* layout = [] {
+    auto* l = new HistogramLayout();  // leaked: read by spans at exit
+    l->count = kMaxTraceHistogramBuckets;
+    uint64_t edge = 1000;  // 1 µs
+    for (int i = 0; i < l->count; ++i) {
+      l->edges_ns[i] = edge;
+      edge *= 4;
+    }
+    return l;
+  }();
+  return *layout;
+}
+
 // --- Per-event recording (Chrome-trace export) ---------------------
 //
 // Each thread owns one bounded EventBuffer, registered in a leaked
@@ -110,6 +133,15 @@ void SpanSite::Record(uint64_t elapsed_ns, uint64_t child_ns) {
          !slot.max_ns.compare_exchange_weak(observed, elapsed_ns,
                                             std::memory_order_relaxed)) {
   }
+  const HistogramLayout& layout = Layout();
+  int bucket = layout.count;  // overflow unless an edge catches it
+  for (int i = 0; i < layout.count; ++i) {
+    if (elapsed_ns <= layout.edges_ns[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  slot.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t SpanSite::Count() const {
@@ -142,16 +174,55 @@ uint64_t SpanSite::MaxNs() const {
   return max_ns;
 }
 
+std::vector<uint64_t> SpanSite::BucketCounts() const {
+  const int finite = Layout().count;
+  std::vector<uint64_t> counts(static_cast<size_t>(finite) + 1, 0);
+  for (const auto& s : slots_) {
+    for (int i = 0; i <= kMaxTraceHistogramBuckets; ++i) {
+      // Edges past the configured count stayed empty; fold them into
+      // the overflow cell anyway in case the layout shrank mid-run.
+      const size_t target =
+          static_cast<size_t>(std::min(i, finite));
+      counts[target] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
 void SpanSite::Reset() {
   for (auto& s : slots_) {
     s.count.store(0, std::memory_order_relaxed);
     s.total_ns.store(0, std::memory_order_relaxed);
     s.child_ns.store(0, std::memory_order_relaxed);
     s.max_ns.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
   }
 }
 
 }  // namespace trace_internal
+
+void ConfigureTraceHistogram(double start_seconds, double growth, int count) {
+  if (!(start_seconds > 0.0)) start_seconds = 1e-6;
+  if (!(growth > 1.0)) growth = 4.0;
+  count = std::max(1, std::min(count, kMaxTraceHistogramBuckets));
+  trace_internal::HistogramLayout& layout = trace_internal::Layout();
+  layout.count = count;
+  double edge = start_seconds * 1e9;
+  for (int i = 0; i < count; ++i) {
+    layout.edges_ns[i] = static_cast<uint64_t>(edge);
+    edge *= growth;
+  }
+}
+
+std::vector<double> TraceHistogramBounds() {
+  const trace_internal::HistogramLayout& layout = trace_internal::Layout();
+  std::vector<double> bounds(static_cast<size_t>(layout.count));
+  for (int i = 0; i < layout.count; ++i) {
+    bounds[static_cast<size_t>(i)] =
+        static_cast<double>(layout.edges_ns[i]) * 1e-9;
+  }
+  return bounds;
+}
 
 void SetTracingEnabled(bool enabled) {
   trace_internal::g_enabled.store(enabled, std::memory_order_relaxed);
@@ -193,7 +264,9 @@ std::vector<TraceStats> CollectTraceStats() {
     uint64_t total_ns = 0;
     uint64_t child_ns = 0;
     uint64_t max_ns = 0;
+    std::vector<uint64_t> buckets;
   };
+  const std::vector<double> bounds = TraceHistogramBounds();
   std::map<std::string, Merged> by_name;
   {
     auto& list = trace_internal::Sites();
@@ -204,11 +277,16 @@ std::vector<TraceStats> CollectTraceStats() {
       m.total_ns += site->TotalNs();
       m.child_ns += site->ChildNs();
       m.max_ns = std::max(m.max_ns, site->MaxNs());
+      const std::vector<uint64_t> buckets = site->BucketCounts();
+      if (m.buckets.empty()) m.buckets.assign(buckets.size(), 0);
+      for (size_t i = 0; i < buckets.size() && i < m.buckets.size(); ++i) {
+        m.buckets[i] += buckets[i];
+      }
     }
   }
   std::vector<TraceStats> stats;
   stats.reserve(by_name.size());
-  for (const auto& [name, m] : by_name) {
+  for (auto& [name, m] : by_name) {
     if (m.count == 0) continue;
     TraceStats s;
     s.name = name;
@@ -218,6 +296,18 @@ std::vector<TraceStats> CollectTraceStats() {
         static_cast<double>(m.total_ns - std::min(m.child_ns, m.total_ns)) *
         1e-9;
     s.max_seconds = static_cast<double>(m.max_ns) * 1e-9;
+    s.bucket_bounds = bounds;
+    s.bucket_counts = std::move(m.buckets);
+    // A scrape racing active spans can see count moved past the bucket
+    // adds; reconcile into the overflow cell so that the exported
+    // buckets always sum to the count (+Inf == _count).
+    uint64_t in_buckets = 0;
+    for (uint64_t b : s.bucket_counts) in_buckets += b;
+    if (in_buckets < s.count && !s.bucket_counts.empty()) {
+      s.bucket_counts.back() += s.count - in_buckets;
+    } else if (in_buckets > s.count) {
+      s.count = in_buckets;
+    }
     stats.push_back(std::move(s));
   }
   std::sort(stats.begin(), stats.end(),

@@ -81,6 +81,23 @@ std::vector<std::pair<uint32_t, std::string>> TraceThreadNames();
 /// Nesting depth of open spans on the calling thread (0 = none).
 int CurrentTraceDepth();
 
+/// Per-span latency histograms (DESIGN.md §16): every SpanSite also
+/// counts durations into a shared log-spaced bucket layout, so
+/// /metrics can expose real multi-bucket `et_kernel_seconds`
+/// histograms instead of the count/sum-only shape PR 5 shipped.
+/// Finite bucket upper edges, max kMaxTraceHistogramBuckets.
+constexpr int kMaxTraceHistogramBuckets = 16;
+
+/// Replaces the layout: `count` edges from `start_seconds` growing by
+/// ×`growth` (defaults: 1 µs ×4, 16 edges ≈ up to 1.1 s). Must be
+/// called before any spans record — already-counted durations stay in
+/// their old buckets and would render against the new edges. Values
+/// are clamped to sane ranges; `count` to [1, kMaxTraceHistogramBuckets].
+void ConfigureTraceHistogram(double start_seconds, double growth, int count);
+
+/// The current finite bucket edges, in seconds, ascending.
+std::vector<double> TraceHistogramBounds();
+
 namespace trace_internal {
 
 extern std::atomic<bool> g_enabled;
@@ -90,6 +107,8 @@ struct alignas(64) SiteSlot {
   std::atomic<uint64_t> total_ns{0};
   std::atomic<uint64_t> child_ns{0};
   std::atomic<uint64_t> max_ns{0};
+  // One counter per finite edge plus the +Inf overflow cell.
+  std::atomic<uint64_t> buckets[kMaxTraceHistogramBuckets + 1] = {};
 };
 
 /// One ET_TRACE_SPAN call site: a function-local static that
@@ -106,6 +125,9 @@ class SpanSite {
   uint64_t TotalNs() const;
   uint64_t ChildNs() const;
   uint64_t MaxNs() const;
+  /// Per-bucket counts merged over slots; size = current finite edge
+  /// count + 1 (overflow last).
+  std::vector<uint64_t> BucketCounts() const;
   void Reset();
 
  private:
@@ -141,6 +163,11 @@ struct TraceStats {
   double total_seconds = 0.0;  // wall time, children included
   double self_seconds = 0.0;   // wall time minus child spans
   double max_seconds = 0.0;    // longest single span
+  /// Latency histogram: finite upper edges in seconds (ascending) and
+  /// per-bucket counts with one extra overflow cell. The counts sum to
+  /// `count`, which keeps the Prometheus +Inf == _count invariant.
+  std::vector<double> bucket_bounds;
+  std::vector<uint64_t> bucket_counts;
 };
 
 /// Scrapes all sites, merged by name and sorted by total time

@@ -59,6 +59,41 @@ TEST(PromTest, RenderedRegistryValidates) {
   EXPECT_EQ(text.back(), '\n');
 }
 
+TEST(PromTest, KernelTimingsRenderMultiBucketHistograms) {
+  // Real log-spaced buckets (DESIGN.md §16): the exposition must carry
+  // every finite edge cumulatively, with +Inf equal to the count.
+  TraceStats gemm;
+  gemm.name = "gemm";
+  gemm.count = 10;
+  gemm.total_seconds = 0.123;
+  gemm.max_seconds = 0.05;
+  gemm.bucket_bounds = {1e-6, 4e-6, 1.6e-5};
+  gemm.bucket_counts = {2, 3, 4, 1};  // + overflow; sums to count
+
+  const std::string text = RenderPrometheusText(MetricsSnapshot{}, {gemm});
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("et_kernel_seconds_bucket{kernel=\"gemm\","
+                      "le=\"1e-06\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("et_kernel_seconds_bucket{kernel=\"gemm\","
+                      "le=\"4e-06\"} 5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("et_kernel_seconds_bucket{kernel=\"gemm\","
+                      "le=\"1.6e-05\"} 9"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("et_kernel_seconds_bucket{kernel=\"gemm\","
+                      "le=\"+Inf\"} 10"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("et_kernel_seconds_sum{kernel=\"gemm\"} 0.123"),
+            std::string::npos)
+      << text;
+}
+
 TEST(PromTest, KernelTimingsRenderAsValidHistograms) {
   TraceStats conv;
   conv.name = "conv3d.fwd";
@@ -149,6 +184,20 @@ TEST(PromValidatorTest, RejectsBrokenHistograms) {
       "h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
       &error));
   EXPECT_NE(error.find("increasing"), std::string::npos);
+
+  // Missing _sum series.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+      &error));
+  EXPECT_NE(error.find("_sum"), std::string::npos);
+
+  // Negative _sum with a positive count.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 1\nh_sum -2\nh_count 1\n",
+      &error));
+  EXPECT_NE(error.find("_sum"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,437 @@
+// Request observability (DESIGN.md §16): the RequestContext/timeline
+// plumbing through util/http_server and core/serving — monotonic
+// request ids across keep-alive connections, per-stage accounting
+// that reconciles against the request total, the /debug seqlock ring
+// surviving hot reload, the top-K slow table always capturing an
+// injected slow handler, and the JSONL access log round-tripping
+// through the strict util/json parser.
+#include "util/request_trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serving.h"
+#include "util/http_server.h"
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace equitensor {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(RequestTimelineTest, StageNamesFieldsAndTruncation) {
+  for (int i = 0; i < kNumRequestStages; ++i) {
+    const char* name = RequestStageName(static_cast<RequestStage>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+  EXPECT_STREQ(RequestStageName(RequestStage::kQueueWait), "queue_wait");
+
+  RequestTimeline timeline;
+  timeline.set_method("POST");
+  timeline.set_path(std::string(200, 'x'));  // longer than the field
+  EXPECT_STREQ(timeline.method, "POST");
+  EXPECT_EQ(std::string(timeline.path).size(), sizeof(timeline.path) - 1);
+
+  RequestContext context;
+  context.AddStage(RequestStage::kParse, 0.25);
+  context.AddStage(RequestStage::kForward, 0.5);
+  context.AddStage(RequestStage::kForward, 0.25);  // accumulates
+  context.AddStage(RequestStage::kSerialize, -1.0);  // ignored
+  EXPECT_DOUBLE_EQ(context.timeline().StagesTotal(), 1.0);
+}
+
+TEST(RequestRingTest, RotatesAndKeepsTheNewestTimelines) {
+  RequestRing ring(4);
+  for (uint64_t id = 1; id <= 10; ++id) {
+    RequestTimeline timeline;
+    timeline.id = id;
+    timeline.total_seconds = static_cast<double>(id);
+    ring.Push(timeline);
+  }
+  EXPECT_EQ(ring.pushed(), 10u);
+  const std::vector<RequestTimeline> snapshot = ring.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  // Oldest-first and exactly the last 4 pushes.
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(snapshot[i].id, 7 + i);
+  }
+}
+
+TEST(HistogramQuantileTest, InterpolatesAndClamps) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  // 10 samples in (1,2], none elsewhere; plus overflow handling below.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 10, 0, 0}, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 0, 0}, 0.5), 0.0);
+  // Everything in the overflow bucket clamps to the last finite edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 0, 5}, 0.99), 4.0);
+  // Quantiles are monotone in q.
+  const std::vector<uint64_t> mixed = {2, 5, 2, 1};
+  EXPECT_LE(HistogramQuantile(bounds, mixed, 0.25),
+            HistogramQuantile(bounds, mixed, 0.75));
+}
+
+TEST(RequestObservabilityTest, SlowTableAndAccessLogRoundTrip) {
+  const std::string log_path = TempPath("observability_access.jsonl");
+  std::remove(log_path.c_str());
+
+  RequestObservability::Options options;
+  options.metric_prefix = "obs_test";
+  options.ring_capacity = 8;
+  options.slow_capacity = 2;
+  options.slow_threshold_ms = 50.0;
+  options.sample_every = 0;  // only slow requests reach the log
+  options.access_log_path = log_path;
+  RequestObservability observability(options);
+  std::string error;
+  ASSERT_TRUE(observability.OpenAccessLog(&error)) << error;
+
+  auto make = [](uint64_t id, double total_ms) {
+    RequestTimeline timeline;
+    timeline.id = id;
+    timeline.set_method("GET");
+    timeline.set_path("/predict");
+    timeline.routed = true;
+    timeline.status = 200;
+    timeline.generation = 1;
+    timeline.unix_seconds = 1700000000.0 + static_cast<double>(id);
+    timeline.total_seconds = total_ms * 1e-3;
+    timeline.stage_seconds[static_cast<int>(RequestStage::kForward)] =
+        total_ms * 0.5e-3;
+    return timeline;
+  };
+  observability.Observe(make(1, 1.0));    // fast: not logged
+  observability.Observe(make(2, 80.0));   // slow
+  observability.Observe(make(3, 2.0));    // fast
+  observability.Observe(make(4, 200.0));  // slowest
+  observability.Observe(make(5, 60.0));   // slow, evicts id=2 from top-2
+  EXPECT_EQ(observability.observed(), 5u);
+  EXPECT_EQ(observability.access_log_lines(), 3u);
+
+  const std::vector<RequestTimeline> slow = observability.SlowRequests();
+  ASSERT_EQ(slow.size(), 2u);  // capped at slow_capacity
+  EXPECT_EQ(slow[0].id, 4u);   // slowest first
+  EXPECT_EQ(slow[1].id, 2u);
+
+  // Every access-log line parses under the strict JSON parser and
+  // carries the timeline fields.
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.is_open());
+  std::string line;
+  int records = 0;
+  while (std::getline(log, line)) {
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::Parse(line, &doc, &error))
+        << error << " in: " << line;
+    EXPECT_EQ(doc.Find("type")->str(), "request");
+    EXPECT_EQ(doc.Find("path")->str(), "/predict");
+    EXPECT_GE(doc.Find("total_ms")->number(), 50.0);
+    ASSERT_NE(doc.Find("stages_ms"), nullptr);
+    EXPECT_GT(doc.Find("stages_ms")->Find("forward")->number(), 0.0);
+    ++records;
+  }
+  EXPECT_EQ(records, 3);
+
+  // The ring kept everything (capacity 8 > 5 observed).
+  EXPECT_EQ(observability.RecentRequests().size(), 5u);
+  // And the debug documents are well-formed.
+  EXPECT_NE(observability.RequestsJson().Find("requests"), nullptr);
+  EXPECT_NE(observability.SlowJson().Find("requests"), nullptr);
+  const JsonValue stages = observability.StagesJson();
+  const JsonValue* forward =
+      stages.Find("stages") != nullptr
+          ? stages.Find("stages")->Find("forward")
+          : nullptr;
+  ASSERT_NE(forward, nullptr);
+  EXPECT_GT(forward->Find("count")->number(), 0.0);
+  EXPECT_GT(forward->Find("p99_ms")->number(), 0.0);
+}
+
+TEST(HttpServerObservabilityTest, IdsAreMonotonicAcrossKeepAliveAndReconnect) {
+  HttpServer::Options options;
+  options.worker_threads = 2;
+  HttpServer server(options);
+  server.Handle("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong\n";
+    return response;
+  });
+  std::mutex mu;
+  std::vector<RequestTimeline> seen;
+  server.set_observer([&](const RequestTimeline& timeline) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(timeline);
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  // Two sequential connections, several keep-alive requests each, plus
+  // one unrouted path.
+  for (int connection = 0; connection < 2; ++connection) {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+    for (int i = 0; i < 3; ++i) {
+      int status = 0;
+      std::string body;
+      ASSERT_TRUE(client.Get("/ping", &status, &body, &error)) << error;
+      EXPECT_EQ(status, 200);
+    }
+  }
+  {
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(HttpGet(server.port(), "/nope", &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 404);
+  }
+  server.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(seen.size(), 7u);
+  // Ids are assigned at parse time, so the sequential client above sees
+  // strictly increasing ids 1..7 — but the observer fires after the
+  // response bytes hit the socket, and a new connection's worker can
+  // observe its first request before the previous worker finishes
+  // observing its last. Completion order is therefore not id order;
+  // sort before asserting the id sequence.
+  std::sort(seen.begin(), seen.end(),
+            [](const RequestTimeline& a, const RequestTimeline& b) {
+              return a.id < b.id;
+            });
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].id, i + 1) << "ids must be monotonic across "
+                                    "connections";
+    EXPECT_GE(seen[i].total_seconds, 0.0);
+    // Parse and serialize are timed by the server itself; the stage
+    // sum can never exceed the request total by more than scheduling
+    // noise.
+    EXPECT_LE(seen[i].StagesTotal(), seen[i].total_seconds + 1e-3);
+  }
+  EXPECT_TRUE(seen[0].routed);
+  EXPECT_STREQ(seen[0].path, "/ping");
+  EXPECT_FALSE(seen.back().routed);
+  EXPECT_EQ(seen.back().status, 404);
+}
+
+TEST(HttpServerObservabilityTest, SlowThresholdAlwaysCapturesInjectedSleep) {
+  HttpServer::Options server_options;
+  server_options.worker_threads = 2;
+  HttpServer server(server_options);
+  server.Handle("/fast", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  server.Handle("/sleep", [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    HttpResponse response;
+    response.body = "slept\n";
+    return response;
+  });
+
+  const std::string log_path = TempPath("observability_slow.jsonl");
+  std::remove(log_path.c_str());
+  RequestObservability::Options options;
+  options.metric_prefix = "obs_slow_test";
+  options.slow_threshold_ms = 30.0;  // /fast is far below, /sleep above
+  options.sample_every = 0;          // sampling off: only slow requests log
+  options.access_log_path = log_path;
+  RequestObservability observability(options);
+  std::string error;
+  ASSERT_TRUE(observability.OpenAccessLog(&error)) << error;
+  server.set_observer([&](const RequestTimeline& timeline) {
+    observability.Observe(timeline);
+  });
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  int status = 0;
+  std::string body;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(HttpGet(server.port(), "/fast", &status, &body, &error))
+        << error;
+    ASSERT_EQ(status, 200);
+  }
+  ASSERT_TRUE(HttpGet(server.port(), "/sleep", &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  server.Stop();
+
+  EXPECT_EQ(observability.observed(), 6u);
+  const std::vector<RequestTimeline> slow = observability.SlowRequests();
+  ASSERT_GE(slow.size(), 1u);
+  EXPECT_STREQ(slow[0].path, "/sleep");
+  EXPECT_GE(slow[0].total_seconds, 0.055);
+  // The injected sleep always reaches the access log, even with
+  // sampling off.
+  EXPECT_GE(observability.access_log_lines(), 1u);
+  std::ifstream log(log_path);
+  std::string line;
+  bool found_sleep = false;
+  while (std::getline(log, line)) {
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::Parse(line, &doc, &error)) << error;
+    if (doc.Find("path")->str() == "/sleep") found_sleep = true;
+  }
+  EXPECT_TRUE(found_sleep);
+}
+
+// Full serving stack: stages recorded through the batcher and cache,
+// the stage sum reconciling with the total, histograms registered
+// under the serving prefix, and the /debug ring surviving a hot
+// reload with the generation bump visible on new entries.
+TEST(ServingObservabilityTest, StagesReconcileAndRingSurvivesReload) {
+  constexpr int64_t kK = 3, kW = 6, kH = 5, kHours = 72;
+  Rng rng(7);
+  core::ServingArtifacts artifacts;
+  artifacts.z = Tensor::RandomUniform({kK, kW, kH, kHours}, rng, -1.0f, 1.0f);
+  artifacts.sensitive_map = Tensor({kW, kH});
+  for (int64_t x = 0; x < kW; ++x) {
+    for (int64_t y = 0; y < kH; ++y) {
+      artifacts.sensitive_map[x * kH + y] =
+          static_cast<float>(x) / static_cast<float>(kW - 1);
+    }
+  }
+  artifacts.target = Tensor({kW, kH, kHours});
+  for (int64_t cell = 0; cell < kW * kH; ++cell) {
+    for (int64_t t = 0; t < kHours; ++t) {
+      artifacts.target[cell * kHours + t] =
+          0.5f + 0.4f * artifacts.z[cell * kHours + t];
+    }
+  }
+  artifacts.target_scale = 25.0f;
+  artifacts.task_name = "bikeshare";
+  const std::string path = TempPath("serving_observability.etck");
+  ASSERT_TRUE(core::SaveServingCheckpoint(path, artifacts));
+
+  core::GridTaskConfig task;
+  task.history = 8;
+  task.predictor.history = 8;
+  task.epochs = 1;
+  task.steps_per_epoch = 2;
+  task.batch_size = 2;
+  task.seed = 99;
+
+  core::ServingService::Options options;
+  options.checkpoint_path = path;
+  options.task = task;
+  options.batch.max_batch = 4;
+  options.batch.window_ms = 1;
+  options.cache_capacity = 16;
+  options.observability.ring_capacity = 32;
+  core::ServingService service(options);
+  std::string error;
+  ASSERT_TRUE(service.LoadInitial(&error)) << error;
+  ASSERT_TRUE(service.Start(0, &error)) << error;
+  const int port = service.port();
+  ASSERT_NE(service.observability(), nullptr);
+
+  int status = 0;
+  std::string body;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(HttpGet(port, "/predict?t=" + std::to_string(30 + i),
+                        &status, &body, &error))
+        << error;
+    ASSERT_EQ(status, 200) << body;
+  }
+  ASSERT_TRUE(HttpGet(port, "/embed?cx=1&cy=2&t=30", &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+
+  // /debug/requests is live JSON with monotonic ids; every predict
+  // carries forward + serialize stages, and the stage sum cannot
+  // exceed the request total by more than scheduling noise.
+  ASSERT_TRUE(HttpGet(port, "/debug/requests", &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  JsonValue requests_doc;
+  ASSERT_TRUE(JsonValue::Parse(body, &requests_doc, &error)) << error;
+  const JsonValue* request_items = requests_doc.Find("requests");
+  ASSERT_NE(request_items, nullptr);
+  ASSERT_GE(request_items->items().size(), 5u);
+  uint64_t last_id = 0;
+  for (const JsonValue& item : request_items->items()) {
+    const uint64_t id = static_cast<uint64_t>(item.Find("id")->int_value());
+    EXPECT_GT(id, last_id);
+    last_id = id;
+  }
+  for (const RequestTimeline& timeline :
+       service.observability()->RecentRequests()) {
+    EXPECT_LE(timeline.StagesTotal(), timeline.total_seconds + 1e-3)
+        << timeline.path;
+    if (std::string(timeline.path) == "/predict") {
+      EXPECT_GT(
+          timeline.stage_seconds[static_cast<int>(RequestStage::kForward)],
+          0.0);
+      EXPECT_EQ(timeline.generation, 1);
+    }
+  }
+
+  // Batcher + stage histograms registered under the serving prefix.
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool predict_hist = false, forward_hist = false, occupancy_hist = false;
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == "serving.request_seconds.predict" &&
+        histogram.count > 0 && histogram.bounds.size() >= 2) {
+      predict_hist = true;
+    }
+    if (histogram.name == "serving.stage_seconds.forward" &&
+        histogram.count > 0) {
+      forward_hist = true;
+    }
+    if (histogram.name == "serving.batch_occupancy" && histogram.count > 0) {
+      occupancy_hist = true;
+    }
+  }
+  EXPECT_TRUE(predict_hist);
+  EXPECT_TRUE(forward_hist);
+  EXPECT_TRUE(occupancy_hist);
+  bool queue_depth = false;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "serving.queue_depth") queue_depth = true;
+  }
+  EXPECT_TRUE(queue_depth);
+
+  // /debug/stages summarizes the same histograms for loadgen.
+  ASSERT_TRUE(HttpGet(port, "/debug/stages", &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  JsonValue stages_doc;
+  ASSERT_TRUE(JsonValue::Parse(body, &stages_doc, &error)) << error;
+  ASSERT_NE(stages_doc.Find("stages"), nullptr);
+  ASSERT_NE(stages_doc.Find("endpoints"), nullptr);
+  EXPECT_NE(stages_doc.Find("endpoints")->Find("predict"), nullptr);
+
+  // Hot reload (the SIGHUP path drives exactly this call): the ring
+  // survives with the old entries intact, and new requests record the
+  // bumped generation.
+  const size_t before_reload = service.observability()->RecentRequests().size();
+  ASSERT_TRUE(core::SaveServingCheckpoint(path, artifacts));
+  ASSERT_TRUE(service.Reload(&error)) << error;
+  EXPECT_EQ(service.generation(), 2);
+  EXPECT_GE(service.observability()->RecentRequests().size(), before_reload);
+  ASSERT_TRUE(HttpGet(port, "/predict?t=40", &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  bool saw_generation_2 = false;
+  for (const RequestTimeline& timeline :
+       service.observability()->RecentRequests()) {
+    if (timeline.generation == 2) saw_generation_2 = true;
+  }
+  EXPECT_TRUE(saw_generation_2);
+
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -191,6 +191,35 @@ TEST_F(TraceTest, ResetClearsStatsButSitesSurvive) {
   EXPECT_EQ(FindStats(CollectTraceStats(), "test.reset").count, 1u);
 }
 
+TEST_F(TraceTest, BucketCountsSumToCountAndFollowTheSharedLayout) {
+  // Stats carry a real multi-bucket latency histogram (DESIGN.md §16):
+  // the bounds come from the shared layout, the counts (including the
+  // overflow cell) always sum to the span count.
+  const std::vector<double> bounds = TraceHistogramBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+
+  for (int i = 0; i < 5; ++i) {
+    ET_TRACE_SPAN("test.bucketed");
+    SpinFor(std::chrono::microseconds(i < 4 ? 2 : 300));
+  }
+  const TraceStats stats =
+      FindStats(CollectTraceStats(), "test.bucketed");
+  ASSERT_EQ(stats.count, 5u);
+  EXPECT_EQ(stats.bucket_bounds, bounds);
+  ASSERT_EQ(stats.bucket_counts.size(), bounds.size() + 1);
+  uint64_t total = 0;
+  for (uint64_t bucket : stats.bucket_counts) total += bucket;
+  EXPECT_EQ(total, stats.count);
+  // The 300 µs outlier cannot land in the first (1 µs) bucket with the
+  // four ~2 µs spins, so at least two buckets are populated.
+  int populated = 0;
+  for (uint64_t bucket : stats.bucket_counts) populated += bucket > 0;
+  EXPECT_GE(populated, 2);
+}
+
 TEST_F(TraceTest, ReportTableListsSpans) {
   {
     ET_TRACE_SPAN("test.table_span");

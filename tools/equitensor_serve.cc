@@ -6,8 +6,15 @@
 // SIGHUP re-reads the checkpoint and atomically swaps the model;
 // in-flight requests finish on the generation they started with.
 //
+// Request observability (DESIGN.md §16): per-stage latency histograms
+// on /metrics, live /debug/requests | /debug/slow | /debug/stages,
+// a sampled JSONL access log (--access_log), and a chrome-trace dump
+// of serving spans (--serve_chrome_trace).
+//
 //   equitensor_serve --checkpoint=serving.etck --port=8080
+//       --access_log=access.jsonl --slow_ms=100
 
+#include <cstdio>
 #include <chrono>
 #include <iostream>
 #include <thread>
@@ -18,6 +25,8 @@
 #include "util/shutdown.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
+#include "util/trace_export.h"
 
 using namespace equitensor;
 
@@ -50,6 +59,28 @@ int main(int argc, char** argv) {
   flags.DefineString("backend", "",
                      "kernel backend: reference | parallel | simd | check "
                      "(empty = ET_BACKEND env var, then parallel)");
+  flags.DefineBool("observe", true,
+                   "record per-request stage timelines (histograms, "
+                   "/debug endpoints, access log); false = bare-metal "
+                   "baseline for overhead measurement");
+  flags.DefineString("access_log", "",
+                     "append sampled request timelines as JSONL here");
+  flags.DefineInt("access_log_every", 1,
+                  "log every Nth request (1 = all, 0 = only slow ones; "
+                  "slow requests always log)");
+  flags.DefineDouble("slow_ms", 250.0,
+                     "requests slower than this always hit the access "
+                     "log and the /debug/slow table");
+  flags.DefineInt("debug_ring", 64,
+                  "how many recent request timelines /debug/requests "
+                  "keeps");
+  flags.DefineString("latency_buckets", "",
+                     "request-histogram layout start_us:growth:count "
+                     "(e.g. 10:2:20 = 10 us x2 for 20 edges; empty = "
+                     "that default)");
+  flags.DefineString("serve_chrome_trace", "",
+                     "write serving spans as a chrome://tracing JSON "
+                     "file at shutdown");
 
   if (!flags.Parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
@@ -86,6 +117,43 @@ int main(int argc, char** argv) {
   options.cache_capacity =
       static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("cache_capacity")));
   options.http.worker_threads = static_cast<int>(flags.GetInt("workers"));
+  options.observe = flags.GetBool("observe");
+  options.observability.access_log_path = flags.GetString("access_log");
+  options.observability.sample_every =
+      static_cast<int>(std::max<int64_t>(0, flags.GetInt("access_log_every")));
+  options.observability.slow_threshold_ms = flags.GetDouble("slow_ms");
+  options.observability.ring_capacity = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("debug_ring")));
+  if (const std::string layout = flags.GetString("latency_buckets");
+      !layout.empty()) {
+    double start_us = 0.0;
+    double growth = 0.0;
+    int count = 0;
+    if (std::sscanf(layout.c_str(), "%lf:%lf:%d", &start_us, &growth,
+                    &count) != 3 ||
+        start_us <= 0.0 || growth <= 1.0 || count < 1) {
+      std::cerr << "--latency_buckets=" << layout
+                << " is not start_us:growth:count (e.g. 10:2:20)\n";
+      return 2;
+    }
+    options.observability.latency_bounds =
+        Histogram::ExponentialBounds(start_us * 1e-6, growth, count);
+    // Keep the per-span kernel histograms on the same grid so /metrics
+    // reads consistently (capped at the trace layer's 16 edges).
+    ConfigureTraceHistogram(start_us * 1e-6, growth, count);
+  }
+
+  const std::string chrome_trace = flags.GetString("serve_chrome_trace");
+  if (!chrome_trace.empty()) {
+    if (!TraceCompiledIn()) {
+      std::cerr << "warning: --serve_chrome_trace requested but tracing is "
+                   "compiled out (ET_DISABLE_TRACING); no trace will be "
+                   "written\n";
+    } else {
+      SetTracingEnabled(true);
+      StartTraceEventRecording();
+    }
+  }
 
   core::ServingService service(options);
   Stopwatch sw;
@@ -144,5 +212,15 @@ int main(int argc, char** argv) {
   std::cout << "Shutting down (served " << service.http().requests_served()
             << " requests, " << service.reloads() << " reloads)\n";
   service.Stop();
+
+  if (!chrome_trace.empty() && TraceCompiledIn()) {
+    const std::vector<TraceEvent> events = StopTraceEventRecording();
+    if (WriteChromeTrace(chrome_trace, events, TraceThreadNames())) {
+      std::cout << "Wrote " << events.size() << " trace events to "
+                << chrome_trace << "\n";
+    } else {
+      std::cerr << "failed to write chrome trace: " << chrome_trace << "\n";
+    }
+  }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -64,6 +65,10 @@ int main(int argc, char** argv) {
   flags.DefineString("dump", "",
                      "write every /predict response body as one line, in "
                      "(thread, request) order, for bitwise comparison");
+  flags.DefineString("baseline", "",
+                     "JSON summary from a --observe=false run of the same "
+                     "workload; adds observability overhead_pct (QPS loss "
+                     "relative to the baseline) to the summary");
   if (!flags.Parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -228,6 +233,16 @@ int main(int argc, char** argv) {
     if (JsonValue::Parse(body, &parsed, nullptr)) after = parsed;
   }
 
+  // Server-side stage breakdown (DESIGN.md §16): absent (404) when the
+  // daemon runs with --observe=false, which is fine — the summary just
+  // skips the server_stages / reconciliation blocks.
+  JsonValue stages = JsonValue::Null();
+  if (HttpGet(port, "/debug/stages", &status, &body, &error) &&
+      status == 200) {
+    JsonValue parsed;
+    if (JsonValue::Parse(body, &parsed, nullptr)) stages = parsed;
+  }
+
   JsonValue summary = JsonValue::Object();
   summary.Set("type", JsonValue::Str("bench_serving"));
   summary.Set("threads", JsonValue::Int(thread_count));
@@ -261,6 +276,65 @@ int main(int argc, char** argv) {
     }
     if (const JsonValue* generation = after.Find("generation")) {
       summary.Set("generation", *generation);
+    }
+  }
+  if (!stages.is_null()) {
+    if (const JsonValue* breakdown = stages.Find("stages")) {
+      JsonValue server_stages = JsonValue::Object();
+      if (const JsonValue* observed = stages.Find("requests_observed")) {
+        server_stages.Set("requests_observed", *observed);
+      }
+      server_stages.Set("stages", *breakdown);
+      summary.Set("server_stages", std::move(server_stages));
+    }
+    // Client-vs-server reconciliation for /predict: the client number
+    // includes the network round trip and client-side overhead, so the
+    // delta should be small and positive on loopback.
+    const JsonValue* endpoints = stages.Find("endpoints");
+    const JsonValue* predict =
+        endpoints != nullptr ? endpoints->Find("predict") : nullptr;
+    if (predict != nullptr) {
+      const JsonValue* server_p50 = predict->Find("p50_ms");
+      const JsonValue* server_p99 = predict->Find("p99_ms");
+      if (server_p50 != nullptr && server_p99 != nullptr) {
+        const double client_p50 = Percentile(latencies, 0.50);
+        const double client_p99 = Percentile(latencies, 0.99);
+        JsonValue reconciliation = JsonValue::Object();
+        reconciliation.Set("client_p50_ms", JsonValue::Number(client_p50));
+        reconciliation.Set("server_p50_ms", *server_p50);
+        reconciliation.Set("delta_p50_ms",
+                           JsonValue::Number(client_p50 - server_p50->number()));
+        reconciliation.Set("client_p99_ms", JsonValue::Number(client_p99));
+        reconciliation.Set("server_p99_ms", *server_p99);
+        reconciliation.Set("delta_p99_ms",
+                           JsonValue::Number(client_p99 - server_p99->number()));
+        summary.Set("reconciliation", std::move(reconciliation));
+      }
+    }
+  }
+  if (const std::string baseline_path = flags.GetString("baseline");
+      !baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue baseline_doc;
+    std::string parse_error;
+    const JsonValue* baseline_qps = nullptr;
+    if (in.is_open() &&
+        JsonValue::Parse(buffer.str(), &baseline_doc, &parse_error)) {
+      baseline_qps = baseline_doc.Find("qps");
+    }
+    if (baseline_qps == nullptr || baseline_qps->number() <= 0.0) {
+      std::cerr << "--baseline " << baseline_path
+                << " has no usable qps field; skipping overhead\n";
+    } else {
+      const double base = baseline_qps->number();
+      JsonValue overhead = JsonValue::Object();
+      overhead.Set("baseline_qps", JsonValue::Number(base));
+      overhead.Set("observed_qps", JsonValue::Number(qps));
+      overhead.Set("overhead_pct",
+                   JsonValue::Number((base - qps) / base * 100.0));
+      summary.Set("observability_overhead", std::move(overhead));
     }
   }
 

@@ -11,6 +11,11 @@
 // (DESIGN.md §10) as loss/weight curves over epochs:
 //
 //   plot_csv --jsonl=run.jsonl --output=run.svg
+//
+// A --jsonl file with `type:"request"` records (an equitensor_serve
+// access log — DESIGN.md §16) and no epoch records is charted as
+// per-request latency instead: total_ms plus one series per stage,
+// over the request id.
 
 #include <fstream>
 #include <iostream>
@@ -44,6 +49,19 @@ int PlotJsonl(const FlagParser& flags) {
     series.emplace_back();
     return series.back();
   };
+  // Access-log (`type:"request"`) channels: padded with 0 where a
+  // record did not report a stage, since the log omits zero stages.
+  std::vector<double> req_xs;
+  std::vector<std::string> req_names;
+  std::vector<std::vector<double>> req_series;
+  auto req_channel = [&](const std::string& name) -> std::vector<double>& {
+    for (size_t i = 0; i < req_names.size(); ++i) {
+      if (req_names[i] == name) return req_series[i];
+    }
+    req_names.push_back(name);
+    req_series.emplace_back(req_xs.size(), 0.0);  // back-fill zeros
+    return req_series.back();
+  };
   std::string line;
   int line_no = 0;
   while (std::getline(file, line)) {
@@ -56,7 +74,29 @@ int PlotJsonl(const FlagParser& flags) {
       return 1;
     }
     const JsonValue* type = record.Find("type");
-    if (type == nullptr || type->str() != "epoch") continue;
+    if (type == nullptr) continue;
+    if (type->str() == "request") {
+      const JsonValue* total = record.Find("total_ms");
+      if (total == nullptr) continue;
+      req_channel("total_ms").push_back(total->number());
+      if (const JsonValue* record_stages = record.Find("stages_ms")) {
+        for (const auto& [stage, ms] : record_stages->members()) {
+          req_channel(stage + "_ms").push_back(ms.number());
+        }
+      }
+      const JsonValue* id = record.Find("id");
+      req_xs.push_back(id != nullptr
+                           ? id->number()
+                           : static_cast<double>(req_xs.size() + 1));
+      // Pad every channel this record did not mention.
+      for (std::vector<double>& channel_values : req_series) {
+        if (channel_values.size() < req_xs.size()) {
+          channel_values.push_back(0.0);
+        }
+      }
+      continue;
+    }
+    if (type->str() != "epoch") continue;
     const JsonValue* epoch = record.Find("epoch");
     if (epoch == nullptr) continue;
     xs.push_back(epoch->number());
@@ -86,14 +126,24 @@ int PlotJsonl(const FlagParser& flags) {
       }
     }
   }
+  // Epoch records take precedence; a pure access log falls back to
+  // the per-request latency channels.
+  std::string x_label = "epoch";
+  if (xs.empty() && !req_xs.empty()) {
+    xs = std::move(req_xs);
+    names = std::move(req_names);
+    series = std::move(req_series);
+    x_label = "request";
+  }
   if (xs.empty()) {
-    std::cerr << "no epoch records in " << flags.GetString("jsonl") << "\n";
+    std::cerr << "no epoch or request records in " << flags.GetString("jsonl")
+              << "\n";
     return 1;
   }
   const std::string title = flags.GetString("title").empty()
                                 ? flags.GetString("jsonl")
                                 : flags.GetString("title");
-  SvgChart chart(title, "epoch", flags.GetString("y_label"));
+  SvgChart chart(title, x_label, flags.GetString("y_label"));
   int count = 0;
   for (size_t i = 0; i < names.size(); ++i) {
     if (series[i].size() != xs.size()) continue;  // partial channel
@@ -108,7 +158,7 @@ int PlotJsonl(const FlagParser& flags) {
     return 1;
   }
   std::cout << "wrote " << flags.GetString("output") << " (" << count
-            << " series, " << xs.size() << " epochs)\n";
+            << " series, " << xs.size() << " " << x_label << " records)\n";
   return 0;
 }
 

@@ -1,15 +1,21 @@
 // Scrape validator for the live telemetry endpoints (DESIGN.md §12):
 // fetches a document over HTTP (or reads it from a file / stdin) and
 // checks that it is well-formed — Prometheus text exposition for
-// --format=prom, strict JSON for --format=json. scripts/check.sh uses
-// it to smoke-test a --serve run without any external tooling.
+// --format=prom, strict JSON for --format=json, one strict-JSON
+// record per line for --format=jsonl (access logs — DESIGN.md §16).
+// scripts/check.sh uses it to smoke-test a --serve run without any
+// external tooling.
 //
 //   scrape_check --port=9909 --path=/metrics --format=prom
+//   scrape_check --port=9909 --path=/metrics --format=prom
+//       --require_histogram=et_serving_stage_seconds_forward
 //   scrape_check --file=status.json --format=json
+//   scrape_check --file=access.jsonl --format=jsonl
 //   some_producer | scrape_check --format=json
 
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 
 #include "util/flags.h"
@@ -27,10 +33,13 @@ int main(int argc, char** argv) {
                      "validate this file instead of scraping ('-' = stdin; "
                      "stdin is also the default when --port is 0)");
   flags.DefineString("format", "prom",
-                     "expected format: prom | json | text (text only "
-                     "checks the HTTP status)");
+                     "expected format: prom | json | jsonl | text (text "
+                     "only checks the HTTP status)");
   flags.DefineInt("expect_status", 200,
                   "required HTTP status when scraping (0 = any)");
+  flags.DefineString("require_histogram", "",
+                     "with --format=prom: fail unless this family is a "
+                     "TYPE'd histogram with at least 2 finite le edges");
   flags.DefineBool("print", false, "echo the validated document to stdout");
 
   if (!flags.Parse(argc, argv)) {
@@ -43,9 +52,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const std::string format = flags.GetString("format");
-  if (format != "prom" && format != "json" && format != "text") {
+  if (format != "prom" && format != "json" && format != "jsonl" &&
+      format != "text") {
     std::cerr << "unknown --format " << format
-              << " (want prom | json | text)\n";
+              << " (want prom | json | jsonl | text)\n";
     return 2;
   }
 
@@ -86,10 +96,76 @@ int main(int argc, char** argv) {
       std::cerr << "invalid Prometheus exposition: " << error << "\n";
       return 1;
     }
+    const std::string family = flags.GetString("require_histogram");
+    if (!family.empty()) {
+      // The validator already enforced structure; here we only assert
+      // that the requested family exists as a real multi-bucket
+      // histogram (≥ 2 finite le edges, i.e. not the count/sum-only
+      // single-+Inf shape).
+      bool typed_histogram = false;
+      std::set<std::string> finite_edges;
+      size_t pos = 0;
+      while (pos < body.size()) {
+        const size_t eol = body.find('\n', pos);
+        const std::string line = body.substr(pos, eol - pos);
+        pos = eol == std::string::npos ? body.size() : eol + 1;
+        if (line == "# TYPE " + family + " histogram") {
+          typed_histogram = true;
+          continue;
+        }
+        if (line.compare(0, family.size() + 8, family + "_bucket{") != 0) {
+          continue;
+        }
+        const size_t le = line.find("le=\"");
+        if (le == std::string::npos) continue;
+        const size_t end = line.find('"', le + 4);
+        if (end == std::string::npos) continue;
+        const std::string edge = line.substr(le + 4, end - le - 4);
+        if (edge != "+Inf") finite_edges.insert(edge);
+      }
+      if (!typed_histogram) {
+        std::cerr << "required histogram " << family
+                  << " missing or not TYPE'd histogram\n";
+        return 1;
+      }
+      if (finite_edges.size() < 2) {
+        std::cerr << "required histogram " << family << " has "
+                  << finite_edges.size()
+                  << " finite buckets (want >= 2; single-+Inf shape?)\n";
+        return 1;
+      }
+    }
   } else if (format == "json") {
     JsonValue doc;
     if (!JsonValue::Parse(body, &doc, &error)) {
       std::cerr << "invalid JSON: " << error << "\n";
+      return 1;
+    }
+  } else if (format == "jsonl") {
+    size_t pos = 0;
+    int line_no = 0;
+    int records = 0;
+    while (pos < body.size()) {
+      ++line_no;
+      const size_t eol = body.find('\n', pos);
+      if (eol == std::string::npos) {
+        std::cerr << "line " << line_no
+                  << ": unterminated JSONL record (no trailing newline)\n";
+        return 1;
+      }
+      const std::string line = body.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      JsonValue doc;
+      if (!JsonValue::Parse(line, &doc, &error)) {
+        std::cerr << "line " << line_no << ": invalid JSON: " << error
+                  << "\n";
+        return 1;
+      }
+      ++records;
+    }
+    if (records == 0) {
+      std::cerr << "jsonl input has no records\n";
       return 1;
     }
   }  // "text": the status check above is the whole assertion.
