@@ -19,6 +19,8 @@
 #include "nn/lstm.h"
 #include "tensor/tensor_ops.h"
 #include "util/metrics.h"
+#include "util/perf_counters.h"
+#include "util/profiler.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -417,6 +419,57 @@ BENCHMARK(BM_Conv3dForwardObserved)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// Profiler overhead (DESIGN.md §17 contract: an active 97 Hz SIGPROF
+// capture costs one signal delivery + bounded stack walk per sample
+// and must keep conv3d forward within 2% of the bare kernel). Arg 0
+// runs with no capture (the true zero-cost baseline: no handler, no
+// timer), Arg 1 with a live capture at the default rate. scripts/
+// bench_compare.sh and bench_results/run_all.sh compare the pair.
+void BM_Conv3dForwardProfiled(benchmark::State& state) {
+  CpuProfile discard;
+  std::string error;
+  if (state.range(0) != 0 &&
+      !StartCpuProfile(CpuProfileOptions{}, &error)) {
+    state.SkipWithError(("profiler unavailable: " + error).c_str());
+    return;
+  }
+  Rng rng(3);
+  Variable x(Tensor::RandomUniform({2, 8, 12, 10, 24}, rng), false);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Conv3d(x, w).value().data());
+  }
+  if (state.range(0) != 0) StopCpuProfile(&discard, &error);
+}
+BENCHMARK(BM_Conv3dForwardProfiled)
+    ->Arg(0)
+    ->Arg(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Hardware-counter overhead on the traced path (DESIGN.md §17: two
+// perf_event_open group reads per span, within 2% of tracing alone).
+// Both args run with tracing enabled so the pair isolates the counter
+// cost; where perf_event_open is unavailable (most containers) Arg 1
+// degrades to one extra relaxed load per span and the pair reads ~0%.
+void BM_Conv3dForwardCounters(benchmark::State& state) {
+  SetTracingEnabled(true);
+  SetPerfCountersEnabled(state.range(0) != 0);
+  Rng rng(3);
+  Variable x(Tensor::RandomUniform({2, 8, 12, 10, 24}, rng), false);
+  Variable w(Tensor::RandomUniform({16, 8, 3, 3, 3}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::Conv3d(x, w).value().data());
+  }
+  SetPerfCountersEnabled(false);
+  SetTracingEnabled(false);
+}
+BENCHMARK(BM_Conv3dForwardCounters)
+    ->Arg(0)
+    ->Arg(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 // Raw span open/close cost with tracing enabled (worst case: a span
 // around nothing).
 void BM_TraceSpanEnabled(benchmark::State& state) {
@@ -447,4 +500,22 @@ BENCHMARK(BM_MetricCounterAdd);
 }  // namespace
 }  // namespace equitensor
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the JSON context carries OUR build type.
+// google-benchmark's own "library_build_type" reports how the
+// *installed benchmark library* was compiled (the distro package says
+// "debug"), which poisoned baseline comparisons: a Release build of
+// the kernels was indistinguishable from a Debug one. The
+// "equitensor_build_type" key is authoritative — bench_compare.sh and
+// bench_results/run_all.sh refuse non-"release" artifacts.
+int main(int argc, char** argv) {
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+  benchmark::AddCustomContext("equitensor_build_type", "release");
+#else
+  benchmark::AddCustomContext("equitensor_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

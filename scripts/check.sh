@@ -252,4 +252,127 @@ if [[ "$QUICK" != 1 ]]; then
   else
     echo "bench_kernels not built in $BUILD_DIR; skipping bench smoke."
   fi
+
+  # Profiler smoke (DESIGN.md §17): the SIGPROF sampling profiler under
+  # ASan — the handler interrupting instrumented code is the exact
+  # hazard its signal-safety contract covers. Two passes:
+  #
+  # 1. Whole-run capture: train 2 epochs with --profile + --counters.
+  #    While it lingers, /debug/profile must answer 409 (the flag's
+  #    capture already owns the one profiler session — the collision
+  #    guard, not a crash) and /debug/counters must serve valid JSON.
+  #    After SIGINT (which must exit 0), the written profile must be
+  #    non-empty parseable folded stacks and profile_report must render
+  #    a table from it.
+  echo "=== profiler smoke test (ASan, --profile + /debug endpoints) ==="
+  PROF_LOG="$(mktemp)"
+  PROF_FOLDED="$(mktemp -u).folded"
+  "$BUILD_DIR"/tools/equitensor_train \
+    --width=6 --height=5 --days=4 --epochs=2 --steps=3 --batch=2 \
+    --profile="$PROF_FOLDED" --profile_hz=499 --counters \
+    --serve=0 --serve_linger=60 \
+    --output_z="$(mktemp -u).etck" >"$PROF_LOG" 2>&1 &
+  PROF_PID=$!
+  PROF_PORT=""
+  for _ in $(seq 1 100); do
+    PROF_PORT="$(sed -n 's/^Telemetry server listening on port \([0-9]*\)$/\1/p' \
+      "$PROF_LOG")"
+    [[ -n "$PROF_PORT" ]] && break
+    if ! kill -0 "$PROF_PID" 2>/dev/null; then
+      echo "check.sh: profiler smoke run died before binding its port" >&2
+      cat "$PROF_LOG" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  if [[ -z "$PROF_PORT" ]]; then
+    echo "check.sh: no port line in the profiler smoke log" >&2
+    cat "$PROF_LOG" >&2
+    kill "$PROF_PID" 2>/dev/null || true
+    exit 1
+  fi
+  PROF_OK=1
+  "$BUILD_DIR"/tools/scrape_check --port="$PROF_PORT" \
+    --path='/debug/profile?seconds=1' --format=text \
+    --expect_status=409 || PROF_OK=0
+  "$BUILD_DIR"/tools/scrape_check --port="$PROF_PORT" \
+    --path=/debug/counters --format=json || PROF_OK=0
+  # Let training finish so the capture has sampled real kernel work.
+  for _ in $(seq 1 300); do
+    grep -q "^Serving telemetry" "$PROF_LOG" && break
+    sleep 0.2
+  done
+  kill -INT "$PROF_PID"
+  if ! wait "$PROF_PID"; then
+    echo "check.sh: profiler smoke run exited non-zero after SIGINT" >&2
+    cat "$PROF_LOG" >&2
+    exit 1
+  fi
+  if ! "$BUILD_DIR"/tools/scrape_check --file="$PROF_FOLDED" \
+       --format=folded; then
+    echo "check.sh: --profile wrote invalid or empty folded stacks" >&2
+    cat "$PROF_LOG" >&2
+    exit 1
+  fi
+  if ! "$BUILD_DIR"/tools/profile_report --file="$PROF_FOLDED" --top=5 \
+       >/dev/null; then
+    echo "check.sh: profile_report could not render the capture" >&2
+    exit 1
+  fi
+  if [[ "$PROF_OK" != 1 ]]; then
+    echo "check.sh: profiler smoke endpoint checks failed" >&2
+    cat "$PROF_LOG" >&2
+    exit 1
+  fi
+
+  # 2. On-demand capture of a live process: a run without --profile
+  #    must serve a 1 s /debug/profile capture as parseable non-empty
+  #    folded stacks while training is busy, then exit 0 on SIGINT.
+  PROF2_LOG="$(mktemp)"
+  "$BUILD_DIR"/tools/equitensor_train \
+    --width=6 --height=5 --days=4 --epochs=2 --steps=3 --batch=2 \
+    --serve=0 --serve_linger=60 \
+    --output_z="$(mktemp -u).etck" >"$PROF2_LOG" 2>&1 &
+  PROF2_PID=$!
+  PROF2_PORT=""
+  for _ in $(seq 1 100); do
+    PROF2_PORT="$(sed -n 's/^Telemetry server listening on port \([0-9]*\)$/\1/p' \
+      "$PROF2_LOG")"
+    [[ -n "$PROF2_PORT" ]] && break
+    if ! kill -0 "$PROF2_PID" 2>/dev/null; then
+      echo "check.sh: live-capture smoke run died before binding its port" >&2
+      cat "$PROF2_LOG" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  # Capture immediately: training is still running, so the sampler has
+  # busy threads to attribute.
+  if ! "$BUILD_DIR"/tools/scrape_check --port="$PROF2_PORT" \
+       --path='/debug/profile?seconds=1&hz=499' --format=folded; then
+    echo "check.sh: live /debug/profile capture was empty or malformed" >&2
+    cat "$PROF2_LOG" >&2
+    kill "$PROF2_PID" 2>/dev/null || true
+    exit 1
+  fi
+  kill -INT "$PROF2_PID"
+  if ! wait "$PROF2_PID"; then
+    echo "check.sh: live-capture smoke run exited non-zero after SIGINT" >&2
+    cat "$PROF2_LOG" >&2
+    exit 1
+  fi
+  echo "Profiler smoke OK (whole-run capture valid, 409 collision guard," \
+    "live /debug/profile folded stacks, clean SIGINT exits)."
+fi
+
+# Opt-in perf-regression gate (DESIGN.md §17 tooling): with
+# ET_BENCH_COMPARE=1, diff the repo-root BENCH_kernels.json against the
+# committed baseline and fail on per-benchmark regressions. Opt-in
+# because the artifacts come from a Release bench run
+# (bench_results/run_all.sh), not from this sanitizer build — both
+# inputs must carry the release build-type stamp or the compare
+# refuses them.
+if [[ "${ET_BENCH_COMPARE:-0}" == 1 ]]; then
+  echo "=== bench regression gate (ET_BENCH_COMPARE=1) ==="
+  scripts/bench_compare.sh
 fi

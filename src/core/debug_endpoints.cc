@@ -1,0 +1,159 @@
+#include "core/debug_endpoints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "util/arena.h"
+#include "util/perf_counters.h"
+#include "util/profiler.h"
+#include "util/trace.h"
+
+namespace equitensor {
+namespace {
+
+// Finds `key=value` in a raw query string; false when absent or not a
+// plain integer.
+bool QueryInt(const std::string& query, const std::string& key,
+              int64_t* out) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    const size_t amp = query.find('&', pos);
+    const std::string pair =
+        query.substr(pos, amp == std::string::npos ? std::string::npos
+                                                   : amp - pos);
+    pos = amp == std::string::npos ? query.size() : amp + 1;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || pair.substr(0, eq) != key) continue;
+    const std::string value = pair.substr(eq + 1);
+    if (value.empty()) return false;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+    *out = parsed;
+    return true;
+  }
+  return false;
+}
+
+JsonValue FiniteNumber(double value) {
+  return JsonValue::Number(std::isfinite(value) ? value : 0.0);
+}
+
+HttpResponse HandleProfile(const HttpRequest& request) {
+  HttpResponse response;
+  int64_t seconds = 2;
+  QueryInt(request.query, "seconds", &seconds);
+  seconds = std::max<int64_t>(1, std::min<int64_t>(seconds, 30));
+  CpuProfileOptions options;
+  int64_t hz = options.hz;
+  QueryInt(request.query, "hz", &hz);
+  options.hz = static_cast<int>(std::max<int64_t>(1, std::min<int64_t>(
+                                                         hz, 1000)));
+  // Size rings for the requested window: each sample costs 1 + depth
+  // slots (~16 on these stacks) and ITIMER_PROF delivers hz signals
+  // per second of process CPU time, unevenly across threads — so each
+  // ring is sized for the whole window and the thread pool is kept
+  // small enough that the preallocation stays in the tens of MiB.
+  const int64_t slots = static_cast<int64_t>(options.hz) * seconds * 16;
+  options.ring_capacity = static_cast<int>(std::max<int64_t>(
+      1 << 14, std::min<int64_t>(slots, 1 << 21)));
+  options.max_threads = 16;
+  CpuProfile profile;
+  std::string error;
+  if (!CaptureCpuProfile(static_cast<double>(seconds), options, &profile,
+                         &error)) {
+    response.status = CpuProfileActive() ? 409 : 500;
+    response.body = error + "\n";
+    return response;
+  }
+  // Pure folded stacks — flamegraph.pl input — so tooling can consume
+  // the body verbatim; the capture summary rides in headers-free
+  // comment-less form via /debug/counters and logs instead.
+  response.body = profile.folded;
+  return response;
+}
+
+HttpResponse HandleCounters(const HttpRequest&) {
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = CountersDebugJson().Dump() + "\n";
+  return response;
+}
+
+}  // namespace
+
+JsonValue CountersDebugJson() {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("type", JsonValue::Str("debug_counters"));
+
+  JsonValue perf = JsonValue::Object();
+  perf.Set("enabled", JsonValue::Bool(PerfCountersEnabled()));
+  perf.Set("available", JsonValue::Bool(PerfCountersAvailable()));
+  perf.Set("status", JsonValue::Str(PerfCountersStatus()));
+  JsonValue kernels = JsonValue::Array();
+  for (const TraceStats& k : CollectTraceStats()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::Str(k.name));
+    entry.Set("spans", JsonValue::Int(static_cast<int64_t>(k.count)));
+    entry.Set("counter_samples",
+              JsonValue::Int(static_cast<int64_t>(k.counter_samples)));
+    if (k.counter_samples > 0) {
+      for (int c = 0; c < kNumPerfCounters; ++c) {
+        entry.Set(PerfCounterName(c),
+                  JsonValue::Int(static_cast<int64_t>(k.counters[c])));
+      }
+      entry.Set("ipc", FiniteNumber(k.Ipc()));
+      entry.Set("l1d_mpki", FiniteNumber(k.Mpki(PerfCounter::kL1dMisses)));
+      entry.Set("llc_mpki", FiniteNumber(k.Mpki(PerfCounter::kLlcMisses)));
+      entry.Set("branch_mpki",
+                FiniteNumber(k.Mpki(PerfCounter::kBranchMisses)));
+    }
+    kernels.Append(std::move(entry));
+  }
+  perf.Set("kernels", std::move(kernels));
+  doc.Set("perf_counters", std::move(perf));
+
+  JsonValue arena = JsonValue::Object();
+  const Arena::Stats totals = Arena::Global().stats();
+  JsonValue totals_json = JsonValue::Object();
+  totals_json.Set("allocations",
+                  JsonValue::Int(static_cast<int64_t>(totals.allocations)));
+  totals_json.Set("reuses",
+                  JsonValue::Int(static_cast<int64_t>(totals.reuses)));
+  totals_json.Set("bytes_reserved",
+                  JsonValue::Int(static_cast<int64_t>(totals.bytes_reserved)));
+  totals_json.Set("outstanding",
+                  JsonValue::Int(static_cast<int64_t>(totals.outstanding)));
+  arena.Set("totals", std::move(totals_json));
+  JsonValue classes = JsonValue::Array();
+  for (const Arena::ClassStats& heat : Arena::Global().class_stats()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("size_class", JsonValue::Int(heat.size_class));
+    entry.Set("bytes_reserved",
+              JsonValue::Int(static_cast<int64_t>(heat.bytes_reserved)));
+    entry.Set("refills", JsonValue::Int(static_cast<int64_t>(heat.refills)));
+    entry.Set("reuses", JsonValue::Int(static_cast<int64_t>(heat.reuses)));
+    entry.Set("reuse_rate", FiniteNumber(heat.ReuseRate()));
+    entry.Set("outstanding",
+              JsonValue::Int(static_cast<int64_t>(heat.outstanding)));
+    entry.Set("high_watermark",
+              JsonValue::Int(static_cast<int64_t>(heat.high_watermark)));
+    classes.Append(std::move(entry));
+  }
+  arena.Set("classes", std::move(classes));
+  doc.Set("arena", std::move(arena));
+
+  JsonValue profiler = JsonValue::Object();
+  profiler.Set("capture_active", JsonValue::Bool(CpuProfileActive()));
+  doc.Set("profiler", std::move(profiler));
+  return doc;
+}
+
+void RegisterProfilingEndpoints(HttpServer* server) {
+  server->Handle("/debug/profile", &HandleProfile);
+  server->Handle("/debug/counters", &HandleCounters);
+}
+
+}  // namespace equitensor

@@ -1,0 +1,33 @@
+#ifndef EQUITENSOR_CORE_DEBUG_ENDPOINTS_H_
+#define EQUITENSOR_CORE_DEBUG_ENDPOINTS_H_
+
+#include "util/http_server.h"
+#include "util/json.h"
+
+namespace equitensor {
+
+/// Live profiling endpoints shared by the telemetry server and the
+/// serving daemon (DESIGN.md §17):
+///
+///   GET /debug/profile?seconds=N[&hz=H]   folded stacks (text/plain)
+///   GET /debug/counters                   hardware-counter + arena
+///                                         heat JSON
+///
+/// /debug/profile runs an on-demand CPU capture: the handler arms the
+/// sampling profiler, sleeps on its worker thread for N seconds
+/// (clamped to [1, 30]; other workers keep serving), and returns the
+/// folded stacks — pipe straight into flamegraph.pl or
+/// tools/profile_report. Concurrent captures get 409: the profiler is
+/// a process-wide singleton (one SIGPROF timer).
+///
+/// Call before HttpServer::Start(), like every Handle registration.
+void RegisterProfilingEndpoints(HttpServer* server);
+
+/// The /debug/counters document: per-kernel hardware counters (IPC,
+/// miss rates) from the trace spans, perf_event availability, and the
+/// arena's per-size-class heat stats. Exposed for tests.
+JsonValue CountersDebugJson();
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_CORE_DEBUG_ENDPOINTS_H_

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/debug_endpoints.h"
 #include "nn/serialize.h"
 #include "util/check.h"
 #include "util/metrics.h"
@@ -675,6 +676,11 @@ ServingService::ServingService(Options options)
   http_.Handle("/fairness", [this](const HttpRequest& request) {
     return HandleFairness(request);
   });
+  // Always-on profiling endpoints (DESIGN.md §17): /debug/profile and
+  // /debug/counters cost nothing until hit, unlike the per-request
+  // observability gated on options_.observe above, so a daemon started
+  // without --observe can still be profiled live.
+  RegisterProfilingEndpoints(&http_);
 }
 
 ServingService::~ServingService() { Stop(); }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/debug_endpoints.h"
 #include "util/metrics.h"
 #include "util/prom.h"
 #include "util/system_info.h"
@@ -109,6 +110,11 @@ TelemetryServer::TelemetryServer()
   http_.Handle("/fairness",
                json_endpoint(&fairness_,
                              "{\"type\":\"fairness\",\"epochs\":[]}"));
+  // /debug/profile (on-demand CPU capture) + /debug/counters (hardware
+  // counters, arena heat) — DESIGN.md §17. The profile capture parks
+  // one of the two HTTP workers for its duration; scrapes keep flowing
+  // on the other.
+  RegisterProfilingEndpoints(&http_);
 }
 
 TelemetryServer::~TelemetryServer() { Stop(); }

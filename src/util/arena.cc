@@ -1,5 +1,6 @@
 #include "util/arena.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -34,16 +35,23 @@ Arena::Buf Arena::AcquireRaw(int64_t count, int64_t* size_class) {
   *size_class = cls;
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.outstanding;
+  ClassStats& heat = class_stats_[cls];
+  heat.size_class = cls;
+  ++heat.outstanding;
+  heat.high_watermark = std::max(heat.high_watermark, heat.outstanding);
   auto it = free_.find(cls);
   if (it != free_.end() && !it->second.empty()) {
     Buf buf = std::move(it->second.back());
     it->second.pop_back();
     ++stats_.reuses;
+    ++heat.reuses;
     ET_METRIC_COUNTER_ADD("arena.reuses", 1);
     return buf;
   }
   ++stats_.allocations;
   stats_.bytes_reserved += static_cast<uint64_t>(cls) * sizeof(float);
+  ++heat.refills;
+  heat.bytes_reserved += static_cast<uint64_t>(cls) * sizeof(float);
   ET_METRIC_COUNTER_ADD("arena.allocations", 1);
   ET_METRIC_GAUGE_SET("arena.bytes_reserved",
                       static_cast<double>(stats_.bytes_reserved));
@@ -62,11 +70,30 @@ void Arena::Release(Buf buf, int64_t size_class) {
   free_[size_class].push_back(std::move(buf));
   ET_CHECK_GT(stats_.outstanding, 0u);
   --stats_.outstanding;
+  ClassStats& heat = class_stats_[size_class];
+  if (heat.outstanding > 0) --heat.outstanding;
 }
 
 Arena::Stats Arena::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::vector<Arena::ClassStats> Arena::class_stats() const {
+  std::vector<ClassStats> classes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    classes.reserve(class_stats_.size());
+    for (const auto& [cls, heat] : class_stats_) {
+      (void)cls;
+      classes.push_back(heat);
+    }
+  }
+  std::sort(classes.begin(), classes.end(),
+            [](const ClassStats& a, const ClassStats& b) {
+              return a.size_class < b.size_class;
+            });
+  return classes;
 }
 
 void Arena::ResetForTesting() {
@@ -75,6 +102,7 @@ void Arena::ResetForTesting() {
   const uint64_t outstanding = stats_.outstanding;
   stats_ = Stats{};
   stats_.outstanding = outstanding;
+  class_stats_.clear();
 }
 
 ArenaBuffer::ArenaBuffer(Arena& arena, int64_t count)

@@ -54,6 +54,30 @@ class Arena {
 
   Stats stats() const;
 
+  /// Heat stats for one size class (DESIGN.md §17): how hot each
+  /// scratch shape runs, how well recycling works for it, and the
+  /// most buffers of that class ever leased at once (the class's
+  /// steady-state memory footprint).
+  struct ClassStats {
+    int64_t size_class = 0;       // element count of this class
+    uint64_t refills = 0;         // fresh mallocs (free list was empty)
+    uint64_t reuses = 0;          // acquires served from the free list
+    uint64_t outstanding = 0;     // currently leased
+    uint64_t high_watermark = 0;  // max simultaneously leased
+    uint64_t bytes_reserved = 0;  // refills * class bytes
+
+    /// Fraction of acquires served without a malloc (0 when unused).
+    double ReuseRate() const {
+      const uint64_t acquires = refills + reuses;
+      return acquires == 0
+                 ? 0.0
+                 : static_cast<double>(reuses) / static_cast<double>(acquires);
+    }
+  };
+
+  /// Per-class snapshot, sorted by size_class ascending.
+  std::vector<ClassStats> class_stats() const;
+
   /// Drops every cached buffer (outstanding ones are unaffected and
   /// still return to the — now empty — free lists) and zeroes the
   /// counters. Test hook; never called on the training path.
@@ -77,6 +101,10 @@ class Arena {
   // and release are free-list pops/pushes with no bookkeeping allocs.
   std::unordered_map<int64_t, std::vector<Buf>> free_;
   Stats stats_;
+  // Per-class accounting, updated under mu_ on the same acquire/release
+  // edges as stats_ (one map probe per op — off the inner-loop path,
+  // see the thread-safety note above).
+  std::unordered_map<int64_t, ClassStats> class_stats_;
 };
 
 /// RAII lease of arena scratch: acquires `count` floats on

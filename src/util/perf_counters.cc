@@ -1,0 +1,251 @@
+#include "util/perf_counters.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace equitensor {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// 0 = not probed yet, 1 = available, -1 = unavailable (latched by the
+// first group open that fails).
+std::atomic<int> g_available{0};
+
+std::mutex g_status_mu;
+std::string g_status_reason;  // guarded by g_status_mu
+
+void LatchUnavailable(const std::string& reason) {
+  int expected = 0;
+  if (g_available.compare_exchange_strong(expected, -1,
+                                          std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_status_mu);
+    g_status_reason = reason;
+  }
+}
+
+// Bumped by ResetPerfCountersForTesting so threads that latched a
+// failed open retry instead of staying dead for the process lifetime.
+std::atomic<uint64_t> g_generation{0};
+
+#if defined(__linux__)
+
+// Counter definitions in PerfCounter order: perf_event type + config.
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+const EventSpec kEventSpecs[kNumPerfCounters] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+constexpr uint64_t kReadFormat = PERF_FORMAT_GROUP |
+                                 PERF_FORMAT_TOTAL_TIME_ENABLED |
+                                 PERF_FORMAT_TOTAL_TIME_RUNNING;
+
+int OpenEvent(const EventSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.read_format = kReadFormat;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // user-space attribution; also needs less
+  attr.exclude_hv = 1;      // privilege under perf_event_paranoid
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+// Per-thread counter group. Opened lazily on the thread's first read
+// after counters were enabled; closed when the thread exits. Members
+// after a failed open: leader == -1 and generation records which
+// process generation the failure belongs to.
+struct ThreadGroup {
+  int fds[kNumPerfCounters] = {-1, -1, -1, -1, -1};
+  // Maps read-buffer position -> counter index (events that failed to
+  // open individually, e.g. an unsupported cache event on some PMU,
+  // are simply absent from the group and report 0).
+  int slot_of_counter[kNumPerfCounters] = {-1, -1, -1, -1, -1};
+  int opened = 0;
+  bool attempted = false;
+  uint64_t generation = 0;
+
+  ~ThreadGroup() { Close(); }
+
+  void Close() {
+    for (int& fd : fds) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+    for (int& s : slot_of_counter) s = -1;
+    opened = 0;
+    attempted = false;
+  }
+
+  bool Open() {
+    attempted = true;
+    generation = g_generation.load(std::memory_order_relaxed);
+    const int leader = OpenEvent(kEventSpecs[0], -1);
+    if (leader < 0) {
+      LatchUnavailable(std::string("perf_event_open failed: ") +
+                       std::strerror(errno));
+      return false;
+    }
+    fds[0] = leader;
+    slot_of_counter[0] = 0;
+    opened = 1;
+    for (int i = 1; i < kNumPerfCounters; ++i) {
+      const int fd = OpenEvent(kEventSpecs[i], leader);
+      if (fd < 0) continue;  // partial group: this counter reads as 0
+      fds[i] = fd;
+      slot_of_counter[i] = opened;
+      ++opened;
+    }
+    g_available.store(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool Read(PerfCounterSample* out) {
+    // Layout for PERF_FORMAT_GROUP | TIME_ENABLED | TIME_RUNNING:
+    //   u64 nr; u64 time_enabled; u64 time_running; u64 value[nr];
+    uint64_t buf[3 + kNumPerfCounters];
+    const ssize_t want =
+        static_cast<ssize_t>((3 + opened) * sizeof(uint64_t));
+    if (read(fds[0], buf, sizeof(buf)) < want) return false;
+    const uint64_t enabled = buf[1];
+    const uint64_t running = buf[2];
+    for (int i = 0; i < kNumPerfCounters; ++i) {
+      const int slot = slot_of_counter[i];
+      if (slot < 0) {
+        out->values[i] = 0;
+        continue;
+      }
+      uint64_t value = buf[3 + slot];
+      // Multiplexing correction: when more groups than PMU slots are
+      // scheduled, the kernel rotates them; scale by enabled/running
+      // to estimate the full-period count.
+      if (running > 0 && running < enabled) {
+        value = static_cast<uint64_t>(
+            static_cast<double>(value) *
+            (static_cast<double>(enabled) / static_cast<double>(running)));
+      }
+      out->values[i] = value;
+    }
+    out->valid = true;
+    return true;
+  }
+};
+
+thread_local ThreadGroup tls_group;
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+const char* PerfCounterName(int index) {
+  switch (index) {
+    case 0:
+      return "cycles";
+    case 1:
+      return "instructions";
+    case 2:
+      return "l1d_misses";
+    case 3:
+      return "llc_misses";
+    case 4:
+      return "branch_misses";
+    default:
+      return "unknown";
+  }
+}
+
+void SetPerfCountersEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool PerfCountersEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool ReadPerfCounters(PerfCounterSample* out) {
+  out->valid = false;
+  if (!g_enabled.load(std::memory_order_relaxed)) return false;
+#if defined(__linux__)
+  if (g_available.load(std::memory_order_relaxed) < 0) return false;
+  ThreadGroup& group = tls_group;
+  if (group.attempted &&
+      group.generation != g_generation.load(std::memory_order_relaxed)) {
+    group.Close();
+  }
+  if (!group.attempted && !group.Open()) return false;
+  if (group.fds[0] < 0) return false;
+  return group.Read(out);
+#else
+  LatchUnavailable("not built for linux");
+  return false;
+#endif
+}
+
+bool PerfCountersAvailable() {
+  const int state = g_available.load(std::memory_order_relaxed);
+  if (state != 0) return state > 0;
+#if defined(__linux__)
+  // Probe with a throwaway group on this thread (tls_group stays
+  // untouched so the probe works even while counters are disabled).
+  ThreadGroup probe;
+  const bool ok = probe.Open();
+  return ok;
+#else
+  LatchUnavailable("not built for linux");
+  return false;
+#endif
+}
+
+std::string PerfCountersStatus() {
+  if (g_available.load(std::memory_order_relaxed) == 0) {
+    PerfCountersAvailable();  // force the probe so the answer is real
+  }
+  if (g_available.load(std::memory_order_relaxed) > 0) return "ok";
+  std::lock_guard<std::mutex> lock(g_status_mu);
+  return g_status_reason.empty() ? "unavailable"
+                                 : "unavailable: " + g_status_reason;
+}
+
+PerfCounterSample PerfCounterDelta(const PerfCounterSample& start,
+                                   const PerfCounterSample& end) {
+  PerfCounterSample delta;
+  if (!start.valid || !end.valid) return delta;
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    delta.values[i] =
+        end.values[i] > start.values[i] ? end.values[i] - start.values[i] : 0;
+  }
+  delta.valid = true;
+  return delta;
+}
+
+void ResetPerfCountersForTesting() {
+  g_available.store(0, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_status_mu);
+  g_status_reason.clear();
+}
+
+}  // namespace equitensor

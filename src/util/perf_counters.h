@@ -1,0 +1,79 @@
+#ifndef EQUITENSOR_UTIL_PERF_COUNTERS_H_
+#define EQUITENSOR_UTIL_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace equitensor {
+
+/// Hardware performance counters for kernel attribution (DESIGN.md
+/// §17). A per-thread `perf_event_open(2)` group — cycles (leader),
+/// instructions, L1D read misses, LLC misses, branch misses — read as
+/// one snapshot before and after every trace span, so /metrics and
+/// /debug/counters can report IPC and miss rates per kernel alongside
+/// wall time.
+///
+/// Degradation contract: the syscall is frequently unavailable
+/// (containers without CAP_PERFMON, kernel.perf_event_paranoid >= 3,
+/// non-Linux builds). The first failed group open latches a process-
+/// wide "unavailable" state; every later read is a cheap no-op that
+/// returns an invalid sample, and the serving/telemetry endpoints
+/// report the reason string instead of numbers. Nothing else changes:
+/// training and serving behave identically with or without counters.
+///
+/// Overhead contract: disabled (the default) costs one relaxed atomic
+/// load per span. Enabled costs two read(2) calls per span — only pay
+/// that when attributing, never by default.
+
+/// The fixed counter set, in group/read order.
+enum class PerfCounter {
+  kCycles = 0,
+  kInstructions = 1,
+  kL1dMisses = 2,
+  kLlcMisses = 3,
+  kBranchMisses = 4,
+};
+constexpr int kNumPerfCounters = 5;
+
+/// Stable lowercase names ("cycles", "instructions", "l1d_misses",
+/// "llc_misses", "branch_misses") for metrics and JSON keys.
+const char* PerfCounterName(int index);
+
+/// One multiplexing-corrected snapshot of the calling thread's group.
+struct PerfCounterSample {
+  uint64_t values[kNumPerfCounters] = {0};
+  bool valid = false;
+};
+
+/// Master runtime switch (default off). Enabling does not itself open
+/// any fds; each thread opens its group lazily on its first read.
+void SetPerfCountersEnabled(bool enabled);
+bool PerfCountersEnabled();
+
+/// Whether the syscall works in this process. Probes by opening a
+/// group on the calling thread the first time it is asked (or the
+/// first time a read runs); the answer is then latched process-wide.
+bool PerfCountersAvailable();
+
+/// Human-readable availability: "ok", or "unavailable: <reason>"
+/// (errno text from the first failed open, or "not built for linux").
+std::string PerfCountersStatus();
+
+/// Reads the calling thread's counter group. Returns false (and an
+/// invalid sample) when counters are disabled or unavailable. Safe to
+/// call from any thread; never throws, never blocks on a lock.
+bool ReadPerfCounters(PerfCounterSample* out);
+
+/// end - start, per counter, clamped at 0 (multiplexing scaling can
+/// make a counter appear to step backwards by a rounding hair).
+/// Invalid if either input is invalid.
+PerfCounterSample PerfCounterDelta(const PerfCounterSample& start,
+                                   const PerfCounterSample& end);
+
+/// Test hook: forget the latched availability and per-thread groups'
+/// error state so a test can exercise the probe path again.
+void ResetPerfCountersForTesting();
+
+}  // namespace equitensor
+
+#endif  // EQUITENSOR_UTIL_PERF_COUNTERS_H_

@@ -1,0 +1,656 @@
+#include "util/profiler.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#define EQUITENSOR_PROFILER_POSIX 1
+#else
+#define EQUITENSOR_PROFILER_POSIX 0
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#if EQUITENSOR_PROFILER_POSIX
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+#if defined(__linux__)
+#include <elf.h>
+
+#include <fstream>
+#endif
+
+#include "util/table.h"
+
+namespace equitensor {
+namespace {
+
+#if EQUITENSOR_PROFILER_POSIX
+
+// --- Capture state shared with the signal handler -------------------
+//
+// Everything the handler touches is set up (and allocated) before the
+// timer is armed and torn down only after it is disarmed. The handler
+// itself performs no allocation, takes no lock, and calls no function
+// that could: it claims a per-thread ring once via one fetch_add,
+// walks the interrupted stack with bounds-checked raw reads, and
+// publishes each sample with a release store on the ring's write
+// index. Readers (StopCpuProfile, after disarming) acquire-load the
+// index, so a sample mid-write is simply not yet visible — never torn.
+
+// One per-thread sample ring. Entries are packed records:
+//   [depth, pc0(leaf), pc1, ..., pc_{depth-1}(root-most)]
+struct SampleRing {
+  uint64_t* data = nullptr;            // capacity entries, preallocated
+  std::atomic<uint64_t> write{0};      // entries published
+  std::atomic<uint64_t> samples{0};    // records published
+};
+
+std::atomic<bool> g_active{false};    // handler gate (release/acquire)
+std::atomic<bool> g_session{false};   // Start..Stop mutual exclusion
+std::atomic<uint64_t> g_capture_gen{0};
+std::atomic<int> g_next_ring{0};
+std::atomic<uint64_t> g_dropped{0};
+
+SampleRing* g_rings = nullptr;  // [g_num_rings], owned by the session
+int g_num_rings = 0;
+int g_ring_capacity = 0;
+int g_max_depth = 0;
+
+struct sigaction g_old_sigaction;
+std::chrono::steady_clock::time_point g_start_time;
+int g_hz = 0;
+
+thread_local int tls_ring = -1;
+thread_local uint64_t tls_ring_gen = 0;
+
+// The walk trusts frame pointers only inside a window above the
+// interrupted stack pointer; anything else ends the walk.
+constexpr uint64_t kMaxStackScanBytes = 8ull << 20;
+
+// True when the 16 bytes at `addr` (one frame record: saved fp +
+// return address) are readable. msync is a syscall — async-signal-safe
+// — and reports ENOMEM for unmapped pages; this is what keeps a
+// garbage frame pointer (e.g. libc leaf code that repurposes rbp) from
+// faulting inside the handler.
+bool FrameRecordReadable(uint64_t addr, long page_size) {
+  const uint64_t mask = static_cast<uint64_t>(page_size) - 1;
+  uint64_t page = addr & ~mask;
+  const uint64_t last_page = (addr + 15) & ~mask;
+  for (; page <= last_page; page += static_cast<uint64_t>(page_size)) {
+    if (msync(reinterpret_cast<void*>(page),
+              static_cast<size_t>(page_size), MS_ASYNC) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Fills out[0..max_depth) leaf-first from the interrupted context.
+// Async-signal-safe: raw reads only, every dereference pre-validated.
+int WalkStack(void* ucontext_raw, uint64_t* out, int max_depth,
+              long page_size) {
+  auto* uc = static_cast<ucontext_t*>(ucontext_raw);
+  uint64_t pc = 0, fp = 0, sp = 0;
+#if defined(__x86_64__)
+  pc = static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_RBP]);
+  sp = static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_RSP]);
+#elif defined(__aarch64__)
+  pc = static_cast<uint64_t>(uc->uc_mcontext.pc);
+  fp = static_cast<uint64_t>(uc->uc_mcontext.regs[29]);
+  sp = static_cast<uint64_t>(uc->uc_mcontext.sp);
+#else
+  (void)uc;
+  (void)page_size;
+#endif
+  if (pc == 0) return 0;
+  int depth = 0;
+  out[depth++] = pc;
+#if defined(__x86_64__) || defined(__aarch64__)
+  const uint64_t limit = sp + kMaxStackScanBytes;
+  while (depth < max_depth) {
+    if (fp == 0 || fp < sp || fp >= limit || (fp & 7) != 0) break;
+    if (!FrameRecordReadable(fp, page_size)) break;
+    const uint64_t next_fp = *reinterpret_cast<const uint64_t*>(fp);
+    const uint64_t ret = *reinterpret_cast<const uint64_t*>(fp + 8);
+    if (ret < 4096) break;  // null / junk return address ends the walk
+    out[depth++] = ret;
+    if (next_fp <= fp) break;  // frame chains must move up the stack
+    fp = next_fp;
+  }
+#endif
+  return depth;
+}
+
+void ProfilerSignalHandler(int /*signum*/, siginfo_t* /*info*/,
+                           void* ucontext_raw) {
+  const int saved_errno = errno;
+  if (g_active.load(std::memory_order_acquire)) {
+    const uint64_t gen = g_capture_gen.load(std::memory_order_relaxed);
+    if (tls_ring_gen != gen) {
+      const int idx = g_next_ring.fetch_add(1, std::memory_order_relaxed);
+      tls_ring = idx < g_num_rings ? idx : -1;
+      tls_ring_gen = gen;
+    }
+    if (tls_ring < 0) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      SampleRing& ring = g_rings[tls_ring];
+      const uint64_t w = ring.write.load(std::memory_order_relaxed);
+      if (w + 1 + static_cast<uint64_t>(g_max_depth) >
+          static_cast<uint64_t>(g_ring_capacity)) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        static const long page_size = sysconf(_SC_PAGESIZE);
+        const int depth =
+            WalkStack(ucontext_raw, ring.data + w + 1, g_max_depth,
+                      page_size);
+        if (depth > 0) {
+          ring.data[w] = static_cast<uint64_t>(depth);
+          ring.samples.fetch_add(1, std::memory_order_relaxed);
+          ring.write.store(w + 1 + static_cast<uint64_t>(depth),
+                           std::memory_order_release);
+        }
+      }
+    }
+  }
+  errno = saved_errno;
+}
+
+// --- Offline symbolization (Stop path, normal code) -----------------
+
+std::string DemangledName(const char* mangled) {
+  int status = 0;
+  char* demangled =
+      abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  std::string name =
+      (status == 0 && demangled != nullptr) ? demangled : mangled;
+  std::free(demangled);
+  // ';' delimits frames in the folded format; keep names one token.
+  for (char& c : name) {
+    if (c == ';' || c == '\n') c = ':';
+  }
+  return name;
+}
+
+struct SymbolizedFrame {
+  std::string name;
+  bool symbolized = false;
+};
+
+#if defined(__linux__)
+
+// --- .symtab fallback ------------------------------------------------
+//
+// dladdr resolves through .dynsym only, and the hottest frames in this
+// codebase — anonymous-namespace kernel inner loops, the lambdas
+// handed to ParallelFor, file-static helpers — are local symbols that
+// never appear there. They do appear in .symtab, which the runtime
+// loader ignores but the on-disk ELF keeps (unless stripped). The Stop
+// path reads each module's .symtab once and serves lookups from a
+// sorted table; stripped system libraries simply yield an empty table
+// and fall through to the "[basename]" rendering.
+
+struct SymtabFunc {
+  uint64_t addr = 0;  // runtime address (load bias applied)
+  uint64_t size = 0;  // 0 for sizeless asm stubs: bounded by next entry
+  std::string name;   // mangled, as stored
+};
+
+struct ModuleSymtab {
+  std::vector<SymtabFunc> funcs;  // sorted by addr
+};
+
+// Reads `size` bytes at `offset` into `out` (resized); false on any
+// seek/read failure.
+bool ReadAt(std::ifstream* file, uint64_t offset, uint64_t size,
+            std::vector<char>* out) {
+  out->resize(static_cast<size_t>(size));
+  file->clear();
+  file->seekg(static_cast<std::streamoff>(offset));
+  file->read(out->data(), static_cast<std::streamsize>(size));
+  return file->good() ||
+         (file->eof() &&
+          static_cast<uint64_t>(file->gcount()) == size);
+}
+
+// Reads STT_FUNC entries of .symtab from the ELF at `path`. st_value
+// is file-relative for ET_DYN (PIE executables, shared objects) and
+// absolute for ET_EXEC, so `bias` (the module's runtime base) is
+// applied only in the former case. Only the ELF header, section table,
+// and .symtab/.strtab sections are read — sanitizer and debug builds
+// are hundreds of MB and slurping them whole stalls the Stop path past
+// HTTP client timeouts. Every offset is bounds-checked against the
+// file size — a truncated or hostile file yields false, never a bad
+// read.
+bool LoadModuleSymtab(const char* path, uint64_t bias, ModuleSymtab* out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  file.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(file.tellg());
+  if (file_size < sizeof(Elf64_Ehdr)) return false;
+
+  std::vector<char> bytes;
+  if (!ReadAt(&file, 0, sizeof(Elf64_Ehdr), &bytes)) return false;
+  Elf64_Ehdr ehdr;
+  std::memcpy(&ehdr, bytes.data(), sizeof(ehdr));
+  if (std::memcmp(ehdr.e_ident, ELFMAG, SELFMAG) != 0) return false;
+  if (ehdr.e_ident[EI_CLASS] != ELFCLASS64) return false;
+  if (ehdr.e_shentsize != sizeof(Elf64_Shdr)) return false;
+  const uint64_t apply_bias = ehdr.e_type == ET_DYN ? bias : 0;
+  const uint64_t shnum = ehdr.e_shnum;
+  if (ehdr.e_shoff > file_size ||
+      shnum * sizeof(Elf64_Shdr) > file_size - ehdr.e_shoff) {
+    return false;
+  }
+  if (!ReadAt(&file, ehdr.e_shoff, shnum * sizeof(Elf64_Shdr), &bytes)) {
+    return false;
+  }
+  std::vector<Elf64_Shdr> shdrs(shnum);
+  std::memcpy(shdrs.data(), bytes.data(), shnum * sizeof(Elf64_Shdr));
+  const auto section_ok = [file_size](const Elf64_Shdr& s) {
+    return s.sh_offset <= file_size && s.sh_size <= file_size - s.sh_offset;
+  };
+  for (const Elf64_Shdr& shdr : shdrs) {
+    if (shdr.sh_type != SHT_SYMTAB) continue;
+    if (!section_ok(shdr) || shdr.sh_link >= shnum) continue;
+    const Elf64_Shdr& strtab = shdrs[shdr.sh_link];
+    if (strtab.sh_type != SHT_STRTAB || !section_ok(strtab)) continue;
+    std::vector<char> syms;
+    std::vector<char> strings;
+    if (!ReadAt(&file, shdr.sh_offset, shdr.sh_size, &syms) ||
+        !ReadAt(&file, strtab.sh_offset, strtab.sh_size, &strings)) {
+      continue;
+    }
+    const uint64_t nsyms = shdr.sh_size / sizeof(Elf64_Sym);
+    for (uint64_t i = 0; i < nsyms; ++i) {
+      Elf64_Sym sym;
+      std::memcpy(&sym, syms.data() + i * sizeof(sym), sizeof(sym));
+      if (ELF64_ST_TYPE(sym.st_info) != STT_FUNC) continue;
+      if (sym.st_value == 0 || sym.st_name >= strtab.sh_size) continue;
+      const char* name = strings.data() + sym.st_name;
+      // The name must NUL-terminate inside the string section.
+      if (std::memchr(name, '\0', strtab.sh_size - sym.st_name) == nullptr) {
+        continue;
+      }
+      if (name[0] == '\0') continue;
+      out->funcs.push_back(
+          SymtabFunc{apply_bias + sym.st_value, sym.st_size, name});
+    }
+  }
+  std::sort(out->funcs.begin(), out->funcs.end(),
+            [](const SymtabFunc& a, const SymtabFunc& b) {
+              return a.addr < b.addr;
+            });
+  return !out->funcs.empty();
+}
+
+const SymtabFunc* SymtabLookup(const ModuleSymtab& table, uint64_t pc) {
+  const auto& funcs = table.funcs;
+  auto it = std::upper_bound(
+      funcs.begin(), funcs.end(), pc,
+      [](uint64_t value, const SymtabFunc& f) { return value < f.addr; });
+  if (it == funcs.begin()) return nullptr;
+  --it;
+  const uint64_t end = it->size > 0
+                           ? it->addr + it->size
+                           : (std::next(it) != funcs.end()
+                                  ? std::next(it)->addr
+                                  : it->addr + 4096);
+  return pc < end ? &*it : nullptr;
+}
+
+#endif  // defined(__linux__)
+
+// pc -> frame name: dladdr first, then the module's .symtab for local
+// symbols dladdr cannot see. Return addresses point one past the call,
+// so callers pass pc-1 for non-leaf frames to land inside it. Offline
+// use only (Stop path): dladdr, file reads, and allocation throughout.
+class OfflineSymbolizer {
+ public:
+  SymbolizedFrame Symbolize(uint64_t pc) {
+    SymbolizedFrame frame;
+    Dl_info info;
+    std::memset(&info, 0, sizeof(info));
+    const bool mapped =
+        dladdr(reinterpret_cast<void*>(static_cast<uintptr_t>(pc)), &info) !=
+        0;
+    if (mapped && info.dli_sname != nullptr) {
+      frame.name = DemangledName(info.dli_sname);
+      frame.symbolized = true;
+      return frame;
+    }
+#if defined(__linux__)
+    if (mapped && info.dli_fname != nullptr && info.dli_fbase != nullptr) {
+      const SymtabFunc* func = SymtabLookup(ModuleFor(info), pc);
+      if (func != nullptr) {
+        frame.name = DemangledName(func->name.c_str());
+        frame.symbolized = true;
+        return frame;
+      }
+    }
+#endif
+    char buf[64];
+    if (mapped && info.dli_fname != nullptr) {
+      const char* base = std::strrchr(info.dli_fname, '/');
+      base = base != nullptr ? base + 1 : info.dli_fname;
+      std::snprintf(buf, sizeof(buf), "[%s]", base);
+    } else {
+      std::snprintf(buf, sizeof(buf), "[0x%llx]",
+                    static_cast<unsigned long long>(pc));
+    }
+    frame.name = buf;
+    return frame;
+  }
+
+ private:
+#if defined(__linux__)
+  const ModuleSymtab& ModuleFor(const Dl_info& info) {
+    const uint64_t key = reinterpret_cast<uint64_t>(info.dli_fbase);
+    auto it = modules_.find(key);
+    if (it != modules_.end()) return it->second;
+    ModuleSymtab table;
+    const uint64_t bias = reinterpret_cast<uint64_t>(info.dli_fbase);
+    if (!LoadModuleSymtab(info.dli_fname, bias, &table)) {
+      // The main executable's recorded path can be relative to a cwd
+      // long gone; /proc/self/exe always names it. Only safe when this
+      // module IS the main executable — our own code (static-linked
+      // into it) shares its base.
+      Dl_info self;
+      std::memset(&self, 0, sizeof(self));
+      if (dladdr(reinterpret_cast<void*>(&StartCpuProfile), &self) != 0 &&
+          self.dli_fbase == info.dli_fbase) {
+        LoadModuleSymtab("/proc/self/exe", bias, &table);
+      }
+    }
+    return modules_.emplace(key, std::move(table)).first->second;
+  }
+
+  std::unordered_map<uint64_t, ModuleSymtab> modules_;
+#endif
+};
+
+void FreeRings() {
+  if (g_rings != nullptr) {
+    for (int i = 0; i < g_num_rings; ++i) delete[] g_rings[i].data;
+    delete[] g_rings;
+    g_rings = nullptr;
+  }
+  g_num_rings = 0;
+}
+
+#endif  // EQUITENSOR_PROFILER_POSIX
+
+}  // namespace
+
+bool StartCpuProfile(const CpuProfileOptions& options, std::string* error) {
+#if !EQUITENSOR_PROFILER_POSIX
+  (void)options;
+  if (error != nullptr) *error = "profiler requires a POSIX platform";
+  return false;
+#else
+  bool expected = false;
+  if (!g_session.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    if (error != nullptr) *error = "a CPU profile capture is already active";
+    return false;
+  }
+  const int hz = std::max(1, std::min(options.hz, 1000));
+  const int max_depth = std::max(2, std::min(options.max_depth, 256));
+  const int ring_capacity =
+      std::max(max_depth + 1, std::min(options.ring_capacity, 1 << 22));
+  const int max_threads = std::max(1, std::min(options.max_threads, 1024));
+
+  g_num_rings = max_threads;
+  g_ring_capacity = ring_capacity;
+  g_max_depth = max_depth;
+  g_rings = new SampleRing[static_cast<size_t>(max_threads)];
+  for (int i = 0; i < max_threads; ++i) {
+    g_rings[i].data = new uint64_t[static_cast<size_t>(ring_capacity)];
+  }
+  g_next_ring.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_capture_gen.fetch_add(1, std::memory_order_relaxed);
+  g_hz = hz;
+  g_start_time = std::chrono::steady_clock::now();
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = &ProfilerSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  if (sigaction(SIGPROF, &action, &g_old_sigaction) != 0) {
+    FreeRings();
+    g_session.store(false, std::memory_order_release);
+    if (error != nullptr) {
+      *error = std::string("sigaction(SIGPROF) failed: ") +
+               std::strerror(errno);
+    }
+    return false;
+  }
+
+  // Publish the capture state before the first signal can fire.
+  g_active.store(true, std::memory_order_release);
+
+  itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));
+  // hz is clamped to [1, 1000]; tv_usec must stay < 1e6 (EINVAL
+  // otherwise), so the 1 Hz case is 1 s + 0 µs, not 1e6 µs.
+  const long interval_usec = 1000000L / hz;
+  timer.it_interval.tv_sec = interval_usec / 1000000L;
+  timer.it_interval.tv_usec =
+      static_cast<suseconds_t>(interval_usec % 1000000L);
+  if (timer.it_interval.tv_sec == 0 && timer.it_interval.tv_usec == 0) {
+    timer.it_interval.tv_usec = 1;
+  }
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_active.store(false, std::memory_order_release);
+    sigaction(SIGPROF, &g_old_sigaction, nullptr);
+    FreeRings();
+    g_session.store(false, std::memory_order_release);
+    if (error != nullptr) {
+      *error = std::string("setitimer(ITIMER_PROF) failed: ") +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+#endif
+}
+
+bool StopCpuProfile(CpuProfile* profile, std::string* error) {
+#if !EQUITENSOR_PROFILER_POSIX
+  (void)profile;
+  if (error != nullptr) *error = "profiler requires a POSIX platform";
+  return false;
+#else
+  if (!g_session.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "no CPU profile capture is active";
+    return false;
+  }
+  itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));
+  setitimer(ITIMER_PROF, &timer, nullptr);
+  g_active.store(false, std::memory_order_release);
+  // Let any handler already past the g_active gate finish its bounded
+  // write; unpublished samples are invisible to the reads below either
+  // way, this just keeps the ring teardown out of their write window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sigaction(SIGPROF, &g_old_sigaction, nullptr);
+
+  CpuProfile result;
+  result.hz = g_hz;
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - g_start_time)
+                       .count();
+  result.dropped_samples = g_dropped.load(std::memory_order_relaxed);
+
+  OfflineSymbolizer symbolizer;
+  std::unordered_map<uint64_t, SymbolizedFrame> symbol_cache;
+  const auto symbolize = [&symbol_cache,
+                          &symbolizer](uint64_t pc) -> SymbolizedFrame& {
+    auto it = symbol_cache.find(pc);
+    if (it == symbol_cache.end()) {
+      it = symbol_cache.emplace(pc, symbolizer.Symbolize(pc)).first;
+    }
+    return it->second;
+  };
+
+  std::map<std::string, uint64_t> folded_counts;
+  for (int r = 0; r < g_num_rings; ++r) {
+    SampleRing& ring = g_rings[r];
+    const uint64_t used = ring.write.load(std::memory_order_acquire);
+    uint64_t pos = 0;
+    while (pos < used) {
+      const uint64_t depth = ring.data[pos];
+      if (depth == 0 || pos + 1 + depth > used) break;
+      const uint64_t* pcs = ring.data + pos + 1;
+      ++result.samples;
+      std::string line;
+      // Stored leaf-first; folded format wants root first.
+      for (uint64_t i = depth; i-- > 0;) {
+        // Non-leaf entries are return addresses: step back one byte
+        // to symbolize inside the call instruction.
+        const uint64_t pc = (i == 0) ? pcs[i] : pcs[i] - 1;
+        const SymbolizedFrame& frame = symbolize(pc);
+        ++result.total_frames;
+        if (frame.symbolized) ++result.symbolized_frames;
+        if (!line.empty()) line += ';';
+        line += frame.name;
+      }
+      ++folded_counts[line];
+      pos += 1 + depth;
+    }
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> sorted(
+      folded_counts.begin(), folded_counts.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  std::ostringstream out;
+  for (const auto& [stack, count] : sorted) {
+    out << stack << ' ' << count << '\n';
+  }
+  result.folded = out.str();
+
+  FreeRings();
+  g_session.store(false, std::memory_order_release);
+  if (profile != nullptr) *profile = std::move(result);
+  return true;
+#endif
+}
+
+bool CpuProfileActive() {
+#if !EQUITENSOR_PROFILER_POSIX
+  return false;
+#else
+  return g_session.load(std::memory_order_acquire);
+#endif
+}
+
+bool CaptureCpuProfile(double seconds, const CpuProfileOptions& options,
+                       CpuProfile* profile, std::string* error) {
+  if (!StartCpuProfile(options, error)) return false;
+  seconds = std::max(0.05, std::min(seconds, 300.0));
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  return StopCpuProfile(profile, error);
+}
+
+std::string ProfileReportTable(const std::string& folded, int top_n) {
+  struct FrameAgg {
+    uint64_t self = 0;
+    uint64_t total = 0;
+  };
+  std::map<std::string, FrameAgg> frames;
+  uint64_t total_samples = 0;
+  std::istringstream in(folded);
+  std::string line;
+  std::vector<std::string> stack;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t last_space = line.find_last_of(' ');
+    if (last_space == std::string::npos || last_space + 1 >= line.size()) {
+      return "";
+    }
+    char* end = nullptr;
+    const unsigned long long count =
+        std::strtoull(line.c_str() + last_space + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || count == 0) return "";
+    total_samples += count;
+    stack.clear();
+    size_t pos = 0;
+    const std::string frames_text = line.substr(0, last_space);
+    while (pos <= frames_text.size()) {
+      const size_t sep = frames_text.find(';', pos);
+      const std::string frame = frames_text.substr(
+          pos, sep == std::string::npos ? std::string::npos : sep - pos);
+      if (!frame.empty()) stack.push_back(frame);
+      if (sep == std::string::npos) break;
+      pos = sep + 1;
+    }
+    if (stack.empty()) return "";
+    frames[stack.back()].self += count;
+    // `total` counts each stack once per frame, even if the frame
+    // recurses within it.
+    std::vector<std::string> unique(stack);
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    for (const std::string& frame : unique) frames[frame].total += count;
+  }
+  if (total_samples == 0) return "";
+
+  std::vector<std::pair<std::string, FrameAgg>> sorted(frames.begin(),
+                                                       frames.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second.self != b.second.self) return a.second.self > b.second.self;
+    if (a.second.total != b.second.total) {
+      return a.second.total > b.second.total;
+    }
+    return a.first < b.first;
+  });
+  if (top_n > 0 && sorted.size() > static_cast<size_t>(top_n)) {
+    sorted.resize(static_cast<size_t>(top_n));
+  }
+  TextTable table({"frame", "self", "self%", "total", "total%"});
+  const double denom = static_cast<double>(total_samples);
+  for (const auto& [name, agg] : sorted) {
+    table.AddRow({name, std::to_string(agg.self),
+                  TextTable::Num(100.0 * static_cast<double>(agg.self) / denom,
+                                 1),
+                  std::to_string(agg.total),
+                  TextTable::Num(
+                      100.0 * static_cast<double>(agg.total) / denom, 1)});
+  }
+  std::ostringstream out;
+  out << table.ToString() << "samples: " << total_samples << "\n";
+  return out.str();
+}
+
+double ProfileSymbolizedFraction(const CpuProfile& profile) {
+  if (profile.total_frames == 0) return 1.0;
+  return static_cast<double>(profile.symbolized_frames) /
+         static_cast<double>(profile.total_frames);
+}
+
+}  // namespace equitensor

@@ -137,6 +137,59 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
                    "kernel=\"" + PromEscapeLabelValue(k.name) + "\"",
                    FormatDouble(k.max_seconds));
     }
+    // Hardware-counter attribution (util/perf_counters, DESIGN.md
+    // §17): raw per-kernel totals plus the derived ratios dashboards
+    // actually plot. Only kernels that recorded with counters enabled
+    // and available emit these series — a scrape on a machine without
+    // perf_event_open just has no et_kernel_cycles_total family.
+    bool have_counters = false;
+    for (const TraceStats& k : kernels) {
+      have_counters = have_counters || k.counter_samples > 0;
+    }
+    if (have_counters) {
+      for (int c = 0; c < kNumPerfCounters; ++c) {
+        const std::string family =
+            std::string("et_kernel_") + PerfCounterName(c) + "_total";
+        out += "# TYPE " + family + " counter\n";
+        for (const TraceStats& k : kernels) {
+          if (k.counter_samples == 0) continue;
+          AppendSample(&out, family,
+                       "kernel=\"" + PromEscapeLabelValue(k.name) + "\"",
+                       std::to_string(k.counters[c]));
+        }
+      }
+      out += "# TYPE et_kernel_counter_samples_total counter\n";
+      for (const TraceStats& k : kernels) {
+        if (k.counter_samples == 0) continue;
+        AppendSample(&out, "et_kernel_counter_samples_total",
+                     "kernel=\"" + PromEscapeLabelValue(k.name) + "\"",
+                     std::to_string(k.counter_samples));
+      }
+      const struct {
+        const char* family;
+        PerfCounter counter;
+      } mpki_series[] = {
+          {"et_kernel_l1d_mpki", PerfCounter::kL1dMisses},
+          {"et_kernel_llc_mpki", PerfCounter::kLlcMisses},
+          {"et_kernel_branch_mpki", PerfCounter::kBranchMisses},
+      };
+      out += "# TYPE et_kernel_ipc gauge\n";
+      for (const TraceStats& k : kernels) {
+        if (k.counter_samples == 0) continue;
+        AppendSample(&out, "et_kernel_ipc",
+                     "kernel=\"" + PromEscapeLabelValue(k.name) + "\"",
+                     FormatDouble(k.Ipc()));
+      }
+      for (const auto& series : mpki_series) {
+        out += std::string("# TYPE ") + series.family + " gauge\n";
+        for (const TraceStats& k : kernels) {
+          if (k.counter_samples == 0) continue;
+          AppendSample(&out, series.family,
+                       "kernel=\"" + PromEscapeLabelValue(k.name) + "\"",
+                       FormatDouble(k.Mpki(series.counter)));
+        }
+      }
+    }
   }
   return out;
 }

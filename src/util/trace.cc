@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "util/logging.h"
 #include "util/metrics.h"
 #include "util/table.h"
 
@@ -144,6 +145,15 @@ void SpanSite::Record(uint64_t elapsed_ns, uint64_t child_ns) {
   slot.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+void SpanSite::RecordCounters(const PerfCounterSample& delta) {
+  if (!delta.valid) return;
+  SiteSlot& slot = slots_[metrics_internal::ThreadSlot()];
+  slot.counter_samples.fetch_add(1, std::memory_order_relaxed);
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    slot.counters[i].fetch_add(delta.values[i], std::memory_order_relaxed);
+  }
+}
+
 uint64_t SpanSite::Count() const {
   uint64_t total = 0;
   for (const auto& s : slots_) total += s.count.load(std::memory_order_relaxed);
@@ -189,6 +199,56 @@ std::vector<uint64_t> SpanSite::BucketCounts() const {
   return counts;
 }
 
+uint64_t SpanSite::CounterSamples() const {
+  uint64_t total = 0;
+  for (const auto& s : slots_) {
+    total += s.counter_samples.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t SpanSite::CounterTotal(int counter) const {
+  uint64_t total = 0;
+  for (const auto& s : slots_) {
+    total += s.counters[counter].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void SpanSite::RescaleBuckets(const uint64_t* old_edges_ns, int old_count) {
+  const HistogramLayout& layout = Layout();
+  for (auto& s : slots_) {
+    uint64_t moved[kMaxTraceHistogramBuckets + 1] = {};
+    bool any = false;
+    for (int i = 0; i <= kMaxTraceHistogramBuckets; ++i) {
+      const uint64_t count = s.buckets[i].exchange(0,
+                                                   std::memory_order_relaxed);
+      if (count == 0) continue;
+      any = true;
+      int target = layout.count;  // old overflow stays overflow
+      if (i < old_count) {
+        // Midpoint of the old bucket's [lower, upper) span stands in
+        // for every duration it counted.
+        const uint64_t lower = i == 0 ? 0 : old_edges_ns[i - 1];
+        const uint64_t mid = lower + (old_edges_ns[i] - lower) / 2;
+        for (int b = 0; b < layout.count; ++b) {
+          if (mid <= layout.edges_ns[b]) {
+            target = b;
+            break;
+          }
+        }
+      }
+      moved[target] += count;
+    }
+    if (!any) continue;
+    for (int i = 0; i <= kMaxTraceHistogramBuckets; ++i) {
+      if (moved[i] != 0) {
+        s.buckets[i].fetch_add(moved[i], std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
 void SpanSite::Reset() {
   for (auto& s : slots_) {
     s.count.store(0, std::memory_order_relaxed);
@@ -196,6 +256,8 @@ void SpanSite::Reset() {
     s.child_ns.store(0, std::memory_order_relaxed);
     s.max_ns.store(0, std::memory_order_relaxed);
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.counter_samples.store(0, std::memory_order_relaxed);
+    for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -206,11 +268,49 @@ void ConfigureTraceHistogram(double start_seconds, double growth, int count) {
   if (!(growth > 1.0)) growth = 4.0;
   count = std::max(1, std::min(count, kMaxTraceHistogramBuckets));
   trace_internal::HistogramLayout& layout = trace_internal::Layout();
+
+  // The contract wants this called before any span records. If samples
+  // already exist, mixing them with new edges would silently render
+  // old counts against the wrong bounds — instead, warn once and remap
+  // everything recorded so far onto the new layout (satellite of
+  // DESIGN.md §17). The site lock keeps the remap consistent against
+  // concurrent scrapes; concurrent *recording* threads may land one
+  // sample in either layout, which configuration-at-startup makes moot.
+  auto& list = trace_internal::Sites();
+  std::lock_guard<std::mutex> lock(list.mu);
+  uint64_t recorded = 0;
+  for (const trace_internal::SpanSite* site : list.sites) {
+    recorded += site->Count();
+  }
+  uint64_t old_edges[kMaxTraceHistogramBuckets];
+  const int old_count = layout.count;
+  for (int i = 0; i < old_count; ++i) old_edges[i] = layout.edges_ns[i];
+
   layout.count = count;
   double edge = start_seconds * 1e9;
   for (int i = 0; i < count; ++i) {
     layout.edges_ns[i] = static_cast<uint64_t>(edge);
     edge *= growth;
+  }
+
+  if (recorded > 0) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      ET_LOG(Warning) << "ConfigureTraceHistogram called after " << recorded
+                      << " spans recorded; rescaling existing histogram "
+                         "buckets onto the new layout (midpoint remap — "
+                         "configure the layout before tracing starts to "
+                         "avoid the approximation)";
+    }
+    bool changed = old_count != count;
+    for (int i = 0; !changed && i < count; ++i) {
+      changed = old_edges[i] != layout.edges_ns[i];
+    }
+    if (changed) {
+      for (trace_internal::SpanSite* site : list.sites) {
+        site->RescaleBuckets(old_edges, old_count);
+      }
+    }
   }
 }
 
@@ -241,6 +341,10 @@ TraceSpan::TraceSpan(trace_internal::SpanSite& site)
   parent_ = trace_internal::tls_current_span;
   trace_internal::tls_current_span = this;
   ++trace_internal::tls_depth;
+  // One relaxed load when counters are off (the common case); two
+  // read(2) calls when on. Snapshot before the clock so counter time
+  // brackets the timed region.
+  if (PerfCountersEnabled()) ReadPerfCounters(&counters_start_);
   start_ns_ = trace_internal::MonotonicNowNs();
 }
 
@@ -248,6 +352,12 @@ TraceSpan::~TraceSpan() {
   if (site_ == nullptr) return;
   const uint64_t elapsed = trace_internal::MonotonicNowNs() - start_ns_;
   site_->Record(elapsed, child_ns_);
+  if (counters_start_.valid) {
+    PerfCounterSample end;
+    if (ReadPerfCounters(&end)) {
+      site_->RecordCounters(PerfCounterDelta(counters_start_, end));
+    }
+  }
   if (trace_internal::g_recording.load(std::memory_order_relaxed)) {
     trace_internal::RecordTraceEvent(site_->name(), start_ns_, elapsed);
   }
@@ -258,6 +368,22 @@ TraceSpan::~TraceSpan() {
   if (parent_ != nullptr) parent_->child_ns_ += elapsed;
 }
 
+double TraceStats::Ipc() const {
+  const uint64_t cycles = counters[static_cast<int>(PerfCounter::kCycles)];
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(
+             counters[static_cast<int>(PerfCounter::kInstructions)]) /
+         static_cast<double>(cycles);
+}
+
+double TraceStats::Mpki(PerfCounter counter) const {
+  const uint64_t instructions =
+      counters[static_cast<int>(PerfCounter::kInstructions)];
+  if (instructions == 0) return 0.0;
+  return 1000.0 * static_cast<double>(counters[static_cast<int>(counter)]) /
+         static_cast<double>(instructions);
+}
+
 std::vector<TraceStats> CollectTraceStats() {
   struct Merged {
     uint64_t count = 0;
@@ -265,6 +391,8 @@ std::vector<TraceStats> CollectTraceStats() {
     uint64_t child_ns = 0;
     uint64_t max_ns = 0;
     std::vector<uint64_t> buckets;
+    uint64_t counter_samples = 0;
+    uint64_t counters[kNumPerfCounters] = {0};
   };
   const std::vector<double> bounds = TraceHistogramBounds();
   std::map<std::string, Merged> by_name;
@@ -277,6 +405,10 @@ std::vector<TraceStats> CollectTraceStats() {
       m.total_ns += site->TotalNs();
       m.child_ns += site->ChildNs();
       m.max_ns = std::max(m.max_ns, site->MaxNs());
+      m.counter_samples += site->CounterSamples();
+      for (int i = 0; i < kNumPerfCounters; ++i) {
+        m.counters[i] += site->CounterTotal(i);
+      }
       const std::vector<uint64_t> buckets = site->BucketCounts();
       if (m.buckets.empty()) m.buckets.assign(buckets.size(), 0);
       for (size_t i = 0; i < buckets.size() && i < m.buckets.size(); ++i) {
@@ -298,6 +430,8 @@ std::vector<TraceStats> CollectTraceStats() {
     s.max_seconds = static_cast<double>(m.max_ns) * 1e-9;
     s.bucket_bounds = bounds;
     s.bucket_counts = std::move(m.buckets);
+    s.counter_samples = m.counter_samples;
+    for (int i = 0; i < kNumPerfCounters; ++i) s.counters[i] = m.counters[i];
     // A scrape racing active spans can see count moved past the bucket
     // adds; reconcile into the overflow cell so that the exported
     // buckets always sum to the count (+Inf == _count).
@@ -320,16 +454,39 @@ std::vector<TraceStats> CollectTraceStats() {
 std::string TraceReportTable() {
   const std::vector<TraceStats> stats = CollectTraceStats();
   if (stats.empty()) return "";
-  TextTable table({"span", "count", "total_ms", "self_ms", "mean_us",
-                   "max_ms"});
+  bool have_counters = false;
   for (const TraceStats& s : stats) {
-    table.AddRow({s.name, std::to_string(s.count),
-                  TextTable::Num(s.total_seconds * 1e3, 3),
-                  TextTable::Num(s.self_seconds * 1e3, 3),
-                  TextTable::Num(s.total_seconds * 1e6 /
-                                     static_cast<double>(s.count),
-                                 1),
-                  TextTable::Num(s.max_seconds * 1e3, 3)});
+    have_counters = have_counters || s.counter_samples > 0;
+  }
+  std::vector<std::string> header = {"span",    "count",   "total_ms",
+                                     "self_ms", "mean_us", "max_ms"};
+  if (have_counters) {
+    header.push_back("ipc");
+    header.push_back("l1d_mpki");
+    header.push_back("llc_mpki");
+    header.push_back("br_mpki");
+  }
+  TextTable table(header);
+  for (const TraceStats& s : stats) {
+    std::vector<std::string> row = {
+        s.name,
+        std::to_string(s.count),
+        TextTable::Num(s.total_seconds * 1e3, 3),
+        TextTable::Num(s.self_seconds * 1e3, 3),
+        TextTable::Num(s.total_seconds * 1e6 / static_cast<double>(s.count),
+                       1),
+        TextTable::Num(s.max_seconds * 1e3, 3)};
+    if (have_counters) {
+      if (s.counter_samples > 0) {
+        row.push_back(TextTable::Num(s.Ipc(), 2));
+        row.push_back(TextTable::Num(s.Mpki(PerfCounter::kL1dMisses), 2));
+        row.push_back(TextTable::Num(s.Mpki(PerfCounter::kLlcMisses), 2));
+        row.push_back(TextTable::Num(s.Mpki(PerfCounter::kBranchMisses), 2));
+      } else {
+        row.insert(row.end(), {"-", "-", "-", "-"});
+      }
+    }
+    table.AddRow(row);
   }
   return table.ToString();
 }

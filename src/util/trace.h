@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/perf_counters.h"
+
 namespace equitensor {
 
 /// RAII trace spans over the hot kernels (DESIGN.md §10).
@@ -89,10 +91,14 @@ int CurrentTraceDepth();
 constexpr int kMaxTraceHistogramBuckets = 16;
 
 /// Replaces the layout: `count` edges from `start_seconds` growing by
-/// ×`growth` (defaults: 1 µs ×4, 16 edges ≈ up to 1.1 s). Must be
-/// called before any spans record — already-counted durations stay in
-/// their old buckets and would render against the new edges. Values
-/// are clamped to sane ranges; `count` to [1, kMaxTraceHistogramBuckets].
+/// ×`growth` (defaults: 1 µs ×4, 16 edges ≈ up to 1.1 s). Meant to be
+/// called before any spans record (tools parse flags before enabling
+/// tracing). If samples were already counted, this warns once and
+/// rescales every site's recorded buckets onto the new edges (each old
+/// bucket's count moves to the new bucket containing its midpoint) —
+/// approximate, but never the silent old-counts-against-new-edges mix.
+/// Values are clamped to sane ranges; `count` to
+/// [1, kMaxTraceHistogramBuckets].
 void ConfigureTraceHistogram(double start_seconds, double growth, int count);
 
 /// The current finite bucket edges, in seconds, ascending.
@@ -109,6 +115,12 @@ struct alignas(64) SiteSlot {
   std::atomic<uint64_t> max_ns{0};
   // One counter per finite edge plus the +Inf overflow cell.
   std::atomic<uint64_t> buckets[kMaxTraceHistogramBuckets + 1] = {};
+  // Hardware-counter deltas (util/perf_counters), inclusive of child
+  // spans like total_ns. counter_samples counts the spans that
+  // contributed, so rates stay honest when counters were enabled for
+  // only part of the run.
+  std::atomic<uint64_t> counter_samples{0};
+  std::atomic<uint64_t> counters[kNumPerfCounters] = {};
 };
 
 /// One ET_TRACE_SPAN call site: a function-local static that
@@ -119,6 +131,9 @@ class SpanSite {
   explicit SpanSite(const char* name);
 
   void Record(uint64_t elapsed_ns, uint64_t child_ns);
+  /// Folds one span's hardware-counter delta into the calling
+  /// thread's slot (invalid deltas are ignored).
+  void RecordCounters(const PerfCounterSample& delta);
 
   const char* name() const { return name_; }
   uint64_t Count() const;
@@ -128,6 +143,13 @@ class SpanSite {
   /// Per-bucket counts merged over slots; size = current finite edge
   /// count + 1 (overflow last).
   std::vector<uint64_t> BucketCounts() const;
+  uint64_t CounterSamples() const;
+  uint64_t CounterTotal(int counter) const;
+  /// Remaps every slot's recorded bucket counts from the `old_count`
+  /// edges in `old_edges_ns` onto the current layout (each bucket's
+  /// midpoint decides its new home). Used by ConfigureTraceHistogram
+  /// when the layout changes after samples were recorded.
+  void RescaleBuckets(const uint64_t* old_edges_ns, int old_count);
   void Reset();
 
  private:
@@ -153,6 +175,9 @@ class TraceSpan {
   TraceSpan* parent_;
   uint64_t start_ns_ = 0;
   uint64_t child_ns_ = 0;
+  // Hardware-counter snapshot at span entry; invalid (and untouched
+  // at exit) unless perf counters are enabled and readable.
+  PerfCounterSample counters_start_;
 };
 
 /// Aggregated statistics for one span name, merged across every call
@@ -168,6 +193,17 @@ struct TraceStats {
   /// `count`, which keeps the Prometheus +Inf == _count invariant.
   std::vector<double> bucket_bounds;
   std::vector<uint64_t> bucket_counts;
+  /// Hardware-counter totals (PerfCounter order), summed over the
+  /// `counter_samples` spans that ran with counters enabled and
+  /// readable. All zero when counters never ran.
+  uint64_t counter_samples = 0;
+  uint64_t counters[kNumPerfCounters] = {0};
+
+  /// Instructions per cycle over the counted spans (0 when no data).
+  double Ipc() const;
+  /// Misses per 1000 instructions for kL1dMisses / kLlcMisses /
+  /// kBranchMisses (0 when no data).
+  double Mpki(PerfCounter counter) const;
 };
 
 /// Scrapes all sites, merged by name and sorted by total time

@@ -43,6 +43,50 @@ TEST_F(ArenaTest, AcquireReusesSameSizeClass) {
   EXPECT_EQ(arena.stats().outstanding, 0u);
 }
 
+TEST_F(ArenaTest, ClassStatsTrackHeatPerSizeClass) {
+  // Per-class heat stats (DESIGN.md §17): refills vs reuses, live
+  // leases, and the high watermark that sizes the class's steady-state
+  // footprint — all surfaced on /debug/counters.
+  Arena arena;
+  EXPECT_TRUE(arena.class_stats().empty());
+  {
+    ArenaBuffer a(arena, 100);
+    ArenaBuffer b(arena, 120);  // same power-of-two class as a
+    ArenaBuffer big(arena, 1 << 20);
+    std::vector<Arena::ClassStats> classes = arena.class_stats();
+    ASSERT_EQ(classes.size(), 2u);
+    // Sorted by size_class ascending: the small class first.
+    EXPECT_LT(classes[0].size_class, classes[1].size_class);
+    EXPECT_EQ(classes[0].refills, 2u);
+    EXPECT_EQ(classes[0].reuses, 0u);
+    EXPECT_EQ(classes[0].outstanding, 2u);
+    EXPECT_EQ(classes[0].high_watermark, 2u);
+    EXPECT_EQ(classes[1].refills, 1u);
+    EXPECT_EQ(classes[1].outstanding, 1u);
+  }
+  {
+    // Both small leases returned; re-acquiring one is a pure reuse and
+    // must not move the watermark.
+    ArenaBuffer c(arena, 90);
+    const std::vector<Arena::ClassStats> classes = arena.class_stats();
+    ASSERT_EQ(classes.size(), 2u);
+    EXPECT_EQ(classes[0].refills, 2u);
+    EXPECT_EQ(classes[0].reuses, 1u);
+    EXPECT_EQ(classes[0].outstanding, 1u);
+    EXPECT_EQ(classes[0].high_watermark, 2u);
+    EXPECT_DOUBLE_EQ(classes[0].ReuseRate(), 1.0 / 3.0);
+    EXPECT_EQ(classes[1].outstanding, 0u);
+    EXPECT_EQ(classes[1].high_watermark, 1u);
+    // bytes_reserved counts refills only — reuse is free.
+    EXPECT_EQ(classes[0].bytes_reserved,
+              classes[0].refills * static_cast<uint64_t>(
+                                       classes[0].size_class) *
+                  sizeof(float));
+  }
+  arena.ResetForTesting();
+  EXPECT_TRUE(arena.class_stats().empty());
+}
+
 TEST_F(ArenaTest, DistinctClassesAllocateSeparately) {
   Arena arena;
   {

@@ -1,0 +1,147 @@
+// Hardware-counter attribution (DESIGN.md §17). Most CI containers
+// have no perf_event_open (perf_event_paranoid / missing CAP_PERFMON),
+// so these tests pin down the *degradation contract* everywhere and
+// only assert real numbers where the syscall works — both paths must
+// leave training and serving behavior untouched.
+
+#include "util/perf_counters.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/trace.h"
+
+namespace equitensor {
+namespace {
+
+class PerfCountersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetPerfCountersForTesting();
+    ResetTraceStatsForTesting();
+  }
+  void TearDown() override {
+    SetPerfCountersEnabled(false);
+    SetTracingEnabled(false);
+    ResetPerfCountersForTesting();
+  }
+};
+
+TEST_F(PerfCountersTest, NamesAreStableMetricKeys) {
+  EXPECT_STREQ(PerfCounterName(0), "cycles");
+  EXPECT_STREQ(PerfCounterName(1), "instructions");
+  EXPECT_STREQ(PerfCounterName(2), "l1d_misses");
+  EXPECT_STREQ(PerfCounterName(3), "llc_misses");
+  EXPECT_STREQ(PerfCounterName(4), "branch_misses");
+}
+
+TEST_F(PerfCountersTest, DisabledReadIsAnInvalidNoOp) {
+  SetPerfCountersEnabled(false);
+  PerfCounterSample sample;
+  sample.valid = true;  // must be overwritten
+  EXPECT_FALSE(ReadPerfCounters(&sample));
+  EXPECT_FALSE(sample.valid);
+}
+
+TEST_F(PerfCountersTest, StatusAndAvailabilityAgree) {
+  const bool available = PerfCountersAvailable();
+  const std::string status = PerfCountersStatus();
+  if (available) {
+    EXPECT_EQ(status, "ok");
+  } else {
+    EXPECT_EQ(status.rfind("unavailable:", 0), 0u) << status;
+  }
+  // Latched: asking again cannot flip the answer within a process.
+  EXPECT_EQ(PerfCountersAvailable(), available);
+}
+
+TEST_F(PerfCountersTest, EnabledReadMatchesAvailability) {
+  SetPerfCountersEnabled(true);
+  PerfCounterSample sample;
+  const bool ok = ReadPerfCounters(&sample);
+  EXPECT_EQ(ok, PerfCountersAvailable());
+  EXPECT_EQ(sample.valid, ok);
+  if (!ok) {
+    GTEST_SKIP() << "perf_event_open unavailable here: "
+                 << PerfCountersStatus();
+  }
+  // A busy little loop must consume instructions and cycles.
+  volatile double acc = 0.0;
+  for (int i = 0; i < 100000; ++i) acc = acc + static_cast<double>(i);
+  PerfCounterSample after;
+  ASSERT_TRUE(ReadPerfCounters(&after));
+  const PerfCounterSample delta = PerfCounterDelta(sample, after);
+  ASSERT_TRUE(delta.valid);
+  EXPECT_GT(delta.values[static_cast<int>(PerfCounter::kInstructions)], 0u);
+  EXPECT_GT(delta.values[static_cast<int>(PerfCounter::kCycles)], 0u);
+}
+
+TEST_F(PerfCountersTest, DeltaClampsBackwardsStepsToZero) {
+  PerfCounterSample start;
+  PerfCounterSample end;
+  start.valid = end.valid = true;
+  start.values[0] = 100;
+  end.values[0] = 90;  // multiplexing-scaling rounding artifact
+  start.values[1] = 10;
+  end.values[1] = 25;
+  const PerfCounterSample delta = PerfCounterDelta(start, end);
+  ASSERT_TRUE(delta.valid);
+  EXPECT_EQ(delta.values[0], 0u);
+  EXPECT_EQ(delta.values[1], 15u);
+}
+
+TEST_F(PerfCountersTest, DeltaOfInvalidInputsIsInvalid) {
+  PerfCounterSample valid;
+  valid.valid = true;
+  PerfCounterSample invalid;
+  EXPECT_FALSE(PerfCounterDelta(invalid, valid).valid);
+  EXPECT_FALSE(PerfCounterDelta(valid, invalid).valid);
+}
+
+// Span integration: with counters off, spans record wall time only;
+// with counters on, spans attribute counters exactly where the
+// syscall works and still record wall time cleanly where it does not.
+TEST_F(PerfCountersTest, TraceSpansAttributeCountersWhenAvailable) {
+  if (!TraceCompiledIn()) {
+    GTEST_SKIP() << "spans compiled out (-DEQUITENSOR_TRACE=OFF)";
+  }
+  SetTracingEnabled(true);
+
+  SetPerfCountersEnabled(false);
+  { ET_TRACE_SPAN("perf_test.uncounted"); }
+  SetPerfCountersEnabled(true);
+  {
+    ET_TRACE_SPAN("perf_test.counted");
+    volatile double acc = 0.0;
+    for (int i = 0; i < 100000; ++i) acc = acc + static_cast<double>(i);
+  }
+
+  bool saw_uncounted = false;
+  bool saw_counted = false;
+  for (const TraceStats& stats : CollectTraceStats()) {
+    if (stats.name == "perf_test.uncounted") {
+      saw_uncounted = true;
+      EXPECT_EQ(stats.counter_samples, 0u);
+      EXPECT_EQ(stats.Ipc(), 0.0);  // no samples -> defined zero, not NaN
+    }
+    if (stats.name == "perf_test.counted") {
+      saw_counted = true;
+      EXPECT_EQ(stats.count, 1u);
+      if (PerfCountersAvailable()) {
+        EXPECT_EQ(stats.counter_samples, 1u);
+        EXPECT_GT(stats.counters[static_cast<int>(
+                      PerfCounter::kInstructions)],
+                  0u);
+        EXPECT_GT(stats.Ipc(), 0.0);
+      } else {
+        EXPECT_EQ(stats.counter_samples, 0u);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_uncounted);
+  EXPECT_TRUE(saw_counted);
+}
+
+}  // namespace
+}  // namespace equitensor

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
@@ -80,6 +81,90 @@ TEST(HistogramQuantileTest, InterpolatesAndClamps) {
   const std::vector<uint64_t> mixed = {2, 5, 2, 1};
   EXPECT_LE(HistogramQuantile(bounds, mixed, 0.25),
             HistogramQuantile(bounds, mixed, 0.75));
+}
+
+TEST(HistogramQuantileTest, DegenerateInputsStayFinite) {
+  // PR 10 satellite: /debug/stages renders quantiles straight into
+  // JSON, so every degenerate histogram shape must produce a finite
+  // number — never NaN (0/0) or Inf.
+  // Empty layout: no bounds at all, with and without an overflow cell.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({}, {}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({}, {0}, 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({}, {7}, 0.5), 0.0);
+
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  // Empty histogram at every quantile, including the q extremes.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = HistogramQuantile(bounds, {0, 0, 0, 0}, q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(v, 0.0) << "q=" << q;
+  }
+  // Single sample: every quantile must land inside that sample's
+  // bucket (1, 2] and stay finite.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = HistogramQuantile(bounds, {0, 1, 0, 0}, q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_GE(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, 2.0) << "q=" << q;
+  }
+  // All samples in one bucket: same containment, and p50 <= p99.
+  const std::vector<uint64_t> one_bucket = {0, 0, 1000, 0};
+  const double p50 = HistogramQuantile(bounds, one_bucket, 0.50);
+  const double p99 = HistogramQuantile(bounds, one_bucket, 0.99);
+  EXPECT_TRUE(std::isfinite(p50));
+  EXPECT_TRUE(std::isfinite(p99));
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LE(p99, 4.0);
+  EXPECT_LE(p50, p99);
+  // All samples in the overflow cell clamp to the last finite edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 0, 9}, 0.5), 4.0);
+}
+
+TEST(RequestObservabilityTest, StagesJsonIsFiniteOnDegenerateHistograms) {
+  RequestObservability::Options options;
+  options.metric_prefix = "obs_degenerate";
+  options.sample_every = 0;
+  RequestObservability observability(options);
+
+  // Zero requests observed: the document must still be pure JSON —
+  // a NaN/Inf would make Dump() emit a token the strict parser (and
+  // any real scraper) rejects.
+  std::string dump = observability.StagesJson().Dump();
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(dump, &parsed, &error)) << error << "\n"
+                                                       << dump;
+  EXPECT_EQ(dump.find("nan"), std::string::npos);
+  EXPECT_EQ(dump.find("inf"), std::string::npos);
+
+  // Exactly one request, all its time in one stage: single-sample /
+  // one-bucket percentile math on the real pipeline.
+  RequestTimeline timeline;
+  timeline.id = 1;
+  timeline.set_method("GET");
+  timeline.set_path("/predict");
+  timeline.routed = true;
+  timeline.status = 200;
+  timeline.total_seconds = 1e-3;
+  timeline.stage_seconds[static_cast<int>(RequestStage::kForward)] = 1e-3;
+  observability.Observe(timeline);
+
+  dump = observability.StagesJson().Dump();
+  ASSERT_TRUE(JsonValue::Parse(dump, &parsed, &error)) << error << "\n"
+                                                       << dump;
+  EXPECT_EQ(dump.find("nan"), std::string::npos);
+  EXPECT_EQ(dump.find("inf"), std::string::npos);
+  const JsonValue* forward = parsed.Find("stages") != nullptr
+                                 ? parsed.Find("stages")->Find("forward")
+                                 : nullptr;
+  ASSERT_NE(forward, nullptr) << dump;
+  EXPECT_EQ(forward->Find("count")->number(), 1.0);
+  const double p50 = forward->Find("p50_ms")->number();
+  const double p99 = forward->Find("p99_ms")->number();
+  EXPECT_TRUE(std::isfinite(p50));
+  EXPECT_TRUE(std::isfinite(p99));
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, p99 + 1e-9);
 }
 
 TEST(RequestObservabilityTest, SlowTableAndAccessLogRoundTrip) {

@@ -5,6 +5,7 @@
 #include "core/telemetry_server.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "data/generators.h"
 #include "util/http_server.h"
 #include "util/json.h"
+#include "util/profiler.h"
 #include "util/prom.h"
 
 namespace equitensor {
@@ -127,6 +129,77 @@ JsonValue FetchJson(int port, const std::string& path) {
   JsonValue doc;
   EXPECT_TRUE(JsonValue::Parse(body, &doc, &error)) << path << ": " << error;
   return doc;
+}
+
+// /debug/profile + /debug/counters (DESIGN.md §17) on a bare server:
+// a timed capture over a busy thread returns non-empty folded stacks,
+// the counters document is well-formed whether or not perf_event_open
+// works here, and a second concurrent capture is refused with 409.
+TEST(TelemetryServerTest, DebugProfileAndCountersEndpoints) {
+  TelemetryServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const int port = server.port();
+
+  const JsonValue counters = FetchJson(port, "/debug/counters");
+  EXPECT_EQ(counters.Find("type")->str(), "debug_counters");
+  const JsonValue* perf = counters.Find("perf_counters");
+  ASSERT_NE(perf, nullptr);
+  ASSERT_NE(perf->Find("status"), nullptr);
+  ASSERT_NE(perf->Find("kernels"), nullptr);
+  const JsonValue* arena = counters.Find("arena");
+  ASSERT_NE(arena, nullptr);
+  ASSERT_NE(arena->Find("totals"), nullptr);
+  ASSERT_NE(arena->Find("classes"), nullptr);
+  ASSERT_NE(counters.Find("profiler"), nullptr);
+  EXPECT_FALSE(
+      counters.Find("profiler")->Find("capture_active")->bool_value());
+
+  // Busy thread so the 1 s capture has something to sample.
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] {
+    volatile double acc = 0.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 1; i < 4096; ++i) acc = acc + 1.0 / i;
+    }
+  });
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet(port, "/debug/profile?seconds=1&hz=500", &status,
+                      &body, &error))
+      << error;
+  stop.store(true, std::memory_order_relaxed);
+  burner.join();
+  EXPECT_EQ(status, 200);
+  ASSERT_FALSE(body.empty());
+  // Every line is "stack count" folded form.
+  size_t pos = 0;
+  int stacks = 0;
+  while (pos < body.size()) {
+    const size_t eol = body.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated folded line";
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::strtoull(line.c_str() + space + 1, nullptr, 10), 0u)
+        << line;
+    ++stacks;
+  }
+  EXPECT_GT(stacks, 0);
+
+  // While a capture is active, a competing one is refused with 409
+  // (not 500: the caller should retry later, nothing is broken).
+  CpuProfileOptions options;
+  ASSERT_TRUE(StartCpuProfile(options, &error)) << error;
+  ASSERT_TRUE(
+      HttpGet(port, "/debug/profile?seconds=1", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 409);
+  CpuProfile discard;
+  ASSERT_TRUE(StopCpuProfile(&discard, &error)) << error;
+
+  server.Stop();
 }
 
 TEST(TelemetryServerTest, ServesLiveTrainingRun) {

@@ -220,6 +220,47 @@ TEST_F(TraceTest, BucketCountsSumToCountAndFollowTheSharedLayout) {
   EXPECT_GE(populated, 2);
 }
 
+TEST_F(TraceTest, ReconfiguringLayoutAfterSamplesRescalesInsteadOfMixing) {
+  // DESIGN.md §17 / PR 10: calling ConfigureTraceHistogram after spans
+  // recorded used to silently leave old bucket counts indexed against
+  // the new edges. Now it warns once and remaps every recorded bucket
+  // onto the new layout (midpoint rule) — sample mass is conserved and
+  // the reported bounds always match the reported counts.
+  for (int i = 0; i < 5; ++i) {
+    ET_TRACE_SPAN("test.rescaled");
+    SpinFor(std::chrono::microseconds(i < 4 ? 2 : 300));
+  }
+  const std::vector<double> old_bounds = TraceHistogramBounds();
+
+  ConfigureTraceHistogram(1e-3, 2.0, 8);  // coarser: 1 ms x2, 8 edges
+  const std::vector<double> new_bounds = TraceHistogramBounds();
+  ASSERT_NE(new_bounds, old_bounds);
+  ASSERT_EQ(new_bounds.size(), 8u);
+
+  const TraceStats stats = FindStats(CollectTraceStats(), "test.rescaled");
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_EQ(stats.bucket_bounds, new_bounds);
+  ASSERT_EQ(stats.bucket_counts.size(), new_bounds.size() + 1);
+  uint64_t total = 0;
+  for (uint64_t bucket : stats.bucket_counts) total += bucket;
+  EXPECT_EQ(total, stats.count) << "rescale lost or duplicated samples";
+
+  // Spans recorded after the reconfigure land on the new layout too.
+  {
+    ET_TRACE_SPAN("test.rescaled");
+    SpinFor(std::chrono::microseconds(2));
+  }
+  const TraceStats after = FindStats(CollectTraceStats(), "test.rescaled");
+  EXPECT_EQ(after.count, 6u);
+  total = 0;
+  for (uint64_t bucket : after.bucket_counts) total += bucket;
+  EXPECT_EQ(total, after.count);
+
+  // Restore the default layout for later tests (fixture-independent
+  // state: the layout is process-wide).
+  ConfigureTraceHistogram(1e-6, 4.0, 16);
+}
+
 TEST_F(TraceTest, ReportTableListsSpans) {
   {
     ET_TRACE_SPAN("test.table_span");

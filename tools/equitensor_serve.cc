@@ -16,12 +16,15 @@
 
 #include <cstdio>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <thread>
 
 #include "core/serving.h"
 #include "nn/backend_registry.h"
 #include "util/flags.h"
+#include "util/perf_counters.h"
+#include "util/profiler.h"
 #include "util/shutdown.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -81,6 +84,19 @@ int main(int argc, char** argv) {
   flags.DefineString("serve_chrome_trace", "",
                      "write serving spans as a chrome://tracing JSON "
                      "file at shutdown");
+  flags.DefineString("profile", "",
+                     "sample the daemon's CPU for its whole lifetime and "
+                     "write folded stacks here at shutdown; live captures "
+                     "are also available any time via GET "
+                     "/debug/profile?seconds=N (DESIGN.md §17)");
+  flags.DefineInt("profile_hz", 97,
+                  "--profile sampling frequency in CPU-time samples per "
+                  "second per busy thread");
+  flags.DefineBool("counters", false,
+                   "read hardware perf counters around every trace span and "
+                   "expose per-kernel IPC/miss rates on /metrics and "
+                   "/debug/counters (implies tracing; no-op when "
+                   "perf_event_open is unavailable)");
 
   if (!flags.Parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
@@ -141,6 +157,34 @@ int main(int argc, char** argv) {
     // Keep the per-span kernel histograms on the same grid so /metrics
     // reads consistently (capped at the trace layer's 16 edges).
     ConfigureTraceHistogram(start_us * 1e-6, growth, count);
+  }
+
+  if (flags.GetBool("counters")) {
+    SetTracingEnabled(true);
+    SetPerfCountersEnabled(true);
+    const std::string status = PerfCountersStatus();
+    if (status != "ok") {
+      std::cerr << "warning: --counters requested but hardware counters are "
+                << status << "; spans will carry wall time only\n";
+    }
+  }
+  const std::string profile_path = flags.GetString("profile");
+  if (!profile_path.empty()) {
+    CpuProfileOptions profile_options;
+    profile_options.hz = static_cast<int>(flags.GetInt("profile_hz"));
+    // Whole-run captures outlive the default ring (~15 s of one busy
+    // thread at 97 Hz): 1 Mi slots per ring covers ~10 min of busy
+    // samples, 16 rings × 8 MiB caps the preallocation at 128 MiB.
+    profile_options.ring_capacity = 1 << 20;
+    profile_options.max_threads = 16;
+    std::string profile_error;
+    if (!StartCpuProfile(profile_options, &profile_error)) {
+      std::cerr << "failed to start --profile capture: " << profile_error
+                << "\n";
+      return 1;
+    }
+    std::cout << "CPU profiler sampling at " << profile_options.hz
+              << " Hz -> " << profile_path << "\n";
   }
 
   const std::string chrome_trace = flags.GetString("serve_chrome_trace");
@@ -220,6 +264,34 @@ int main(int argc, char** argv) {
                 << chrome_trace << "\n";
     } else {
       std::cerr << "failed to write chrome trace: " << chrome_trace << "\n";
+    }
+  }
+
+  if (!profile_path.empty()) {
+    CpuProfile profile;
+    std::string profile_error;
+    if (!StopCpuProfile(&profile, &profile_error)) {
+      std::cerr << "failed to stop --profile capture: " << profile_error
+                << "\n";
+    } else {
+      std::ofstream out(profile_path,
+                        std::ios::out | std::ios::trunc | std::ios::binary);
+      out << profile.folded;
+      if (!out) {
+        std::cerr << "failed to write CPU profile to " << profile_path
+                  << "\n";
+      } else {
+        std::cout << "Wrote CPU profile (" << profile.samples << " samples, "
+                  << static_cast<int>(ProfileSymbolizedFraction(profile) *
+                                      100.0)
+                  << "% symbolized";
+        if (profile.dropped_samples > 0) {
+          std::cout << ", " << profile.dropped_samples << " dropped";
+        }
+        std::cout << ") -> " << profile_path << "\n";
+        const std::string table = ProfileReportTable(profile.folded, 12);
+        if (!table.empty()) std::cout << table;
+      }
     }
   }
   return 0;

@@ -8,6 +8,7 @@
 //       --output_z=z.etck --output_model=model.etck
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <thread>
 
@@ -20,6 +21,8 @@
 #include "nn/serialize.h"
 #include "util/ascii_map.h"
 #include "util/flags.h"
+#include "util/perf_counters.h"
+#include "util/profiler.h"
 #include "util/shutdown.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -76,6 +79,19 @@ int main(int argc, char** argv) {
   flags.DefineString("chrome_trace", "",
                      "record every span and write a chrome://tracing / "
                      "Perfetto JSON trace to this path (implies --trace)");
+  flags.DefineString("profile", "",
+                     "run the sampling CPU profiler for the whole run and "
+                     "write folded stacks (flamegraph.pl input / "
+                     "tools/profile_report) to this path; a top-N self/total "
+                     "table prints at exit (DESIGN.md §17)");
+  flags.DefineInt("profile_hz", 97,
+                  "--profile sampling frequency in CPU-time samples per "
+                  "second per busy thread");
+  flags.DefineBool("counters", false,
+                   "read hardware perf counters (cycles, instructions, "
+                   "cache/branch misses) around every trace span and report "
+                   "per-kernel IPC and miss rates (implies --trace; no-op "
+                   "when perf_event_open is unavailable)");
   flags.DefineString("nan_check", "off",
                      "numerics sentinel: off | epoch | step — on the first "
                      "NaN/Inf, write a diagnostic bundle and abort with the "
@@ -131,9 +147,35 @@ int main(int argc, char** argv) {
             << (backend::SimdAcceleratorActive() ? " (avx2/fma)" : " (portable)")
             << "\n";
   const std::string chrome_trace_path = flags.GetString("chrome_trace");
+  const bool want_counters = flags.GetBool("counters");
   const bool want_tracing =
-      flags.GetBool("trace") || !chrome_trace_path.empty();
+      flags.GetBool("trace") || !chrome_trace_path.empty() || want_counters;
   SetTracingEnabled(want_tracing);
+  if (want_counters) {
+    SetPerfCountersEnabled(true);
+    const std::string status = PerfCountersStatus();
+    if (status != "ok") {
+      std::cerr << "WARNING: --counters requested but hardware counters are "
+                << status << "; spans will carry wall time only.\n";
+    }
+  }
+  const std::string profile_path = flags.GetString("profile");
+  if (!profile_path.empty()) {
+    CpuProfileOptions profile_options;
+    profile_options.hz = static_cast<int>(flags.GetInt("profile_hz"));
+    // Whole-run captures outlive the default ring (~15 s of one busy
+    // thread at 97 Hz): 1 Mi slots per ring covers ~10 min of busy
+    // samples, 16 rings × 8 MiB caps the preallocation at 128 MiB.
+    profile_options.ring_capacity = 1 << 20;
+    profile_options.max_threads = 16;
+    std::string error;
+    if (!StartCpuProfile(profile_options, &error)) {
+      std::cerr << "failed to start --profile capture: " << error << "\n";
+      return 1;
+    }
+    std::cout << "CPU profiler sampling at " << profile_options.hz
+              << " Hz -> " << profile_path << "\n";
+  }
   if (want_tracing && !TraceCompiledIn()) {
     // Spans expand to no-ops in this build: honoring the flag silently
     // would hand the user an empty trace.
@@ -349,6 +391,31 @@ int main(int argc, char** argv) {
   // Explicit stop (the destructor would too): closes the listen socket
   // and joins every server thread, so no socket outlives main.
   server.Stop();
+
+  if (!profile_path.empty() && CpuProfileActive()) {
+    CpuProfile profile;
+    std::string error;
+    if (!StopCpuProfile(&profile, &error)) {
+      std::cerr << "failed to stop --profile capture: " << error << "\n";
+      return 1;
+    }
+    std::ofstream out(profile_path, std::ios::binary);
+    out << profile.folded;
+    if (!out.good()) {
+      std::cerr << "failed to write --profile " << profile_path << "\n";
+      return 1;
+    }
+    out.close();
+    std::cout << "Wrote CPU profile (" << profile.samples << " samples, "
+              << TextTable::Num(100.0 * ProfileSymbolizedFraction(profile), 1)
+              << "% symbolized";
+    if (profile.dropped_samples > 0) {
+      std::cout << ", " << profile.dropped_samples << " dropped";
+    }
+    std::cout << ") -> " << profile_path << "\n";
+    const std::string report = ProfileReportTable(profile.folded, 12);
+    if (!report.empty()) std::cout << report;
+  }
 
   if (flags.GetBool("show_maps") && sensitive != nullptr) {
     Tensor z_mean({city.width, city.height});

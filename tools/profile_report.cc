@@ -1,0 +1,64 @@
+// Renders folded flamegraph stacks (from `/debug/profile`,
+// `equitensor_train --profile`, or `equitensor_serve --profile`) as a
+// sorted self/total attribution table — the same view StopCpuProfile
+// prints at shutdown, available offline (DESIGN.md §17).
+//
+//   profile_report --file=serve.folded --top=20
+//   curl -s localhost:8080/debug/profile?seconds=5 | profile_report
+//
+// "self" counts samples whose leaf is the frame (time spent *in* it);
+// "total" counts samples with the frame anywhere on the stack (time
+// spent in it or anything it called).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/profiler.h"
+
+using namespace equitensor;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineString("file", "-",
+                     "folded-stacks input ('-' = stdin)");
+  flags.DefineInt("top", 20, "rows to show (0 = all frames)");
+
+  if (!flags.Parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText(
+        "Render folded CPU-profile stacks as a self/total table.");
+    return 0;
+  }
+
+  std::string folded;
+  const std::string file = flags.GetString("file");
+  if (file.empty() || file == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    folded = buffer.str();
+  } else {
+    std::ifstream in(file, std::ios::binary);
+    if (!in.is_open()) {
+      std::cerr << "cannot open " << file << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    folded = buffer.str();
+  }
+
+  const int top = static_cast<int>(flags.GetInt("top"));
+  const std::string table = ProfileReportTable(folded, top <= 0 ? 0 : top);
+  if (table.empty()) {
+    std::cerr << "input is not folded stacks (want \"frame;frame count\" "
+                 "lines) or holds no samples\n";
+    return 1;
+  }
+  std::cout << table;
+  return 0;
+}

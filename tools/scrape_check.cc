@@ -13,6 +13,7 @@
 //   scrape_check --file=access.jsonl --format=jsonl
 //   some_producer | scrape_check --format=json
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
                      "validate this file instead of scraping ('-' = stdin; "
                      "stdin is also the default when --port is 0)");
   flags.DefineString("format", "prom",
-                     "expected format: prom | json | jsonl | text (text "
+                     "expected format: prom | json | jsonl | folded | text "
+                     "(folded = flamegraph stacks from /debug/profile; text "
                      "only checks the HTTP status)");
   flags.DefineInt("expect_status", 200,
                   "required HTTP status when scraping (0 = any)");
@@ -53,9 +55,9 @@ int main(int argc, char** argv) {
   }
   const std::string format = flags.GetString("format");
   if (format != "prom" && format != "json" && format != "jsonl" &&
-      format != "text") {
+      format != "folded" && format != "text") {
     std::cerr << "unknown --format " << format
-              << " (want prom | json | jsonl | text)\n";
+              << " (want prom | json | jsonl | folded | text)\n";
     return 2;
   }
 
@@ -166,6 +168,63 @@ int main(int argc, char** argv) {
     }
     if (records == 0) {
       std::cerr << "jsonl input has no records\n";
+      return 1;
+    }
+  } else if (format == "folded") {
+    // Folded flamegraph stacks (/debug/profile, --profile files):
+    // every non-empty line is "frame;frame;...;frame count" with a
+    // positive integer count and no empty frame names. At least one
+    // stack must be present — an idle capture that sampled nothing is
+    // a validation failure, not an empty-but-valid document.
+    size_t pos = 0;
+    int line_no = 0;
+    int stacks = 0;
+    while (pos < body.size()) {
+      ++line_no;
+      const size_t eol = body.find('\n', pos);
+      const std::string line =
+          body.substr(pos, eol == std::string::npos ? std::string::npos
+                                                    : eol - pos);
+      pos = eol == std::string::npos ? body.size() : eol + 1;
+      if (line.empty()) continue;
+      const size_t space = line.rfind(' ');
+      if (space == std::string::npos || space == 0 ||
+          space + 1 >= line.size()) {
+        std::cerr << "line " << line_no
+                  << ": not \"stack count\" folded form\n";
+        return 1;
+      }
+      const std::string count = line.substr(space + 1);
+      uint64_t parsed = 0;
+      for (char c : count) {
+        if (c < '0' || c > '9') {
+          std::cerr << "line " << line_no << ": sample count \"" << count
+                    << "\" is not a positive integer\n";
+          return 1;
+        }
+        parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+      }
+      if (parsed == 0) {
+        std::cerr << "line " << line_no << ": zero sample count\n";
+        return 1;
+      }
+      const std::string stack = line.substr(0, space);
+      size_t frame_start = 0;
+      while (true) {
+        const size_t semi = stack.find(';', frame_start);
+        const size_t frame_len =
+            (semi == std::string::npos ? stack.size() : semi) - frame_start;
+        if (frame_len == 0) {
+          std::cerr << "line " << line_no << ": empty frame name\n";
+          return 1;
+        }
+        if (semi == std::string::npos) break;
+        frame_start = semi + 1;
+      }
+      ++stacks;
+    }
+    if (stacks == 0) {
+      std::cerr << "folded input has no stacks\n";
       return 1;
     }
   }  // "text": the status check above is the whole assertion.
